@@ -1,0 +1,300 @@
+//! Virtual-time models of the paper's CPU platform (Machine 1: 40-core /
+//! 80-thread Xeon Gold 6138 @ 2.0 GHz).
+//!
+//! These models turn *measured static work* (op counts from the compiled
+//! design, activity factors from the event-driven engine) into modeled
+//! runtimes for any thread/process configuration — the quantities behind
+//! Table 2, Figure 12 and Figure 13.
+
+use desim::Time;
+use rtlir::{Design, ProcessKind, RtlGraph};
+
+/// A multicore CPU host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Hardware threads available (80 on Machine 1).
+    pub threads_total: usize,
+    pub clock_ghz: f64,
+    /// Sustained simulation IPC per thread (full-cycle code is branchy,
+    /// pointer-chasing C++; ~1.6 is generous).
+    pub ipc: f64,
+    /// Per-level synchronization cost between static-schedule threads.
+    pub sync_ns: u64,
+    /// CPU nanoseconds to read + mask + write one input lane of one
+    /// stimulus (the `set_inputs` path, §2.4.3).
+    pub set_input_lane_ns: u64,
+    /// One-time process fork + ELF load + init per forked instance.
+    pub fork_startup_ns: u64,
+    /// Memory-bandwidth/LLC contention between concurrently running
+    /// simulator instances: instance efficiency is
+    /// `1 / (1 + contention * (instances - 1))`. This produces the
+    /// sublinear multi-core scaling of Figure 12 (80 CPUs ≈ 17x, not 80x).
+    pub contention: f64,
+}
+
+impl Default for CpuModel {
+    /// Machine 1: Xeon Gold 6138.
+    fn default() -> Self {
+        CpuModel {
+            threads_total: 80,
+            clock_ghz: 2.0,
+            ipc: 1.6,
+            sync_ns: 650,
+            set_input_lane_ns: 250,
+            fork_startup_ns: 120_000_000, // 120 ms per forked simulator
+            contention: 0.05,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Nanoseconds per simulated op on one thread.
+    pub fn ns_per_op(&self) -> f64 {
+        1.0 / (self.clock_ghz * self.ipc)
+    }
+}
+
+/// Static per-cycle work of a compiled design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignWork {
+    /// Ops of one combinational settle pass.
+    pub comb_ops: u64,
+    /// Ops along the combinational critical path (one pass).
+    pub critical_ops: u64,
+    /// Sequential + commit ops per cycle.
+    pub seq_ops: u64,
+    /// Levelization depth.
+    pub levels: u32,
+    /// Driven input lanes (for `set_inputs` cost).
+    pub input_lanes: usize,
+}
+
+impl DesignWork {
+    /// Measure a design's static work from its RTL graph.
+    pub fn measure(design: &Design, graph: &RtlGraph) -> DesignWork {
+        let mut comb_ops = 0u64;
+        let mut seq_ops = 0u64;
+        let depth = graph.depth() as usize;
+        let mut level_max = vec![0u64; depth.max(1)];
+        for node in &graph.nodes {
+            let cost = node.cost as u64;
+            match node.kind {
+                ProcessKind::Comb => {
+                    comb_ops += cost;
+                    let l = node.level as usize;
+                    level_max[l] = level_max[l].max(cost);
+                }
+                ProcessKind::Seq => seq_ops += cost,
+            }
+        }
+        // Commit: one copy per state scalar.
+        seq_ops += design.vars.iter().filter(|v| v.is_state && !v.is_memory()).count() as u64;
+        DesignWork {
+            comb_ops,
+            critical_ops: level_max.iter().sum(),
+            seq_ops,
+            levels: graph.depth(),
+            input_lanes: design.inputs.len(),
+        }
+    }
+
+    /// Total ops of one full cycle (two comb passes + posedge).
+    pub fn ops_per_cycle(&self) -> u64 {
+        2 * self.comb_ops + self.seq_ops
+    }
+}
+
+/// Verilator on the virtual CPU: `processes` forked instances, each using
+/// `threads` threads with a static α-granularity schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerilatorModel {
+    pub cpu: CpuModel,
+    /// Forked simulator processes (each handles a slice of the batch).
+    pub processes: usize,
+    /// Threads per process.
+    pub threads: usize,
+}
+
+impl VerilatorModel {
+    /// The paper's NVDLA configuration: 10 processes x 8 threads.
+    pub fn paper_nvdla() -> Self {
+        VerilatorModel { cpu: CpuModel::default(), processes: 10, threads: 8 }
+    }
+
+    /// The paper's small-design configuration: 40 processes x 2 threads.
+    pub fn paper_small() -> Self {
+        VerilatorModel { cpu: CpuModel::default(), processes: 40, threads: 2 }
+    }
+
+    /// Single-threaded single-process Verilator.
+    pub fn single() -> Self {
+        VerilatorModel { cpu: CpuModel::default(), processes: 1, threads: 1 }
+    }
+
+    /// Time for one stimulus to advance one cycle inside one process.
+    pub fn cycle_time(&self, work: &DesignWork) -> Time {
+        let ns_op = self.cpu.ns_per_op();
+        let threads = self.threads.max(1) as u64;
+        // Each settle pass: bounded below by the critical path, above by
+        // perfect work division; plus one barrier per level when threaded.
+        let pass = |ops: u64, critical: u64| -> f64 {
+            let ideal = ops as f64 / threads as f64;
+            let bounded = ideal.max(critical as f64);
+            let sync = if threads > 1 { (work.levels as u64 * self.cpu.sync_ns) as f64 } else { 0.0 };
+            bounded * ns_op + sync
+        };
+        let comb = 2.0 * pass(work.comb_ops, work.critical_ops);
+        let seq = work.seq_ops as f64 * ns_op / threads as f64;
+        let set_inputs = (work.input_lanes as u64 * self.cpu.set_input_lane_ns) as f64;
+        (comb + seq + set_inputs) as Time
+    }
+
+    /// Modeled wall time to simulate `n_stimulus` for `cycles` cycles.
+    pub fn batch_runtime(&self, work: &DesignWork, n_stimulus: usize, cycles: u64) -> Time {
+        let per_stim_cycle = self.cycle_time(work);
+        // Usable parallel instances are capped by total hardware threads.
+        let instances = self
+            .processes
+            .min((self.cpu.threads_total / self.threads.max(1)).max(1))
+            .max(1);
+        let stim_per_instance = n_stimulus.div_ceil(instances) as u64;
+        let slowdown = 1.0 + self.cpu.contention * (instances.saturating_sub(1)) as f64;
+        self.cpu.fork_startup_ns
+            + ((stim_per_instance * cycles * per_stim_cycle) as f64 * slowdown) as Time
+    }
+}
+
+/// ESSENT on the virtual CPU: single-threaded event-driven instances,
+/// forked `processes` wide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EssentModel {
+    pub cpu: CpuModel,
+    pub processes: usize,
+    /// Per-evaluated-block scheduling overhead (the dynamic control flow
+    /// that makes event-driven code hard to vectorize).
+    pub event_overhead_ns: u64,
+}
+
+impl Default for EssentModel {
+    fn default() -> Self {
+        EssentModel { cpu: CpuModel::default(), processes: 80, event_overhead_ns: 60 }
+    }
+}
+
+impl EssentModel {
+    /// Time for one stimulus-cycle given a measured activity factor and
+    /// the average number of active blocks per pass.
+    pub fn cycle_time(&self, work: &DesignWork, activity: f64, comb_blocks: usize) -> Time {
+        let ns_op = self.cpu.ns_per_op();
+        let active_ops = 2.0 * work.comb_ops as f64 * activity;
+        let sched = 2.0 * comb_blocks as f64 * activity * self.event_overhead_ns as f64;
+        let seq = work.seq_ops as f64 * ns_op;
+        let set_inputs = (work.input_lanes as u64 * self.cpu.set_input_lane_ns) as f64;
+        (active_ops * ns_op + sched + seq + set_inputs) as Time
+    }
+
+    /// Modeled wall time for the batch.
+    pub fn batch_runtime(
+        &self,
+        work: &DesignWork,
+        activity: f64,
+        comb_blocks: usize,
+        n_stimulus: usize,
+        cycles: u64,
+    ) -> Time {
+        let instances = self.processes.min(self.cpu.threads_total).max(1);
+        let stim_per_instance = n_stimulus.div_ceil(instances) as u64;
+        let slowdown = 1.0 + self.cpu.contention * (instances.saturating_sub(1)) as f64;
+        self.cpu.fork_startup_ns
+            + ((stim_per_instance * cycles * self.cycle_time(work, activity, comb_blocks)) as f64 * slowdown)
+                as Time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use designs::Benchmark;
+
+    fn work() -> DesignWork {
+        let d = Benchmark::RiscvMini.elaborate().unwrap();
+        let g = RtlGraph::build(&d).unwrap();
+        DesignWork::measure(&d, &g)
+    }
+
+    #[test]
+    fn work_measures_positive() {
+        let w = work();
+        assert!(w.comb_ops > 100);
+        assert!(w.critical_ops > 0 && w.critical_ops <= w.comb_ops);
+        assert!(w.seq_ops > 0);
+        assert!(w.levels >= 2);
+        assert!(w.input_lanes >= 2);
+    }
+
+    #[test]
+    fn threads_help_big_designs_but_plateau() {
+        // A large synthetic design where per-pass work dwarfs sync cost.
+        let w = DesignWork {
+            comb_ops: 1_000_000,
+            critical_ops: 20_000,
+            seq_ops: 100_000,
+            levels: 12,
+            input_lanes: 8,
+        };
+        let t = |threads| VerilatorModel { threads, processes: 1, cpu: CpuModel::default() }.cycle_time(&w);
+        assert!(t(8) < t(1) / 4, "8 threads should win big: {} vs {}", t(1), t(8));
+        // Strong scaling is sublinear (paper §2.3: plateaus at 8-10 cores):
+        // 8x more threads must yield well under 4x more speed.
+        assert!(t(64) * 8 > t(8) * 2, "8->64 threads should be sublinear: {} vs {}", t(8), t(64));
+    }
+
+    #[test]
+    fn threads_hurt_tiny_designs() {
+        // riscv-mini is small: barrier costs swamp the per-level work,
+        // which is why the paper runs small designs with alpha=2 and 40
+        // forked processes instead of wide threading.
+        let w = work();
+        let t1 = VerilatorModel { threads: 1, processes: 1, cpu: CpuModel::default() }.cycle_time(&w);
+        let t8 = VerilatorModel { threads: 8, processes: 1, cpu: CpuModel::default() }.cycle_time(&w);
+        assert!(t8 > t1, "sync should dominate on a tiny design: {t1} vs {t8}");
+    }
+
+    #[test]
+    fn forked_processes_scale_weakly() {
+        let w = work();
+        let m1 = VerilatorModel { threads: 1, processes: 1, cpu: CpuModel::default() };
+        let m80 = VerilatorModel { threads: 1, processes: 80, cpu: CpuModel::default() };
+        // Long enough runs amortize the fork startup.
+        let r1 = m1.batch_runtime(&w, 8000, 10_000);
+        let r80 = m80.batch_runtime(&w, 8000, 10_000);
+        // Much faster, but far from the ideal 80x: memory contention
+        // between instances caps it (Figure 12's 17.4x at 80 threads).
+        assert!(r1 > r80 * 10, "80 processes should be much faster: {r1} vs {r80}");
+        assert!(r1 < r80 * 40, "contention should keep scaling below 40x: {r1} vs {r80}");
+        // Short runs are startup-bound: the gap shrinks.
+        let s1 = m1.batch_runtime(&w, 80, 10);
+        let s80 = m80.batch_runtime(&w, 80, 10);
+        assert!(s1 < s80 * 80, "startup should bound short runs");
+    }
+
+    #[test]
+    fn process_threads_capped_by_hardware() {
+        let w = work();
+        // 80 processes x 8 threads can't exist on 80 hardware threads:
+        // capped at 10 instances.
+        let m = VerilatorModel { threads: 8, processes: 80, cpu: CpuModel::default() };
+        let capped = m.batch_runtime(&w, 80, 10);
+        let ten = VerilatorModel { threads: 8, processes: 10, cpu: CpuModel::default() }.batch_runtime(&w, 80, 10);
+        assert_eq!(capped, ten);
+    }
+
+    #[test]
+    fn essent_wins_at_low_activity() {
+        let w = work();
+        let e = EssentModel::default();
+        let quiet = e.cycle_time(&w, 0.1, 40);
+        let busy = e.cycle_time(&w, 1.0, 40);
+        assert!(quiet < busy / 3);
+    }
+}

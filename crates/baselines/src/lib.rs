@@ -1,0 +1,25 @@
+//! CPU baseline simulators and their platform timing models.
+//!
+//! The paper compares RTLflow against:
+//!
+//! * **Verilator** — a full-cycle, transpile-to-C++ simulator that
+//!   partitions the RTL graph into macro tasks and runs them on multiple
+//!   threads with a static schedule; batch stimulus are handled by
+//!   *forking multiple processes*. [`verilator::VerilatorSim`] is the
+//!   bit-exact functional analogue; [`cpu_model::VerilatorModel`] is the
+//!   virtual 80-thread Xeon it "runs" on.
+//! * **ESSENT** — a single-threaded event-driven simulator that skips
+//!   inactive logic. [`essent::EssentSim`] implements the conditional
+//!   evaluation (with measured activity factors feeding its model).
+//!
+//! Both functional engines are validated against `rtlir::Interp` and the
+//! transpiled GPU kernels: every engine must produce identical output
+//! digests for identical stimulus.
+
+pub mod cpu_model;
+pub mod essent;
+pub mod verilator;
+
+pub use cpu_model::{CpuModel, EssentModel, VerilatorModel};
+pub use essent::EssentSim;
+pub use verilator::VerilatorSim;

@@ -1,0 +1,51 @@
+//! Per-cycle functional cost of the three execution engines on the same
+//! batch: Verilator-like (per-stimulus straight-line), ESSENT-like
+//! (event-driven) and the SIMT batch executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasim::Scratch;
+use rtlflow::{Benchmark, EssentSim, Flow, PortMap, RiscvSource, VerilatorSim};
+use stimulus::StimulusSource;
+
+fn bench_engines(c: &mut Criterion) {
+    let design = Benchmark::RiscvMini.elaborate().unwrap();
+    let map = PortMap::from_design(&design);
+    let n = 32;
+    let src = RiscvSource::new(&map, n, 7);
+
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(10);
+
+    g.bench_function("verilator_like/cycle", |bench| {
+        let mut vsim = VerilatorSim::new(&design, n).unwrap();
+        bench.iter(|| vsim.step_cycle(&map, &src))
+    });
+
+    g.bench_function("essent_like/cycle", |bench| {
+        let mut esim = EssentSim::new(&design, n).unwrap();
+        bench.iter(|| esim.step_cycle(&map, &src))
+    });
+
+    g.bench_function("simt_batch/cycle", |bench| {
+        let flow = Flow::from_benchmark(Benchmark::RiscvMini).unwrap();
+        let mut dev = flow.program.plan.alloc_device(n);
+        let mut scratch = Scratch::new();
+        let mut frame = vec![0u64; map.len()];
+        let mut cycle = 0u64;
+        bench.iter(|| {
+            for s in 0..n {
+                src.fill_frame(s, cycle, &mut frame);
+                for (lane, port) in map.ports.iter().enumerate() {
+                    flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
+                }
+            }
+            flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+            cycle += 1;
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

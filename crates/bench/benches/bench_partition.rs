@@ -1,0 +1,39 @@
+//! Partitioning costs: the static (hard-coded-weight) partitioner and
+//! one MCMC estimator evaluation (compile + timed run of a candidate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasim::GpuModel;
+use partition::{estimate_cost, static_partition};
+use rtlflow::Benchmark;
+use rtlir::RtlGraph;
+
+fn bench_partition(c: &mut Criterion) {
+    let design = Benchmark::Spinal.elaborate().unwrap();
+    let graph = RtlGraph::build(&design).unwrap();
+    let model = GpuModel::default();
+
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(10);
+
+    g.bench_function("static/spinal", |bench| {
+        bench.iter(|| static_partition(&design, &graph, 8))
+    });
+
+    let part = static_partition(&design, &graph, 8);
+    g.bench_function("mcmc_estimate/spinal_256x64", |bench| {
+        bench.iter(|| estimate_cost(&design, &graph, &part, &model, 256, 64).unwrap())
+    });
+
+    // The NVDLA-scale estimator call (dominant MCMC cost in Table 3).
+    let nvdla = Benchmark::Nvdla(designs::NvdlaScale::HwSmall).elaborate().unwrap();
+    let ngraph = RtlGraph::build(&nvdla).unwrap();
+    let npart = static_partition(&nvdla, &ngraph, 8);
+    g.bench_function("mcmc_estimate/nvdla_256x64", |bench| {
+        bench.iter(|| estimate_cost(&nvdla, &ngraph, &npart, &model, 256, 64).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

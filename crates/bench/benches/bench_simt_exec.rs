@@ -1,0 +1,39 @@
+//! Functional SIMT executor throughput: simulated stimulus-cycles per
+//! second across batch sizes (the host-side cost of our "GPU").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cudasim::Scratch;
+use rtlflow::{Benchmark, Flow, PortMap, RiscvSource};
+use stimulus::StimulusSource;
+
+fn bench_exec(c: &mut Criterion) {
+    let flow = Flow::from_benchmark(Benchmark::RiscvMini).unwrap();
+    let map = PortMap::from_design(&flow.design);
+
+    let mut g = c.benchmark_group("simt_exec");
+    g.sample_size(10);
+    for &n in &[64usize, 1024] {
+        let src = RiscvSource::new(&map, n, 42);
+        let mut dev = flow.program.plan.alloc_device(n);
+        let mut scratch = Scratch::new();
+        let mut frame = vec![0u64; map.len()];
+        let mut cycle = 0u64;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("riscv_mini/cycle/n{n}"), |bench| {
+            bench.iter(|| {
+                for s in 0..n {
+                    src.fill_frame(s, cycle, &mut frame);
+                    for (lane, port) in map.ports.iter().enumerate() {
+                        flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
+                    }
+                }
+                flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+                cycle += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Transpilation throughput (Table 1's `T_trans` column, measured for
+//! real): parse + elaborate + lower + emit for each benchmark design.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtlflow::{Benchmark, Flow, NvdlaScale};
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpile");
+    g.sample_size(10);
+    for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
+        let src = b.source();
+        g.bench_function(format!("flow_build/{}", b.name()), |bench| {
+            bench.iter_batched(
+                || src.clone(),
+                |s| Flow::from_verilog(&s, b.top()).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("emit_cuda/{}", b.name()), |bench| {
+            let design = b.elaborate().unwrap();
+            let program = transpile::transpile(&design).unwrap();
+            bench.iter(|| rtlflow::emit_cuda(&design, &program))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transpile);
+criterion_main!(benches);

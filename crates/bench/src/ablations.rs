@@ -1,0 +1,168 @@
+//! Ablation studies over the reproduction's own design choices —
+//! sensitivity of the headline results to the knobs DESIGN.md calls out.
+
+use cudasim::GpuModel;
+use desim::fmt_duration;
+use pipeline::PipelineConfig;
+use rtlflow::{Benchmark, NvdlaScale, PortMap};
+use rtlir::RtlGraph;
+use transpile::KernelProgram;
+
+use crate::{flow_for, rtlflow_runtime};
+
+/// Ablation A: stimulus group size (§3.2.3 suggests 256–1024).
+///
+/// Too-small groups pay per-launch overheads; too-large groups lose
+/// CPU/GPU overlap. The sweet spot should sit in the paper's range.
+pub fn ablation_group_size() -> String {
+    let model = GpuModel::default();
+    let flow = flow_for(Benchmark::Spinal);
+    let lanes = PortMap::from_design(&flow.design).len();
+    let (n, cycles) = (16384usize, 10_000u64);
+    let mut out = String::from("Ablation A: group size (Spinal, 16384 stimulus, 10K cycles)\n");
+    for group in [64usize, 256, 1024, 4096, 16384] {
+        let cfg = PipelineConfig { group_size: group, ..Default::default() };
+        let t = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
+        out.push_str(&format!("  group {:>6}: {}\n", group, fmt_duration(t)));
+    }
+    out
+}
+
+/// Ablation B: GPU cache-hit sensitivity — how much of the NVDLA speed-up
+/// depends on the modeled on-chip reuse of signal traffic.
+pub fn ablation_cache_hit() -> String {
+    let flow = flow_for(Benchmark::Nvdla(NvdlaScale::HwSmall));
+    let lanes = PortMap::from_design(&flow.design).len();
+    let (n, cycles) = (16384usize, 10_000u64);
+    let mut out = String::from("Ablation B: GPU cache-hit rate (NVDLA, 16384 stimulus, 10K cycles)\n");
+    for hit in [0.5, 0.75, 0.9, 0.95] {
+        let model = GpuModel { cache_hit: hit, ..GpuModel::default() };
+        let cuda = cudasim::CudaGraph::instantiate(flow.program.graph.clone(), &model).unwrap();
+        let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
+        let t = rtlflow_runtime(&flow.program, &cuda, lanes, n, cycles, &cfg, &model);
+        out.push_str(&format!("  cache_hit {hit:.2}: {}\n", fmt_duration(t)));
+    }
+    out
+}
+
+/// Ablation C: partition granularity — runtime vs number of tasks, the
+/// axis the MCMC search optimizes over.
+pub fn ablation_partition_granularity() -> String {
+    let model = GpuModel::default();
+    let b = Benchmark::Nvdla(NvdlaScale::HwSmall);
+    let design = b.elaborate().unwrap();
+    let graph = RtlGraph::build(&design).unwrap();
+    let lanes = design.inputs.len();
+    let (n, cycles) = (4096usize, 10_000u64);
+    let mut out = String::from("Ablation C: partition granularity (NVDLA, 4096 stimulus, 10K cycles)\n");
+    for target in [8usize, 24, 64, 256, 1024] {
+        let total: f64 = graph.comb_order.iter().map(|&nd| graph.nodes[nd].cost as f64).sum();
+        let threshold = (total / target as f64).max(1.0);
+        let part = partition::pack_by_weight(&graph, |nd| graph.nodes[nd].cost as f64, threshold);
+        let program = KernelProgram::build(&design, &graph, &part).unwrap();
+        let cuda = cudasim::CudaGraph::instantiate(program.graph.clone(), &model).unwrap();
+        let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
+        let t = rtlflow_runtime(&program, &cuda, lanes, n, cycles, &cfg, &model);
+        out.push_str(&format!(
+            "  target {:>5} -> {:>4} tasks, {:>3} kernels/cycle: {}\n",
+            target,
+            part.len(),
+            program.graph.kernels.len(),
+            fmt_duration(t)
+        ));
+    }
+    out
+}
+
+/// Ablation D: host threads available to `set_inputs` — when does the
+/// CPU side become the pipeline bottleneck?
+pub fn ablation_host_threads() -> String {
+    let model = GpuModel::default();
+    let flow = flow_for(Benchmark::Spinal);
+    let lanes = PortMap::from_design(&flow.design).len();
+    let (n, cycles) = (65536usize, 10_000u64);
+    let mut out = String::from("Ablation D: host threads for set_inputs (Spinal, 65536 stimulus, 10K cycles)\n");
+    for threads in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = PipelineConfig {
+            group_size: 1024,
+            host: pipeline::HostModel { threads, ..Default::default() },
+            ..Default::default()
+        };
+        let t = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
+        out.push_str(&format!("  {threads:>2} threads: {}\n", fmt_duration(t)));
+    }
+    out
+}
+
+/// Ablation E: multi-GPU scale-out (the paper's future work) — sharding
+/// the batch across several modeled A6000s behind one 16-thread host.
+pub fn ablation_multi_gpu() -> String {
+    let model = GpuModel::default();
+    let flow = flow_for(Benchmark::Nvdla(NvdlaScale::HwSmall));
+    let lanes = PortMap::from_design(&flow.design).len();
+    let (n, cycles) = (65536usize, 10_000u64);
+    let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
+    let base = pipeline::model_batch_multi_gpu(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model, 1)
+        .makespan;
+    let mut out = String::from("Ablation E: multi-GPU scale-out (NVDLA, 65536 stimulus, 10K cycles)\n");
+    for gpus in [1usize, 2, 4, 8] {
+        let t = pipeline::model_batch_multi_gpu(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model, gpus)
+            .makespan;
+        out.push_str(&format!(
+            "  {gpus} GPU(s): {:>10}  ({:.2}x vs 1 GPU)\n",
+            fmt_duration(t),
+            base as f64 / t as f64
+        ));
+    }
+    out
+}
+
+/// All ablations.
+pub fn ablations() -> String {
+    let mut out = String::new();
+    for text in [
+        ablation_group_size(),
+        ablation_cache_hit(),
+        ablation_partition_granularity(),
+        ablation_host_threads(),
+        ablation_multi_gpu(),
+    ] {
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_size_sweep_has_interior_optimum_or_monotone() {
+        let text = ablation_group_size();
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn cache_hit_monotone_speedup() {
+        let flow = flow_for(Benchmark::Nvdla(NvdlaScale::Tiny));
+        let lanes = PortMap::from_design(&flow.design).len();
+        let times: Vec<u64> = [0.5, 0.9]
+            .iter()
+            .map(|&hit| {
+                let model = GpuModel { cache_hit: hit, ..GpuModel::default() };
+                let cuda = cudasim::CudaGraph::instantiate(flow.program.graph.clone(), &model).unwrap();
+                rtlflow_runtime(
+                    &flow.program,
+                    &cuda,
+                    lanes,
+                    4096,
+                    1_000,
+                    &PipelineConfig::default(),
+                    &model,
+                )
+            })
+            .collect();
+        assert!(times[1] <= times[0], "higher hit rate must not be slower: {times:?}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Dump per-design kernel statistics (model calibration aid).
+use cudasim::GpuModel;
+use rtlflow::{Benchmark, Flow, NvdlaScale, PortMap};
+
+fn main() {
+    for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
+        let flow = Flow::from_benchmark(b).unwrap();
+        let m = GpuModel::default();
+        let ks = &flow.program.graph.kernels;
+        let alu: u64 = ks.iter().map(|k| k.stats.alu_ops).sum();
+        let bytes: u64 = ks.iter().map(|k| k.stats.bytes).sum();
+        let gbytes: u64 = ks.iter().map(|k| k.stats.gather_bytes).sum();
+        let bt: u64 = ks.iter().map(|k| m.block_time(&k.stats)).sum();
+        println!(
+            "{:<12} kernels={:<4} alu/thread/cyc={:<7} bytes={:<7} gather_bytes={:<6} sum(block_time)={}us lanes={}",
+            b.name(), ks.len(), alu, bytes, gbytes, bt / 1000,
+            PortMap::from_design(&flow.design).len()
+        );
+    }
+}

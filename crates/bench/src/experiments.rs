@@ -1,0 +1,549 @@
+//! One function per table/figure of the paper.
+
+use baselines::cpu_model::{CpuModel, DesignWork, EssentModel, VerilatorModel};
+use baselines::EssentSim;
+use cudasim::{ExecMode, GpuModel};
+use desim::{fmt_duration, Time};
+use pipeline::{model_batch, PipelineConfig};
+use rtlflow::{
+    mcmc_partition, static_partition, Benchmark, Flow, McmcConfig, NvdlaScale, PortMap,
+};
+use rtlir::RtlGraph;
+use stimulus::source_for;
+
+use crate::{flow_for, fmt_speedup, rtlflow_runtime, Scale};
+
+/// The two large-design benchmarks of Tables 2-5.
+fn big_benchmarks() -> [Benchmark; 2] {
+    [Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)]
+}
+
+fn work_of(flow: &Flow) -> DesignWork {
+    DesignWork::measure(&flow.design, &flow.graph_info)
+}
+
+/// The paper's best-effort Verilator configuration per design (§4.1).
+fn verilator_model(b: Benchmark) -> VerilatorModel {
+    match b {
+        Benchmark::Nvdla(_) => VerilatorModel::paper_nvdla(),
+        _ => VerilatorModel::paper_small(),
+    }
+}
+
+fn pipeline_cfg(n: usize) -> PipelineConfig {
+    PipelineConfig { group_size: 1024.min(n.max(1)), ..Default::default() }
+}
+
+/// Best Verilator runtime across hand-tuned configurations on a machine
+/// with `cores` hardware threads (the paper tunes α / process counts per
+/// design; we take the min over the plausible layouts).
+fn best_verilator_runtime_on(
+    work: &DesignWork,
+    n: usize,
+    cycles: u64,
+    cores: usize,
+    base: &CpuModel,
+) -> Time {
+    let mut best = Time::MAX;
+    let mut consider = |threads: usize, processes: usize| {
+        if threads == 0 || processes == 0 {
+            return;
+        }
+        let m = VerilatorModel {
+            threads,
+            processes,
+            cpu: CpuModel { threads_total: cores, ..base.clone() },
+        };
+        best = best.min(m.batch_runtime(work, n, cycles));
+    };
+    consider(1, cores);
+    consider(cores.min(8), 1);
+    if cores >= 8 {
+        consider(8, cores / 8);
+    }
+    if cores >= 2 {
+        consider(2, cores / 2);
+    }
+    best
+}
+
+fn best_verilator_runtime(work: &DesignWork, n: usize, cycles: u64, cores: usize) -> Time {
+    best_verilator_runtime_on(work, n, cycles, cores, &CpuModel::default())
+}
+
+/// Measure the event-driven activity factor of a benchmark functionally.
+fn measured_activity(b: Benchmark) -> (f64, usize) {
+    let design = b.elaborate().unwrap();
+    let map = PortMap::from_design(&design);
+    let source = source_for(&design, &map, 4, 0xac7);
+    let mut esim = EssentSim::new(&design, 4).unwrap();
+    for _ in 0..200 {
+        esim.step_cycle(&map, source.as_ref());
+    }
+    let graph = RtlGraph::build(&design).unwrap();
+    (esim.activity(), graph.comb_order.len())
+}
+
+// ================================================================ Table 1
+
+/// Table 1: benchmark statistics and transpiled-code complexity.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: transpilation statistics (Verilator-style C++ vs RTLflow CUDA)\n");
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} | {:>8} {:>7} {:>9} {:>8} | {:>8} {:>7} {:>9} {:>8}\n",
+        "Design", "V-LOC", "#AST", "C++ LOC", "CC_avg", "#Tokens", "T_trans", "CUDA LOC", "CC_avg", "#Tokens", "T_trans"
+    ));
+    for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
+        let src = b.source();
+        let r = Flow::transpile_report(&src, b.top()).unwrap();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} | {:>8} {:>7.1} {:>9} {:>8} | {:>8} {:>7.1} {:>9} {:>8}\n",
+            b.name(),
+            r.verilog_loc,
+            r.ast_nodes,
+            r.cpp.loc,
+            r.cpp.cc_avg,
+            r.cpp.tokens,
+            format!("{:?}", std::time::Duration::from_millis(r.t_trans.as_millis() as u64)),
+            r.cuda.loc,
+            r.cuda.cc_avg,
+            r.cuda.tokens,
+            format!("{:?}", std::time::Duration::from_millis(r.t_trans.as_millis() as u64)),
+        ));
+    }
+    out
+}
+
+// ================================================================ Table 2
+
+/// Table 2: Verilator (80 CPU threads) vs RTLflow (one A6000) across
+/// batch sizes and cycle counts.
+pub fn table2(scale: Scale) -> String {
+    let model = GpuModel::default();
+    let stim_counts: &[usize] =
+        if scale.fast { &[256, 4096, 65536] } else { &[256, 1024, 4096, 16384, 65536] };
+    let cycle_counts: &[u64] = if scale.fast { &[10_000] } else { &[10_000, 100_000, 500_000] };
+
+    let mut out = String::new();
+    out.push_str("Table 2: elapsed simulation time, Verilator(80T) vs RTLflow(A6000)\n");
+    out.push_str(&format!(
+        "{:<8} {:>9} | {:>12} {:>12} {:>9}\n",
+        "Design", "#stim", "Verilator", "RTLflow", "Speed-up"
+    ));
+    for b in big_benchmarks() {
+        let flow = flow_for(b);
+        let work = work_of(&flow);
+        let vm = verilator_model(b);
+        let lanes = PortMap::from_design(&flow.design).len();
+        for &cycles in cycle_counts {
+            out.push_str(&format!("-- {} cycles --\n", cycles));
+            for &n in stim_counts {
+                let cpu = vm.batch_runtime(&work, n, cycles);
+                let gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &pipeline_cfg(n), &model);
+                out.push_str(&format!(
+                    "{:<8} {:>9} | {:>12} {:>12} {:>9}\n",
+                    b.name(),
+                    n,
+                    fmt_duration(cpu),
+                    fmt_duration(gpu),
+                    fmt_speedup(cpu, gpu)
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ================================================================ Table 3
+
+/// Table 3: RTLflow with vs without the GPU-aware MCMC partitioning.
+pub fn table3(scale: Scale) -> String {
+    let model = GpuModel::default();
+    let b = Benchmark::Nvdla(NvdlaScale::HwSmall);
+    let design = b.elaborate().unwrap();
+    let graph = RtlGraph::build(&design).unwrap();
+    let lanes = design.inputs.len();
+
+    // RTLflow¬g: the hard-coded-weight (Verilator-style) partition.
+    let static_part = static_partition(&design, &graph, 8);
+    let prog_static = transpile::KernelProgram::build(&design, &graph, &static_part).unwrap();
+    let cuda_static = cudasim::CudaGraph::instantiate(prog_static.graph.clone(), &model).unwrap();
+
+    // RTLflow: MCMC (paper: 150 iterations, candidates evaluated with 256
+    // stimulus / 3K cycles).
+    let cfg = McmcConfig {
+        max_iters: if scale.fast { 12 } else { 150 },
+        max_unimproved: if scale.fast { 8 } else { 30 },
+        sample_stimulus: 256,
+        sample_cycles: if scale.fast { 256 } else { 3_000 },
+        ..Default::default()
+    };
+    let mcmc = mcmc_partition(&design, &graph, &model, &cfg).unwrap();
+    let prog_mcmc = transpile::KernelProgram::build(&design, &graph, &mcmc.partition).unwrap();
+    let cuda_mcmc = cudasim::CudaGraph::instantiate(prog_mcmc.graph.clone(), &model).unwrap();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 3: NVDLA, RTLflow¬g (static weights, {} tasks) vs RTLflow (MCMC, {} tasks, {} iters)\n",
+        static_part.len(),
+        mcmc.partition.len(),
+        mcmc.iters
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>9} | {:>12} {:>12} {:>8}\n",
+        "#cycles", "#stim", "RTLflow-g", "RTLflow", "improv"
+    ));
+    for &cycles in &[10_000u64, 50_000, 100_000] {
+        for &n in &[4096usize, 16384] {
+            let cfg_run = pipeline_cfg(n);
+            let t_static = rtlflow_runtime(&prog_static, &cuda_static, lanes, n, cycles, &cfg_run, &model);
+            let t_mcmc = rtlflow_runtime(&prog_mcmc, &cuda_mcmc, lanes, n, cycles, &cfg_run, &model);
+            let improv = (t_static as f64 / t_mcmc.max(1) as f64 - 1.0) * 100.0;
+            out.push_str(&format!(
+                "{:>8} {:>9} | {:>12} {:>12} {:>7.1}%\n",
+                cycles,
+                n,
+                fmt_duration(t_static),
+                fmt_duration(t_mcmc),
+                improv
+            ));
+        }
+    }
+    out
+}
+
+// ================================================================ Table 4
+
+/// Table 4: CUDA Graph vs stream-based execution (4096 stimulus).
+pub fn table4() -> String {
+    let model = GpuModel::default();
+    let n = 4096;
+    let mut out = String::new();
+    out.push_str("Table 4: stream-based vs CUDA Graph execution, 4096 stimulus\n");
+    out.push_str(&format!(
+        "{:<8} {:>8} | {:>12} {:>12} {:>8}\n",
+        "Design", "#cycles", "stream", "CUDA Graph", "factor"
+    ));
+    for b in big_benchmarks() {
+        let flow = flow_for(b);
+        let lanes = PortMap::from_design(&flow.design).len();
+        for &cycles in &[10_000u64, 100_000, 500_000] {
+            let graph_cfg = pipeline_cfg(n);
+            let stream_cfg = PipelineConfig { mode: ExecMode::Stream { streams: 4 }, ..graph_cfg.clone() };
+            let t_stream = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &stream_cfg, &model);
+            let t_graph = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &graph_cfg, &model);
+            out.push_str(&format!(
+                "{:<8} {:>8} | {:>12} {:>12} {:>8}\n",
+                b.name(),
+                cycles,
+                fmt_duration(t_stream),
+                fmt_duration(t_graph),
+                fmt_speedup(t_stream, t_graph)
+            ));
+        }
+    }
+    out
+}
+
+// ================================================================ Table 5
+
+/// Table 5: RTLflow with vs without pipeline scheduling (100K cycles).
+pub fn table5() -> String {
+    let model = GpuModel::default();
+    let cycles = 100_000;
+    let mut out = String::new();
+    out.push_str("Table 5: RTLflow¬p (barrier, parallel set_inputs) vs RTLflow (pipelined), 100K cycles\n");
+    out.push_str(&format!(
+        "{:<8} {:>9} | {:>12} {:>12} {:>8}\n",
+        "Design", "#stim", "RTLflow-p", "RTLflow", "improv"
+    ));
+    for b in big_benchmarks() {
+        let flow = flow_for(b);
+        let lanes = PortMap::from_design(&flow.design).len();
+        for &n in &[4096usize, 16384, 65536] {
+            let piped_cfg = pipeline_cfg(n);
+            let barrier_cfg = PipelineConfig { pipelined: false, ..piped_cfg.clone() };
+            let t_barrier = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &barrier_cfg, &model);
+            let t_piped = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &piped_cfg, &model);
+            let improv = (t_barrier as f64 / t_piped.max(1) as f64 - 1.0) * 100.0;
+            out.push_str(&format!(
+                "{:<8} {:>9} | {:>12} {:>12} {:>7.1}%\n",
+                b.name(),
+                n,
+                fmt_duration(t_barrier),
+                fmt_duration(t_piped),
+                improv
+            ));
+        }
+    }
+    out
+}
+
+// ================================================================ Figure 2
+
+/// Figure 2: runtime breakdown (set_inputs vs evaluate) and GPU
+/// utilization without pipelining, as batch size grows.
+pub fn fig2() -> String {
+    let model = GpuModel::default();
+    let flow = flow_for(Benchmark::Nvdla(NvdlaScale::HwSmall));
+    let lanes = PortMap::from_design(&flow.design).len();
+    let mut out = String::new();
+    out.push_str("Figure 2: per-cycle breakdown without pipelining (NVDLA)\n");
+    out.push_str(&format!(
+        "{:>9} | {:>14} {:>16} {:>10}\n",
+        "#stim", "set_inputs/cyc", "evaluate/cyc", "GPU util"
+    ));
+    for &n in &[1024usize, 4096, 16384] {
+        let cfg = PipelineConfig { pipelined: false, ..pipeline_cfg(n) };
+        let cycles = 64;
+        let r = model_batch(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
+        // Wall-clock critical-path share of set_inputs per cycle: the
+        // parallel set_inputs phase occupies all host threads.
+        let set_wall = r.set_inputs_busy / cfg.host.threads as Time / cycles;
+        let eval_wall = (r.makespan / cycles).saturating_sub(set_wall);
+        out.push_str(&format!(
+            "{:>9} | {:>12}us {:>14}us {:>9.0}%\n",
+            n,
+            set_wall / 1_000,
+            eval_wall / 1_000,
+            r.gpu_utilization * 100.0
+        ));
+    }
+    out
+}
+
+// ================================================================ Figure 12
+
+/// Figure 12: NVDLA, 16384 stimulus, 10K cycles across platforms.
+pub fn fig12() -> String {
+    let model = GpuModel::default();
+    let b = Benchmark::Nvdla(NvdlaScale::HwSmall);
+    let flow = flow_for(b);
+    let work = work_of(&flow);
+    let lanes = PortMap::from_design(&flow.design).len();
+    let (n, cycles) = (16384usize, 10_000u64);
+
+    // Best CPU configuration per core budget: pure processes, pure
+    // threads, or hybrid (what the paper tunes by hand).
+    let cpu_time = |cores: usize| -> Time { best_verilator_runtime(&work, n, cycles, cores) };
+
+    let base = cpu_time(1);
+    let mut out = String::new();
+    out.push_str("Figure 12: NVDLA, 16384 stimulus, 10K cycles\n");
+    for cores in [1usize, 4, 16, 40, 80] {
+        let t = cpu_time(cores);
+        out.push_str(&format!(
+            "{:>10} | {:>12}  {:>8} speed-up\n",
+            format!("{cores} CPU"),
+            fmt_duration(t),
+            fmt_speedup(base, t)
+        ));
+    }
+    let gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &pipeline_cfg(n), &model);
+    out.push_str(&format!(
+        "{:>10} | {:>12}  {:>8} speed-up (RTLflow)\n",
+        "1 A6000",
+        fmt_duration(gpu),
+        fmt_speedup(base, gpu)
+    ));
+    out
+}
+
+// ================================================================ Figure 13
+
+/// Figure 13: runtime growth over batch size on riscv-mini (10K cycles).
+pub fn fig13(scale: Scale) -> String {
+    let model = GpuModel::default();
+    let b = Benchmark::RiscvMini;
+    let flow = flow_for(b);
+    let work = work_of(&flow);
+    let lanes = PortMap::from_design(&flow.design).len();
+    let cycles = 10_000;
+
+    let (activity, blocks) = measured_activity(b);
+    // riscv-mini stimulus is generated by scripts in memory (no testbench
+    // file parsing), so its per-frame `set_inputs` cost is far below the
+    // file-driven NVDLA/Spinal flows — for every simulator.
+    let cheap_io = CpuModel { set_input_lane_ns: 25, ..CpuModel::default() };
+    let em = EssentModel { cpu: cheap_io.clone(), ..EssentModel::default() };
+    let host = pipeline::HostModel { lane_ns: 25, ..Default::default() };
+
+    let exps: Vec<u32> = if scale.fast { vec![1, 7, 13, 19] } else { (1..=19).step_by(3).collect() };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 13: riscv-mini, 10K cycles (measured ESSENT activity {activity:.2})\n"
+    ));
+    out.push_str(&format!(
+        "{:>9} | {:>12} {:>12} {:>12}\n",
+        "#stim", "Verilator", "ESSENT", "RTLflow"
+    ));
+    let mut crossover: Option<usize> = None;
+    for &e in &exps {
+        let n = 1usize << e;
+        let t_ver = best_verilator_runtime_on(&work, n, cycles, 80, &cheap_io);
+        let t_ess = em.batch_runtime(&work, activity, blocks, n, cycles);
+        // Tiny design + cheap in-memory stimulus: one big group maximizes
+        // GPU throughput (grouping exists to overlap expensive set_inputs,
+        // which riscv-mini does not have).
+        let cfg = PipelineConfig { host: host.clone(), group_size: n, ..Default::default() };
+        let t_gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
+        if crossover.is_none() && t_gpu < t_ver.min(t_ess) {
+            crossover = Some(n);
+        }
+        out.push_str(&format!(
+            "{:>9} | {:>12} {:>12} {:>12}\n",
+            n,
+            fmt_duration(t_ver),
+            fmt_duration(t_ess),
+            fmt_duration(t_gpu)
+        ));
+    }
+    if let Some(c) = crossover {
+        out.push_str(&format!("break-even: RTLflow fastest from {c} stimulus\n"));
+    }
+    out
+}
+
+// ================================================================ Figure 14
+
+/// Figure 14: task-graph shape with vs without GPU-aware partitioning
+/// (kernel concurrency per level, plus DOT export).
+pub fn fig14(scale: Scale) -> String {
+    let model = GpuModel::default();
+    let b = Benchmark::Spinal;
+    let design = b.elaborate().unwrap();
+    let graph = RtlGraph::build(&design).unwrap();
+
+    let static_part = static_partition(&design, &graph, 8);
+    let prog_static = transpile::KernelProgram::build(&design, &graph, &static_part).unwrap();
+
+    let cfg = McmcConfig {
+        max_iters: if scale.fast { 10 } else { 80 },
+        max_unimproved: 20,
+        sample_stimulus: 128,
+        sample_cycles: 64,
+        ..Default::default()
+    };
+    let mcmc = mcmc_partition(&design, &graph, &model, &cfg).unwrap();
+    let prog_mcmc = transpile::KernelProgram::build(&design, &graph, &mcmc.partition).unwrap();
+
+    let widths_static = prog_static.graph.level_widths();
+    let widths_mcmc = prog_mcmc.graph.level_widths();
+    let avg = |w: &[usize]| w.iter().sum::<usize>() as f64 / w.len().max(1) as f64;
+
+    // DOT export of the partitioned task graphs.
+    let dir = std::path::Path::new("target/repro");
+    let _ = std::fs::create_dir_all(dir);
+    let dot = |prog: &transpile::KernelProgram| {
+        let mut s = String::from("digraph tasks {\n");
+        for (i, k) in prog.graph.kernels.iter().enumerate() {
+            s.push_str(&format!("  t{i} [label=\"{}\"];\n", k.name));
+        }
+        for (k, deps) in prog.graph.deps.iter().enumerate() {
+            for &p in deps {
+                s.push_str(&format!("  t{p} -> t{k};\n"));
+            }
+        }
+        s.push_str("}\n");
+        s
+    };
+    let _ = std::fs::write(dir.join("fig14_static.dot"), dot(&prog_static));
+    let _ = std::fs::write(dir.join("fig14_mcmc.dot"), dot(&prog_mcmc));
+
+    let mut out = String::new();
+    out.push_str("Figure 14: Spinal task graphs (kernels per level = kernel concurrency)\n");
+    out.push_str(&format!(
+        "  static weights : {} tasks, widths {:?}, avg width {:.2}\n",
+        static_part.len(),
+        widths_static,
+        avg(&widths_static)
+    ));
+    out.push_str(&format!(
+        "  GPU-aware MCMC : {} tasks, widths {:?}, avg width {:.2}\n",
+        mcmc.partition.len(),
+        widths_mcmc,
+        avg(&widths_mcmc)
+    ));
+    out.push_str("  DOT files: target/repro/fig14_static.dot, target/repro/fig14_mcmc.dot\n");
+    out
+}
+
+// ================================================================ Figure 15
+
+/// Figure 15: GPU utilization vs batch size, with and without pipelining.
+pub fn fig15() -> String {
+    let model = GpuModel::default();
+    let mut out = String::new();
+    out.push_str("Figure 15: GPU utilization (10K-cycle steady state sampled over 64 cycles)\n");
+    out.push_str(&format!(
+        "{:<8} {:>9} | {:>10} {:>12}\n",
+        "Design", "#stim", "RTLflow", "RTLflow-p"
+    ));
+    for b in big_benchmarks() {
+        let flow = flow_for(b);
+        let lanes = PortMap::from_design(&flow.design).len();
+        for e in [12u32, 14, 16] {
+            let n = 1usize << e;
+            let piped_cfg = pipeline_cfg(n);
+            let barrier_cfg = PipelineConfig { pipelined: false, ..piped_cfg.clone() };
+            let piped = model_batch(&flow.program, &flow.cuda, lanes, n, 64, &piped_cfg, &model);
+            let barrier = model_batch(&flow.program, &flow.cuda, lanes, n, 64, &barrier_cfg, &model);
+            out.push_str(&format!(
+                "{:<8} {:>9} | {:>9.0}% {:>11.0}%\n",
+                b.name(),
+                n,
+                piped.gpu_utilization * 100.0,
+                barrier.gpu_utilization * 100.0
+            ));
+        }
+    }
+    out
+}
+
+// ================================================================ Figure 16
+
+/// Figure 16: CPU/GPU busy timeline snapshot with vs without pipelining.
+pub fn fig16() -> String {
+    let model = GpuModel::default();
+    let flow = flow_for(Benchmark::Nvdla(NvdlaScale::HwSmall));
+    let lanes = PortMap::from_design(&flow.design).len();
+    let n = 4096;
+    let mut out = String::new();
+    for (label, pipelined) in [("without pipeline scheduling", false), ("with pipeline scheduling", true)] {
+        let cfg = PipelineConfig { pipelined, group_size: 512, ..Default::default() };
+        let r = model_batch(&flow.program, &flow.cuda, lanes, n, 12, &cfg, &model);
+        let end = r.makespan;
+        let start = end / 3; // skip the fill phase
+        out.push_str(&format!("Figure 16 ({label}):\n"));
+        out.push_str(&r.trace.ascii_timeline(start, end, 100));
+        out.push_str(&format!(
+            "  GPU utilization {:.0}%\n\n",
+            r.gpu_utilization * 100.0
+        ));
+    }
+    out
+}
+
+/// Run every experiment, returning one combined report.
+pub fn all(scale: Scale) -> String {
+    let mut out = String::new();
+    for (name, text) in [
+        ("table1", table1()),
+        ("table2", table2(scale)),
+        ("table3", table3(scale)),
+        ("table4", table4()),
+        ("table5", table5()),
+        ("fig2", fig2()),
+        ("fig12", fig12()),
+        ("fig13", fig13(scale)),
+        ("fig14", fig14(scale)),
+        ("fig15", fig15()),
+        ("fig16", fig16()),
+    ] {
+        out.push_str(&format!("==================== {name} ====================\n"));
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,248 @@
+//! `rtlflow` — command-line front door to the flow.
+//!
+//! ```sh
+//! rtlflow transpile design.v --top cpu --emit cuda -o cpu.cu
+//! rtlflow simulate design.v --top cpu -n 4096 -c 10000
+//! rtlflow simulate --benchmark riscv-mini -n 1024 -c 1000
+//! rtlflow coverage design.v --top cpu -n 256 -c 500
+//! rtlflow vcd design.v --top cpu -c 200 -o wave.vcd
+//! rtlflow graph design.v --top cpu          # RTL graph as Graphviz DOT
+//! ```
+
+use std::process::exit;
+
+use rtlflow::{fmt_duration, Benchmark, Flow, NvdlaScale, PipelineConfig, PortMap};
+use transpile::ToggleCoverage;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rtlflow <command> [args]\n\
+         commands:\n\
+           transpile <file.v> --top <module> [--emit cuda|cpp] [-o <path>]\n\
+           simulate  (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>] [-c <cycles>]\n\
+                     [--seed <u64>] [--group <size>] [--no-pipeline] [--streams <k>] [--verify <count>]\n\
+           coverage  (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>] [-c <cycles>] [--seed <u64>]\n\
+           vcd       <file.v> --top <module> [-c <cycles>] [--seed <u64>] [-o <path>]\n\
+           graph     <file.v> --top <module> [-o <path>]\n\
+           benchmarks\n"
+    );
+    exit(2)
+}
+
+/// Minimal argument cracker: positionals + `--flag [value]` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1)) {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with('-')).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{name}: `{v}`");
+                exit(2)
+            }),
+        }
+    }
+}
+
+fn benchmark_by_name(name: &str) -> Benchmark {
+    match name {
+        "riscv-mini" | "riscv_mini" => Benchmark::RiscvMini,
+        "spinal" | "Spinal" => Benchmark::Spinal,
+        "nvdla" | "NVDLA" => Benchmark::Nvdla(NvdlaScale::HwSmall),
+        "nvdla-small" => Benchmark::Nvdla(NvdlaScale::Small),
+        "nvdla-tiny" => Benchmark::Nvdla(NvdlaScale::Tiny),
+        other => {
+            eprintln!("unknown benchmark `{other}` (see `rtlflow benchmarks`)");
+            exit(2)
+        }
+    }
+}
+
+fn load_flow(args: &Args) -> Flow {
+    if let Some(b) = args.get("benchmark") {
+        return Flow::from_benchmark(benchmark_by_name(b)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+    }
+    let Some(path) = args.positional.get(1) else { usage() };
+    let Some(top) = args.get("top") else {
+        eprintln!("--top <module> is required with a Verilog file");
+        exit(2)
+    };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    Flow::from_verilog(&src, top).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    })
+}
+
+fn write_out(args: &Args, default_name: &str, content: &str) {
+    match args.get("o") {
+        Some(path) => {
+            std::fs::write(path, content).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!("wrote {path}");
+        }
+        None if args.has("o") => usage(),
+        None => {
+            if content.len() > 200_000 {
+                let path = default_name;
+                std::fs::write(path, content).unwrap();
+                eprintln!("large output written to {path}");
+            } else {
+                println!("{content}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let args = Args::parse(&raw);
+    match raw[0].as_str() {
+        "benchmarks" => {
+            println!("riscv-mini   single-cycle RV32I-subset core");
+            println!("spinal       3-stage pipelined core with forwarding + branch prediction");
+            println!("nvdla        deep-learning accelerator, hw_small scale (8x8x4 PEs)");
+            println!("nvdla-small  4x4x2 PEs");
+            println!("nvdla-tiny   2x2x1 PEs");
+        }
+        "transpile" => {
+            let flow = load_flow(&args);
+            let (text, metrics) = match args.get("emit").unwrap_or("cuda") {
+                "cpp" => rtlflow::emit_cpp(&flow.design),
+                _ => rtlflow::emit_cuda(&flow.design, &flow.program),
+            };
+            eprintln!(
+                "{}: {} LoC, {} tokens, CC_avg {:.1}, {} kernels/cycle",
+                flow.design.name,
+                metrics.loc,
+                metrics.tokens,
+                metrics.cc_avg,
+                flow.cuda.len()
+            );
+            write_out(&args, "out.cu", &text);
+        }
+        "simulate" => {
+            let flow = load_flow(&args);
+            let n: usize = args.num("n", 1024);
+            let cycles: u64 = args.num("c", 1000);
+            let seed: u64 = args.num("seed", 1);
+            let map = PortMap::from_design(&flow.design);
+            let source = stimulus::source_for(&flow.design, &map, n, seed);
+            let cfg = PipelineConfig {
+                group_size: args.num("group", 1024.min(n)),
+                pipelined: !args.has("no-pipeline"),
+                mode: match args.get("streams") {
+                    Some(s) => rtlflow::ExecMode::Stream { streams: s.parse().unwrap_or(4) },
+                    None => rtlflow::ExecMode::Graph,
+                },
+                ..Default::default()
+            };
+            let t0 = std::time::Instant::now();
+            let result = flow.simulate(source.as_ref(), cycles, &cfg).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            println!("simulated {n} stimulus x {cycles} cycles ({:?} host time)", t0.elapsed());
+            println!("modeled A6000 wall time: {}", fmt_duration(result.makespan));
+            println!("GPU utilization: {:.1}%", result.gpu_utilization * 100.0);
+            let unique: std::collections::HashSet<_> = result.digests.iter().collect();
+            println!("{} distinct output signatures", unique.len());
+            if let Some(v) = args.get("verify") {
+                let count: usize = v.parse().unwrap_or(4);
+                let checked = flow.verify_against_golden(source.as_ref(), cycles.min(200), count).unwrap_or_else(|e| {
+                    eprintln!("GOLDEN MISMATCH: {e}");
+                    exit(1)
+                });
+                println!("verified {checked} stimulus against the golden reference");
+            }
+        }
+        "coverage" => {
+            let flow = load_flow(&args);
+            let n: usize = args.num("n", 256);
+            let cycles: u64 = args.num("c", 500);
+            let seed: u64 = args.num("seed", 1);
+            let map = PortMap::from_design(&flow.design);
+            let source = stimulus::source_for(&flow.design, &map, n, seed);
+            let mut dev = flow.program.plan.alloc_device(n);
+            let mut scratch = cudasim::Scratch::new();
+            let mut cov = ToggleCoverage::new(&flow.design);
+            let mut frame = vec![0u64; map.len()];
+            for c in 0..cycles {
+                for s in 0..n {
+                    source.fill_frame(s, c, &mut frame);
+                    for (lane, port) in map.ports.iter().enumerate() {
+                        flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
+                    }
+                }
+                flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+                cov.sample(&flow.design, &flow.program.plan, &dev, 0, n);
+            }
+            print!("{}", cov.report(&flow.design, 20));
+        }
+        "vcd" => {
+            let flow = load_flow(&args);
+            let cycles: u64 = args.num("c", 200);
+            let seed: u64 = args.num("seed", 1);
+            let map = PortMap::from_design(&flow.design);
+            let source = stimulus::source_for(&flow.design, &map, 1, seed);
+            let mut frame = vec![0u64; map.len()];
+            let vcd = rtlir::vcd::dump_outputs(&flow.design, cycles, |c| {
+                source.fill_frame(0, c, &mut frame);
+                map.to_pokes(&frame)
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            write_out(&args, "wave.vcd", &vcd);
+        }
+        "graph" => {
+            let flow = load_flow(&args);
+            let dot = flow.graph_info.to_dot(&flow.design);
+            write_out(&args, "rtl.dot", &dot);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,143 @@
+//! Device-state checkpointing.
+//!
+//! Long regressions (500K cycles x 65536 stimulus in Table 2) want
+//! save/resume: a checkpoint captures the full device memory — i.e. every
+//! signal and memory word of every stimulus — in a compact binary image.
+
+use crate::device::DeviceMemory;
+
+const MAGIC: u32 = 0x52_54_4c_43; // "RTLC"
+const VERSION: u32 = 1;
+
+impl DeviceMemory {
+    /// Serialize the complete device state.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48 + self.bytes());
+        let push32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        let push64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        push32(&mut out, MAGIC);
+        push32(&mut out, VERSION);
+        push64(&mut out, self.n() as u64);
+        push64(&mut out, self.var8.len() as u64);
+        push64(&mut out, self.var16.len() as u64);
+        push64(&mut out, self.var32.len() as u64);
+        push64(&mut out, self.var64.len() as u64);
+        out.extend_from_slice(&self.var8);
+        for v in &self.var16 {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.var32 {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.var64 {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restore a snapshot into this device. The shape (batch size and
+    /// bucket lengths, i.e. the memory plan) must match.
+    pub fn restore(&mut self, data: &[u8]) -> Result<(), String> {
+        let rd32 = |data: &[u8], at: usize| -> Result<u32, String> {
+            data.get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .ok_or_else(|| "truncated checkpoint".to_string())
+        };
+        let rd64 = |data: &[u8], at: usize| -> Result<u64, String> {
+            data.get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .ok_or_else(|| "truncated checkpoint".to_string())
+        };
+        if rd32(data, 0)? != MAGIC {
+            return Err("bad checkpoint magic".into());
+        }
+        if rd32(data, 4)? != VERSION {
+            return Err("unsupported checkpoint version".into());
+        }
+        let n = rd64(data, 8)? as usize;
+        let l8 = rd64(data, 16)? as usize;
+        let l16 = rd64(data, 24)? as usize;
+        let l32 = rd64(data, 32)? as usize;
+        let l64 = rd64(data, 40)? as usize;
+        if n != self.n() || l8 != self.var8.len() || l16 != self.var16.len() || l32 != self.var32.len() || l64 != self.var64.len() {
+            return Err(format!(
+                "checkpoint shape mismatch: snapshot n={n}/{l8}/{l16}/{l32}/{l64}, device n={}/{}/{}/{}/{}",
+                self.n(),
+                self.var8.len(),
+                self.var16.len(),
+                self.var32.len(),
+                self.var64.len()
+            ));
+        }
+        let expect = 48 + l8 + l16 * 2 + l32 * 4 + l64 * 8;
+        if data.len() != expect {
+            return Err(format!("checkpoint length {} != expected {expect}", data.len()));
+        }
+        let mut at = 48;
+        self.var8.copy_from_slice(&data[at..at + l8]);
+        at += l8;
+        for v in self.var16.iter_mut() {
+            *v = u16::from_le_bytes(data[at..at + 2].try_into().unwrap());
+            at += 2;
+        }
+        for v in self.var32.iter_mut() {
+            *v = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
+            at += 4;
+        }
+        for v in self.var64.iter_mut() {
+            *v = u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+            at += 8;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Bucket, Slot};
+
+    fn scrambled() -> DeviceMemory {
+        let mut dev = DeviceMemory::new(3, 2, 2, 1, 1);
+        for t in 0..3 {
+            dev.store(Slot { bucket: Bucket::B8, offset: 0 }, t, t as u64 + 1);
+            dev.store(Slot { bucket: Bucket::B16, offset: 1 }, t, 0x1234 + t as u64);
+            dev.store(Slot { bucket: Bucket::B32, offset: 0 }, t, 0xdead_0000 + t as u64);
+            dev.store(Slot { bucket: Bucket::B64, offset: 0 }, t, u64::MAX - t as u64);
+        }
+        dev
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dev = scrambled();
+        let snap = dev.snapshot();
+        let mut fresh = DeviceMemory::new(3, 2, 2, 1, 1);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.var8, dev.var8);
+        assert_eq!(fresh.var16, dev.var16);
+        assert_eq!(fresh.var32, dev.var32);
+        assert_eq!(fresh.var64, dev.var64);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let dev = scrambled();
+        let snap = dev.snapshot();
+        let mut other = DeviceMemory::new(4, 2, 2, 1, 1);
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let dev = scrambled();
+        let mut snap = dev.snapshot();
+        snap[0] ^= 0xff;
+        let mut fresh = DeviceMemory::new(3, 2, 2, 1, 1);
+        assert!(fresh.restore(&snap).is_err());
+        // Truncation.
+        let snap2 = dev.snapshot();
+        assert!(fresh.restore(&snap2[..snap2.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! SIMT kernel IR — the "CUDA" our transpiler targets.
+//!
+//! A kernel is straight-line (no branches): control flow has been lowered
+//! to predication/muxes by the transpiler, exactly like the full-cycle
+//! simulation code the paper generates. Every value is at most 64 bits
+//! wide; arbitrary-width semantics are achieved by masking at the width
+//! recorded on each op.
+
+use std::fmt;
+
+/// Register index inside a kernel's scratch file.
+pub type Reg = u16;
+
+/// The four width-bucketed global arrays of §3.1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    B8,
+    B16,
+    B32,
+    B64,
+}
+
+impl Bucket {
+    /// Smallest bucket that fits `width` bits.
+    pub fn for_width(width: u32) -> Bucket {
+        match width {
+            0..=8 => Bucket::B8,
+            9..=16 => Bucket::B16,
+            17..=32 => Bucket::B32,
+            _ => Bucket::B64,
+        }
+    }
+
+    /// Element size in bytes (drives the memory-traffic model).
+    pub fn bytes(self) -> u64 {
+        match self {
+            Bucket::B8 => 1,
+            Bucket::B16 => 2,
+            Bucket::B32 => 4,
+            Bucket::B64 => 8,
+        }
+    }
+
+    /// C element type name, for CUDA text emission.
+    pub fn ctype(self) -> &'static str {
+        match self {
+            Bucket::B8 => "uint8_t",
+            Bucket::B16 => "uint16_t",
+            Bucket::B32 => "uint32_t",
+            Bucket::B64 => "uint64_t",
+        }
+    }
+
+    /// Array variable name in emitted CUDA.
+    pub fn cname(self) -> &'static str {
+        match self {
+            Bucket::B8 => "var8",
+            Bucket::B16 => "var16",
+            Bucket::B32 => "var32",
+            Bucket::B64 => "var64",
+        }
+    }
+}
+
+/// A storage location: element `offset` of a bucket (replicated N times,
+/// one element per stimulus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    pub bucket: Bucket,
+    pub offset: u32,
+}
+
+/// Binary kernel operations. All unsigned 64-bit with masking to `width`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Shl,
+    Shr,
+    /// Arithmetic right shift; the sign bit is bit `width-1`.
+    Sshr,
+    Eq,
+    Ne,
+    Ltu,
+    Leu,
+    Gtu,
+    Geu,
+    LAnd,
+    LOr,
+}
+
+/// Unary kernel operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KUn {
+    Not,
+    Neg,
+    LNot,
+    RedAnd,
+    RedOr,
+    RedXor,
+}
+
+/// One SIMT instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `dst = value`
+    Const { dst: Reg, value: u64 },
+    /// `dst = bucket[offset*N + tid]`
+    Load { dst: Reg, slot: Slot },
+    /// `bucket[offset*N + tid] = src & mask(width)`
+    Store { src: Reg, slot: Slot, width: u32 },
+    /// Memory word read: `dst = bucket[(offset+idx)*N + tid]`, 0 if
+    /// `idx >= depth`.
+    LoadIdx { dst: Reg, slot: Slot, idx: Reg, depth: u32 },
+    /// Guarded memory word write: executed only where `pred != 0` and
+    /// `idx < depth`.
+    StoreIdxCond { src: Reg, slot: Slot, idx: Reg, depth: u32, pred: Reg, width: u32 },
+    /// `dst = a (op) b`, masked to `width`.
+    Bin { op: KBin, dst: Reg, a: Reg, b: Reg, width: u32 },
+    /// `dst = (op) a`, masked to `width`.
+    Un { op: KUn, dst: Reg, a: Reg, width: u32 },
+    /// `dst = cond ? a : b`
+    Mux { dst: Reg, cond: Reg, a: Reg, b: Reg },
+}
+
+impl Op {
+    /// Register written by this op, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Op::Const { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::LoadIdx { dst, .. }
+            | Op::Bin { dst, .. }
+            | Op::Un { dst, .. }
+            | Op::Mux { dst, .. } => Some(*dst),
+            Op::Store { .. } | Op::StoreIdxCond { .. } => None,
+        }
+    }
+
+    /// Registers read by this op.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match self {
+            Op::Const { .. } | Op::Load { .. } => vec![],
+            Op::Store { src, .. } => vec![*src],
+            Op::LoadIdx { idx, .. } => vec![*idx],
+            Op::StoreIdxCond { src, idx, pred, .. } => vec![*src, *idx, *pred],
+            Op::Bin { a, b, .. } => vec![*a, *b],
+            Op::Un { a, .. } => vec![*a],
+            Op::Mux { cond, a, b, .. } => vec![*cond, *a, *b],
+        }
+    }
+}
+
+/// Static op counts of a kernel — the timing model's inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// ALU-ish operations (const/bin/un/mux).
+    pub alu_ops: u64,
+    /// Global loads (bytes accounted separately).
+    pub loads: u64,
+    /// Global stores.
+    pub stores: u64,
+    /// Coalesced bytes moved per thread (plain loads + stores).
+    pub bytes: u64,
+    /// Gather/scatter (per-thread-indexed) accesses — the uncoalesced path.
+    pub gather_ops: u64,
+    /// Bytes moved by gather/scatter accesses per thread.
+    pub gather_bytes: u64,
+}
+
+/// A straight-line SIMT kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    pub name: String,
+    pub ops: Vec<Op>,
+    pub num_regs: u16,
+    pub stats: KernelStats,
+}
+
+impl Kernel {
+    /// Build a kernel, computing `num_regs` and `stats` from the ops.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Kernel {
+        let mut num_regs = 0u16;
+        let mut stats = KernelStats::default();
+        for op in &ops {
+            if let Some(d) = op.dst() {
+                num_regs = num_regs.max(d + 1);
+            }
+            for s in op.srcs() {
+                num_regs = num_regs.max(s + 1);
+            }
+            match op {
+                Op::Const { .. } | Op::Bin { .. } | Op::Un { .. } | Op::Mux { .. } => stats.alu_ops += 1,
+                Op::Load { slot, .. } => {
+                    stats.loads += 1;
+                    stats.bytes += slot.bucket.bytes();
+                }
+                Op::Store { slot, .. } => {
+                    stats.stores += 1;
+                    stats.bytes += slot.bucket.bytes();
+                }
+                Op::LoadIdx { slot, .. } => {
+                    stats.loads += 1;
+                    stats.gather_ops += 1;
+                    stats.gather_bytes += slot.bucket.bytes();
+                }
+                Op::StoreIdxCond { slot, .. } => {
+                    stats.stores += 1;
+                    stats.gather_ops += 1;
+                    stats.gather_bytes += slot.bucket.bytes();
+                }
+            }
+        }
+        Kernel { name: name.into(), ops, num_regs, stats }
+    }
+
+    /// Verify SSA-ish sanity: every register read was written earlier.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut written = vec![false; self.num_regs as usize];
+        for (i, op) in self.ops.iter().enumerate() {
+            for s in op.srcs() {
+                if !written[s as usize] {
+                    return Err(format!("kernel `{}` op {i}: register r{s} read before write", self.name));
+                }
+            }
+            if let Some(d) = op.dst() {
+                written[d as usize] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} (regs={}, ops={})", self.name, self.num_regs, self.ops.len())
+    }
+}
+
+/// A partitioned task graph of kernels — what CUDA Graph executes.
+///
+/// `deps[k]` lists kernels that must complete before kernel `k` starts.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraphIr {
+    pub kernels: Vec<Kernel>,
+    pub deps: Vec<Vec<usize>>,
+}
+
+impl TaskGraphIr {
+    /// Topological order (kernels are inserted already ordered by the
+    /// transpiler; this verifies and returns it).
+    pub fn topo_order(&self) -> Result<Vec<usize>, String> {
+        let n = self.kernels.len();
+        let mut indeg = vec![0usize; n];
+        for d in &self.deps {
+            for &_p in d {}
+        }
+        for (k, ds) in self.deps.iter().enumerate() {
+            indeg[k] = ds.len();
+        }
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, ds) in self.deps.iter().enumerate() {
+            for &p in ds {
+                succs[p].push(k);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &v in &succs[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err("cycle in kernel task graph".into());
+        }
+        Ok(order)
+    }
+
+    /// Levelize: `level[k]` = longest dependency chain ending at `k`.
+    pub fn levels(&self) -> Vec<u32> {
+        let order = self.topo_order().expect("task graph must be acyclic");
+        let mut level = vec![0u32; self.kernels.len()];
+        for &k in &order {
+            for &p in &self.deps[k] {
+                level[k] = level[k].max(level[p] + 1);
+            }
+        }
+        level
+    }
+
+    /// Width statistics per level (kernel concurrency, Figure 14).
+    pub fn level_widths(&self) -> Vec<usize> {
+        let levels = self.levels();
+        let depth = levels.iter().map(|&l| l + 1).max().unwrap_or(0) as usize;
+        let mut widths = vec![0usize; depth];
+        for &l in &levels {
+            widths[l as usize] += 1;
+        }
+        widths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot8(offset: u32) -> Slot {
+        Slot { bucket: Bucket::B8, offset }
+    }
+
+    #[test]
+    fn bucket_selection() {
+        assert_eq!(Bucket::for_width(1), Bucket::B8);
+        assert_eq!(Bucket::for_width(8), Bucket::B8);
+        assert_eq!(Bucket::for_width(9), Bucket::B16);
+        assert_eq!(Bucket::for_width(14), Bucket::B16);
+        assert_eq!(Bucket::for_width(32), Bucket::B32);
+        assert_eq!(Bucket::for_width(33), Bucket::B64);
+        assert_eq!(Bucket::for_width(64), Bucket::B64);
+    }
+
+    #[test]
+    fn kernel_stats_count_ops() {
+        let k = Kernel::new(
+            "k",
+            vec![
+                Op::Load { dst: 0, slot: slot8(0) },
+                Op::Const { dst: 1, value: 1 },
+                Op::Bin { op: KBin::Add, dst: 2, a: 0, b: 1, width: 8 },
+                Op::Store { src: 2, slot: slot8(1), width: 8 },
+            ],
+        );
+        assert_eq!(k.num_regs, 3);
+        assert_eq!(k.stats.alu_ops, 2);
+        assert_eq!(k.stats.loads, 1);
+        assert_eq!(k.stats.stores, 1);
+        assert_eq!(k.stats.bytes, 2);
+        k.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_read_before_write() {
+        let k = Kernel::new("bad", vec![Op::Store { src: 3, slot: slot8(0), width: 8 }]);
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn topo_order_detects_cycles() {
+        let k = Kernel::new("k", vec![Op::Const { dst: 0, value: 0 }]);
+        let g = TaskGraphIr { kernels: vec![k.clone(), k.clone()], deps: vec![vec![1], vec![0]] };
+        assert!(g.topo_order().is_err());
+    }
+
+    #[test]
+    fn level_widths_reflect_parallelism() {
+        let k = Kernel::new("k", vec![Op::Const { dst: 0, value: 0 }]);
+        // Diamond: 0 -> {1, 2} -> 3
+        let g = TaskGraphIr {
+            kernels: vec![k.clone(), k.clone(), k.clone(), k.clone()],
+            deps: vec![vec![], vec![0], vec![0], vec![1, 2]],
+        };
+        assert_eq!(g.level_widths(), vec![1, 2, 1]);
+        assert_eq!(g.levels(), vec![0, 1, 1, 2]);
+    }
+}

@@ -1,0 +1,446 @@
+//! A single-cycle RV32I-subset CPU, analogous to ucb-bar/riscv-mini.
+//!
+//! The core executes one instruction per cycle. Instructions arrive on the
+//! `instr` input port (the stimulus plays the role of instruction memory,
+//! as in constrained-random instruction-stream verification); data memory
+//! and the register file are internal. Outputs expose the PC, the ALU
+//! result, the load data and a memory-mapped IO register so waveform
+//! digests observe the architectural state.
+
+/// Verilog source of the riscv-mini benchmark.
+pub fn riscv_mini_source() -> String {
+    RISCV_MINI.to_string()
+}
+
+const RISCV_MINI: &str = r#"
+// ---------------------------------------------------------------- regfile
+module regfile(
+  input clk,
+  input we,
+  input [4:0] ra1,
+  input [4:0] ra2,
+  input [4:0] wa,
+  input [31:0] wd,
+  output [31:0] rd1,
+  output [31:0] rd2
+);
+  reg [31:0] rf [0:31];
+  assign rd1 = (ra1 == 5'd0) ? 32'd0 : rf[ra1];
+  assign rd2 = (ra2 == 5'd0) ? 32'd0 : rf[ra2];
+  always @(posedge clk) begin
+    if (we && (wa != 5'd0)) rf[wa] <= wd;
+  end
+endmodule
+
+// -------------------------------------------------------------------- alu
+module alu(
+  input [31:0] a,
+  input [31:0] b,
+  input [3:0] op,
+  output reg [31:0] y
+);
+  wire [31:0] sum  = a + b;
+  wire [31:0] diff = a - b;
+  // Signed less-than from sign bits and unsigned difference.
+  wire slt  = (a[31] == b[31]) ? diff[31] : a[31];
+  wire sltu = a < b;
+  always @(*) begin
+    y = 32'd0;
+    case (op)
+      4'd0:  y = sum;
+      4'd1:  y = diff;
+      4'd2:  y = a & b;
+      4'd3:  y = a | b;
+      4'd4:  y = a ^ b;
+      4'd5:  y = a << b[4:0];
+      4'd6:  y = a >> b[4:0];
+      4'd7:  y = a >>> b[4:0];
+      4'd8:  y = {31'd0, slt};
+      4'd9:  y = {31'd0, sltu};
+      4'd10: y = a * b;
+      4'd11: y = b;
+      default: y = sum;
+    endcase
+  end
+endmodule
+
+// ----------------------------------------------------------- branch unit
+module branch_unit(
+  input [31:0] rs1,
+  input [31:0] rs2,
+  input [2:0] funct3,
+  output reg taken
+);
+  wire eq  = rs1 == rs2;
+  wire ltu = rs1 < rs2;
+  wire [31:0] diff = rs1 - rs2;
+  wire lt  = (rs1[31] == rs2[31]) ? diff[31] : rs1[31];
+  always @(*) begin
+    taken = 1'b0;
+    case (funct3)
+      3'b000: taken = eq;
+      3'b001: taken = !eq;
+      3'b100: taken = lt;
+      3'b101: taken = !lt;
+      3'b110: taken = ltu;
+      3'b111: taken = !ltu;
+      default: taken = 1'b0;
+    endcase
+  end
+endmodule
+
+// ---------------------------------------------------------------- decoder
+module decoder(
+  input [31:0] instr,
+  output [6:0] opcode,
+  output [4:0] rd,
+  output [2:0] funct3,
+  output [4:0] rs1,
+  output [4:0] rs2,
+  output [6:0] funct7,
+  output [31:0] imm_i,
+  output [31:0] imm_s,
+  output [31:0] imm_b,
+  output [31:0] imm_u,
+  output [31:0] imm_j
+);
+  assign opcode = instr[6:0];
+  assign rd     = instr[11:7];
+  assign funct3 = instr[14:12];
+  assign rs1    = instr[19:15];
+  assign rs2    = instr[24:20];
+  assign funct7 = instr[31:25];
+  assign imm_i  = {{20{instr[31]}}, instr[31:20]};
+  assign imm_s  = {{20{instr[31]}}, instr[31:25], instr[11:7]};
+  assign imm_b  = {{19{instr[31]}}, instr[31], instr[7], instr[30:25], instr[11:8], 1'b0};
+  assign imm_u  = {instr[31:12], 12'd0};
+  assign imm_j  = {{11{instr[31]}}, instr[31], instr[19:12], instr[20], instr[30:21], 1'b0};
+endmodule
+
+// ---------------------------------------------------------------- control
+module control(
+  input [6:0] opcode,
+  input [2:0] funct3,
+  input [6:0] funct7,
+  output reg [3:0] alu_op,
+  output reg alu_b_imm,
+  output reg reg_we,
+  output reg [1:0] wb_sel,      // 0=alu 1=mem 2=pc+4 3=imm_u
+  output reg is_branch,
+  output reg is_jal,
+  output reg is_jalr,
+  output reg mem_we,
+  output reg [1:0] imm_sel      // 0=I 1=S 2=B 3=J
+);
+  always @(*) begin
+    alu_op = 4'd0;
+    alu_b_imm = 1'b0;
+    reg_we = 1'b0;
+    wb_sel = 2'd0;
+    is_branch = 1'b0;
+    is_jal = 1'b0;
+    is_jalr = 1'b0;
+    mem_we = 1'b0;
+    imm_sel = 2'd0;
+    case (opcode)
+      7'b0110011: begin // R-type
+        reg_we = 1'b1;
+        case (funct3)
+          3'b000: alu_op = funct7[0] ? 4'd10 : (funct7[5] ? 4'd1 : 4'd0);
+          3'b001: alu_op = 4'd5;
+          3'b010: alu_op = 4'd8;
+          3'b011: alu_op = 4'd9;
+          3'b100: alu_op = 4'd4;
+          3'b101: alu_op = funct7[5] ? 4'd7 : 4'd6;
+          3'b110: alu_op = 4'd3;
+          3'b111: alu_op = 4'd2;
+          default: alu_op = 4'd0;
+        endcase
+      end
+      7'b0010011: begin // I-type ALU
+        reg_we = 1'b1;
+        alu_b_imm = 1'b1;
+        case (funct3)
+          3'b000: alu_op = 4'd0;
+          3'b001: alu_op = 4'd5;
+          3'b010: alu_op = 4'd8;
+          3'b011: alu_op = 4'd9;
+          3'b100: alu_op = 4'd4;
+          3'b101: alu_op = funct7[5] ? 4'd7 : 4'd6;
+          3'b110: alu_op = 4'd3;
+          3'b111: alu_op = 4'd2;
+          default: alu_op = 4'd0;
+        endcase
+      end
+      7'b0000011: begin // LW
+        reg_we = 1'b1;
+        alu_b_imm = 1'b1;
+        wb_sel = 2'd1;
+      end
+      7'b0100011: begin // SW
+        alu_b_imm = 1'b1;
+        mem_we = 1'b1;
+        imm_sel = 2'd1;
+      end
+      7'b1100011: begin // branches
+        is_branch = 1'b1;
+        imm_sel = 2'd2;
+      end
+      7'b1101111: begin // JAL
+        is_jal = 1'b1;
+        reg_we = 1'b1;
+        wb_sel = 2'd2;
+        imm_sel = 2'd3;
+      end
+      7'b1100111: begin // JALR
+        is_jalr = 1'b1;
+        reg_we = 1'b1;
+        alu_b_imm = 1'b1;
+        wb_sel = 2'd2;
+      end
+      7'b0110111: begin // LUI
+        reg_we = 1'b1;
+        wb_sel = 2'd3;
+      end
+      7'b0010111: begin // AUIPC (treated as LUI+pc in wb mux)
+        reg_we = 1'b1;
+        wb_sel = 2'd3;
+      end
+      default: reg_we = 1'b0;
+    endcase
+  end
+endmodule
+
+// ------------------------------------------------------------------- core
+module riscv_mini(
+  input clk,
+  input rst,
+  input [31:0] instr,
+  input [31:0] io_in,
+  output [31:0] pc_out,
+  output [31:0] result,
+  output [31:0] dmem_out,
+  output [31:0] io_out
+);
+  reg [31:0] pc;
+  reg [31:0] io_reg;
+  reg [31:0] dmem [0:255];
+
+  wire [6:0] opcode;
+  wire [4:0] rd;
+  wire [2:0] funct3;
+  wire [4:0] rs1;
+  wire [4:0] rs2;
+  wire [6:0] funct7;
+  wire [31:0] imm_i;
+  wire [31:0] imm_s;
+  wire [31:0] imm_b;
+  wire [31:0] imm_u;
+  wire [31:0] imm_j;
+
+  decoder dec (
+    .instr(instr), .opcode(opcode), .rd(rd), .funct3(funct3), .rs1(rs1),
+    .rs2(rs2), .funct7(funct7), .imm_i(imm_i), .imm_s(imm_s), .imm_b(imm_b),
+    .imm_u(imm_u), .imm_j(imm_j)
+  );
+
+  wire [3:0] alu_op;
+  wire alu_b_imm;
+  wire reg_we;
+  wire [1:0] wb_sel;
+  wire is_branch;
+  wire is_jal;
+  wire is_jalr;
+  wire mem_we;
+  wire [1:0] imm_sel;
+
+  control ctl (
+    .opcode(opcode), .funct3(funct3), .funct7(funct7), .alu_op(alu_op),
+    .alu_b_imm(alu_b_imm), .reg_we(reg_we), .wb_sel(wb_sel),
+    .is_branch(is_branch), .is_jal(is_jal), .is_jalr(is_jalr),
+    .mem_we(mem_we), .imm_sel(imm_sel)
+  );
+
+  wire [31:0] rf_rd1;
+  wire [31:0] rf_rd2;
+  wire [31:0] wb_data;
+  regfile rf (
+    .clk(clk), .we(reg_we), .ra1(rs1), .ra2(rs2), .wa(rd), .wd(wb_data),
+    .rd1(rf_rd1), .rd2(rf_rd2)
+  );
+
+  // Immediate select.
+  reg [31:0] imm;
+  always @(*) begin
+    imm = imm_i;
+    case (imm_sel)
+      2'd1: imm = imm_s;
+      2'd2: imm = imm_b;
+      2'd3: imm = imm_j;
+      default: imm = imm_i;
+    endcase
+  end
+
+  wire [31:0] alu_b = alu_b_imm ? imm : rf_rd2;
+  wire [31:0] alu_y;
+  alu the_alu (.a(rf_rd1), .b(alu_b), .op(alu_op), .y(alu_y));
+
+  wire br_taken;
+  branch_unit bru (.rs1(rf_rd1), .rs2(rf_rd2), .funct3(funct3), .taken(br_taken));
+
+  // Data memory: word addressed by alu_y[9:2]; bit 12 selects the IO page.
+  wire io_sel = alu_y[12];
+  wire [7:0] dmem_addr = alu_y[9:2];
+  wire [31:0] load_data = io_sel ? io_in : dmem[dmem_addr];
+
+  // Writeback.
+  wire [31:0] pc_plus4 = pc + 32'd4;
+  reg [31:0] wb_mux;
+  always @(*) begin
+    wb_mux = alu_y;
+    case (wb_sel)
+      2'd1: wb_mux = load_data;
+      2'd2: wb_mux = pc_plus4;
+      2'd3: wb_mux = (opcode == 7'b0010111) ? (pc + imm_u) : imm_u;
+      default: wb_mux = alu_y;
+    endcase
+  end
+  assign wb_data = wb_mux;
+
+  // Next PC.
+  wire [31:0] br_target = pc + imm;
+  wire [31:0] jalr_target = {alu_y[31:1], 1'b0};
+  reg [31:0] next_pc;
+  always @(*) begin
+    next_pc = pc_plus4;
+    if (is_jalr) next_pc = jalr_target;
+    else if (is_jal) next_pc = br_target;
+    else if (is_branch && br_taken) next_pc = br_target;
+  end
+
+  always @(posedge clk) begin
+    if (rst) pc <= 32'd0;
+    else pc <= next_pc;
+  end
+
+  always @(posedge clk) begin
+    if (mem_we && !io_sel) dmem[dmem_addr] <= rf_rd2;
+  end
+
+  always @(posedge clk) begin
+    if (rst) io_reg <= 32'd0;
+    else if (mem_we && io_sel) io_reg <= rf_rd2;
+  end
+
+  assign pc_out = pc;
+  assign result = alu_y;
+  assign dmem_out = load_data;
+  assign io_out = io_reg;
+endmodule
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::{BitVec, Interp};
+
+    /// Build an R-type instruction word.
+    fn rtype(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32) -> u64 {
+        ((funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | 0b0110011) as u64
+    }
+    /// Build an I-type ALU instruction word.
+    fn itype(imm: u32, rs1: u32, funct3: u32, rd: u32) -> u64 {
+        (((imm & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | 0b0010011) as u64
+    }
+
+    #[test]
+    fn addi_then_add() {
+        let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
+        let mut sim = Interp::new(&d).unwrap();
+        let instr = d.find_var("instr").unwrap();
+        let rst = d.find_var("rst").unwrap();
+        let result = d.find_var("result").unwrap();
+
+        let one = |v: u64| BitVec::from_u64(v, 32);
+        // reset
+        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, one(0))]);
+        // addi x1, x0, 5
+        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(itype(5, 0, 0, 1)))]);
+        // addi x2, x0, 7
+        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(itype(7, 0, 0, 2)))]);
+        // add x3, x1, x2 -> alu result should be 12 combinationally
+        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(rtype(0, 2, 1, 0, 3)))]);
+        assert_eq!(sim.peek(result).to_u64(), 12);
+    }
+
+    #[test]
+    fn pc_advances_by_four() {
+        let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
+        let mut sim = Interp::new(&d).unwrap();
+        let instr = d.find_var("instr").unwrap();
+        let rst = d.find_var("rst").unwrap();
+        let pc = d.find_var("pc_out").unwrap();
+        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, BitVec::from_u64(0, 32))]);
+        assert_eq!(sim.peek(pc).to_u64(), 0);
+        for i in 1..=3u64 {
+            sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32))]);
+            assert_eq!(sim.peek(pc).to_u64(), 4 * i);
+        }
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
+        let mut sim = Interp::new(&d).unwrap();
+        let instr = d.find_var("instr").unwrap();
+        let rst = d.find_var("rst").unwrap();
+        let dmem_out = d.find_var("dmem_out").unwrap();
+        let one = |v: u64| BitVec::from_u64(v, 32);
+        let lo = |v: u64| (rst, BitVec::from_u64(v, 1));
+
+        sim.step_cycle(&[lo(1), (instr, one(0))]);
+        // addi x1, x0, 0xAB
+        sim.step_cycle(&[lo(0), (instr, one(itype(0xab, 0, 0, 1)))]);
+        // addi x2, x0, 16  (address)
+        sim.step_cycle(&[lo(0), (instr, one(itype(16, 0, 0, 2)))]);
+        // sw x1, 0(x2): opcode 0100011, funct3 010
+        let sw = ((0u32) << 25) | (1 << 20) | (2 << 15) | (0b010 << 12) | (0 << 7) | 0b0100011;
+        sim.step_cycle(&[lo(0), (instr, one(sw as u64))]);
+        // lw x3, 0(x2): opcode 0000011
+        let lw = ((0u32 & 0xfff) << 20) | (2 << 15) | (0b010 << 12) | (3 << 7) | 0b0000011;
+        sim.step_cycle(&[lo(0), (instr, one(lw as u64))]);
+        assert_eq!(sim.peek(dmem_out).to_u64(), 0xab);
+    }
+
+    #[test]
+    fn branch_taken_redirects_pc() {
+        let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
+        let mut sim = Interp::new(&d).unwrap();
+        let instr = d.find_var("instr").unwrap();
+        let rst = d.find_var("rst").unwrap();
+        let pc = d.find_var("pc_out").unwrap();
+        let one = |v: u64| BitVec::from_u64(v, 32);
+        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, one(0))]);
+        // beq x0, x0, +16 : imm_b=16 -> bits: imm[4:1]=1000? 16 = b10000
+        // encode: imm[12]=0 imm[10:5]=000000 imm[4:1]=1000 imm[11]=0
+        let beq = (0u32 << 31) | (0 << 25) | (0 << 20) | (0 << 15) | (0b000 << 12) | (0b1000 << 8) | (0 << 7) | 0b1100011;
+        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(beq as u64))]);
+        assert_eq!(sim.peek(pc).to_u64(), 16);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
+        let mut sim = Interp::new(&d).unwrap();
+        let instr = d.find_var("instr").unwrap();
+        let rst = d.find_var("rst").unwrap();
+        let result = d.find_var("result").unwrap();
+        let one = |v: u64| BitVec::from_u64(v, 32);
+        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, one(0))]);
+        // addi x0, x0, 99 (write to x0 must be ignored)
+        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(itype(99, 0, 0, 0)))]);
+        // add x5, x0, x0 -> 0
+        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(rtype(0, 0, 0, 0, 5)))]);
+        assert_eq!(sim.peek(result).to_u64(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Busy-interval trace recording — the stand-in for `nvidia-smi` and
+//! Nsight Systems in the paper's utilization figures.
+
+use std::collections::BTreeMap;
+
+use crate::Time;
+
+/// One busy interval on a resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    pub start: Time,
+    pub end: Time,
+    pub label: String,
+}
+
+/// Per-resource busy-interval recorder.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    lanes: BTreeMap<String, Vec<Interval>>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record a busy interval on `resource`.
+    pub fn record(&mut self, resource: &str, start: Time, end: Time, label: &str) {
+        debug_assert!(end >= start);
+        self.lanes
+            .entry(resource.to_string())
+            .or_default()
+            .push(Interval { start, end, label: label.to_string() });
+    }
+
+    /// Resources with any recorded activity.
+    pub fn resources(&self) -> impl Iterator<Item = &str> {
+        self.lanes.keys().map(String::as_str)
+    }
+
+    /// Raw intervals of one resource.
+    pub fn intervals(&self, resource: &str) -> &[Interval] {
+        self.lanes.get(resource).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Latest end time across all resources.
+    pub fn span_end(&self) -> Time {
+        self.lanes.values().flatten().map(|i| i.end).max().unwrap_or(0)
+    }
+
+    /// Fraction of `[0, horizon]` during which `resource` had at least one
+    /// busy interval (union of intervals, robust to overlap from
+    /// multi-slot resources). This is what `nvidia-smi` utilization means.
+    pub fn utilization(&self, resource: &str, horizon: Time) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let mut iv: Vec<(Time, Time)> = self
+            .intervals(resource)
+            .iter()
+            .filter(|i| i.start < horizon)
+            .map(|i| (i.start, i.end.min(horizon)))
+            .collect();
+        iv.sort_unstable();
+        let mut busy = 0u64;
+        let mut cur: Option<(Time, Time)> = None;
+        for (s, e) in iv {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    busy += ce - cs;
+                    cur = Some((s, e));
+                    let _ = cs;
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            busy += ce - cs;
+        }
+        busy as f64 / horizon as f64
+    }
+
+    /// Total busy time aggregated by label (Figure 2's runtime breakdown).
+    pub fn breakdown(&self, resource: &str) -> BTreeMap<String, Time> {
+        let mut out = BTreeMap::new();
+        for i in self.intervals(resource) {
+            *out.entry(i.label.clone()).or_insert(0) += i.end - i.start;
+        }
+        out
+    }
+
+    /// ASCII timeline (Figure 16's snapshot): one row per resource,
+    /// `width` columns spanning `[t0, t1)`, `#` where busy.
+    pub fn ascii_timeline(&self, t0: Time, t1: Time, width: usize) -> String {
+        assert!(t1 > t0 && width > 0);
+        let mut out = String::new();
+        let name_w = self.lanes.keys().map(|k| k.len()).max().unwrap_or(4).max(4);
+        for (name, intervals) in &self.lanes {
+            let mut row = vec![b'.'; width];
+            for iv in intervals {
+                if iv.end <= t0 || iv.start >= t1 {
+                    continue;
+                }
+                let a = ((iv.start.max(t0) - t0) as u128 * width as u128 / (t1 - t0) as u128) as usize;
+                let b = ((iv.end.min(t1) - t0) as u128 * width as u128 / (t1 - t0) as u128) as usize;
+                for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+                    *cell = b'#';
+                }
+            }
+            out.push_str(&format!("{name:>name_w$} |{}|\n", String::from_utf8(row).unwrap()));
+        }
+        out
+    }
+
+    /// CSV export `resource,start_ns,end_ns,label`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("resource,start_ns,end_ns,label\n");
+        for (name, intervals) in &self.lanes {
+            for iv in intervals {
+                out.push_str(&format!("{name},{},{},{}\n", iv.start, iv.end, iv.label));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_unions_overlaps() {
+        let mut t = Trace::new();
+        t.record("gpu", 0, 50, "k1");
+        t.record("gpu", 25, 75, "k2"); // overlapping slots
+        t.record("gpu", 90, 100, "k3");
+        let u = t.utilization("gpu", 100);
+        assert!((u - 0.85).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn utilization_clamps_to_horizon() {
+        let mut t = Trace::new();
+        t.record("cpu", 0, 200, "x");
+        assert!((t.utilization("cpu", 100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_resource_is_idle() {
+        let t = Trace::new();
+        assert_eq!(t.utilization("nope", 100), 0.0);
+        assert!(t.intervals("nope").is_empty());
+    }
+
+    #[test]
+    fn breakdown_sums_by_label() {
+        let mut t = Trace::new();
+        t.record("cpu", 0, 10, "set_inputs");
+        t.record("cpu", 20, 35, "set_inputs");
+        t.record("cpu", 40, 45, "other");
+        let b = t.breakdown("cpu");
+        assert_eq!(b["set_inputs"], 25);
+        assert_eq!(b["other"], 5);
+    }
+
+    #[test]
+    fn ascii_timeline_marks_busy_cells() {
+        let mut t = Trace::new();
+        t.record("gpu", 0, 50, "k");
+        let art = t.ascii_timeline(0, 100, 10);
+        assert!(art.contains("#####....."), "{art}");
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let mut t = Trace::new();
+        t.record("a", 0, 1, "x");
+        t.record("b", 2, 3, "y");
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn span_end_is_max() {
+        let mut t = Trace::new();
+        t.record("a", 0, 10, "x");
+        t.record("b", 5, 42, "y");
+        assert_eq!(t.span_end(), 42);
+    }
+}

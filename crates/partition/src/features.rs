@@ -1,0 +1,173 @@
+//! Per-process feature extraction: counts of RTL node kinds.
+//!
+//! The paper's `weight_sum(task) = Σ w_t · N_t` ranges over "the top k
+//! most frequently appeared RTL nodes". Our elaborated IR has a compact
+//! op vocabulary, so the feature vector is a fixed 10-kind histogram.
+
+use rtlir::ast::{BinOp, UnOp};
+use rtlir::elab::{EExpr, Stm, Target};
+use rtlir::Design;
+
+/// Number of feature kinds.
+pub const NUM_FEATURES: usize = 10;
+
+/// Feature kinds counted per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Add/Sub.
+    Arith = 0,
+    /// Mul/Div/Mod.
+    MulDiv = 1,
+    /// And/Or/Xor/Xnor/Not.
+    Bitwise = 2,
+    /// Shl/Shr/Sshr.
+    Shift = 3,
+    /// Comparisons and logical connectives.
+    Cmp = 4,
+    /// Ternary muxes.
+    Mux = 5,
+    /// Variable reads.
+    VarRead = 6,
+    /// Memory reads/writes (gather/scatter on the GPU).
+    MemAccess = 7,
+    /// Assignments.
+    Store = 8,
+    /// `if` statements (predication cost).
+    Branch = 9,
+}
+
+/// Count node kinds in one process.
+pub fn node_features(design: &Design, process: usize) -> [u32; NUM_FEATURES] {
+    let mut f = [0u32; NUM_FEATURES];
+    for s in &design.processes[process].body {
+        stm_features(s, &mut f);
+    }
+    f
+}
+
+fn bump(f: &mut [u32; NUM_FEATURES], k: FeatureKind) {
+    f[k as usize] += 1;
+}
+
+fn stm_features(s: &Stm, f: &mut [u32; NUM_FEATURES]) {
+    match s {
+        Stm::Assign { target, rhs } => {
+            bump(f, FeatureKind::Store);
+            if let Target::Mem { idx, .. } = target {
+                bump(f, FeatureKind::MemAccess);
+                expr_features(idx, f);
+            }
+            if let Target::DynBit { idx, .. } = target {
+                expr_features(idx, f);
+            }
+            expr_features(rhs, f);
+        }
+        Stm::If { cond, then_s, else_s } => {
+            bump(f, FeatureKind::Branch);
+            expr_features(cond, f);
+            for s in then_s {
+                stm_features(s, f);
+            }
+            for s in else_s {
+                stm_features(s, f);
+            }
+        }
+    }
+}
+
+fn expr_features(e: &EExpr, f: &mut [u32; NUM_FEATURES]) {
+    match e {
+        EExpr::Const(_) => {}
+        EExpr::Var(_) => bump(f, FeatureKind::VarRead),
+        EExpr::ReadMem { idx, .. } => {
+            bump(f, FeatureKind::MemAccess);
+            expr_features(idx, f);
+        }
+        EExpr::Unary { op, arg, .. } => {
+            match op {
+                UnOp::Not => bump(f, FeatureKind::Bitwise),
+                UnOp::Neg => bump(f, FeatureKind::Arith),
+                UnOp::LNot | UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => bump(f, FeatureKind::Cmp),
+            }
+            expr_features(arg, f);
+        }
+        EExpr::Binary { op, a, b, .. } => {
+            let kind = match op {
+                BinOp::Add | BinOp::Sub => FeatureKind::Arith,
+                BinOp::Mul | BinOp::Div | BinOp::Mod => FeatureKind::MulDiv,
+                BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Xnor => FeatureKind::Bitwise,
+                BinOp::Shl | BinOp::Shr | BinOp::Sshr => FeatureKind::Shift,
+                _ => FeatureKind::Cmp,
+            };
+            bump(f, kind);
+            expr_features(a, f);
+            expr_features(b, f);
+        }
+        EExpr::Mux { cond, t, e, .. } => {
+            bump(f, FeatureKind::Mux);
+            expr_features(cond, f);
+            expr_features(t, f);
+            expr_features(e, f);
+        }
+        EExpr::Concat { parts, .. } => {
+            bump(f, FeatureKind::Shift);
+            for p in parts {
+                expr_features(p, f);
+            }
+        }
+        EExpr::Slice { arg, .. } => {
+            bump(f, FeatureKind::Shift);
+            expr_features(arg, f);
+        }
+        EExpr::IndexBit { arg, idx } => {
+            bump(f, FeatureKind::Shift);
+            expr_features(arg, f);
+            expr_features(idx, f);
+        }
+        EExpr::Resize { arg, .. } => expr_features(arg, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_count_expected_kinds() {
+        let d = rtlir::elaborate(
+            "module top(input [7:0] a, input [7:0] b, input s, output reg [7:0] y);
+               always @(*) begin
+                 y = 8'd0;
+                 if (s) y = (a + b) * (a >> 1);
+                 else y = s ? a : b;
+               end
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let f = node_features(&d, 0);
+        assert!(f[FeatureKind::Branch as usize] >= 1);
+        assert_eq!(f[FeatureKind::MulDiv as usize], 1);
+        assert!(f[FeatureKind::Arith as usize] >= 1);
+        assert!(f[FeatureKind::Shift as usize] >= 1);
+        assert!(f[FeatureKind::Mux as usize] >= 1);
+        assert!(f[FeatureKind::Store as usize] >= 3);
+    }
+
+    #[test]
+    fn memory_access_counted() {
+        let d = rtlir::elaborate(
+            "module top(input clk, input [3:0] a, input [7:0] din, output [7:0] q);
+               reg [7:0] mem [0:15];
+               assign q = mem[a];
+               always @(posedge clk) mem[a] <= din;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let total: u32 = (0..d.processes.len())
+            .map(|p| node_features(&d, p)[FeatureKind::MemAccess as usize])
+            .sum();
+        assert_eq!(total, 2);
+    }
+}

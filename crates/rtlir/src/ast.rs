@@ -1,0 +1,302 @@
+//! Abstract syntax tree for the Verilog subset.
+//!
+//! The AST mirrors (a small slice of) Verilator's node vocabulary — the
+//! paper's transpilation stages (§3.1) walk exactly these node kinds:
+//! `MODULE`, `CELL`, `VAR`, `VARREF`, `ASSIGN`, `ARRSEL`, `CFUNC`...
+
+use crate::token::Number;
+
+/// A parsed source file: an ordered list of module definitions.
+#[derive(Debug, Clone)]
+pub struct SourceUnit {
+    pub modules: Vec<Module>,
+}
+
+impl SourceUnit {
+    /// Look up a module definition by name.
+    pub fn find_module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Total number of AST nodes across all modules (Table 1 statistic).
+    pub fn count_nodes(&self) -> usize {
+        self.modules.iter().map(Module::count_nodes).sum()
+    }
+}
+
+/// One `module ... endmodule` definition.
+#[derive(Debug, Clone)]
+pub struct Module {
+    pub name: String,
+    pub ports: Vec<Port>,
+    pub params: Vec<ParamDecl>,
+    pub decls: Vec<VarDecl>,
+    pub items: Vec<Item>,
+    pub line: u32,
+}
+
+impl Module {
+    /// Count AST nodes in this module (declarations, statements, exprs).
+    pub fn count_nodes(&self) -> usize {
+        let items: usize = self.items.iter().map(Item::count_nodes).sum();
+        1 + self.ports.len() + self.params.len() + self.decls.len() + items
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Input,
+    Output,
+}
+
+/// A module port (always also declared as a variable in `decls`).
+#[derive(Debug, Clone)]
+pub struct Port {
+    pub name: String,
+    pub dir: Dir,
+}
+
+/// `parameter NAME = expr` / `localparam NAME = expr`.
+#[derive(Debug, Clone)]
+pub struct ParamDecl {
+    pub name: String,
+    pub value: Expr,
+    /// `true` for `localparam` (cannot be overridden at instantiation).
+    pub local: bool,
+}
+
+/// Net/variable kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    Wire,
+    Reg,
+}
+
+/// A declaration: `wire [7:0] w;`, `reg [31:0] mem [0:255];`, ...
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    pub name: String,
+    pub kind: NetKind,
+    /// Packed range `[msb:lsb]`; `None` means a 1-bit scalar.
+    pub range: Option<(Expr, Expr)>,
+    /// Unpacked (memory) range `[lo:hi]`; `None` for plain variables.
+    pub array: Option<(Expr, Expr)>,
+    /// Port direction if this declaration is (also) a port.
+    pub dir: Option<Dir>,
+    pub line: u32,
+}
+
+/// Module-level item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `assign lhs = rhs;`
+    Assign { lhs: LValue, rhs: Expr, line: u32 },
+    /// `always @(*) stmt` (combinational) or `always @(posedge clk) stmt`.
+    Always { sens: Sensitivity, body: Stmt, line: u32 },
+    /// Module instantiation: `sub #(.P(3)) u0 (.a(x), .b(y));`
+    Instance {
+        module: String,
+        name: String,
+        params: Vec<(String, Expr)>,
+        conns: Vec<(String, Option<Expr>)>,
+        line: u32,
+    },
+    /// `generate for (i = lo; i < hi; i = i + step) begin : label ... end`
+    /// — unrolled at elaboration with `i` bound as a parameter.
+    GenFor {
+        var: String,
+        init: Expr,
+        cond: Expr,
+        step: Expr,
+        label: Option<String>,
+        items: Vec<Item>,
+        line: u32,
+    },
+}
+
+impl Item {
+    fn count_nodes(&self) -> usize {
+        match self {
+            Item::Assign { lhs, rhs, .. } => 1 + lhs.count_nodes() + rhs.count_nodes(),
+            Item::Always { body, .. } => 1 + body.count_nodes(),
+            Item::Instance { params, conns, .. } => {
+                1 + params.iter().map(|(_, e)| e.count_nodes()).sum::<usize>()
+                    + conns
+                        .iter()
+                        .map(|(_, e)| e.as_ref().map_or(0, Expr::count_nodes))
+                        .sum::<usize>()
+            }
+            Item::GenFor { init, cond, step, items, .. } => {
+                1 + init.count_nodes()
+                    + cond.count_nodes()
+                    + step.count_nodes()
+                    + items.iter().map(Item::count_nodes).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// `@(*)` or an explicit combinational list — treated identically.
+    Comb,
+    /// `@(posedge <clk>)`.
+    Posedge(String),
+}
+
+/// Procedural statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Blocking (`=`) or non-blocking (`<=`) assignment.
+    Assign { lhs: LValue, rhs: Expr, blocking: bool, line: u32 },
+    If { cond: Expr, then_s: Box<Stmt>, else_s: Option<Box<Stmt>>, line: u32 },
+    /// `for (i = lo; i < hi; i = i + step) stmt` with constant bounds —
+    /// unrolled at elaboration.
+    For { var: String, init: Expr, cond: Expr, step: Expr, body: Box<Stmt>, line: u32 },
+    Case {
+        subject: Expr,
+        arms: Vec<CaseArm>,
+        default: Option<Box<Stmt>>,
+        /// `true` for `casez`: x/z/? bits in labels match anything.
+        wildcard: bool,
+        line: u32,
+    },
+    Block(Vec<Stmt>),
+}
+
+impl Stmt {
+    fn count_nodes(&self) -> usize {
+        match self {
+            Stmt::Assign { lhs, rhs, .. } => 1 + lhs.count_nodes() + rhs.count_nodes(),
+            Stmt::If { cond, then_s, else_s, .. } => {
+                1 + cond.count_nodes()
+                    + then_s.count_nodes()
+                    + else_s.as_ref().map_or(0, |s| s.count_nodes())
+            }
+            Stmt::Case { subject, arms, default, .. } => {
+                1 + subject.count_nodes()
+                    + arms
+                        .iter()
+                        .map(|a| {
+                            a.labels.iter().map(Expr::count_nodes).sum::<usize>()
+                                + a.body.count_nodes()
+                        })
+                        .sum::<usize>()
+                    + default.as_ref().map_or(0, |s| s.count_nodes())
+            }
+            Stmt::Block(stmts) => 1 + stmts.iter().map(Stmt::count_nodes).sum::<usize>(),
+            Stmt::For { init, cond, step, body, .. } => {
+                1 + init.count_nodes() + cond.count_nodes() + step.count_nodes() + body.count_nodes()
+            }
+        }
+    }
+}
+
+/// One `label1, label2: stmt` arm of a case statement.
+#[derive(Debug, Clone)]
+pub struct CaseArm {
+    pub labels: Vec<Expr>,
+    pub body: Stmt,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone)]
+pub enum LValue {
+    /// `name = ...`
+    Var(String),
+    /// `name[bit] = ...` (single bit) — `idx` may be a dynamic expression.
+    BitSel { name: String, idx: Expr },
+    /// `name[msb:lsb] = ...` with constant bounds.
+    PartSel { name: String, msb: Expr, lsb: Expr },
+    /// `mem[addr] = ...` memory word write.
+    Index { name: String, idx: Expr },
+    /// `{a, b, c} = ...` concatenated target.
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    fn count_nodes(&self) -> usize {
+        match self {
+            LValue::Var(_) => 1,
+            LValue::BitSel { idx, .. } => 1 + idx.count_nodes(),
+            LValue::PartSel { msb, lsb, .. } => 1 + msb.count_nodes() + lsb.count_nodes(),
+            LValue::Index { idx, .. } => 1 + idx.count_nodes(),
+            LValue::Concat(parts) => 1 + parts.iter().map(LValue::count_nodes).sum::<usize>(),
+        }
+    }
+}
+
+/// Binary operators (post-parse; `<=` in expression position is `Le`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Shl,
+    Shr,
+    Sshr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LAnd,
+    LOr,
+}
+
+/// Unary operators, including reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Not,    // ~
+    LNot,   // !
+    Neg,    // -
+    RedAnd, // &x
+    RedOr,  // |x
+    RedXor, // ^x
+}
+
+/// Expression node.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Num(Number),
+    /// `VARREF` — reference to a variable or parameter by name.
+    Ident(String),
+    /// `x[i]` — bit select on a vector, or word select on a memory
+    /// (`ARRSEL` in Verilator's vocabulary). Disambiguated at elaboration.
+    Index { base: String, idx: Box<Expr> },
+    /// `x[msb:lsb]` with constant bounds.
+    PartSel { base: String, msb: Box<Expr>, lsb: Box<Expr> },
+    Unary { op: UnOp, arg: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Ternary { cond: Box<Expr>, then_e: Box<Expr>, else_e: Box<Expr> },
+    Concat(Vec<Expr>),
+    /// `{n{expr}}` with constant replication count.
+    Repeat { count: Box<Expr>, arg: Box<Expr> },
+}
+
+impl Expr {
+    /// Number of AST nodes in this expression tree.
+    pub fn count_nodes(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Ident(_) => 1,
+            Expr::Index { idx, .. } => 1 + idx.count_nodes(),
+            Expr::PartSel { msb, lsb, .. } => 1 + msb.count_nodes() + lsb.count_nodes(),
+            Expr::Unary { arg, .. } => 1 + arg.count_nodes(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.count_nodes() + rhs.count_nodes(),
+            Expr::Ternary { cond, then_e, else_e } => {
+                1 + cond.count_nodes() + then_e.count_nodes() + else_e.count_nodes()
+            }
+            Expr::Concat(parts) => 1 + parts.iter().map(Expr::count_nodes).sum::<usize>(),
+            Expr::Repeat { count, arg } => 1 + count.count_nodes() + arg.count_nodes(),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type shared by every stage of the frontend.
+
+use std::fmt;
+
+/// Result alias used throughout `rtlir`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A frontend error, tagged with the pipeline stage that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error (bad character, malformed literal...).
+    Lex { line: u32, msg: String },
+    /// Syntax error.
+    Parse { line: u32, msg: String },
+    /// Elaboration error (unknown module, width mismatch, bad connection...).
+    Elab(String),
+    /// RTL graph construction error (combinational loop, undriven signal...).
+    Graph(String),
+}
+
+impl Error {
+    pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
+        Error::Lex { line, msg: msg.into() }
+    }
+    pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
+        Error::Parse { line, msg: msg.into() }
+    }
+    pub(crate) fn elab(msg: impl Into<String>) -> Self {
+        Error::Elab(msg.into())
+    }
+    pub(crate) fn graph(msg: impl Into<String>) -> Self {
+        Error::Graph(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::Elab(msg) => write!(f, "elaboration error: {msg}"),
+            Error::Graph(msg) => write!(f, "rtl graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

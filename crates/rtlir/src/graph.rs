@@ -1,0 +1,300 @@
+//! The *RTL graph*: nodes are processes, edges are signal dependencies.
+//!
+//! This is the structure the paper partitions into GPU tasks (§2, §3.2).
+//! Combinational nodes are levelized (topologically ordered); sequential
+//! nodes read pre-edge values and commit together, so they form the final
+//! level and never create cycles.
+
+use std::collections::HashMap;
+
+use crate::elab::{self, Design, ProcessKind, VarId};
+use crate::error::{Error, Result};
+
+/// Write ranges of one process (helper shared with the range analysis).
+fn rtl_write_ranges(design: &Design, process: usize) -> Vec<elab::BitRange> {
+    elab::write_ranges(&design.processes[process].body)
+}
+
+/// Index of a node (process) in the RTL graph.
+pub type NodeId = usize;
+
+/// One node of the RTL graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Index into [`Design::processes`].
+    pub process: usize,
+    pub kind: ProcessKind,
+    /// Levelized rank for combinational nodes (0 = reads only state/inputs).
+    pub level: u32,
+    /// Static cost estimate: number of expression/statement ops.
+    pub cost: usize,
+}
+
+/// Dependency graph over a design's processes.
+#[derive(Debug, Clone)]
+pub struct RtlGraph {
+    pub nodes: Vec<Node>,
+    /// `edges[a]` lists nodes that must run after `a` within a cycle.
+    pub edges: Vec<Vec<NodeId>>,
+    /// Reverse edges: `preds[b]` lists nodes that must run before `b`.
+    pub preds: Vec<Vec<NodeId>>,
+    /// Combinational nodes in a valid topological evaluation order.
+    pub comb_order: Vec<NodeId>,
+    /// Sequential (clocked) nodes.
+    pub seq_nodes: Vec<NodeId>,
+}
+
+impl RtlGraph {
+    /// Build the RTL graph for a design, levelize it, and reject
+    /// combinational loops.
+    pub fn build(design: &Design) -> Result<RtlGraph> {
+        let n = design.processes.len();
+        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        for (i, p) in design.processes.iter().enumerate() {
+            nodes.push(Node { process: i, kind: p.kind, level: 0, cost: process_cost(design, i) });
+        }
+
+        // writer[var] = comb nodes producing (ranges of) it within the
+        // cycle — several when disjoint slices of a bus have different
+        // drivers. Dependencies are tracked at bit-range granularity so a
+        // pipeline of stages over one bus does not read as a false cycle.
+        let mut writer: HashMap<VarId, Vec<(NodeId, u32, u32)>> = HashMap::new();
+        for (i, p) in design.processes.iter().enumerate() {
+            if p.kind == ProcessKind::Comb {
+                for (v, lsb, w) in rtl_write_ranges(design, i) {
+                    writer.entry(v).or_default().push((i, lsb, w));
+                }
+            }
+        }
+
+        let mut edges: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, p) in design.processes.iter().enumerate() {
+            let external: std::collections::HashSet<VarId> = p.reads.iter().copied().collect();
+            for (v, lsb, w) in elab::read_ranges(&p.body) {
+                if !external.contains(&v) {
+                    continue; // internally produced before use
+                }
+                for &(src, wl, ww) in writer.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !elab::ranges_overlap((lsb, w), (wl, ww)) {
+                        continue;
+                    }
+                    if src != i {
+                        edges[src].push(i);
+                        preds[i].push(src);
+                    } else if p.kind == ProcessKind::Comb {
+                        return Err(Error::graph(format!(
+                            "combinational self-loop in process `{}` (reads `{}` which it writes)",
+                            p.name, design.vars[v].name
+                        )));
+                    }
+                }
+            }
+        }
+        for e in edges.iter_mut().chain(preds.iter_mut()) {
+            e.sort_unstable();
+            e.dedup();
+        }
+
+        // Kahn levelization over comb nodes only.
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|i| preds[i].iter().filter(|&&p| nodes[p].kind == ProcessKind::Comb).count())
+            .collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&i| nodes[i].kind == ProcessKind::Comb && indeg[i] == 0)
+            .collect();
+        let mut comb_order = Vec::new();
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            comb_order.push(u);
+            for &v in &edges[u] {
+                if nodes[v].kind != ProcessKind::Comb {
+                    continue;
+                }
+                let lvl = nodes[u].level + 1;
+                if nodes[v].level < lvl {
+                    nodes[v].level = lvl;
+                }
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        let comb_total = nodes.iter().filter(|nd| nd.kind == ProcessKind::Comb).count();
+        if comb_order.len() != comb_total {
+            // Find a node stuck in a cycle for the error message.
+            let stuck = (0..n)
+                .find(|&i| nodes[i].kind == ProcessKind::Comb && !comb_order.contains(&i))
+                .unwrap();
+            return Err(Error::graph(format!(
+                "combinational loop detected involving process `{}`",
+                design.processes[stuck].name
+            )));
+        }
+
+        let seq_nodes: Vec<NodeId> = (0..n).filter(|&i| nodes[i].kind == ProcessKind::Seq).collect();
+        Ok(RtlGraph { nodes, edges, preds, comb_order, seq_nodes })
+    }
+
+    /// Number of levels in the combinational logic (critical path length).
+    pub fn depth(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == ProcessKind::Comb)
+            .map(|n| n.level + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Nodes per level, for parallelism statistics (Figure 14).
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let depth = self.depth() as usize;
+        let mut hist = vec![0usize; depth];
+        for n in &self.nodes {
+            if n.kind == ProcessKind::Comb {
+                hist[n.level as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Total static cost of all nodes.
+    pub fn total_cost(&self) -> usize {
+        self.nodes.iter().map(|n| n.cost).sum()
+    }
+
+    /// Export to Graphviz DOT (Figure 14 visualization).
+    pub fn to_dot(&self, design: &Design) -> String {
+        let mut out = String::from("digraph rtl {\n  rankdir=TB;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let p = &design.processes[n.process];
+            let shape = if n.kind == ProcessKind::Seq { "box" } else { "ellipse" };
+            out.push_str(&format!("  n{i} [label=\"{}\" shape={shape}];\n", p.name));
+        }
+        for (a, outs) in self.edges.iter().enumerate() {
+            for &b in outs {
+                out.push_str(&format!("  n{a} -> n{b};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Static op-count cost of one process (the baseline partitioner's unit).
+pub fn process_cost(design: &Design, process: usize) -> usize {
+    use crate::elab::Stm;
+    fn stms_cost(stms: &[Stm]) -> usize {
+        stms.iter()
+            .map(|s| match s {
+                Stm::Assign { rhs, .. } => 1 + rhs.count_ops(),
+                Stm::If { cond, then_s, else_s } => 1 + cond.count_ops() + stms_cost(then_s) + stms_cost(else_s),
+            })
+            .sum()
+    }
+    stms_cost(&design.processes[process].body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate;
+
+    fn graph(src: &str) -> (Design, RtlGraph) {
+        let d = elaborate(src, "top").unwrap();
+        let g = RtlGraph::build(&d).unwrap();
+        (d, g)
+    }
+
+    #[test]
+    fn chain_levelizes_in_order() {
+        let (_, g) = graph(
+            "module top(input [3:0] a, output [3:0] y);
+               wire [3:0] b, c;
+               assign b = a + 4'd1;
+               assign c = b + 4'd1;
+               assign y = c + 4'd1;
+             endmodule",
+        );
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.comb_order.len(), 3);
+        // Order must respect dependencies.
+        let pos: HashMap<_, _> = g.comb_order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (a, outs) in g.edges.iter().enumerate() {
+            for &b in outs {
+                assert!(pos[&a] < pos[&b]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_nodes_share_level() {
+        let (_, g) = graph(
+            "module top(input [3:0] a, output [3:0] y);
+               wire [3:0] b, c;
+               assign b = a + 4'd1;
+               assign c = a + 4'd2;
+               assign y = b & c;
+             endmodule",
+        );
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.level_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn comb_loop_is_detected() {
+        let d = elaborate(
+            "module top(input a, output y);
+               wire p, q;
+               assign p = q ^ a;
+               assign q = p;
+               assign y = q;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let err = RtlGraph::build(&d).unwrap_err();
+        assert!(err.to_string().contains("loop"), "{err}");
+    }
+
+    #[test]
+    fn ff_breaks_cycles() {
+        // Feedback through a flip-flop is fine.
+        let (_, g) = graph(
+            "module top(input clk, output [3:0] y);
+               reg [3:0] r;
+               wire [3:0] next;
+               assign next = r + 4'd1;
+               always @(posedge clk) r <= next;
+               assign y = r;
+             endmodule",
+        );
+        assert_eq!(g.seq_nodes.len(), 1);
+        assert_eq!(g.comb_order.len(), 2);
+    }
+
+    #[test]
+    fn dot_export_mentions_all_nodes() {
+        let (d, g) = graph(
+            "module top(input [3:0] a, output [3:0] y);
+               assign y = a + 4'd1;
+             endmodule",
+        );
+        let dot = g.to_dot(&d);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0"));
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        let (_, g) = graph(
+            "module top(input [3:0] a, output [3:0] y);
+               assign y = (a + 4'd1) * (a - 4'd2);
+             endmodule",
+        );
+        assert!(g.total_cost() >= 5);
+    }
+}

@@ -1,0 +1,391 @@
+//! Hand-written lexer for the Verilog subset.
+
+use crate::error::{Error, Result};
+use crate::token::{Keyword, Number, Punct, Token, TokenKind};
+
+/// Streaming lexer over raw source text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lex the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn lex(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::with_capacity(self.src.len() / 4);
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(&c) = self.src.get(self.pos) else {
+                out.push(Token { kind: TokenKind::Eof, line });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'\\' => self.lex_ident(),
+                b'0'..=b'9' | b'\'' => self.lex_number()?,
+                _ => self.lex_punct()?,
+            };
+            out.push(Token { kind, line });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(&c) = self.src.get(self.pos) {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start = self.line;
+                    self.pos += 2;
+                    loop {
+                        match self.src.get(self.pos) {
+                            Some(b'*') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(b'\n') => {
+                                self.line += 1;
+                                self.pos += 1;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => return Err(Error::lex(start, "unterminated block comment")),
+                        }
+                    }
+                }
+                // Ignore compiler directives (`timescale, `default_nettype...)
+                Some(b'`') => {
+                    while let Some(&c) = self.src.get(self.pos) {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        // Escaped identifiers (`\foo `) terminate at whitespace.
+        if self.src[self.pos] == b'\\' {
+            self.pos += 1;
+            let start = self.pos;
+            while let Some(&c) = self.src.get(self.pos) {
+                if c.is_ascii_whitespace() {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            return TokenKind::Ident(text);
+        }
+        let start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let line = self.line;
+        // Optional decimal size prefix.
+        let mut width: Option<u32> = None;
+        if self.src[self.pos].is_ascii_digit() {
+            let start = self.pos;
+            while let Some(&c) = self.src.get(self.pos) {
+                if c.is_ascii_digit() || c == b'_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String =
+                self.src[start..self.pos].iter().map(|&b| b as char).filter(|&c| c != '_').collect();
+            if self.src.get(self.pos) != Some(&b'\'') {
+                // Plain unsized decimal literal.
+                let v: u64 = text
+                    .parse()
+                    .map_err(|_| Error::lex(line, format!("decimal literal `{text}` overflows 64 bits")))?;
+                return Ok(TokenKind::Number(Number { width: None, words: vec![v], xz_mask: vec![0] }));
+            }
+            let w: u32 = text
+                .parse()
+                .map_err(|_| Error::lex(line, format!("bad width prefix `{text}`")))?;
+            if w == 0 || w > 4096 {
+                return Err(Error::lex(line, format!("unsupported literal width {w}")));
+            }
+            width = Some(w);
+        }
+        // Based literal: '<base><digits>
+        assert_eq!(self.src[self.pos], b'\'');
+        self.pos += 1;
+        // Optional signedness marker.
+        if matches!(self.src.get(self.pos), Some(b's') | Some(b'S')) {
+            self.pos += 1;
+        }
+        let base = match self.src.get(self.pos) {
+            Some(b'h') | Some(b'H') => 16u32,
+            Some(b'd') | Some(b'D') => 10,
+            Some(b'o') | Some(b'O') => 8,
+            Some(b'b') | Some(b'B') => 2,
+            other => {
+                return Err(Error::lex(
+                    line,
+                    format!("expected base character after ', found {:?}", other.map(|&b| b as char)),
+                ))
+            }
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'?' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::lex(line, "based literal has no digits"));
+        }
+        let digits: Vec<u8> = self.src[start..self.pos].iter().copied().filter(|&b| b != b'_').collect();
+        let (words, xz_mask) = parse_based_digits(&digits, base, line)?;
+        Ok(TokenKind::Number(Number { width, words, xz_mask }))
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind> {
+        use Punct::*;
+        let line = self.line;
+        let c = self.src[self.pos];
+        let next = self.src.get(self.pos + 1).copied();
+        let next2 = self.src.get(self.pos + 2).copied();
+        let (p, len) = match (c, next, next2) {
+            (b'>', Some(b'>'), Some(b'>')) => (Sshr, 3),
+            (b'<', Some(b'<'), _) => (Shl, 2),
+            (b'>', Some(b'>'), _) => (Shr, 2),
+            (b'<', Some(b'='), _) => (NonBlocking, 2),
+            (b'>', Some(b'='), _) => (GtEq, 2),
+            (b'=', Some(b'='), _) => (EqEq, 2),
+            (b'!', Some(b'='), _) => (BangEq, 2),
+            (b'&', Some(b'&'), _) => (AmpAmp, 2),
+            (b'|', Some(b'|'), _) => (PipePipe, 2),
+            (b'~', Some(b'^'), _) => (TildeCaret, 2),
+            (b'^', Some(b'~'), _) => (TildeCaret, 2),
+            (b'(', ..) => (LParen, 1),
+            (b')', ..) => (RParen, 1),
+            (b'[', ..) => (LBracket, 1),
+            (b']', ..) => (RBracket, 1),
+            (b'{', ..) => (LBrace, 1),
+            (b'}', ..) => (RBrace, 1),
+            (b';', ..) => (Semi, 1),
+            (b',', ..) => (Comma, 1),
+            (b'.', ..) => (Dot, 1),
+            (b':', ..) => (Colon, 1),
+            (b'@', ..) => (At, 1),
+            (b'#', ..) => (Hash, 1),
+            (b'?', ..) => (Question, 1),
+            (b'=', ..) => (Assign, 1),
+            (b'+', ..) => (Plus, 1),
+            (b'-', ..) => (Minus, 1),
+            (b'*', ..) => (Star, 1),
+            (b'/', ..) => (Slash, 1),
+            (b'%', ..) => (Percent, 1),
+            (b'&', ..) => (Amp, 1),
+            (b'|', ..) => (Pipe, 1),
+            (b'^', ..) => (Caret, 1),
+            (b'~', ..) => (Tilde, 1),
+            (b'!', ..) => (Bang, 1),
+            (b'<', ..) => (Lt, 1),
+            (b'>', ..) => (Gt, 1),
+            _ => return Err(Error::lex(line, format!("unexpected character `{}`", c as char))),
+        };
+        self.pos += len;
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+/// Parse the digit string of a based literal into little-endian value
+/// words plus an x/z wildcard mask (x/z digits read as 0 in the value).
+fn parse_based_digits(digits: &[u8], base: u32, line: u32) -> Result<(Vec<u64>, Vec<u64>)> {
+    let is_xz = |d: u8| matches!(d, b'x' | b'X' | b'z' | b'Z' | b'?');
+    if base == 10 {
+        if digits.iter().any(|&d| is_xz(d)) {
+            return Err(Error::lex(line, "x/z digits are not allowed in decimal literals"));
+        }
+        // words = words * 10 + v, in wide arithmetic.
+        let mut words: Vec<u64> = vec![0];
+        for &d in digits {
+            if !d.is_ascii_digit() {
+                return Err(Error::lex(line, format!("bad digit `{}`", d as char)));
+            }
+            let mut carry = (d - b'0') as u128;
+            for w in words.iter_mut() {
+                let acc = (*w as u128) * 10 + carry;
+                *w = acc as u64;
+                carry = acc >> 64;
+            }
+            if carry != 0 {
+                words.push(carry as u64);
+            }
+        }
+        let n = words.len();
+        return Ok((words, vec![0; n]));
+    }
+
+    // Power-of-two bases: each digit contributes a fixed number of bits,
+    // so both value and wildcard mask accumulate by shifting.
+    let bits = match base {
+        2 => 1u32,
+        8 => 3,
+        16 => 4,
+        _ => unreachable!("lexer only produces bases 2/8/10/16"),
+    };
+    let total_bits = digits.len() * bits as usize;
+    let nwords = total_bits.div_ceil(64).max(1);
+    let mut words = vec![0u64; nwords];
+    let mut mask = vec![0u64; nwords];
+    let shift_in = |vec: &mut [u64], v: u64| {
+        // vec = (vec << bits) | v
+        for i in (1..vec.len()).rev() {
+            vec[i] = (vec[i] << bits) | (vec[i - 1] >> (64 - bits));
+        }
+        vec[0] = (vec[0] << bits) | v;
+    };
+    for &d in digits {
+        let (v, m) = if is_xz(d) {
+            (0u64, (1u64 << bits) - 1)
+        } else {
+            let v = match d {
+                b'0'..=b'9' => (d - b'0') as u64,
+                b'a'..=b'f' => (d - b'a' + 10) as u64,
+                b'A'..=b'F' => (d - b'A' + 10) as u64,
+                _ => return Err(Error::lex(line, format!("bad digit `{}`", d as char))),
+            };
+            if v >= base as u64 {
+                return Err(Error::lex(line, format!("digit `{}` out of range for base {base}", d as char)));
+            }
+            (v, 0)
+        };
+        shift_in(&mut words, v);
+        shift_in(&mut mask, m);
+    }
+    Ok((words, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).lex().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_idents_and_keywords() {
+        let k = kinds("module foo_1 endmodule");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Module),
+                TokenKind::Ident("foo_1".into()),
+                TokenKind::Keyword(Keyword::Endmodule),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_sized_hex_literal() {
+        let k = kinds("10'h1");
+        match &k[0] {
+            TokenKind::Number(n) => {
+                assert_eq!(n.width, Some(10));
+                assert_eq!(n.words, vec![1]);
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_wide_literal() {
+        // 128'hffff_ffff_ffff_ffff_0000_0000_0000_0001
+        let k = kinds("128'hffffffffffffffff0000000000000001");
+        match &k[0] {
+            TokenKind::Number(n) => {
+                assert_eq!(n.width, Some(128));
+                assert_eq!(n.words, vec![1, u64::MAX]);
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_binary_with_underscores() {
+        let k = kinds("8'b1010_0101");
+        match &k[0] {
+            TokenKind::Number(n) => assert_eq!(n.words, vec![0xa5]),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_operators_longest_match() {
+        let k = kinds("a >>> b >> c >= d <= e << f");
+        let puncts: Vec<_> = k
+            .iter()
+            .filter_map(|t| if let TokenKind::Punct(p) = t { Some(*p) } else { None })
+            .collect();
+        assert_eq!(puncts, vec![Punct::Sshr, Punct::Shr, Punct::GtEq, Punct::NonBlocking, Punct::Shl]);
+    }
+
+    #[test]
+    fn comments_and_directives_are_skipped() {
+        let k = kinds("`timescale 1ns/1ps\n// line\n/* block\nspanning */ module");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Module));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = Lexer::new("a\nb\n\nc").lex().unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(Lexer::new("/* nope").lex().is_err());
+    }
+
+    #[test]
+    fn x_digits_read_as_zero() {
+        let k = kinds("4'bxx10");
+        match &k[0] {
+            TokenKind::Number(n) => assert_eq!(n.words, vec![0b0010]),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}

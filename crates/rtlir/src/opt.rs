@@ -1,0 +1,303 @@
+//! RTL-level optimizations applied after elaboration.
+//!
+//! The paper builds on Verilator to inherit its "inverter pushing, module
+//! inlining, and constant propagation". Module inlining is inherent to our
+//! flattening elaborator; this module supplies the remaining passes:
+//!
+//! * [`fold_constants`] — bottom-up constant folding of elaborated
+//!   expressions (including mux pruning on constant conditions).
+//! * [`eliminate_dead`] — removes processes whose outputs are never read
+//!   and do not drive top-level outputs.
+
+use std::collections::HashSet;
+
+use crate::ast::{BinOp, UnOp};
+use crate::elab::{const_binop, Design, EExpr, Stm};
+use crate::value::BitVec;
+
+/// Statistics reported by the optimization passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Expression nodes replaced by constants.
+    pub folded: usize,
+    /// Processes removed as dead.
+    pub dead_processes: usize,
+}
+
+/// Run all optimization passes to a fixed point (bounded).
+pub fn optimize(design: &mut Design) -> OptStats {
+    let mut stats = OptStats::default();
+    stats.folded += fold_constants(design);
+    // Folding can only kill processes once; two rounds of DCE reach the
+    // fixed point for our single-writer process graphs.
+    for _ in 0..2 {
+        let removed = eliminate_dead(design);
+        stats.dead_processes += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Fold constant subexpressions in every process body. Returns the number
+/// of nodes replaced.
+pub fn fold_constants(design: &mut Design) -> usize {
+    let mut folded = 0;
+    let mut processes = std::mem::take(&mut design.processes);
+    for p in &mut processes {
+        for stm in &mut p.body {
+            fold_stm(stm, &mut folded);
+        }
+    }
+    design.processes = processes;
+    folded
+}
+
+fn fold_stm(stm: &mut Stm, folded: &mut usize) {
+    match stm {
+        Stm::Assign { rhs, .. } => fold_expr(rhs, folded),
+        Stm::If { cond, then_s, else_s } => {
+            fold_expr(cond, folded);
+            for s in then_s.iter_mut() {
+                fold_stm(s, folded);
+            }
+            for s in else_s.iter_mut() {
+                fold_stm(s, folded);
+            }
+        }
+    }
+}
+
+fn as_const(e: &EExpr) -> Option<&BitVec> {
+    match e {
+        EExpr::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn fold_expr(e: &mut EExpr, folded: &mut usize) {
+    // Fold children first.
+    match e {
+        EExpr::Const(_) | EExpr::Var(_) => return,
+        EExpr::ReadMem { idx, .. } => fold_expr(idx, folded),
+        EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => fold_expr(arg, folded),
+        EExpr::Binary { a, b, .. } => {
+            fold_expr(a, folded);
+            fold_expr(b, folded);
+        }
+        EExpr::Mux { cond, t, e: el, .. } => {
+            fold_expr(cond, folded);
+            fold_expr(t, folded);
+            fold_expr(el, folded);
+        }
+        EExpr::Concat { parts, .. } => parts.iter_mut().for_each(|p| fold_expr(p, folded)),
+        EExpr::IndexBit { arg, idx } => {
+            fold_expr(arg, folded);
+            fold_expr(idx, folded);
+        }
+    }
+
+    // Then try to replace this node.
+    let replacement: Option<EExpr> = match e {
+        EExpr::Unary { op, arg, width } => as_const(arg).map(|v| {
+            let r = match op {
+                UnOp::Not => v.resize(*width).not(),
+                UnOp::Neg => v.resize(*width).neg(),
+                UnOp::LNot => BitVec::from_u64(!v.any() as u64, 1).resize(*width),
+                UnOp::RedAnd => BitVec::from_u64(v.red_and() as u64, 1).resize(*width),
+                UnOp::RedOr => BitVec::from_u64(v.red_or() as u64, 1).resize(*width),
+                UnOp::RedXor => BitVec::from_u64(v.red_xor() as u64, 1).resize(*width),
+            };
+            EExpr::Const(r)
+        }),
+        EExpr::Binary { op, a, b, width } => match (as_const(a), as_const(b)) {
+            (Some(va), Some(vb)) => Some(EExpr::Const(const_binop(*op, va, vb).resize(*width))),
+            // Identity simplifications with one constant side.
+            (Some(va), None) if !va.any() && matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => {
+                Some(EExpr::Resize { arg: b.clone(), width: *width })
+            }
+            (None, Some(vb)) if !vb.any() && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor) => {
+                Some(EExpr::Resize { arg: a.clone(), width: *width })
+            }
+            (Some(va), None) if !va.any() && matches!(op, BinOp::And | BinOp::Mul) => {
+                Some(EExpr::Const(BitVec::zero(*width)))
+            }
+            (None, Some(vb)) if !vb.any() && matches!(op, BinOp::And | BinOp::Mul) => {
+                Some(EExpr::Const(BitVec::zero(*width)))
+            }
+            _ => None,
+        },
+        EExpr::Mux { cond, t, e: el, width } => as_const(cond).map(|c| {
+            let chosen = if c.any() { t.clone() } else { el.clone() };
+            EExpr::Resize { arg: chosen, width: *width }
+        }),
+        EExpr::Resize { arg, width } => match &**arg {
+            EExpr::Const(v) => Some(EExpr::Const(v.resize(*width))),
+            // Collapse nested resizes.
+            EExpr::Resize { arg: inner, .. } => {
+                Some(EExpr::Resize { arg: inner.clone(), width: *width })
+            }
+            _ => None,
+        },
+        EExpr::Slice { arg, lsb, width } => {
+            as_const(arg).map(|v| EExpr::Const(v.shr_bits(*lsb).resize(*width)))
+        }
+        EExpr::Concat { parts, width } => {
+            if parts.iter().all(|p| matches!(p, EExpr::Const(_))) {
+                let mut acc: Option<BitVec> = None;
+                for p in parts.iter() {
+                    let v = as_const(p).unwrap().clone();
+                    acc = Some(match acc {
+                        None => v,
+                        Some(hi) => hi.concat(&v),
+                    });
+                }
+                Some(EExpr::Const(acc.unwrap().resize(*width)))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    if let Some(r) = replacement {
+        *e = r;
+        *folded += 1;
+    }
+}
+
+/// Remove processes whose written variables are never read by any process
+/// and are not top-level outputs. Returns the number of removed processes.
+pub fn eliminate_dead(design: &mut Design) -> usize {
+    let mut live_vars: HashSet<usize> = design.outputs.iter().copied().collect();
+    for p in &design.processes {
+        for &r in &p.reads {
+            live_vars.insert(r);
+        }
+        // Dynamic-index targets also read their index expressions; those
+        // reads are already in `p.reads` from elaboration.
+    }
+    let before = design.processes.len();
+    design.processes.retain(|p| p.writes.iter().any(|w| live_vars.contains(w)));
+    before - design.processes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::Target;
+    use crate::elaborate;
+
+    #[test]
+    fn folds_constant_arith() {
+        let mut d = elaborate(
+            "module top(input [7:0] a, output [7:0] y);
+               assign y = a + (8'd2 * 8'd3);
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let folded = fold_constants(&mut d);
+        assert!(folded >= 1);
+        match &d.processes[0].body[0] {
+            Stm::Assign { rhs: EExpr::Binary { b, .. }, .. } => {
+                assert!(matches!(&**b, EExpr::Const(v) if v.to_u64() == 6));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_mux_on_constant_condition() {
+        let mut d = elaborate(
+            "module top(input [7:0] a, output [7:0] y);
+               assign y = 1'b1 ? a : 8'd0;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        fold_constants(&mut d);
+        match &d.processes[0].body[0] {
+            Stm::Assign { rhs, .. } => {
+                assert!(!matches!(rhs, EExpr::Mux { .. }), "mux should be pruned: {rhs:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let mut d = elaborate(
+            "module top(input [7:0] a, output [7:0] y);
+               assign y = a + 8'd0;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let folded = fold_constants(&mut d);
+        assert_eq!(folded, 1);
+    }
+
+    #[test]
+    fn dead_process_is_removed() {
+        let mut d = elaborate(
+            "module top(input [7:0] a, output [7:0] y);
+               wire [7:0] unused;
+               assign unused = a * 8'd3;
+               assign y = a;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let removed = eliminate_dead(&mut d);
+        assert_eq!(removed, 1);
+        assert_eq!(d.processes.len(), 1);
+    }
+
+    #[test]
+    fn optimize_preserves_behaviour() {
+        let src = "module top(input clk, input [7:0] a, output [7:0] y);
+               reg [7:0] r;
+               wire [7:0] t;
+               assign t = (a + 8'd0) ^ (8'd1 ? 8'h55 : 8'h00);
+               always @(posedge clk) r <= t;
+               assign y = r;
+             endmodule";
+        let d_ref = elaborate(src, "top").unwrap();
+        let mut d_opt = elaborate(src, "top").unwrap();
+        optimize(&mut d_opt);
+        let a_ref = d_ref.find_var("a").unwrap();
+        let a_opt = d_opt.find_var("a").unwrap();
+        let w1 = crate::interp::run_cycles(&d_ref, 32, |c| {
+            vec![(a_ref, BitVec::from_u64(c.wrapping_mul(37) % 256, 8))]
+        })
+        .unwrap();
+        let w2 = crate::interp::run_cycles(&d_opt, 32, |c| {
+            vec![(a_opt, BitVec::from_u64(c.wrapping_mul(37) % 256, 8))]
+        })
+        .unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn live_slice_write_not_removed() {
+        let mut d = elaborate(
+            "module top(input clk, input [3:0] a, output [3:0] y);
+               reg [3:0] r;
+               always @(posedge clk) r[1:0] <= a[1:0];
+               assign y = r;
+             endmodule",
+            "top",
+        )
+        .unwrap();
+        let removed = eliminate_dead(&mut d);
+        assert_eq!(removed, 0);
+        // Targets survive folding untouched.
+        fold_constants(&mut d);
+        let seq = d.processes.iter().find(|p| p.kind == crate::ProcessKind::Seq).unwrap();
+        match &seq.body[0] {
+            Stm::Assign { target: Target::Slice { width, .. }, .. } => assert_eq!(*width, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,853 @@
+//! Recursive-descent parser producing the [`crate::ast`] types.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::token::{Keyword, Number, Punct, Token, TokenKind};
+
+/// Maximum expression nesting depth, bounding parser recursion so hostile
+/// or generated input errors out instead of overflowing the stack.
+const MAX_EXPR_DEPTH: u32 = 128;
+
+/// Parser over a lexed token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser {
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, depth: 0 }
+    }
+
+    /// Parse an entire source file (a sequence of modules).
+    pub fn parse_source_unit(mut self) -> Result<SourceUnit> {
+        let mut modules = Vec::new();
+        while !self.at_eof() {
+            self.expect_kw(Keyword::Module)?;
+            modules.push(self.parse_module()?);
+        }
+        Ok(SourceUnit { modules })
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(Error::parse(self.line(), format!("expected `{p}`, found {}", self.peek().describe())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<()> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.line(),
+                format!("expected keyword `{}`, found {}", k.as_str(), self.peek().describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(Error::parse(self.line(), format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    // ---- module --------------------------------------------------------
+
+    fn parse_module(&mut self) -> Result<Module> {
+        let line = self.line();
+        let name = self.expect_ident()?;
+        let mut module = Module { name, ports: Vec::new(), params: Vec::new(), decls: Vec::new(), items: Vec::new(), line };
+
+        // Optional `#(parameter ...)` header.
+        if self.eat_punct(Punct::Hash) {
+            self.expect_punct(Punct::LParen)?;
+            loop {
+                self.eat_kw(Keyword::Parameter);
+                let pname = self.expect_ident()?;
+                self.expect_punct(Punct::Assign)?;
+                let value = self.parse_expr()?;
+                module.params.push(ParamDecl { name: pname, value, local: false });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+
+        // Port list: ANSI (`input [3:0] a, ...`) or non-ANSI (`a, b, ...`).
+        if self.eat_punct(Punct::LParen) {
+            if !self.eat_punct(Punct::RParen) {
+                if matches!(self.peek(), TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)) {
+                    self.parse_ansi_ports(&mut module)?;
+                } else {
+                    loop {
+                        let pname = self.expect_ident()?;
+                        // Direction is filled in by the body declaration.
+                        module.ports.push(Port { name: pname, dir: Dir::Input });
+                        if !self.eat_punct(Punct::Comma) {
+                            break;
+                        }
+                    }
+                    self.mark_nonansi_ports(&mut module);
+                }
+                self.expect_punct(Punct::RParen)?;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+
+        while !self.eat_kw(Keyword::Endmodule) {
+            self.parse_module_item(&mut module)?;
+        }
+        // Non-ANSI modules: resolve port directions from body declarations.
+        for port in &mut module.ports {
+            if let Some(decl) = module.decls.iter().find(|d| d.name == port.name) {
+                if let Some(dir) = decl.dir {
+                    port.dir = dir;
+                }
+            }
+        }
+        Ok(module)
+    }
+
+    fn mark_nonansi_ports(&mut self, _module: &mut Module) {
+        // Directions resolved after the body is parsed; nothing to do here.
+    }
+
+    fn parse_ansi_ports(&mut self, module: &mut Module) -> Result<()> {
+        loop {
+            let line = self.line();
+            let dir = match self.bump() {
+                TokenKind::Keyword(Keyword::Input) => Dir::Input,
+                TokenKind::Keyword(Keyword::Output) => Dir::Output,
+                TokenKind::Keyword(Keyword::Inout) => {
+                    return Err(Error::parse(line, "inout ports are not supported"))
+                }
+                other => {
+                    return Err(Error::parse(line, format!("expected port direction, found {}", other.describe())))
+                }
+            };
+            let kind = if self.eat_kw(Keyword::Reg) { NetKind::Reg } else { NetKind::Wire };
+            self.eat_kw(Keyword::Wire);
+            self.eat_kw(Keyword::Signed);
+            let range = self.parse_opt_range()?;
+            loop {
+                let name = self.expect_ident()?;
+                module.ports.push(Port { name: name.clone(), dir });
+                module.decls.push(VarDecl { name, kind, range: range.clone(), array: None, dir: Some(dir), line });
+                if !self.eat_punct(Punct::Comma) {
+                    return Ok(());
+                }
+                // A following direction keyword starts a new port group.
+                if matches!(self.peek(), TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn parse_opt_range(&mut self) -> Result<Option<(Expr, Expr)>> {
+        if self.eat_punct(Punct::LBracket) {
+            let msb = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let lsb = self.parse_expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            Ok(Some((msb, lsb)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // ---- module items --------------------------------------------------
+
+    fn parse_module_item(&mut self, module: &mut Module) -> Result<()> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Input) | TokenKind::Keyword(Keyword::Output) => {
+                let dir = if self.eat_kw(Keyword::Input) {
+                    Dir::Input
+                } else {
+                    self.bump();
+                    Dir::Output
+                };
+                let kind = if self.eat_kw(Keyword::Reg) { NetKind::Reg } else { NetKind::Wire };
+                self.eat_kw(Keyword::Wire);
+                self.eat_kw(Keyword::Signed);
+                let range = self.parse_opt_range()?;
+                loop {
+                    let name = self.expect_ident()?;
+                    module.decls.push(VarDecl { name, kind, range: range.clone(), array: None, dir: Some(dir), line });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+            TokenKind::Keyword(Keyword::Wire) | TokenKind::Keyword(Keyword::Reg) => {
+                let kind = if self.eat_kw(Keyword::Wire) {
+                    NetKind::Wire
+                } else {
+                    self.bump();
+                    NetKind::Reg
+                };
+                self.eat_kw(Keyword::Signed);
+                let range = self.parse_opt_range()?;
+                loop {
+                    let name = self.expect_ident()?;
+                    let array = self.parse_opt_range()?;
+                    // `wire x = expr;` shorthand for wire + assign.
+                    if kind == NetKind::Wire && self.eat_punct(Punct::Assign) {
+                        let rhs = self.parse_expr()?;
+                        module.items.push(Item::Assign { lhs: LValue::Var(name.clone()), rhs, line });
+                    }
+                    module.decls.push(VarDecl { name, kind, range: range.clone(), array, dir: None, line });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+            TokenKind::Keyword(Keyword::Integer) => {
+                self.bump();
+                loop {
+                    let name = self.expect_ident()?;
+                    module.decls.push(VarDecl {
+                        name,
+                        kind: NetKind::Reg,
+                        range: Some((Expr::Num(Number::small(31)), Expr::Num(Number::small(0)))),
+                        array: None,
+                        dir: None,
+                        line,
+                    });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+            TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                let local = matches!(self.bump(), TokenKind::Keyword(Keyword::Localparam));
+                loop {
+                    let name = self.expect_ident()?;
+                    self.expect_punct(Punct::Assign)?;
+                    let value = self.parse_expr()?;
+                    module.params.push(ParamDecl { name, value, local });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+            TokenKind::Keyword(Keyword::Genvar) => {
+                // `genvar i, j;` — loop variables are bound by the GenFor
+                // itself, so the declaration is consumed and discarded.
+                self.bump();
+                loop {
+                    self.expect_ident()?;
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+            TokenKind::Keyword(Keyword::Generate) => {
+                self.bump();
+                while !self.eat_kw(Keyword::Endgenerate) {
+                    self.parse_module_item(module)?;
+                }
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                let (var, init, cond, step) = self.parse_for_header()?;
+                // Body: `begin [: label] <items> end` or a single item.
+                let mut inner = Module {
+                    name: String::new(),
+                    ports: Vec::new(),
+                    params: Vec::new(),
+                    decls: Vec::new(),
+                    items: Vec::new(),
+                    line,
+                };
+                let mut label = None;
+                if self.eat_kw(Keyword::Begin) {
+                    if self.eat_punct(Punct::Colon) {
+                        label = Some(self.expect_ident()?);
+                    }
+                    while !self.eat_kw(Keyword::End) {
+                        self.parse_module_item(&mut inner)?;
+                    }
+                } else {
+                    self.parse_module_item(&mut inner)?;
+                }
+                if !inner.decls.is_empty() || !inner.params.is_empty() {
+                    return Err(Error::parse(
+                        line,
+                        "declarations inside generate-for blocks are not supported; declare arrays of wires outside",
+                    ));
+                }
+                module.items.push(Item::GenFor { var, init, cond, step, label, items: inner.items, line });
+            }
+            TokenKind::Keyword(Keyword::Assign) => {
+                self.bump();
+                loop {
+                    let lhs = self.parse_lvalue()?;
+                    self.expect_punct(Punct::Assign)?;
+                    let rhs = self.parse_expr()?;
+                    module.items.push(Item::Assign { lhs, rhs, line });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                self.bump();
+                let sens = self.parse_sensitivity()?;
+                let body = self.parse_stmt()?;
+                module.items.push(Item::Always { sens, body, line });
+            }
+            TokenKind::Ident(modname) => {
+                self.bump();
+                let mut params = Vec::new();
+                if self.eat_punct(Punct::Hash) {
+                    self.expect_punct(Punct::LParen)?;
+                    loop {
+                        self.expect_punct(Punct::Dot)?;
+                        let pname = self.expect_ident()?;
+                        self.expect_punct(Punct::LParen)?;
+                        let value = self.parse_expr()?;
+                        self.expect_punct(Punct::RParen)?;
+                        params.push((pname, value));
+                        if !self.eat_punct(Punct::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                }
+                let inst_name = self.expect_ident()?;
+                self.expect_punct(Punct::LParen)?;
+                let mut conns = Vec::new();
+                if !self.eat_punct(Punct::RParen) {
+                    loop {
+                        self.expect_punct(Punct::Dot)?;
+                        let port = self.expect_ident()?;
+                        self.expect_punct(Punct::LParen)?;
+                        let expr = if self.peek() == &TokenKind::Punct(Punct::RParen) {
+                            None
+                        } else {
+                            Some(self.parse_expr()?)
+                        };
+                        self.expect_punct(Punct::RParen)?;
+                        conns.push((port, expr));
+                        if !self.eat_punct(Punct::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                }
+                self.expect_punct(Punct::Semi)?;
+                module.items.push(Item::Instance { module: modname, name: inst_name, params, conns, line });
+            }
+            other => {
+                return Err(Error::parse(line, format!("unexpected {} in module body", other.describe())));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse `( i = expr ; expr ; i = expr )` — the for-loop header shared
+    /// by procedural and generate loops.
+    fn parse_for_header(&mut self) -> Result<(String, Expr, Expr, Expr)> {
+        let line = self.line();
+        self.expect_punct(Punct::LParen)?;
+        let var = self.expect_ident()?;
+        self.expect_punct(Punct::Assign)?;
+        let init = self.parse_expr()?;
+        self.expect_punct(Punct::Semi)?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::Semi)?;
+        let var2 = self.expect_ident()?;
+        if var2 != var {
+            return Err(Error::parse(line, format!("for-loop step must update `{var}`, found `{var2}`")));
+        }
+        self.expect_punct(Punct::Assign)?;
+        let step = self.parse_expr()?;
+        self.expect_punct(Punct::RParen)?;
+        Ok((var, init, cond, step))
+    }
+
+    fn parse_sensitivity(&mut self) -> Result<Sensitivity> {
+        self.expect_punct(Punct::At)?;
+        let line = self.line();
+        self.expect_punct(Punct::LParen)?;
+        // `@(*)`
+        if self.eat_punct(Punct::Star) {
+            self.expect_punct(Punct::RParen)?;
+            return Ok(Sensitivity::Comb);
+        }
+        if self.eat_kw(Keyword::Posedge) {
+            let clk = self.expect_ident()?;
+            if self.eat_kw(Keyword::Or) || self.eat_punct(Punct::Comma) {
+                return Err(Error::parse(line, "multiple edges in sensitivity list are not supported"));
+            }
+            self.expect_punct(Punct::RParen)?;
+            return Ok(Sensitivity::Posedge(clk));
+        }
+        if self.eat_kw(Keyword::Negedge) {
+            return Err(Error::parse(line, "negedge sensitivity is not supported"));
+        }
+        // Explicit combinational list `@(a or b or c)` — treated as @(*).
+        loop {
+            self.expect_ident()?;
+            if !(self.eat_kw(Keyword::Or) || self.eat_punct(Punct::Comma)) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        Ok(Sensitivity::Comb)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                // Optional block label `begin : name`.
+                if self.eat_punct(Punct::Colon) {
+                    self.expect_ident()?;
+                }
+                let mut stmts = Vec::new();
+                while !self.eat_kw(Keyword::End) {
+                    stmts.push(self.parse_stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_s = Box::new(self.parse_stmt()?);
+                let else_s = if self.eat_kw(Keyword::Else) { Some(Box::new(self.parse_stmt()?)) } else { None };
+                Ok(Stmt::If { cond, then_s, else_s, line })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                let (var, init, cond, step) = self.parse_for_header()?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::For { var, init, cond, step, body, line })
+            }
+            TokenKind::Keyword(Keyword::Case) | TokenKind::Keyword(Keyword::Casez) => {
+                let wildcard = matches!(self.peek(), TokenKind::Keyword(Keyword::Casez));
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let subject = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.eat_kw(Keyword::Endcase) {
+                    if self.eat_kw(Keyword::Default) {
+                        self.eat_punct(Punct::Colon);
+                        default = Some(Box::new(self.parse_stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.parse_expr()?];
+                    while self.eat_punct(Punct::Comma) {
+                        labels.push(self.parse_expr()?);
+                    }
+                    self.expect_punct(Punct::Colon)?;
+                    let body = self.parse_stmt()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Stmt::Case { subject, arms, default, wildcard, line })
+            }
+            _ => {
+                let lhs = self.parse_lvalue()?;
+                let blocking = if self.eat_punct(Punct::Assign) {
+                    true
+                } else if self.eat_punct(Punct::NonBlocking) {
+                    false
+                } else {
+                    return Err(Error::parse(
+                        self.line(),
+                        format!("expected `=` or `<=`, found {}", self.peek().describe()),
+                    ));
+                };
+                let rhs = self.parse_expr()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Assign { lhs, rhs, blocking, line })
+            }
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue> {
+        if self.eat_punct(Punct::LBrace) {
+            let mut parts = vec![self.parse_lvalue()?];
+            while self.eat_punct(Punct::Comma) {
+                parts.push(self.parse_lvalue()?);
+            }
+            self.expect_punct(Punct::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.expect_ident()?;
+        if self.eat_punct(Punct::LBracket) {
+            let first = self.parse_expr()?;
+            if self.eat_punct(Punct::Colon) {
+                let lsb = self.parse_expr()?;
+                self.expect_punct(Punct::RBracket)?;
+                return Ok(LValue::PartSel { name, msb: first, lsb });
+            }
+            self.expect_punct(Punct::RBracket)?;
+            return Ok(LValue::Index { name, idx: first });
+        }
+        Ok(LValue::Var(name))
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Parse an expression (entry point: ternary, lowest precedence).
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(Error::parse(
+                self.line(),
+                format!("expression nesting exceeds {MAX_EXPR_DEPTH} levels"),
+            ));
+        }
+        let result = self.parse_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_inner(&mut self) -> Result<Expr> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then_e = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let else_e = self.parse_expr()?;
+            return Ok(Expr::Ternary { cond: Box::new(cond), then_e: Box::new(then_e), else_e: Box::new(else_e) });
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let p = match self.peek() {
+            TokenKind::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::PipePipe => (BinOp::LOr, 1),
+            Punct::AmpAmp => (BinOp::LAnd, 2),
+            Punct::Pipe => (BinOp::Or, 3),
+            Punct::Caret => (BinOp::Xor, 4),
+            Punct::TildeCaret => (BinOp::Xnor, 4),
+            Punct::Amp => (BinOp::And, 5),
+            Punct::EqEq => (BinOp::Eq, 6),
+            Punct::BangEq => (BinOp::Ne, 6),
+            Punct::Lt => (BinOp::Lt, 7),
+            Punct::NonBlocking => (BinOp::Le, 7), // `<=` in expression position
+            Punct::Gt => (BinOp::Gt, 7),
+            Punct::GtEq => (BinOp::Ge, 7),
+            Punct::Shl => (BinOp::Shl, 8),
+            Punct::Shr => (BinOp::Shr, 8),
+            Punct::Sshr => (BinOp::Sshr, 8),
+            Punct::Plus => (BinOp::Add, 9),
+            Punct::Minus => (BinOp::Sub, 9),
+            Punct::Star => (BinOp::Mul, 10),
+            Punct::Slash => (BinOp::Div, 10),
+            Punct::Percent => (BinOp::Mod, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Tilde) => Some(UnOp::Not),
+            TokenKind::Punct(Punct::Bang) => Some(UnOp::LNot),
+            TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
+            TokenKind::Punct(Punct::Amp) => Some(UnOp::RedAnd),
+            TokenKind::Punct(Punct::Pipe) => Some(UnOp::RedOr),
+            TokenKind::Punct(Punct::Caret) => Some(UnOp::RedXor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.depth += 1;
+            if self.depth > MAX_EXPR_DEPTH {
+                self.depth -= 1;
+                return Err(Error::parse(
+                    self.line(),
+                    format!("expression nesting exceeds {MAX_EXPR_DEPTH} levels"),
+                ));
+            }
+            self.bump();
+            let arg = self.parse_unary();
+            self.depth -= 1;
+            return Ok(Expr::Unary { op, arg: Box::new(arg?) });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat_punct(Punct::LBracket) {
+                    let first = self.parse_expr()?;
+                    if self.eat_punct(Punct::Colon) {
+                        let lsb = self.parse_expr()?;
+                        self.expect_punct(Punct::RBracket)?;
+                        return Ok(Expr::PartSel { base: name, msb: Box::new(first), lsb: Box::new(lsb) });
+                    }
+                    self.expect_punct(Punct::RBracket)?;
+                    return Ok(Expr::Index { base: name, idx: Box::new(first) });
+                }
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let first = self.parse_expr()?;
+                // Replication `{n{expr}}`.
+                if self.peek() == &TokenKind::Punct(Punct::LBrace) {
+                    self.bump();
+                    let arg = self.parse_expr()?;
+                    self.expect_punct(Punct::RBrace)?;
+                    self.expect_punct(Punct::RBrace)?;
+                    return Ok(Expr::Repeat { count: Box::new(first), arg: Box::new(arg) });
+                }
+                let mut parts = vec![first];
+                while self.eat_punct(Punct::Comma) {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect_punct(Punct::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(Error::parse(line, format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Lexer;
+
+    fn parse(src: &str) -> SourceUnit {
+        Parser::new(Lexer::new(src).lex().unwrap()).parse_source_unit().unwrap()
+    }
+
+    #[test]
+    fn parse_ansi_module() {
+        let u = parse("module adder(input [7:0] a, input [7:0] b, output [8:0] s); assign s = a + b; endmodule");
+        assert_eq!(u.modules.len(), 1);
+        let m = &u.modules[0];
+        assert_eq!(m.name, "adder");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[2].dir, Dir::Output);
+        assert_eq!(m.items.len(), 1);
+    }
+
+    #[test]
+    fn parse_nonansi_ports_get_directions() {
+        let u = parse(
+            "module m(a, b);\n input [3:0] a;\n output reg [3:0] b;\n always @(posedge a) b <= a;\nendmodule",
+        );
+        let m = &u.modules[0];
+        assert_eq!(m.ports[0].dir, Dir::Input);
+        assert_eq!(m.ports[1].dir, Dir::Output);
+    }
+
+    #[test]
+    fn parse_always_posedge_with_if_else() {
+        let u = parse(
+            "module m(input clk, input rst, output reg [3:0] q);\n\
+             always @(posedge clk) begin if (rst) q <= 4'd0; else q <= q + 4'd1; end\nendmodule",
+        );
+        match &u.modules[0].items[0] {
+            Item::Always { sens: Sensitivity::Posedge(clk), body: Stmt::Block(stmts), .. } => {
+                assert_eq!(clk, "clk");
+                assert_eq!(stmts.len(), 1);
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_case_with_default() {
+        let u = parse(
+            "module m(input [1:0] s, output reg [3:0] y);\n always @(*) begin\n case (s)\n 2'd0: y = 4'd1;\n 2'd1, 2'd2: y = 4'd2;\n default: y = 4'd0;\n endcase end\nendmodule",
+        );
+        match &u.modules[0].items[0] {
+            Item::Always { body: Stmt::Block(stmts), .. } => match &stmts[0] {
+                Stmt::Case { arms, default, .. } => {
+                    assert_eq!(arms.len(), 2);
+                    assert_eq!(arms[1].labels.len(), 2);
+                    assert!(default.is_some());
+                }
+                other => panic!("expected case, got {other:?}"),
+            },
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_instance_with_params() {
+        let u = parse(
+            "module top(input clk); sub #(.W(8), .D(2)) u0 (.clk(clk), .q()); endmodule\nmodule sub(input clk, output q); assign q = clk; endmodule",
+        );
+        match &u.modules[0].items[0] {
+            Item::Instance { module, name, params, conns, .. } => {
+                assert_eq!(module, "sub");
+                assert_eq!(name, "u0");
+                assert_eq!(params.len(), 2);
+                assert_eq!(conns.len(), 2);
+                assert!(conns[1].1.is_none());
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let u = parse("module m(input [7:0] a, output [7:0] y); assign y = a + a * a; endmodule");
+        match &u.modules[0].items[0] {
+            Item::Assign { rhs: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn le_in_expression_position() {
+        let u = parse("module m(input [7:0] a, output y); assign y = a <= 8'd3; endmodule");
+        match &u.modules[0].items[0] {
+            Item::Assign { rhs: Expr::Binary { op, .. }, .. } => assert_eq!(*op, BinOp::Le),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_memory_decl_and_indexing() {
+        let u = parse(
+            "module m(input clk, input [7:0] addr, input [31:0] d, output [31:0] q);\n\
+             reg [31:0] mem [0:255];\n\
+             assign q = mem[addr];\n\
+             always @(posedge clk) mem[addr] <= d;\nendmodule",
+        );
+        let m = &u.modules[0];
+        let mem = m.decls.iter().find(|d| d.name == "mem").unwrap();
+        assert!(mem.array.is_some());
+    }
+
+    #[test]
+    fn parse_concat_and_replication() {
+        let u = parse("module m(input [3:0] a, output [15:0] y); assign y = {a, {2{a}}, 4'hf}; endmodule");
+        match &u.modules[0].items[0] {
+            Item::Assign { rhs: Expr::Concat(parts), .. } => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[1], Expr::Repeat { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_ternary_nested() {
+        let u = parse("module m(input [1:0] s, output [3:0] y); assign y = s == 2'd0 ? 4'd1 : s == 2'd1 ? 4'd2 : 4'd3; endmodule");
+        match &u.modules[0].items[0] {
+            Item::Assign { rhs: Expr::Ternary { else_e, .. }, .. } => {
+                assert!(matches!(**else_e, Expr::Ternary { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_negedge() {
+        let toks = Lexer::new("module m(input clk); always @(negedge clk) ; endmodule").lex().unwrap();
+        assert!(Parser::new(toks).parse_source_unit().is_err());
+    }
+
+    #[test]
+    fn node_count_is_stable() {
+        let u = parse("module m(input [7:0] a, output [7:0] y); assign y = a + 8'd1; endmodule");
+        // module + 2 ports + 2 decls + assign(1 + lhs 1 + rhs 3)
+        assert_eq!(u.count_nodes(), 10);
+    }
+}

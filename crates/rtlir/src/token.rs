@@ -1,0 +1,249 @@
+//! Token definitions for the Verilog-subset lexer.
+
+use std::fmt;
+
+/// A lexical token with the 1-based source line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Verilog keywords recognized by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Assign,
+    Always,
+    Posedge,
+    Negedge,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Endcase,
+    Default,
+    Parameter,
+    Localparam,
+    Integer,
+    Signed,
+    Or,
+    For,
+    Genvar,
+    Generate,
+    Endgenerate,
+}
+
+impl Keyword {
+    /// Keyword spelling as it appears in source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Integer => "integer",
+            Keyword::Signed => "signed",
+            Keyword::Or => "or",
+            Keyword::For => "for",
+            Keyword::Genvar => "genvar",
+            Keyword::Generate => "generate",
+            Keyword::Endgenerate => "endgenerate",
+        }
+    }
+
+    /// Reverse lookup used by the lexer.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "integer" => Keyword::Integer,
+            "signed" => Keyword::Signed,
+            "or" => Keyword::Or,
+            "for" => Keyword::For,
+            "genvar" => Keyword::Genvar,
+            "generate" => Keyword::Generate,
+            "endgenerate" => Keyword::Endgenerate,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    At,
+    Hash,
+    Question,
+    Assign,       // =
+    NonBlocking,  // <=  (shared with LessEq; parser disambiguates by context)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    EqEq,
+    BangEq,
+    Lt,
+    Gt,
+    GtEq,
+    Shl,   // <<
+    Shr,   // >>
+    Sshr,  // >>>
+    TildeCaret, // ~^ / ^~ xnor
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Colon => ":",
+            Punct::At => "@",
+            Punct::Hash => "#",
+            Punct::Question => "?",
+            Punct::Assign => "=",
+            Punct::NonBlocking => "<=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Bang => "!",
+            Punct::AmpAmp => "&&",
+            Punct::PipePipe => "||",
+            Punct::EqEq => "==",
+            Punct::BangEq => "!=",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::GtEq => ">=",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Sshr => ">>>",
+            Punct::TildeCaret => "~^",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A numeric literal: optional explicit bit width plus value words.
+///
+/// `10'h1` lexes to `width = Some(10), value = 1`; a bare `42` keeps
+/// `width = None` and is sized by context during elaboration. `x`/`z`
+/// digits read as value 0 but set the corresponding bits of `xz_mask`
+/// (consumed by `casez` wildcard matching; elsewhere they behave as 0,
+/// the usual two-state convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Number {
+    pub width: Option<u32>,
+    /// Little-endian 64-bit words of the value.
+    pub words: Vec<u64>,
+    /// Bits that were written as `x`/`z`/`?` in the source.
+    pub xz_mask: Vec<u64>,
+}
+
+impl Number {
+    pub fn small(value: u64) -> Self {
+        Number { width: None, words: vec![value], xz_mask: vec![0] }
+    }
+
+    /// `true` if any bit is an x/z wildcard.
+    pub fn has_wildcards(&self) -> bool {
+        self.xz_mask.iter().any(|&w| w != 0)
+    }
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident(String),
+    Keyword(Keyword),
+    Number(Number),
+    Punct(Punct),
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Keyword(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::Number(_) => "number".to_string(),
+            TokenKind::Punct(p) => format!("`{p}`"),
+            TokenKind::Eof => "end of file".to_string(),
+        }
+    }
+}

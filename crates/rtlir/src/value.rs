@@ -1,0 +1,534 @@
+//! Arbitrary-width two-state bit vectors with Verilog evaluation semantics.
+//!
+//! [`BitVec`] is the value type of the golden-reference interpreter. All
+//! arithmetic is unsigned and wrapping at the result width; assignments
+//! truncate or zero-extend to the target width, exactly like two-state
+//! (Verilator-style) Verilog simulation.
+
+use std::fmt;
+
+/// An unsigned bit vector of a fixed width (1..=4096 bits).
+///
+/// Invariants: `words.len() == ceil(width / 64)` and all bits above
+/// `width` in the top word are zero.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    width: u32,
+    words: Vec<u64>,
+}
+
+/// Number of 64-bit words needed for `width` bits.
+#[inline]
+pub fn words_for(width: u32) -> usize {
+    ((width as usize) + 63) / 64
+}
+
+impl BitVec {
+    /// All-zero value of the given width.
+    pub fn zero(width: u32) -> Self {
+        assert!(width >= 1, "zero-width BitVec");
+        BitVec { width, words: vec![0; words_for(width)] }
+    }
+
+    /// Construct from a `u64`, truncating to `width`.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let mut v = BitVec::zero(width);
+        v.words[0] = value;
+        v.mask_top();
+        v
+    }
+
+    /// Construct from little-endian words, truncating or zero-extending.
+    pub fn from_words(words: &[u64], width: u32) -> Self {
+        let mut v = BitVec::zero(width);
+        let n = v.words.len().min(words.len());
+        v.words[..n].copy_from_slice(&words[..n]);
+        v.mask_top();
+        v
+    }
+
+    /// Bit width.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Little-endian word view.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Low 64 bits of the value.
+    #[inline]
+    pub fn to_u64(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// `true` if any bit is set.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Single bit at position `i` (out-of-range reads return 0, matching
+    /// two-state out-of-bounds select semantics).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= self.width {
+            return false;
+        }
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (!0u64) >> (64 - rem);
+        }
+    }
+
+    /// Truncate or zero-extend to `width`.
+    pub fn resize(&self, width: u32) -> BitVec {
+        BitVec::from_words(&self.words, width)
+    }
+
+    // ---- arithmetic ----------------------------------------------------
+
+    /// Wrapping addition at `max(w_a, w_b)` bits.
+    pub fn add(&self, rhs: &BitVec) -> BitVec {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = BitVec::zero(width);
+        let mut carry = 0u64;
+        for i in 0..out.words.len() {
+            let (s1, c1) = a.words[i].overflowing_add(b.words[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction at `max(w_a, w_b)` bits.
+    pub fn sub(&self, rhs: &BitVec) -> BitVec {
+        let width = self.width.max(rhs.width);
+        self.add(&rhs.resize(width).neg())
+    }
+
+    /// Two's-complement negation at the current width.
+    pub fn neg(&self) -> BitVec {
+        let mut out = self.not();
+        let one = BitVec::from_u64(1, self.width);
+        out = out.add(&one);
+        out
+    }
+
+    /// Wrapping multiplication at `max(w_a, w_b)` bits (schoolbook).
+    pub fn mul(&self, rhs: &BitVec) -> BitVec {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let n = a.words.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            if a.words[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..(n - i) {
+                let cur = acc[i + j] as u128
+                    + (a.words[i] as u128) * (b.words[j] as u128)
+                    + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        BitVec::from_words(&acc, width)
+    }
+
+    /// Unsigned division; division by zero yields all-ones (Verilog `x`,
+    /// which two-state simulators map to a defined pattern).
+    pub fn div(&self, rhs: &BitVec) -> BitVec {
+        let width = self.width.max(rhs.width);
+        if !rhs.any() {
+            let mut v = BitVec::zero(width);
+            for w in v.words.iter_mut() {
+                *w = !0;
+            }
+            v.mask_top();
+            return v;
+        }
+        let (q, _) = self.resize(width).divmod(&rhs.resize(width));
+        q
+    }
+
+    /// Unsigned remainder; modulo zero yields zero.
+    pub fn rem(&self, rhs: &BitVec) -> BitVec {
+        let width = self.width.max(rhs.width);
+        if !rhs.any() {
+            return BitVec::zero(width);
+        }
+        let (_, r) = self.resize(width).divmod(&rhs.resize(width));
+        r
+    }
+
+    /// Long division helper: both operands at equal width.
+    fn divmod(&self, rhs: &BitVec) -> (BitVec, BitVec) {
+        debug_assert_eq!(self.width, rhs.width);
+        // Fast path: both fit in u64.
+        if self.words.len() == 1 {
+            let q = self.words[0] / rhs.words[0];
+            let r = self.words[0] % rhs.words[0];
+            return (BitVec::from_u64(q, self.width), BitVec::from_u64(r, self.width));
+        }
+        // Bit-serial restoring division (widths here are small multiples of 64).
+        let mut q = BitVec::zero(self.width);
+        let mut r = BitVec::zero(self.width);
+        for i in (0..self.width).rev() {
+            r = r.shl_bits(1);
+            if self.bit(i) {
+                r.words[0] |= 1;
+            }
+            if r.cmp_unsigned(rhs) != std::cmp::Ordering::Less {
+                r = r.sub(rhs);
+                q.words[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        (q, r)
+    }
+
+    // ---- bitwise -------------------------------------------------------
+
+    /// Bitwise NOT at the current width.
+    pub fn not(&self) -> BitVec {
+        let mut out = self.clone();
+        for w in out.words.iter_mut() {
+            *w = !*w;
+        }
+        out.mask_top();
+        out
+    }
+
+    fn zip_map(&self, rhs: &BitVec, f: impl Fn(u64, u64) -> u64) -> BitVec {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = BitVec::zero(width);
+        for i in 0..out.words.len() {
+            out.words[i] = f(a.words[i], b.words[i]);
+        }
+        out.mask_top();
+        out
+    }
+
+    pub fn and(&self, rhs: &BitVec) -> BitVec {
+        self.zip_map(rhs, |a, b| a & b)
+    }
+    pub fn or(&self, rhs: &BitVec) -> BitVec {
+        self.zip_map(rhs, |a, b| a | b)
+    }
+    pub fn xor(&self, rhs: &BitVec) -> BitVec {
+        self.zip_map(rhs, |a, b| a ^ b)
+    }
+    pub fn xnor(&self, rhs: &BitVec) -> BitVec {
+        let mut out = self.zip_map(rhs, |a, b| !(a ^ b));
+        out.mask_top();
+        out
+    }
+
+    // ---- shifts --------------------------------------------------------
+
+    /// Logical left shift by a dynamic amount; result keeps `self.width`.
+    pub fn shl(&self, amount: &BitVec) -> BitVec {
+        let n = if amount.words.iter().skip(1).any(|&w| w != 0) {
+            self.width // shift-out-everything
+        } else {
+            amount.words[0].min(self.width as u64) as u32
+        };
+        self.shl_bits(n)
+    }
+
+    /// Logical right shift by a dynamic amount; result keeps `self.width`.
+    pub fn shr(&self, amount: &BitVec) -> BitVec {
+        let n = if amount.words.iter().skip(1).any(|&w| w != 0) {
+            self.width
+        } else {
+            amount.words[0].min(self.width as u64) as u32
+        };
+        self.shr_bits(n)
+    }
+
+    /// Arithmetic right shift (sign bit = MSB of `self`).
+    pub fn sshr(&self, amount: &BitVec) -> BitVec {
+        let n = if amount.words.iter().skip(1).any(|&w| w != 0) {
+            self.width
+        } else {
+            amount.words[0].min(self.width as u64) as u32
+        };
+        let mut out = self.shr_bits(n);
+        if self.bit(self.width - 1) && n > 0 {
+            // Fill the vacated top n bits with ones.
+            for i in (self.width - n)..self.width {
+                out.words[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        out
+    }
+
+    /// Left shift by a constant bit count.
+    pub fn shl_bits(&self, n: u32) -> BitVec {
+        if n >= self.width {
+            return BitVec::zero(self.width);
+        }
+        let mut out = BitVec::zero(self.width);
+        let word_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        for i in (0..out.words.len()).rev() {
+            if i < word_shift {
+                break;
+            }
+            let mut w = self.words[i - word_shift] << bit_shift;
+            if bit_shift != 0 && i > word_shift {
+                w |= self.words[i - word_shift - 1] >> (64 - bit_shift);
+            }
+            out.words[i] = w;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical right shift by a constant bit count.
+    pub fn shr_bits(&self, n: u32) -> BitVec {
+        if n >= self.width {
+            return BitVec::zero(self.width);
+        }
+        let mut out = BitVec::zero(self.width);
+        let word_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        for i in 0..out.words.len() {
+            let src = i + word_shift;
+            if src >= self.words.len() {
+                break;
+            }
+            let mut w = self.words[src] >> bit_shift;
+            if bit_shift != 0 && src + 1 < self.words.len() {
+                w |= self.words[src + 1] << (64 - bit_shift);
+            }
+            out.words[i] = w;
+        }
+        out
+    }
+
+    // ---- comparison ----------------------------------------------------
+
+    /// Unsigned comparison after zero-extending to a common width.
+    pub fn cmp_unsigned(&self, rhs: &BitVec) -> std::cmp::Ordering {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        for i in (0..a.words.len()).rev() {
+            match a.words[i].cmp(&b.words[i]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Value equality ignoring width differences (zero-extended compare).
+    pub fn eq_val(&self, rhs: &BitVec) -> bool {
+        self.cmp_unsigned(rhs) == std::cmp::Ordering::Equal
+    }
+
+    // ---- reductions ----------------------------------------------------
+
+    pub fn red_and(&self) -> bool {
+        let mut full = self.clone();
+        full.words.iter_mut().for_each(|w| *w = !*w);
+        full.mask_top();
+        !full.any()
+    }
+    pub fn red_or(&self) -> bool {
+        self.any()
+    }
+    pub fn red_xor(&self) -> bool {
+        self.words.iter().fold(0u32, |acc, w| acc ^ w.count_ones()) & 1 == 1
+    }
+
+    // ---- structure -----------------------------------------------------
+
+    /// Extract bits `[msb:lsb]` (inclusive), producing a `msb-lsb+1` wide value.
+    pub fn part_select(&self, msb: u32, lsb: u32) -> BitVec {
+        assert!(msb >= lsb, "part select with msb < lsb");
+        let width = msb - lsb + 1;
+        self.shr_bits(lsb.min(self.width.saturating_sub(1))).resize(width)
+    }
+
+    /// Concatenate `{self, low}` — `self` occupies the high bits.
+    pub fn concat(&self, low: &BitVec) -> BitVec {
+        let width = self.width + low.width;
+        let mut out = low.resize(width);
+        let hi = self.resize(width).shl_bits(low.width);
+        for i in 0..out.words.len() {
+            out.words[i] |= hi.words[i];
+        }
+        out
+    }
+
+    /// `{count{self}}` replication.
+    pub fn repeat(&self, count: u32) -> BitVec {
+        assert!(count >= 1, "replication count must be >= 1");
+        let mut out = self.clone();
+        for _ in 1..count {
+            out = out.concat(self);
+        }
+        out
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Hex display, e.g. `8'h2a`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        let mut started = false;
+        for i in (0..self.words.len()).rev() {
+            if started {
+                write!(f, "{:016x}", self.words[i])?;
+            } else if self.words[i] != 0 || i == 0 {
+                write!(f, "{:x}", self.words[i])?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = BitVec::from_u64(0xff, 8);
+        let b = BitVec::from_u64(1, 8);
+        assert_eq!(a.add(&b).to_u64(), 0);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = BitVec::from_words(&[u64::MAX, 0], 128);
+        let b = BitVec::from_u64(1, 128);
+        let s = a.add(&b);
+        assert_eq!(s.words(), &[0, 1]);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = BitVec::from_u64(5, 16);
+        let b = BitVec::from_u64(7, 16);
+        assert_eq!(a.sub(&b).to_u64(), 0xfffe); // -2 mod 2^16
+        assert_eq!(BitVec::from_u64(1, 4).neg().to_u64(), 0xf);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = BitVec::from_u64(u64::MAX, 128);
+        let b = BitVec::from_u64(2, 128);
+        let p = a.mul(&b);
+        assert_eq!(p.words(), &[u64::MAX - 1, 1]);
+    }
+
+    #[test]
+    fn div_rem_small_and_by_zero() {
+        let a = BitVec::from_u64(17, 8);
+        let b = BitVec::from_u64(5, 8);
+        assert_eq!(a.div(&b).to_u64(), 3);
+        assert_eq!(a.rem(&b).to_u64(), 2);
+        let z = BitVec::zero(8);
+        assert_eq!(a.div(&z).to_u64(), 0xff);
+        assert_eq!(a.rem(&z).to_u64(), 0);
+    }
+
+    #[test]
+    fn div_wide_matches_u128() {
+        let a = BitVec::from_words(&[0x1234_5678_9abc_def0, 0x0fed_cba9], 128);
+        let b = BitVec::from_u64(0x1_0001, 128);
+        let (q, r) = a.divmod(&b);
+        let av = ((0x0fed_cba9u128) << 64) | 0x1234_5678_9abc_def0u128;
+        let bv = 0x1_0001u128;
+        assert_eq!(q.words()[0] as u128 | ((q.words()[1] as u128) << 64), av / bv);
+        assert_eq!(r.to_u64() as u128, av % bv);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BitVec::from_u64(0b1011, 8);
+        assert_eq!(a.shl_bits(2).to_u64(), 0b101100);
+        assert_eq!(a.shr_bits(1).to_u64(), 0b101);
+        assert_eq!(a.shl(&BitVec::from_u64(9, 8)).to_u64(), 0);
+        // shift across word boundary
+        let w = BitVec::from_u64(1, 128).shl_bits(100);
+        assert_eq!(w.words(), &[0, 1 << 36]);
+        assert_eq!(w.shr_bits(100).to_u64(), 1);
+    }
+
+    #[test]
+    fn sshr_sign_fills() {
+        let a = BitVec::from_u64(0b1000_0000, 8);
+        assert_eq!(a.sshr(&BitVec::from_u64(3, 8)).to_u64(), 0b1111_0000);
+        let pos = BitVec::from_u64(0b0100_0000, 8);
+        assert_eq!(pos.sshr(&BitVec::from_u64(3, 8)).to_u64(), 0b0000_1000);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(BitVec::from_u64(0xff, 8).red_and());
+        assert!(!BitVec::from_u64(0x7f, 8).red_and());
+        assert!(BitVec::from_u64(0x10, 8).red_or());
+        assert!(BitVec::from_u64(0b0111, 4).red_xor());
+        assert!(!BitVec::from_u64(0b0110, 4).red_xor());
+    }
+
+    #[test]
+    fn part_select_and_concat() {
+        let a = BitVec::from_u64(0xabcd, 16);
+        assert_eq!(a.part_select(15, 8).to_u64(), 0xab);
+        assert_eq!(a.part_select(7, 0).to_u64(), 0xcd);
+        let c = a.part_select(15, 8).concat(&a.part_select(7, 0));
+        assert_eq!(c.to_u64(), 0xabcd);
+        assert_eq!(c.width(), 16);
+    }
+
+    #[test]
+    fn repeat_builds_patterns() {
+        let a = BitVec::from_u64(0b10, 2);
+        let r = a.repeat(4);
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.to_u64(), 0b10101010);
+    }
+
+    #[test]
+    fn resize_truncates_and_extends() {
+        let a = BitVec::from_u64(0x1ff, 16);
+        assert_eq!(a.resize(8).to_u64(), 0xff);
+        assert_eq!(a.resize(64).to_u64(), 0x1ff);
+        assert_eq!(a.resize(128).words().len(), 2);
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(BitVec::from_u64(42, 8).to_string(), "8'h2a");
+        assert_eq!(BitVec::from_words(&[1, 0xff], 128).to_string(), "128'hff0000000000000001");
+    }
+
+    #[test]
+    fn cmp_unsigned_cross_width() {
+        let a = BitVec::from_u64(5, 4);
+        let b = BitVec::from_u64(5, 64);
+        assert!(a.eq_val(&b));
+        assert_eq!(BitVec::from_u64(4, 4).cmp_unsigned(&b), std::cmp::Ordering::Less);
+    }
+}

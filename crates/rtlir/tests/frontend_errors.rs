@@ -1,0 +1,203 @@
+//! Frontend robustness: malformed input must produce diagnostics, never
+//! panics, and the diagnostics must identify the problem.
+
+use rtlir::{elaborate, parse};
+
+fn parse_err(src: &str) -> String {
+    parse(src).expect_err(&format!("parse should fail:\n{src}")).to_string()
+}
+
+fn elab_err(src: &str, top: &str) -> String {
+    elaborate(src, top).expect_err(&format!("elaboration should fail:\n{src}")).to_string()
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn bad_character() {
+    let e = parse_err("module m(input a); assign §;");
+    assert!(e.contains("lex error"), "{e}");
+}
+
+#[test]
+fn unterminated_comment() {
+    let e = parse_err("module m(); /* never ends");
+    assert!(e.contains("unterminated"), "{e}");
+}
+
+#[test]
+fn bad_based_literal() {
+    assert!(parse_err("module m(); localparam X = 8'q12; endmodule").contains("base"));
+    assert!(parse_err("module m(); localparam X = 8'h; endmodule").contains("digit"));
+    assert!(parse_err("module m(); localparam X = 8'b12; endmodule").contains("out of range"));
+}
+
+#[test]
+fn zero_width_literal() {
+    let e = parse_err("module m(); localparam X = 0'h0; endmodule");
+    assert!(e.contains("width"), "{e}");
+}
+
+// --------------------------------------------------------------- parser
+
+#[test]
+fn missing_semicolon() {
+    let e = parse_err("module m(input a, output y); assign y = a endmodule");
+    assert!(e.contains("expected"), "{e}");
+}
+
+#[test]
+fn missing_endmodule() {
+    let e = parse_err("module m(input a, output y); assign y = a;");
+    assert!(e.contains("parse error"), "{e}");
+}
+
+#[test]
+fn garbage_in_module_body() {
+    let e = parse_err("module m(input a); 42; endmodule");
+    assert!(e.contains("module body"), "{e}");
+}
+
+#[test]
+fn inout_rejected_with_message() {
+    let e = parse_err("module m(inout a); endmodule");
+    assert!(e.contains("inout"), "{e}");
+}
+
+#[test]
+fn unbalanced_parens_in_expr() {
+    let e = parse_err("module m(input a, output y); assign y = (a; endmodule");
+    assert!(e.contains("expected"), "{e}");
+}
+
+#[test]
+fn line_numbers_in_diagnostics() {
+    let e = parse_err("module m(input a, output y);\n\n\n  assign y = ;\nendmodule");
+    assert!(e.contains("line 4"), "{e}");
+}
+
+// ----------------------------------------------------------- elaboration
+
+#[test]
+fn unknown_top_module() {
+    let e = elab_err("module m(input a, output y); assign y = a; endmodule", "nope");
+    assert!(e.contains("`nope`"), "{e}");
+}
+
+#[test]
+fn unknown_identifier_in_expr() {
+    let e = elab_err("module top(input a, output y); assign y = ghost; endmodule", "top");
+    assert!(e.contains("ghost"), "{e}");
+}
+
+#[test]
+fn unknown_instance_port() {
+    let e = elab_err(
+        "module sub(input a, output y); assign y = a; endmodule
+         module top(input x, output y); sub u (.nope(x), .y(y)); endmodule",
+        "top",
+    );
+    assert!(e.contains("nope"), "{e}");
+}
+
+#[test]
+fn output_port_connected_to_expression() {
+    let e = elab_err(
+        "module sub(input a, output y); assign y = a; endmodule
+         module top(input x, output y); sub u (.a(x), .y(x + 1'b1)); endmodule",
+        "top",
+    );
+    assert!(e.contains("output port"), "{e}");
+}
+
+#[test]
+fn assign_to_parameter() {
+    let e = elab_err(
+        "module top(input a, output y); localparam P = 3; assign P = a; assign y = a; endmodule",
+        "top",
+    );
+    assert!(e.contains("parameter"), "{e}");
+}
+
+#[test]
+fn duplicate_declaration() {
+    let e = elab_err("module top(input a, output y); wire t; wire t; assign y = a; endmodule", "top");
+    assert!(e.contains("duplicate"), "{e}");
+}
+
+#[test]
+fn nonconstant_range() {
+    let e = elab_err("module top(input [7:0] a, output y); wire [a:0] t; assign y = a[0]; endmodule", "top");
+    assert!(e.contains("constant"), "{e}");
+}
+
+#[test]
+fn nonzero_lsb_rejected() {
+    let e = elab_err("module top(input [7:4] a, output y); assign y = a[4]; endmodule", "top");
+    assert!(e.contains("[msb:0]"), "{e}");
+}
+
+#[test]
+fn nonblocking_in_comb_rejected() {
+    let e = elab_err(
+        "module top(input a, output reg y); always @(*) y <= a; endmodule",
+        "top",
+    );
+    assert!(e.contains("<=") || e.contains("combinational"), "{e}");
+}
+
+#[test]
+fn part_select_msb_below_lsb() {
+    let e = elab_err("module top(input [7:0] a, output [3:0] y); assign y = a[2:5]; endmodule", "top");
+    assert!(e.contains("msb < lsb") || e.contains("part select"), "{e}");
+}
+
+#[test]
+fn combinational_memory_write_rejected() {
+    let e = elab_err(
+        "module top(input [3:0] a, input [7:0] d, output [7:0] q);
+           reg [7:0] mem [0:15];
+           always @(*) mem[a] = d;
+           assign q = mem[a];
+         endmodule",
+        "top",
+    );
+    assert!(e.contains("memory"), "{e}");
+}
+
+#[test]
+fn deep_parens_error_cleanly() {
+    // 2000 nested parens: the parser's depth limit must kick in instead
+    // of overflowing the stack.
+    let mut expr = String::from("a");
+    for _ in 0..2000 {
+        expr = format!("({expr})");
+    }
+    let src = format!("module top(input a, output y); assign y = {expr}; endmodule");
+    let e = parse_err(&src);
+    assert!(e.contains("nesting"), "{e}");
+}
+
+#[test]
+fn deep_unary_chain_errors_cleanly() {
+    let expr = format!("{}a", "~".repeat(5000));
+    let src = format!("module top(input a, output y); assign y = {expr}; endmodule");
+    let e = parse_err(&src);
+    assert!(e.contains("nesting"), "{e}");
+}
+
+#[test]
+fn moderate_nesting_still_parses() {
+    let mut expr = String::from("a");
+    for _ in 0..80 {
+        expr = format!("({expr})");
+    }
+    let src = format!("module top(input a, output y); assign y = {expr}; endmodule");
+    elaborate(&src, "top").unwrap();
+}
+
+#[test]
+fn empty_source_is_ok_but_top_missing() {
+    let e = elab_err("", "top");
+    assert!(e.contains("not found"), "{e}");
+}

@@ -1,0 +1,220 @@
+//! Binary batch-stimulus file format.
+//!
+//! Real verification flows read stimulus from disk — the paper's §2.4.3
+//! bottleneck is exactly this `set_inputs` I/O path. The format is a
+//! simple little-endian layout:
+//!
+//! ```text
+//! magic "RTLS" | version u32 | num_stimulus u64 | cycles u64 | lanes u32 |
+//! lane widths: u32 * lanes |
+//! frames: u64 * lanes, stimulus-major (stimulus 0 cycles 0..C, ...)
+//! ```
+//!
+//! Materializing a source into a file and replaying it through
+//! [`FileSource`] lets benchmarks charge a realistic per-frame cost.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::StimulusSource;
+
+const MAGIC: &[u8; 4] = b"RTLS";
+const VERSION: u32 = 1;
+
+/// A fully materialized batch of stimulus frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchFile {
+    pub num_stimulus: usize,
+    pub cycles: u64,
+    pub widths: Vec<u32>,
+    /// Stimulus-major frame data: `frames[(s * cycles + c) * lanes + lane]`.
+    pub frames: Vec<u64>,
+}
+
+impl BatchFile {
+    /// Record `cycles` frames of every stimulus of `source`.
+    pub fn record(source: &dyn StimulusSource, widths: &[u32], cycles: u64) -> Self {
+        let lanes = source.num_ports();
+        assert_eq!(widths.len(), lanes);
+        let n = source.num_stimulus();
+        let mut frames = vec![0u64; n * cycles as usize * lanes];
+        let mut frame = vec![0u64; lanes];
+        for s in 0..n {
+            for c in 0..cycles {
+                source.fill_frame(s, c, &mut frame);
+                let base = (s * cycles as usize + c as usize) * lanes;
+                frames[base..base + lanes].copy_from_slice(&frame);
+            }
+        }
+        BatchFile { num_stimulus: n, cycles, widths: widths.to_vec(), frames }
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let lanes = self.widths.len();
+        let mut buf = BytesMut::with_capacity(32 + lanes * 4 + self.frames.len() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.num_stimulus as u64);
+        buf.put_u64_le(self.cycles);
+        buf.put_u32_le(lanes as u32);
+        for &w in &self.widths {
+            buf.put_u32_le(w);
+        }
+        for &f in &self.frames {
+            buf.put_u64_le(f);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+        if data.remaining() < 28 {
+            return Err("truncated header".into());
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(format!("bad magic {magic:?}"));
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(format!("unsupported version {version}"));
+        }
+        let num_stimulus = data.get_u64_le() as usize;
+        let cycles = data.get_u64_le();
+        let lanes = data.get_u32_le() as usize;
+        if data.remaining() < lanes * 4 {
+            return Err("truncated widths".into());
+        }
+        let widths: Vec<u32> = (0..lanes).map(|_| data.get_u32_le()).collect();
+        let expect = num_stimulus
+            .checked_mul(cycles as usize)
+            .and_then(|x| x.checked_mul(lanes))
+            .ok_or("frame count overflow")?;
+        if data.remaining() != expect * 8 {
+            return Err(format!("frame payload size mismatch: {} != {}", data.remaining(), expect * 8));
+        }
+        let frames: Vec<u64> = (0..expect).map(|_| data.get_u64_le()).collect();
+        Ok(BatchFile { num_stimulus, cycles, widths, frames })
+    }
+
+    /// Write to a filesystem path.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Read from a filesystem path.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(Bytes::from(data)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Replay a [`BatchFile`] as a [`StimulusSource`]. Cycles beyond the
+/// recorded horizon wrap around (steady-state replay).
+pub struct FileSource {
+    batch: BatchFile,
+}
+
+impl FileSource {
+    pub fn new(batch: BatchFile) -> Self {
+        assert!(batch.cycles > 0 && !batch.widths.is_empty());
+        FileSource { batch }
+    }
+}
+
+impl StimulusSource for FileSource {
+    fn num_stimulus(&self) -> usize {
+        self.batch.num_stimulus
+    }
+
+    fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
+        let lanes = self.batch.widths.len();
+        let c = (cycle % self.batch.cycles) as usize;
+        let base = (stimulus * self.batch.cycles as usize + c) * lanes;
+        frame.copy_from_slice(&self.batch.frames[base..base + lanes]);
+    }
+
+    fn num_ports(&self) -> usize {
+        self.batch.widths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PortMap, RandomSource};
+    use designs::Benchmark;
+
+    fn sample_batch() -> (PortMap, BatchFile) {
+        let d = Benchmark::RiscvMini.elaborate().unwrap();
+        let m = PortMap::from_design(&d);
+        let src = RandomSource::new(&m, 4, 77);
+        let widths: Vec<u32> = m.ports.iter().map(|p| p.width).collect();
+        let b = BatchFile::record(&src, &widths, 16);
+        (m, b)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let (_, b) = sample_batch();
+        let bytes = b.to_bytes();
+        let back = BatchFile::from_bytes(bytes).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let (_, b) = sample_batch();
+        let mut raw = b.to_bytes().to_vec();
+        raw[0] = b'X';
+        assert!(BatchFile::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let (_, b) = sample_batch();
+        let raw = b.to_bytes();
+        let cut = raw.slice(0..raw.len() - 8);
+        assert!(BatchFile::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn file_source_replays_recording() {
+        let (m, b) = sample_batch();
+        let d = Benchmark::RiscvMini.elaborate().unwrap();
+        let m2 = PortMap::from_design(&d);
+        let src = RandomSource::new(&m2, 4, 77);
+        let fs = FileSource::new(b);
+        let mut f1 = vec![0u64; m.len()];
+        let mut f2 = vec![0u64; m.len()];
+        for s in 0..4 {
+            for c in 0..16 {
+                src.fill_frame(s, c, &mut f1);
+                fs.fill_frame(s, c, &mut f2);
+                assert_eq!(f1, f2, "mismatch at stimulus {s} cycle {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn file_source_wraps_cycles() {
+        let (m, b) = sample_batch();
+        let fs = FileSource::new(b);
+        let mut f1 = vec![0u64; m.len()];
+        let mut f2 = vec![0u64; m.len()];
+        fs.fill_frame(1, 3, &mut f1);
+        fs.fill_frame(1, 3 + 16, &mut f2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn save_and_load_tempfile() {
+        let (_, b) = sample_batch();
+        let path = std::env::temp_dir().join("rtlflow_stim_test.bin");
+        b.save(&path).unwrap();
+        let back = BatchFile::load(&path).unwrap();
+        assert_eq!(b, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,95 @@
+//! Kernel code transpilation (§3.1 of the paper): turn an elaborated RTL
+//! design into CUDA-style SIMT kernels over width-bucketed device arrays.
+//!
+//! The three stages mirror the paper exactly:
+//!
+//! 1. **AST annotation** is subsumed by `rtlir`'s elaboration (we lower
+//!    from a typed IR rather than annotating a concrete syntax tree, but
+//!    the per-node-kind handling lives in [`lower`]).
+//! 2. **Incremental GPU memory allocation** — [`mem::MemoryPlan`] walks
+//!    the design's variables once and assigns each an offset in the
+//!    smallest of four width-bucketed arrays (`var8/16/32/64`), memories
+//!    getting `depth` consecutive offsets and state scalars a shadow slot
+//!    for non-blocking double buffering.
+//! 3. **GPU memory index mapping** — every variable access lowers to
+//!    `bucket[offset * N + tid]`, giving coalesced access with one thread
+//!    per stimulus ([`lower`], [`taskgraph`]).
+//!
+//! [`codegen`] additionally emits human-readable CUDA and C++ source text
+//! and the code-complexity metrics behind Table 1.
+
+pub mod codegen;
+pub mod coverage;
+pub mod lower;
+pub mod mem;
+pub mod taskgraph;
+
+pub use codegen::{emit_cpp, emit_cuda, CodeMetrics};
+pub use coverage::ToggleCoverage;
+pub use mem::{MemoryPlan, VarSlot};
+pub use taskgraph::{default_partition, per_process_partition, KernelProgram, Partition};
+
+use rtlir::Design;
+
+/// Transpile a design with the default (per-level) partition.
+pub fn transpile(design: &Design) -> Result<KernelProgram, String> {
+    let graph = rtlir::RtlGraph::build(design).map_err(|e| e.to_string())?;
+    let partition = default_partition(design, &graph);
+    KernelProgram::build(design, &graph, &partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudasim::{DeviceMemory, Scratch};
+    use rtlir::BitVec;
+
+    /// End-to-end check: the transpiled kernels match the golden
+    /// interpreter cycle by cycle on a small design.
+    #[test]
+    fn transpiled_counter_matches_interp() {
+        let src = "
+            module top(input clk, input rst, input [7:0] a, output [7:0] q);
+              reg [7:0] r;
+              wire [7:0] nxt;
+              assign nxt = rst ? 8'd0 : (r + a);
+              always @(posedge clk) r <= nxt;
+              assign q = r;
+            endmodule";
+        let design = rtlir::elaborate(src, "top").unwrap();
+        let prog = transpile(&design).unwrap();
+
+        let n = 4;
+        let mut dev = prog.plan.alloc_device(n);
+        let mut scratch = Scratch::new();
+        let mut interp = rtlir::Interp::new(&design).unwrap();
+
+        let rst = design.find_var("rst").unwrap();
+        let a = design.find_var("a").unwrap();
+        let q = design.find_var("q").unwrap();
+
+        for c in 0..20u64 {
+            let rst_v = (c < 2) as u64;
+            // Same inputs for every GPU thread; thread 0 checked vs interp.
+            for t in 0..n {
+                prog.plan.poke(&mut dev, rst, t, rst_v);
+                prog.plan.poke(&mut dev, a, t, (c * 3 + t as u64) % 256);
+            }
+            interp.step_cycle(&[
+                (rst, BitVec::from_u64(rst_v, 1)),
+                (a, BitVec::from_u64(c * 3 % 256, 8)),
+            ]);
+            prog.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+            assert_eq!(
+                prog.plan.peek(&dev, q, 0),
+                interp.peek(q).to_u64(),
+                "mismatch at cycle {c}"
+            );
+        }
+        // Other threads diverge because their `a` inputs differ.
+        let v0 = prog.plan.peek(&dev, q, 0);
+        let v3 = prog.plan.peek(&dev, q, 3);
+        assert_ne!(v0, v3);
+        let _ = DeviceMemory::new(1, 0, 0, 0, 0);
+    }
+}

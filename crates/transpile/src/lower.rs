@@ -1,0 +1,584 @@
+//! Lowering elaborated processes to straight-line SIMT ops.
+//!
+//! Control flow becomes predication: every conditional assignment turns
+//! into an unconditional store of a mux between the new and old value
+//! (guarded scatter for memories). This is the "full-cycle, inline
+//! everything" style the paper transpiles to — no divergent branches, so
+//! all threads of a warp execute the same instruction sequence.
+//!
+//! Non-blocking semantics: sequential processes read *current* slots and
+//! write *shadow* slots; a commit kernel copies shadows back after all
+//! sequential kernels ran. Memories commit in place at the sequential
+//! stage, which is safe because (checked in [`crate::taskgraph`]) no
+//! sequential process reads a memory that any sequential process writes.
+
+use std::collections::HashSet;
+
+use cudasim::{KBin, KUn, Op, Slot};
+use rtlir::ast::{BinOp, UnOp};
+use rtlir::elab::{EExpr, Stm, Target};
+use rtlir::{Design, ProcessKind, VarId};
+
+use crate::mem::MemoryPlan;
+
+/// Register index type re-exported for clarity.
+type Reg = u16;
+
+/// Lower one process into `ops`, starting registers at 0.
+/// Returns the number of registers used.
+pub fn lower_process(
+    design: &Design,
+    plan: &MemoryPlan,
+    process: usize,
+    ops: &mut Vec<Op>,
+) -> Result<u16, String> {
+    let p = &design.processes[process];
+    let mut lw = ProcLower {
+        design,
+        plan,
+        ops,
+        next: 0,
+        kind: p.kind,
+        written: HashSet::new(),
+        name: &p.name,
+    };
+    if p.kind == ProcessKind::Comb {
+        // Combinational semantics: the bits this process owns start from
+        // zero. Slice-only writers clear just their slices (disjoint-slice
+        // bus co-writers must not clobber each other's bits).
+        let shapes = rtlir::elab::write_shapes(&p.body);
+        let zero = lw.fresh()?;
+        lw.ops.push(Op::Const { dst: zero, value: 0 });
+        for &w in &p.writes {
+            let vs = plan.slots[w];
+            debug_assert_eq!(vs.depth, 0, "comb memory write slipped through elaboration");
+            match shapes.get(&w) {
+                Some(rtlir::elab::WriteShape::Slices(list)) => {
+                    let mut clear_mask = 0u64;
+                    for &(lsb, width) in list {
+                        clear_mask |= cudasim::device::mask(width) << lsb;
+                    }
+                    let old = lw.fresh()?;
+                    lw.ops.push(Op::Load { dst: old, slot: vs.slot });
+                    let keep = lw.konst(!clear_mask & cudasim::device::mask(vs.width))?;
+                    let cleared = lw.fresh()?;
+                    lw.ops.push(Op::Bin { op: KBin::And, dst: cleared, a: old, b: keep, width: vs.width });
+                    lw.ops.push(Op::Store { src: cleared, slot: vs.slot, width: vs.width });
+                }
+                _ => {
+                    lw.ops.push(Op::Store { src: zero, slot: vs.slot, width: vs.width });
+                }
+            }
+        }
+    }
+    lw.stms(&p.body, None)?;
+    Ok(lw.next)
+}
+
+/// Emit ops copying every state scalar's shadow slot back to its current
+/// slot (the commit kernel body).
+pub fn lower_commit(design: &Design, plan: &MemoryPlan, ops: &mut Vec<Op>) -> u16 {
+    let mut used = 0u16;
+    for (v, var) in design.vars.iter().enumerate() {
+        let vs = &plan.slots[v];
+        if let Some(shadow) = vs.shadow {
+            let _ = var;
+            ops.push(Op::Load { dst: 0, slot: shadow });
+            ops.push(Op::Store { src: 0, slot: vs.slot, width: vs.width });
+            used = 1;
+        }
+    }
+    used
+}
+
+struct ProcLower<'a> {
+    design: &'a Design,
+    plan: &'a MemoryPlan,
+    ops: &'a mut Vec<Op>,
+    next: Reg,
+    kind: ProcessKind,
+    /// Seq: vars whose shadow already holds a pending value.
+    written: HashSet<VarId>,
+    name: &'a str,
+}
+
+impl<'a> ProcLower<'a> {
+    fn fresh(&mut self) -> Result<Reg, String> {
+        let r = self.next;
+        self.next = self
+            .next
+            .checked_add(1)
+            .ok_or_else(|| format!("process `{}` exceeds 65535 registers", self.name))?;
+        Ok(r)
+    }
+
+    fn konst(&mut self, value: u64) -> Result<Reg, String> {
+        let r = self.fresh()?;
+        self.ops.push(Op::Const { dst: r, value });
+        Ok(r)
+    }
+
+    fn width_of(&self, e: &EExpr) -> u32 {
+        self.design.expr_width(e)
+    }
+
+    fn check_width(&self, w: u32, what: &str) -> Result<(), String> {
+        if w == 0 || w > 64 {
+            return Err(format!("process `{}`: {what} has unsupported width {w}", self.name));
+        }
+        Ok(())
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self, e: &EExpr) -> Result<Reg, String> {
+        match e {
+            EExpr::Const(v) => {
+                self.check_width(v.width(), "constant")?;
+                self.konst(v.words()[0])
+            }
+            EExpr::Var(v) => {
+                let vs = &self.plan.slots[*v];
+                let r = self.fresh()?;
+                // Non-blocking reads are pre-edge: always the current slot.
+                self.ops.push(Op::Load { dst: r, slot: vs.slot });
+                Ok(r)
+            }
+            EExpr::ReadMem { var, idx } => {
+                let vs = self.plan.slots[*var];
+                let i = self.expr(idx)?;
+                let r = self.fresh()?;
+                self.ops.push(Op::LoadIdx { dst: r, slot: vs.slot, idx: i, depth: vs.depth });
+                Ok(r)
+            }
+            EExpr::Unary { op, arg, width } => {
+                let aw = self.width_of(arg);
+                self.check_width(aw, "operand")?;
+                let a = self.expr(arg)?;
+                let r = self.fresh()?;
+                let (kop, w) = match op {
+                    UnOp::Not => (KUn::Not, *width),
+                    UnOp::Neg => (KUn::Neg, *width),
+                    UnOp::LNot => (KUn::LNot, aw),
+                    UnOp::RedAnd => (KUn::RedAnd, aw),
+                    UnOp::RedOr => (KUn::RedOr, aw),
+                    UnOp::RedXor => (KUn::RedXor, aw),
+                };
+                self.ops.push(Op::Un { op: kop, dst: r, a, width: w });
+                Ok(r)
+            }
+            EExpr::Binary { op, a, b, width } => {
+                let aw = self.width_of(a);
+                self.check_width(aw, "operand")?;
+                self.check_width(self.width_of(b), "operand")?;
+                let ra = self.expr(a)?;
+                let rb = self.expr(b)?;
+                let r = self.fresh()?;
+                // Shifts and sign-aware ops key off the left operand width;
+                // arithmetic masks at the node width.
+                let (kop, w) = match op {
+                    BinOp::Add => (KBin::Add, *width),
+                    BinOp::Sub => (KBin::Sub, *width),
+                    BinOp::Mul => (KBin::Mul, *width),
+                    BinOp::Div => (KBin::Div, *width),
+                    BinOp::Mod => (KBin::Rem, *width),
+                    BinOp::And => (KBin::And, *width),
+                    BinOp::Or => (KBin::Or, *width),
+                    BinOp::Xor => (KBin::Xor, *width),
+                    BinOp::Xnor => (KBin::Xnor, *width),
+                    BinOp::Shl => (KBin::Shl, *width),
+                    BinOp::Shr => (KBin::Shr, aw),
+                    BinOp::Sshr => (KBin::Sshr, aw),
+                    BinOp::Eq => (KBin::Eq, 1),
+                    BinOp::Ne => (KBin::Ne, 1),
+                    BinOp::Lt => (KBin::Ltu, 1),
+                    BinOp::Le => (KBin::Leu, 1),
+                    BinOp::Gt => (KBin::Gtu, 1),
+                    BinOp::Ge => (KBin::Geu, 1),
+                    BinOp::LAnd => (KBin::LAnd, 1),
+                    BinOp::LOr => (KBin::LOr, 1),
+                };
+                self.ops.push(Op::Bin { op: kop, dst: r, a: ra, b: rb, width: w });
+                Ok(r)
+            }
+            EExpr::Mux { cond, t, e, width } => {
+                self.check_width(*width, "mux")?;
+                let c = self.expr(cond)?;
+                let rt = self.expr(t)?;
+                let re = self.expr(e)?;
+                let r = self.fresh()?;
+                self.ops.push(Op::Mux { dst: r, cond: c, a: rt, b: re });
+                Ok(r)
+            }
+            EExpr::Concat { parts, width } => {
+                self.check_width(*width, "concat")?;
+                // parts[0] is most significant; build by shifting left.
+                let mut acc: Option<(Reg, u32)> = None;
+                for p in parts {
+                    let pw = self.width_of(p);
+                    self.check_width(pw, "concat part")?;
+                    let rp = self.expr(p)?;
+                    acc = Some(match acc {
+                        None => (rp, pw),
+                        Some((ra, wa)) => {
+                            let total = wa + pw;
+                            self.check_width(total, "concat")?;
+                            let shift = self.konst(pw as u64)?;
+                            let shifted = self.fresh()?;
+                            self.ops.push(Op::Bin { op: KBin::Shl, dst: shifted, a: ra, b: shift, width: total });
+                            let merged = self.fresh()?;
+                            self.ops.push(Op::Bin { op: KBin::Or, dst: merged, a: shifted, b: rp, width: total });
+                            (merged, total)
+                        }
+                    });
+                }
+                Ok(acc.expect("non-empty concat").0)
+            }
+            EExpr::Slice { arg, lsb, width } => {
+                let aw = self.width_of(arg);
+                self.check_width(aw, "slice operand")?;
+                self.check_width(*width, "slice")?;
+                let mut r = self.expr(arg)?;
+                if *lsb > 0 {
+                    let s = self.konst(*lsb as u64)?;
+                    let shifted = self.fresh()?;
+                    self.ops.push(Op::Bin { op: KBin::Shr, dst: shifted, a: r, b: s, width: aw });
+                    r = shifted;
+                }
+                let remaining = aw.saturating_sub(*lsb).max(1);
+                if *width < remaining {
+                    let m = self.konst(cudasim::device::mask(*width))?;
+                    let masked = self.fresh()?;
+                    self.ops.push(Op::Bin { op: KBin::And, dst: masked, a: r, b: m, width: *width });
+                    r = masked;
+                }
+                Ok(r)
+            }
+            EExpr::IndexBit { arg, idx } => {
+                let aw = self.width_of(arg);
+                self.check_width(aw, "bit-select operand")?;
+                let r = self.expr(arg)?;
+                let i = self.expr(idx)?;
+                let shifted = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::Shr, dst: shifted, a: r, b: i, width: aw });
+                let one = self.konst(1)?;
+                let bit = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::And, dst: bit, a: shifted, b: one, width: 1 });
+                Ok(bit)
+            }
+            EExpr::Resize { arg, width } => {
+                let aw = self.width_of(arg);
+                self.check_width(aw, "resize operand")?;
+                self.check_width(*width, "resize")?;
+                let r = self.expr(arg)?;
+                if *width < aw {
+                    let m = self.konst(cudasim::device::mask(*width))?;
+                    let masked = self.fresh()?;
+                    self.ops.push(Op::Bin { op: KBin::And, dst: masked, a: r, b: m, width: *width });
+                    Ok(masked)
+                } else {
+                    Ok(r) // zero-extension is free in a u64 register
+                }
+            }
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stms(&mut self, stms: &[Stm], pred: Option<Reg>) -> Result<(), String> {
+        for s in stms {
+            match s {
+                Stm::Assign { target, rhs } => {
+                    let v = self.expr(rhs)?;
+                    self.store(target, v, pred)?;
+                }
+                Stm::If { cond, then_s, else_s } => {
+                    let c = self.expr(cond)?;
+                    // Normalize the condition to a boolean.
+                    let cw = self.width_of(cond);
+                    let cb = if cw == 1 {
+                        c
+                    } else {
+                        let b = self.fresh()?;
+                        self.ops.push(Op::Un { op: KUn::RedOr, dst: b, a: c, width: cw });
+                        b
+                    };
+                    let then_pred = match pred {
+                        None => cb,
+                        Some(p) => {
+                            let r = self.fresh()?;
+                            self.ops.push(Op::Bin { op: KBin::LAnd, dst: r, a: p, b: cb, width: 1 });
+                            r
+                        }
+                    };
+                    self.stms(then_s, Some(then_pred))?;
+                    if !else_s.is_empty() {
+                        let ncb = self.fresh()?;
+                        self.ops.push(Op::Un { op: KUn::LNot, dst: ncb, a: cb, width: 1 });
+                        let else_pred = match pred {
+                            None => ncb,
+                            Some(p) => {
+                                let r = self.fresh()?;
+                                self.ops.push(Op::Bin { op: KBin::LAnd, dst: r, a: p, b: ncb, width: 1 });
+                                r
+                            }
+                        };
+                        self.stms(else_s, Some(else_pred))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The slot a (partial) scalar write reads its base value from, and
+    /// the slot it writes to.
+    fn rw_slots(&mut self, var: VarId) -> (Slot, Slot) {
+        let vs = &self.plan.slots[var];
+        match self.kind {
+            ProcessKind::Comb => (vs.slot, vs.slot),
+            ProcessKind::Seq => {
+                let shadow = vs.shadow.expect("seq write target must have a shadow slot");
+                let read = if self.written.contains(&var) { shadow } else { vs.slot };
+                (read, shadow)
+            }
+        }
+    }
+
+    fn store(&mut self, target: &Target, value: Reg, pred: Option<Reg>) -> Result<(), String> {
+        match target {
+            Target::Var(var) => {
+                let width = self.plan.slots[*var].width;
+                let (read, write) = self.rw_slots(*var);
+                let v = match pred {
+                    None => value,
+                    Some(p) => {
+                        let old = self.fresh()?;
+                        self.ops.push(Op::Load { dst: old, slot: read });
+                        let m = self.fresh()?;
+                        self.ops.push(Op::Mux { dst: m, cond: p, a: value, b: old });
+                        m
+                    }
+                };
+                self.ops.push(Op::Store { src: v, slot: write, width });
+                self.written.insert(*var);
+                Ok(())
+            }
+            Target::Slice { var, lsb, width } => {
+                let vw = self.plan.slots[*var].width;
+                let (read, write) = self.rw_slots(*var);
+                let old = self.fresh()?;
+                self.ops.push(Op::Load { dst: old, slot: read });
+                // cleared = old & ~(mask << lsb)
+                let hole = !(cudasim::device::mask(*width) << lsb) & cudasim::device::mask(vw);
+                let holec = self.konst(hole)?;
+                let cleared = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::And, dst: cleared, a: old, b: holec, width: vw });
+                // piece = (value & mask) << lsb
+                let m = self.konst(cudasim::device::mask(*width))?;
+                let vm = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::And, dst: vm, a: value, b: m, width: *width });
+                let sh = self.konst(*lsb as u64)?;
+                let vs = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::Shl, dst: vs, a: vm, b: sh, width: vw });
+                let merged = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::Or, dst: merged, a: cleared, b: vs, width: vw });
+                let v = match pred {
+                    None => merged,
+                    Some(p) => {
+                        let mx = self.fresh()?;
+                        self.ops.push(Op::Mux { dst: mx, cond: p, a: merged, b: old });
+                        mx
+                    }
+                };
+                self.ops.push(Op::Store { src: v, slot: write, width: vw });
+                self.written.insert(*var);
+                Ok(())
+            }
+            Target::DynBit { var, idx } => {
+                let vw = self.plan.slots[*var].width;
+                let (read, write) = self.rw_slots(*var);
+                let i = self.expr(idx)?;
+                let old = self.fresh()?;
+                self.ops.push(Op::Load { dst: old, slot: read });
+                // bitmask = 1 << idx (0 when idx >= width because Shl saturates)
+                let one = self.konst(1)?;
+                let bm = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::Shl, dst: bm, a: one, b: i, width: vw });
+                let nbm = self.fresh()?;
+                self.ops.push(Op::Un { op: KUn::Not, dst: nbm, a: bm, width: vw });
+                let cleared = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::And, dst: cleared, a: old, b: nbm, width: vw });
+                let onev = self.konst(1)?;
+                let b0 = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::And, dst: b0, a: value, b: onev, width: 1 });
+                let piece = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::Shl, dst: piece, a: b0, b: i, width: vw });
+                let merged = self.fresh()?;
+                self.ops.push(Op::Bin { op: KBin::Or, dst: merged, a: cleared, b: piece, width: vw });
+                let v = match pred {
+                    None => merged,
+                    Some(p) => {
+                        let mx = self.fresh()?;
+                        self.ops.push(Op::Mux { dst: mx, cond: p, a: merged, b: old });
+                        mx
+                    }
+                };
+                self.ops.push(Op::Store { src: v, slot: write, width: vw });
+                self.written.insert(*var);
+                Ok(())
+            }
+            Target::Mem { var, idx } => {
+                if self.kind == ProcessKind::Comb {
+                    return Err(format!("process `{}`: combinational memory write", self.name));
+                }
+                let vs = self.plan.slots[*var];
+                let i = self.expr(idx)?;
+                let p = match pred {
+                    Some(p) => p,
+                    None => self.konst(1)?,
+                };
+                self.ops.push(Op::StoreIdxCond {
+                    src: value,
+                    slot: vs.slot,
+                    idx: i,
+                    depth: vs.depth,
+                    pred: p,
+                    width: vs.width,
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cudasim::{execute_kernel, Kernel, Scratch};
+
+    /// Lower a single-process design and run it for one thread.
+    fn run_comb(src: &str, inputs: &[(&str, u64)], output: &str) -> u64 {
+        let d = rtlir::elaborate(src, "top").unwrap();
+        let plan = MemoryPlan::build(&d).unwrap();
+        let mut dev = plan.alloc_device(1);
+        for (name, v) in inputs {
+            let var = d.find_var(name).unwrap();
+            plan.poke(&mut dev, var, 0, *v);
+        }
+        let g = rtlir::RtlGraph::build(&d).unwrap();
+        let mut scratch = Scratch::new();
+        for &node in &g.comb_order {
+            let mut ops = Vec::new();
+            lower_process(&d, &plan, g.nodes[node].process, &mut ops).unwrap();
+            let k = Kernel::new("t", ops);
+            k.validate().unwrap();
+            execute_kernel(&k, &mut dev, &mut scratch, 0, 1);
+        }
+        plan.peek(&dev, d.find_var(output).unwrap(), 0)
+    }
+
+    #[test]
+    fn arith_expression() {
+        let y = run_comb(
+            "module top(input [7:0] a, input [7:0] b, output [8:0] y); assign y = a + b; endmodule",
+            &[("a", 200), ("b", 100)],
+            "y",
+        );
+        assert_eq!(y, 300);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let y = run_comb(
+            "module top(input [7:0] a, output [15:0] y); assign y = {a, a[7:4], 4'hf}; endmodule",
+            &[("a", 0xab)],
+            "y",
+        );
+        assert_eq!(y, 0xabaf);
+    }
+
+    #[test]
+    fn predicated_case_chain() {
+        let src = "module top(input [1:0] s, output reg [7:0] y);
+             always @(*) begin
+               y = 8'd0;
+               case (s)
+                 2'd0: y = 8'd10;
+                 2'd1: y = 8'd20;
+                 default: y = 8'd99;
+               endcase
+             end
+           endmodule";
+        assert_eq!(run_comb(src, &[("s", 0)], "y"), 10);
+        assert_eq!(run_comb(src, &[("s", 1)], "y"), 20);
+        assert_eq!(run_comb(src, &[("s", 3)], "y"), 99);
+    }
+
+    #[test]
+    fn casez_priority_encoder_on_device() {
+        let src = "module top(input [3:0] req, output reg [2:0] grant);
+             always @(*) begin
+               casez (req)
+                 4'b???1: grant = 3'd0;
+                 4'b??10: grant = 3'd1;
+                 4'b?100: grant = 3'd2;
+                 4'b1000: grant = 3'd3;
+                 default: grant = 3'd7;
+               endcase
+             end
+           endmodule";
+        for (input, expect) in [(0b1011u64, 0u64), (0b0110, 1), (0b0100, 2), (0b1000, 3), (0b0000, 7)] {
+            assert_eq!(run_comb(src, &[("req", input)], "grant"), expect, "req={input:#06b}");
+        }
+    }
+
+    #[test]
+    fn dynamic_bit_select() {
+        let y = run_comb(
+            "module top(input [7:0] a, input [2:0] i, output y); assign y = a[i]; endmodule",
+            &[("a", 0b0100_0000), ("i", 6)],
+            "y",
+        );
+        assert_eq!(y, 1);
+    }
+
+    #[test]
+    fn ternary_mux() {
+        let src = "module top(input s, input [7:0] a, input [7:0] b, output [7:0] y);
+            assign y = s ? a : b; endmodule";
+        assert_eq!(run_comb(src, &[("s", 1), ("a", 5), ("b", 9)], "y"), 5);
+        assert_eq!(run_comb(src, &[("s", 0), ("a", 5), ("b", 9)], "y"), 9);
+    }
+
+    #[test]
+    fn reduction_ops() {
+        let src = "module top(input [7:0] a, output [2:0] y);
+            assign y = {&a, ^a, |a}; endmodule";
+        assert_eq!(run_comb(src, &[("a", 0xff)], "y"), 0b101);
+        assert_eq!(run_comb(src, &[("a", 0x01)], "y"), 0b011);
+        assert_eq!(run_comb(src, &[("a", 0x00)], "y"), 0b000);
+    }
+
+    #[test]
+    fn comb_defaults_to_zero_on_uncovered_path() {
+        // `y` is only assigned when s==1; otherwise the zero prologue wins.
+        let src = "module top(input s, input [7:0] a, output reg [7:0] y);
+             always @(*) begin if (s) y = a; end endmodule";
+        assert_eq!(run_comb(src, &[("s", 0), ("a", 77)], "y"), 0);
+        assert_eq!(run_comb(src, &[("s", 1), ("a", 77)], "y"), 77);
+    }
+
+    #[test]
+    fn shifts_match_interp_semantics() {
+        let src = "module top(input [7:0] a, input [3:0] n, output [7:0] l, output [7:0] r, output [7:0] ar);
+            assign l = a << n;
+            assign r = a >> n;
+            assign ar = a >>> n;
+          endmodule";
+        assert_eq!(run_comb(src, &[("a", 0x81), ("n", 1)], "l"), 0x02);
+        assert_eq!(run_comb(src, &[("a", 0x81), ("n", 1)], "r"), 0x40);
+        assert_eq!(run_comb(src, &[("a", 0x81), ("n", 1)], "ar"), 0xc0);
+        assert_eq!(run_comb(src, &[("a", 0x81), ("n", 9)], "l"), 0);
+    }
+}

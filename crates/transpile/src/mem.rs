@@ -1,0 +1,205 @@
+//! Incremental GPU memory allocation (§3.1.2).
+//!
+//! One pass over the design's variables assigns each a slot in the
+//! smallest width bucket that fits it. A variable of width `w` occupies
+//! one element of `var8/var16/var32/var64`; a memory of depth `d` takes
+//! `d` consecutive offsets; a state scalar (flip-flop) additionally gets
+//! a *shadow* slot so sequential kernels can double-buffer non-blocking
+//! assignments. Each offset is replicated `N` times at device allocation,
+//! so accesses become `bucket[offset * N + tid]` — fully coalesced.
+
+use cudasim::{Bucket, DeviceMemory, Slot};
+use rtlir::{Design, VarId};
+
+/// Placement of one design variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarSlot {
+    /// Current-value slot (base offset for memories).
+    pub slot: Slot,
+    /// Shadow (next-value) slot for state scalars.
+    pub shadow: Option<Slot>,
+    /// Memory depth (0 = scalar).
+    pub depth: u32,
+    /// Bit width.
+    pub width: u32,
+}
+
+/// The complete allocation for a design.
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    /// Indexed by `VarId`.
+    pub slots: Vec<VarSlot>,
+    /// Elements allocated per bucket (per stimulus).
+    pub len8: u32,
+    pub len16: u32,
+    pub len32: u32,
+    pub len64: u32,
+}
+
+impl MemoryPlan {
+    /// Build the plan. Fails when a variable is wider than 64 bits — the
+    /// kernel IR is single-word (the golden interpreter supports wide
+    /// values; transpilation of >64-bit signals is future work and none of
+    /// the benchmark designs need it).
+    pub fn build(design: &Design) -> Result<MemoryPlan, String> {
+        let mut lens = [0u32; 4];
+        let mut slots = Vec::with_capacity(design.vars.len());
+        for var in &design.vars {
+            if var.width > 64 {
+                return Err(format!(
+                    "variable `{}` is {} bits wide; kernel transpilation supports <= 64",
+                    var.name, var.width
+                ));
+            }
+            let bucket = Bucket::for_width(var.width);
+            let bi = bucket_index(bucket);
+            let count = if var.is_memory() { var.depth } else { 1 };
+            let offset = lens[bi];
+            lens[bi] += count;
+            // Shadow for state scalars only; memories commit in place.
+            let shadow = if var.is_state && !var.is_memory() {
+                let s = Slot { bucket, offset: lens[bi] };
+                lens[bi] += 1;
+                Some(s)
+            } else {
+                None
+            };
+            slots.push(VarSlot { slot: Slot { bucket, offset }, shadow, depth: var.depth, width: var.width });
+        }
+        Ok(MemoryPlan { slots, len8: lens[0], len16: lens[1], len32: lens[2], len64: lens[3] })
+    }
+
+    /// Allocate device arrays for `n` stimulus.
+    pub fn alloc_device(&self, n: usize) -> DeviceMemory {
+        DeviceMemory::new(n, self.len8, self.len16, self.len32, self.len64)
+    }
+
+    /// Device bytes needed per stimulus.
+    pub fn bytes_per_stimulus(&self) -> u64 {
+        self.len8 as u64 + self.len16 as u64 * 2 + self.len32 as u64 * 4 + self.len64 as u64 * 8
+    }
+
+    /// Write a scalar variable for one stimulus (host-side `set_inputs`).
+    pub fn poke(&self, dev: &mut DeviceMemory, var: VarId, tid: usize, value: u64) {
+        let vs = &self.slots[var];
+        debug_assert_eq!(vs.depth, 0, "poke on memory");
+        let m = cudasim::device::mask(vs.width);
+        dev.store(vs.slot, tid, value & m);
+    }
+
+    /// Read a scalar variable for one stimulus.
+    pub fn peek(&self, dev: &DeviceMemory, var: VarId, tid: usize) -> u64 {
+        let vs = &self.slots[var];
+        debug_assert_eq!(vs.depth, 0, "peek on memory");
+        dev.load(vs.slot, tid)
+    }
+
+    /// Read one memory word for one stimulus.
+    pub fn peek_mem(&self, dev: &DeviceMemory, var: VarId, idx: u32, tid: usize) -> u64 {
+        let vs = &self.slots[var];
+        debug_assert!(idx < vs.depth, "peek_mem out of range");
+        dev.load(Slot { bucket: vs.slot.bucket, offset: vs.slot.offset + idx }, tid)
+    }
+
+    /// FNV digest over a design's outputs for one stimulus — bit-for-bit
+    /// the same fold as `rtlir::Interp::output_digest` (all outputs are
+    /// <= 64 bits wide, i.e. single-word).
+    pub fn output_digest(&self, dev: &DeviceMemory, design: &Design, tid: usize) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &o in &design.outputs {
+            h ^= self.peek(dev, o, tid);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+fn bucket_index(b: Bucket) -> usize {
+    match b {
+        Bucket::B8 => 0,
+        Bucket::B16 => 1,
+        Bucket::B32 => 2,
+        Bucket::B64 => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_by_width_bucket() {
+        let src = "
+            module top(input clk, input [5:0] in, output [13:0] sum);
+              reg [13:0] acc;
+              always @(posedge clk) acc <= acc + {8'd0, in};
+              assign sum = acc;
+            endmodule";
+        let d = rtlir::elaborate(src, "top").unwrap();
+        let plan = MemoryPlan::build(&d).unwrap();
+        let inv = d.find_var("in").unwrap();
+        let acc = d.find_var("acc").unwrap();
+        assert_eq!(plan.slots[inv].slot.bucket, Bucket::B8);
+        assert_eq!(plan.slots[acc].slot.bucket, Bucket::B16);
+        // acc is state: gets a shadow in the same bucket.
+        assert!(plan.slots[acc].shadow.is_some());
+        assert_eq!(plan.slots[acc].shadow.unwrap().bucket, Bucket::B16);
+    }
+
+    #[test]
+    fn memories_take_depth_offsets() {
+        let src = "
+            module top(input clk, input [3:0] a, input [7:0] d, input we, output [7:0] q);
+              reg [7:0] mem [0:15];
+              assign q = mem[a];
+              always @(posedge clk) if (we) mem[a] <= d;
+            endmodule";
+        let d = rtlir::elaborate(src, "top").unwrap();
+        let plan = MemoryPlan::build(&d).unwrap();
+        let mem = d.find_var("mem").unwrap();
+        assert_eq!(plan.slots[mem].depth, 16);
+        assert!(plan.slots[mem].shadow.is_none(), "memories commit in place");
+        // 16 words of b8 plus the other small vars.
+        assert!(plan.len8 >= 16);
+    }
+
+    #[test]
+    fn offsets_are_disjoint() {
+        let src = "
+            module top(input [7:0] a, input [7:0] b, output [7:0] x, output [7:0] y);
+              assign x = a + b;
+              assign y = a ^ b;
+            endmodule";
+        let d = rtlir::elaborate(src, "top").unwrap();
+        let plan = MemoryPlan::build(&d).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for vs in &plan.slots {
+            let count = vs.depth.max(1) + vs.shadow.is_some() as u32;
+            for k in 0..count {
+                assert!(seen.insert((vs.slot.bucket, vs.slot.offset + k)), "overlap at {vs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_vars_rejected() {
+        let src = "
+            module top(input [99:0] a, output [99:0] y);
+              assign y = a;
+            endmodule";
+        let d = rtlir::elaborate(src, "top").unwrap();
+        assert!(MemoryPlan::build(&d).is_err());
+    }
+
+    #[test]
+    fn poke_peek_roundtrip_masks() {
+        let src = "module top(input [5:0] a, output [5:0] y); assign y = a; endmodule";
+        let d = rtlir::elaborate(src, "top").unwrap();
+        let plan = MemoryPlan::build(&d).unwrap();
+        let mut dev = plan.alloc_device(2);
+        let a = d.find_var("a").unwrap();
+        plan.poke(&mut dev, a, 1, 0xfff);
+        assert_eq!(plan.peek(&dev, a, 1), 0x3f);
+        assert_eq!(plan.peek(&dev, a, 0), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! GPU-aware partition tuning: run the MCMC search (Algorithm 1) on the
+//! Spinal core and compare the tuned task graph against the hard-coded
+//! Verilator-style partition — a miniature of Table 3 / Figure 14.
+//!
+//! ```sh
+//! cargo run --release --example partition_tuning
+//! ```
+
+use rtlflow::{
+    fmt_duration, mcmc_partition, static_partition, Benchmark, Flow, GpuModel, McmcConfig,
+    PartitionStrategy, PipelineConfig, PortMap, RiscvSource,
+};
+use rtlir::RtlGraph;
+
+fn main() {
+    let design = Benchmark::Spinal.elaborate().expect("elaborate spinal");
+    let graph = RtlGraph::build(&design).expect("rtl graph");
+    let model = GpuModel::default();
+
+    // Hard-coded-weight baseline (RTLflow without GPU-aware partitioning).
+    let static_part = static_partition(&design, &graph, 8);
+    println!("static partition: {} tasks", static_part.len());
+
+    // MCMC search: every candidate is transpiled and run on the timed
+    // virtual A6000 with a small sample.
+    let cfg = McmcConfig {
+        max_iters: 40,
+        max_unimproved: 15,
+        sample_stimulus: 128,
+        sample_cycles: 16,
+        ..Default::default()
+    };
+    let result = mcmc_partition(&design, &graph, &model, &cfg).expect("mcmc");
+    println!(
+        "MCMC: {} iterations, initial cost {:.0} -> best cost {:.0} ({:.1}% better)",
+        result.iters,
+        result.cost_history[0],
+        result.best_cost,
+        (1.0 - result.best_cost / result.cost_history[0]) * 100.0
+    );
+    println!("learned weights: {:?}", result.weights.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("tuned partition: {} tasks", result.partition.len());
+
+    // Run both end to end (Table 3 style).
+    let n = 4096;
+    let cycles = 100;
+    let cfg_run = PipelineConfig { group_size: 512, ..Default::default() };
+
+    let mut flow = Flow::from_design(design.clone(), PartitionStrategy::Static { alpha: 8 }, model.clone())
+        .expect("static flow");
+    let map = PortMap::from_design(&flow.design);
+    let source = RiscvSource::new(&map, n, 0x5eed);
+    let static_run = flow.simulate(&source, cycles, &cfg_run).expect("static run");
+
+    flow.repartition(PartitionStrategy::Mcmc(cfg)).expect("tuned repartition");
+    let tuned_run = flow.simulate(&source, cycles, &cfg_run).expect("tuned run");
+
+    println!("\n{n} stimulus x {cycles} cycles on Spinal:");
+    println!("  RTLflow-g (static weights): {}", fmt_duration(static_run.makespan));
+    println!("  RTLflow   (MCMC weights)  : {}", fmt_duration(tuned_run.makespan));
+    println!(
+        "  improvement: {:.1}%",
+        (static_run.makespan as f64 / tuned_run.makespan as f64 - 1.0) * 100.0
+    );
+    assert_eq!(static_run.digests, tuned_run.digests, "partitioning must not change results");
+
+    // Kernel-concurrency profile (Figure 14's point): tasks per level.
+    let widths = flow.cuda.ir.level_widths();
+    println!("\nkernel concurrency by level (tuned): {widths:?}");
+}
