@@ -88,7 +88,11 @@ impl DesignWork {
             }
         }
         // Commit: one copy per state scalar.
-        seq_ops += design.vars.iter().filter(|v| v.is_state && !v.is_memory()).count() as u64;
+        seq_ops += design
+            .vars
+            .iter()
+            .filter(|v| v.is_state && !v.is_memory())
+            .count() as u64;
         DesignWork {
             comb_ops,
             critical_ops: level_max.iter().sum(),
@@ -118,17 +122,29 @@ pub struct VerilatorModel {
 impl VerilatorModel {
     /// The paper's NVDLA configuration: 10 processes x 8 threads.
     pub fn paper_nvdla() -> Self {
-        VerilatorModel { cpu: CpuModel::default(), processes: 10, threads: 8 }
+        VerilatorModel {
+            cpu: CpuModel::default(),
+            processes: 10,
+            threads: 8,
+        }
     }
 
     /// The paper's small-design configuration: 40 processes x 2 threads.
     pub fn paper_small() -> Self {
-        VerilatorModel { cpu: CpuModel::default(), processes: 40, threads: 2 }
+        VerilatorModel {
+            cpu: CpuModel::default(),
+            processes: 40,
+            threads: 2,
+        }
     }
 
     /// Single-threaded single-process Verilator.
     pub fn single() -> Self {
-        VerilatorModel { cpu: CpuModel::default(), processes: 1, threads: 1 }
+        VerilatorModel {
+            cpu: CpuModel::default(),
+            processes: 1,
+            threads: 1,
+        }
     }
 
     /// Time for one stimulus to advance one cycle inside one process.
@@ -140,7 +156,11 @@ impl VerilatorModel {
         let pass = |ops: u64, critical: u64| -> f64 {
             let ideal = ops as f64 / threads as f64;
             let bounded = ideal.max(critical as f64);
-            let sync = if threads > 1 { (work.levels as u64 * self.cpu.sync_ns) as f64 } else { 0.0 };
+            let sync = if threads > 1 {
+                (work.levels as u64 * self.cpu.sync_ns) as f64
+            } else {
+                0.0
+            };
             bounded * ns_op + sync
         };
         let comb = 2.0 * pass(work.comb_ops, work.critical_ops);
@@ -177,7 +197,11 @@ pub struct EssentModel {
 
 impl Default for EssentModel {
     fn default() -> Self {
-        EssentModel { cpu: CpuModel::default(), processes: 80, event_overhead_ns: 60 }
+        EssentModel {
+            cpu: CpuModel::default(),
+            processes: 80,
+            event_overhead_ns: 60,
+        }
     }
 }
 
@@ -206,8 +230,8 @@ impl EssentModel {
         let stim_per_instance = n_stimulus.div_ceil(instances) as u64;
         let slowdown = 1.0 + self.cpu.contention * (instances.saturating_sub(1)) as f64;
         self.cpu.fork_startup_ns
-            + ((stim_per_instance * cycles * self.cycle_time(work, activity, comb_blocks)) as f64 * slowdown)
-                as Time
+            + ((stim_per_instance * cycles * self.cycle_time(work, activity, comb_blocks)) as f64
+                * slowdown) as Time
     }
 }
 
@@ -242,11 +266,28 @@ mod tests {
             levels: 12,
             input_lanes: 8,
         };
-        let t = |threads| VerilatorModel { threads, processes: 1, cpu: CpuModel::default() }.cycle_time(&w);
-        assert!(t(8) < t(1) / 4, "8 threads should win big: {} vs {}", t(1), t(8));
+        let t = |threads| {
+            VerilatorModel {
+                threads,
+                processes: 1,
+                cpu: CpuModel::default(),
+            }
+            .cycle_time(&w)
+        };
+        assert!(
+            t(8) < t(1) / 4,
+            "8 threads should win big: {} vs {}",
+            t(1),
+            t(8)
+        );
         // Strong scaling is sublinear (paper §2.3: plateaus at 8-10 cores):
         // 8x more threads must yield well under 4x more speed.
-        assert!(t(64) * 8 > t(8) * 2, "8->64 threads should be sublinear: {} vs {}", t(8), t(64));
+        assert!(
+            t(64) * 8 > t(8) * 2,
+            "8->64 threads should be sublinear: {} vs {}",
+            t(8),
+            t(64)
+        );
     }
 
     #[test]
@@ -255,23 +296,50 @@ mod tests {
         // which is why the paper runs small designs with alpha=2 and 40
         // forked processes instead of wide threading.
         let w = work();
-        let t1 = VerilatorModel { threads: 1, processes: 1, cpu: CpuModel::default() }.cycle_time(&w);
-        let t8 = VerilatorModel { threads: 8, processes: 1, cpu: CpuModel::default() }.cycle_time(&w);
-        assert!(t8 > t1, "sync should dominate on a tiny design: {t1} vs {t8}");
+        let t1 = VerilatorModel {
+            threads: 1,
+            processes: 1,
+            cpu: CpuModel::default(),
+        }
+        .cycle_time(&w);
+        let t8 = VerilatorModel {
+            threads: 8,
+            processes: 1,
+            cpu: CpuModel::default(),
+        }
+        .cycle_time(&w);
+        assert!(
+            t8 > t1,
+            "sync should dominate on a tiny design: {t1} vs {t8}"
+        );
     }
 
     #[test]
     fn forked_processes_scale_weakly() {
         let w = work();
-        let m1 = VerilatorModel { threads: 1, processes: 1, cpu: CpuModel::default() };
-        let m80 = VerilatorModel { threads: 1, processes: 80, cpu: CpuModel::default() };
+        let m1 = VerilatorModel {
+            threads: 1,
+            processes: 1,
+            cpu: CpuModel::default(),
+        };
+        let m80 = VerilatorModel {
+            threads: 1,
+            processes: 80,
+            cpu: CpuModel::default(),
+        };
         // Long enough runs amortize the fork startup.
         let r1 = m1.batch_runtime(&w, 8000, 10_000);
         let r80 = m80.batch_runtime(&w, 8000, 10_000);
         // Much faster, but far from the ideal 80x: memory contention
         // between instances caps it (Figure 12's 17.4x at 80 threads).
-        assert!(r1 > r80 * 10, "80 processes should be much faster: {r1} vs {r80}");
-        assert!(r1 < r80 * 40, "contention should keep scaling below 40x: {r1} vs {r80}");
+        assert!(
+            r1 > r80 * 10,
+            "80 processes should be much faster: {r1} vs {r80}"
+        );
+        assert!(
+            r1 < r80 * 40,
+            "contention should keep scaling below 40x: {r1} vs {r80}"
+        );
         // Short runs are startup-bound: the gap shrinks.
         let s1 = m1.batch_runtime(&w, 80, 10);
         let s80 = m80.batch_runtime(&w, 80, 10);
@@ -283,9 +351,18 @@ mod tests {
         let w = work();
         // 80 processes x 8 threads can't exist on 80 hardware threads:
         // capped at 10 instances.
-        let m = VerilatorModel { threads: 8, processes: 80, cpu: CpuModel::default() };
+        let m = VerilatorModel {
+            threads: 8,
+            processes: 80,
+            cpu: CpuModel::default(),
+        };
         let capped = m.batch_runtime(&w, 80, 10);
-        let ten = VerilatorModel { threads: 8, processes: 10, cpu: CpuModel::default() }.batch_runtime(&w, 80, 10);
+        let ten = VerilatorModel {
+            threads: 8,
+            processes: 10,
+            cpu: CpuModel::default(),
+        }
+        .batch_runtime(&w, 80, 10);
         assert_eq!(capped, ten);
     }
 

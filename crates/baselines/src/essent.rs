@@ -134,7 +134,10 @@ impl<'a> EssentSim<'a> {
         let state_vars: Vec<VarId> = (0..self.design.vars.len())
             .filter(|&v| self.design.vars[v].is_state && !self.design.vars[v].is_memory())
             .collect();
-        let before: Vec<u64> = state_vars.iter().map(|&v| self.plan.peek(&self.dev, v, s)).collect();
+        let before: Vec<u64> = state_vars
+            .iter()
+            .map(|&v| self.plan.peek(&self.dev, v, s))
+            .collect();
         // Memory writes are observed via their comb readers directly (a
         // changed word shows up when the reader re-evaluates on its index
         // inputs); to stay exact we mark memory readers dirty whenever any
@@ -185,7 +188,10 @@ impl<'a> EssentSim<'a> {
             let p = self.graph.nodes[node].process;
             // Snapshot outputs for change detection.
             let writes = &self.design.processes[p].writes;
-            let before: Vec<u64> = writes.iter().map(|&w| self.plan.peek(&self.dev, w, s)).collect();
+            let before: Vec<u64> = writes
+                .iter()
+                .map(|&w| self.plan.peek(&self.dev, w, s))
+                .collect();
             execute_kernel(&self.kernels[p], &mut self.dev, &mut self.scratch, s, 1);
             for (bi, &w) in writes.iter().enumerate() {
                 if self.plan.peek(&self.dev, w, s) != before[bi] {
@@ -263,12 +269,20 @@ mod tests {
             }
         }
         // Determine rst lane position to make the test robust.
-        assert_eq!(map.index_of("rst"), Some(0), "port order changed; fix Quiet source");
+        assert_eq!(
+            map.index_of("rst"),
+            Some(0),
+            "port order changed; fix Quiet source"
+        );
         let mut esim = EssentSim::new(&design, 1).unwrap();
         for _ in 0..50 {
             esim.step_cycle(&map, &Quiet);
         }
-        assert!(esim.activity() < 0.8, "activity {} should show skipping", esim.activity());
+        assert!(
+            esim.activity() < 0.8,
+            "activity {} should show skipping",
+            esim.activity()
+        );
         // And the counter must still be correct.
         let mut interp = rtlir::Interp::new(&design).unwrap();
         let mut frame = vec![0u64; map.len()];
@@ -295,7 +309,9 @@ mod tests {
 
     #[test]
     fn memory_design_stays_exact() {
-        let design = Benchmark::Nvdla(designs::NvdlaScale::Tiny).elaborate().unwrap();
+        let design = Benchmark::Nvdla(designs::NvdlaScale::Tiny)
+            .elaborate()
+            .unwrap();
         let map = PortMap::from_design(&design);
         let src = stimulus::NvdlaSource::new(&map, 2, 9);
         let mut esim = EssentSim::new(&design, 2).unwrap();

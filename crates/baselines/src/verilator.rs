@@ -31,7 +31,14 @@ impl<'a> VerilatorSim<'a> {
         let partition = per_process_partition(design, &graph);
         let program = KernelProgram::build(design, &graph, &partition)?;
         let dev = program.plan.alloc_device(n);
-        Ok(VerilatorSim { design, program, dev, scratch: Scratch::new(), n, cycle: 0 })
+        Ok(VerilatorSim {
+            design,
+            program,
+            dev,
+            scratch: Scratch::new(),
+            n,
+            cycle: 0,
+        })
     }
 
     /// Number of stimulus.
@@ -50,12 +57,15 @@ impl<'a> VerilatorSim<'a> {
         for s in 0..self.n {
             source.fill_frame(s, self.cycle, &mut frame);
             for (lane, port) in map.ports.iter().enumerate() {
-                self.program.plan.poke(&mut self.dev, port.var, s, frame[lane]);
+                self.program
+                    .plan
+                    .poke(&mut self.dev, port.var, s, frame[lane]);
             }
         }
         // One stimulus at a time — a forked single-stimulus process each.
         for s in 0..self.n {
-            self.program.run_cycle_functional(&mut self.dev, &mut self.scratch, s, 1);
+            self.program
+                .run_cycle_functional(&mut self.dev, &mut self.scratch, s, 1);
         }
         self.cycle += 1;
     }

@@ -39,7 +39,8 @@ fn bench_engines(c: &mut Criterion) {
                     flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
                 }
             }
-            flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+            flow.program
+                .run_cycle_functional(&mut dev, &mut scratch, 0, n);
             cycle += 1;
         })
     });

@@ -25,7 +25,9 @@ fn bench_partition(c: &mut Criterion) {
     });
 
     // The NVDLA-scale estimator call (dominant MCMC cost in Table 3).
-    let nvdla = Benchmark::Nvdla(designs::NvdlaScale::HwSmall).elaborate().unwrap();
+    let nvdla = Benchmark::Nvdla(designs::NvdlaScale::HwSmall)
+        .elaborate()
+        .unwrap();
     let ngraph = RtlGraph::build(&nvdla).unwrap();
     let npart = static_partition(&nvdla, &ngraph, 8);
     g.bench_function("mcmc_estimate/nvdla_256x64", |bench| {

@@ -1,5 +1,5 @@
 //! Pipeline machinery: the virtual-time scheduler's own overhead and the
-//! real crossbeam-threaded executor vs the sequential path.
+//! real thread-based executor vs the sequential path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cudasim::GpuModel;
@@ -17,7 +17,10 @@ fn bench_pipeline(c: &mut Criterion) {
 
     // Pure discrete-event scheduling rate (no functional execution).
     g.bench_function("model_batch/4096x64", |bench| {
-        let cfg = PipelineConfig { group_size: 512, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 512,
+            ..Default::default()
+        };
         bench.iter(|| model_batch(&program, &graph, map.len(), 4096, 64, &cfg, &model))
     });
 
@@ -25,7 +28,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let n = 64;
     let src = RiscvSource::new(&map, n, 5);
     g.bench_function("functional_sequential/64x32", |bench| {
-        let cfg = PipelineConfig { group_size: 16, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 16,
+            ..Default::default()
+        };
         bench.iter(|| simulate_batch(&design, &program, &graph, &map, &src, 32, &cfg, &model))
     });
     g.bench_function("functional_threaded/64x32", |bench| {

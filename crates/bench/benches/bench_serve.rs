@@ -1,0 +1,85 @@
+//! Serving-layer scheduler: coalesced vs uncoalesced per-job cost.
+//!
+//! Each sample submits a wave of identical-shape jobs and waits for all
+//! of them. `coalesced` lets the service pack the wave into few large
+//! launches; `uncoalesced` forces `max_batch = 1`, one launch per job —
+//! the paper's batch-amortization curve applied to scheduling. Elements
+//! throughput = jobs, so the report reads as jobs/second.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rtlflow::{JobSpec, PortMap, RandomSource, ServeConfig, SimService};
+
+const STIMULUS_PER_JOB: usize = 16;
+const CYCLES: u64 = 40;
+
+fn accumulator() -> Arc<rtlflow::Design> {
+    let v = "module top(input clk, input rst, input [7:0] a, input [7:0] b, output [7:0] q);
+               reg [7:0] acc;
+               always @(posedge clk) begin
+                 if (rst) acc <= 8'd0; else acc <= acc + (a ^ b);
+               end
+               assign q = acc;
+             endmodule";
+    Arc::new(rtlir::elaborate(v, "top").unwrap())
+}
+
+/// Submit `jobs` concurrent specs and block until every digest is back.
+fn run_wave(
+    service: &SimService,
+    design: &Arc<rtlflow::Design>,
+    map: &PortMap,
+    jobs: usize,
+) -> usize {
+    let handles: Vec<_> = (0..jobs)
+        .map(|j| {
+            let spec = JobSpec::new(
+                Arc::clone(design),
+                Box::new(RandomSource::new(map, STIMULUS_PER_JOB, j as u64 + 1)),
+                CYCLES,
+            );
+            service.submit(spec).expect("bench queue limit is roomy")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.wait().expect("job completes").digests.len())
+        .sum()
+}
+
+fn serve_config(max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch,
+        // Short window: waves flush fast, so samples measure scheduling
+        // plus execution rather than idle window time.
+        window: Duration::from_micros(500),
+        queue_limit: 4096,
+        workers: 2,
+        ..Default::default()
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let design = accumulator();
+    let map = PortMap::from_design(&design);
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    for &jobs in &[2usize, 8, 32] {
+        g.throughput(Throughput::Elements(jobs as u64));
+        g.bench_function(format!("coalesced/{jobs}x{STIMULUS_PER_JOB}"), |b| {
+            let service = SimService::start(serve_config(4096));
+            b.iter(|| run_wave(&service, &design, &map, jobs));
+        });
+        g.bench_function(format!("uncoalesced/{jobs}x{STIMULUS_PER_JOB}"), |b| {
+            let service = SimService::start(serve_config(1));
+            b.iter(|| run_wave(&service, &design, &map, jobs));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -27,7 +27,8 @@ fn bench_exec(c: &mut Criterion) {
                         flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
                     }
                 }
-                flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+                flow.program
+                    .run_cycle_functional(&mut dev, &mut scratch, 0, n);
                 cycle += 1;
             })
         });

@@ -7,7 +7,11 @@ use rtlflow::{Benchmark, Flow, NvdlaScale};
 fn bench_transpile(c: &mut Criterion) {
     let mut g = c.benchmark_group("transpile");
     g.sample_size(10);
-    for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
+    for b in [
+        Benchmark::RiscvMini,
+        Benchmark::Spinal,
+        Benchmark::Nvdla(NvdlaScale::HwSmall),
+    ] {
         let src = b.source();
         g.bench_function(format!("flow_build/{}", b.name()), |bench| {
             bench.iter_batched(

@@ -21,7 +21,10 @@ pub fn ablation_group_size() -> String {
     let (n, cycles) = (16384usize, 10_000u64);
     let mut out = String::from("Ablation A: group size (Spinal, 16384 stimulus, 10K cycles)\n");
     for group in [64usize, 256, 1024, 4096, 16384] {
-        let cfg = PipelineConfig { group_size: group, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: group,
+            ..Default::default()
+        };
         let t = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
         out.push_str(&format!("  group {:>6}: {}\n", group, fmt_duration(t)));
     }
@@ -34,11 +37,18 @@ pub fn ablation_cache_hit() -> String {
     let flow = flow_for(Benchmark::Nvdla(NvdlaScale::HwSmall));
     let lanes = PortMap::from_design(&flow.design).len();
     let (n, cycles) = (16384usize, 10_000u64);
-    let mut out = String::from("Ablation B: GPU cache-hit rate (NVDLA, 16384 stimulus, 10K cycles)\n");
+    let mut out =
+        String::from("Ablation B: GPU cache-hit rate (NVDLA, 16384 stimulus, 10K cycles)\n");
     for hit in [0.5, 0.75, 0.9, 0.95] {
-        let model = GpuModel { cache_hit: hit, ..GpuModel::default() };
+        let model = GpuModel {
+            cache_hit: hit,
+            ..GpuModel::default()
+        };
         let cuda = cudasim::CudaGraph::instantiate(flow.program.graph.clone(), &model).unwrap();
-        let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 1024,
+            ..Default::default()
+        };
         let t = rtlflow_runtime(&flow.program, &cuda, lanes, n, cycles, &cfg, &model);
         out.push_str(&format!("  cache_hit {hit:.2}: {}\n", fmt_duration(t)));
     }
@@ -54,14 +64,22 @@ pub fn ablation_partition_granularity() -> String {
     let graph = RtlGraph::build(&design).unwrap();
     let lanes = design.inputs.len();
     let (n, cycles) = (4096usize, 10_000u64);
-    let mut out = String::from("Ablation C: partition granularity (NVDLA, 4096 stimulus, 10K cycles)\n");
+    let mut out =
+        String::from("Ablation C: partition granularity (NVDLA, 4096 stimulus, 10K cycles)\n");
     for target in [8usize, 24, 64, 256, 1024] {
-        let total: f64 = graph.comb_order.iter().map(|&nd| graph.nodes[nd].cost as f64).sum();
+        let total: f64 = graph
+            .comb_order
+            .iter()
+            .map(|&nd| graph.nodes[nd].cost as f64)
+            .sum();
         let threshold = (total / target as f64).max(1.0);
         let part = partition::pack_by_weight(&graph, |nd| graph.nodes[nd].cost as f64, threshold);
         let program = KernelProgram::build(&design, &graph, &part).unwrap();
         let cuda = cudasim::CudaGraph::instantiate(program.graph.clone(), &model).unwrap();
-        let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 1024,
+            ..Default::default()
+        };
         let t = rtlflow_runtime(&program, &cuda, lanes, n, cycles, &cfg, &model);
         out.push_str(&format!(
             "  target {:>5} -> {:>4} tasks, {:>3} kernels/cycle: {}\n",
@@ -81,11 +99,16 @@ pub fn ablation_host_threads() -> String {
     let flow = flow_for(Benchmark::Spinal);
     let lanes = PortMap::from_design(&flow.design).len();
     let (n, cycles) = (65536usize, 10_000u64);
-    let mut out = String::from("Ablation D: host threads for set_inputs (Spinal, 65536 stimulus, 10K cycles)\n");
+    let mut out = String::from(
+        "Ablation D: host threads for set_inputs (Spinal, 65536 stimulus, 10K cycles)\n",
+    );
     for threads in [1usize, 2, 4, 8, 16, 32] {
         let cfg = PipelineConfig {
             group_size: 1024,
-            host: pipeline::HostModel { threads, ..Default::default() },
+            host: pipeline::HostModel {
+                threads,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let t = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
@@ -101,13 +124,35 @@ pub fn ablation_multi_gpu() -> String {
     let flow = flow_for(Benchmark::Nvdla(NvdlaScale::HwSmall));
     let lanes = PortMap::from_design(&flow.design).len();
     let (n, cycles) = (65536usize, 10_000u64);
-    let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
-    let base = pipeline::model_batch_multi_gpu(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model, 1)
-        .makespan;
-    let mut out = String::from("Ablation E: multi-GPU scale-out (NVDLA, 65536 stimulus, 10K cycles)\n");
+    let cfg = PipelineConfig {
+        group_size: 1024,
+        ..Default::default()
+    };
+    let base = pipeline::model_batch_multi_gpu(
+        &flow.program,
+        &flow.cuda,
+        lanes,
+        n,
+        cycles,
+        &cfg,
+        &model,
+        1,
+    )
+    .makespan;
+    let mut out =
+        String::from("Ablation E: multi-GPU scale-out (NVDLA, 65536 stimulus, 10K cycles)\n");
     for gpus in [1usize, 2, 4, 8] {
-        let t = pipeline::model_batch_multi_gpu(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model, gpus)
-            .makespan;
+        let t = pipeline::model_batch_multi_gpu(
+            &flow.program,
+            &flow.cuda,
+            lanes,
+            n,
+            cycles,
+            &cfg,
+            &model,
+            gpus,
+        )
+        .makespan;
         out.push_str(&format!(
             "  {gpus} GPU(s): {:>10}  ({:.2}x vs 1 GPU)\n",
             fmt_duration(t),
@@ -150,8 +195,12 @@ mod tests {
         let times: Vec<u64> = [0.5, 0.9]
             .iter()
             .map(|&hit| {
-                let model = GpuModel { cache_hit: hit, ..GpuModel::default() };
-                let cuda = cudasim::CudaGraph::instantiate(flow.program.graph.clone(), &model).unwrap();
+                let model = GpuModel {
+                    cache_hit: hit,
+                    ..GpuModel::default()
+                };
+                let cuda =
+                    cudasim::CudaGraph::instantiate(flow.program.graph.clone(), &model).unwrap();
                 rtlflow_runtime(
                     &flow.program,
                     &cuda,
@@ -163,6 +212,9 @@ mod tests {
                 )
             })
             .collect();
-        assert!(times[1] <= times[0], "higher hit rate must not be slower: {times:?}");
+        assert!(
+            times[1] <= times[0],
+            "higher hit rate must not be slower: {times:?}"
+        );
     }
 }

@@ -8,8 +8,10 @@ use rtlflow::{Benchmark, Flow, NvdlaScale, PortMap};
 fn main() {
     for hit in [0.75, 0.85, 0.90, 0.93] {
         for min_k in [2200u64, 6000, 12000] {
-            let mut model = GpuModel::default();
-            model.cache_hit = hit;
+            let mut model = GpuModel {
+                cache_hit: hit,
+                ..GpuModel::default()
+            };
             model.launch.min_kernel_ns = min_k;
             let mut line = format!("hit={hit:.2} min_k={min_k:>5}ns |");
             for b in [Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
@@ -21,8 +23,12 @@ fn main() {
                 };
                 let lanes = PortMap::from_design(&flow.design).len();
                 for n in [256usize, 1024, 65536] {
-                    let cfg = PipelineConfig { group_size: 1024.min(n), ..Default::default() };
-                    let gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, 10_000, &cfg, &model);
+                    let cfg = PipelineConfig {
+                        group_size: 1024.min(n),
+                        ..Default::default()
+                    };
+                    let gpu =
+                        rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, 10_000, &cfg, &model);
                     let cpu = vm.batch_runtime(&work, n, 10_000);
                     line += &format!(" {}@{}={:.2}x", b.name(), n, cpu as f64 / gpu as f64);
                 }

@@ -3,7 +3,11 @@ use cudasim::GpuModel;
 use rtlflow::{Benchmark, Flow, NvdlaScale, PortMap};
 
 fn main() {
-    for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
+    for b in [
+        Benchmark::RiscvMini,
+        Benchmark::Spinal,
+        Benchmark::Nvdla(NvdlaScale::HwSmall),
+    ] {
         let flow = Flow::from_benchmark(b).unwrap();
         let m = GpuModel::default();
         let ks = &flow.program.graph.kernels;

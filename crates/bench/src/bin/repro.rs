@@ -12,7 +12,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let scale = if fast { Scale::fast() } else { Scale::full() };
-    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
 
     let report = match what {
         "table1" => bench::table1(),

@@ -5,9 +5,7 @@ use baselines::EssentSim;
 use cudasim::{ExecMode, GpuModel};
 use desim::{fmt_duration, Time};
 use pipeline::{model_batch, PipelineConfig};
-use rtlflow::{
-    mcmc_partition, static_partition, Benchmark, Flow, McmcConfig, NvdlaScale, PortMap,
-};
+use rtlflow::{mcmc_partition, static_partition, Benchmark, Flow, McmcConfig, NvdlaScale, PortMap};
 use rtlir::RtlGraph;
 use stimulus::source_for;
 
@@ -31,7 +29,10 @@ fn verilator_model(b: Benchmark) -> VerilatorModel {
 }
 
 fn pipeline_cfg(n: usize) -> PipelineConfig {
-    PipelineConfig { group_size: 1024.min(n.max(1)), ..Default::default() }
+    PipelineConfig {
+        group_size: 1024.min(n.max(1)),
+        ..Default::default()
+    }
 }
 
 /// Best Verilator runtime across hand-tuned configurations on a machine
@@ -52,7 +53,10 @@ fn best_verilator_runtime_on(
         let m = VerilatorModel {
             threads,
             processes,
-            cpu: CpuModel { threads_total: cores, ..base.clone() },
+            cpu: CpuModel {
+                threads_total: cores,
+                ..base.clone()
+            },
         };
         best = best.min(m.batch_runtime(work, n, cycles));
     };
@@ -92,9 +96,23 @@ pub fn table1() -> String {
     out.push_str("Table 1: transpilation statistics (Verilator-style C++ vs RTLflow CUDA)\n");
     out.push_str(&format!(
         "{:<12} {:>8} {:>10} | {:>8} {:>7} {:>9} {:>8} | {:>8} {:>7} {:>9} {:>8}\n",
-        "Design", "V-LOC", "#AST", "C++ LOC", "CC_avg", "#Tokens", "T_trans", "CUDA LOC", "CC_avg", "#Tokens", "T_trans"
+        "Design",
+        "V-LOC",
+        "#AST",
+        "C++ LOC",
+        "CC_avg",
+        "#Tokens",
+        "T_trans",
+        "CUDA LOC",
+        "CC_avg",
+        "#Tokens",
+        "T_trans"
     ));
-    for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)] {
+    for b in [
+        Benchmark::RiscvMini,
+        Benchmark::Spinal,
+        Benchmark::Nvdla(NvdlaScale::HwSmall),
+    ] {
         let src = b.source();
         let r = Flow::transpile_report(&src, b.top()).unwrap();
         out.push_str(&format!(
@@ -105,11 +123,17 @@ pub fn table1() -> String {
             r.cpp.loc,
             r.cpp.cc_avg,
             r.cpp.tokens,
-            format!("{:?}", std::time::Duration::from_millis(r.t_trans.as_millis() as u64)),
+            format!(
+                "{:?}",
+                std::time::Duration::from_millis(r.t_trans.as_millis() as u64)
+            ),
             r.cuda.loc,
             r.cuda.cc_avg,
             r.cuda.tokens,
-            format!("{:?}", std::time::Duration::from_millis(r.t_trans.as_millis() as u64)),
+            format!(
+                "{:?}",
+                std::time::Duration::from_millis(r.t_trans.as_millis() as u64)
+            ),
         ));
     }
     out
@@ -121,9 +145,16 @@ pub fn table1() -> String {
 /// batch sizes and cycle counts.
 pub fn table2(scale: Scale) -> String {
     let model = GpuModel::default();
-    let stim_counts: &[usize] =
-        if scale.fast { &[256, 4096, 65536] } else { &[256, 1024, 4096, 16384, 65536] };
-    let cycle_counts: &[u64] = if scale.fast { &[10_000] } else { &[10_000, 100_000, 500_000] };
+    let stim_counts: &[usize] = if scale.fast {
+        &[256, 4096, 65536]
+    } else {
+        &[256, 1024, 4096, 16384, 65536]
+    };
+    let cycle_counts: &[u64] = if scale.fast {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 500_000]
+    };
 
     let mut out = String::new();
     out.push_str("Table 2: elapsed simulation time, Verilator(80T) vs RTLflow(A6000)\n");
@@ -140,7 +171,15 @@ pub fn table2(scale: Scale) -> String {
             out.push_str(&format!("-- {} cycles --\n", cycles));
             for &n in stim_counts {
                 let cpu = vm.batch_runtime(&work, n, cycles);
-                let gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &pipeline_cfg(n), &model);
+                let gpu = rtlflow_runtime(
+                    &flow.program,
+                    &flow.cuda,
+                    lanes,
+                    n,
+                    cycles,
+                    &pipeline_cfg(n),
+                    &model,
+                );
                 out.push_str(&format!(
                     "{:<8} {:>9} | {:>12} {:>12} {:>9}\n",
                     b.name(),
@@ -197,8 +236,17 @@ pub fn table3(scale: Scale) -> String {
     for &cycles in &[10_000u64, 50_000, 100_000] {
         for &n in &[4096usize, 16384] {
             let cfg_run = pipeline_cfg(n);
-            let t_static = rtlflow_runtime(&prog_static, &cuda_static, lanes, n, cycles, &cfg_run, &model);
-            let t_mcmc = rtlflow_runtime(&prog_mcmc, &cuda_mcmc, lanes, n, cycles, &cfg_run, &model);
+            let t_static = rtlflow_runtime(
+                &prog_static,
+                &cuda_static,
+                lanes,
+                n,
+                cycles,
+                &cfg_run,
+                &model,
+            );
+            let t_mcmc =
+                rtlflow_runtime(&prog_mcmc, &cuda_mcmc, lanes, n, cycles, &cfg_run, &model);
             let improv = (t_static as f64 / t_mcmc.max(1) as f64 - 1.0) * 100.0;
             out.push_str(&format!(
                 "{:>8} {:>9} | {:>12} {:>12} {:>7.1}%\n",
@@ -230,9 +278,28 @@ pub fn table4() -> String {
         let lanes = PortMap::from_design(&flow.design).len();
         for &cycles in &[10_000u64, 100_000, 500_000] {
             let graph_cfg = pipeline_cfg(n);
-            let stream_cfg = PipelineConfig { mode: ExecMode::Stream { streams: 4 }, ..graph_cfg.clone() };
-            let t_stream = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &stream_cfg, &model);
-            let t_graph = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &graph_cfg, &model);
+            let stream_cfg = PipelineConfig {
+                mode: ExecMode::Stream { streams: 4 },
+                ..graph_cfg.clone()
+            };
+            let t_stream = rtlflow_runtime(
+                &flow.program,
+                &flow.cuda,
+                lanes,
+                n,
+                cycles,
+                &stream_cfg,
+                &model,
+            );
+            let t_graph = rtlflow_runtime(
+                &flow.program,
+                &flow.cuda,
+                lanes,
+                n,
+                cycles,
+                &graph_cfg,
+                &model,
+            );
             out.push_str(&format!(
                 "{:<8} {:>8} | {:>12} {:>12} {:>8}\n",
                 b.name(),
@@ -253,7 +320,9 @@ pub fn table5() -> String {
     let model = GpuModel::default();
     let cycles = 100_000;
     let mut out = String::new();
-    out.push_str("Table 5: RTLflow¬p (barrier, parallel set_inputs) vs RTLflow (pipelined), 100K cycles\n");
+    out.push_str(
+        "Table 5: RTLflow¬p (barrier, parallel set_inputs) vs RTLflow (pipelined), 100K cycles\n",
+    );
     out.push_str(&format!(
         "{:<8} {:>9} | {:>12} {:>12} {:>8}\n",
         "Design", "#stim", "RTLflow-p", "RTLflow", "improv"
@@ -263,9 +332,28 @@ pub fn table5() -> String {
         let lanes = PortMap::from_design(&flow.design).len();
         for &n in &[4096usize, 16384, 65536] {
             let piped_cfg = pipeline_cfg(n);
-            let barrier_cfg = PipelineConfig { pipelined: false, ..piped_cfg.clone() };
-            let t_barrier = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &barrier_cfg, &model);
-            let t_piped = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &piped_cfg, &model);
+            let barrier_cfg = PipelineConfig {
+                pipelined: false,
+                ..piped_cfg.clone()
+            };
+            let t_barrier = rtlflow_runtime(
+                &flow.program,
+                &flow.cuda,
+                lanes,
+                n,
+                cycles,
+                &barrier_cfg,
+                &model,
+            );
+            let t_piped = rtlflow_runtime(
+                &flow.program,
+                &flow.cuda,
+                lanes,
+                n,
+                cycles,
+                &piped_cfg,
+                &model,
+            );
             let improv = (t_barrier as f64 / t_piped.max(1) as f64 - 1.0) * 100.0;
             out.push_str(&format!(
                 "{:<8} {:>9} | {:>12} {:>12} {:>7.1}%\n",
@@ -295,7 +383,10 @@ pub fn fig2() -> String {
         "#stim", "set_inputs/cyc", "evaluate/cyc", "GPU util"
     ));
     for &n in &[1024usize, 4096, 16384] {
-        let cfg = PipelineConfig { pipelined: false, ..pipeline_cfg(n) };
+        let cfg = PipelineConfig {
+            pipelined: false,
+            ..pipeline_cfg(n)
+        };
         let cycles = 64;
         let r = model_batch(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
         // Wall-clock critical-path share of set_inputs per cycle: the
@@ -340,7 +431,15 @@ pub fn fig12() -> String {
             fmt_speedup(base, t)
         ));
     }
-    let gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &pipeline_cfg(n), &model);
+    let gpu = rtlflow_runtime(
+        &flow.program,
+        &flow.cuda,
+        lanes,
+        n,
+        cycles,
+        &pipeline_cfg(n),
+        &model,
+    );
     out.push_str(&format!(
         "{:>10} | {:>12}  {:>8} speed-up (RTLflow)\n",
         "1 A6000",
@@ -365,11 +464,24 @@ pub fn fig13(scale: Scale) -> String {
     // riscv-mini stimulus is generated by scripts in memory (no testbench
     // file parsing), so its per-frame `set_inputs` cost is far below the
     // file-driven NVDLA/Spinal flows — for every simulator.
-    let cheap_io = CpuModel { set_input_lane_ns: 25, ..CpuModel::default() };
-    let em = EssentModel { cpu: cheap_io.clone(), ..EssentModel::default() };
-    let host = pipeline::HostModel { lane_ns: 25, ..Default::default() };
+    let cheap_io = CpuModel {
+        set_input_lane_ns: 25,
+        ..CpuModel::default()
+    };
+    let em = EssentModel {
+        cpu: cheap_io.clone(),
+        ..EssentModel::default()
+    };
+    let host = pipeline::HostModel {
+        lane_ns: 25,
+        ..Default::default()
+    };
 
-    let exps: Vec<u32> = if scale.fast { vec![1, 7, 13, 19] } else { (1..=19).step_by(3).collect() };
+    let exps: Vec<u32> = if scale.fast {
+        vec![1, 7, 13, 19]
+    } else {
+        (1..=19).step_by(3).collect()
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "Figure 13: riscv-mini, 10K cycles (measured ESSENT activity {activity:.2})\n"
@@ -386,7 +498,11 @@ pub fn fig13(scale: Scale) -> String {
         // Tiny design + cheap in-memory stimulus: one big group maximizes
         // GPU throughput (grouping exists to overlap expensive set_inputs,
         // which riscv-mini does not have).
-        let cfg = PipelineConfig { host: host.clone(), group_size: n, ..Default::default() };
+        let cfg = PipelineConfig {
+            host: host.clone(),
+            group_size: n,
+            ..Default::default()
+        };
         let t_gpu = rtlflow_runtime(&flow.program, &flow.cuda, lanes, n, cycles, &cfg, &model);
         if crossover.is_none() && t_gpu < t_ver.min(t_ess) {
             crossover = Some(n);
@@ -486,9 +602,20 @@ pub fn fig15() -> String {
         for e in [12u32, 14, 16] {
             let n = 1usize << e;
             let piped_cfg = pipeline_cfg(n);
-            let barrier_cfg = PipelineConfig { pipelined: false, ..piped_cfg.clone() };
+            let barrier_cfg = PipelineConfig {
+                pipelined: false,
+                ..piped_cfg.clone()
+            };
             let piped = model_batch(&flow.program, &flow.cuda, lanes, n, 64, &piped_cfg, &model);
-            let barrier = model_batch(&flow.program, &flow.cuda, lanes, n, 64, &barrier_cfg, &model);
+            let barrier = model_batch(
+                &flow.program,
+                &flow.cuda,
+                lanes,
+                n,
+                64,
+                &barrier_cfg,
+                &model,
+            );
             out.push_str(&format!(
                 "{:<8} {:>9} | {:>9.0}% {:>11.0}%\n",
                 b.name(),
@@ -510,8 +637,15 @@ pub fn fig16() -> String {
     let lanes = PortMap::from_design(&flow.design).len();
     let n = 4096;
     let mut out = String::new();
-    for (label, pipelined) in [("without pipeline scheduling", false), ("with pipeline scheduling", true)] {
-        let cfg = PipelineConfig { pipelined, group_size: 512, ..Default::default() };
+    for (label, pipelined) in [
+        ("without pipeline scheduling", false),
+        ("with pipeline scheduling", true),
+    ] {
+        let cfg = PipelineConfig {
+            pipelined,
+            group_size: 512,
+            ..Default::default()
+        };
         let r = model_batch(&flow.program, &flow.cuda, lanes, n, 12, &cfg, &model);
         let end = r.makespan;
         let start = end / 3; // skip the fill phase
@@ -541,7 +675,9 @@ pub fn all(scale: Scale) -> String {
         ("fig15", fig15()),
         ("fig16", fig16()),
     ] {
-        out.push_str(&format!("==================== {name} ====================\n"));
+        out.push_str(&format!(
+            "==================== {name} ====================\n"
+        ));
         out.push_str(&text);
         out.push('\n');
     }

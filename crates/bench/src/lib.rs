@@ -90,15 +90,21 @@ mod tests {
     fn extrapolation_is_consistent_with_direct_model() {
         let flow = flow_for(Benchmark::RiscvMini);
         let lanes = PortMap::from_design(&flow.design).len();
-        let cfg = PipelineConfig { group_size: 256, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 256,
+            ..Default::default()
+        };
         let model = GpuModel::default();
         // Direct model at 200 cycles vs extrapolated from 64.
-        let direct =
-            model_batch(&flow.program, &flow.cuda, lanes, 1024, 200, &cfg, &model).makespan
-                + flow.cuda.instantiate_ns;
+        let direct = model_batch(&flow.program, &flow.cuda, lanes, 1024, 200, &cfg, &model)
+            .makespan
+            + flow.cuda.instantiate_ns;
         let extra = rtlflow_runtime(&flow.program, &flow.cuda, lanes, 1024, 200, &cfg, &model);
         let err = (direct as f64 - extra as f64).abs() / direct as f64;
-        assert!(err < 0.05, "extrapolation error {err:.3} (direct {direct}, extrapolated {extra})");
+        assert!(
+            err < 0.05,
+            "extrapolation error {err:.3} (direct {direct}, extrapolated {extra})"
+        );
     }
 
     #[test]

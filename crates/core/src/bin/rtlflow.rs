@@ -7,6 +7,7 @@
 //! rtlflow coverage design.v --top cpu -n 256 -c 500
 //! rtlflow vcd design.v --top cpu -c 200 -o wave.vcd
 //! rtlflow graph design.v --top cpu          # RTL graph as Graphviz DOT
+//! rtlflow serve-sim --clients 8 --jobs 6    # replay a multi-client trace
 //! ```
 
 use std::process::exit;
@@ -24,6 +25,8 @@ fn usage() -> ! {
            coverage  (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>] [-c <cycles>] [--seed <u64>]\n\
            vcd       <file.v> --top <module> [-c <cycles>] [--seed <u64>] [-o <path>]\n\
            graph     <file.v> --top <module> [-o <path>]\n\
+           serve-sim [--clients <n>] [--jobs <per-client>] [--designs <k>] [--max-batch <n>]\n\
+                     [--window-ms <ms>] [--workers <n>] [--queue-limit <n>] [--seed <u64>]\n\
            benchmarks\n"
     );
     exit(2)
@@ -42,7 +45,10 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             let a = &raw[i];
-            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1)) {
+            if let Some(name) = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1))
+            {
                 let value = raw.get(i + 1).filter(|v| !v.starts_with('-')).cloned();
                 if value.is_some() {
                     i += 1;
@@ -57,7 +63,11 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -96,7 +106,9 @@ fn load_flow(args: &Args) -> Flow {
             exit(1)
         });
     }
-    let Some(path) = args.positional.get(1) else { usage() };
+    let Some(path) = args.positional.get(1) else {
+        usage()
+    };
     let Some(top) = args.get("top") else {
         eprintln!("--top <module> is required with a Verilog file");
         exit(2)
@@ -174,27 +186,36 @@ fn main() {
                 group_size: args.num("group", 1024.min(n)),
                 pipelined: !args.has("no-pipeline"),
                 mode: match args.get("streams") {
-                    Some(s) => rtlflow::ExecMode::Stream { streams: s.parse().unwrap_or(4) },
+                    Some(s) => rtlflow::ExecMode::Stream {
+                        streams: s.parse().unwrap_or(4),
+                    },
                     None => rtlflow::ExecMode::Graph,
                 },
                 ..Default::default()
             };
             let t0 = std::time::Instant::now();
-            let result = flow.simulate(source.as_ref(), cycles, &cfg).unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                exit(1)
-            });
-            println!("simulated {n} stimulus x {cycles} cycles ({:?} host time)", t0.elapsed());
+            let result = flow
+                .simulate(source.as_ref(), cycles, &cfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(1)
+                });
+            println!(
+                "simulated {n} stimulus x {cycles} cycles ({:?} host time)",
+                t0.elapsed()
+            );
             println!("modeled A6000 wall time: {}", fmt_duration(result.makespan));
             println!("GPU utilization: {:.1}%", result.gpu_utilization * 100.0);
             let unique: std::collections::HashSet<_> = result.digests.iter().collect();
             println!("{} distinct output signatures", unique.len());
             if let Some(v) = args.get("verify") {
                 let count: usize = v.parse().unwrap_or(4);
-                let checked = flow.verify_against_golden(source.as_ref(), cycles.min(200), count).unwrap_or_else(|e| {
-                    eprintln!("GOLDEN MISMATCH: {e}");
-                    exit(1)
-                });
+                let checked = flow
+                    .verify_against_golden(source.as_ref(), cycles.min(200), count)
+                    .unwrap_or_else(|e| {
+                        eprintln!("GOLDEN MISMATCH: {e}");
+                        exit(1)
+                    });
                 println!("verified {checked} stimulus against the golden reference");
             }
         }
@@ -216,7 +237,8 @@ fn main() {
                         flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
                     }
                 }
-                flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+                flow.program
+                    .run_cycle_functional(&mut dev, &mut scratch, 0, n);
                 cov.sample(&flow.design, &flow.program.plan, &dev, 0, n);
             }
             print!("{}", cov.report(&flow.design, 20));
@@ -242,6 +264,59 @@ fn main() {
             let flow = load_flow(&args);
             let dot = flow.graph_info.to_dot(&flow.design);
             write_out(&args, "rtl.dot", &dot);
+        }
+        "serve-sim" => {
+            use rtlflow::{ServeConfig, SimService, TraceConfig};
+            use std::sync::Arc;
+            use std::time::Duration;
+
+            // DUT pool: 1 = max coalescing, 2 = adds a second engine.
+            let n_designs: usize = args.num("designs", 1);
+            let pool = [Benchmark::RiscvMini, Benchmark::Spinal];
+            let designs: Vec<Arc<rtlflow::Design>> = pool
+                .iter()
+                .take(n_designs.clamp(1, pool.len()))
+                .map(|b| {
+                    Flow::from_benchmark(*b)
+                        .map(|f| Arc::new(f.design))
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            exit(1)
+                        })
+                })
+                .collect();
+
+            let serve_cfg = ServeConfig {
+                max_batch: args.num("max-batch", 4096),
+                window: Duration::from_millis(args.num("window-ms", 5)),
+                queue_limit: args.num("queue-limit", 256),
+                workers: args.num("workers", 2),
+                ..Default::default()
+            };
+            let trace_cfg = TraceConfig {
+                clients: args.num("clients", 8),
+                jobs_per_client: args.num("jobs", 6),
+                seed: args.num("seed", 7),
+                ..Default::default()
+            };
+            println!(
+                "serve-sim: {} clients x {} jobs over {} design(s); \
+                 max batch {}, window {:?}, {} workers, queue limit {}",
+                trace_cfg.clients,
+                trace_cfg.jobs_per_client,
+                designs.len(),
+                serve_cfg.max_batch,
+                serve_cfg.window,
+                serve_cfg.workers,
+                serve_cfg.queue_limit
+            );
+            let service = SimService::start(serve_cfg);
+            let report = rtlflow::serve_replay(&service, &designs, &trace_cfg);
+            let metrics = service.shutdown();
+            println!("\nclient-side trace report:");
+            print!("{}", report.table());
+            println!("\nservice metrics:");
+            print!("{}", metrics.table());
         }
         _ => usage(),
     }

@@ -41,7 +41,11 @@ pub use desim::{fmt_duration, Time, Trace};
 pub use partition::{mcmc_partition, static_partition, McmcConfig, McmcResult};
 pub use pipeline::{simulate_batch, HostModel, PipelineConfig, SimResult};
 pub use rtlir::{BitVec, Design, Interp};
-pub use stimulus::{PortMap, RandomSource, RiscvSource, StimulusSource};
+pub use serve::{
+    replay as serve_replay, DeadlineClass, JobEvent, JobHandle, JobResult, JobSpec, Rejected,
+    ServeConfig, ServeMetrics, SimService, TraceConfig, TraceReport,
+};
+pub use stimulus::{PortMap, RandomSource, RiscvSource, SliceSource, StimulusSource};
 pub use transpile::{emit_cpp, emit_cuda, CodeMetrics, KernelProgram, Partition};
 
 use rtlir::RtlGraph;
@@ -101,7 +105,11 @@ impl Flow {
     }
 
     /// Build a flow from an elaborated design with explicit strategy/model.
-    pub fn from_design(design: Design, strategy: PartitionStrategy, model: GpuModel) -> Result<Flow, String> {
+    pub fn from_design(
+        design: Design,
+        strategy: PartitionStrategy,
+        model: GpuModel,
+    ) -> Result<Flow, String> {
         let graph = RtlGraph::build(&design).map_err(|e| e.to_string())?;
         let partition = match &strategy {
             PartitionStrategy::PerLevel => transpile::default_partition(&design, &graph),
@@ -111,16 +119,31 @@ impl Flow {
         };
         let program = KernelProgram::build(&design, &graph, &partition)?;
         let cuda = CudaGraph::instantiate(program.graph.clone(), &model)?;
-        Ok(Flow { design, graph_info: graph, program, cuda, model, partition })
+        Ok(Flow {
+            design,
+            graph_info: graph,
+            program,
+            cuda,
+            model,
+            partition,
+        })
     }
 
     /// Re-partition an existing flow (cheaper than rebuilding the design).
     pub fn repartition(&mut self, strategy: PartitionStrategy) -> Result<(), String> {
         let partition = match &strategy {
-            PartitionStrategy::PerLevel => transpile::default_partition(&self.design, &self.graph_info),
-            PartitionStrategy::PerProcess => transpile::per_process_partition(&self.design, &self.graph_info),
-            PartitionStrategy::Static { alpha } => static_partition(&self.design, &self.graph_info, *alpha),
-            PartitionStrategy::Mcmc(cfg) => mcmc_partition(&self.design, &self.graph_info, &self.model, cfg)?.partition,
+            PartitionStrategy::PerLevel => {
+                transpile::default_partition(&self.design, &self.graph_info)
+            }
+            PartitionStrategy::PerProcess => {
+                transpile::per_process_partition(&self.design, &self.graph_info)
+            }
+            PartitionStrategy::Static { alpha } => {
+                static_partition(&self.design, &self.graph_info, *alpha)
+            }
+            PartitionStrategy::Mcmc(cfg) => {
+                mcmc_partition(&self.design, &self.graph_info, &self.model, cfg)?.partition
+            }
         };
         self.program = KernelProgram::build(&self.design, &self.graph_info, &partition)?;
         self.cuda = CudaGraph::instantiate(self.program.graph.clone(), &self.model)?;
@@ -148,7 +171,16 @@ impl Flow {
                 map.len()
             ));
         }
-        Ok(simulate_batch(&self.design, &self.program, &self.cuda, &map, source, cycles, cfg, &self.model))
+        Ok(simulate_batch(
+            &self.design,
+            &self.program,
+            &self.cuda,
+            &map,
+            source,
+            cycles,
+            cfg,
+            &self.model,
+        ))
     }
 
     /// Simulate `n` random stimulus for `cycles` cycles (idiomatic source
@@ -198,7 +230,13 @@ impl Flow {
         let t_trans = t0.elapsed();
         let (_, cpp) = emit_cpp(&design);
         let verilog_loc = src.lines().filter(|l| !l.trim().is_empty()).count();
-        Ok(TranspileReport { verilog_loc, ast_nodes, cpp, cuda, t_trans })
+        Ok(TranspileReport {
+            verilog_loc,
+            ast_nodes,
+            cpp,
+            cuda,
+            t_trans,
+        })
     }
 }
 
@@ -230,7 +268,10 @@ mod tests {
         let cfg = PipelineConfig::default();
         let base = flow.simulate(&src, 30, &cfg).unwrap();
 
-        for strat in [PartitionStrategy::PerProcess, PartitionStrategy::Static { alpha: 4 }] {
+        for strat in [
+            PartitionStrategy::PerProcess,
+            PartitionStrategy::Static { alpha: 4 },
+        ] {
             let mut f2 = Flow::from_benchmark(Benchmark::RiscvMini).unwrap();
             f2.repartition(strat).unwrap();
             let r2 = f2.simulate(&src, 30, &cfg).unwrap();

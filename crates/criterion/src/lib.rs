@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! local crate with the same name exposing exactly the API surface our
+//! benches use: `Criterion::default()`, benchmark groups, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass followed by
+//! `sample_size` timed samples — and each benchmark's summary statistics
+//! are printed and appended as one JSON object per line to
+//! `target/bench-json/<group>.json` so sweeps can be post-processed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export point for `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim always runs setup
+/// once per sample, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure of `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured duration across `iters` iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over `self.iters` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup` input per iteration; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// One benchmark's summary record.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub id: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub throughput: Option<Throughput>,
+}
+
+/// A named set of benchmarks sharing sample-count / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    samples: Vec<Sample>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up pass (also sizes nothing: one iteration).
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed;
+        // Aim each sample at ~10ms of work, capped to keep suites fast.
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000)
+                as u64
+        };
+        let mut per_sample_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.min(20) {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_sample_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = per_sample_ns.iter().sum::<f64>() / per_sample_ns.len() as f64;
+        let min = per_sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_sample_ns.iter().cloned().fold(0.0, f64::max);
+        let sample = Sample {
+            id: format!("{}/{}", self.name, id),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            throughput: self.throughput,
+        };
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / (mean / 1e9))
+            }
+            Some(Throughput::Bytes(n)) => format!("  ({:.0} B/s)", n as f64 / (mean / 1e9)),
+            None => String::new(),
+        };
+        println!(
+            "{:<48} time: [{} {} {}]{}",
+            sample.id,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            thr
+        );
+        self.samples.push(sample);
+        self
+    }
+
+    /// Flush this group's samples to `target/bench-json/<group>.json`
+    /// (one JSON object per line).
+    pub fn finish(&mut self) {
+        // Cargo runs bench binaries with CWD = the package dir, so a
+        // relative path would scatter JSON across member crates. The
+        // binary itself lives in `<target>/<profile>/deps/`, so walk up
+        // to the shared target dir; fall back to a relative path.
+        let dir = std::env::current_exe()
+            .ok()
+            .and_then(|exe| exe.ancestors().nth(3).map(|t| t.join("bench-json")))
+            .unwrap_or_else(|| std::path::PathBuf::from("target/bench-json"));
+        let dir = dir.as_path();
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.name.replace('/', "_")));
+        let mut out = String::new();
+        for s in &self.samples {
+            let thr = match s.throughput {
+                Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+                Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}{}}}\n",
+                s.id, s.mean_ns, s.min_ns, s.max_ns, thr
+            ));
+        }
+        let _ = std::fs::write(&path, out);
+        self.criterion.finished_groups += 1;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The harness entry object, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    finished_groups: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== benchmark group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// `criterion_main!` calls this after all groups ran.
+    pub fn final_summary(&self) {
+        eprintln!(
+            "({} benchmark group(s); JSON in target/bench-json/)",
+            self.finished_groups
+        );
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: defines a runner function
+/// calling each bench function with a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: the `main` for harness = false.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(128));
+        g.bench_function("sum", |b| b.iter(|| (0..128u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn shim_runs_and_records() {
+        benches();
+    }
+}

@@ -59,7 +59,12 @@ impl DeviceMemory {
         let l16 = rd64(data, 24)? as usize;
         let l32 = rd64(data, 32)? as usize;
         let l64 = rd64(data, 40)? as usize;
-        if n != self.n() || l8 != self.var8.len() || l16 != self.var16.len() || l32 != self.var32.len() || l64 != self.var64.len() {
+        if n != self.n()
+            || l8 != self.var8.len()
+            || l16 != self.var16.len()
+            || l32 != self.var32.len()
+            || l64 != self.var64.len()
+        {
             return Err(format!(
                 "checkpoint shape mismatch: snapshot n={n}/{l8}/{l16}/{l32}/{l64}, device n={}/{}/{}/{}/{}",
                 self.n(),
@@ -71,7 +76,10 @@ impl DeviceMemory {
         }
         let expect = 48 + l8 + l16 * 2 + l32 * 4 + l64 * 8;
         if data.len() != expect {
-            return Err(format!("checkpoint length {} != expected {expect}", data.len()));
+            return Err(format!(
+                "checkpoint length {} != expected {expect}",
+                data.len()
+            ));
         }
         let mut at = 48;
         self.var8.copy_from_slice(&data[at..at + l8]);
@@ -100,10 +108,38 @@ mod tests {
     fn scrambled() -> DeviceMemory {
         let mut dev = DeviceMemory::new(3, 2, 2, 1, 1);
         for t in 0..3 {
-            dev.store(Slot { bucket: Bucket::B8, offset: 0 }, t, t as u64 + 1);
-            dev.store(Slot { bucket: Bucket::B16, offset: 1 }, t, 0x1234 + t as u64);
-            dev.store(Slot { bucket: Bucket::B32, offset: 0 }, t, 0xdead_0000 + t as u64);
-            dev.store(Slot { bucket: Bucket::B64, offset: 0 }, t, u64::MAX - t as u64);
+            dev.store(
+                Slot {
+                    bucket: Bucket::B8,
+                    offset: 0,
+                },
+                t,
+                t as u64 + 1,
+            );
+            dev.store(
+                Slot {
+                    bucket: Bucket::B16,
+                    offset: 1,
+                },
+                t,
+                0x1234 + t as u64,
+            );
+            dev.store(
+                Slot {
+                    bucket: Bucket::B32,
+                    offset: 0,
+                },
+                t,
+                0xdead_0000 + t as u64,
+            );
+            dev.store(
+                Slot {
+                    bucket: Bucket::B64,
+                    offset: 0,
+                },
+                t,
+                u64::MAX - t as u64,
+            );
         }
         dev
     }

@@ -83,7 +83,13 @@ impl DeviceMemory {
         if idx >= depth as u64 {
             return 0;
         }
-        self.load(Slot { bucket: slot.bucket, offset: slot.offset + idx as u32 }, tid)
+        self.load(
+            Slot {
+                bucket: slot.bucket,
+                offset: slot.offset + idx as u32,
+            },
+            tid,
+        )
     }
 }
 
@@ -133,13 +139,7 @@ pub fn apply_bin(op: KBin, a: u64, b: u64, width: u32) -> u64 {
         KBin::Add => a.wrapping_add(b) & m,
         KBin::Sub => a.wrapping_sub(b) & m,
         KBin::Mul => a.wrapping_mul(b) & m,
-        KBin::Div => {
-            if b == 0 {
-                m
-            } else {
-                (a / b) & m
-            }
-        }
+        KBin::Div => a.checked_div(b).map_or(m, |q| q & m),
         KBin::Rem => {
             if b == 0 {
                 0
@@ -211,7 +211,13 @@ pub fn apply_un(op: KUn, a: u64, width: u32) -> u64 {
 /// Execute `kernel` for threads `[tid0, tid0 + group)`.
 ///
 /// This is the heart of the functional GPU: op-outer, thread-inner.
-pub fn execute_kernel(kernel: &Kernel, dev: &mut DeviceMemory, scratch: &mut Scratch, tid0: usize, group: usize) {
+pub fn execute_kernel(
+    kernel: &Kernel,
+    dev: &mut DeviceMemory,
+    scratch: &mut Scratch,
+    tid0: usize,
+    group: usize,
+) {
     debug_assert!(tid0 + group <= dev.n());
     scratch.ensure(kernel.num_regs, group);
     for op in &kernel.ops {
@@ -270,7 +276,12 @@ pub fn execute_kernel(kernel: &Kernel, dev: &mut DeviceMemory, scratch: &mut Scr
                     }
                 }
             }
-            Op::LoadIdx { dst, slot, idx, depth } => {
+            Op::LoadIdx {
+                dst,
+                slot,
+                idx,
+                depth,
+            } => {
                 // Gather: per-thread index — this is the uncoalesced path.
                 for t in 0..group {
                     let i = scratch.read_reg(idx, t);
@@ -278,19 +289,39 @@ pub fn execute_kernel(kernel: &Kernel, dev: &mut DeviceMemory, scratch: &mut Scr
                     scratch.reg_mut(dst)[t] = v;
                 }
             }
-            Op::StoreIdxCond { src, slot, idx, depth, pred, width } => {
+            Op::StoreIdxCond {
+                src,
+                slot,
+                idx,
+                depth,
+                pred,
+                width,
+            } => {
                 let m = mask(width);
                 for t in 0..group {
                     if scratch.read_reg(pred, t) != 0 {
                         let i = scratch.read_reg(idx, t);
                         if i < depth as u64 {
                             let v = scratch.read_reg(src, t) & m;
-                            dev.store(Slot { bucket: slot.bucket, offset: slot.offset + i as u32 }, tid0 + t, v);
+                            dev.store(
+                                Slot {
+                                    bucket: slot.bucket,
+                                    offset: slot.offset + i as u32,
+                                },
+                                tid0 + t,
+                                v,
+                            );
                         }
                     }
                 }
             }
-            Op::Bin { op, dst, a, b, width } => {
+            Op::Bin {
+                op,
+                dst,
+                a,
+                b,
+                width,
+            } => {
                 if dst == a || dst == b {
                     for t in 0..group {
                         let va = scratch.read_reg(a, t);
@@ -314,7 +345,11 @@ pub fn execute_kernel(kernel: &Kernel, dev: &mut DeviceMemory, scratch: &mut Scr
             Op::Mux { dst, cond, a, b } => {
                 for t in 0..group {
                     let c = scratch.read_reg(cond, t);
-                    let v = if c != 0 { scratch.read_reg(a, t) } else { scratch.read_reg(b, t) };
+                    let v = if c != 0 {
+                        scratch.read_reg(a, t)
+                    } else {
+                        scratch.read_reg(b, t)
+                    };
                     scratch.reg_mut(dst)[t] = v;
                 }
             }
@@ -358,10 +393,23 @@ mod tests {
         let k = Kernel::new(
             "add1",
             vec![
-                Op::Load { dst: 0, slot: s(Bucket::B8, 0) },
+                Op::Load {
+                    dst: 0,
+                    slot: s(Bucket::B8, 0),
+                },
                 Op::Const { dst: 1, value: 1 },
-                Op::Bin { op: KBin::Add, dst: 2, a: 0, b: 1, width: 8 },
-                Op::Store { src: 2, slot: s(Bucket::B8, 1), width: 8 },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 8,
+                },
+                Op::Store {
+                    src: 2,
+                    slot: s(Bucket::B8, 1),
+                    width: 8,
+                },
             ],
         );
         let mut scratch = Scratch::new();
@@ -377,7 +425,14 @@ mod tests {
         let mut dev = DeviceMemory::new(n, 1, 0, 0, 0);
         let k = Kernel::new(
             "one",
-            vec![Op::Const { dst: 0, value: 7 }, Op::Store { src: 0, slot: s(Bucket::B8, 0), width: 8 }],
+            vec![
+                Op::Const { dst: 0, value: 7 },
+                Op::Store {
+                    src: 0,
+                    slot: s(Bucket::B8, 0),
+                    width: 8,
+                },
+            ],
         );
         let mut scratch = Scratch::new();
         execute_kernel(&k, &mut dev, &mut scratch, 2, 3);
@@ -390,7 +445,17 @@ mod tests {
         let mut dev = DeviceMemory::new(1, 0, 1, 0, 0);
         let k = Kernel::new(
             "mask",
-            vec![Op::Const { dst: 0, value: 0xffff }, Op::Store { src: 0, slot: s(Bucket::B16, 0), width: 14 }],
+            vec![
+                Op::Const {
+                    dst: 0,
+                    value: 0xffff,
+                },
+                Op::Store {
+                    src: 0,
+                    slot: s(Bucket::B16, 0),
+                    width: 14,
+                },
+            ],
         );
         execute_kernel(&k, &mut dev, &mut Scratch::new(), 0, 1);
         assert_eq!(dev.load(s(Bucket::B16, 0), 0), 0x3fff);
@@ -409,11 +474,23 @@ mod tests {
         let k = Kernel::new(
             "mem",
             vec![
-                Op::Const { dst: 0, value: 2 },                      // idx = 2
-                Op::LoadIdx { dst: 1, slot: s(Bucket::B32, 0), idx: 0, depth: 4 },
-                Op::Const { dst: 2, value: 1 },                      // pred
-                Op::Const { dst: 3, value: 3 },                      // idx = 3
-                Op::StoreIdxCond { src: 1, slot: s(Bucket::B32, 0), idx: 3, depth: 4, pred: 2, width: 32 },
+                Op::Const { dst: 0, value: 2 }, // idx = 2
+                Op::LoadIdx {
+                    dst: 1,
+                    slot: s(Bucket::B32, 0),
+                    idx: 0,
+                    depth: 4,
+                },
+                Op::Const { dst: 2, value: 1 }, // pred
+                Op::Const { dst: 3, value: 3 }, // idx = 3
+                Op::StoreIdxCond {
+                    src: 1,
+                    slot: s(Bucket::B32, 0),
+                    idx: 3,
+                    depth: 4,
+                    pred: 2,
+                    width: 32,
+                },
             ],
         );
         execute_kernel(&k, &mut dev, &mut Scratch::new(), 0, n);
@@ -431,8 +508,17 @@ mod tests {
             "oob",
             vec![
                 Op::Const { dst: 0, value: 9 },
-                Op::LoadIdx { dst: 1, slot: s(Bucket::B32, 0), idx: 0, depth: 2 },
-                Op::Store { src: 1, slot: s(Bucket::B32, 1), width: 32 },
+                Op::LoadIdx {
+                    dst: 1,
+                    slot: s(Bucket::B32, 0),
+                    idx: 0,
+                    depth: 2,
+                },
+                Op::Store {
+                    src: 1,
+                    slot: s(Bucket::B32, 1),
+                    width: 32,
+                },
             ],
         );
         execute_kernel(&k, &mut dev, &mut Scratch::new(), 0, 1);
@@ -476,8 +562,18 @@ mod tests {
             "alias",
             vec![
                 Op::Const { dst: 0, value: 3 },
-                Op::Bin { op: KBin::Add, dst: 0, a: 0, b: 0, width: 8 }, // dst aliases srcs
-                Op::Store { src: 0, slot: s(Bucket::B8, 0), width: 8 },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 0,
+                    a: 0,
+                    b: 0,
+                    width: 8,
+                }, // dst aliases srcs
+                Op::Store {
+                    src: 0,
+                    slot: s(Bucket::B8, 0),
+                    width: 8,
+                },
             ],
         );
         execute_kernel(&k, &mut dev, &mut Scratch::new(), 0, 2);

@@ -49,7 +49,12 @@ impl CudaGraph {
         }
         let levels = ir.levels();
         let instantiate_ns = ir.kernels.len() as Time * model.launch.graph_instantiate_node_ns;
-        Ok(CudaGraph { ir, order, levels, instantiate_ns })
+        Ok(CudaGraph {
+            ir,
+            order,
+            levels,
+            instantiate_ns,
+        })
     }
 
     /// Number of kernels.
@@ -100,6 +105,7 @@ impl GpuRuntime {
     /// Functionally execute + time one cycle of `graph` for stimulus
     /// threads `[tid0, tid0+group)`, with the launch becoming possible at
     /// `ready` (after `set_inputs` finished for this group).
+    #[allow(clippy::too_many_arguments)]
     pub fn run_cycle(
         &mut self,
         graph: &CudaGraph,
@@ -164,8 +170,12 @@ impl GpuRuntime {
                         rr += 1;
                         stream_of[k] = s;
                         // CPU: event waits for cross-stream deps + the launch.
-                        let cross = graph.ir.deps[k].iter().filter(|&&p| stream_of[p] != s).count() as Time;
-                        cpu_now += cross * self.model.launch.event_ns + self.model.launch.stream_kernel_ns;
+                        let cross = graph.ir.deps[k]
+                            .iter()
+                            .filter(|&&p| stream_of[p] != s)
+                            .count() as Time;
+                        cpu_now +=
+                            cross * self.model.launch.event_ns + self.model.launch.stream_kernel_ns;
                         let dep_ready = graph.ir.deps[k]
                             .iter()
                             .map(|&p| {
@@ -179,12 +189,16 @@ impl GpuRuntime {
                             .max()
                             .unwrap_or(0);
                         let kready = cpu_now.max(dep_ready).max(stream_free[s]);
-                        end[k] = self.schedule_kernel(graph, k, group, kready, trace.as_deref_mut());
+                        end[k] =
+                            self.schedule_kernel(graph, k, group, kready, trace.as_deref_mut());
                         stream_free[s] = end[k];
                     }
                 }
                 let gpu_end = end.iter().copied().max().unwrap_or(cpu_now);
-                CycleTiming { cpu_end: cpu_now, gpu_end }
+                CycleTiming {
+                    cpu_end: cpu_now,
+                    gpu_end,
+                }
             }
         }
     }
@@ -226,7 +240,10 @@ mod tests {
     use crate::ir::{Bucket, KBin, Kernel, Op, Slot};
 
     fn slot(offset: u32) -> Slot {
-        Slot { bucket: Bucket::B32, offset }
+        Slot {
+            bucket: Bucket::B32,
+            offset,
+        }
     }
 
     /// kernel: var32[out] = var32[a] + var32[b]
@@ -234,10 +251,26 @@ mod tests {
         Kernel::new(
             name,
             vec![
-                Op::Load { dst: 0, slot: slot(a) },
-                Op::Load { dst: 1, slot: slot(b) },
-                Op::Bin { op: KBin::Add, dst: 2, a: 0, b: 1, width: 32 },
-                Op::Store { src: 2, slot: slot(out), width: 32 },
+                Op::Load {
+                    dst: 0,
+                    slot: slot(a),
+                },
+                Op::Load {
+                    dst: 1,
+                    slot: slot(b),
+                },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 32,
+                },
+                Op::Store {
+                    src: 2,
+                    slot: slot(out),
+                    width: 32,
+                },
             ],
         )
     }
@@ -301,7 +334,16 @@ mod tests {
         let mut rt = GpuRuntime::new(model.clone());
         let mut dev = DeviceMemory::new(4, 0, 0, 6, 0);
         let mut scratch = Scratch::new();
-        let ts = rt.run_cycle(&g, ExecMode::Stream { streams: 2 }, &mut dev, &mut scratch, 0, 4, 0, None);
+        let ts = rt.run_cycle(
+            &g,
+            ExecMode::Stream { streams: 2 },
+            &mut dev,
+            &mut scratch,
+            0,
+            4,
+            0,
+            None,
+        );
         // 4 kernel launches minimum on the CPU.
         assert!(ts.cpu_end >= 4 * model.launch.stream_kernel_ns);
         let mut rt2 = GpuRuntime::new(model.clone());
@@ -316,7 +358,16 @@ mod tests {
         let mut rt = GpuRuntime::new(model);
         let mut dev = DeviceMemory::new(4, 0, 0, 6, 0);
         let mut scratch = Scratch::new();
-        let t = rt.run_cycle(&g, ExecMode::Graph, &mut dev, &mut scratch, 0, 4, 1_000_000, None);
+        let t = rt.run_cycle(
+            &g,
+            ExecMode::Graph,
+            &mut dev,
+            &mut scratch,
+            0,
+            4,
+            1_000_000,
+            None,
+        );
         assert!(t.cpu_end > 1_000_000);
         assert!(t.gpu_end > 1_000_000);
     }
@@ -329,7 +380,16 @@ mod tests {
         let mut dev = DeviceMemory::new(4, 0, 0, 6, 0);
         let mut scratch = Scratch::new();
         let mut trace = Trace::new();
-        rt.run_cycle(&g, ExecMode::Graph, &mut dev, &mut scratch, 0, 4, 0, Some(&mut trace));
+        rt.run_cycle(
+            &g,
+            ExecMode::Graph,
+            &mut dev,
+            &mut scratch,
+            0,
+            4,
+            0,
+            Some(&mut trace),
+        );
         assert_eq!(trace.intervals("gpu").len(), 4);
     }
 

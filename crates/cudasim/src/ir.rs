@@ -118,14 +118,37 @@ pub enum Op {
     Store { src: Reg, slot: Slot, width: u32 },
     /// Memory word read: `dst = bucket[(offset+idx)*N + tid]`, 0 if
     /// `idx >= depth`.
-    LoadIdx { dst: Reg, slot: Slot, idx: Reg, depth: u32 },
+    LoadIdx {
+        dst: Reg,
+        slot: Slot,
+        idx: Reg,
+        depth: u32,
+    },
     /// Guarded memory word write: executed only where `pred != 0` and
     /// `idx < depth`.
-    StoreIdxCond { src: Reg, slot: Slot, idx: Reg, depth: u32, pred: Reg, width: u32 },
+    StoreIdxCond {
+        src: Reg,
+        slot: Slot,
+        idx: Reg,
+        depth: u32,
+        pred: Reg,
+        width: u32,
+    },
     /// `dst = a (op) b`, masked to `width`.
-    Bin { op: KBin, dst: Reg, a: Reg, b: Reg, width: u32 },
+    Bin {
+        op: KBin,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        width: u32,
+    },
     /// `dst = (op) a`, masked to `width`.
-    Un { op: KUn, dst: Reg, a: Reg, width: u32 },
+    Un {
+        op: KUn,
+        dst: Reg,
+        a: Reg,
+        width: u32,
+    },
     /// `dst = cond ? a : b`
     Mux { dst: Reg, cond: Reg, a: Reg, b: Reg },
 }
@@ -197,7 +220,9 @@ impl Kernel {
                 num_regs = num_regs.max(s + 1);
             }
             match op {
-                Op::Const { .. } | Op::Bin { .. } | Op::Un { .. } | Op::Mux { .. } => stats.alu_ops += 1,
+                Op::Const { .. } | Op::Bin { .. } | Op::Un { .. } | Op::Mux { .. } => {
+                    stats.alu_ops += 1
+                }
                 Op::Load { slot, .. } => {
                     stats.loads += 1;
                     stats.bytes += slot.bucket.bytes();
@@ -218,7 +243,12 @@ impl Kernel {
                 }
             }
         }
-        Kernel { name: name.into(), ops, num_regs, stats }
+        Kernel {
+            name: name.into(),
+            ops,
+            num_regs,
+            stats,
+        }
     }
 
     /// Verify SSA-ish sanity: every register read was written earlier.
@@ -227,7 +257,10 @@ impl Kernel {
         for (i, op) in self.ops.iter().enumerate() {
             for s in op.srcs() {
                 if !written[s as usize] {
-                    return Err(format!("kernel `{}` op {i}: register r{s} read before write", self.name));
+                    return Err(format!(
+                        "kernel `{}` op {i}: register r{s} read before write",
+                        self.name
+                    ));
                 }
             }
             if let Some(d) = op.dst() {
@@ -240,7 +273,13 @@ impl Kernel {
 
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "kernel {} (regs={}, ops={})", self.name, self.num_regs, self.ops.len())
+        writeln!(
+            f,
+            "kernel {} (regs={}, ops={})",
+            self.name,
+            self.num_regs,
+            self.ops.len()
+        )
     }
 }
 
@@ -320,7 +359,10 @@ mod tests {
     use super::*;
 
     fn slot8(offset: u32) -> Slot {
-        Slot { bucket: Bucket::B8, offset }
+        Slot {
+            bucket: Bucket::B8,
+            offset,
+        }
     }
 
     #[test]
@@ -339,10 +381,23 @@ mod tests {
         let k = Kernel::new(
             "k",
             vec![
-                Op::Load { dst: 0, slot: slot8(0) },
+                Op::Load {
+                    dst: 0,
+                    slot: slot8(0),
+                },
                 Op::Const { dst: 1, value: 1 },
-                Op::Bin { op: KBin::Add, dst: 2, a: 0, b: 1, width: 8 },
-                Op::Store { src: 2, slot: slot8(1), width: 8 },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 8,
+                },
+                Op::Store {
+                    src: 2,
+                    slot: slot8(1),
+                    width: 8,
+                },
             ],
         );
         assert_eq!(k.num_regs, 3);
@@ -355,14 +410,24 @@ mod tests {
 
     #[test]
     fn validate_rejects_read_before_write() {
-        let k = Kernel::new("bad", vec![Op::Store { src: 3, slot: slot8(0), width: 8 }]);
+        let k = Kernel::new(
+            "bad",
+            vec![Op::Store {
+                src: 3,
+                slot: slot8(0),
+                width: 8,
+            }],
+        );
         assert!(k.validate().is_err());
     }
 
     #[test]
     fn topo_order_detects_cycles() {
         let k = Kernel::new("k", vec![Op::Const { dst: 0, value: 0 }]);
-        let g = TaskGraphIr { kernels: vec![k.clone(), k.clone()], deps: vec![vec![1], vec![0]] };
+        let g = TaskGraphIr {
+            kernels: vec![k.clone(), k.clone()],
+            deps: vec![vec![1], vec![0]],
+        };
         assert!(g.topo_order().is_err());
     }
 

@@ -90,7 +90,8 @@ impl GpuModel {
     pub fn block_time(&self, stats: &KernelStats) -> Time {
         let threads = self.threads_per_block as f64;
         // Compute: alu ops issued over the SM's int lanes.
-        let compute_ns = stats.alu_ops as f64 * threads / (self.int_lanes_per_sm as f64 * self.clock_ghz);
+        let compute_ns =
+            stats.alu_ops as f64 * threads / (self.int_lanes_per_sm as f64 * self.clock_ghz);
         // Memory: per-SM share of DRAM bandwidth; gathers pay the penalty.
         let per_sm_bw = self.dram_gbps * self.coalesced_eff / self.sms as f64; // GB/s == bytes/ns
         let eff_bytes = stats.bytes as f64 * (1.0 - self.cache_hit)
@@ -121,7 +122,14 @@ mod tests {
     use super::*;
 
     fn stats(alu: u64, bytes: u64) -> KernelStats {
-        KernelStats { alu_ops: alu, loads: bytes / 8, stores: 0, bytes, gather_ops: 0, gather_bytes: 0 }
+        KernelStats {
+            alu_ops: alu,
+            loads: bytes / 8,
+            stores: 0,
+            bytes,
+            gather_ops: 0,
+            gather_bytes: 0,
+        }
     }
 
     #[test]
@@ -138,7 +146,10 @@ mod tests {
         let s = stats(20_000, 4096);
         let small = m.kernel_time(&s, 256); // 1 block
         let big = m.kernel_time(&s, 256 * 84 * 4); // 4 waves
-        assert!(big >= small * 3, "waves must scale duration: {small} vs {big}");
+        assert!(
+            big >= small * 3,
+            "waves must scale duration: {small} vs {big}"
+        );
     }
 
     #[test]
@@ -154,8 +165,15 @@ mod tests {
     #[test]
     fn gather_traffic_is_penalized() {
         let m = GpuModel::default();
-        let coalesced = KernelStats { bytes: 1024, ..Default::default() };
-        let gathered = KernelStats { gather_bytes: 1024, gather_ops: 128, ..Default::default() };
+        let coalesced = KernelStats {
+            bytes: 1024,
+            ..Default::default()
+        };
+        let gathered = KernelStats {
+            gather_bytes: 1024,
+            gather_ops: 128,
+            ..Default::default()
+        };
         assert!(m.block_time(&gathered) > m.block_time(&coalesced) * 3);
     }
 

@@ -82,7 +82,11 @@ impl Benchmark {
 
     /// All three paper benchmarks at their evaluation scales.
     pub fn all() -> [Benchmark; 3] {
-        [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::HwSmall)]
+        [
+            Benchmark::RiscvMini,
+            Benchmark::Spinal,
+            Benchmark::Nvdla(NvdlaScale::HwSmall),
+        ]
     }
 }
 
@@ -92,8 +96,14 @@ mod tests {
 
     #[test]
     fn all_benchmarks_elaborate() {
-        for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::Tiny)] {
-            let d = b.elaborate().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        for b in [
+            Benchmark::RiscvMini,
+            Benchmark::Spinal,
+            Benchmark::Nvdla(NvdlaScale::Tiny),
+        ] {
+            let d = b
+                .elaborate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
             assert!(!d.inputs.is_empty(), "{} has no inputs", b.name());
             assert!(!d.outputs.is_empty(), "{} has no outputs", b.name());
             assert!(d.clock.is_some(), "{} has no clock", b.name());
@@ -102,7 +112,11 @@ mod tests {
 
     #[test]
     fn benchmarks_have_graphs() {
-        for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::Tiny)] {
+        for b in [
+            Benchmark::RiscvMini,
+            Benchmark::Spinal,
+            Benchmark::Nvdla(NvdlaScale::Tiny),
+        ] {
             let d = b.elaborate().unwrap();
             let g = rtlir::RtlGraph::build(&d).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
             assert!(g.depth() >= 2, "{} suspiciously shallow", b.name());
@@ -113,7 +127,11 @@ mod tests {
     fn benchmarks_survive_print_reparse() {
         // Print each benchmark's AST back to Verilog, reparse it, and check
         // the elaborated design is behaviourally identical on a short run.
-        for b in [Benchmark::RiscvMini, Benchmark::Spinal, Benchmark::Nvdla(NvdlaScale::Tiny)] {
+        for b in [
+            Benchmark::RiscvMini,
+            Benchmark::Spinal,
+            Benchmark::Nvdla(NvdlaScale::Tiny),
+        ] {
             let src = b.source();
             let unit = rtlir::parse(&src).unwrap();
             let printed = rtlir::printer::print_source_unit(&unit);
@@ -131,13 +149,21 @@ mod tests {
                         .iter()
                         .map(|&v| {
                             let w = d.vars[v].width;
-                            (v, rtlir::BitVec::from_u64(c.wrapping_mul(0x9e3779b9) & 0xffff, w))
+                            (
+                                v,
+                                rtlir::BitVec::from_u64(c.wrapping_mul(0x9e3779b9) & 0xffff, w),
+                            )
                         })
                         .collect()
                 })
                 .unwrap()
             };
-            assert_eq!(drive(&d1), drive(&d2), "{} diverged after print/reparse", b.name());
+            assert_eq!(
+                drive(&d1),
+                drive(&d2),
+                "{} diverged after print/reparse",
+                b.name()
+            );
         }
     }
 

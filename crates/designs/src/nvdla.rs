@@ -34,9 +34,21 @@ impl NvdlaConfig {
     /// Preset for a benchmark scale.
     pub fn preset(scale: NvdlaScale) -> Self {
         match scale {
-            NvdlaScale::Tiny => NvdlaConfig { rows: 2, cols: 2, cores: 1 },
-            NvdlaScale::Small => NvdlaConfig { rows: 4, cols: 4, cores: 2 },
-            NvdlaScale::HwSmall => NvdlaConfig { rows: 8, cols: 8, cores: 4 },
+            NvdlaScale::Tiny => NvdlaConfig {
+                rows: 2,
+                cols: 2,
+                cores: 1,
+            },
+            NvdlaScale::Small => NvdlaConfig {
+                rows: 4,
+                cols: 4,
+                cores: 2,
+            },
+            NvdlaScale::HwSmall => NvdlaConfig {
+                rows: 8,
+                cols: 8,
+                cores: 4,
+            },
         }
     }
 
@@ -178,8 +190,16 @@ fn emit_conv_core(v: &mut String, cfg: &NvdlaConfig) {
     // PE grid: a flows left->right, b flows top->down.
     for i in 0..r {
         for j in 0..c {
-            let a_src = if j == 0 { format!("a_i{i}") } else { format!("a_{i}_{}", j - 1) };
-            let b_src = if i == 0 { format!("b_i{j}") } else { format!("b_{}_{j}", i - 1) };
+            let a_src = if j == 0 {
+                format!("a_i{i}")
+            } else {
+                format!("a_{i}_{}", j - 1)
+            };
+            let b_src = if i == 0 {
+                format!("b_i{j}")
+            } else {
+                format!("b_{}_{j}", i - 1)
+            };
             writeln!(
                 v,
                 "  nvdla_pe pe_{i}_{j} (.clk(clk), .rst(rst), .a_in({a_src}), .b_in({b_src}), \
@@ -194,7 +214,12 @@ fn emit_conv_core(v: &mut String, cfg: &NvdlaConfig) {
             if i == 0 {
                 writeln!(v, "  wire [41:0] csum_{j}_0 = {{4'd0, acc_0_{j}}};").unwrap();
             } else {
-                writeln!(v, "  wire [41:0] csum_{j}_{i} = csum_{j}_{} + {{4'd0, acc_{i}_{j}}};", i - 1).unwrap();
+                writeln!(
+                    v,
+                    "  wire [41:0] csum_{j}_{i} = csum_{j}_{} + {{4'd0, acc_{i}_{j}}};",
+                    i - 1
+                )
+                .unwrap();
             }
         }
     }
@@ -203,7 +228,13 @@ fn emit_conv_core(v: &mut String, cfg: &NvdlaConfig) {
         if j == 0 {
             writeln!(v, "  wire [41:0] total_0 = csum_0_{};", r - 1).unwrap();
         } else {
-            writeln!(v, "  wire [41:0] total_{j} = total_{} + csum_{j}_{};", j - 1, r - 1).unwrap();
+            writeln!(
+                v,
+                "  wire [41:0] total_{j} = total_{} + csum_{j}_{};",
+                j - 1,
+                r - 1
+            )
+            .unwrap();
         }
     }
     writeln!(v, "  assign raw_out = total_{};", c - 1).unwrap();
@@ -242,13 +273,22 @@ fn emit_top(v: &mut String, cfg: &NvdlaConfig) {
         for i in 0..r {
             let lane = (i + k) % 4;
             let (hi, lo) = (16 * lane + 15, 16 * lane);
-            writeln!(v, "  wire [15:0] a_src_{k}_{i} = data_in[{hi}:{lo}] + 16'd{};", i + k * r).unwrap();
+            writeln!(
+                v,
+                "  wire [15:0] a_src_{k}_{i} = data_in[{hi}:{lo}] + 16'd{};",
+                i + k * r
+            )
+            .unwrap();
         }
         for j in 0..c {
             let lane = (j + 2 * k + 1) % 4;
             let (hi, lo) = (16 * lane + 15, 16 * lane);
-            writeln!(v, "  wire [15:0] b_src_{k}_{j} = (weight_in[{hi}:{lo}] ^ 16'd{}) + csr_bias;", j * 3 + k)
-                .unwrap();
+            writeln!(
+                v,
+                "  wire [15:0] b_src_{k}_{j} = (weight_in[{hi}:{lo}] ^ 16'd{}) + csr_bias;",
+                j * 3 + k
+            )
+            .unwrap();
         }
     }
 
@@ -276,7 +316,12 @@ fn emit_top(v: &mut String, cfg: &NvdlaConfig) {
         if k == 0 {
             writeln!(v, "  wire [63:0] osum_0 = {{32'd0, y_0}};").unwrap();
         } else {
-            writeln!(v, "  wire [63:0] osum_{k} = osum_{} + {{32'd0, y_{k}}};", k - 1).unwrap();
+            writeln!(
+                v,
+                "  wire [63:0] osum_{k} = osum_{} + {{32'd0, y_{k}}};",
+                k - 1
+            )
+            .unwrap();
         }
     }
     writeln!(v, "  assign acc_out = osum_{};", g - 1).unwrap();
@@ -294,7 +339,11 @@ fn emit_top(v: &mut String, cfg: &NvdlaConfig) {
     for k in 0..g {
         write!(xors, " ^ y_{k} ^ {{raw_{k}[41:32], raw_{k}[21:0]}}").unwrap();
     }
-    writeln!(v, "    else csum <= ({xors}) + {{busy_cycles[7:0], 24'd0}};").unwrap();
+    writeln!(
+        v,
+        "    else csum <= ({xors}) + {{busy_cycles[7:0], 24'd0}};"
+    )
+    .unwrap();
     writeln!(v, "  end").unwrap();
     writeln!(v, "  assign status = busy_cycles ^ csr_magic;").unwrap();
     writeln!(v, "  assign checksum = csum;").unwrap();
@@ -400,7 +449,11 @@ mod tests {
 
     #[test]
     fn pe_count_matches_config() {
-        let cfg = NvdlaConfig { rows: 3, cols: 2, cores: 2 };
+        let cfg = NvdlaConfig {
+            rows: 3,
+            cols: 2,
+            cores: 2,
+        };
         let src = nvdla_source(&cfg);
         // The PE grid lives in `nvdla_core`, which is instantiated once per
         // core — so the *source* holds rows*cols instances, while the
@@ -408,8 +461,11 @@ mod tests {
         let n = src.matches("nvdla_pe pe_").count();
         assert_eq!(n, cfg.rows * cfg.cols);
         let d = rtlir::elaborate(&src, "nvdla_top").unwrap();
-        let elaborated_pes =
-            d.vars.iter().filter(|v| v.name.ends_with(".acc") && v.name.contains(".pe_")).count();
+        let elaborated_pes = d
+            .vars
+            .iter()
+            .filter(|v| v.name.ends_with(".acc") && v.name.contains(".pe_"))
+            .count();
         assert_eq!(elaborated_pes, cfg.pes());
     }
 }

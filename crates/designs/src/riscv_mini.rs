@@ -365,11 +365,20 @@ mod tests {
         // reset
         sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, one(0))]);
         // addi x1, x0, 5
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(itype(5, 0, 0, 1)))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, one(itype(5, 0, 0, 1))),
+        ]);
         // addi x2, x0, 7
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(itype(7, 0, 0, 2)))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, one(itype(7, 0, 0, 2))),
+        ]);
         // add x3, x1, x2 -> alu result should be 12 combinationally
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(rtype(0, 2, 1, 0, 3)))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, one(rtype(0, 2, 1, 0, 3))),
+        ]);
         assert_eq!(sim.peek(result).to_u64(), 12);
     }
 
@@ -380,15 +389,22 @@ mod tests {
         let instr = d.find_var("instr").unwrap();
         let rst = d.find_var("rst").unwrap();
         let pc = d.find_var("pc_out").unwrap();
-        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, BitVec::from_u64(0, 32))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(1, 1)),
+            (instr, BitVec::from_u64(0, 32)),
+        ]);
         assert_eq!(sim.peek(pc).to_u64(), 0);
         for i in 1..=3u64 {
-            sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32))]);
+            sim.step_cycle(&[
+                (rst, BitVec::from_u64(0, 1)),
+                (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32)),
+            ]);
             assert_eq!(sim.peek(pc).to_u64(), 4 * i);
         }
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)]
     fn store_load_roundtrip() {
         let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
         let mut sim = Interp::new(&d).unwrap();
@@ -413,6 +429,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)]
     fn branch_taken_redirects_pc() {
         let d = rtlir::elaborate(&riscv_mini_source(), "riscv_mini").unwrap();
         let mut sim = Interp::new(&d).unwrap();
@@ -423,7 +440,14 @@ mod tests {
         sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, one(0))]);
         // beq x0, x0, +16 : imm_b=16 -> bits: imm[4:1]=1000? 16 = b10000
         // encode: imm[12]=0 imm[10:5]=000000 imm[4:1]=1000 imm[11]=0
-        let beq = (0u32 << 31) | (0 << 25) | (0 << 20) | (0 << 15) | (0b000 << 12) | (0b1000 << 8) | (0 << 7) | 0b1100011;
+        let beq = (0u32 << 31)
+            | (0 << 25)
+            | (0 << 20)
+            | (0 << 15)
+            | (0b000 << 12)
+            | (0b1000 << 8)
+            | (0 << 7)
+            | 0b1100011;
         sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(beq as u64))]);
         assert_eq!(sim.peek(pc).to_u64(), 16);
     }
@@ -438,9 +462,15 @@ mod tests {
         let one = |v: u64| BitVec::from_u64(v, 32);
         sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, one(0))]);
         // addi x0, x0, 99 (write to x0 must be ignored)
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(itype(99, 0, 0, 0)))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, one(itype(99, 0, 0, 0))),
+        ]);
         // add x5, x0, x0 -> 0
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(rtype(0, 0, 0, 0, 5)))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, one(rtype(0, 0, 0, 0, 5))),
+        ]);
         assert_eq!(sim.peek(result).to_u64(), 0);
     }
 }

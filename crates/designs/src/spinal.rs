@@ -361,9 +361,15 @@ mod tests {
         let instr = d.find_var("instr").unwrap();
         let rst = d.find_var("rst").unwrap();
         let pc = d.find_var("pc_out").unwrap();
-        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, BitVec::from_u64(0, 32))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(1, 1)),
+            (instr, BitVec::from_u64(0, 32)),
+        ]);
         for _ in 0..10 {
-            sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32))]);
+            sim.step_cycle(&[
+                (rst, BitVec::from_u64(0, 1)),
+                (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32)),
+            ]);
         }
         assert_eq!(sim.peek(pc).to_u64(), 40);
     }
@@ -394,10 +400,19 @@ mod tests {
         let instr = d.find_var("instr").unwrap();
         let rst = d.find_var("rst").unwrap();
         let perf = d.find_var("perf_out").unwrap();
-        sim.step_cycle(&[(rst, BitVec::from_u64(1, 1)), (instr, BitVec::from_u64(0, 32))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(1, 1)),
+            (instr, BitVec::from_u64(0, 32)),
+        ]);
         let p0 = sim.peek(perf).to_u64();
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, BitVec::from_u64(0, 32))]);
-        sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, BitVec::from_u64(0, 32))]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, BitVec::from_u64(0, 32)),
+        ]);
+        sim.step_cycle(&[
+            (rst, BitVec::from_u64(0, 1)),
+            (instr, BitVec::from_u64(0, 32)),
+        ]);
         assert_ne!(sim.peek(perf).to_u64(), p0);
     }
 }

@@ -73,7 +73,11 @@ impl Resource {
         for _ in 0..capacity {
             free_at.push(Reverse(0));
         }
-        Resource { name: name.into(), free_at, capacity }
+        Resource {
+            name: name.into(),
+            free_at,
+            capacity,
+        }
     }
 
     /// Number of parallel slots.
@@ -142,7 +146,10 @@ pub struct TaskHandle(usize);
 
 impl GraphScheduler {
     pub fn new(resources: Vec<Resource>) -> Self {
-        GraphScheduler { resources, done_at: Vec::new() }
+        GraphScheduler {
+            resources,
+            done_at: Vec::new(),
+        }
     }
 
     /// Index of a resource by name.
@@ -165,7 +172,9 @@ impl GraphScheduler {
         let dep_ready = deps.iter().map(|h| self.done_at[h.0]).max().unwrap_or(0);
         let ready = ready.max(dep_ready);
         let (_, end) = match trace {
-            Some((tr, label)) => self.resources[resource].schedule_traced(ready, duration, tr, label),
+            Some((tr, label)) => {
+                self.resources[resource].schedule_traced(ready, duration, tr, label)
+            }
             None => self.resources[resource].schedule(ready, duration),
         };
         self.done_at.push(end);
@@ -179,7 +188,11 @@ impl GraphScheduler {
 
     /// Makespan across every resource.
     pub fn makespan(&self) -> Time {
-        self.resources.iter().map(Resource::makespan).max().unwrap_or(0)
+        self.resources
+            .iter()
+            .map(Resource::makespan)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -236,7 +249,10 @@ mod tests {
     fn duration_formatting_matches_paper_style() {
         assert_eq!(fmt_duration(ms(2 * 60_000 + 45_000)), "2m45s");
         assert_eq!(fmt_duration(ms(16_000)), "16s");
-        assert_eq!(fmt_duration(ms(1_000 * 3600 + 22 * 60_000 + 47_000)), "1h22m47s");
+        assert_eq!(
+            fmt_duration(ms(1_000 * 3600 + 22 * 60_000 + 47_000)),
+            "1h22m47s"
+        );
         assert_eq!(fmt_duration(ms(850)), "850ms");
     }
 

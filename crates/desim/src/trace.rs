@@ -30,7 +30,11 @@ impl Trace {
         self.lanes
             .entry(resource.to_string())
             .or_default()
-            .push(Interval { start, end, label: label.to_string() });
+            .push(Interval {
+                start,
+                end,
+                label: label.to_string(),
+            });
     }
 
     /// Resources with any recorded activity.
@@ -45,7 +49,12 @@ impl Trace {
 
     /// Latest end time across all resources.
     pub fn span_end(&self) -> Time {
-        self.lanes.values().flatten().map(|i| i.end).max().unwrap_or(0)
+        self.lanes
+            .values()
+            .flatten()
+            .map(|i| i.end)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Fraction of `[0, horizon]` during which `resource` had at least one
@@ -102,13 +111,18 @@ impl Trace {
                 if iv.end <= t0 || iv.start >= t1 {
                     continue;
                 }
-                let a = ((iv.start.max(t0) - t0) as u128 * width as u128 / (t1 - t0) as u128) as usize;
-                let b = ((iv.end.min(t1) - t0) as u128 * width as u128 / (t1 - t0) as u128) as usize;
+                let a =
+                    ((iv.start.max(t0) - t0) as u128 * width as u128 / (t1 - t0) as u128) as usize;
+                let b =
+                    ((iv.end.min(t1) - t0) as u128 * width as u128 / (t1 - t0) as u128) as usize;
                 for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
                     *cell = b'#';
                 }
             }
-            out.push_str(&format!("{name:>name_w$} |{}|\n", String::from_utf8(row).unwrap()));
+            out.push_str(&format!(
+                "{name:>name_w$} |{}|\n",
+                String::from_utf8(row).unwrap()
+            ));
         }
         out
     }

@@ -62,7 +62,11 @@ fn stm_features(s: &Stm, f: &mut [u32; NUM_FEATURES]) {
             }
             expr_features(rhs, f);
         }
-        Stm::If { cond, then_s, else_s } => {
+        Stm::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             bump(f, FeatureKind::Branch);
             expr_features(cond, f);
             for s in then_s {

@@ -20,9 +20,6 @@ pub mod features;
 
 pub use features::{node_features, FeatureKind, NUM_FEATURES};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use cudasim::{CudaGraph, ExecMode, GpuModel, GpuRuntime};
 use rtlir::graph::NodeId;
 use rtlir::{Design, RtlGraph};
@@ -30,7 +27,11 @@ use transpile::{KernelProgram, Partition};
 
 /// Pack each level's nodes into chunks whose summed weight stays below
 /// `threshold`. Acyclic by construction (tasks never span levels).
-pub fn pack_by_weight(graph: &RtlGraph, weight_of: impl Fn(NodeId) -> f64, threshold: f64) -> Partition {
+pub fn pack_by_weight(
+    graph: &RtlGraph,
+    weight_of: impl Fn(NodeId) -> f64,
+    threshold: f64,
+) -> Partition {
     let depth = graph.depth() as usize;
     let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); depth];
     for &n in &graph.comb_order {
@@ -87,7 +88,11 @@ pub fn static_partition(design: &Design, graph: &RtlGraph, alpha: usize) -> Part
 
 fn weighted(design: &Design, graph: &RtlGraph, n: NodeId, weights: &[f64]) -> f64 {
     let f = node_features(design, graph.nodes[n].process);
-    f.iter().zip(weights).map(|(&c, &w)| c as f64 * w).sum::<f64>().max(1.0)
+    f.iter()
+        .zip(weights)
+        .map(|(&c, &w)| c as f64 * w)
+        .sum::<f64>()
+        .max(1.0)
 }
 
 /// Configuration of the MCMC search (defaults follow §4.4: 150 iterations,
@@ -167,6 +172,46 @@ pub fn estimate_cost(
     Ok(ready as f64)
 }
 
+/// Deterministic xorshift64* generator. The search only needs
+/// reproducible uniform draws, so an in-tree generator replaces the
+/// external `rand` dependency (the build must work offline).
+struct SmallRng(u64);
+
+impl SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 scrambles the seed so nearby seeds diverge; the
+        // state must be nonzero for xorshift.
+        let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        SmallRng((x ^ (x >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    fn gen_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+}
+
 /// GPU-aware MCMC partitioning (Algorithm 1).
 pub fn mcmc_partition(
     design: &Design,
@@ -174,18 +219,29 @@ pub fn mcmc_partition(
     model: &GpuModel,
     cfg: &McmcConfig,
 ) -> Result<McmcResult, String> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Line 5: initialize every weight to one.
     let mut weights = vec![1.0f64; NUM_FEATURES];
     let partition_for = |w: &[f64]| -> Partition {
-        let total: f64 = graph.comb_order.iter().map(|&n| weighted(design, graph, n, w)).sum();
+        let total: f64 = graph
+            .comb_order
+            .iter()
+            .map(|&n| weighted(design, graph, n, w))
+            .sum();
         let threshold = (total / cfg.target_tasks as f64).max(1.0);
         pack_by_weight(graph, |n| weighted(design, graph, n, w), threshold)
     };
 
     let mut cur_partition = partition_for(&weights);
-    let mut cur_cost = estimate_cost(design, graph, &cur_partition, model, cfg.sample_stimulus, cfg.sample_cycles)?;
+    let mut cur_cost = estimate_cost(
+        design,
+        graph,
+        &cur_partition,
+        model,
+        cfg.sample_stimulus,
+        cfg.sample_cycles,
+    )?;
     let mut best = (weights.clone(), cur_partition.clone(), cur_cost);
     let mut history = vec![cur_cost];
 
@@ -195,12 +251,18 @@ pub fn mcmc_partition(
         iters += 1;
         // Line 7: randomly increase one weight.
         let mut proposal = weights.clone();
-        let k = rng.gen_range(0..NUM_FEATURES);
-        proposal[k] += rng.gen_range(0.25..1.5);
+        let k = rng.gen_index(NUM_FEATURES);
+        proposal[k] += rng.gen_range(0.25, 1.5);
         // Line 8-9: propose a new task graph and estimate its cost.
         let cand_partition = partition_for(&proposal);
-        let cost =
-            estimate_cost(design, graph, &cand_partition, model, cfg.sample_stimulus, cfg.sample_cycles)?;
+        let cost = estimate_cost(
+            design,
+            graph,
+            &cand_partition,
+            model,
+            cfg.sample_stimulus,
+            cfg.sample_cycles,
+        )?;
         history.push(cost);
 
         // Lines 10-22: Metropolis-Hastings acceptance.
@@ -210,7 +272,7 @@ pub fn mcmc_partition(
         } else {
             unimproved += 1;
             let rate = (cfg.beta * (cur_cost - cost)).exp().min(1.0);
-            rng.gen_range(0.0..1.0) < rate
+            rng.gen_f64() < rate
         };
         if accept {
             weights = proposal;
@@ -222,7 +284,13 @@ pub fn mcmc_partition(
         }
     }
 
-    Ok(McmcResult { weights: best.0, partition: best.1, cost_history: history, best_cost: best.2, iters })
+    Ok(McmcResult {
+        weights: best.0,
+        partition: best.1,
+        cost_history: history,
+        best_cost: best.2,
+        iters,
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +332,12 @@ mod tests {
         let (d, g) = setup();
         let a2 = static_partition(&d, &g, 2);
         let a8 = static_partition(&d, &g, 8);
-        assert!(a8.len() >= a2.len(), "larger alpha => finer tasks ({} vs {})", a8.len(), a2.len());
+        assert!(
+            a8.len() >= a2.len(),
+            "larger alpha => finer tasks ({} vs {})",
+            a8.len(),
+            a2.len()
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * [`simulate_batch`] — the virtual-time executor: bit-exact kernels +
 //!   discrete-event timing (CPU thread pool + SM pool + launch costs).
 //!   Every table/figure number comes from here.
-//! * [`threaded`] — a real crossbeam-based pipeline (producer threads
+//! * [`threaded`] — a real thread-based pipeline (producer threads
 //!   filling input frames, a consumer draining them into the functional
 //!   device), demonstrating the actual overlap machinery on host silicon.
 
@@ -21,7 +21,7 @@ pub mod threaded;
 use cudasim::{CudaGraph, ExecMode, GpuModel, GpuRuntime, Scratch};
 use desim::{Resource, Time, Trace};
 use rtlir::Design;
-use stimulus::{PortMap, StimulusSource};
+use stimulus::{PortMap, StackedSource, StimulusSource};
 use transpile::KernelProgram;
 
 /// The simulation host (Machine 2: i7-11700, 16 threads).
@@ -42,7 +42,11 @@ pub struct HostModel {
 
 impl Default for HostModel {
     fn default() -> Self {
-        HostModel { threads: 16, lane_ns: 250, workers_per_group: 4 }
+        HostModel {
+            threads: 16,
+            lane_ns: 250,
+            workers_per_group: 4,
+        }
     }
 }
 
@@ -89,6 +93,7 @@ pub struct SimResult {
 
 /// Run `cycles` of `source` through `program` under `cfg`, functionally
 /// executing every kernel and modeling time on the virtual platform.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_batch(
     design: &Design,
     program: &KernelProgram,
@@ -99,7 +104,54 @@ pub fn simulate_batch(
     cfg: &PipelineConfig,
     model: &GpuModel,
 ) -> SimResult {
-    run_batch(Some((design, source)), program, graph, map.len(), map, source.num_stimulus(), cycles, cfg, model)
+    run_batch(
+        Some((design, source)),
+        program,
+        graph,
+        map.len(),
+        map,
+        source.num_stimulus(),
+        cycles,
+        cfg,
+        model,
+    )
+}
+
+/// Result of a coalesced multi-job batch run: the shared [`SimResult`]
+/// plus each job's digest range inside `digests`.
+#[derive(Debug)]
+pub struct JobBatchResult {
+    pub sim: SimResult,
+    /// `ranges[j]` is job j's slice of `sim.digests`, in submission order.
+    pub ranges: Vec<std::ops::Range<usize>>,
+}
+
+/// Run several pre-grouped jobs — each bringing its own stimulus source,
+/// seed, and count — as ONE coalesced batch launch over the same DUT.
+///
+/// Invariant (the serving layer's correctness contract): every stimulus
+/// source is a pure function of `(stimulus, cycle)` and each job keeps
+/// its own indices within its segment, so `sim.digests[ranges[j]]` is
+/// bit-identical to running job j alone through [`simulate_batch`].
+/// Coalescing changes only the *timing* (larger SIMT launches amortize
+/// per-launch overhead — the paper's batch-size curve), never the data.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_jobs(
+    design: &Design,
+    program: &KernelProgram,
+    graph: &CudaGraph,
+    map: &PortMap,
+    jobs: Vec<Box<dyn StimulusSource>>,
+    cycles: u64,
+    cfg: &PipelineConfig,
+    model: &GpuModel,
+) -> JobBatchResult {
+    let stacked = StackedSource::new(jobs);
+    let ranges: Vec<_> = (0..stacked.num_segments())
+        .map(|j| stacked.segment_range(j))
+        .collect();
+    let sim = simulate_batch(design, program, graph, map, &stacked, cycles, cfg, model);
+    JobBatchResult { sim, ranges }
 }
 
 /// Timing-only variant: identical scheduling model, but kernels are not
@@ -117,7 +169,17 @@ pub fn model_batch(
 ) -> SimResult {
     // A dummy port map is not needed: only the lane count enters timing.
     let map = PortMap { ports: Vec::new() };
-    run_batch(None, program, graph, input_lanes, &map, n, cycles, cfg, model)
+    run_batch(
+        None,
+        program,
+        graph,
+        input_lanes,
+        &map,
+        n,
+        cycles,
+        cfg,
+        model,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -136,7 +198,9 @@ fn run_batch(
     let num_groups = n.div_ceil(group_size).max(1);
 
     // Device memory only exists when kernels actually execute.
-    let mut dev = program.plan.alloc_device(if functional.is_some() { n } else { 1 });
+    let mut dev = program
+        .plan
+        .alloc_device(if functional.is_some() { n } else { 1 });
     let mut scratch = Scratch::new();
     let mut rt = GpuRuntime::new(model.clone());
     let mut cpu = Resource::new("cpu", cfg.host.threads);
@@ -159,7 +223,8 @@ fn run_batch(
             let per_thread = (n as u64 * lane_cost).div_ceil(cfg.host.threads as u64);
             let mut set_done = barrier;
             for _ in 0..cfg.host.threads.min(n) {
-                let (_, e) = cpu.schedule_traced(barrier, per_thread.max(1), &mut trace, "set_inputs");
+                let (_, e) =
+                    cpu.schedule_traced(barrier, per_thread.max(1), &mut trace, "set_inputs");
                 set_done = set_done.max(e);
             }
             let mut cycle_end = set_done;
@@ -168,7 +233,16 @@ fn run_batch(
                 let t = match functional {
                     Some((_, source)) => {
                         apply_inputs(program, map, source, &mut dev, &mut frame, tid0, len, c);
-                        rt.run_cycle(graph, cfg.mode, &mut dev, &mut scratch, tid0, len, set_done, Some(&mut trace))
+                        rt.run_cycle(
+                            graph,
+                            cfg.mode,
+                            &mut dev,
+                            &mut scratch,
+                            tid0,
+                            len,
+                            set_done,
+                            Some(&mut trace),
+                        )
                     }
                     None => rt.time_cycle(graph, cfg.mode, len, set_done, Some(&mut trace)),
                 };
@@ -195,7 +269,16 @@ fn run_batch(
                 let t = match functional {
                     Some((_, source)) => {
                         apply_inputs(program, map, source, &mut dev, &mut frame, tid0, len, c);
-                        rt.run_cycle(graph, cfg.mode, &mut dev, &mut scratch, tid0, len, gpu_ready, Some(&mut trace))
+                        rt.run_cycle(
+                            graph,
+                            cfg.mode,
+                            &mut dev,
+                            &mut scratch,
+                            tid0,
+                            len,
+                            gpu_ready,
+                            Some(&mut trace),
+                        )
                     }
                     None => rt.time_cycle(graph, cfg.mode, len, gpu_ready, Some(&mut trace)),
                 };
@@ -211,14 +294,23 @@ fn run_batch(
         barrier
     };
     let digests: Vec<u64> = match functional {
-        Some((design, _)) => (0..n).map(|s| program.plan.output_digest(&dev, design, s)).collect(),
+        Some((design, _)) => (0..n)
+            .map(|s| program.plan.output_digest(&dev, design, s))
+            .collect(),
         None => Vec::new(),
     };
     let gpu_utilization = trace.utilization("gpu", makespan);
     let breakdown_cpu = trace.breakdown("cpu");
     let set_inputs_busy = breakdown_cpu.get("set_inputs").copied().unwrap_or(0);
     let evaluate_busy: Time = trace.breakdown("gpu").values().sum();
-    SimResult { makespan, trace, digests, gpu_utilization, set_inputs_busy, evaluate_busy }
+    SimResult {
+        makespan,
+        trace,
+        digests,
+        gpu_utilization,
+        set_inputs_busy,
+        evaluate_busy,
+    }
 }
 
 fn group_range(g: usize, group_size: usize, n: usize) -> (usize, usize) {
@@ -226,6 +318,7 @@ fn group_range(g: usize, group_size: usize, n: usize) -> (usize, usize) {
     (tid0, group_size.min(n - tid0))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_inputs(
     program: &KernelProgram,
     map: &PortMap,
@@ -249,6 +342,7 @@ fn apply_inputs(
 /// and per-shard pipeline, all contending for the same host CPU threads
 /// running `set_inputs`. Returns the slowest shard's result plus the
 /// aggregate utilization of GPU 0 (shards are symmetric).
+#[allow(clippy::too_many_arguments)]
 pub fn model_batch_multi_gpu(
     program: &KernelProgram,
     graph: &CudaGraph,
@@ -272,7 +366,10 @@ pub fn model_batch_multi_gpu(
             break;
         }
         let shard_cfg = PipelineConfig {
-            host: HostModel { threads: threads_per_shard, ..cfg.host.clone() },
+            host: HostModel {
+                threads: threads_per_shard,
+                ..cfg.host.clone()
+            },
             ..cfg.clone()
         };
         let r = model_batch(program, graph, input_lanes, this, cycles, &shard_cfg, model);
@@ -312,7 +409,10 @@ mod tests {
     fn pipelined_and_barrier_agree_functionally() {
         let (design, program, graph, map, src) = setup(24);
         let model = GpuModel::default();
-        let mut cfg = PipelineConfig { group_size: 8, ..Default::default() };
+        let mut cfg = PipelineConfig {
+            group_size: 8,
+            ..Default::default()
+        };
         let r1 = simulate_batch(&design, &program, &graph, &map, &src, 30, &cfg, &model);
         cfg.pipelined = false;
         let r2 = simulate_batch(&design, &program, &graph, &map, &src, 30, &cfg, &model);
@@ -323,7 +423,10 @@ mod tests {
     fn digests_match_golden_interpreter() {
         let (design, program, graph, map, src) = setup(6);
         let model = GpuModel::default();
-        let cfg = PipelineConfig { group_size: 4, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 4,
+            ..Default::default()
+        };
         let r = simulate_batch(&design, &program, &graph, &map, &src, 40, &cfg, &model);
         // Check stimulus 3 against the interpreter.
         let mut interp = rtlir::Interp::new(&design).unwrap();
@@ -339,10 +442,25 @@ mod tests {
     fn pipelining_reduces_makespan() {
         let (design, program, graph, map, src) = setup(4096);
         let model = GpuModel::default();
-        let base = PipelineConfig { group_size: 512, ..Default::default() };
+        let base = PipelineConfig {
+            group_size: 512,
+            ..Default::default()
+        };
         let piped = simulate_batch(&design, &program, &graph, &map, &src, 12, &base, &model);
-        let barrier_cfg = PipelineConfig { pipelined: false, ..base.clone() };
-        let barrier = simulate_batch(&design, &program, &graph, &map, &src, 12, &barrier_cfg, &model);
+        let barrier_cfg = PipelineConfig {
+            pipelined: false,
+            ..base.clone()
+        };
+        let barrier = simulate_batch(
+            &design,
+            &program,
+            &graph,
+            &map,
+            &src,
+            12,
+            &barrier_cfg,
+            &model,
+        );
         assert!(
             piped.makespan < barrier.makespan,
             "pipelined {} should beat barrier {}",
@@ -355,10 +473,25 @@ mod tests {
     fn pipelining_improves_gpu_utilization() {
         let (design, program, graph, map, src) = setup(4096);
         let model = GpuModel::default();
-        let base = PipelineConfig { group_size: 512, ..Default::default() };
+        let base = PipelineConfig {
+            group_size: 512,
+            ..Default::default()
+        };
         let piped = simulate_batch(&design, &program, &graph, &map, &src, 12, &base, &model);
-        let barrier_cfg = PipelineConfig { pipelined: false, ..base.clone() };
-        let barrier = simulate_batch(&design, &program, &graph, &map, &src, 12, &barrier_cfg, &model);
+        let barrier_cfg = PipelineConfig {
+            pipelined: false,
+            ..base.clone()
+        };
+        let barrier = simulate_batch(
+            &design,
+            &program,
+            &graph,
+            &map,
+            &src,
+            12,
+            &barrier_cfg,
+            &model,
+        );
         assert!(
             piped.gpu_utilization > barrier.gpu_utilization,
             "piped {} vs barrier {}",
@@ -371,7 +504,10 @@ mod tests {
     fn trace_has_both_resources() {
         let (design, program, graph, map, src) = setup(16);
         let model = GpuModel::default();
-        let cfg = PipelineConfig { group_size: 8, ..Default::default() };
+        let cfg = PipelineConfig {
+            group_size: 8,
+            ..Default::default()
+        };
         let r = simulate_batch(&design, &program, &graph, &map, &src, 5, &cfg, &model);
         assert!(r.set_inputs_busy > 0);
         assert!(r.evaluate_busy > 0);
@@ -383,12 +519,45 @@ mod tests {
     fn multi_gpu_sharding_speeds_up_until_host_bound() {
         let (_, program, graph, map, _) = setup(4);
         let model = GpuModel::default();
-        let cfg = PipelineConfig { group_size: 1024, ..Default::default() };
-        let t1 = model_batch_multi_gpu(&program, &graph, map.len(), 65536, 32, &cfg, &model, 1).makespan;
-        let t2 = model_batch_multi_gpu(&program, &graph, map.len(), 65536, 32, &cfg, &model, 2).makespan;
-        let t64 = model_batch_multi_gpu(&program, &graph, map.len(), 65536, 32, &cfg, &model, 64).makespan;
+        let cfg = PipelineConfig {
+            group_size: 1024,
+            ..Default::default()
+        };
+        let t1 =
+            model_batch_multi_gpu(&program, &graph, map.len(), 65536, 32, &cfg, &model, 1).makespan;
+        let t2 =
+            model_batch_multi_gpu(&program, &graph, map.len(), 65536, 32, &cfg, &model, 2).makespan;
+        let t64 = model_batch_multi_gpu(&program, &graph, map.len(), 65536, 32, &cfg, &model, 64)
+            .makespan;
         assert!(t2 < t1, "2 GPUs should beat 1: {t1} vs {t2}");
         assert!(t64 >= t2 / 40, "scaling cannot be unbounded: {t2} vs {t64}");
+    }
+
+    #[test]
+    fn coalesced_jobs_match_standalone_runs() {
+        let (design, program, graph, map, _) = setup(1);
+        let model = GpuModel::default();
+        let cfg = PipelineConfig {
+            group_size: 8,
+            ..Default::default()
+        };
+        let specs: [(usize, u64); 3] = [(5, 0x11), (9, 0x22), (3, 0x33)];
+        let jobs: Vec<Box<dyn StimulusSource>> = specs
+            .iter()
+            .map(|&(n, seed)| Box::new(RiscvSource::new(&map, n, seed)) as Box<dyn StimulusSource>)
+            .collect();
+        let batch = simulate_batch_jobs(&design, &program, &graph, &map, jobs, 20, &cfg, &model);
+        assert_eq!(batch.ranges.len(), 3);
+        assert_eq!(batch.sim.digests.len(), 5 + 9 + 3);
+        for (j, &(n, seed)) in specs.iter().enumerate() {
+            let solo_src = RiscvSource::new(&map, n, seed);
+            let solo = simulate_batch(&design, &program, &graph, &map, &solo_src, 20, &cfg, &model);
+            assert_eq!(
+                &batch.sim.digests[batch.ranges[j].clone()],
+                &solo.digests[..],
+                "job {j} digests must be bit-identical to its standalone run"
+            );
+        }
     }
 
     #[test]

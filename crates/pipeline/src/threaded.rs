@@ -3,12 +3,14 @@
 //! The virtual-time executor in the crate root produces the paper's
 //! numbers; this module demonstrates the same scheduling idea with actual
 //! threads (the paper uses Taskflow's work-stealing runtime — we use
-//! crossbeam channels): producer threads run `set_inputs` for
-//! (group, cycle) work items ahead of the consumer, which applies frames
-//! and evaluates kernels. A bounded channel provides backpressure, i.e.
-//! the pipeline depth.
+//! std bounded channels and scoped threads): producer threads run
+//! `set_inputs` for (group, cycle) work items ahead of the consumer,
+//! which applies frames and evaluates kernels. A bounded channel provides
+//! backpressure, i.e. the pipeline depth.
 
-use crossbeam::channel::bounded;
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+
 use cudasim::Scratch;
 use rtlir::Design;
 use stimulus::{PortMap, StimulusSource};
@@ -25,6 +27,7 @@ struct StageItem {
 
 /// Run the batch with `producers` set-input threads feeding a bounded
 /// pipeline of depth `depth`. Returns final per-stimulus digests.
+#[allow(clippy::too_many_arguments)]
 pub fn run_threaded(
     design: &Design,
     program: &KernelProgram,
@@ -42,14 +45,17 @@ pub fn run_threaded(
     let mut dev = program.plan.alloc_device(n);
     let mut scratch = Scratch::new();
 
-    crossbeam::thread::scope(|scope| {
-        let (tx, rx) = bounded::<StageItem>(depth.max(1));
+    std::thread::scope(|scope| {
+        let (tx, rx) = sync_channel::<StageItem>(depth.max(1));
         // Work items are (cycle, group) in a fixed global order so the
-        // consumer can rely on per-group cycle monotonicity.
-        let (work_tx, work_rx) = bounded::<(u64, usize)>(depth.max(1));
+        // consumer can rely on per-group cycle monotonicity. std's
+        // receiver is single-consumer, so producers share it via a mutex
+        // (crossbeam's MPMC channel without the dependency).
+        let (work_tx, work_rx) = sync_channel::<(u64, usize)>(depth.max(1));
+        let work_rx = Arc::new(Mutex::new(work_rx));
 
         // Dispatcher: enumerate stages in order.
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for c in 0..cycles {
                 for g in 0..num_groups {
                     if work_tx.send((c, g)).is_err() {
@@ -63,11 +69,13 @@ pub fn run_threaded(
         // With one producer, order is preserved end-to-end; with more,
         // the consumer reorders via a small buffer.
         for _ in 0..producers.max(1) {
-            let work_rx = work_rx.clone();
+            let work_rx = Arc::clone(&work_rx);
             let tx = tx.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut frame = vec![0u64; lanes];
-                while let Ok((cycle, g)) = work_rx.recv() {
+                loop {
+                    let item = work_rx.lock().expect("producer lock poisoned").recv();
+                    let Ok((cycle, g)) = item else { return };
                     let tid0 = g * group_size;
                     let len = group_size.min(n - tid0);
                     let mut frames = Vec::with_capacity(len * lanes);
@@ -75,7 +83,15 @@ pub fn run_threaded(
                         source.fill_frame(s, cycle, &mut frame);
                         frames.extend_from_slice(&frame);
                     }
-                    if tx.send(StageItem { cycle, tid0, len, frames }).is_err() {
+                    if tx
+                        .send(StageItem {
+                            cycle,
+                            tid0,
+                            len,
+                            frames,
+                        })
+                        .is_err()
+                    {
                         return;
                     }
                 }
@@ -89,25 +105,26 @@ pub fn run_threaded(
         // early arrivals until their predecessor stage ran.
         let mut next_cycle: Vec<u64> = vec![0; num_groups];
         let mut parked: Vec<StageItem> = Vec::new();
-        let run_item = |item: &StageItem, dev: &mut cudasim::DeviceMemory, scratch: &mut Scratch| {
-            for (i, s) in (item.tid0..item.tid0 + item.len).enumerate() {
-                let frame = &item.frames[i * lanes..(i + 1) * lanes];
-                for (lane, port) in map.ports.iter().enumerate() {
-                    program.plan.poke(dev, port.var, s, frame[lane]);
+        let run_item =
+            |item: &StageItem, dev: &mut cudasim::DeviceMemory, scratch: &mut Scratch| {
+                for (i, s) in (item.tid0..item.tid0 + item.len).enumerate() {
+                    let frame = &item.frames[i * lanes..(i + 1) * lanes];
+                    for (lane, port) in map.ports.iter().enumerate() {
+                        program.plan.poke(dev, port.var, s, frame[lane]);
+                    }
                 }
-            }
-            program.run_cycle_functional(dev, scratch, item.tid0, item.len);
-        };
+                program.run_cycle_functional(dev, scratch, item.tid0, item.len);
+            };
         while let Ok(item) = rx.recv() {
             let g = item.tid0 / group_size;
             if item.cycle == next_cycle[g] {
                 run_item(&item, &mut dev, &mut scratch);
                 next_cycle[g] += 1;
                 // Drain parked items that are now ready.
-                loop {
-                    let Some(pos) = parked
-                        .iter()
-                        .position(|it| it.cycle == next_cycle[it.tid0 / group_size]) else { break };
+                while let Some(pos) = parked
+                    .iter()
+                    .position(|it| it.cycle == next_cycle[it.tid0 / group_size])
+                {
                     let it = parked.swap_remove(pos);
                     let pg = it.tid0 / group_size;
                     run_item(&it, &mut dev, &mut scratch);
@@ -125,10 +142,11 @@ pub fn run_threaded(
             run_item(&it, &mut dev, &mut scratch);
             next_cycle[pg] += 1;
         }
-    })
-    .expect("pipeline thread panicked");
+    });
 
-    (0..n).map(|s| program.plan.output_digest(&dev, design, s)).collect()
+    (0..n)
+        .map(|s| program.plan.output_digest(&dev, design, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -149,7 +167,10 @@ mod tests {
 
         let threaded = run_threaded(&design, &program, &map, &src, n, 25, 4, 2, 4);
 
-        let cfg = crate::PipelineConfig { group_size: 4, ..Default::default() };
+        let cfg = crate::PipelineConfig {
+            group_size: 4,
+            ..Default::default()
+        };
         let seq = crate::simulate_batch(&design, &program, &graph, &map, &src, 25, &cfg, &model);
         assert_eq!(threaded, seq.digests);
     }

@@ -93,7 +93,11 @@ pub enum Item {
     /// `assign lhs = rhs;`
     Assign { lhs: LValue, rhs: Expr, line: u32 },
     /// `always @(*) stmt` (combinational) or `always @(posedge clk) stmt`.
-    Always { sens: Sensitivity, body: Stmt, line: u32 },
+    Always {
+        sens: Sensitivity,
+        body: Stmt,
+        line: u32,
+    },
     /// Module instantiation: `sub #(.P(3)) u0 (.a(x), .b(y));`
     Instance {
         module: String,
@@ -127,7 +131,13 @@ impl Item {
                         .map(|(_, e)| e.as_ref().map_or(0, Expr::count_nodes))
                         .sum::<usize>()
             }
-            Item::GenFor { init, cond, step, items, .. } => {
+            Item::GenFor {
+                init,
+                cond,
+                step,
+                items,
+                ..
+            } => {
                 1 + init.count_nodes()
                     + cond.count_nodes()
                     + step.count_nodes()
@@ -150,11 +160,28 @@ pub enum Sensitivity {
 #[derive(Debug, Clone)]
 pub enum Stmt {
     /// Blocking (`=`) or non-blocking (`<=`) assignment.
-    Assign { lhs: LValue, rhs: Expr, blocking: bool, line: u32 },
-    If { cond: Expr, then_s: Box<Stmt>, else_s: Option<Box<Stmt>>, line: u32 },
+    Assign {
+        lhs: LValue,
+        rhs: Expr,
+        blocking: bool,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then_s: Box<Stmt>,
+        else_s: Option<Box<Stmt>>,
+        line: u32,
+    },
     /// `for (i = lo; i < hi; i = i + step) stmt` with constant bounds —
     /// unrolled at elaboration.
-    For { var: String, init: Expr, cond: Expr, step: Expr, body: Box<Stmt>, line: u32 },
+    For {
+        var: String,
+        init: Expr,
+        cond: Expr,
+        step: Expr,
+        body: Box<Stmt>,
+        line: u32,
+    },
     Case {
         subject: Expr,
         arms: Vec<CaseArm>,
@@ -170,12 +197,22 @@ impl Stmt {
     fn count_nodes(&self) -> usize {
         match self {
             Stmt::Assign { lhs, rhs, .. } => 1 + lhs.count_nodes() + rhs.count_nodes(),
-            Stmt::If { cond, then_s, else_s, .. } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                ..
+            } => {
                 1 + cond.count_nodes()
                     + then_s.count_nodes()
                     + else_s.as_ref().map_or(0, |s| s.count_nodes())
             }
-            Stmt::Case { subject, arms, default, .. } => {
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+                ..
+            } => {
                 1 + subject.count_nodes()
                     + arms
                         .iter()
@@ -187,8 +224,17 @@ impl Stmt {
                     + default.as_ref().map_or(0, |s| s.count_nodes())
             }
             Stmt::Block(stmts) => 1 + stmts.iter().map(Stmt::count_nodes).sum::<usize>(),
-            Stmt::For { init, cond, step, body, .. } => {
-                1 + init.count_nodes() + cond.count_nodes() + step.count_nodes() + body.count_nodes()
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                1 + init.count_nodes()
+                    + cond.count_nodes()
+                    + step.count_nodes()
+                    + body.count_nodes()
             }
         }
     }
@@ -272,15 +318,36 @@ pub enum Expr {
     Ident(String),
     /// `x[i]` — bit select on a vector, or word select on a memory
     /// (`ARRSEL` in Verilator's vocabulary). Disambiguated at elaboration.
-    Index { base: String, idx: Box<Expr> },
+    Index {
+        base: String,
+        idx: Box<Expr>,
+    },
     /// `x[msb:lsb]` with constant bounds.
-    PartSel { base: String, msb: Box<Expr>, lsb: Box<Expr> },
-    Unary { op: UnOp, arg: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
-    Ternary { cond: Box<Expr>, then_e: Box<Expr>, else_e: Box<Expr> },
+    PartSel {
+        base: String,
+        msb: Box<Expr>,
+        lsb: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        arg: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_e: Box<Expr>,
+        else_e: Box<Expr>,
+    },
     Concat(Vec<Expr>),
     /// `{n{expr}}` with constant replication count.
-    Repeat { count: Box<Expr>, arg: Box<Expr> },
+    Repeat {
+        count: Box<Expr>,
+        arg: Box<Expr>,
+    },
 }
 
 impl Expr {
@@ -292,9 +359,11 @@ impl Expr {
             Expr::PartSel { msb, lsb, .. } => 1 + msb.count_nodes() + lsb.count_nodes(),
             Expr::Unary { arg, .. } => 1 + arg.count_nodes(),
             Expr::Binary { lhs, rhs, .. } => 1 + lhs.count_nodes() + rhs.count_nodes(),
-            Expr::Ternary { cond, then_e, else_e } => {
-                1 + cond.count_nodes() + then_e.count_nodes() + else_e.count_nodes()
-            }
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => 1 + cond.count_nodes() + then_e.count_nodes() + else_e.count_nodes(),
             Expr::Concat(parts) => 1 + parts.iter().map(Expr::count_nodes).sum::<usize>(),
             Expr::Repeat { count, arg } => 1 + count.count_nodes() + arg.count_nodes(),
         }

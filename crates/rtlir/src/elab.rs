@@ -58,20 +58,50 @@ pub enum EExpr {
     /// Whole-variable read.
     Var(VarId),
     /// Memory word read `mem[idx]`.
-    ReadMem { var: VarId, idx: Box<EExpr> },
-    Unary { op: UnOp, arg: Box<EExpr>, width: u32 },
-    Binary { op: BinOp, a: Box<EExpr>, b: Box<EExpr>, width: u32 },
+    ReadMem {
+        var: VarId,
+        idx: Box<EExpr>,
+    },
+    Unary {
+        op: UnOp,
+        arg: Box<EExpr>,
+        width: u32,
+    },
+    Binary {
+        op: BinOp,
+        a: Box<EExpr>,
+        b: Box<EExpr>,
+        width: u32,
+    },
     /// `cond ? t : e`.
-    Mux { cond: Box<EExpr>, t: Box<EExpr>, e: Box<EExpr>, width: u32 },
+    Mux {
+        cond: Box<EExpr>,
+        t: Box<EExpr>,
+        e: Box<EExpr>,
+        width: u32,
+    },
     /// `{parts\[0\], parts\[1\], ...}` — the first part is the most
     /// significant.
-    Concat { parts: Vec<EExpr>, width: u32 },
+    Concat {
+        parts: Vec<EExpr>,
+        width: u32,
+    },
     /// Constant part-select `arg[lsb +: width]`.
-    Slice { arg: Box<EExpr>, lsb: u32, width: u32 },
+    Slice {
+        arg: Box<EExpr>,
+        lsb: u32,
+        width: u32,
+    },
     /// Dynamic single-bit select `arg[idx]` (1 bit wide).
-    IndexBit { arg: Box<EExpr>, idx: Box<EExpr> },
+    IndexBit {
+        arg: Box<EExpr>,
+        idx: Box<EExpr>,
+    },
     /// Zero-extend or truncate to `width`.
-    Resize { arg: Box<EExpr>, width: u32 },
+    Resize {
+        arg: Box<EExpr>,
+        width: u32,
+    },
 }
 
 impl EExpr {
@@ -100,7 +130,9 @@ impl EExpr {
                 f(*var);
                 idx.visit_reads(f);
             }
-            EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => arg.visit_reads(f),
+            EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => {
+                arg.visit_reads(f)
+            }
             EExpr::Binary { a, b, .. } => {
                 a.visit_reads(f);
                 b.visit_reads(f);
@@ -123,7 +155,9 @@ impl EExpr {
         match self {
             EExpr::Const(_) | EExpr::Var(_) => 1,
             EExpr::ReadMem { idx, .. } => 1 + idx.count_ops(),
-            EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => 1 + arg.count_ops(),
+            EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => {
+                1 + arg.count_ops()
+            }
             EExpr::Binary { a, b, .. } => 1 + a.count_ops() + b.count_ops(),
             EExpr::Mux { cond, t, e, .. } => 1 + cond.count_ops() + t.count_ops() + e.count_ops(),
             EExpr::Concat { parts, .. } => 1 + parts.iter().map(EExpr::count_ops).sum::<usize>(),
@@ -149,7 +183,10 @@ impl Target {
     /// The variable being (partially) written.
     pub fn var(&self) -> VarId {
         match self {
-            Target::Var(v) | Target::Slice { var: v, .. } | Target::DynBit { var: v, .. } | Target::Mem { var: v, .. } => *v,
+            Target::Var(v)
+            | Target::Slice { var: v, .. }
+            | Target::DynBit { var: v, .. }
+            | Target::Mem { var: v, .. } => *v,
         }
     }
 }
@@ -157,8 +194,15 @@ impl Target {
 /// Elaborated statement.
 #[derive(Debug, Clone)]
 pub enum Stm {
-    Assign { target: Target, rhs: EExpr },
-    If { cond: EExpr, then_s: Vec<Stm>, else_s: Vec<Stm> },
+    Assign {
+        target: Target,
+        rhs: EExpr,
+    },
+    If {
+        cond: EExpr,
+        then_s: Vec<Stm>,
+        else_s: Vec<Stm>,
+    },
 }
 
 /// Process kind: combinational or clocked.
@@ -242,7 +286,12 @@ pub struct Elaborator<'a> {
 
 impl<'a> Elaborator<'a> {
     pub fn new(unit: &'a SourceUnit) -> Self {
-        Elaborator { unit, vars: Vec::new(), processes: Vec::new(), clock_candidates: Vec::new() }
+        Elaborator {
+            unit,
+            vars: Vec::new(),
+            processes: Vec::new(),
+            clock_candidates: Vec::new(),
+        }
     }
 
     /// Elaborate with `top` as the root module.
@@ -257,7 +306,10 @@ impl<'a> Elaborator<'a> {
         let mut outputs = Vec::new();
         for port in &module.ports {
             let Some(Binding::Var(vid)) = scope.get(&port.name) else {
-                return Err(Error::elab(format!("port `{}` has no declaration", port.name)));
+                return Err(Error::elab(format!(
+                    "port `{}` has no declaration",
+                    port.name
+                )));
             };
             match port.dir {
                 Dir::Input => {
@@ -276,7 +328,7 @@ impl<'a> Elaborator<'a> {
         let mut clock = None;
         if self.processes.iter().any(|p| p.kind == ProcessKind::Seq) {
             for cand in ["clk", "clock", "clk_i", "aclk"] {
-                if let Some(&Binding::Var(vid)) = scope.get(cand).as_deref() {
+                if let Some(&Binding::Var(vid)) = scope.get(cand) {
                     clock = Some(vid);
                     break;
                 }
@@ -293,7 +345,10 @@ impl<'a> Elaborator<'a> {
         // reject them (synthesizable designs write memories on clock edges).
         fn has_mem_write(stms: &[Stm]) -> bool {
             stms.iter().any(|s| match s {
-                Stm::Assign { target: Target::Mem { .. }, .. } => true,
+                Stm::Assign {
+                    target: Target::Mem { .. },
+                    ..
+                } => true,
                 Stm::Assign { .. } => false,
                 Stm::If { then_s, else_s, .. } => has_mem_write(then_s) || has_mem_write(else_s),
             })
@@ -338,9 +393,9 @@ impl<'a> Elaborator<'a> {
                         }
                         _ => {
                             return Err(Error::elab(format!(
-                                "variable `{}` written by multiple processes (`{}` writes it whole)",
-                                self.vars[vid].name, p.name
-                            )))
+                            "variable `{}` written by multiple processes (`{}` writes it whole)",
+                            self.vars[vid].name, p.name
+                        )))
                         }
                     }
                 }
@@ -353,7 +408,9 @@ impl<'a> Elaborator<'a> {
                     if lsb < max_end && pi != max_proc {
                         return Err(Error::elab(format!(
                             "variable `{}`: processes `{}` and `{}` drive overlapping bit ranges",
-                            self.vars[vid].name, self.processes[max_proc].name, self.processes[pi].name
+                            self.vars[vid].name,
+                            self.processes[max_proc].name,
+                            self.processes[pi].name
                         )));
                     }
                     if lsb + width > max_end {
@@ -373,7 +430,14 @@ impl<'a> Elaborator<'a> {
             }
         }
 
-        Ok(Design { name: top.to_string(), vars: self.vars, processes: self.processes, inputs, outputs, clock })
+        Ok(Design {
+            name: top.to_string(),
+            vars: self.vars,
+            processes: self.processes,
+            inputs,
+            outputs,
+            clock,
+        })
     }
 
     /// Instantiate `module` under hierarchical `prefix`, returning its scope.
@@ -418,24 +482,44 @@ impl<'a> Elaborator<'a> {
                 None => 1,
             };
             if width == 0 || width > 4096 {
-                return Err(Error::elab(format!("variable `{}` has unsupported width {width}", d.name)));
+                return Err(Error::elab(format!(
+                    "variable `{}` has unsupported width {width}",
+                    d.name
+                )));
             }
             let depth = match &d.array {
                 Some((lo, hi)) => {
                     let lo = self.const_eval_u64(lo, &scope, &module.name)?;
                     let hi = self.const_eval_u64(hi, &scope, &module.name)?;
                     if lo != 0 {
-                        return Err(Error::elab(format!("memory `{}`: only [0:N] ranges are supported", d.name)));
+                        return Err(Error::elab(format!(
+                            "memory `{}`: only [0:N] ranges are supported",
+                            d.name
+                        )));
                     }
                     (hi + 1) as u32
                 }
                 None => 0,
             };
-            let full_name = if prefix.is_empty() { d.name.clone() } else { format!("{prefix}.{}", d.name) };
+            let full_name = if prefix.is_empty() {
+                d.name.clone()
+            } else {
+                format!("{prefix}.{}", d.name)
+            };
             let vid = self.vars.len();
-            self.vars.push(Var { name: full_name, width, depth, is_state: false, is_input: false, is_output: false });
+            self.vars.push(Var {
+                name: full_name,
+                width,
+                depth,
+                is_state: false,
+                is_input: false,
+                is_output: false,
+            });
             if scope.insert(d.name.clone(), Binding::Var(vid)).is_some() {
-                return Err(Error::elab(format!("duplicate declaration of `{}` in `{}`", d.name, module.name)));
+                return Err(Error::elab(format!(
+                    "duplicate declaration of `{}` in `{}`",
+                    d.name, module.name
+                )));
             }
         }
 
@@ -458,7 +542,15 @@ impl<'a> Elaborator<'a> {
     ) -> Result<()> {
         {
             match item {
-                Item::GenFor { var, init, cond, step, label, items, line } => {
+                Item::GenFor {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    label,
+                    items,
+                    line,
+                } => {
                     let mut value = self.const_eval(init, scope, "generate-for init")?;
                     let mut iters = 0u32;
                     loop {
@@ -486,7 +578,10 @@ impl<'a> Elaborator<'a> {
                     }
                 }
                 Item::Assign { lhs, rhs, line } => {
-                    let name = format!("{prefix}{}{gen}assign@{line}", if prefix.is_empty() { "" } else { "." });
+                    let name = format!(
+                        "{prefix}{}{gen}assign@{line}",
+                        if prefix.is_empty() { "" } else { "." }
+                    );
                     self.lower_process(ProcessKind::Comb, name, *line, scope, |el, sc| {
                         let target = el.lower_lvalue(lhs, sc)?;
                         let twidth = el.target_width(&target);
@@ -502,26 +597,43 @@ impl<'a> Elaborator<'a> {
                             ProcessKind::Seq
                         }
                     };
-                    let tag = if kind == ProcessKind::Comb { "comb" } else { "ff" };
-                    let name = format!("{prefix}{}{gen}{tag}@{line}", if prefix.is_empty() { "" } else { "." });
+                    let tag = if kind == ProcessKind::Comb {
+                        "comb"
+                    } else {
+                        "ff"
+                    };
+                    let name = format!(
+                        "{prefix}{}{gen}{tag}@{line}",
+                        if prefix.is_empty() { "" } else { "." }
+                    );
                     let blocking_expected = kind == ProcessKind::Comb;
                     self.lower_process(kind, name, *line, scope, |el, sc| {
                         el.lower_stmt(body, sc, blocking_expected)
                     })?;
                 }
-                Item::Instance { module: child_name, name, params, conns, line } => {
-                    let child = self
-                        .unit
-                        .find_module(child_name)
-                        .ok_or_else(|| Error::elab(format!("unknown module `{child_name}` instantiated as `{name}`")))?;
+                Item::Instance {
+                    module: child_name,
+                    name,
+                    params,
+                    conns,
+                    line,
+                } => {
+                    let child = self.unit.find_module(child_name).ok_or_else(|| {
+                        Error::elab(format!(
+                            "unknown module `{child_name}` instantiated as `{name}`"
+                        ))
+                    })?;
                     let mut overrides = HashMap::new();
                     for (pname, pexpr) in params {
                         let v = self.const_eval(pexpr, scope, module_name)?;
                         overrides.insert(pname.clone(), v);
                     }
                     let inst_name = format!("{gen}{name}");
-                    let child_prefix =
-                        if prefix.is_empty() { inst_name.clone() } else { format!("{prefix}.{inst_name}") };
+                    let child_prefix = if prefix.is_empty() {
+                        inst_name.clone()
+                    } else {
+                        format!("{prefix}.{inst_name}")
+                    };
                     let child_scope = self.instantiate(child, &child_prefix, &overrides)?;
 
                     // Port connections.
@@ -530,19 +642,35 @@ impl<'a> Elaborator<'a> {
                             .ports
                             .iter()
                             .find(|p| &p.name == port_name)
-                            .ok_or_else(|| Error::elab(format!("module `{child_name}` has no port `{port_name}`")))?;
-                        let Some(Binding::Var(port_var)) = child_scope.get(port_name).cloned() else {
-                            return Err(Error::elab(format!("port `{port_name}` is not a variable")));
+                            .ok_or_else(|| {
+                                Error::elab(format!(
+                                    "module `{child_name}` has no port `{port_name}`"
+                                ))
+                            })?;
+                        let Some(Binding::Var(port_var)) = child_scope.get(port_name).cloned()
+                        else {
+                            return Err(Error::elab(format!(
+                                "port `{port_name}` is not a variable"
+                            )));
                         };
                         let Some(conn_expr) = conn else { continue };
                         match port.dir {
                             Dir::Input => {
                                 let pname = format!("{child_prefix}.{port_name}:bind@{line}");
                                 let width = self.vars[port_var].width;
-                                self.lower_process(ProcessKind::Comb, pname, *line, scope, |el, sc| {
-                                    let rhs = el.lower_expr(conn_expr, sc, Some(width))?;
-                                    Ok(vec![Stm::Assign { target: Target::Var(port_var), rhs }])
-                                })?;
+                                self.lower_process(
+                                    ProcessKind::Comb,
+                                    pname,
+                                    *line,
+                                    scope,
+                                    |el, sc| {
+                                        let rhs = el.lower_expr(conn_expr, sc, Some(width))?;
+                                        Ok(vec![Stm::Assign {
+                                            target: Target::Var(port_var),
+                                            rhs,
+                                        }])
+                                    },
+                                )?;
                             }
                             Dir::Output => {
                                 // Output port must connect to an lvalue in the parent.
@@ -552,14 +680,23 @@ impl<'a> Elaborator<'a> {
                                     ))
                                 })?;
                                 let pname = format!("{child_prefix}.{port_name}:out@{line}");
-                                self.lower_process(ProcessKind::Comb, pname, *line, scope, |el, sc| {
-                                    let target = el.lower_lvalue(&lv, sc)?;
-                                    let twidth = el.target_width(&target);
-                                    Ok(vec![Stm::Assign {
-                                        target,
-                                        rhs: EExpr::Resize { arg: Box::new(EExpr::Var(port_var)), width: twidth },
-                                    }])
-                                })?;
+                                self.lower_process(
+                                    ProcessKind::Comb,
+                                    pname,
+                                    *line,
+                                    scope,
+                                    |el, sc| {
+                                        let target = el.lower_lvalue(&lv, sc)?;
+                                        let twidth = el.target_width(&target);
+                                        Ok(vec![Stm::Assign {
+                                            target,
+                                            rhs: EExpr::Resize {
+                                                arg: Box::new(EExpr::Var(port_var)),
+                                                width: twidth,
+                                            },
+                                        }])
+                                    },
+                                )?;
                             }
                         }
                     }
@@ -580,7 +717,14 @@ impl<'a> Elaborator<'a> {
     ) -> Result<()> {
         let body = build(self, scope)?;
         let (reads, writes) = analyze_rw(&body, kind);
-        self.processes.push(Process { kind, name, body, reads, writes, line });
+        self.processes.push(Process {
+            kind,
+            name,
+            body,
+            reads,
+            writes,
+            line,
+        });
         Ok(())
     }
 
@@ -614,17 +758,28 @@ impl<'a> Elaborator<'a> {
                 UnOp::LNot | UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => 1,
             },
             Expr::Binary { op, lhs, rhs } => match op {
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
-                | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Xnor => {
-                    self.sd_width(lhs, scope)?.max(self.sd_width(rhs, scope)?)
-                }
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
+                | BinOp::Mod
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Xnor => self.sd_width(lhs, scope)?.max(self.sd_width(rhs, scope)?),
                 BinOp::Shl | BinOp::Shr | BinOp::Sshr => self.sd_width(lhs, scope)?,
-                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-                | BinOp::LAnd | BinOp::LOr => 1,
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::LAnd
+                | BinOp::LOr => 1,
             },
-            Expr::Ternary { then_e, else_e, .. } => {
-                self.sd_width(then_e, scope)?.max(self.sd_width(else_e, scope)?)
-            }
+            Expr::Ternary { then_e, else_e, .. } => self
+                .sd_width(then_e, scope)?
+                .max(self.sd_width(else_e, scope)?),
             Expr::Concat(parts) => {
                 let mut w = 0;
                 for p in parts {
@@ -642,7 +797,12 @@ impl<'a> Elaborator<'a> {
     /// Lower an AST expression. `ctx` is the context width (e.g. the
     /// assignment target); width-propagating operators evaluate at
     /// `max(self-determined, ctx)` per simplified Verilog rules.
-    fn lower_expr(&self, e: &Expr, scope: &HashMap<String, Binding>, ctx: Option<u32>) -> Result<EExpr> {
+    fn lower_expr(
+        &self,
+        e: &Expr,
+        scope: &HashMap<String, Binding>,
+        ctx: Option<u32>,
+    ) -> Result<EExpr> {
         let sd = self.sd_width(e, scope)?;
         let final_w = ctx.map_or(sd, |c| c.max(sd));
         self.build_expr(e, scope, final_w)
@@ -655,7 +815,10 @@ impl<'a> Elaborator<'a> {
             if w == width {
                 inner
             } else {
-                EExpr::Resize { arg: Box::new(inner), width }
+                EExpr::Resize {
+                    arg: Box::new(inner),
+                    width,
+                }
             }
         };
         Ok(match e {
@@ -677,17 +840,36 @@ impl<'a> Elaborator<'a> {
                     Binding::Var(v) if self.vars[*v].is_memory() => {
                         let iw = self.sd_width(idx, scope)?;
                         let idx = self.build_expr(idx, scope, iw)?;
-                        resized(EExpr::ReadMem { var: *v, idx: Box::new(idx) }, self)
+                        resized(
+                            EExpr::ReadMem {
+                                var: *v,
+                                idx: Box::new(idx),
+                            },
+                            self,
+                        )
                     }
                     Binding::Var(v) => {
                         // Dynamic (or constant) bit select on a vector.
                         if let Ok(c) = self.const_eval(idx, scope, "bitsel") {
                             let lsb = c.to_u64() as u32;
-                            resized(EExpr::Slice { arg: Box::new(EExpr::Var(*v)), lsb, width: 1 }, self)
+                            resized(
+                                EExpr::Slice {
+                                    arg: Box::new(EExpr::Var(*v)),
+                                    lsb,
+                                    width: 1,
+                                },
+                                self,
+                            )
                         } else {
                             let iw = self.sd_width(idx, scope)?;
                             let idx = self.build_expr(idx, scope, iw)?;
-                            resized(EExpr::IndexBit { arg: Box::new(EExpr::Var(*v)), idx: Box::new(idx) }, self)
+                            resized(
+                                EExpr::IndexBit {
+                                    arg: Box::new(EExpr::Var(*v)),
+                                    idx: Box::new(idx),
+                                },
+                                self,
+                            )
                         }
                     }
                     Binding::Param(p) => {
@@ -705,7 +887,11 @@ impl<'a> Elaborator<'a> {
                     .ok_or_else(|| Error::elab(format!("unknown identifier `{base}`")))?;
                 match binding {
                     Binding::Var(v) => resized(
-                        EExpr::Slice { arg: Box::new(EExpr::Var(*v)), lsb: l, width: m - l + 1 },
+                        EExpr::Slice {
+                            arg: Box::new(EExpr::Var(*v)),
+                            lsb: l,
+                            width: m - l + 1,
+                        },
                         self,
                     ),
                     Binding::Param(p) => EExpr::Const(p.part_select(m, l).resize(width)),
@@ -714,47 +900,100 @@ impl<'a> Elaborator<'a> {
             Expr::Unary { op, arg } => match op {
                 UnOp::Not | UnOp::Neg => {
                     let a = self.build_expr(arg, scope, width)?;
-                    EExpr::Unary { op: *op, arg: Box::new(a), width }
+                    EExpr::Unary {
+                        op: *op,
+                        arg: Box::new(a),
+                        width,
+                    }
                 }
                 UnOp::LNot | UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => {
                     let sw = self.sd_width(arg, scope)?;
                     let a = self.build_expr(arg, scope, sw)?;
-                    resized(EExpr::Unary { op: *op, arg: Box::new(a), width: 1 }, self)
+                    resized(
+                        EExpr::Unary {
+                            op: *op,
+                            arg: Box::new(a),
+                            width: 1,
+                        },
+                        self,
+                    )
                 }
             },
             Expr::Binary { op, lhs, rhs } => match op {
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
-                | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Xnor => {
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
+                | BinOp::Mod
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Xnor => {
                     let a = self.build_expr(lhs, scope, width)?;
                     let b = self.build_expr(rhs, scope, width)?;
-                    EExpr::Binary { op: *op, a: Box::new(a), b: Box::new(b), width }
+                    EExpr::Binary {
+                        op: *op,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                        width,
+                    }
                 }
                 BinOp::Shl | BinOp::Shr | BinOp::Sshr => {
                     let a = self.build_expr(lhs, scope, width)?;
                     let sw = self.sd_width(rhs, scope)?;
                     let b = self.build_expr(rhs, scope, sw)?;
-                    EExpr::Binary { op: *op, a: Box::new(a), b: Box::new(b), width }
+                    EExpr::Binary {
+                        op: *op,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                        width,
+                    }
                 }
                 BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                     let w = self.sd_width(lhs, scope)?.max(self.sd_width(rhs, scope)?);
                     let a = self.build_expr(lhs, scope, w)?;
                     let b = self.build_expr(rhs, scope, w)?;
-                    resized(EExpr::Binary { op: *op, a: Box::new(a), b: Box::new(b), width: 1 }, self)
+                    resized(
+                        EExpr::Binary {
+                            op: *op,
+                            a: Box::new(a),
+                            b: Box::new(b),
+                            width: 1,
+                        },
+                        self,
+                    )
                 }
                 BinOp::LAnd | BinOp::LOr => {
                     let wa = self.sd_width(lhs, scope)?;
                     let wb = self.sd_width(rhs, scope)?;
                     let a = self.build_expr(lhs, scope, wa)?;
                     let b = self.build_expr(rhs, scope, wb)?;
-                    resized(EExpr::Binary { op: *op, a: Box::new(a), b: Box::new(b), width: 1 }, self)
+                    resized(
+                        EExpr::Binary {
+                            op: *op,
+                            a: Box::new(a),
+                            b: Box::new(b),
+                            width: 1,
+                        },
+                        self,
+                    )
                 }
             },
-            Expr::Ternary { cond, then_e, else_e } => {
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let cw = self.sd_width(cond, scope)?;
                 let c = self.build_expr(cond, scope, cw)?;
                 let t = self.build_expr(then_e, scope, width)?;
                 let f = self.build_expr(else_e, scope, width)?;
-                EExpr::Mux { cond: Box::new(c), t: Box::new(t), e: Box::new(f), width }
+                EExpr::Mux {
+                    cond: Box::new(c),
+                    t: Box::new(t),
+                    e: Box::new(f),
+                    width,
+                }
             }
             Expr::Concat(parts) => {
                 let mut lowered = Vec::with_capacity(parts.len());
@@ -764,7 +1003,13 @@ impl<'a> Elaborator<'a> {
                     total += w;
                     lowered.push(self.build_expr(p, scope, w)?);
                 }
-                resized(EExpr::Concat { parts: lowered, width: total }, self)
+                resized(
+                    EExpr::Concat {
+                        parts: lowered,
+                        width: total,
+                    },
+                    self,
+                )
             }
             Expr::Repeat { count, arg } => {
                 let c = self.const_eval_u64(count, scope, "replication")? as u32;
@@ -774,7 +1019,13 @@ impl<'a> Elaborator<'a> {
                 let w = self.sd_width(arg, scope)?;
                 let a = self.build_expr(arg, scope, w)?;
                 let parts = vec![a; c as usize];
-                resized(EExpr::Concat { parts, width: c * w }, self)
+                resized(
+                    EExpr::Concat {
+                        parts,
+                        width: c * w,
+                    },
+                    self,
+                )
             }
         })
     }
@@ -789,7 +1040,12 @@ impl<'a> Elaborator<'a> {
 
     // ---- statement lowering ----------------------------------------------
 
-    fn lower_stmt(&self, s: &Stmt, scope: &HashMap<String, Binding>, blocking_expected: bool) -> Result<Vec<Stm>> {
+    fn lower_stmt(
+        &self,
+        s: &Stmt,
+        scope: &HashMap<String, Binding>,
+        blocking_expected: bool,
+    ) -> Result<Vec<Stm>> {
         Ok(match s {
             Stmt::Block(stmts) => {
                 let mut out = Vec::new();
@@ -798,12 +1054,21 @@ impl<'a> Elaborator<'a> {
                 }
                 out
             }
-            Stmt::Assign { lhs, rhs, blocking, line } => {
+            Stmt::Assign {
+                lhs,
+                rhs,
+                blocking,
+                line,
+            } => {
                 if *blocking != blocking_expected {
                     let (found, want) = if *blocking { ("=", "<=") } else { ("<=", "=") };
                     return Err(Error::elab(format!(
                         "line {line}: `{found}` assignment in {} block (use `{want}`)",
-                        if blocking_expected { "combinational" } else { "sequential" }
+                        if blocking_expected {
+                            "combinational"
+                        } else {
+                            "sequential"
+                        }
                     )));
                 }
                 let target = self.lower_lvalue(lhs, scope)?;
@@ -811,7 +1076,12 @@ impl<'a> Elaborator<'a> {
                 let rhs = self.lower_expr(rhs, scope, Some(twidth))?;
                 vec![Stm::Assign { target, rhs }]
             }
-            Stmt::If { cond, then_s, else_s, .. } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                ..
+            } => {
                 let cw = self.sd_width(cond, scope)?;
                 let c = self.build_expr(cond, scope, cw)?;
                 let t = self.lower_stmt(then_s, scope, blocking_expected)?;
@@ -819,9 +1089,20 @@ impl<'a> Elaborator<'a> {
                     Some(s) => self.lower_stmt(s, scope, blocking_expected)?,
                     None => Vec::new(),
                 };
-                vec![Stm::If { cond: c, then_s: t, else_s: e }]
+                vec![Stm::If {
+                    cond: c,
+                    then_s: t,
+                    else_s: e,
+                }]
             }
-            Stmt::For { var, init, cond, step, body, line } => {
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 // Constant-bound loops unroll at elaboration, binding the
                 // loop variable as a per-iteration parameter.
                 let mut out = Vec::new();
@@ -830,7 +1111,10 @@ impl<'a> Elaborator<'a> {
                 loop {
                     let mut iter_scope = scope.clone();
                     iter_scope.insert(var.clone(), Binding::Param(value.clone()));
-                    if !self.const_eval(cond, &iter_scope, "for-loop condition")?.any() {
+                    if !self
+                        .const_eval(cond, &iter_scope, "for-loop condition")?
+                        .any()
+                    {
                         break;
                     }
                     iters += 1;
@@ -844,7 +1128,13 @@ impl<'a> Elaborator<'a> {
                 }
                 out
             }
-            Stmt::Case { subject, arms, default, wildcard, .. } => {
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+                wildcard,
+                ..
+            } => {
                 // Lower to an if/else-if chain on (possibly masked) equality.
                 let sw = self.sd_width(subject, scope)?;
                 let subj = self.build_expr(subject, scope, sw)?;
@@ -860,7 +1150,10 @@ impl<'a> Elaborator<'a> {
                         let s = if lw == sw {
                             subj.clone()
                         } else {
-                            EExpr::Resize { arg: Box::new(subj.clone()), width: lw }
+                            EExpr::Resize {
+                                arg: Box::new(subj.clone()),
+                                width: lw,
+                            }
                         };
                         // casez: x/z/? bits in a literal label match anything
                         // — compare only through the care mask.
@@ -891,11 +1184,21 @@ impl<'a> Elaborator<'a> {
                                     width: 1,
                                 }
                             }
-                            None => EExpr::Binary { op: BinOp::Eq, a: Box::new(s), b: Box::new(l), width: 1 },
+                            None => EExpr::Binary {
+                                op: BinOp::Eq,
+                                a: Box::new(s),
+                                b: Box::new(l),
+                                width: 1,
+                            },
                         };
                         cond = Some(match cond {
                             None => eq,
-                            Some(prev) => EExpr::Binary { op: BinOp::LOr, a: Box::new(prev), b: Box::new(eq), width: 1 },
+                            Some(prev) => EExpr::Binary {
+                                op: BinOp::LOr,
+                                a: Box::new(prev),
+                                b: Box::new(eq),
+                                width: 1,
+                            },
                         });
                     }
                     let body = self.lower_stmt(&arm.body, scope, blocking_expected)?;
@@ -914,7 +1217,9 @@ impl<'a> Elaborator<'a> {
         match lv {
             LValue::Var(name) => match scope.get(name) {
                 Some(Binding::Var(v)) => Ok(Target::Var(*v)),
-                Some(Binding::Param(_)) => Err(Error::elab(format!("cannot assign to parameter `{name}`"))),
+                Some(Binding::Param(_)) => {
+                    Err(Error::elab(format!("cannot assign to parameter `{name}`")))
+                }
                 None => Err(Error::elab(format!("unknown assignment target `{name}`"))),
             },
             LValue::Index { name, idx } => {
@@ -926,7 +1231,11 @@ impl<'a> Elaborator<'a> {
                     let idx = self.build_expr(idx, scope, iw)?;
                     Ok(Target::Mem { var: *v, idx })
                 } else if let Ok(c) = self.const_eval(idx, scope, "bitsel") {
-                    Ok(Target::Slice { var: *v, lsb: c.to_u64() as u32, width: 1 })
+                    Ok(Target::Slice {
+                        var: *v,
+                        lsb: c.to_u64() as u32,
+                        width: 1,
+                    })
                 } else {
                     let iw = self.sd_width(idx, scope)?;
                     let idx = self.build_expr(idx, scope, iw)?;
@@ -940,15 +1249,27 @@ impl<'a> Elaborator<'a> {
                 let m = self.const_eval_u64(msb, scope, "partsel")? as u32;
                 let l = self.const_eval_u64(lsb, scope, "partsel")? as u32;
                 if m < l || m >= self.vars[*v].width {
-                    return Err(Error::elab(format!("bad part select on `{}`", self.vars[*v].name)));
+                    return Err(Error::elab(format!(
+                        "bad part select on `{}`",
+                        self.vars[*v].name
+                    )));
                 }
-                Ok(Target::Slice { var: *v, lsb: l, width: m - l + 1 })
+                Ok(Target::Slice {
+                    var: *v,
+                    lsb: l,
+                    width: m - l + 1,
+                })
             }
-            LValue::BitSel { name, idx } => {
-                self.lower_lvalue(&LValue::Index { name: name.clone(), idx: idx.clone() }, scope)
-            }
+            LValue::BitSel { name, idx } => self.lower_lvalue(
+                &LValue::Index {
+                    name: name.clone(),
+                    idx: idx.clone(),
+                },
+                scope,
+            ),
             LValue::Concat(_) => Err(Error::elab(
-                "concatenated assignment targets are not supported; split the assignment".to_string(),
+                "concatenated assignment targets are not supported; split the assignment"
+                    .to_string(),
             )),
         }
     }
@@ -989,7 +1310,11 @@ impl<'a> Elaborator<'a> {
                 let b = self.const_eval(rhs, scope, what)?;
                 const_binop(*op, &a, &b)
             }
-            Expr::Ternary { cond, then_e, else_e } => {
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let c = self.const_eval(cond, scope, what)?;
                 if c.any() {
                     self.const_eval(then_e, scope, what)?
@@ -1001,7 +1326,12 @@ impl<'a> Elaborator<'a> {
         })
     }
 
-    fn const_eval_u64(&self, e: &Expr, scope: &HashMap<String, Binding>, what: &str) -> Result<u64> {
+    fn const_eval_u64(
+        &self,
+        e: &Expr,
+        scope: &HashMap<String, Binding>,
+        what: &str,
+    ) -> Result<u64> {
         Ok(self.const_eval(e, scope, what)?.to_u64())
     }
 }
@@ -1038,10 +1368,15 @@ pub fn const_binop(op: BinOp, a: &BitVec, b: &BitVec) -> BitVec {
 fn expr_to_lvalue(e: &Expr) -> Option<LValue> {
     match e {
         Expr::Ident(name) => Some(LValue::Var(name.clone())),
-        Expr::Index { base, idx } => Some(LValue::Index { name: base.clone(), idx: (**idx).clone() }),
-        Expr::PartSel { base, msb, lsb } => {
-            Some(LValue::PartSel { name: base.clone(), msb: (**msb).clone(), lsb: (**lsb).clone() })
-        }
+        Expr::Index { base, idx } => Some(LValue::Index {
+            name: base.clone(),
+            idx: (**idx).clone(),
+        }),
+        Expr::PartSel { base, msb, lsb } => Some(LValue::PartSel {
+            name: base.clone(),
+            msb: (**msb).clone(),
+            lsb: (**lsb).clone(),
+        }),
         _ => None,
     }
 }
@@ -1066,7 +1401,10 @@ pub fn write_shapes(body: &[Stm]) -> HashMap<VarId, WriteShape> {
                     Target::Var(v) | Target::DynBit { var: v, .. } => {
                         out.insert(*v, WriteShape::Whole);
                     }
-                    Target::Slice { var, lsb, width } => match out.entry(*var).or_insert_with(|| WriteShape::Slices(Vec::new())) {
+                    Target::Slice { var, lsb, width } => match out
+                        .entry(*var)
+                        .or_insert_with(|| WriteShape::Slices(Vec::new()))
+                    {
                         WriteShape::Whole => {}
                         WriteShape::Slices(list) => list.push((*lsb, *width)),
                     },
@@ -1134,11 +1472,17 @@ pub fn read_ranges(body: &[Stm]) -> Vec<BitRange> {
                 Stm::Assign { target, rhs } => {
                     expr_read_ranges(rhs, out);
                     match target {
-                        Target::DynBit { idx, .. } | Target::Mem { idx, .. } => expr_read_ranges(idx, out),
+                        Target::DynBit { idx, .. } | Target::Mem { idx, .. } => {
+                            expr_read_ranges(idx, out)
+                        }
                         _ => {}
                     }
                 }
-                Stm::If { cond, then_s, else_s } => {
+                Stm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     expr_read_ranges(cond, out);
                     walk(then_s, out);
                     walk(else_s, out);
@@ -1211,7 +1555,11 @@ fn analyze_rw(body: &[Stm], kind: ProcessKind) -> (Vec<VarId>, Vec<VarId>) {
                     written.insert(v);
                     writes.push(v);
                 }
-                Stm::If { cond, then_s, else_s } => {
+                Stm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     let mut note_read = |v: VarId| {
                         if kind == ProcessKind::Seq || !written.contains(&v) {
                             reads.push(v);
@@ -1373,7 +1721,11 @@ mod tests {
         let ones = d.find_var("ones").unwrap();
         for v in [0u64, 0xff, 0b1010_0110, 0b1000_0000] {
             sim.step_cycle(&[(a, BitVec::from_u64(v, 8))]);
-            assert_eq!(sim.peek(ones).to_u64(), v.count_ones() as u64, "a={v:#010b}");
+            assert_eq!(
+                sim.peek(ones).to_u64(),
+                v.count_ones() as u64,
+                "a={v:#010b}"
+            );
         }
     }
 
@@ -1421,7 +1773,11 @@ mod tests {
             endmodule";
         let d = elaborate(src2, "top").unwrap();
         // Three distinct instances with generate-block names.
-        assert!(d.find_var("chain_0_s.x").is_some(), "{:?}", d.vars.iter().map(|v| &v.name).collect::<Vec<_>>());
+        assert!(
+            d.find_var("chain_0_s.x").is_some(),
+            "{:?}",
+            d.vars.iter().map(|v| &v.name).collect::<Vec<_>>()
+        );
         assert!(d.find_var("chain_2_s.y").is_some());
         let mut sim = crate::Interp::new(&d).unwrap();
         let a = d.find_var("a").unwrap();
@@ -1463,7 +1819,14 @@ mod tests {
         let mut i = crate::Interp::new(&d).unwrap();
         let req = d.find_var("req").unwrap();
         let grant = d.find_var("grant").unwrap();
-        for (input, expect) in [(0b0001u64, 0u64), (0b1011, 0), (0b0110, 1), (0b0100, 2), (0b1000, 3), (0b0000, 7)] {
+        for (input, expect) in [
+            (0b0001u64, 0u64),
+            (0b1011, 0),
+            (0b0110, 1),
+            (0b0100, 2),
+            (0b1000, 3),
+            (0b0000, 7),
+        ] {
             i.step_cycle(&[(req, BitVec::from_u64(input, 4))]);
             assert_eq!(i.peek(grant).to_u64(), expect, "req={input:#06b}");
         }
@@ -1522,7 +1885,10 @@ mod tests {
         let a = d.find_var("a").unwrap();
         let t = d.find_var("t").unwrap();
         assert!(p.reads.contains(&a));
-        assert!(!p.reads.contains(&t), "t is defined before use, not an input");
+        assert!(
+            !p.reads.contains(&t),
+            "t is defined before use, not an input"
+        );
     }
 
     #[test]
@@ -1537,7 +1903,10 @@ mod tests {
         let d = elaborate(src, "top").unwrap();
         let p = &d.processes[0];
         let y = d.find_var("y").unwrap();
-        assert!(!p.reads.contains(&y), "zero-based splice must not read the var");
+        assert!(
+            !p.reads.contains(&y),
+            "zero-based splice must not read the var"
+        );
         // Functionally: unwritten bits read as zero.
         let mut i = crate::Interp::new(&d).unwrap();
         let a = d.find_var("a").unwrap();
@@ -1581,7 +1950,10 @@ mod tests {
             endmodule";
         let d = elaborate(src, "top").unwrap();
         match &d.processes[0].body[0] {
-            Stm::Assign { rhs: EExpr::Binary { width, .. }, .. } => assert_eq!(*width, 9),
+            Stm::Assign {
+                rhs: EExpr::Binary { width, .. },
+                ..
+            } => assert_eq!(*width, 9),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -20,10 +20,16 @@ pub enum Error {
 
 impl Error {
     pub(crate) fn lex(line: u32, msg: impl Into<String>) -> Self {
-        Error::Lex { line, msg: msg.into() }
+        Error::Lex {
+            line,
+            msg: msg.into(),
+        }
     }
     pub(crate) fn parse(line: u32, msg: impl Into<String>) -> Self {
-        Error::Parse { line, msg: msg.into() }
+        Error::Parse {
+            line,
+            msg: msg.into(),
+        }
     }
     pub(crate) fn elab(msg: impl Into<String>) -> Self {
         Error::Elab(msg.into())

@@ -51,7 +51,12 @@ impl RtlGraph {
         let n = design.processes.len();
         let mut nodes: Vec<Node> = Vec::with_capacity(n);
         for (i, p) in design.processes.iter().enumerate() {
-            nodes.push(Node { process: i, kind: p.kind, level: 0, cost: process_cost(design, i) });
+            nodes.push(Node {
+                process: i,
+                kind: p.kind,
+                level: 0,
+                cost: process_cost(design, i),
+            });
         }
 
         // writer[var] = comb nodes producing (ranges of) it within the
@@ -98,7 +103,12 @@ impl RtlGraph {
 
         // Kahn levelization over comb nodes only.
         let mut indeg: Vec<usize> = (0..n)
-            .map(|i| preds[i].iter().filter(|&&p| nodes[p].kind == ProcessKind::Comb).count())
+            .map(|i| {
+                preds[i]
+                    .iter()
+                    .filter(|&&p| nodes[p].kind == ProcessKind::Comb)
+                    .count()
+            })
             .collect();
         let mut queue: Vec<NodeId> = (0..n)
             .filter(|&i| nodes[i].kind == ProcessKind::Comb && indeg[i] == 0)
@@ -123,7 +133,10 @@ impl RtlGraph {
                 }
             }
         }
-        let comb_total = nodes.iter().filter(|nd| nd.kind == ProcessKind::Comb).count();
+        let comb_total = nodes
+            .iter()
+            .filter(|nd| nd.kind == ProcessKind::Comb)
+            .count();
         if comb_order.len() != comb_total {
             // Find a node stuck in a cycle for the error message.
             let stuck = (0..n)
@@ -135,8 +148,16 @@ impl RtlGraph {
             )));
         }
 
-        let seq_nodes: Vec<NodeId> = (0..n).filter(|&i| nodes[i].kind == ProcessKind::Seq).collect();
-        Ok(RtlGraph { nodes, edges, preds, comb_order, seq_nodes })
+        let seq_nodes: Vec<NodeId> = (0..n)
+            .filter(|&i| nodes[i].kind == ProcessKind::Seq)
+            .collect();
+        Ok(RtlGraph {
+            nodes,
+            edges,
+            preds,
+            comb_order,
+            seq_nodes,
+        })
     }
 
     /// Number of levels in the combinational logic (critical path length).
@@ -171,7 +192,11 @@ impl RtlGraph {
         let mut out = String::from("digraph rtl {\n  rankdir=TB;\n");
         for (i, n) in self.nodes.iter().enumerate() {
             let p = &design.processes[n.process];
-            let shape = if n.kind == ProcessKind::Seq { "box" } else { "ellipse" };
+            let shape = if n.kind == ProcessKind::Seq {
+                "box"
+            } else {
+                "ellipse"
+            };
             out.push_str(&format!("  n{i} [label=\"{}\" shape={shape}];\n", p.name));
         }
         for (a, outs) in self.edges.iter().enumerate() {
@@ -191,7 +216,11 @@ pub fn process_cost(design: &Design, process: usize) -> usize {
         stms.iter()
             .map(|s| match s {
                 Stm::Assign { rhs, .. } => 1 + rhs.count_ops(),
-                Stm::If { cond, then_s, else_s } => 1 + cond.count_ops() + stms_cost(then_s) + stms_cost(else_s),
+                Stm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => 1 + cond.count_ops() + stms_cost(then_s) + stms_cost(else_s),
             })
             .sum()
     }
@@ -222,7 +251,12 @@ mod tests {
         assert_eq!(g.depth(), 3);
         assert_eq!(g.comb_order.len(), 3);
         // Order must respect dependencies.
-        let pos: HashMap<_, _> = g.comb_order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<_, _> = g
+            .comb_order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
         for (a, outs) in g.edges.iter().enumerate() {
             for &b in outs {
                 assert!(pos[&a] < pos[&b]);

@@ -9,7 +9,9 @@
 use std::collections::HashMap;
 
 use crate::ast::{BinOp, UnOp};
-use crate::elab::{const_binop, write_shapes, Design, EExpr, ProcessKind, Stm, Target, VarId, WriteShape};
+use crate::elab::{
+    const_binop, write_shapes, Design, EExpr, ProcessKind, Stm, Target, VarId, WriteShape,
+};
 use crate::graph::RtlGraph;
 use crate::value::BitVec;
 
@@ -20,6 +22,10 @@ enum Slot {
     Memory(Vec<BitVec>),
 }
 
+/// One comb process's entry-clear list: `(var, None)` clears the whole
+/// variable, `(var, Some(slices))` clears just those `(offset, width)` bits.
+type ZeroPlan = Vec<(VarId, Option<Vec<(u32, u32)>>)>;
+
 /// Golden-reference interpreter over an elaborated design.
 pub struct Interp<'a> {
     design: &'a Design,
@@ -27,7 +33,7 @@ pub struct Interp<'a> {
     slots: Vec<Slot>,
     /// Per-process zero plan: bits each comb process clears at entry
     /// (`None` slice list = clear the whole variable).
-    zero_plans: Vec<Vec<(VarId, Option<Vec<(u32, u32)>>)>>,
+    zero_plans: Vec<ZeroPlan>,
     /// Scratch for non-blocking commits: (target var, pending value).
     pending: Vec<(VarId, Slot)>,
     cycle: u64,
@@ -66,7 +72,14 @@ impl<'a> Interp<'a> {
                     .collect()
             })
             .collect();
-        Ok(Interp { design, graph, slots, zero_plans, pending: Vec::new(), cycle: 0 })
+        Ok(Interp {
+            design,
+            graph,
+            slots,
+            zero_plans,
+            pending: Vec::new(),
+            cycle: 0,
+        })
     }
 
     /// Current cycle count (number of `step_cycle` calls so far).
@@ -177,7 +190,11 @@ impl<'a> Interp<'a> {
                     let value = self.eval(rhs);
                     self.store(target, value, kind);
                 }
-                Stm::If { cond, then_s, else_s } => {
+                Stm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     if self.eval(cond).any() {
                         self.exec_stms(then_s, kind);
                     } else {
@@ -212,7 +229,9 @@ impl<'a> Interp<'a> {
                     self.slots[*var] = Slot::Scalar(splice(&old, bit as u32, 1, &value));
                 }
             }
-            Target::Mem { .. } => unreachable!("combinational memory writes are rejected at elaboration"),
+            Target::Mem { .. } => {
+                unreachable!("combinational memory writes are rejected at elaboration")
+            }
         }
     }
 
@@ -313,7 +332,14 @@ impl<'a> Interp<'a> {
             EExpr::IndexBit { arg, idx } => {
                 let v = self.eval(arg);
                 let i = self.eval(idx).to_u64();
-                BitVec::from_u64(if i < v.width() as u64 { v.bit(i as u32) as u64 } else { 0 }, 1)
+                BitVec::from_u64(
+                    if i < v.width() as u64 {
+                        v.bit(i as u32) as u64
+                    } else {
+                        0
+                    },
+                    1,
+                )
             }
             EExpr::Resize { arg, width } => self.eval(arg).resize(*width),
         }
@@ -364,7 +390,9 @@ pub fn capture_waveform(
         let inputs = set_inputs(c);
         interp.step_cycle(&inputs);
         for &o in &design.outputs {
-            wave.entry(design.vars[o].name.clone()).or_default().push(interp.peek(o).clone());
+            wave.entry(design.vars[o].name.clone())
+                .or_default()
+                .push(interp.peek(o).clone());
         }
     }
     Ok(wave)

@@ -12,7 +12,11 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Lex the whole input, appending a trailing [`TokenKind::Eof`].
@@ -22,7 +26,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let line = self.line;
             let Some(&c) = self.src.get(self.pos) else {
-                out.push(Token { kind: TokenKind::Eof, line });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -93,7 +100,9 @@ impl<'a> Lexer<'a> {
                 }
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string();
             return TokenKind::Ident(text);
         }
         let start = self.pos;
@@ -124,14 +133,21 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            let text: String =
-                self.src[start..self.pos].iter().map(|&b| b as char).filter(|&c| c != '_').collect();
+            let text: String = self.src[start..self.pos]
+                .iter()
+                .map(|&b| b as char)
+                .filter(|&c| c != '_')
+                .collect();
             if self.src.get(self.pos) != Some(&b'\'') {
                 // Plain unsized decimal literal.
-                let v: u64 = text
-                    .parse()
-                    .map_err(|_| Error::lex(line, format!("decimal literal `{text}` overflows 64 bits")))?;
-                return Ok(TokenKind::Number(Number { width: None, words: vec![v], xz_mask: vec![0] }));
+                let v: u64 = text.parse().map_err(|_| {
+                    Error::lex(line, format!("decimal literal `{text}` overflows 64 bits"))
+                })?;
+                return Ok(TokenKind::Number(Number {
+                    width: None,
+                    words: vec![v],
+                    xz_mask: vec![0],
+                }));
             }
             let w: u32 = text
                 .parse()
@@ -156,7 +172,10 @@ impl<'a> Lexer<'a> {
             other => {
                 return Err(Error::lex(
                     line,
-                    format!("expected base character after ', found {:?}", other.map(|&b| b as char)),
+                    format!(
+                        "expected base character after ', found {:?}",
+                        other.map(|&b| b as char)
+                    ),
                 ))
             }
         };
@@ -172,9 +191,17 @@ impl<'a> Lexer<'a> {
         if self.pos == start {
             return Err(Error::lex(line, "based literal has no digits"));
         }
-        let digits: Vec<u8> = self.src[start..self.pos].iter().copied().filter(|&b| b != b'_').collect();
+        let digits: Vec<u8> = self.src[start..self.pos]
+            .iter()
+            .copied()
+            .filter(|&b| b != b'_')
+            .collect();
         let (words, xz_mask) = parse_based_digits(&digits, base, line)?;
-        Ok(TokenKind::Number(Number { width, words, xz_mask }))
+        Ok(TokenKind::Number(Number {
+            width,
+            words,
+            xz_mask,
+        }))
     }
 
     fn lex_punct(&mut self) -> Result<TokenKind> {
@@ -221,7 +248,12 @@ impl<'a> Lexer<'a> {
             (b'!', ..) => (Bang, 1),
             (b'<', ..) => (Lt, 1),
             (b'>', ..) => (Gt, 1),
-            _ => return Err(Error::lex(line, format!("unexpected character `{}`", c as char))),
+            _ => {
+                return Err(Error::lex(
+                    line,
+                    format!("unexpected character `{}`", c as char),
+                ))
+            }
         };
         self.pos += len;
         Ok(TokenKind::Punct(p))
@@ -234,7 +266,10 @@ fn parse_based_digits(digits: &[u8], base: u32, line: u32) -> Result<(Vec<u64>, 
     let is_xz = |d: u8| matches!(d, b'x' | b'X' | b'z' | b'Z' | b'?');
     if base == 10 {
         if digits.iter().any(|&d| is_xz(d)) {
-            return Err(Error::lex(line, "x/z digits are not allowed in decimal literals"));
+            return Err(Error::lex(
+                line,
+                "x/z digits are not allowed in decimal literals",
+            ));
         }
         // words = words * 10 + v, in wide arithmetic.
         let mut words: Vec<u64> = vec![0];
@@ -286,7 +321,10 @@ fn parse_based_digits(digits: &[u8], base: u32, line: u32) -> Result<(Vec<u64>, 
                 _ => return Err(Error::lex(line, format!("bad digit `{}`", d as char))),
             };
             if v >= base as u64 {
-                return Err(Error::lex(line, format!("digit `{}` out of range for base {base}", d as char)));
+                return Err(Error::lex(
+                    line,
+                    format!("digit `{}` out of range for base {base}", d as char),
+                ));
             }
             (v, 0)
         };
@@ -301,7 +339,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).lex().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .lex()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -357,9 +400,24 @@ mod tests {
         let k = kinds("a >>> b >> c >= d <= e << f");
         let puncts: Vec<_> = k
             .iter()
-            .filter_map(|t| if let TokenKind::Punct(p) = t { Some(*p) } else { None })
+            .filter_map(|t| {
+                if let TokenKind::Punct(p) = t {
+                    Some(*p)
+                } else {
+                    None
+                }
+            })
             .collect();
-        assert_eq!(puncts, vec![Punct::Sshr, Punct::Shr, Punct::GtEq, Punct::NonBlocking, Punct::Shl]);
+        assert_eq!(
+            puncts,
+            vec![
+                Punct::Sshr,
+                Punct::Shr,
+                Punct::GtEq,
+                Punct::NonBlocking,
+                Punct::Shl
+            ]
+        );
     }
 
     #[test]

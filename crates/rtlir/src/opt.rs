@@ -57,7 +57,11 @@ pub fn fold_constants(design: &mut Design) -> usize {
 fn fold_stm(stm: &mut Stm, folded: &mut usize) {
     match stm {
         Stm::Assign { rhs, .. } => fold_expr(rhs, folded),
-        Stm::If { cond, then_s, else_s } => {
+        Stm::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             fold_expr(cond, folded);
             for s in then_s.iter_mut() {
                 fold_stm(s, folded);
@@ -81,7 +85,9 @@ fn fold_expr(e: &mut EExpr, folded: &mut usize) {
     match e {
         EExpr::Const(_) | EExpr::Var(_) => return,
         EExpr::ReadMem { idx, .. } => fold_expr(idx, folded),
-        EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => fold_expr(arg, folded),
+        EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => {
+            fold_expr(arg, folded)
+        }
         EExpr::Binary { a, b, .. } => {
             fold_expr(a, folded);
             fold_expr(b, folded);
@@ -115,10 +121,18 @@ fn fold_expr(e: &mut EExpr, folded: &mut usize) {
             (Some(va), Some(vb)) => Some(EExpr::Const(const_binop(*op, va, vb).resize(*width))),
             // Identity simplifications with one constant side.
             (Some(va), None) if !va.any() && matches!(op, BinOp::Add | BinOp::Or | BinOp::Xor) => {
-                Some(EExpr::Resize { arg: b.clone(), width: *width })
+                Some(EExpr::Resize {
+                    arg: b.clone(),
+                    width: *width,
+                })
             }
-            (None, Some(vb)) if !vb.any() && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor) => {
-                Some(EExpr::Resize { arg: a.clone(), width: *width })
+            (None, Some(vb))
+                if !vb.any() && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor) =>
+            {
+                Some(EExpr::Resize {
+                    arg: a.clone(),
+                    width: *width,
+                })
             }
             (Some(va), None) if !va.any() && matches!(op, BinOp::And | BinOp::Mul) => {
                 Some(EExpr::Const(BitVec::zero(*width)))
@@ -128,16 +142,25 @@ fn fold_expr(e: &mut EExpr, folded: &mut usize) {
             }
             _ => None,
         },
-        EExpr::Mux { cond, t, e: el, width } => as_const(cond).map(|c| {
+        EExpr::Mux {
+            cond,
+            t,
+            e: el,
+            width,
+        } => as_const(cond).map(|c| {
             let chosen = if c.any() { t.clone() } else { el.clone() };
-            EExpr::Resize { arg: chosen, width: *width }
+            EExpr::Resize {
+                arg: chosen,
+                width: *width,
+            }
         }),
         EExpr::Resize { arg, width } => match &**arg {
             EExpr::Const(v) => Some(EExpr::Const(v.resize(*width))),
             // Collapse nested resizes.
-            EExpr::Resize { arg: inner, .. } => {
-                Some(EExpr::Resize { arg: inner.clone(), width: *width })
-            }
+            EExpr::Resize { arg: inner, .. } => Some(EExpr::Resize {
+                arg: inner.clone(),
+                width: *width,
+            }),
             _ => None,
         },
         EExpr::Slice { arg, lsb, width } => {
@@ -178,7 +201,9 @@ pub fn eliminate_dead(design: &mut Design) -> usize {
         // reads are already in `p.reads` from elaboration.
     }
     let before = design.processes.len();
-    design.processes.retain(|p| p.writes.iter().any(|w| live_vars.contains(w)));
+    design
+        .processes
+        .retain(|p| p.writes.iter().any(|w| live_vars.contains(w)));
     before - design.processes.len()
 }
 
@@ -200,7 +225,10 @@ mod tests {
         let folded = fold_constants(&mut d);
         assert!(folded >= 1);
         match &d.processes[0].body[0] {
-            Stm::Assign { rhs: EExpr::Binary { b, .. }, .. } => {
+            Stm::Assign {
+                rhs: EExpr::Binary { b, .. },
+                ..
+            } => {
                 assert!(matches!(&**b, EExpr::Const(v) if v.to_u64() == 6));
             }
             other => panic!("unexpected {other:?}"),
@@ -219,7 +247,10 @@ mod tests {
         fold_constants(&mut d);
         match &d.processes[0].body[0] {
             Stm::Assign { rhs, .. } => {
-                assert!(!matches!(rhs, EExpr::Mux { .. }), "mux should be pruned: {rhs:?}");
+                assert!(
+                    !matches!(rhs, EExpr::Mux { .. }),
+                    "mux should be pruned: {rhs:?}"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -294,9 +325,16 @@ mod tests {
         assert_eq!(removed, 0);
         // Targets survive folding untouched.
         fold_constants(&mut d);
-        let seq = d.processes.iter().find(|p| p.kind == crate::ProcessKind::Seq).unwrap();
+        let seq = d
+            .processes
+            .iter()
+            .find(|p| p.kind == crate::ProcessKind::Seq)
+            .unwrap();
         match &seq.body[0] {
-            Stm::Assign { target: Target::Slice { width, .. }, .. } => assert_eq!(*width, 2),
+            Stm::Assign {
+                target: Target::Slice { width, .. },
+                ..
+            } => assert_eq!(*width, 2),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -17,7 +17,11 @@ pub struct Parser {
 
 impl Parser {
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, depth: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     /// Parse an entire source file (a sequence of modules).
@@ -74,7 +78,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(Error::parse(self.line(), format!("expected `{p}`, found {}", self.peek().describe())))
+            Err(Error::parse(
+                self.line(),
+                format!("expected `{p}`, found {}", self.peek().describe()),
+            ))
         }
     }
 
@@ -84,7 +91,11 @@ impl Parser {
         } else {
             Err(Error::parse(
                 self.line(),
-                format!("expected keyword `{}`, found {}", k.as_str(), self.peek().describe()),
+                format!(
+                    "expected keyword `{}`, found {}",
+                    k.as_str(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -95,7 +106,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(Error::parse(self.line(), format!("expected identifier, found {}", other.describe()))),
+            other => Err(Error::parse(
+                self.line(),
+                format!("expected identifier, found {}", other.describe()),
+            )),
         }
     }
 
@@ -104,7 +118,14 @@ impl Parser {
     fn parse_module(&mut self) -> Result<Module> {
         let line = self.line();
         let name = self.expect_ident()?;
-        let mut module = Module { name, ports: Vec::new(), params: Vec::new(), decls: Vec::new(), items: Vec::new(), line };
+        let mut module = Module {
+            name,
+            ports: Vec::new(),
+            params: Vec::new(),
+            decls: Vec::new(),
+            items: Vec::new(),
+            line,
+        };
 
         // Optional `#(parameter ...)` header.
         if self.eat_punct(Punct::Hash) {
@@ -114,7 +135,11 @@ impl Parser {
                 let pname = self.expect_ident()?;
                 self.expect_punct(Punct::Assign)?;
                 let value = self.parse_expr()?;
-                module.params.push(ParamDecl { name: pname, value, local: false });
+                module.params.push(ParamDecl {
+                    name: pname,
+                    value,
+                    local: false,
+                });
                 if !self.eat_punct(Punct::Comma) {
                     break;
                 }
@@ -123,23 +148,27 @@ impl Parser {
         }
 
         // Port list: ANSI (`input [3:0] a, ...`) or non-ANSI (`a, b, ...`).
-        if self.eat_punct(Punct::LParen) {
-            if !self.eat_punct(Punct::RParen) {
-                if matches!(self.peek(), TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)) {
-                    self.parse_ansi_ports(&mut module)?;
-                } else {
-                    loop {
-                        let pname = self.expect_ident()?;
-                        // Direction is filled in by the body declaration.
-                        module.ports.push(Port { name: pname, dir: Dir::Input });
-                        if !self.eat_punct(Punct::Comma) {
-                            break;
-                        }
+        if self.eat_punct(Punct::LParen) && !self.eat_punct(Punct::RParen) {
+            if matches!(
+                self.peek(),
+                TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)
+            ) {
+                self.parse_ansi_ports(&mut module)?;
+            } else {
+                loop {
+                    let pname = self.expect_ident()?;
+                    // Direction is filled in by the body declaration.
+                    module.ports.push(Port {
+                        name: pname,
+                        dir: Dir::Input,
+                    });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
                     }
-                    self.mark_nonansi_ports(&mut module);
                 }
-                self.expect_punct(Punct::RParen)?;
+                self.mark_nonansi_ports(&mut module);
             }
+            self.expect_punct(Punct::RParen)?;
         }
         self.expect_punct(Punct::Semi)?;
 
@@ -171,22 +200,42 @@ impl Parser {
                     return Err(Error::parse(line, "inout ports are not supported"))
                 }
                 other => {
-                    return Err(Error::parse(line, format!("expected port direction, found {}", other.describe())))
+                    return Err(Error::parse(
+                        line,
+                        format!("expected port direction, found {}", other.describe()),
+                    ))
                 }
             };
-            let kind = if self.eat_kw(Keyword::Reg) { NetKind::Reg } else { NetKind::Wire };
+            let kind = if self.eat_kw(Keyword::Reg) {
+                NetKind::Reg
+            } else {
+                NetKind::Wire
+            };
             self.eat_kw(Keyword::Wire);
             self.eat_kw(Keyword::Signed);
             let range = self.parse_opt_range()?;
             loop {
                 let name = self.expect_ident()?;
-                module.ports.push(Port { name: name.clone(), dir });
-                module.decls.push(VarDecl { name, kind, range: range.clone(), array: None, dir: Some(dir), line });
+                module.ports.push(Port {
+                    name: name.clone(),
+                    dir,
+                });
+                module.decls.push(VarDecl {
+                    name,
+                    kind,
+                    range: range.clone(),
+                    array: None,
+                    dir: Some(dir),
+                    line,
+                });
                 if !self.eat_punct(Punct::Comma) {
                     return Ok(());
                 }
                 // A following direction keyword starts a new port group.
-                if matches!(self.peek(), TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)) {
+                if matches!(
+                    self.peek(),
+                    TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)
+                ) {
                     break;
                 }
             }
@@ -217,13 +266,24 @@ impl Parser {
                     self.bump();
                     Dir::Output
                 };
-                let kind = if self.eat_kw(Keyword::Reg) { NetKind::Reg } else { NetKind::Wire };
+                let kind = if self.eat_kw(Keyword::Reg) {
+                    NetKind::Reg
+                } else {
+                    NetKind::Wire
+                };
                 self.eat_kw(Keyword::Wire);
                 self.eat_kw(Keyword::Signed);
                 let range = self.parse_opt_range()?;
                 loop {
                     let name = self.expect_ident()?;
-                    module.decls.push(VarDecl { name, kind, range: range.clone(), array: None, dir: Some(dir), line });
+                    module.decls.push(VarDecl {
+                        name,
+                        kind,
+                        range: range.clone(),
+                        array: None,
+                        dir: Some(dir),
+                        line,
+                    });
                     if !self.eat_punct(Punct::Comma) {
                         break;
                     }
@@ -245,9 +305,20 @@ impl Parser {
                     // `wire x = expr;` shorthand for wire + assign.
                     if kind == NetKind::Wire && self.eat_punct(Punct::Assign) {
                         let rhs = self.parse_expr()?;
-                        module.items.push(Item::Assign { lhs: LValue::Var(name.clone()), rhs, line });
+                        module.items.push(Item::Assign {
+                            lhs: LValue::Var(name.clone()),
+                            rhs,
+                            line,
+                        });
                     }
-                    module.decls.push(VarDecl { name, kind, range: range.clone(), array, dir: None, line });
+                    module.decls.push(VarDecl {
+                        name,
+                        kind,
+                        range: range.clone(),
+                        array,
+                        dir: None,
+                        line,
+                    });
                     if !self.eat_punct(Punct::Comma) {
                         break;
                     }
@@ -332,7 +403,15 @@ impl Parser {
                         "declarations inside generate-for blocks are not supported; declare arrays of wires outside",
                     ));
                 }
-                module.items.push(Item::GenFor { var, init, cond, step, label, items: inner.items, line });
+                module.items.push(Item::GenFor {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    label,
+                    items: inner.items,
+                    line,
+                });
             }
             TokenKind::Keyword(Keyword::Assign) => {
                 self.bump();
@@ -393,10 +472,19 @@ impl Parser {
                     self.expect_punct(Punct::RParen)?;
                 }
                 self.expect_punct(Punct::Semi)?;
-                module.items.push(Item::Instance { module: modname, name: inst_name, params, conns, line });
+                module.items.push(Item::Instance {
+                    module: modname,
+                    name: inst_name,
+                    params,
+                    conns,
+                    line,
+                });
             }
             other => {
-                return Err(Error::parse(line, format!("unexpected {} in module body", other.describe())));
+                return Err(Error::parse(
+                    line,
+                    format!("unexpected {} in module body", other.describe()),
+                ));
             }
         }
         Ok(())
@@ -415,7 +503,10 @@ impl Parser {
         self.expect_punct(Punct::Semi)?;
         let var2 = self.expect_ident()?;
         if var2 != var {
-            return Err(Error::parse(line, format!("for-loop step must update `{var}`, found `{var2}`")));
+            return Err(Error::parse(
+                line,
+                format!("for-loop step must update `{var}`, found `{var2}`"),
+            ));
         }
         self.expect_punct(Punct::Assign)?;
         let step = self.parse_expr()?;
@@ -435,7 +526,10 @@ impl Parser {
         if self.eat_kw(Keyword::Posedge) {
             let clk = self.expect_ident()?;
             if self.eat_kw(Keyword::Or) || self.eat_punct(Punct::Comma) {
-                return Err(Error::parse(line, "multiple edges in sensitivity list are not supported"));
+                return Err(Error::parse(
+                    line,
+                    "multiple edges in sensitivity list are not supported",
+                ));
             }
             self.expect_punct(Punct::RParen)?;
             return Ok(Sensitivity::Posedge(clk));
@@ -477,14 +571,30 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect_punct(Punct::RParen)?;
                 let then_s = Box::new(self.parse_stmt()?);
-                let else_s = if self.eat_kw(Keyword::Else) { Some(Box::new(self.parse_stmt()?)) } else { None };
-                Ok(Stmt::If { cond, then_s, else_s, line })
+                let else_s = if self.eat_kw(Keyword::Else) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                    line,
+                })
             }
             TokenKind::Keyword(Keyword::For) => {
                 self.bump();
                 let (var, init, cond, step) = self.parse_for_header()?;
                 let body = Box::new(self.parse_stmt()?);
-                Ok(Stmt::For { var, init, cond, step, body, line })
+                Ok(Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                    line,
+                })
             }
             TokenKind::Keyword(Keyword::Case) | TokenKind::Keyword(Keyword::Casez) => {
                 let wildcard = matches!(self.peek(), TokenKind::Keyword(Keyword::Casez));
@@ -508,7 +618,13 @@ impl Parser {
                     let body = self.parse_stmt()?;
                     arms.push(CaseArm { labels, body });
                 }
-                Ok(Stmt::Case { subject, arms, default, wildcard, line })
+                Ok(Stmt::Case {
+                    subject,
+                    arms,
+                    default,
+                    wildcard,
+                    line,
+                })
             }
             _ => {
                 let lhs = self.parse_lvalue()?;
@@ -524,7 +640,12 @@ impl Parser {
                 };
                 let rhs = self.parse_expr()?;
                 self.expect_punct(Punct::Semi)?;
-                Ok(Stmt::Assign { lhs, rhs, blocking, line })
+                Ok(Stmt::Assign {
+                    lhs,
+                    rhs,
+                    blocking,
+                    line,
+                })
             }
         }
     }
@@ -544,7 +665,11 @@ impl Parser {
             if self.eat_punct(Punct::Colon) {
                 let lsb = self.parse_expr()?;
                 self.expect_punct(Punct::RBracket)?;
-                return Ok(LValue::PartSel { name, msb: first, lsb });
+                return Ok(LValue::PartSel {
+                    name,
+                    msb: first,
+                    lsb,
+                });
             }
             self.expect_punct(Punct::RBracket)?;
             return Ok(LValue::Index { name, idx: first });
@@ -575,7 +700,11 @@ impl Parser {
             let then_e = self.parse_expr()?;
             self.expect_punct(Punct::Colon)?;
             let else_e = self.parse_expr()?;
-            return Ok(Expr::Ternary { cond: Box::new(cond), then_e: Box::new(then_e), else_e: Box::new(else_e) });
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+            });
         }
         Ok(cond)
     }
@@ -583,14 +712,17 @@ impl Parser {
     /// Precedence-climbing binary expression parser.
     fn parse_binary(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else { break };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
             self.bump();
             let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -647,7 +779,10 @@ impl Parser {
             self.bump();
             let arg = self.parse_unary();
             self.depth -= 1;
-            return Ok(Expr::Unary { op, arg: Box::new(arg?) });
+            return Ok(Expr::Unary {
+                op,
+                arg: Box::new(arg?),
+            });
         }
         self.parse_primary()
     }
@@ -666,10 +801,17 @@ impl Parser {
                     if self.eat_punct(Punct::Colon) {
                         let lsb = self.parse_expr()?;
                         self.expect_punct(Punct::RBracket)?;
-                        return Ok(Expr::PartSel { base: name, msb: Box::new(first), lsb: Box::new(lsb) });
+                        return Ok(Expr::PartSel {
+                            base: name,
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                        });
                     }
                     self.expect_punct(Punct::RBracket)?;
-                    return Ok(Expr::Index { base: name, idx: Box::new(first) });
+                    return Ok(Expr::Index {
+                        base: name,
+                        idx: Box::new(first),
+                    });
                 }
                 Ok(Expr::Ident(name))
             }
@@ -688,7 +830,10 @@ impl Parser {
                     let arg = self.parse_expr()?;
                     self.expect_punct(Punct::RBrace)?;
                     self.expect_punct(Punct::RBrace)?;
-                    return Ok(Expr::Repeat { count: Box::new(first), arg: Box::new(arg) });
+                    return Ok(Expr::Repeat {
+                        count: Box::new(first),
+                        arg: Box::new(arg),
+                    });
                 }
                 let mut parts = vec![first];
                 while self.eat_punct(Punct::Comma) {
@@ -697,7 +842,10 @@ impl Parser {
                 self.expect_punct(Punct::RBrace)?;
                 Ok(Expr::Concat(parts))
             }
-            other => Err(Error::parse(line, format!("expected expression, found {}", other.describe()))),
+            other => Err(Error::parse(
+                line,
+                format!("expected expression, found {}", other.describe()),
+            )),
         }
     }
 }
@@ -708,7 +856,9 @@ mod tests {
     use crate::lexer::Lexer;
 
     fn parse(src: &str) -> SourceUnit {
-        Parser::new(Lexer::new(src).lex().unwrap()).parse_source_unit().unwrap()
+        Parser::new(Lexer::new(src).lex().unwrap())
+            .parse_source_unit()
+            .unwrap()
     }
 
     #[test]
@@ -739,7 +889,11 @@ mod tests {
              always @(posedge clk) begin if (rst) q <= 4'd0; else q <= q + 4'd1; end\nendmodule",
         );
         match &u.modules[0].items[0] {
-            Item::Always { sens: Sensitivity::Posedge(clk), body: Stmt::Block(stmts), .. } => {
+            Item::Always {
+                sens: Sensitivity::Posedge(clk),
+                body: Stmt::Block(stmts),
+                ..
+            } => {
                 assert_eq!(clk, "clk");
                 assert_eq!(stmts.len(), 1);
             }
@@ -753,7 +907,10 @@ mod tests {
             "module m(input [1:0] s, output reg [3:0] y);\n always @(*) begin\n case (s)\n 2'd0: y = 4'd1;\n 2'd1, 2'd2: y = 4'd2;\n default: y = 4'd0;\n endcase end\nendmodule",
         );
         match &u.modules[0].items[0] {
-            Item::Always { body: Stmt::Block(stmts), .. } => match &stmts[0] {
+            Item::Always {
+                body: Stmt::Block(stmts),
+                ..
+            } => match &stmts[0] {
                 Stmt::Case { arms, default, .. } => {
                     assert_eq!(arms.len(), 2);
                     assert_eq!(arms[1].labels.len(), 2);
@@ -771,7 +928,13 @@ mod tests {
             "module top(input clk); sub #(.W(8), .D(2)) u0 (.clk(clk), .q()); endmodule\nmodule sub(input clk, output q); assign q = clk; endmodule",
         );
         match &u.modules[0].items[0] {
-            Item::Instance { module, name, params, conns, .. } => {
+            Item::Instance {
+                module,
+                name,
+                params,
+                conns,
+                ..
+            } => {
                 assert_eq!(module, "sub");
                 assert_eq!(name, "u0");
                 assert_eq!(params.len(), 2);
@@ -786,7 +949,15 @@ mod tests {
     fn expr_precedence() {
         let u = parse("module m(input [7:0] a, output [7:0] y); assign y = a + a * a; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+            Item::Assign {
+                rhs:
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -797,7 +968,10 @@ mod tests {
     fn le_in_expression_position() {
         let u = parse("module m(input [7:0] a, output y); assign y = a <= 8'd3; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Binary { op, .. }, .. } => assert_eq!(*op, BinOp::Le),
+            Item::Assign {
+                rhs: Expr::Binary { op, .. },
+                ..
+            } => assert_eq!(*op, BinOp::Le),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -817,9 +991,14 @@ mod tests {
 
     #[test]
     fn parse_concat_and_replication() {
-        let u = parse("module m(input [3:0] a, output [15:0] y); assign y = {a, {2{a}}, 4'hf}; endmodule");
+        let u = parse(
+            "module m(input [3:0] a, output [15:0] y); assign y = {a, {2{a}}, 4'hf}; endmodule",
+        );
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Concat(parts), .. } => {
+            Item::Assign {
+                rhs: Expr::Concat(parts),
+                ..
+            } => {
                 assert_eq!(parts.len(), 3);
                 assert!(matches!(parts[1], Expr::Repeat { .. }));
             }
@@ -831,7 +1010,10 @@ mod tests {
     fn parse_ternary_nested() {
         let u = parse("module m(input [1:0] s, output [3:0] y); assign y = s == 2'd0 ? 4'd1 : s == 2'd1 ? 4'd2 : 4'd3; endmodule");
         match &u.modules[0].items[0] {
-            Item::Assign { rhs: Expr::Ternary { else_e, .. }, .. } => {
+            Item::Assign {
+                rhs: Expr::Ternary { else_e, .. },
+                ..
+            } => {
                 assert!(matches!(**else_e, Expr::Ternary { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -840,7 +1022,9 @@ mod tests {
 
     #[test]
     fn error_on_negedge() {
-        let toks = Lexer::new("module m(input clk); always @(negedge clk) ; endmodule").lex().unwrap();
+        let toks = Lexer::new("module m(input clk); always @(negedge clk) ; endmodule")
+            .lex()
+            .unwrap();
         assert!(Parser::new(toks).parse_source_unit().is_err());
     }
 

@@ -71,7 +71,15 @@ fn print_module(out: &mut String, m: &Module) {
                 writeln!(out, "  always {s}").unwrap();
                 print_stmt(out, body, 2);
             }
-            Item::GenFor { var, init, cond, step, label, items, .. } => {
+            Item::GenFor {
+                var,
+                init,
+                cond,
+                step,
+                label,
+                items,
+                ..
+            } => {
                 writeln!(
                     out,
                     "  generate for ({var} = {}; {}; {var} = {}) begin{}",
@@ -97,7 +105,10 @@ fn print_module(out: &mut String, m: &Module) {
                     let mut buf = String::new();
                     print_module(&mut buf, &tmp);
                     for l in buf.lines() {
-                        if !l.starts_with("module") && !l.starts_with("endmodule") && !l.trim().is_empty() {
+                        if !l.starts_with("module")
+                            && !l.starts_with("endmodule")
+                            && !l.trim().is_empty()
+                        {
                             inner.push_str("  ");
                             inner.push_str(l);
                             inner.push('\n');
@@ -107,12 +118,20 @@ fn print_module(out: &mut String, m: &Module) {
                 out.push_str(&inner);
                 writeln!(out, "  end endgenerate").unwrap();
             }
-            Item::Instance { module, name, params, conns, .. } => {
+            Item::Instance {
+                module,
+                name,
+                params,
+                conns,
+                ..
+            } => {
                 let p = if params.is_empty() {
                     String::new()
                 } else {
-                    let ps: Vec<String> =
-                        params.iter().map(|(n, e)| format!(".{n}({})", expr(e))).collect();
+                    let ps: Vec<String> = params
+                        .iter()
+                        .map(|(n, e)| format!(".{n}({})", expr(e)))
+                        .collect();
                     format!(" #({})", ps.join(", "))
                 };
                 let cs: Vec<String> = conns
@@ -139,15 +158,36 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
             }
             writeln!(out, "{pad}end").unwrap();
         }
-        Stmt::Assign { lhs, rhs, blocking, .. } => {
+        Stmt::Assign {
+            lhs, rhs, blocking, ..
+        } => {
             let op = if *blocking { "=" } else { "<=" };
             writeln!(out, "{pad}{} {op} {};", lvalue(lhs), expr(rhs)).unwrap();
         }
-        Stmt::For { var, init, cond, step, body, .. } => {
-            writeln!(out, "{pad}for ({var} = {}; {}; {var} = {})", expr(init), expr(cond), expr(step)).unwrap();
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            writeln!(
+                out,
+                "{pad}for ({var} = {}; {}; {var} = {})",
+                expr(init),
+                expr(cond),
+                expr(step)
+            )
+            .unwrap();
             print_stmt(out, body, indent + 1);
         }
-        Stmt::If { cond, then_s, else_s, .. } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            ..
+        } => {
             writeln!(out, "{pad}if ({})", expr(cond)).unwrap();
             print_stmt(out, then_s, indent + 1);
             if let Some(e) = else_s {
@@ -155,7 +195,13 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
                 print_stmt(out, e, indent + 1);
             }
         }
-        Stmt::Case { subject, arms, default, wildcard, .. } => {
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+            wildcard,
+            ..
+        } => {
             let kw = if *wildcard { "casez" } else { "case" };
             writeln!(out, "{pad}{kw} ({})", expr(subject)).unwrap();
             for arm in arms {
@@ -175,7 +221,9 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
 fn lvalue(lv: &LValue) -> String {
     match lv {
         LValue::Var(n) => n.clone(),
-        LValue::Index { name, idx } | LValue::BitSel { name, idx } => format!("{name}[{}]", expr(idx)),
+        LValue::Index { name, idx } | LValue::BitSel { name, idx } => {
+            format!("{name}[{}]", expr(idx))
+        }
         LValue::PartSel { name, msb, lsb } => format!("{name}[{}:{}]", expr(msb), expr(lsb)),
         LValue::Concat(parts) => {
             let ps: Vec<String> = parts.iter().map(lvalue).collect();
@@ -263,8 +311,17 @@ pub fn expr(e: &Expr) -> String {
             };
             format!("(({}) {o} ({}))", expr(lhs), expr(rhs))
         }
-        Expr::Ternary { cond, then_e, else_e } => {
-            format!("(({}) ? ({}) : ({}))", expr(cond), expr(then_e), expr(else_e))
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            format!(
+                "(({}) ? ({}) : ({}))",
+                expr(cond),
+                expr(then_e),
+                expr(else_e)
+            )
         }
         Expr::Concat(parts) => {
             let ps: Vec<String> = parts.iter().map(expr).collect();
@@ -277,21 +334,28 @@ pub fn expr(e: &Expr) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{elaborate, parse};
     use crate::interp::run_cycles;
     use crate::value::BitVec;
+    use crate::{elaborate, parse};
 
     /// Parse, print, reparse — the printed text must elaborate to a design
     /// with identical behaviour.
     fn roundtrip_behaviour(src: &str, top: &str, input: &str, cycles: u64) {
         let d1 = elaborate(src, top).unwrap();
         let printed = print_source_unit(&parse(src).unwrap());
-        let d2 = elaborate(&printed, top).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let d2 =
+            elaborate(&printed, top).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         let i1 = d1.find_var(input).unwrap();
         let i2 = d2.find_var(input).unwrap();
         let w1 = d1.vars[i1].width;
-        let r1 = run_cycles(&d1, cycles, |c| vec![(i1, BitVec::from_u64(c.wrapping_mul(0x9e37) & 0xffff, w1))]).unwrap();
-        let r2 = run_cycles(&d2, cycles, |c| vec![(i2, BitVec::from_u64(c.wrapping_mul(0x9e37) & 0xffff, w1))]).unwrap();
+        let r1 = run_cycles(&d1, cycles, |c| {
+            vec![(i1, BitVec::from_u64(c.wrapping_mul(0x9e37) & 0xffff, w1))]
+        })
+        .unwrap();
+        let r2 = run_cycles(&d2, cycles, |c| {
+            vec![(i2, BitVec::from_u64(c.wrapping_mul(0x9e37) & 0xffff, w1))]
+        })
+        .unwrap();
         assert_eq!(r1, r2, "behaviour diverged after print/reparse:\n{printed}");
     }
 
@@ -364,21 +428,26 @@ mod tests {
     #[test]
     fn printed_benchmarks_reparse() {
         // The big one: every benchmark design survives print+reparse.
-        for (src, top) in [
-            ("module t(input [3:0] a, output [3:0] y); assign y = {2{a[1:0]}}; endmodule", "t"),
-        ] {
-            let printed = print_source_unit(&parse(src).unwrap());
-            elaborate(&printed, top).unwrap_or_else(|e| panic!("{e}\n{printed}"));
-        }
+        let src = "module t(input [3:0] a, output [3:0] y); assign y = {2{a[1:0]}}; endmodule";
+        let printed = print_source_unit(&parse(src).unwrap());
+        elaborate(&printed, "t").unwrap_or_else(|e| panic!("{e}\n{printed}"));
     }
 
     #[test]
     fn numbers_render_with_width() {
-        let n = Number { width: Some(12), words: vec![0xabc], xz_mask: vec![0] };
+        let n = Number {
+            width: Some(12),
+            words: vec![0xabc],
+            xz_mask: vec![0],
+        };
         assert_eq!(number(&n), "12'habc");
         assert_eq!(number(&Number::small(42)), "42");
         // Wildcard literals render as binary with `?` markers.
-        let wc = Number { width: Some(4), words: vec![0b1000], xz_mask: vec![0b0011] };
+        let wc = Number {
+            width: Some(4),
+            words: vec![0b1000],
+            xz_mask: vec![0b0011],
+        };
         assert_eq!(number(&wc), "4'b10??");
     }
 }

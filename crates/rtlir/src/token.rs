@@ -78,6 +78,7 @@ impl Keyword {
     }
 
     /// Reverse lookup used by the lexer.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "module" => Keyword::Module,
@@ -129,8 +130,8 @@ pub enum Punct {
     At,
     Hash,
     Question,
-    Assign,       // =
-    NonBlocking,  // <=  (shared with LessEq; parser disambiguates by context)
+    Assign,      // =
+    NonBlocking, // <=  (shared with LessEq; parser disambiguates by context)
     Plus,
     Minus,
     Star,
@@ -148,9 +149,9 @@ pub enum Punct {
     Lt,
     Gt,
     GtEq,
-    Shl,   // <<
-    Shr,   // >>
-    Sshr,  // >>>
+    Shl,        // <<
+    Shr,        // >>
+    Sshr,       // >>>
     TildeCaret, // ~^ / ^~ xnor
 }
 
@@ -216,7 +217,11 @@ pub struct Number {
 
 impl Number {
     pub fn small(value: u64) -> Self {
-        Number { width: None, words: vec![value], xz_mask: vec![0] }
+        Number {
+            width: None,
+            words: vec![value],
+            xz_mask: vec![0],
+        }
     }
 
     /// `true` if any bit is an x/z wildcard.

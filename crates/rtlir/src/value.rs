@@ -20,14 +20,17 @@ pub struct BitVec {
 /// Number of 64-bit words needed for `width` bits.
 #[inline]
 pub fn words_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 impl BitVec {
     /// All-zero value of the given width.
     pub fn zero(width: u32) -> Self {
         assert!(width >= 1, "zero-width BitVec");
-        BitVec { width, words: vec![0; words_for(width)] }
+        BitVec {
+            width,
+            words: vec![0; words_for(width)],
+        }
     }
 
     /// Construct from a `u64`, truncating to `width`.
@@ -139,9 +142,7 @@ impl BitVec {
             }
             let mut carry = 0u128;
             for j in 0..(n - i) {
-                let cur = acc[i + j] as u128
-                    + (a.words[i] as u128) * (b.words[j] as u128)
-                    + carry;
+                let cur = acc[i + j] as u128 + (a.words[i] as u128) * (b.words[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -182,7 +183,10 @@ impl BitVec {
         if self.words.len() == 1 {
             let q = self.words[0] / rhs.words[0];
             let r = self.words[0] % rhs.words[0];
-            return (BitVec::from_u64(q, self.width), BitVec::from_u64(r, self.width));
+            return (
+                BitVec::from_u64(q, self.width),
+                BitVec::from_u64(r, self.width),
+            );
         }
         // Bit-serial restoring division (widths here are small multiples of 64).
         let mut q = BitVec::zero(self.width);
@@ -364,7 +368,8 @@ impl BitVec {
     pub fn part_select(&self, msb: u32, lsb: u32) -> BitVec {
         assert!(msb >= lsb, "part select with msb < lsb");
         let width = msb - lsb + 1;
-        self.shr_bits(lsb.min(self.width.saturating_sub(1))).resize(width)
+        self.shr_bits(lsb.min(self.width.saturating_sub(1)))
+            .resize(width)
     }
 
     /// Concatenate `{self, low}` — `self` occupies the high bits.
@@ -459,7 +464,10 @@ mod tests {
         let (q, r) = a.divmod(&b);
         let av = ((0x0fed_cba9u128) << 64) | 0x1234_5678_9abc_def0u128;
         let bv = 0x1_0001u128;
-        assert_eq!(q.words()[0] as u128 | ((q.words()[1] as u128) << 64), av / bv);
+        assert_eq!(
+            q.words()[0] as u128 | ((q.words()[1] as u128) << 64),
+            av / bv
+        );
         assert_eq!(r.to_u64() as u128, av % bv);
     }
 
@@ -521,7 +529,10 @@ mod tests {
     #[test]
     fn display_hex() {
         assert_eq!(BitVec::from_u64(42, 8).to_string(), "8'h2a");
-        assert_eq!(BitVec::from_words(&[1, 0xff], 128).to_string(), "128'hff0000000000000001");
+        assert_eq!(
+            BitVec::from_words(&[1, 0xff], 128).to_string(),
+            "128'hff0000000000000001"
+        );
     }
 
     #[test]
@@ -529,6 +540,9 @@ mod tests {
         let a = BitVec::from_u64(5, 4);
         let b = BitVec::from_u64(5, 64);
         assert!(a.eq_val(&b));
-        assert_eq!(BitVec::from_u64(4, 4).cmp_unsigned(&b), std::cmp::Ordering::Less);
+        assert_eq!(
+            BitVec::from_u64(4, 4).cmp_unsigned(&b),
+            std::cmp::Ordering::Less
+        );
     }
 }

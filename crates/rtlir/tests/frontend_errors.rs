@@ -4,11 +4,15 @@
 use rtlir::{elaborate, parse};
 
 fn parse_err(src: &str) -> String {
-    parse(src).expect_err(&format!("parse should fail:\n{src}")).to_string()
+    parse(src)
+        .expect_err(&format!("parse should fail:\n{src}"))
+        .to_string()
 }
 
 fn elab_err(src: &str, top: &str) -> String {
-    elaborate(src, top).expect_err(&format!("elaboration should fail:\n{src}")).to_string()
+    elaborate(src, top)
+        .expect_err(&format!("elaboration should fail:\n{src}"))
+        .to_string()
 }
 
 // ---------------------------------------------------------------- lexer
@@ -80,13 +84,19 @@ fn line_numbers_in_diagnostics() {
 
 #[test]
 fn unknown_top_module() {
-    let e = elab_err("module m(input a, output y); assign y = a; endmodule", "nope");
+    let e = elab_err(
+        "module m(input a, output y); assign y = a; endmodule",
+        "nope",
+    );
     assert!(e.contains("`nope`"), "{e}");
 }
 
 #[test]
 fn unknown_identifier_in_expr() {
-    let e = elab_err("module top(input a, output y); assign y = ghost; endmodule", "top");
+    let e = elab_err(
+        "module top(input a, output y); assign y = ghost; endmodule",
+        "top",
+    );
     assert!(e.contains("ghost"), "{e}");
 }
 
@@ -121,19 +131,28 @@ fn assign_to_parameter() {
 
 #[test]
 fn duplicate_declaration() {
-    let e = elab_err("module top(input a, output y); wire t; wire t; assign y = a; endmodule", "top");
+    let e = elab_err(
+        "module top(input a, output y); wire t; wire t; assign y = a; endmodule",
+        "top",
+    );
     assert!(e.contains("duplicate"), "{e}");
 }
 
 #[test]
 fn nonconstant_range() {
-    let e = elab_err("module top(input [7:0] a, output y); wire [a:0] t; assign y = a[0]; endmodule", "top");
+    let e = elab_err(
+        "module top(input [7:0] a, output y); wire [a:0] t; assign y = a[0]; endmodule",
+        "top",
+    );
     assert!(e.contains("constant"), "{e}");
 }
 
 #[test]
 fn nonzero_lsb_rejected() {
-    let e = elab_err("module top(input [7:4] a, output y); assign y = a[4]; endmodule", "top");
+    let e = elab_err(
+        "module top(input [7:4] a, output y); assign y = a[4]; endmodule",
+        "top",
+    );
     assert!(e.contains("[msb:0]"), "{e}");
 }
 
@@ -148,7 +167,10 @@ fn nonblocking_in_comb_rejected() {
 
 #[test]
 fn part_select_msb_below_lsb() {
-    let e = elab_err("module top(input [7:0] a, output [3:0] y); assign y = a[2:5]; endmodule", "top");
+    let e = elab_err(
+        "module top(input [7:0] a, output [3:0] y); assign y = a[2:5]; endmodule",
+        "top",
+    );
     assert!(e.contains("msb < lsb") || e.contains("part select"), "{e}");
 }
 

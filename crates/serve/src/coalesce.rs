@@ -1,0 +1,219 @@
+//! The coalescer: packs compatible queued jobs into large SIMT batches.
+//!
+//! Jobs bin by [`CompatKey`] (same DUT structure, same cycle horizon).
+//! A bin flushes when (a) packing one more job would overflow the
+//! max-batch knob, (b) it reaches the knob exactly, or (c) its deadline
+//! — the earliest `accepted_at + class window` over its jobs — expires.
+//!
+//! **Correctness invariant** (tested in `tests/serve_coalescing.rs`):
+//! coalescing only concatenates sources via `StackedSource`; each job
+//! keeps its own stimulus indices and seed, so per-job results are
+//! bit-identical to a standalone run. Coalescing affects *when* work
+//! runs and how large the launch is — never what it computes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::job::{CompatKey, Job};
+
+/// A flushed, ready-to-run batch of compatible jobs.
+pub(crate) struct Batch {
+    pub key: CompatKey,
+    pub jobs: Vec<Job>,
+    pub total_stimulus: usize,
+}
+
+struct Bin {
+    jobs: Vec<Job>,
+    total: usize,
+    deadline: Instant,
+}
+
+pub(crate) struct Coalescer {
+    max_batch: usize,
+    base_window: std::time::Duration,
+    bins: HashMap<CompatKey, Bin>,
+}
+
+impl Coalescer {
+    pub fn new(max_batch: usize, base_window: std::time::Duration) -> Self {
+        Coalescer {
+            max_batch: max_batch.max(1),
+            base_window,
+            bins: HashMap::new(),
+        }
+    }
+
+    /// Accept one job; returns a batch if the job's bin had to flush.
+    pub fn add(&mut self, job: Job, now: Instant) -> Option<Batch> {
+        let key = job.key;
+        let n = job.num_stimulus();
+        let deadline = now + job.class.window(self.base_window);
+
+        let mut flushed = None;
+        if let Some(bin) = self.bins.get_mut(&key) {
+            if bin.total + n > self.max_batch {
+                // The newcomer would overflow: ship the bin as-is first.
+                flushed = self.take(key);
+            }
+        }
+        let bin = self.bins.entry(key).or_insert_with(|| Bin {
+            jobs: Vec::new(),
+            total: 0,
+            deadline,
+        });
+        bin.total += n;
+        bin.deadline = bin.deadline.min(deadline);
+        bin.jobs.push(job);
+        if bin.total >= self.max_batch {
+            // Full (or a single over-sized job): dispatch immediately.
+            debug_assert!(flushed.is_none(), "a bin cannot flush twice per add");
+            flushed = self.take(key);
+        }
+        flushed
+    }
+
+    /// Flush every bin whose deadline has expired.
+    pub fn poll(&mut self, now: Instant) -> Vec<Batch> {
+        let due: Vec<CompatKey> = self
+            .bins
+            .iter()
+            .filter(|(_, b)| b.deadline <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        due.into_iter().filter_map(|k| self.take(k)).collect()
+    }
+
+    /// Earliest pending deadline — how long the scheduler may sleep.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.bins.values().map(|b| b.deadline).min()
+    }
+
+    /// Flush everything (shutdown path).
+    pub fn flush_all(&mut self) -> Vec<Batch> {
+        let keys: Vec<CompatKey> = self.bins.keys().copied().collect();
+        keys.into_iter().filter_map(|k| self.take(k)).collect()
+    }
+
+    fn take(&mut self, key: CompatKey) -> Option<Batch> {
+        let bin = self.bins.remove(&key)?;
+        Some(Batch {
+            key,
+            jobs: bin.jobs,
+            total_stimulus: bin.total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{design_hash, DeadlineClass, JobHandle, JobId};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use stimulus::{PortMap, RandomSource};
+
+    fn tiny_design() -> Arc<rtlir::Design> {
+        let v = "module top(input clk, input rst, input [3:0] a, output [3:0] q);
+                 reg [3:0] r; always @(posedge clk) r <= rst ? 4'd0 : a;
+                 assign q = r; endmodule";
+        Arc::new(rtlir::elaborate(v, "top").unwrap())
+    }
+
+    fn job(design: &Arc<rtlir::Design>, n: usize, cycles: u64, class: DeadlineClass) -> Job {
+        let map = PortMap::from_design(design);
+        let id = JobId::fresh();
+        let (_h, events) = JobHandle::new(id);
+        Job {
+            id,
+            design: Arc::clone(design),
+            source: Box::new(RandomSource::new(&map, n, 1)),
+            class,
+            want_vcd: false,
+            key: CompatKey {
+                design: design_hash(design),
+                cycles,
+            },
+            accepted_at: Instant::now(),
+            events,
+        }
+    }
+
+    #[test]
+    fn fills_to_max_batch_then_flushes() {
+        let d = tiny_design();
+        let mut c = Coalescer::new(100, Duration::from_millis(50));
+        let now = Instant::now();
+        assert!(c.add(job(&d, 40, 10, DeadlineClass::Batch), now).is_none());
+        assert!(c.add(job(&d, 40, 10, DeadlineClass::Batch), now).is_none());
+        // 40+40+40 > 100: the bin ships with 80, the newcomer starts fresh.
+        let b = c.add(job(&d, 40, 10, DeadlineClass::Batch), now).unwrap();
+        assert_eq!(b.total_stimulus, 80);
+        assert_eq!(b.jobs.len(), 2);
+        assert!(c.next_deadline().is_some(), "the newcomer stays binned");
+    }
+
+    #[test]
+    fn exact_fill_dispatches_immediately() {
+        let d = tiny_design();
+        let mut c = Coalescer::new(64, Duration::from_millis(50));
+        let now = Instant::now();
+        let b = c.add(job(&d, 64, 10, DeadlineClass::Batch), now).unwrap();
+        assert_eq!(b.total_stimulus, 64);
+        assert!(c.next_deadline().is_none());
+    }
+
+    #[test]
+    fn oversized_job_runs_alone() {
+        let d = tiny_design();
+        let mut c = Coalescer::new(16, Duration::from_millis(50));
+        let b = c
+            .add(job(&d, 100, 10, DeadlineClass::Batch), Instant::now())
+            .unwrap();
+        assert_eq!(b.total_stimulus, 100);
+        assert_eq!(b.jobs.len(), 1);
+    }
+
+    #[test]
+    fn different_cycles_do_not_coalesce() {
+        let d = tiny_design();
+        let mut c = Coalescer::new(1000, Duration::from_millis(50));
+        let now = Instant::now();
+        c.add(job(&d, 8, 10, DeadlineClass::Batch), now);
+        c.add(job(&d, 8, 20, DeadlineClass::Batch), now);
+        let batches = c.flush_all();
+        assert_eq!(batches.len(), 2, "unequal horizons must stay separate");
+    }
+
+    #[test]
+    fn window_expiry_flushes_and_interactive_shrinks_it() {
+        let d = tiny_design();
+        let mut c = Coalescer::new(1000, Duration::from_millis(80));
+        let t0 = Instant::now();
+        c.add(job(&d, 4, 10, DeadlineClass::Interactive), t0);
+        // Interactive window = 80/4 = 20ms: nothing due at 10ms...
+        assert!(c.poll(t0 + Duration::from_millis(10)).is_empty());
+        // ...due at 25ms, well before the 80ms base window.
+        let due = c.poll(t0 + Duration::from_millis(25));
+        assert_eq!(due.len(), 1);
+        // A batch-class job would still be pending at that age.
+        c.add(job(&d, 4, 10, DeadlineClass::Batch), t0);
+        assert!(c.poll(t0 + Duration::from_millis(25)).is_empty());
+        assert_eq!(c.poll(t0 + Duration::from_millis(85)).len(), 1);
+    }
+
+    #[test]
+    fn deadline_is_min_over_jobs() {
+        let d = tiny_design();
+        let mut c = Coalescer::new(1000, Duration::from_millis(80));
+        let t0 = Instant::now();
+        c.add(job(&d, 4, 10, DeadlineClass::Bulk), t0);
+        let bulk_deadline = c.next_deadline().unwrap();
+        c.add(job(&d, 4, 10, DeadlineClass::Interactive), t0);
+        let tightened = c.next_deadline().unwrap();
+        assert!(
+            tightened < bulk_deadline,
+            "an interactive job tightens its bin's deadline"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Job model: what a client submits, what it gets back, and the
+//! per-job event stream connecting the two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use desim::Time;
+use rtlir::Design;
+use stimulus::StimulusSource;
+
+/// Monotonic job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
+
+impl JobId {
+    pub(crate) fn fresh() -> JobId {
+        JobId(NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// How urgently a job's batch window should flush. The coalescer holds
+/// jobs open for a class-dependent window, trading per-job latency for
+/// batch-size amortization (the paper's Figure 12 curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadlineClass {
+    /// Flush quickly; a human is waiting (window / 4).
+    Interactive,
+    /// The default window.
+    Batch,
+    /// Throughput-oriented; may wait several windows (window x 4).
+    Bulk,
+}
+
+impl DeadlineClass {
+    /// This class's flush window given the configured base window.
+    pub fn window(self, base: Duration) -> Duration {
+        match self {
+            DeadlineClass::Interactive => base / 4,
+            DeadlineClass::Batch => base,
+            DeadlineClass::Bulk => base * 4,
+        }
+    }
+}
+
+/// A client's simulation request: one DUT, one batch of stimulus, one
+/// cycle horizon.
+pub struct JobSpec {
+    /// The (elaborated) design under test. Jobs sharing a structurally
+    /// identical design coalesce into the same batches and hit the same
+    /// warm program cache entry.
+    pub design: Arc<Design>,
+    /// The job's own stimulus. The source keeps its own seed and local
+    /// indices, which is what makes coalesced results bit-identical to
+    /// standalone runs.
+    pub source: Box<dyn StimulusSource>,
+    /// Clock cycles to simulate. Jobs only coalesce with equal horizons.
+    pub cycles: u64,
+    pub class: DeadlineClass,
+    /// Also render a VCD waveform of the job's first stimulus.
+    pub want_vcd: bool,
+}
+
+impl JobSpec {
+    pub fn new(design: Arc<Design>, source: Box<dyn StimulusSource>, cycles: u64) -> Self {
+        JobSpec {
+            design,
+            source,
+            cycles,
+            class: DeadlineClass::Batch,
+            want_vcd: false,
+        }
+    }
+
+    pub fn with_class(mut self, class: DeadlineClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    pub fn with_vcd(mut self) -> Self {
+        self.want_vcd = true;
+        self
+    }
+}
+
+/// Stable structural fingerprint of a design — the warm-cache key. Two
+/// independently elaborated copies of the same RTL hash identically.
+pub fn design_hash(design: &Design) -> u64 {
+    // FNV-1a over the debug rendering: the Debug form covers every var,
+    // process and statement, so structural changes always change the key.
+    let repr = format!("{design:?}");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in repr.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Batch-compatibility key: jobs coalesce iff these match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompatKey {
+    pub design: u64,
+    pub cycles: u64,
+}
+
+/// Final per-job payload.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub id: JobId,
+    /// One output digest per stimulus of the job, in the job's own index
+    /// order — bit-identical to a standalone run of the same source.
+    pub digests: Vec<u64>,
+    /// Virtual completion time of the coalesced batch the job rode in.
+    pub makespan: Time,
+    /// GPU utilization of that batch.
+    pub gpu_utilization: f64,
+    /// Stimulus count of the whole coalesced launch (>= this job's own).
+    pub batch_stimulus: usize,
+    /// Jobs sharing the launch (1 = the job ran alone).
+    pub batch_jobs: usize,
+    /// Real time the job sat in queue + window before dispatch.
+    pub queue_wait: Duration,
+    /// Whether the design's compiled program was already warm.
+    pub cache_hit: bool,
+    /// VCD text of the job's first stimulus, when requested.
+    pub vcd: Option<String>,
+}
+
+/// Streamed lifecycle events for one job.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// Admitted; `depth` jobs were queued ahead of it.
+    Queued { id: JobId, depth: usize },
+    /// Packed into a batch that is now running.
+    Dispatched {
+        id: JobId,
+        batch_stimulus: usize,
+        batch_jobs: usize,
+    },
+    /// Finished; terminal.
+    Completed(Box<JobResult>),
+    /// Engine build or simulation failed; terminal.
+    Failed { id: JobId, error: String },
+}
+
+/// Client-side handle: a live stream of [`JobEvent`]s.
+pub struct JobHandle {
+    pub id: JobId,
+    events: Receiver<JobEvent>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: JobId) -> (JobHandle, Sender<JobEvent>) {
+        let (tx, rx) = channel();
+        (JobHandle { id, events: rx }, tx)
+    }
+
+    /// Next lifecycle event (blocking).
+    pub fn recv(&self) -> Option<JobEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(self) -> Result<JobResult, String> {
+        loop {
+            match self.events.recv() {
+                Ok(JobEvent::Completed(r)) => return Ok(*r),
+                Ok(JobEvent::Failed { error, .. }) => return Err(error),
+                Ok(_) => continue,
+                Err(_) => return Err("service dropped the job channel".into()),
+            }
+        }
+    }
+}
+
+/// The scheduler-side job record.
+pub(crate) struct Job {
+    pub id: JobId,
+    pub design: Arc<Design>,
+    pub source: Box<dyn StimulusSource>,
+    pub class: DeadlineClass,
+    pub want_vcd: bool,
+    pub key: CompatKey,
+    pub accepted_at: Instant,
+    pub events: Sender<JobEvent>,
+}
+
+impl Job {
+    pub fn num_stimulus(&self) -> usize {
+        self.source.num_stimulus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_hash_is_structural() {
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc + a; end
+                 assign q = acc; endmodule";
+        let d1 = rtlir::elaborate(v, "top").unwrap();
+        let d2 = rtlir::elaborate(v, "top").unwrap();
+        assert_eq!(
+            design_hash(&d1),
+            design_hash(&d2),
+            "same RTL must hash identically"
+        );
+
+        let v2 = v.replace("acc + a", "acc - a");
+        let d3 = rtlir::elaborate(&v2, "top").unwrap();
+        assert_ne!(
+            design_hash(&d1),
+            design_hash(&d3),
+            "different RTL must hash differently"
+        );
+    }
+
+    #[test]
+    fn deadline_windows_order() {
+        let base = Duration::from_millis(8);
+        assert!(DeadlineClass::Interactive.window(base) < DeadlineClass::Batch.window(base));
+        assert!(DeadlineClass::Batch.window(base) < DeadlineClass::Bulk.window(base));
+    }
+}

@@ -1,0 +1,169 @@
+//! Admission-controlled job queue.
+//!
+//! The queue is the service's backpressure point. Admission is
+//! credit-based: the depth limit bounds jobs *in flight* — admitted but
+//! not yet completed — not merely jobs sitting in the FIFO (the
+//! scheduler drains the FIFO into the coalescer almost immediately, so
+//! a FIFO-only bound would never bind). An over-limit submit is
+//! rejected *with a retry-after estimate* instead of blocking the
+//! caller or letting work pile up past the point the GPU can drain —
+//! queueing beyond that only adds latency for everyone.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::job::Job;
+
+/// Why a submit was refused.
+#[derive(Debug)]
+pub struct Rejected {
+    /// In-flight jobs at the moment of rejection.
+    pub depth: usize,
+    /// Advisory delay before resubmitting, estimated from the current
+    /// backlog and the observed per-job service rate.
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue full ({} jobs in flight); retry after {:.1} ms",
+            self.depth,
+            self.retry_after.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// Bounded FIFO of admitted jobs awaiting coalescing. `outstanding`
+/// counts every admitted-but-not-completed job (queued, windowed in the
+/// coalescer, or running); [`JobQueue::release`] returns credits when
+/// jobs reach a terminal state.
+pub(crate) struct JobQueue {
+    items: VecDeque<Job>,
+    outstanding: usize,
+    limit: usize,
+}
+
+impl JobQueue {
+    pub fn new(limit: usize) -> Self {
+        JobQueue {
+            items: VecDeque::new(),
+            outstanding: 0,
+            limit: limit.max(1),
+        }
+    }
+
+    /// Jobs in flight (admitted, not yet completed or failed).
+    pub fn depth(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Jobs waiting in the FIFO specifically.
+    pub fn queued(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Admit `job`, or reject it when in-flight work is at the limit.
+    /// `per_job_estimate` is the caller's current service-time estimate,
+    /// used to compute the advisory retry-after.
+    pub fn push(&mut self, job: Job, per_job_estimate: Duration) -> Result<usize, (Job, Rejected)> {
+        if self.outstanding >= self.limit {
+            let retry_after = per_job_estimate
+                .checked_mul(self.outstanding as u32)
+                .unwrap_or(Duration::from_secs(1))
+                .max(Duration::from_millis(1));
+            return Err((
+                job,
+                Rejected {
+                    depth: self.outstanding,
+                    retry_after,
+                },
+            ));
+        }
+        self.outstanding += 1;
+        self.items.push_back(job);
+        Ok(self.outstanding - 1)
+    }
+
+    pub fn pop(&mut self) -> Option<Job> {
+        self.items.pop_front()
+    }
+
+    /// Return `n` credits once that many jobs reached a terminal state.
+    pub fn release(&mut self, n: usize) {
+        self.outstanding = self.outstanding.saturating_sub(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{design_hash, CompatKey, DeadlineClass, JobHandle, JobId};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use stimulus::{PortMap, RandomSource};
+
+    fn test_job(design: &Arc<rtlir::Design>, n: usize) -> Job {
+        let map = PortMap::from_design(design);
+        let id = JobId::fresh();
+        let (_handle, events) = JobHandle::new(id);
+        Job {
+            id,
+            design: Arc::clone(design),
+            source: Box::new(RandomSource::new(&map, n, 1)),
+            class: DeadlineClass::Batch,
+            want_vcd: false,
+            key: CompatKey {
+                design: design_hash(design),
+                cycles: 10,
+            },
+            accepted_at: Instant::now(),
+            events,
+        }
+    }
+
+    fn tiny_design() -> Arc<rtlir::Design> {
+        let v = "module top(input clk, input rst, input [3:0] a, output [3:0] q);
+                 reg [3:0] r; always @(posedge clk) r <= rst ? 4'd0 : a;
+                 assign q = r; endmodule";
+        Arc::new(rtlir::elaborate(v, "top").unwrap())
+    }
+
+    #[test]
+    fn queue_admits_until_limit_then_rejects_with_retry_after() {
+        let d = tiny_design();
+        let mut q = JobQueue::new(2);
+        let est = Duration::from_millis(5);
+        assert!(matches!(q.push(test_job(&d, 4), est), Ok(0)));
+        assert!(matches!(q.push(test_job(&d, 4), est), Ok(1)));
+        let Err((_, rej)) = q.push(test_job(&d, 4), est) else {
+            panic!("third push must be rejected at limit 2")
+        };
+        assert_eq!(rej.depth, 2);
+        // retry-after scales with in-flight work: 2 jobs x 5ms.
+        assert_eq!(rej.retry_after, Duration::from_millis(10));
+        // Popping moves a job toward dispatch but does NOT free a credit:
+        // it is still in flight.
+        assert!(q.pop().is_some());
+        assert!(q.push(test_job(&d, 4), est).is_err());
+        // Completion does.
+        q.release(1);
+        assert!(q.push(test_job(&d, 4), est).is_ok());
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let d = tiny_design();
+        let mut q = JobQueue::new(8);
+        let a = test_job(&d, 1);
+        let b = test_job(&d, 1);
+        let (ida, idb) = (a.id, b.id);
+        assert!(q.push(a, Duration::ZERO).is_ok());
+        assert!(q.push(b, Duration::ZERO).is_ok());
+        assert_eq!(q.pop().unwrap().id, ida);
+        assert_eq!(q.pop().unwrap().id, idb);
+        assert_eq!(q.queued(), 0);
+        assert_eq!(q.depth(), 2, "both remain in flight until released");
+    }
+}

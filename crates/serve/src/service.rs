@@ -1,0 +1,551 @@
+//! The running service: an admission-controlled queue feeding a
+//! coalescing scheduler feeding a worker pool.
+//!
+//! Three kinds of threads cooperate:
+//!
+//! * **Clients** call [`SimService::submit`], which either enqueues the
+//!   job (streaming a `Queued` event) or rejects it with a retry-after.
+//! * **The scheduler** drains the queue into the [`Coalescer`], shipping
+//!   full bins immediately and expired bins on their deadline, then
+//!   sleeps until the next deadline or the next submit.
+//! * **Workers** pull coalesced batches from a shared channel, look up
+//!   (or build, once per design) the compiled engine in the warm cache,
+//!   run [`pipeline::simulate_batch_jobs`], and fan per-job slices of
+//!   the result back over each job's event channel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cudasim::{CudaGraph, GpuModel};
+use pipeline::PipelineConfig;
+use rtlir::Design;
+use stimulus::{PortMap, StimulusSource};
+use transpile::KernelProgram;
+
+use crate::coalesce::{Batch, Coalescer};
+use crate::job::{design_hash, CompatKey, Job, JobEvent, JobHandle, JobId, JobResult, JobSpec};
+use crate::metrics::ServeMetrics;
+use crate::queue::{JobQueue, Rejected};
+
+/// Service knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Stimulus per coalesced launch before a bin must flush.
+    pub max_batch: usize,
+    /// Base flush window; per-job deadline is `class.window(window)`.
+    pub window: Duration,
+    /// In-flight jobs (admitted, not yet terminal) past which submits
+    /// are rejected with a retry-after (backpressure).
+    pub queue_limit: usize,
+    /// Worker threads draining coalesced batches.
+    pub workers: usize,
+    /// Pipeline group size inside each launch (clamped to the batch).
+    pub group_size: usize,
+    /// Virtual GPU the workers simulate against.
+    pub model: GpuModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 4096,
+            window: Duration::from_millis(5),
+            queue_limit: 256,
+            workers: 2,
+            group_size: 1024,
+            model: GpuModel::default(),
+        }
+    }
+}
+
+/// A compiled, reusable per-design engine — the warm-cache payload.
+struct Engine {
+    design: Arc<Design>,
+    program: KernelProgram,
+    graph: CudaGraph,
+    map: PortMap,
+}
+
+/// Warm program cache keyed by design hash. Transpiling + graph
+/// instantiation happen once per distinct design; every later dispatch
+/// of the same DUT is a hit, no matter which client submitted it.
+struct EngineCache {
+    entries: Mutex<HashMap<u64, Arc<Engine>>>,
+}
+
+impl EngineCache {
+    fn get_or_build(
+        &self,
+        key: u64,
+        design: &Arc<Design>,
+        model: &GpuModel,
+    ) -> (Result<Arc<Engine>, String>, bool) {
+        if let Some(e) = self
+            .entries
+            .lock()
+            .expect("engine cache poisoned")
+            .get(&key)
+        {
+            return (Ok(Arc::clone(e)), true);
+        }
+        // Build outside the lock; a racing duplicate build is wasted work
+        // but harmless, and keeps slow transpiles from serializing hits.
+        match pipeline::prepare(design, model) {
+            Ok((program, graph)) => {
+                let engine = Arc::new(Engine {
+                    design: Arc::clone(design),
+                    program,
+                    graph,
+                    map: PortMap::from_design(design),
+                });
+                let mut entries = self.entries.lock().expect("engine cache poisoned");
+                let e = entries.entry(key).or_insert_with(|| Arc::clone(&engine));
+                (Ok(Arc::clone(e)), false)
+            }
+            Err(e) => (Err(e), false),
+        }
+    }
+}
+
+/// Scheduler/worker shared state.
+struct Shared {
+    queue: Mutex<JobQueue>,
+    metrics: Mutex<ServeMetrics>,
+    /// Signalled on submit and on shutdown; the scheduler waits on it.
+    wake: Condvar,
+    stop: AtomicBool,
+}
+
+/// A live simulation service. Construct with [`SimService::start`],
+/// feed with [`SimService::submit`], tear down with
+/// [`SimService::shutdown`] (which drains all pending work first).
+pub struct SimService {
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SimService {
+    pub fn start(cfg: ServeConfig) -> SimService {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(JobQueue::new(cfg.queue_limit)),
+            metrics: Mutex::new(ServeMetrics::default()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let cache = Arc::new(EngineCache {
+            entries: Mutex::new(HashMap::new()),
+        });
+        let (batch_tx, batch_rx) = channel::<Batch>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("serve-scheduler".into())
+                .spawn(move || scheduler_loop(&shared, &cfg, batch_tx))
+                .expect("spawn scheduler")
+        };
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let cache = Arc::clone(&cache);
+                let rx = Arc::clone(&batch_rx);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &cache, &cfg, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        SimService {
+            cfg,
+            shared,
+            scheduler: Some(scheduler),
+            workers,
+        }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Submit a job. Admission control applies immediately: when
+    /// in-flight work is at the limit the job is refused with a
+    /// [`Rejected`] carrying a retry-after estimated from the backlog
+    /// and the EWMA service time.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Rejected> {
+        let id = JobId::fresh();
+        let (handle, events) = JobHandle::new(id);
+        let key = CompatKey {
+            design: design_hash(&spec.design),
+            cycles: spec.cycles,
+        };
+        let job = Job {
+            id,
+            design: spec.design,
+            source: spec.source,
+            class: spec.class,
+            want_vcd: spec.want_vcd,
+            key,
+            accepted_at: Instant::now(),
+            events,
+        };
+        let estimate = self
+            .shared
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .ewma_service_per_job;
+        let queued_tx = job.events.clone();
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        match queue.push(job, estimate) {
+            Ok(_) => {
+                // In-flight jobs ahead of this one at admission time.
+                let depth = queue.depth().saturating_sub(1);
+                drop(queue);
+                self.shared
+                    .metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .jobs_accepted += 1;
+                let _ = queued_tx.send(JobEvent::Queued { id, depth });
+                self.shared.wake.notify_all();
+                Ok(handle)
+            }
+            Err((job, rejected)) => {
+                drop(queue);
+                self.shared
+                    .metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .jobs_rejected += 1;
+                // Dropping the job closes its event channel; the caller
+                // only ever sees the Rejected.
+                drop(job);
+                Err(rejected)
+            }
+        }
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .clone()
+    }
+
+    /// Drain every queued and windowed job, stop all threads, and
+    /// return the final metrics.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.stop_and_join();
+        self.metrics()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        if let Some(s) = self.scheduler.take() {
+            let _ = s.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn scheduler_loop(shared: &Shared, cfg: &ServeConfig, batch_tx: Sender<Batch>) {
+    let mut coalescer = Coalescer::new(cfg.max_batch, cfg.window);
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    loop {
+        while let Some(job) = queue.pop() {
+            if let Some(batch) = coalescer.add(job, Instant::now()) {
+                let _ = batch_tx.send(batch);
+            }
+        }
+        for batch in coalescer.poll(Instant::now()) {
+            let _ = batch_tx.send(batch);
+        }
+        if shared.stop.load(Ordering::SeqCst) && queue.queued() == 0 {
+            for batch in coalescer.flush_all() {
+                let _ = batch_tx.send(batch);
+            }
+            break;
+        }
+        let timeout = match coalescer.next_deadline() {
+            Some(d) => d
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100)),
+            // Idle: wake periodically as a stop-flag backstop.
+            None => Duration::from_millis(25),
+        };
+        queue = shared
+            .wake
+            .wait_timeout(queue, timeout)
+            .expect("queue poisoned")
+            .0;
+    }
+    // Dropping the sender closes the channel; workers exit once drained.
+}
+
+/// Per-job bookkeeping kept after the source moves into the launch.
+struct JobMeta {
+    id: JobId,
+    want_vcd: bool,
+    accepted_at: Instant,
+    events: Sender<JobEvent>,
+}
+
+fn worker_loop(
+    shared: &Shared,
+    cache: &EngineCache,
+    cfg: &ServeConfig,
+    rx: &Arc<Mutex<Receiver<Batch>>>,
+) {
+    loop {
+        let batch = {
+            let guard = rx.lock().expect("batch channel poisoned");
+            guard.recv()
+        };
+        match batch {
+            Ok(batch) => run_coalesced(shared, cache, cfg, batch),
+            Err(_) => break, // scheduler gone and channel drained
+        }
+    }
+}
+
+fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch: Batch) {
+    let dispatched_at = Instant::now();
+    let n_jobs = batch.jobs.len();
+    let total = batch.total_stimulus;
+    let cycles = batch.key.cycles;
+
+    let (engine, cache_hit) =
+        cache.get_or_build(batch.key.design, &batch.jobs[0].design, &cfg.model);
+    let engine = match engine {
+        Ok(e) => e,
+        Err(error) => {
+            let mut m = shared.metrics.lock().expect("metrics poisoned");
+            m.record_dispatch(n_jobs, total, cache_hit);
+            m.jobs_failed += n_jobs as u64;
+            drop(m);
+            for job in batch.jobs {
+                let _ = job.events.send(JobEvent::Failed {
+                    id: job.id,
+                    error: error.clone(),
+                });
+            }
+            shared.queue.lock().expect("queue poisoned").release(n_jobs);
+            return;
+        }
+    };
+
+    let mut metas = Vec::with_capacity(n_jobs);
+    let mut sources: Vec<Arc<dyn StimulusSource>> = Vec::with_capacity(n_jobs);
+    for job in batch.jobs {
+        let _ = job.events.send(JobEvent::Dispatched {
+            id: job.id,
+            batch_stimulus: total,
+            batch_jobs: n_jobs,
+        });
+        metas.push(JobMeta {
+            id: job.id,
+            want_vcd: job.want_vcd,
+            accepted_at: job.accepted_at,
+            events: job.events,
+        });
+        sources.push(Arc::from(job.source));
+    }
+    // Each job's source keeps its own local indices inside the stack —
+    // the bit-identical-to-standalone invariant lives here.
+    let stacked: Vec<Box<dyn StimulusSource>> = sources
+        .iter()
+        .map(|s| Box::new(Arc::clone(s)) as Box<dyn StimulusSource>)
+        .collect();
+
+    let pcfg = PipelineConfig {
+        group_size: cfg.group_size.clamp(1, total.max(1)),
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let result = pipeline::simulate_batch_jobs(
+        &engine.design,
+        &engine.program,
+        &engine.graph,
+        &engine.map,
+        stacked,
+        cycles,
+        &pcfg,
+        &cfg.model,
+    );
+    let elapsed = t0.elapsed();
+
+    {
+        let mut m = shared.metrics.lock().expect("metrics poisoned");
+        m.record_dispatch(n_jobs, total, cache_hit);
+        m.record_service_time(elapsed / n_jobs as u32);
+        for meta in &metas {
+            m.record_wait(dispatched_at.duration_since(meta.accepted_at));
+        }
+        m.jobs_completed += n_jobs as u64;
+    }
+    // Terminal state reached: hand the admission credits back.
+    shared.queue.lock().expect("queue poisoned").release(n_jobs);
+
+    for (j, meta) in metas.into_iter().enumerate() {
+        let range = result.ranges[j].clone();
+        let vcd = if meta.want_vcd {
+            let src = &sources[j];
+            let map = &engine.map;
+            let mut frame = vec![0u64; map.len()];
+            rtlir::vcd::dump_outputs(&engine.design, cycles, |c| {
+                src.fill_frame(0, c, &mut frame);
+                map.to_pokes(&frame)
+            })
+            .ok()
+        } else {
+            None
+        };
+        let _ = meta.events.send(JobEvent::Completed(Box::new(JobResult {
+            id: meta.id,
+            digests: result.sim.digests[range].to_vec(),
+            makespan: result.sim.makespan,
+            gpu_utilization: result.sim.gpu_utilization,
+            batch_stimulus: total,
+            batch_jobs: n_jobs,
+            queue_wait: dispatched_at.duration_since(meta.accepted_at),
+            cache_hit,
+            vcd,
+        })));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::DeadlineClass;
+    use stimulus::RandomSource;
+
+    fn tiny_design() -> Arc<Design> {
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc + a; end
+                 assign q = acc; endmodule";
+        Arc::new(rtlir::elaborate(v, "top").unwrap())
+    }
+
+    fn spec(design: &Arc<Design>, n: usize, seed: u64, cycles: u64) -> JobSpec {
+        let map = PortMap::from_design(design);
+        JobSpec::new(
+            Arc::clone(design),
+            Box::new(RandomSource::new(&map, n, seed)),
+            cycles,
+        )
+    }
+
+    #[test]
+    fn jobs_complete_and_coalesce_into_one_dispatch() {
+        let design = tiny_design();
+        let service = SimService::start(ServeConfig {
+            max_batch: 4096,
+            window: Duration::from_millis(10),
+            workers: 1,
+            ..Default::default()
+        });
+        let h1 = service.submit(spec(&design, 8, 11, 30)).unwrap();
+        let h2 = service.submit(spec(&design, 16, 22, 30)).unwrap();
+        let r1 = h1.wait().unwrap();
+        let r2 = h2.wait().unwrap();
+        assert_eq!(r1.digests.len(), 8);
+        assert_eq!(r2.digests.len(), 16);
+        // Same DUT + cycles inside one window: one coalesced launch of 24.
+        assert_eq!(r1.batch_stimulus, 24);
+        assert_eq!(r1.batch_jobs, 2);
+        assert_eq!(r2.batch_stimulus, 24);
+        let m = service.shutdown();
+        assert_eq!(m.jobs_completed, 2);
+        assert_eq!(m.dispatches, 1);
+        assert!((m.coalescing_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(m.cache_misses, 1, "first dispatch builds the engine");
+    }
+
+    #[test]
+    fn warm_cache_hits_on_second_dispatch() {
+        let design = tiny_design();
+        let service = SimService::start(ServeConfig {
+            window: Duration::from_millis(1),
+            workers: 1,
+            ..Default::default()
+        });
+        let r1 = service
+            .submit(spec(&design, 4, 1, 20).with_class(DeadlineClass::Interactive))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!r1.cache_hit);
+        let r2 = service
+            .submit(spec(&design, 4, 2, 20).with_class(DeadlineClass::Interactive))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            r2.cache_hit,
+            "second launch of the same design must hit the warm cache"
+        );
+        let m = service.shutdown();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let design = tiny_design();
+        let service = SimService::start(ServeConfig {
+            // A wide-open window: only shutdown can flush these.
+            window: Duration::from_secs(60),
+            workers: 1,
+            ..Default::default()
+        });
+        let handles: Vec<JobHandle> = (0..3)
+            .map(|i| service.submit(spec(&design, 4, i, 25)).unwrap())
+            .collect();
+        let metrics = service.shutdown();
+        assert_eq!(metrics.jobs_completed, 3);
+        for h in handles {
+            assert_eq!(h.wait().unwrap().digests.len(), 4);
+        }
+    }
+
+    #[test]
+    fn vcd_requested_jobs_get_a_waveform() {
+        let design = tiny_design();
+        let service = SimService::start(ServeConfig {
+            window: Duration::from_millis(1),
+            workers: 1,
+            ..Default::default()
+        });
+        let r = service
+            .submit(spec(&design, 2, 9, 16).with_vcd())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let vcd = r.vcd.expect("want_vcd must produce a waveform");
+        assert!(vcd.contains("$enddefinitions"));
+        drop(service);
+    }
+}

@@ -1,0 +1,264 @@
+//! Synthetic multi-client trace replay — the workload behind
+//! `rtlflow serve-sim` and the scheduler benchmark.
+//!
+//! Each simulated client submits a deterministic stream of jobs (design,
+//! stimulus count, cycle horizon, deadline class all drawn from a seeded
+//! hash), honouring retry-after on rejection, and records end-to-end
+//! latency. The trace is reproducible: the same seed always produces the
+//! same job sequence, so runs are comparable across configurations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtlir::Design;
+use stimulus::{splitmix64, PortMap, RandomSource};
+
+use crate::job::{DeadlineClass, JobSpec};
+use crate::service::SimService;
+
+/// Shape of the synthetic workload.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Concurrent clients, each on its own thread.
+    pub clients: usize,
+    /// Jobs each client submits.
+    pub jobs_per_client: usize,
+    /// Per-job stimulus count range (inclusive lo, exclusive hi).
+    pub stimulus_lo: usize,
+    pub stimulus_hi: usize,
+    /// Cycle horizons jobs draw from; fewer options = more coalescing.
+    pub cycle_options: Vec<u64>,
+    /// Mean think time between a client's submissions.
+    pub think_time: Duration,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            clients: 8,
+            jobs_per_client: 6,
+            stimulus_lo: 16,
+            stimulus_hi: 256,
+            cycle_options: vec![100, 200],
+            think_time: Duration::from_millis(1),
+            seed: 7,
+        }
+    }
+}
+
+/// What the replay observed from the client side.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    pub jobs_submitted: u64,
+    /// Rejections absorbed by retry (each rejection slept its
+    /// retry-after, then resubmitted).
+    pub retries: u64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub total_latency: Duration,
+    pub max_latency: Duration,
+    pub wall_time: Duration,
+}
+
+impl TraceReport {
+    pub fn mean_latency(&self) -> Duration {
+        if self.jobs_completed == 0 {
+            return Duration::ZERO;
+        }
+        self.total_latency / self.jobs_completed as u32
+    }
+
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let mut row = |k: &str, v: String| out.push_str(&format!("  {k:<28} {v}\n"));
+        row("jobs submitted", self.jobs_submitted.to_string());
+        row("retries after rejection", self.retries.to_string());
+        row("jobs completed", self.jobs_completed.to_string());
+        row("jobs failed", self.jobs_failed.to_string());
+        row(
+            "mean client latency",
+            format!("{:.2} ms", self.mean_latency().as_secs_f64() * 1e3),
+        );
+        row(
+            "max client latency",
+            format!("{:.2} ms", self.max_latency.as_secs_f64() * 1e3),
+        );
+        row(
+            "trace wall time",
+            format!("{:.2} ms", self.wall_time.as_secs_f64() * 1e3),
+        );
+        out
+    }
+}
+
+/// Deterministically pick from `lo..hi` with the trace's hash stream.
+fn pick(seed: u64, lo: u64, hi: u64) -> u64 {
+    lo + splitmix64(seed) % (hi - lo).max(1)
+}
+
+/// Replay the trace against a running service. `designs` is the DUT
+/// pool clients draw from — pass several to exercise per-design engine
+/// caching, or one to maximize coalescing.
+pub fn replay(service: &SimService, designs: &[Arc<Design>], cfg: &TraceConfig) -> TraceReport {
+    assert!(!designs.is_empty(), "replay needs at least one design");
+    assert!(cfg.stimulus_lo >= 1 && cfg.stimulus_hi > cfg.stimulus_lo);
+    let maps: Vec<PortMap> = designs.iter().map(|d| PortMap::from_design(d)).collect();
+
+    let submitted = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let latency_ns = AtomicU64::new(0);
+    let max_latency_ns = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let (submitted, retries, completed, failed, latency_ns, max_latency_ns) = (
+                &submitted,
+                &retries,
+                &completed,
+                &failed,
+                &latency_ns,
+                &max_latency_ns,
+            );
+            let maps = &maps;
+            scope.spawn(move || {
+                let mut stream = splitmix64(cfg.seed ^ (client as u64).wrapping_mul(0x9e37_79b9));
+                for j in 0..cfg.jobs_per_client {
+                    stream = splitmix64(stream);
+                    let which = (pick(stream, 0, designs.len() as u64)) as usize;
+                    let n =
+                        pick(stream ^ 1, cfg.stimulus_lo as u64, cfg.stimulus_hi as u64) as usize;
+                    let cycles = cfg.cycle_options
+                        [pick(stream ^ 2, 0, cfg.cycle_options.len() as u64) as usize];
+                    let class = match pick(stream ^ 3, 0, 4) {
+                        0 => DeadlineClass::Interactive,
+                        3 => DeadlineClass::Bulk,
+                        _ => DeadlineClass::Batch,
+                    };
+                    let seed = stream ^ ((client as u64) << 32) ^ j as u64;
+
+                    let started = Instant::now();
+                    let handle = loop {
+                        let spec = JobSpec::new(
+                            Arc::clone(&designs[which]),
+                            Box::new(RandomSource::new(&maps[which], n, seed)),
+                            cycles,
+                        )
+                        .with_class(class);
+                        match service.submit(spec) {
+                            Ok(h) => break h,
+                            Err(rejected) => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(
+                                    rejected.retry_after.min(Duration::from_millis(50)),
+                                );
+                            }
+                        }
+                    };
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    match handle.wait() {
+                        Ok(_) => {
+                            let lat = started.elapsed().as_nanos() as u64;
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            latency_ns.fetch_add(lat, Ordering::Relaxed);
+                            max_latency_ns.fetch_max(lat, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if !cfg.think_time.is_zero() {
+                        // Jittered think time in [T/2, 3T/2).
+                        let jitter = pick(stream ^ 4, 0, cfg.think_time.as_micros() as u64 + 1);
+                        std::thread::sleep(cfg.think_time / 2 + Duration::from_micros(jitter));
+                    }
+                }
+            });
+        }
+    });
+
+    TraceReport {
+        jobs_submitted: submitted.into_inner(),
+        retries: retries.into_inner(),
+        jobs_completed: completed.into_inner(),
+        jobs_failed: failed.into_inner(),
+        total_latency: Duration::from_nanos(latency_ns.into_inner()),
+        max_latency: Duration::from_nanos(max_latency_ns.into_inner()),
+        wall_time: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    fn tiny_design() -> Arc<Design> {
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc ^ a; end
+                 assign q = acc; endmodule";
+        Arc::new(rtlir::elaborate(v, "top").unwrap())
+    }
+
+    #[test]
+    fn replay_completes_every_job_and_coalesces() {
+        let service = SimService::start(ServeConfig {
+            window: Duration::from_millis(2),
+            workers: 2,
+            ..Default::default()
+        });
+        let cfg = TraceConfig {
+            clients: 4,
+            jobs_per_client: 3,
+            stimulus_lo: 4,
+            stimulus_hi: 32,
+            cycle_options: vec![40],
+            think_time: Duration::ZERO,
+            seed: 11,
+        };
+        let report = replay(&service, &[tiny_design()], &cfg);
+        assert_eq!(report.jobs_submitted, 12);
+        assert_eq!(report.jobs_completed, 12);
+        assert_eq!(report.jobs_failed, 0);
+        let m = service.shutdown();
+        assert_eq!(m.jobs_completed, 12);
+        assert!(
+            m.dispatches < 12,
+            "a single-design trace in a 2ms window must coalesce at least once \
+             ({} dispatches for 12 jobs)",
+            m.dispatches
+        );
+    }
+
+    #[test]
+    fn tight_queue_forces_retries_but_loses_nothing() {
+        let service = SimService::start(ServeConfig {
+            queue_limit: 1,
+            window: Duration::from_millis(1),
+            workers: 1,
+            ..Default::default()
+        });
+        let cfg = TraceConfig {
+            clients: 4,
+            jobs_per_client: 2,
+            stimulus_lo: 4,
+            stimulus_hi: 16,
+            cycle_options: vec![30],
+            think_time: Duration::ZERO,
+            seed: 3,
+        };
+        let report = replay(&service, &[tiny_design()], &cfg);
+        assert_eq!(
+            report.jobs_completed, 8,
+            "retried jobs must eventually land"
+        );
+        let m = service.shutdown();
+        assert_eq!(m.jobs_rejected, report.retries);
+    }
+}

@@ -13,8 +13,6 @@
 //! Materializing a source into a file and replaying it through
 //! [`FileSource`] lets benchmarks charge a realistic per-frame cost.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::StimulusSource;
 
 const MAGIC: &[u8; 4] = b"RTLS";
@@ -45,57 +43,71 @@ impl BatchFile {
                 frames[base..base + lanes].copy_from_slice(&frame);
             }
         }
-        BatchFile { num_stimulus: n, cycles, widths: widths.to_vec(), frames }
+        BatchFile {
+            num_stimulus: n,
+            cycles,
+            widths: widths.to_vec(),
+            frames,
+        }
     }
 
     /// Serialize to bytes.
-    pub fn to_bytes(&self) -> Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         let lanes = self.widths.len();
-        let mut buf = BytesMut::with_capacity(32 + lanes * 4 + self.frames.len() * 8);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u64_le(self.num_stimulus as u64);
-        buf.put_u64_le(self.cycles);
-        buf.put_u32_le(lanes as u32);
+        let mut buf = Vec::with_capacity(32 + lanes * 4 + self.frames.len() * 8);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.num_stimulus as u64).to_le_bytes());
+        buf.extend_from_slice(&self.cycles.to_le_bytes());
+        buf.extend_from_slice(&(lanes as u32).to_le_bytes());
         for &w in &self.widths {
-            buf.put_u32_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
         for &f in &self.frames {
-            buf.put_u64_le(f);
+            buf.extend_from_slice(&f.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Deserialize from bytes.
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
-        if data.remaining() < 28 {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { data, pos: 0 };
+        if data.len() < 28 {
             return Err("truncated header".into());
         }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        let magic = r.bytes(4)?;
+        if magic != MAGIC {
             return Err(format!("bad magic {magic:?}"));
         }
-        let version = data.get_u32_le();
+        let version = r.u32_le()?;
         if version != VERSION {
             return Err(format!("unsupported version {version}"));
         }
-        let num_stimulus = data.get_u64_le() as usize;
-        let cycles = data.get_u64_le();
-        let lanes = data.get_u32_le() as usize;
-        if data.remaining() < lanes * 4 {
+        let num_stimulus = r.u64_le()? as usize;
+        let cycles = r.u64_le()?;
+        let lanes = r.u32_le()? as usize;
+        if r.remaining() < lanes * 4 {
             return Err("truncated widths".into());
         }
-        let widths: Vec<u32> = (0..lanes).map(|_| data.get_u32_le()).collect();
+        let widths: Vec<u32> = (0..lanes).map(|_| r.u32_le()).collect::<Result<_, _>>()?;
         let expect = num_stimulus
             .checked_mul(cycles as usize)
             .and_then(|x| x.checked_mul(lanes))
             .ok_or("frame count overflow")?;
-        if data.remaining() != expect * 8 {
-            return Err(format!("frame payload size mismatch: {} != {}", data.remaining(), expect * 8));
+        if r.remaining() != expect * 8 {
+            return Err(format!(
+                "frame payload size mismatch: {} != {}",
+                r.remaining(),
+                expect * 8
+            ));
         }
-        let frames: Vec<u64> = (0..expect).map(|_| data.get_u64_le()).collect();
-        Ok(BatchFile { num_stimulus, cycles, widths, frames })
+        let frames: Vec<u64> = (0..expect).map(|_| r.u64_le()).collect::<Result<_, _>>()?;
+        Ok(BatchFile {
+            num_stimulus,
+            cycles,
+            widths,
+            frames,
+        })
     }
 
     /// Write to a filesystem path.
@@ -106,7 +118,37 @@ impl BatchFile {
     /// Read from a filesystem path.
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
         let data = std::fs::read(path)?;
-        Self::from_bytes(Bytes::from(data)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_bytes(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Little-endian cursor over a byte slice (replaces the `bytes` crate;
+/// the build must work offline).
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err("unexpected end of data".into());
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32_le(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 }
 
@@ -159,24 +201,23 @@ mod tests {
     fn roundtrip_bytes() {
         let (_, b) = sample_batch();
         let bytes = b.to_bytes();
-        let back = BatchFile::from_bytes(bytes).unwrap();
+        let back = BatchFile::from_bytes(&bytes).unwrap();
         assert_eq!(b, back);
     }
 
     #[test]
     fn corrupted_magic_rejected() {
         let (_, b) = sample_batch();
-        let mut raw = b.to_bytes().to_vec();
+        let mut raw = b.to_bytes();
         raw[0] = b'X';
-        assert!(BatchFile::from_bytes(Bytes::from(raw)).is_err());
+        assert!(BatchFile::from_bytes(&raw).is_err());
     }
 
     #[test]
     fn truncated_payload_rejected() {
         let (_, b) = sample_batch();
         let raw = b.to_bytes();
-        let cut = raw.slice(0..raw.len() - 8);
-        assert!(BatchFile::from_bytes(cut).is_err());
+        assert!(BatchFile::from_bytes(&raw[..raw.len() - 8]).is_err());
     }
 
     #[test]

@@ -47,8 +47,16 @@ impl PortMap {
             .iter()
             .map(|&v| {
                 let var = &design.vars[v];
-                assert!(var.width <= 64, "stimulus port `{}` wider than 64 bits", var.name);
-                Port { var: v, name: var.name.clone(), width: var.width }
+                assert!(
+                    var.width <= 64,
+                    "stimulus port `{}` wider than 64 bits",
+                    var.name
+                );
+                Port {
+                    var: v,
+                    name: var.name.clone(),
+                    width: var.width,
+                }
             })
             .collect();
         PortMap { ports }
@@ -66,7 +74,9 @@ impl PortMap {
 
     /// Index of a port by (suffix) name, e.g. `"rst"`.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.ports.iter().position(|p| p.name == name || p.name.ends_with(&format!(".{name}")))
+        self.ports
+            .iter()
+            .position(|p| p.name == name || p.name.ends_with(&format!(".{name}")))
     }
 
     /// Convert one frame into interpreter pokes.
@@ -106,6 +116,42 @@ pub trait StimulusSource: Send + Sync {
     fn num_ports(&self) -> usize;
 }
 
+impl<T: StimulusSource + ?Sized> StimulusSource for &T {
+    fn num_stimulus(&self) -> usize {
+        (**self).num_stimulus()
+    }
+    fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
+        (**self).fill_frame(stimulus, cycle, frame)
+    }
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+}
+
+impl<T: StimulusSource + ?Sized> StimulusSource for Box<T> {
+    fn num_stimulus(&self) -> usize {
+        (**self).num_stimulus()
+    }
+    fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
+        (**self).fill_frame(stimulus, cycle, frame)
+    }
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+}
+
+impl<T: StimulusSource + ?Sized> StimulusSource for std::sync::Arc<T> {
+    fn num_stimulus(&self) -> usize {
+        (**self).num_stimulus()
+    }
+    fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
+        (**self).fill_frame(stimulus, cycle, frame)
+    }
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+}
+
 /// SplitMix64 — the deterministic hash behind all random sources.
 #[inline]
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -138,10 +184,18 @@ impl RandomSource {
             .iter()
             .map(|p| {
                 let short = p.name.rsplit('.').next().unwrap_or(&p.name);
-                (p.width, matches!(short, "rst" | "reset" | "rst_n" | "resetn"))
+                (
+                    p.width,
+                    matches!(short, "rst" | "reset" | "rst_n" | "resetn"),
+                )
             })
             .collect();
-        RandomSource { seed, num_stimulus, reset_cycles: 2, ports }
+        RandomSource {
+            seed,
+            num_stimulus,
+            reset_cycles: 2,
+            ports,
+        }
     }
 }
 
@@ -152,12 +206,17 @@ impl StimulusSource for RandomSource {
 
     fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
         debug_assert_eq!(frame.len(), self.ports.len());
-        for (lane, ((width, is_reset), out)) in self.ports.iter().zip(frame.iter_mut()).enumerate() {
+        for (lane, ((width, is_reset), out)) in self.ports.iter().zip(frame.iter_mut()).enumerate()
+        {
             if *is_reset {
                 *out = (cycle < self.reset_cycles) as u64;
             } else {
                 let raw = coord_hash(self.seed, stimulus as u64, cycle, lane as u64);
-                *out = if *width >= 64 { raw } else { raw & ((1u64 << width) - 1) };
+                *out = if *width >= 64 {
+                    raw
+                } else {
+                    raw & ((1u64 << width) - 1)
+                };
             }
         }
     }
@@ -207,18 +266,29 @@ impl RiscvSource {
         match h % 8 {
             // R-type (arithmetic, occasionally MUL via funct7[0])
             0 | 1 => {
-                let funct7 = if h & (1 << 40) != 0 { 0x20 } else if h & (1 << 41) != 0 { 1 } else { 0 };
+                let funct7 = if h & (1 << 40) != 0 {
+                    0x20
+                } else if h & (1 << 41) != 0 {
+                    1
+                } else {
+                    0
+                };
                 (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | 0b0110011
             }
             // I-type ALU
-            2 | 3 | 4 => (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | 0b0010011,
+            2..=4 => (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | 0b0010011,
             // Load word
             5 => (imm << 20) | (rs1 << 15) | (0b010 << 12) | (rd << 7) | 0b0000011,
             // Store word
             6 => {
                 let imm_lo = imm & 0x1f;
                 let imm_hi = (imm >> 5) & 0x7f;
-                (imm_hi << 25) | (rs2 << 20) | (rs1 << 15) | (0b010 << 12) | (imm_lo << 7) | 0b0100011
+                (imm_hi << 25)
+                    | (rs2 << 20)
+                    | (rs1 << 15)
+                    | (0b010 << 12)
+                    | (imm_lo << 7)
+                    | 0b0100011
             }
             // Branch or LUI
             _ => {
@@ -247,9 +317,14 @@ impl StimulusSource for RiscvSource {
         for (lane, out) in frame.iter_mut().enumerate() {
             let raw = coord_hash(self.seed, stimulus as u64, cycle, lane as u64);
             let w = self.ports[lane];
-            *out = if w >= 64 { raw } else { raw & ((1u64 << w) - 1) };
+            *out = if w >= 64 {
+                raw
+            } else {
+                raw & ((1u64 << w) - 1)
+            };
         }
-        frame[self.instr_lane] = Self::instruction(coord_hash(self.seed, stimulus as u64, cycle, 0xfeed)) as u64;
+        frame[self.instr_lane] =
+            Self::instruction(coord_hash(self.seed, stimulus as u64, cycle, 0xfeed)) as u64;
         if let Some(rst) = self.rst_lane {
             frame[rst] = (cycle < self.reset_cycles) as u64;
         }
@@ -285,7 +360,10 @@ struct NvdlaLanes {
 
 impl NvdlaSource {
     pub fn new(map: &PortMap, num_stimulus: usize, seed: u64) -> Self {
-        let lane = |n: &str| map.index_of(n).unwrap_or_else(|| panic!("nvdla design missing port `{n}`"));
+        let lane = |n: &str| {
+            map.index_of(n)
+                .unwrap_or_else(|| panic!("nvdla design missing port `{n}`"))
+        };
         NvdlaSource {
             seed,
             num_stimulus,
@@ -330,7 +408,7 @@ impl StimulusSource for NvdlaSource {
         frame[l.weight] = coord_hash(self.seed, s, cycle, 0x3e16);
         // Periodic accumulator flush, period differs per stimulus.
         let period = 16 + (s % 17);
-        if cycle % period == 0 {
+        if cycle.is_multiple_of(period) {
             frame[l.clear] = 1;
             frame[l.start] = 0;
         }
@@ -359,14 +437,20 @@ pub struct DirectedSource {
 impl DirectedSource {
     /// Build from explicit per-stimulus frame sequences.
     pub fn new(map: &PortMap, sequences: Vec<Vec<Vec<u64>>>) -> Self {
-        assert!(!sequences.is_empty(), "directed source needs at least one stimulus");
+        assert!(
+            !sequences.is_empty(),
+            "directed source needs at least one stimulus"
+        );
         for seq in &sequences {
             assert!(!seq.is_empty(), "every stimulus needs at least one frame");
             for f in seq {
                 assert_eq!(f.len(), map.len(), "frame lane count mismatch");
             }
         }
-        DirectedSource { sequences, lanes: map.len() }
+        DirectedSource {
+            sequences,
+            lanes: map.len(),
+        }
     }
 
     /// A single directed test replicated with per-stimulus perturbations
@@ -385,14 +469,18 @@ impl DirectedSource {
                     .enumerate()
                     .map(|(c, f)| {
                         let mut f = f.clone();
-                        f[lane] ^= map.mask(lane, coord_hash(seed, s as u64, c as u64, lane as u64));
+                        f[lane] ^=
+                            map.mask(lane, coord_hash(seed, s as u64, c as u64, lane as u64));
                         f[lane] = map.mask(lane, f[lane]);
                         f
                     })
                     .collect()
             })
             .collect();
-        DirectedSource { sequences, lanes: map.len() }
+        DirectedSource {
+            sequences,
+            lanes: map.len(),
+        }
     }
 }
 
@@ -426,7 +514,12 @@ pub struct ConcatSource<S> {
 impl<S: StimulusSource> ConcatSource<S> {
     pub fn new(base: S, num_stimulus: usize, segment_len: u64, seed: u64) -> Self {
         assert!(segment_len > 0);
-        ConcatSource { base, num_stimulus, segment_len, seed }
+        ConcatSource {
+            base,
+            num_stimulus,
+            segment_len,
+            seed,
+        }
     }
 }
 
@@ -438,10 +531,15 @@ impl<S: StimulusSource> StimulusSource for ConcatSource<S> {
     fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
         let segment = cycle / self.segment_len;
         // Which base stimulus does this (stimulus, segment) window replay?
-        let pick = coord_hash(self.seed, stimulus as u64, segment, 0xcafe) as usize % self.base.num_stimulus();
+        let pick = coord_hash(self.seed, stimulus as u64, segment, 0xcafe) as usize
+            % self.base.num_stimulus();
         // Keep cycle-local position so protocols (reset windows) still work
         // for the first segment, and later segments replay steady-state.
-        let base_cycle = if segment == 0 { cycle } else { self.segment_len.max(8) + cycle % self.segment_len };
+        let base_cycle = if segment == 0 {
+            cycle
+        } else {
+            self.segment_len.max(8) + cycle % self.segment_len
+        };
         self.base.fill_frame(pick, base_cycle, frame);
     }
 
@@ -450,8 +548,139 @@ impl<S: StimulusSource> StimulusSource for ConcatSource<S> {
     }
 }
 
+/// An `offset + len` window over any [`StimulusSource`]: stimulus `i` of
+/// the slice is stimulus `offset + i` of the parent, bit for bit. This is
+/// what lets a serving layer hand each job a contiguous sub-range of a
+/// shared batch (and, inversely, re-address a job's stimulus inside a
+/// coalesced super-batch) without copying frames.
+#[derive(Debug, Clone)]
+pub struct SliceSource<S> {
+    base: S,
+    offset: usize,
+    len: usize,
+}
+
+impl<S: StimulusSource> SliceSource<S> {
+    /// View `len` stimulus of `base` starting at `offset`.
+    /// Panics when the window exceeds the parent's batch.
+    pub fn new(base: S, offset: usize, len: usize) -> Self {
+        assert!(
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= base.num_stimulus()),
+            "slice [{offset}, {offset}+{len}) exceeds parent batch of {}",
+            base.num_stimulus()
+        );
+        SliceSource { base, offset, len }
+    }
+
+    /// First parent index covered by this slice.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The underlying source.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+}
+
+impl<S: StimulusSource> StimulusSource for SliceSource<S> {
+    fn num_stimulus(&self) -> usize {
+        self.len
+    }
+
+    fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
+        assert!(
+            stimulus < self.len,
+            "stimulus {stimulus} outside slice of {}",
+            self.len
+        );
+        self.base.fill_frame(self.offset + stimulus, cycle, frame)
+    }
+
+    fn num_ports(&self) -> usize {
+        self.base.num_ports()
+    }
+}
+
+/// Several sources stacked into one contiguous batch: segment `j`'s
+/// stimulus `i` appears at global index `prefix[j] + i`. The inverse of
+/// [`SliceSource`] — a coalescer stacks many jobs' sources into one
+/// super-batch, runs it once, then carves the results back apart with the
+/// per-segment ranges. Each segment keeps its own generator and seed, so
+/// stacked results are bit-identical to running every segment alone.
+pub struct StackedSource<S> {
+    segments: Vec<S>,
+    /// `prefix[j]` = global index of segment j's first stimulus;
+    /// `prefix[segments.len()]` = total batch size.
+    prefix: Vec<usize>,
+    lanes: usize,
+}
+
+impl<S: StimulusSource> StackedSource<S> {
+    /// Stack `segments` in order. All segments must drive the same lane
+    /// count; panics otherwise or on an empty list.
+    pub fn new(segments: Vec<S>) -> Self {
+        assert!(
+            !segments.is_empty(),
+            "stacked source needs at least one segment"
+        );
+        let lanes = segments[0].num_ports();
+        let mut prefix = Vec::with_capacity(segments.len() + 1);
+        let mut total = 0usize;
+        for s in &segments {
+            assert_eq!(
+                s.num_ports(),
+                lanes,
+                "all stacked segments must drive the same ports"
+            );
+            prefix.push(total);
+            total += s.num_stimulus();
+        }
+        prefix.push(total);
+        StackedSource {
+            segments,
+            prefix,
+            lanes,
+        }
+    }
+
+    /// Global `offset..offset+len` range of segment `j`.
+    pub fn segment_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.prefix[j]..self.prefix[j + 1]
+    }
+
+    /// Number of stacked segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+impl<S: StimulusSource> StimulusSource for StackedSource<S> {
+    fn num_stimulus(&self) -> usize {
+        *self.prefix.last().unwrap()
+    }
+
+    fn fill_frame(&self, stimulus: usize, cycle: u64, frame: &mut [u64]) {
+        // prefix is sorted; the owner is the last segment starting at or
+        // before `stimulus` (skipping any empty segments at that index).
+        let j = self.prefix.partition_point(|&p| p <= stimulus) - 1;
+        self.segments[j].fill_frame(stimulus - self.prefix[j], cycle, frame)
+    }
+
+    fn num_ports(&self) -> usize {
+        self.lanes
+    }
+}
+
 /// Pick the idiomatic source for a named benchmark top module.
-pub fn source_for(design: &Design, map: &PortMap, num_stimulus: usize, seed: u64) -> Box<dyn StimulusSource> {
+pub fn source_for(
+    design: &Design,
+    map: &PortMap,
+    num_stimulus: usize,
+    seed: u64,
+) -> Box<dyn StimulusSource> {
     if map.index_of("instr").is_some() {
         Box::new(RiscvSource::new(map, num_stimulus, seed))
     } else if map.index_of("cfg_we").is_some() && map.index_of("data_in").is_some() {
@@ -505,7 +734,11 @@ mod tests {
                 s.fill_frame(st, c, &mut f);
                 for (lane, p) in m.ports.iter().enumerate() {
                     if p.width < 64 {
-                        assert!(f[lane] < (1 << p.width), "lane {lane} overflows width {}", p.width);
+                        assert!(
+                            f[lane] < (1 << p.width),
+                            "lane {lane} overflows width {}",
+                            p.width
+                        );
                     }
                 }
             }
@@ -532,7 +765,14 @@ mod tests {
         let s = RiscvSource::new(&m, 16, 99);
         let instr = m.index_of("instr").unwrap();
         let mut f = vec![0u64; m.len()];
-        let valid = [0b0110011u64, 0b0010011, 0b0000011, 0b0100011, 0b1100011, 0b0110111];
+        let valid = [
+            0b0110011u64,
+            0b0010011,
+            0b0000011,
+            0b0100011,
+            0b1100011,
+            0b0110111,
+        ];
         for c in 2..200 {
             s.fill_frame(c as usize % 16, c, &mut f);
             let op = f[instr] & 0x7f;
@@ -600,6 +840,50 @@ mod tests {
         c.fill_frame(9, 25, &mut f1);
         c.fill_frame(9, 25, &mut f2);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn slice_source_remaps_indices_to_parent() {
+        let (_, m) = map_for(Benchmark::RiscvMini);
+        let base = RandomSource::new(&m, 32, 0xfeed);
+        let slice = SliceSource::new(base.clone(), 10, 8);
+        assert_eq!(slice.num_stimulus(), 8);
+        assert_eq!(slice.num_ports(), m.len());
+        let mut fs = vec![0u64; m.len()];
+        let mut fp = vec![0u64; m.len()];
+        for s in 0..8 {
+            for c in [0u64, 1, 7, 100] {
+                slice.fill_frame(s, c, &mut fs);
+                base.fill_frame(10 + s, c, &mut fp);
+                assert_eq!(
+                    fs,
+                    fp,
+                    "slice stimulus {s} must equal parent stimulus {}",
+                    10 + s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let (_, m) = map_for(Benchmark::RiscvMini);
+        let base = RandomSource::new(&m, 32, 7);
+        let outer = SliceSource::new(base.clone(), 4, 16);
+        let inner = SliceSource::new(outer, 3, 5);
+        let mut fi = vec![0u64; m.len()];
+        let mut fp = vec![0u64; m.len()];
+        inner.fill_frame(2, 9, &mut fi);
+        base.fill_frame(4 + 3 + 2, 9, &mut fp);
+        assert_eq!(fi, fp);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds parent batch")]
+    fn slice_source_rejects_overrun() {
+        let (_, m) = map_for(Benchmark::RiscvMini);
+        let base = RandomSource::new(&m, 8, 1);
+        let _ = SliceSource::new(base, 4, 8);
     }
 
     #[test]

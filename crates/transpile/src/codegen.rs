@@ -43,7 +43,12 @@ fn finalize(text: &str, functions: usize, decisions: usize) -> CodeMetrics {
     let loc = text.lines().filter(|l| !l.trim().is_empty()).count();
     let tokens = count_tokens(text);
     let functions = functions.max(1);
-    CodeMetrics { loc, tokens, functions, cc_avg: 1.0 + decisions as f64 / functions as f64 }
+    CodeMetrics {
+        loc,
+        tokens,
+        functions,
+        cc_avg: 1.0 + decisions as f64 / functions as f64,
+    }
 }
 
 /// Rough C-family token count: identifiers/numbers count as one token,
@@ -73,7 +78,12 @@ fn count_tokens(text: &str) -> usize {
 pub fn emit_cuda(design: &Design, program: &KernelProgram) -> (String, CodeMetrics) {
     let mut out = String::with_capacity(1 << 16);
     let mut decisions = 0usize;
-    writeln!(out, "// RTLflow-generated CUDA for `{}` — do not edit.", design.name).unwrap();
+    writeln!(
+        out,
+        "// RTLflow-generated CUDA for `{}` — do not edit.",
+        design.name
+    )
+    .unwrap();
     writeln!(out, "#include <cstdint>").unwrap();
     writeln!(out, "extern __device__ uint8_t*  var8;").unwrap();
     writeln!(out, "extern __device__ uint16_t* var16;").unwrap();
@@ -85,7 +95,11 @@ pub fn emit_cuda(design: &Design, program: &KernelProgram) -> (String, CodeMetri
     let functions = program.graph.kernels.len() + 1;
     for kernel in &program.graph.kernels {
         writeln!(out, "\n__global__ void {}(void) {{", kernel.name).unwrap();
-        writeln!(out, "  const uint64_t tid = blockDim.x * blockIdx.x + threadIdx.x;").unwrap();
+        writeln!(
+            out,
+            "  const uint64_t tid = blockDim.x * blockIdx.x + threadIdx.x;"
+        )
+        .unwrap();
         if kernel.num_regs > 0 {
             writeln!(out, "  uint64_t r[{}];", kernel.num_regs).unwrap();
         }
@@ -96,7 +110,11 @@ pub fn emit_cuda(design: &Design, program: &KernelProgram) -> (String, CodeMetri
     }
 
     // Host-side launch loop (Listing 1 shape).
-    writeln!(out, "\nvoid simulate(uint64_t num_cycles, cudaGraphExec_t cycle_graph) {{").unwrap();
+    writeln!(
+        out,
+        "\nvoid simulate(uint64_t num_cycles, cudaGraphExec_t cycle_graph) {{"
+    )
+    .unwrap();
     writeln!(out, "  for (uint64_t c = 0; c < num_cycles; ++c) {{").unwrap();
     decisions += 1; // the loop
     writeln!(out, "    set_inputs(c);").unwrap();
@@ -115,14 +133,27 @@ fn bucket_expr(b: Bucket, offset: u32) -> String {
 fn emit_cuda_op(out: &mut String, op: &Op, decisions: &mut usize) {
     match *op {
         Op::Const { dst, value } => writeln!(out, "  r[{dst}] = 0x{value:x}ull;").unwrap(),
-        Op::Load { dst, slot } => {
-            writeln!(out, "  r[{dst}] = {};", bucket_expr(slot.bucket, slot.offset)).unwrap()
-        }
+        Op::Load { dst, slot } => writeln!(
+            out,
+            "  r[{dst}] = {};",
+            bucket_expr(slot.bucket, slot.offset)
+        )
+        .unwrap(),
         Op::Store { src, slot, width } => {
             let m = cudasim::device::mask(width);
-            writeln!(out, "  {} = r[{src}] & 0x{m:x}ull;", bucket_expr(slot.bucket, slot.offset)).unwrap()
+            writeln!(
+                out,
+                "  {} = r[{src}] & 0x{m:x}ull;",
+                bucket_expr(slot.bucket, slot.offset)
+            )
+            .unwrap()
         }
-        Op::LoadIdx { dst, slot, idx, depth } => {
+        Op::LoadIdx {
+            dst,
+            slot,
+            idx,
+            depth,
+        } => {
             // Branch-free gather with bounds clamp.
             writeln!(
                 out,
@@ -132,7 +163,14 @@ fn emit_cuda_op(out: &mut String, op: &Op, decisions: &mut usize) {
             )
             .unwrap();
         }
-        Op::StoreIdxCond { src, slot, idx, depth, pred, width } => {
+        Op::StoreIdxCond {
+            src,
+            slot,
+            idx,
+            depth,
+            pred,
+            width,
+        } => {
             let m = cudasim::device::mask(width);
             *decisions += 1;
             writeln!(
@@ -143,13 +181,21 @@ fn emit_cuda_op(out: &mut String, op: &Op, decisions: &mut usize) {
             )
             .unwrap();
         }
-        Op::Bin { op, dst, a, b, width } => {
+        Op::Bin {
+            op,
+            dst,
+            a,
+            b,
+            width,
+        } => {
             let m = cudasim::device::mask(width);
             let e = match op {
                 KBin::Add => format!("(r[{a}] + r[{b}]) & 0x{m:x}ull"),
                 KBin::Sub => format!("(r[{a}] - r[{b}]) & 0x{m:x}ull"),
                 KBin::Mul => format!("(r[{a}] * r[{b}]) & 0x{m:x}ull"),
-                KBin::Div => format!("mux64(r[{b}], r[{a}] / mux64(r[{b}], r[{b}], 1), 0x{m:x}ull)"),
+                KBin::Div => {
+                    format!("mux64(r[{b}], r[{a}] / mux64(r[{b}], r[{b}], 1), 0x{m:x}ull)")
+                }
                 KBin::Rem => format!("mux64(r[{b}], r[{a}] % mux64(r[{b}], r[{b}], 1), 0)"),
                 KBin::And => format!("r[{a}] & r[{b}]"),
                 KBin::Or => format!("r[{a}] | r[{b}]"),
@@ -193,7 +239,12 @@ fn emit_cuda_op(out: &mut String, op: &Op, decisions: &mut usize) {
 pub fn emit_cpp(design: &Design) -> (String, CodeMetrics) {
     let mut out = String::with_capacity(1 << 16);
     let mut decisions = 0usize;
-    writeln!(out, "// Verilator-style C++ for `{}` (single stimulus).", design.name).unwrap();
+    writeln!(
+        out,
+        "// Verilator-style C++ for `{}` (single stimulus).",
+        design.name
+    )
+    .unwrap();
     writeln!(out, "#include <cstdint>").unwrap();
     writeln!(out, "struct V{} {{", design.name).unwrap();
     for v in &design.vars {
@@ -250,7 +301,11 @@ fn emit_cpp_stm(out: &mut String, design: &Design, s: &Stm, indent: usize, decis
                 Target::DynBit { var, idx } => {
                     let n = mangle(&design.vars[*var].name);
                     let i = cpp_expr(design, idx, decisions);
-                    writeln!(out, "{pad}{n} = ({n} & ~(1ull << ({i}))) | ((({rhs_s}) & 1ull) << ({i}));").unwrap();
+                    writeln!(
+                        out,
+                        "{pad}{n} = ({n} & ~(1ull << ({i}))) | ((({rhs_s}) & 1ull) << ({i}));"
+                    )
+                    .unwrap();
                 }
                 Target::Mem { var, idx } => {
                     let n = mangle(&design.vars[*var].name);
@@ -259,7 +314,11 @@ fn emit_cpp_stm(out: &mut String, design: &Design, s: &Stm, indent: usize, decis
                 }
             }
         }
-        Stm::If { cond, then_s, else_s } => {
+        Stm::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             *decisions += 1;
             let c = cpp_expr(design, cond, decisions);
             writeln!(out, "{pad}if ({c}) {{").unwrap();
@@ -284,7 +343,11 @@ fn cpp_expr(design: &Design, e: &EExpr, decisions: &mut usize) -> String {
         EExpr::Const(v) => format!("0x{:x}ull", v.words()[0]),
         EExpr::Var(v) => mangle(&design.vars[*v].name),
         EExpr::ReadMem { var, idx } => {
-            format!("{}[{}]", mangle(&design.vars[*var].name), cpp_expr(design, idx, decisions))
+            format!(
+                "{}[{}]",
+                mangle(&design.vars[*var].name),
+                cpp_expr(design, idx, decisions)
+            )
         }
         EExpr::Unary { op, arg, width } => {
             let a = cpp_expr(design, arg, decisions);

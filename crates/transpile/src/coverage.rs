@@ -3,9 +3,9 @@
 //! The paper's motivation (§1) is functional verification signoff:
 //! "converging on coverage closure ... requires many thousands of nightly
 //! regression tests". This module provides the measurement side of that
-//! story: per-bit toggle coverage (each signal bit observed at both 0 and
-//! 1) aggregated across *all* stimulus of a batch, sampled directly from
-//! the width-bucketed device arrays.
+//! story: per-bit toggle coverage (each signal bit observed at both 0
+//! and 1) aggregated across *all* stimulus of a batch, sampled directly
+//! from the width-bucketed device arrays.
 
 use cudasim::DeviceMemory;
 use rtlir::Design;
@@ -30,13 +30,29 @@ impl ToggleCoverage {
     /// Create an empty accumulator for a design.
     pub fn new(design: &Design) -> Self {
         let n = design.vars.len();
-        let total_bits = design.vars.iter().filter(|v| !v.is_memory()).map(|v| v.width).sum();
-        ToggleCoverage { seen0: vec![0; n], seen1: vec![0; n], total_bits }
+        let total_bits = design
+            .vars
+            .iter()
+            .filter(|v| !v.is_memory())
+            .map(|v| v.width)
+            .sum();
+        ToggleCoverage {
+            seen0: vec![0; n],
+            seen1: vec![0; n],
+            total_bits,
+        }
     }
 
     /// Sample the current value of every scalar variable for stimulus
     /// threads `[tid0, tid0+len)` and fold them into the accumulator.
-    pub fn sample(&mut self, design: &Design, plan: &MemoryPlan, dev: &DeviceMemory, tid0: usize, len: usize) {
+    pub fn sample(
+        &mut self,
+        design: &Design,
+        plan: &MemoryPlan,
+        dev: &DeviceMemory,
+        tid0: usize,
+        len: usize,
+    ) {
         for (v, var) in design.vars.iter().enumerate() {
             if var.is_memory() {
                 continue;
@@ -57,7 +73,11 @@ impl ToggleCoverage {
     /// Merge another accumulator (e.g. from a different shard of the
     /// batch or another nightly run) into this one.
     pub fn merge(&mut self, other: &ToggleCoverage) {
-        assert_eq!(self.seen0.len(), other.seen0.len(), "coverage shapes differ");
+        assert_eq!(
+            self.seen0.len(),
+            other.seen0.len(),
+            "coverage shapes differ"
+        );
         for i in 0..self.seen0.len() {
             self.seen0[i] |= other.seen0[i];
             self.seen1[i] |= other.seen1[i];
@@ -66,7 +86,11 @@ impl ToggleCoverage {
 
     /// Bits covered so far (observed both 0 and 1).
     pub fn covered_bits(&self) -> u32 {
-        self.seen0.iter().zip(&self.seen1).map(|(&z, &o)| (z & o).count_ones()).sum()
+        self.seen0
+            .iter()
+            .zip(&self.seen1)
+            .map(|(&z, &o)| (z & o).count_ones())
+            .sum()
     }
 
     /// Coverage as a fraction of all coverable bits.
@@ -151,7 +175,10 @@ mod tests {
         let single = run(&[0]);
         let diverse = run(&[0, 0xf, 0x5, 0xa, 0x3, 0xc]);
         assert!(diverse > single, "diverse {diverse} vs single {single}");
-        assert!(diverse > 0.9, "diverse batch should nearly close coverage: {diverse}");
+        assert!(
+            diverse > 0.9,
+            "diverse batch should nearly close coverage: {diverse}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub fn lower_process(
         // bus co-writers must not clobber each other's bits).
         let shapes = rtlir::elab::write_shapes(&p.body);
         let zero = lw.fresh()?;
-        lw.ops.push(Op::Const { dst: zero, value: 0 });
+        lw.ops.push(Op::Const {
+            dst: zero,
+            value: 0,
+        });
         for &w in &p.writes {
             let vs = plan.slots[w];
             debug_assert_eq!(vs.depth, 0, "comb memory write slipped through elaboration");
@@ -59,14 +62,31 @@ pub fn lower_process(
                         clear_mask |= cudasim::device::mask(width) << lsb;
                     }
                     let old = lw.fresh()?;
-                    lw.ops.push(Op::Load { dst: old, slot: vs.slot });
+                    lw.ops.push(Op::Load {
+                        dst: old,
+                        slot: vs.slot,
+                    });
                     let keep = lw.konst(!clear_mask & cudasim::device::mask(vs.width))?;
                     let cleared = lw.fresh()?;
-                    lw.ops.push(Op::Bin { op: KBin::And, dst: cleared, a: old, b: keep, width: vs.width });
-                    lw.ops.push(Op::Store { src: cleared, slot: vs.slot, width: vs.width });
+                    lw.ops.push(Op::Bin {
+                        op: KBin::And,
+                        dst: cleared,
+                        a: old,
+                        b: keep,
+                        width: vs.width,
+                    });
+                    lw.ops.push(Op::Store {
+                        src: cleared,
+                        slot: vs.slot,
+                        width: vs.width,
+                    });
                 }
                 _ => {
-                    lw.ops.push(Op::Store { src: zero, slot: vs.slot, width: vs.width });
+                    lw.ops.push(Op::Store {
+                        src: zero,
+                        slot: vs.slot,
+                        width: vs.width,
+                    });
                 }
             }
         }
@@ -83,8 +103,15 @@ pub fn lower_commit(design: &Design, plan: &MemoryPlan, ops: &mut Vec<Op>) -> u1
         let vs = &plan.slots[v];
         if let Some(shadow) = vs.shadow {
             let _ = var;
-            ops.push(Op::Load { dst: 0, slot: shadow });
-            ops.push(Op::Store { src: 0, slot: vs.slot, width: vs.width });
+            ops.push(Op::Load {
+                dst: 0,
+                slot: shadow,
+            });
+            ops.push(Op::Store {
+                src: 0,
+                slot: vs.slot,
+                width: vs.width,
+            });
             used = 1;
         }
     }
@@ -124,7 +151,10 @@ impl<'a> ProcLower<'a> {
 
     fn check_width(&self, w: u32, what: &str) -> Result<(), String> {
         if w == 0 || w > 64 {
-            return Err(format!("process `{}`: {what} has unsupported width {w}", self.name));
+            return Err(format!(
+                "process `{}`: {what} has unsupported width {w}",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -141,14 +171,22 @@ impl<'a> ProcLower<'a> {
                 let vs = &self.plan.slots[*v];
                 let r = self.fresh()?;
                 // Non-blocking reads are pre-edge: always the current slot.
-                self.ops.push(Op::Load { dst: r, slot: vs.slot });
+                self.ops.push(Op::Load {
+                    dst: r,
+                    slot: vs.slot,
+                });
                 Ok(r)
             }
             EExpr::ReadMem { var, idx } => {
                 let vs = self.plan.slots[*var];
                 let i = self.expr(idx)?;
                 let r = self.fresh()?;
-                self.ops.push(Op::LoadIdx { dst: r, slot: vs.slot, idx: i, depth: vs.depth });
+                self.ops.push(Op::LoadIdx {
+                    dst: r,
+                    slot: vs.slot,
+                    idx: i,
+                    depth: vs.depth,
+                });
                 Ok(r)
             }
             EExpr::Unary { op, arg, width } => {
@@ -164,7 +202,12 @@ impl<'a> ProcLower<'a> {
                     UnOp::RedOr => (KUn::RedOr, aw),
                     UnOp::RedXor => (KUn::RedXor, aw),
                 };
-                self.ops.push(Op::Un { op: kop, dst: r, a, width: w });
+                self.ops.push(Op::Un {
+                    op: kop,
+                    dst: r,
+                    a,
+                    width: w,
+                });
                 Ok(r)
             }
             EExpr::Binary { op, a, b, width } => {
@@ -198,7 +241,13 @@ impl<'a> ProcLower<'a> {
                     BinOp::LAnd => (KBin::LAnd, 1),
                     BinOp::LOr => (KBin::LOr, 1),
                 };
-                self.ops.push(Op::Bin { op: kop, dst: r, a: ra, b: rb, width: w });
+                self.ops.push(Op::Bin {
+                    op: kop,
+                    dst: r,
+                    a: ra,
+                    b: rb,
+                    width: w,
+                });
                 Ok(r)
             }
             EExpr::Mux { cond, t, e, width } => {
@@ -207,7 +256,12 @@ impl<'a> ProcLower<'a> {
                 let rt = self.expr(t)?;
                 let re = self.expr(e)?;
                 let r = self.fresh()?;
-                self.ops.push(Op::Mux { dst: r, cond: c, a: rt, b: re });
+                self.ops.push(Op::Mux {
+                    dst: r,
+                    cond: c,
+                    a: rt,
+                    b: re,
+                });
                 Ok(r)
             }
             EExpr::Concat { parts, width } => {
@@ -225,9 +279,21 @@ impl<'a> ProcLower<'a> {
                             self.check_width(total, "concat")?;
                             let shift = self.konst(pw as u64)?;
                             let shifted = self.fresh()?;
-                            self.ops.push(Op::Bin { op: KBin::Shl, dst: shifted, a: ra, b: shift, width: total });
+                            self.ops.push(Op::Bin {
+                                op: KBin::Shl,
+                                dst: shifted,
+                                a: ra,
+                                b: shift,
+                                width: total,
+                            });
                             let merged = self.fresh()?;
-                            self.ops.push(Op::Bin { op: KBin::Or, dst: merged, a: shifted, b: rp, width: total });
+                            self.ops.push(Op::Bin {
+                                op: KBin::Or,
+                                dst: merged,
+                                a: shifted,
+                                b: rp,
+                                width: total,
+                            });
                             (merged, total)
                         }
                     });
@@ -242,14 +308,26 @@ impl<'a> ProcLower<'a> {
                 if *lsb > 0 {
                     let s = self.konst(*lsb as u64)?;
                     let shifted = self.fresh()?;
-                    self.ops.push(Op::Bin { op: KBin::Shr, dst: shifted, a: r, b: s, width: aw });
+                    self.ops.push(Op::Bin {
+                        op: KBin::Shr,
+                        dst: shifted,
+                        a: r,
+                        b: s,
+                        width: aw,
+                    });
                     r = shifted;
                 }
                 let remaining = aw.saturating_sub(*lsb).max(1);
                 if *width < remaining {
                     let m = self.konst(cudasim::device::mask(*width))?;
                     let masked = self.fresh()?;
-                    self.ops.push(Op::Bin { op: KBin::And, dst: masked, a: r, b: m, width: *width });
+                    self.ops.push(Op::Bin {
+                        op: KBin::And,
+                        dst: masked,
+                        a: r,
+                        b: m,
+                        width: *width,
+                    });
                     r = masked;
                 }
                 Ok(r)
@@ -260,10 +338,22 @@ impl<'a> ProcLower<'a> {
                 let r = self.expr(arg)?;
                 let i = self.expr(idx)?;
                 let shifted = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::Shr, dst: shifted, a: r, b: i, width: aw });
+                self.ops.push(Op::Bin {
+                    op: KBin::Shr,
+                    dst: shifted,
+                    a: r,
+                    b: i,
+                    width: aw,
+                });
                 let one = self.konst(1)?;
                 let bit = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::And, dst: bit, a: shifted, b: one, width: 1 });
+                self.ops.push(Op::Bin {
+                    op: KBin::And,
+                    dst: bit,
+                    a: shifted,
+                    b: one,
+                    width: 1,
+                });
                 Ok(bit)
             }
             EExpr::Resize { arg, width } => {
@@ -274,7 +364,13 @@ impl<'a> ProcLower<'a> {
                 if *width < aw {
                     let m = self.konst(cudasim::device::mask(*width))?;
                     let masked = self.fresh()?;
-                    self.ops.push(Op::Bin { op: KBin::And, dst: masked, a: r, b: m, width: *width });
+                    self.ops.push(Op::Bin {
+                        op: KBin::And,
+                        dst: masked,
+                        a: r,
+                        b: m,
+                        width: *width,
+                    });
                     Ok(masked)
                 } else {
                     Ok(r) // zero-extension is free in a u64 register
@@ -292,7 +388,11 @@ impl<'a> ProcLower<'a> {
                     let v = self.expr(rhs)?;
                     self.store(target, v, pred)?;
                 }
-                Stm::If { cond, then_s, else_s } => {
+                Stm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     let c = self.expr(cond)?;
                     // Normalize the condition to a boolean.
                     let cw = self.width_of(cond);
@@ -300,26 +400,48 @@ impl<'a> ProcLower<'a> {
                         c
                     } else {
                         let b = self.fresh()?;
-                        self.ops.push(Op::Un { op: KUn::RedOr, dst: b, a: c, width: cw });
+                        self.ops.push(Op::Un {
+                            op: KUn::RedOr,
+                            dst: b,
+                            a: c,
+                            width: cw,
+                        });
                         b
                     };
                     let then_pred = match pred {
                         None => cb,
                         Some(p) => {
                             let r = self.fresh()?;
-                            self.ops.push(Op::Bin { op: KBin::LAnd, dst: r, a: p, b: cb, width: 1 });
+                            self.ops.push(Op::Bin {
+                                op: KBin::LAnd,
+                                dst: r,
+                                a: p,
+                                b: cb,
+                                width: 1,
+                            });
                             r
                         }
                     };
                     self.stms(then_s, Some(then_pred))?;
                     if !else_s.is_empty() {
                         let ncb = self.fresh()?;
-                        self.ops.push(Op::Un { op: KUn::LNot, dst: ncb, a: cb, width: 1 });
+                        self.ops.push(Op::Un {
+                            op: KUn::LNot,
+                            dst: ncb,
+                            a: cb,
+                            width: 1,
+                        });
                         let else_pred = match pred {
                             None => ncb,
                             Some(p) => {
                                 let r = self.fresh()?;
-                                self.ops.push(Op::Bin { op: KBin::LAnd, dst: r, a: p, b: ncb, width: 1 });
+                                self.ops.push(Op::Bin {
+                                    op: KBin::LAnd,
+                                    dst: r,
+                                    a: p,
+                                    b: ncb,
+                                    width: 1,
+                                });
                                 r
                             }
                         };
@@ -339,7 +461,11 @@ impl<'a> ProcLower<'a> {
             ProcessKind::Comb => (vs.slot, vs.slot),
             ProcessKind::Seq => {
                 let shadow = vs.shadow.expect("seq write target must have a shadow slot");
-                let read = if self.written.contains(&var) { shadow } else { vs.slot };
+                let read = if self.written.contains(&var) {
+                    shadow
+                } else {
+                    vs.slot
+                };
                 (read, shadow)
             }
         }
@@ -354,13 +480,25 @@ impl<'a> ProcLower<'a> {
                     None => value,
                     Some(p) => {
                         let old = self.fresh()?;
-                        self.ops.push(Op::Load { dst: old, slot: read });
+                        self.ops.push(Op::Load {
+                            dst: old,
+                            slot: read,
+                        });
                         let m = self.fresh()?;
-                        self.ops.push(Op::Mux { dst: m, cond: p, a: value, b: old });
+                        self.ops.push(Op::Mux {
+                            dst: m,
+                            cond: p,
+                            a: value,
+                            b: old,
+                        });
                         m
                     }
                 };
-                self.ops.push(Op::Store { src: v, slot: write, width });
+                self.ops.push(Op::Store {
+                    src: v,
+                    slot: write,
+                    width,
+                });
                 self.written.insert(*var);
                 Ok(())
             }
@@ -368,30 +506,66 @@ impl<'a> ProcLower<'a> {
                 let vw = self.plan.slots[*var].width;
                 let (read, write) = self.rw_slots(*var);
                 let old = self.fresh()?;
-                self.ops.push(Op::Load { dst: old, slot: read });
+                self.ops.push(Op::Load {
+                    dst: old,
+                    slot: read,
+                });
                 // cleared = old & ~(mask << lsb)
                 let hole = !(cudasim::device::mask(*width) << lsb) & cudasim::device::mask(vw);
                 let holec = self.konst(hole)?;
                 let cleared = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::And, dst: cleared, a: old, b: holec, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::And,
+                    dst: cleared,
+                    a: old,
+                    b: holec,
+                    width: vw,
+                });
                 // piece = (value & mask) << lsb
                 let m = self.konst(cudasim::device::mask(*width))?;
                 let vm = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::And, dst: vm, a: value, b: m, width: *width });
+                self.ops.push(Op::Bin {
+                    op: KBin::And,
+                    dst: vm,
+                    a: value,
+                    b: m,
+                    width: *width,
+                });
                 let sh = self.konst(*lsb as u64)?;
                 let vs = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::Shl, dst: vs, a: vm, b: sh, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::Shl,
+                    dst: vs,
+                    a: vm,
+                    b: sh,
+                    width: vw,
+                });
                 let merged = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::Or, dst: merged, a: cleared, b: vs, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::Or,
+                    dst: merged,
+                    a: cleared,
+                    b: vs,
+                    width: vw,
+                });
                 let v = match pred {
                     None => merged,
                     Some(p) => {
                         let mx = self.fresh()?;
-                        self.ops.push(Op::Mux { dst: mx, cond: p, a: merged, b: old });
+                        self.ops.push(Op::Mux {
+                            dst: mx,
+                            cond: p,
+                            a: merged,
+                            b: old,
+                        });
                         mx
                     }
                 };
-                self.ops.push(Op::Store { src: v, slot: write, width: vw });
+                self.ops.push(Op::Store {
+                    src: v,
+                    slot: write,
+                    width: vw,
+                });
                 self.written.insert(*var);
                 Ok(())
             }
@@ -400,37 +574,87 @@ impl<'a> ProcLower<'a> {
                 let (read, write) = self.rw_slots(*var);
                 let i = self.expr(idx)?;
                 let old = self.fresh()?;
-                self.ops.push(Op::Load { dst: old, slot: read });
+                self.ops.push(Op::Load {
+                    dst: old,
+                    slot: read,
+                });
                 // bitmask = 1 << idx (0 when idx >= width because Shl saturates)
                 let one = self.konst(1)?;
                 let bm = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::Shl, dst: bm, a: one, b: i, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::Shl,
+                    dst: bm,
+                    a: one,
+                    b: i,
+                    width: vw,
+                });
                 let nbm = self.fresh()?;
-                self.ops.push(Op::Un { op: KUn::Not, dst: nbm, a: bm, width: vw });
+                self.ops.push(Op::Un {
+                    op: KUn::Not,
+                    dst: nbm,
+                    a: bm,
+                    width: vw,
+                });
                 let cleared = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::And, dst: cleared, a: old, b: nbm, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::And,
+                    dst: cleared,
+                    a: old,
+                    b: nbm,
+                    width: vw,
+                });
                 let onev = self.konst(1)?;
                 let b0 = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::And, dst: b0, a: value, b: onev, width: 1 });
+                self.ops.push(Op::Bin {
+                    op: KBin::And,
+                    dst: b0,
+                    a: value,
+                    b: onev,
+                    width: 1,
+                });
                 let piece = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::Shl, dst: piece, a: b0, b: i, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::Shl,
+                    dst: piece,
+                    a: b0,
+                    b: i,
+                    width: vw,
+                });
                 let merged = self.fresh()?;
-                self.ops.push(Op::Bin { op: KBin::Or, dst: merged, a: cleared, b: piece, width: vw });
+                self.ops.push(Op::Bin {
+                    op: KBin::Or,
+                    dst: merged,
+                    a: cleared,
+                    b: piece,
+                    width: vw,
+                });
                 let v = match pred {
                     None => merged,
                     Some(p) => {
                         let mx = self.fresh()?;
-                        self.ops.push(Op::Mux { dst: mx, cond: p, a: merged, b: old });
+                        self.ops.push(Op::Mux {
+                            dst: mx,
+                            cond: p,
+                            a: merged,
+                            b: old,
+                        });
                         mx
                     }
                 };
-                self.ops.push(Op::Store { src: v, slot: write, width: vw });
+                self.ops.push(Op::Store {
+                    src: v,
+                    slot: write,
+                    width: vw,
+                });
                 self.written.insert(*var);
                 Ok(())
             }
             Target::Mem { var, idx } => {
                 if self.kind == ProcessKind::Comb {
-                    return Err(format!("process `{}`: combinational memory write", self.name));
+                    return Err(format!(
+                        "process `{}`: combinational memory write",
+                        self.name
+                    ));
                 }
                 let vs = self.plan.slots[*var];
                 let i = self.expr(idx)?;
@@ -528,8 +752,18 @@ mod tests {
                endcase
              end
            endmodule";
-        for (input, expect) in [(0b1011u64, 0u64), (0b0110, 1), (0b0100, 2), (0b1000, 3), (0b0000, 7)] {
-            assert_eq!(run_comb(src, &[("req", input)], "grant"), expect, "req={input:#06b}");
+        for (input, expect) in [
+            (0b1011u64, 0u64),
+            (0b0110, 1),
+            (0b0100, 2),
+            (0b1000, 3),
+            (0b0000, 7),
+        ] {
+            assert_eq!(
+                run_comb(src, &[("req", input)], "grant"),
+                expect,
+                "req={input:#06b}"
+            );
         }
     }
 

@@ -58,15 +58,29 @@ impl MemoryPlan {
             lens[bi] += count;
             // Shadow for state scalars only; memories commit in place.
             let shadow = if var.is_state && !var.is_memory() {
-                let s = Slot { bucket, offset: lens[bi] };
+                let s = Slot {
+                    bucket,
+                    offset: lens[bi],
+                };
                 lens[bi] += 1;
                 Some(s)
             } else {
                 None
             };
-            slots.push(VarSlot { slot: Slot { bucket, offset }, shadow, depth: var.depth, width: var.width });
+            slots.push(VarSlot {
+                slot: Slot { bucket, offset },
+                shadow,
+                depth: var.depth,
+                width: var.width,
+            });
         }
-        Ok(MemoryPlan { slots, len8: lens[0], len16: lens[1], len32: lens[2], len64: lens[3] })
+        Ok(MemoryPlan {
+            slots,
+            len8: lens[0],
+            len16: lens[1],
+            len32: lens[2],
+            len64: lens[3],
+        })
     }
 
     /// Allocate device arrays for `n` stimulus.
@@ -98,7 +112,13 @@ impl MemoryPlan {
     pub fn peek_mem(&self, dev: &DeviceMemory, var: VarId, idx: u32, tid: usize) -> u64 {
         let vs = &self.slots[var];
         debug_assert!(idx < vs.depth, "peek_mem out of range");
-        dev.load(Slot { bucket: vs.slot.bucket, offset: vs.slot.offset + idx }, tid)
+        dev.load(
+            Slot {
+                bucket: vs.slot.bucket,
+                offset: vs.slot.offset + idx,
+            },
+            tid,
+        )
     }
 
     /// FNV digest over a design's outputs for one stimulus — bit-for-bit
@@ -176,7 +196,10 @@ mod tests {
         for vs in &plan.slots {
             let count = vs.depth.max(1) + vs.shadow.is_some() as u32;
             for k in 0..count {
-                assert!(seen.insert((vs.slot.bucket, vs.slot.offset + k)), "overlap at {vs:?}");
+                assert!(
+                    seen.insert((vs.slot.bucket, vs.slot.offset + k)),
+                    "overlap at {vs:?}"
+                );
             }
         }
     }

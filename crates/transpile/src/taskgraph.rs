@@ -58,7 +58,11 @@ pub struct KernelProgram {
 
 impl KernelProgram {
     /// Build the program for `design` under `partition`.
-    pub fn build(design: &Design, graph: &RtlGraph, partition: &Partition) -> Result<KernelProgram, String> {
+    pub fn build(
+        design: &Design,
+        graph: &RtlGraph,
+        partition: &Partition,
+    ) -> Result<KernelProgram, String> {
         let plan = MemoryPlan::build(design)?;
         check_partition(graph, partition)?;
         check_seq_memory_hazard(design)?;
@@ -160,8 +164,8 @@ impl KernelProgram {
                 k.name = format!("{}_p2", k.name);
                 graph_ir.kernels.push(k);
             }
-            for t in 0..num_tasks {
-                let mut d: Vec<usize> = deps[t].iter().map(|&p| base + p).collect();
+            for dep in deps.iter().take(num_tasks) {
+                let mut d: Vec<usize> = dep.iter().map(|&p| base + p).collect();
                 if d.is_empty() {
                     d.push(commit_idx);
                 }
@@ -173,11 +177,23 @@ impl KernelProgram {
         for k in &graph_ir.kernels {
             k.validate()?;
         }
-        Ok(KernelProgram { plan, graph: graph_ir, order, num_tasks, has_seq })
+        Ok(KernelProgram {
+            plan,
+            graph: graph_ir,
+            order,
+            num_tasks,
+            has_seq,
+        })
     }
 
     /// Execute one full cycle functionally (inputs must already be poked).
-    pub fn run_cycle_functional(&self, dev: &mut DeviceMemory, scratch: &mut Scratch, tid0: usize, group: usize) {
+    pub fn run_cycle_functional(
+        &self,
+        dev: &mut DeviceMemory,
+        scratch: &mut Scratch,
+        tid0: usize,
+        group: usize,
+    ) {
         for &k in &self.order {
             execute_kernel(&self.graph.kernels[k], dev, scratch, tid0, group);
         }
@@ -190,7 +206,12 @@ impl KernelProgram {
 
     /// Largest register demand of any kernel (scratch arena sizing).
     pub fn max_regs(&self) -> u16 {
-        self.graph.kernels.iter().map(|k| k.num_regs).max().unwrap_or(0)
+        self.graph
+            .kernels
+            .iter()
+            .map(|k| k.num_regs)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -328,7 +349,10 @@ mod tests {
                 p.plan.poke(&mut dev, rst, t, rv);
                 p.plan.poke(&mut dev, x, t, xv);
             }
-            interp.step_cycle(&[(rst, BitVec::from_u64(rv, 1)), (x, BitVec::from_u64(xv, 16))]);
+            interp.step_cycle(&[
+                (rst, BitVec::from_u64(rv, 1)),
+                (x, BitVec::from_u64(xv, 16)),
+            ]);
             p.run_cycle_functional(&mut dev, &mut scratch, 0, 2);
             assert_eq!(
                 p.plan.output_digest(&dev, &d, 0),
@@ -422,7 +446,11 @@ mod tests {
                 .collect();
             interp.step_cycle(&pokes);
             p.run_cycle_functional(&mut dev, &mut scratch, 0, 1);
-            assert_eq!(p.plan.output_digest(&dev, &des, 0), interp.output_digest(), "cycle {c}");
+            assert_eq!(
+                p.plan.output_digest(&dev, &des, 0),
+                interp.output_digest(),
+                "cycle {c}"
+            );
         }
     }
 }

@@ -33,13 +33,19 @@ fn main() {
                     flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
                 }
             }
-            flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+            flow.program
+                .run_cycle_functional(&mut dev, &mut scratch, 0, n);
             // Sampling every 10 cycles keeps overhead realistic.
             if c % 10 == 9 {
                 cov.sample(&flow.design, &flow.program.plan, &dev, 0, n);
             }
         }
-        println!("{:>8} {:>12} {:>9.1}%", n, cov.covered_bits(), cov.fraction() * 100.0);
+        println!(
+            "{:>8} {:>12} {:>9.1}%",
+            n,
+            cov.covered_bits(),
+            cov.fraction() * 100.0
+        );
         last = cov.fraction();
     }
 
@@ -57,7 +63,8 @@ fn main() {
                 flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
             }
         }
-        flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+        flow.program
+            .run_cycle_functional(&mut dev, &mut scratch, 0, n);
         cov.sample(&flow.design, &flow.program.plan, &dev, 0, n);
     }
     println!("\nremaining holes at n=256 (top 10):");

@@ -25,10 +25,21 @@ fn main() {
     let source = NvdlaSource::new(&map, n, 0x7e57);
 
     // Pipelined (RTLflow) vs barrier-per-cycle (RTLflow without pipeline).
-    let piped_cfg = PipelineConfig { group_size: 256, ..Default::default() };
-    let piped = flow.simulate(&source, cycles, &piped_cfg).expect("pipelined run");
-    let barrier_cfg = PipelineConfig { group_size: 256, pipelined: false, ..Default::default() };
-    let barrier = flow.simulate(&source, cycles, &barrier_cfg).expect("barrier run");
+    let piped_cfg = PipelineConfig {
+        group_size: 256,
+        ..Default::default()
+    };
+    let piped = flow
+        .simulate(&source, cycles, &piped_cfg)
+        .expect("pipelined run");
+    let barrier_cfg = PipelineConfig {
+        group_size: 256,
+        pipelined: false,
+        ..Default::default()
+    };
+    let barrier = flow
+        .simulate(&source, cycles, &barrier_cfg)
+        .expect("barrier run");
 
     println!("\n{n} stimulus x {cycles} cycles:");
     println!(
@@ -45,14 +56,22 @@ fn main() {
         "  pipeline speed-up: {:.2}x",
         barrier.makespan as f64 / piped.makespan as f64
     );
-    assert_eq!(piped.digests, barrier.digests, "schedulers must agree bit-for-bit");
+    assert_eq!(
+        piped.digests, barrier.digests,
+        "schedulers must agree bit-for-bit"
+    );
 
     // Waveform signoff on a sample.
-    let compared = flow.verify_against_golden(&source, 60, 4).expect("golden check");
+    let compared = flow
+        .verify_against_golden(&source, 60, 4)
+        .expect("golden check");
     println!("\nverified {compared} sampled stimulus against the golden reference");
 
     // The regression verdict a CI system would consume: the set of
     // distinct output digests (collapsed duplicates = identical runs).
     let unique: std::collections::HashSet<_> = piped.digests.iter().collect();
-    println!("{} distinct output signatures across {n} stimulus", unique.len());
+    println!(
+        "{} distinct output signatures across {n} stimulus",
+        unique.len()
+    );
 }

@@ -38,31 +38,57 @@ fn main() {
         result.best_cost,
         (1.0 - result.best_cost / result.cost_history[0]) * 100.0
     );
-    println!("learned weights: {:?}", result.weights.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "learned weights: {:?}",
+        result
+            .weights
+            .iter()
+            .map(|w| (w * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     println!("tuned partition: {} tasks", result.partition.len());
 
     // Run both end to end (Table 3 style).
     let n = 4096;
     let cycles = 100;
-    let cfg_run = PipelineConfig { group_size: 512, ..Default::default() };
+    let cfg_run = PipelineConfig {
+        group_size: 512,
+        ..Default::default()
+    };
 
-    let mut flow = Flow::from_design(design.clone(), PartitionStrategy::Static { alpha: 8 }, model.clone())
-        .expect("static flow");
+    let mut flow = Flow::from_design(
+        design.clone(),
+        PartitionStrategy::Static { alpha: 8 },
+        model.clone(),
+    )
+    .expect("static flow");
     let map = PortMap::from_design(&flow.design);
     let source = RiscvSource::new(&map, n, 0x5eed);
-    let static_run = flow.simulate(&source, cycles, &cfg_run).expect("static run");
+    let static_run = flow
+        .simulate(&source, cycles, &cfg_run)
+        .expect("static run");
 
-    flow.repartition(PartitionStrategy::Mcmc(cfg)).expect("tuned repartition");
+    flow.repartition(PartitionStrategy::Mcmc(cfg))
+        .expect("tuned repartition");
     let tuned_run = flow.simulate(&source, cycles, &cfg_run).expect("tuned run");
 
     println!("\n{n} stimulus x {cycles} cycles on Spinal:");
-    println!("  RTLflow-g (static weights): {}", fmt_duration(static_run.makespan));
-    println!("  RTLflow   (MCMC weights)  : {}", fmt_duration(tuned_run.makespan));
+    println!(
+        "  RTLflow-g (static weights): {}",
+        fmt_duration(static_run.makespan)
+    );
+    println!(
+        "  RTLflow   (MCMC weights)  : {}",
+        fmt_duration(tuned_run.makespan)
+    );
     println!(
         "  improvement: {:.1}%",
         (static_run.makespan as f64 / tuned_run.makespan as f64 - 1.0) * 100.0
     );
-    assert_eq!(static_run.digests, tuned_run.digests, "partitioning must not change results");
+    assert_eq!(
+        static_run.digests, tuned_run.digests,
+        "partitioning must not change results"
+    );
 
     // Kernel-concurrency profile (Figure 14's point): tasks per level.
     let widths = flow.cuda.ir.level_widths();

@@ -41,7 +41,9 @@ fn main() {
     // 3. Check a few stimulus against the golden interpreter.
     let map = flow.port_map();
     let source = rtlflow::RandomSource::new(&map, n, 0xdecaf);
-    let compared = flow.verify_against_golden(&source, 100, 8).expect("golden check");
+    let compared = flow
+        .verify_against_golden(&source, 100, 8)
+        .expect("golden check");
     println!("verified {compared} stimulus against the golden reference: all outputs match");
 
     // 4. Show the emitted CUDA for the curious.
@@ -51,7 +53,11 @@ fn main() {
         metrics.loc, metrics.tokens, metrics.cc_avg
     );
     println!("---- first kernel ----");
-    for line in cuda_text.lines().skip_while(|l| !l.starts_with("__global__")).take(12) {
+    for line in cuda_text
+        .lines()
+        .skip_while(|l| !l.starts_with("__global__"))
+        .take(12)
+    {
         println!("{line}");
     }
 }

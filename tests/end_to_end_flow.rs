@@ -2,11 +2,11 @@
 //! qualitative claims of the paper must hold on the virtual platform) and
 //! full-pipeline smoke tests.
 
+use baselines::cpu_model::DesignWork;
 use rtlflow::{
     fmt_duration, Benchmark, CpuModel, EssentSim, ExecMode, Flow, NvdlaScale, PipelineConfig,
     PortMap, VerilatorModel,
 };
-use baselines::cpu_model::DesignWork;
 use rtlir::RtlGraph;
 use stimulus::source_for;
 
@@ -14,8 +14,14 @@ use stimulus::source_for;
 fn gpu_time(flow: &Flow, n: usize, cycles: u64, pipelined: bool) -> u64 {
     let map = PortMap::from_design(&flow.design);
     let source = source_for(&flow.design, &map, n, 7);
-    let cfg = PipelineConfig { group_size: 256.min(n), pipelined, ..Default::default() };
-    flow.simulate(source.as_ref(), cycles, &cfg).unwrap().makespan
+    let cfg = PipelineConfig {
+        group_size: 256.min(n),
+        pipelined,
+        ..Default::default()
+    };
+    flow.simulate(source.as_ref(), cycles, &cfg)
+        .unwrap()
+        .makespan
 }
 
 #[test]
@@ -53,7 +59,11 @@ fn cpu_wins_at_tiny_batch() {
     let gpu = gpu_time(&flow, n, cycles, true);
     // 8 stimulus on 8 single-thread processes, ignoring fork startup
     // (long-running nightly processes amortize it).
-    let mut m = VerilatorModel { threads: 1, processes: 8, cpu: CpuModel::default() };
+    let mut m = VerilatorModel {
+        threads: 1,
+        processes: 8,
+        cpu: CpuModel::default(),
+    };
     m.cpu.fork_startup_ns = 0;
     let cpu = m.batch_runtime(&work, n, cycles);
     assert!(
@@ -72,7 +82,10 @@ fn gpu_scales_sublinearly_with_batch() {
     let t_small = gpu_time(&flow, 256, 20, true);
     let t_big = gpu_time(&flow, 4096, 20, true);
     let growth = t_big as f64 / t_small as f64;
-    assert!(growth < 8.0, "16x stimulus should cost <8x time, got {growth:.1}x");
+    assert!(
+        growth < 8.0,
+        "16x stimulus should cost <8x time, got {growth:.1}x"
+    );
 }
 
 #[test]
@@ -81,10 +94,15 @@ fn graph_mode_beats_stream_mode() {
     let flow = Flow::from_benchmark(Benchmark::Spinal).unwrap();
     let map = PortMap::from_design(&flow.design);
     let source = source_for(&flow.design, &map, 512, 3);
-    let base = PipelineConfig { group_size: 256, ..Default::default() };
+    let base = PipelineConfig {
+        group_size: 256,
+        ..Default::default()
+    };
     let graph_mode = flow.simulate(source.as_ref(), 40, &base).unwrap();
-    let stream_cfg =
-        PipelineConfig { mode: ExecMode::Stream { streams: 4 }, ..base.clone() };
+    let stream_cfg = PipelineConfig {
+        mode: ExecMode::Stream { streams: 4 },
+        ..base.clone()
+    };
     let stream_mode = flow.simulate(source.as_ref(), 40, &stream_cfg).unwrap();
     assert!(
         graph_mode.makespan < stream_mode.makespan,
@@ -104,13 +122,25 @@ fn pipeline_utilization_tracks_figure_15() {
 
     let util = |n: usize, pipelined: bool| {
         let source = source_for(&flow.design, &map, n, 5);
-        let cfg = PipelineConfig { group_size: 256, pipelined, ..Default::default() };
-        flow.simulate(source.as_ref(), 15, &cfg).unwrap().gpu_utilization
+        let cfg = PipelineConfig {
+            group_size: 256,
+            pipelined,
+            ..Default::default()
+        };
+        flow.simulate(source.as_ref(), 15, &cfg)
+            .unwrap()
+            .gpu_utilization
     };
     let piped = util(4096, true);
     let barrier = util(4096, false);
-    assert!(piped > barrier, "pipelined {piped:.2} should beat barrier {barrier:.2}");
-    assert!(piped > 0.5, "pipelined utilization should be high, got {piped:.2}");
+    assert!(
+        piped > barrier,
+        "pipelined {piped:.2} should beat barrier {barrier:.2}"
+    );
+    assert!(
+        piped > 0.5,
+        "pipelined utilization should be high, got {piped:.2}"
+    );
 }
 
 #[test]
@@ -131,7 +161,11 @@ fn essent_activity_drives_its_advantage() {
 fn nvdla_scales_transpile_and_simulate() {
     // The generator scales; the whole flow keeps working at the bigger size.
     let flow = Flow::from_benchmark(Benchmark::Nvdla(NvdlaScale::Small)).unwrap();
-    assert!(flow.design.processes.len() > 300, "{}", flow.design.processes.len());
+    assert!(
+        flow.design.processes.len() > 300,
+        "{}",
+        flow.design.processes.len()
+    );
     let r = flow.simulate_random(16, 30, 1).unwrap();
     assert_eq!(r.digests.len(), 16);
     // MAC arrays actually computed something.

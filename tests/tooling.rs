@@ -6,6 +6,7 @@ use rtlflow::{Benchmark, Flow, PortMap, RiscvSource};
 use stimulus::StimulusSource;
 use transpile::ToggleCoverage;
 
+#[allow(clippy::too_many_arguments)]
 fn drive(
     flow: &Flow,
     map: &PortMap,
@@ -39,21 +40,27 @@ fn checkpoint_resume_is_bit_exact() {
     // Reference run: 100 straight cycles.
     let mut dev_ref = flow.program.plan.alloc_device(n);
     drive(&flow, &map, &src, &mut dev_ref, &mut scratch, n, 0, 100);
-    let reference: Vec<u64> = (0..n).map(|s| flow.program.plan.output_digest(&dev_ref, &flow.design, s)).collect();
+    let reference: Vec<u64> = (0..n)
+        .map(|s| flow.program.plan.output_digest(&dev_ref, &flow.design, s))
+        .collect();
 
     // Checkpointed run: 50 cycles, snapshot, 50 more.
     let mut dev = flow.program.plan.alloc_device(n);
     drive(&flow, &map, &src, &mut dev, &mut scratch, n, 0, 50);
     let snap = dev.snapshot();
     drive(&flow, &map, &src, &mut dev, &mut scratch, n, 50, 100);
-    let direct: Vec<u64> = (0..n).map(|s| flow.program.plan.output_digest(&dev, &flow.design, s)).collect();
+    let direct: Vec<u64> = (0..n)
+        .map(|s| flow.program.plan.output_digest(&dev, &flow.design, s))
+        .collect();
     assert_eq!(direct, reference);
 
     // Resume from the snapshot in a fresh device: must land identically.
     let mut dev2 = flow.program.plan.alloc_device(n);
     dev2.restore(&snap).unwrap();
     drive(&flow, &map, &src, &mut dev2, &mut scratch, n, 50, 100);
-    let resumed: Vec<u64> = (0..n).map(|s| flow.program.plan.output_digest(&dev2, &flow.design, s)).collect();
+    let resumed: Vec<u64> = (0..n)
+        .map(|s| flow.program.plan.output_digest(&dev2, &flow.design, s))
+        .collect();
     assert_eq!(resumed, reference);
 }
 
@@ -71,7 +78,10 @@ fn vcd_dump_of_benchmark_outputs() {
     assert!(vcd.contains("$enddefinitions"));
     assert!(vcd.contains("pc_out"));
     // PC moves, so there must be plenty of value changes.
-    assert!(vcd.lines().filter(|l| l.starts_with('b')).count() > 40, "{vcd}");
+    assert!(
+        vcd.lines().filter(|l| l.starts_with('b')).count() > 40,
+        "{vcd}"
+    );
 }
 
 #[test]
@@ -92,13 +102,17 @@ fn coverage_is_monotone_in_cycles() {
                 flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
             }
         }
-        flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+        flow.program
+            .run_cycle_functional(&mut dev, &mut scratch, 0, n);
         cov.sample(&flow.design, &flow.program.plan, &dev, 0, n);
         if c % 20 == 19 {
             fractions.push(cov.fraction());
         }
     }
-    assert!(fractions.windows(2).all(|w| w[1] >= w[0]), "coverage must be monotone: {fractions:?}");
+    assert!(
+        fractions.windows(2).all(|w| w[1] >= w[0]),
+        "coverage must be monotone: {fractions:?}"
+    );
     assert!(*fractions.last().unwrap() > 0.4);
 }
 
@@ -121,7 +135,8 @@ fn coverage_shards_merge_to_whole() {
                 flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
             }
         }
-        flow.program.run_cycle_functional(&mut dev, &mut scratch, 0, n);
+        flow.program
+            .run_cycle_functional(&mut dev, &mut scratch, 0, n);
         whole.sample(&flow.design, &flow.program.plan, &dev, 0, n);
     }
 
@@ -137,8 +152,13 @@ fn coverage_shards_merge_to_whole() {
                     flow.program.plan.poke(&mut devh, port.var, s, frame[lane]);
                 }
             }
-            flow.program.run_cycle_functional(&mut devh, &mut scratch, 0, n);
-            let (tid0, len) = if half == 0 { (0, n / 2) } else { (n / 2, n - n / 2) };
+            flow.program
+                .run_cycle_functional(&mut devh, &mut scratch, 0, n);
+            let (tid0, len) = if half == 0 {
+                (0, n / 2)
+            } else {
+                (n / 2, n - n / 2)
+            };
             cov.sample(&flow.design, &flow.program.plan, &devh, tid0, len);
         }
         merged.merge(&cov);
