@@ -1,0 +1,79 @@
+//! Multi-device sharded execution: measured speedup of the elastic
+//! work-stealing executor against the analytic static-split multi-GPU
+//! model, plus the scheduler's own overhead at several pool sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cudasim::GpuModel;
+use pipeline::{model_batch_multi_gpu, prepare, HostModel, PipelineConfig};
+use rtlflow::{Benchmark, PortMap};
+use shard::{model_shard_batch, DevicePool, ShardConfig};
+
+/// Print the measured-vs-predicted scaling curve (riscv-mini, N=65536).
+/// The elastic executor should track the analytic model closely on a
+/// uniform pool — the model is a static split, stealing only wins once
+/// devices are heterogeneous or faulty.
+fn print_scaling_curve(
+    program: &transpile::KernelProgram,
+    graph: &cudasim::CudaGraph,
+    lanes: usize,
+    model: &GpuModel,
+) {
+    let n = 65536;
+    let cycles = 16;
+    let cfg = ShardConfig::default();
+    let pcfg = PipelineConfig {
+        group_size: cfg.group_size,
+        host: HostModel::xeon(),
+        ..Default::default()
+    };
+    let t1 = model_shard_batch(program, graph, lanes, n, cycles, &cfg, &{
+        DevicePool::uniform(model.clone(), 1)
+    })
+    .makespan;
+    let p1 = model_batch_multi_gpu(program, graph, lanes, n, cycles, &pcfg, model, 1).makespan;
+    println!("shard scaling, riscv-mini {n} stimulus x {cycles} cycles:");
+    println!("  gpus  measured  predicted");
+    for k in [1usize, 2, 4, 8] {
+        let pool = DevicePool::uniform(model.clone(), k);
+        let measured = t1 as f64
+            / model_shard_batch(program, graph, lanes, n, cycles, &cfg, &pool).makespan as f64;
+        let predicted = p1 as f64
+            / model_batch_multi_gpu(program, graph, lanes, n, cycles, &pcfg, model, k).makespan
+                as f64;
+        let bar = "#".repeat((measured * 4.0).round() as usize);
+        println!("  {k:>4}  {measured:>7.2}x  {predicted:>8.2}x  {bar}");
+    }
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let design = Benchmark::RiscvMini.elaborate().unwrap();
+    let model = GpuModel::default();
+    let (program, graph) = prepare(&design, &model).unwrap();
+    let map = PortMap::from_design(&design);
+
+    print_scaling_curve(&program, &graph, map.len(), &model);
+
+    let mut g = c.benchmark_group("shard");
+    g.sample_size(10);
+
+    // Pure virtual-time scheduling rate of the sharded executor.
+    for k in [1usize, 4] {
+        let pool = DevicePool::uniform(model.clone(), k);
+        g.bench_function(format!("model_shard_batch/16384x32/gpus{k}"), |bench| {
+            let cfg = ShardConfig::default();
+            bench.iter(|| model_shard_batch(&program, &graph, map.len(), 16384, 32, &cfg, &pool))
+        });
+    }
+
+    // Heterogeneous pool: stealing keeps the fast devices fed.
+    let hetero = DevicePool::with_speeds(model.clone(), &[1.0, 1.0, 0.5, 0.25]);
+    g.bench_function("model_shard_batch/16384x32/hetero4", |bench| {
+        let cfg = ShardConfig::default();
+        bench.iter(|| model_shard_batch(&program, &graph, map.len(), 16384, 32, &cfg, &hetero))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! rtlflow vcd design.v --top cpu -c 200 -o wave.vcd
 //! rtlflow graph design.v --top cpu          # RTL graph as Graphviz DOT
 //! rtlflow serve-sim --clients 8 --jobs 6    # replay a multi-client trace
+//! rtlflow shard-sim --gpus 1,2,4,8          # multi-device scaling sweep
 //! ```
 
 use std::process::exit;
@@ -15,20 +16,40 @@ use std::process::exit;
 use rtlflow::{fmt_duration, Benchmark, Flow, NvdlaScale, PipelineConfig, PortMap};
 use transpile::ToggleCoverage;
 
+const USAGE: &str = "usage: rtlflow <command> [args]
+
+commands:
+  transpile   <file.v> --top <module> [--emit cuda|cpp] [-o <path>]
+              Transpile RTL to CUDA (or Verilator-style C++) source.
+  simulate    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
+              [-c <cycles>] [--seed <u64>] [--group <size>] [--no-pipeline]
+              [--streams <k>] [--verify <count>]
+              Batch-simulate on the virtual A6000, optionally checking
+              digests against the golden interpreter.
+  shard-sim   [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
+              [--gpus <k1,k2,..>] [--speeds <f1,f2,..>] [--group <size>]
+              [--fault-rate <p>] [--fault-seed <u64>] [--functional]
+              [--seed <u64>] [--json]
+              Sweep device counts (or one heterogeneous pool via --speeds),
+              reporting measured vs analytically predicted speedup, steal
+              counts, and per-device utilization.
+  serve-sim   [--clients <n>] [--jobs <per-client>] [--designs <k>]
+              [--max-batch <n>] [--window-ms <ms>] [--workers <n>]
+              [--queue-limit <n>] [--devices <f1,f2,..>] [--seed <u64>] [--json]
+              Replay a multi-client trace through the coalescing service.
+  coverage    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
+              [-c <cycles>] [--seed <u64>]
+              Toggle-coverage report over a random batch.
+  vcd         <file.v> --top <module> [-c <cycles>] [--seed <u64>] [-o <path>]
+              Dump a single-stimulus output waveform as VCD.
+  graph       <file.v> --top <module> [-o <path>]
+              Emit the RTL graph as Graphviz DOT.
+  benchmarks  List built-in benchmark designs.
+  help        Print this message.
+";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: rtlflow <command> [args]\n\
-         commands:\n\
-           transpile <file.v> --top <module> [--emit cuda|cpp] [-o <path>]\n\
-           simulate  (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>] [-c <cycles>]\n\
-                     [--seed <u64>] [--group <size>] [--no-pipeline] [--streams <k>] [--verify <count>]\n\
-           coverage  (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>] [-c <cycles>] [--seed <u64>]\n\
-           vcd       <file.v> --top <module> [-c <cycles>] [--seed <u64>] [-o <path>]\n\
-           graph     <file.v> --top <module> [-o <path>]\n\
-           serve-sim [--clients <n>] [--jobs <per-client>] [--designs <k>] [--max-batch <n>]\n\
-                     [--window-ms <ms>] [--workers <n>] [--queue-limit <n>] [--seed <u64>]\n\
-           benchmarks\n"
-    );
+    eprint!("{USAGE}");
     exit(2)
 }
 
@@ -83,6 +104,26 @@ impl Args {
             }),
         }
     }
+}
+
+/// Parse a comma-separated list flag value (`--gpus 1,2,4`).
+fn csv_list<T: std::str::FromStr>(s: &str, flag: &str) -> Vec<T> {
+    let list: Vec<T> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                eprintln!("bad value in --{flag}: `{p}`");
+                exit(2)
+            })
+        })
+        .collect();
+    if list.is_empty() {
+        eprintln!("--{flag} needs at least one value");
+        exit(2)
+    }
+    list
 }
 
 fn benchmark_by_name(name: &str) -> Benchmark {
@@ -152,6 +193,9 @@ fn main() {
     }
     let args = Args::parse(&raw);
     match raw[0].as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+        }
         "benchmarks" => {
             println!("riscv-mini   single-cycle RV32I-subset core");
             println!("spinal       3-stage pipelined core with forwarding + branch prediction");
@@ -265,6 +309,144 @@ fn main() {
             let dot = flow.graph_info.to_dot(&flow.design);
             write_out(&args, "rtl.dot", &dot);
         }
+        "shard-sim" => {
+            use desim::Json;
+            use rtlflow::{DevicePool, FaultSpec, HostModel, ShardConfig};
+
+            let flow = Flow::from_benchmark(benchmark_by_name(
+                args.get("benchmark").unwrap_or("riscv-mini"),
+            ))
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            let n: usize = args.num("n", 65536);
+            let cycles: u64 = args.num("c", 64);
+            let group: usize = args.num("group", 1024);
+            let fault_rate: f64 = args.num("fault-rate", 0.0);
+            let seed: u64 = args.num("seed", 1);
+            let functional = args.has("functional");
+            let map = PortMap::from_design(&flow.design);
+            let cfg = ShardConfig {
+                group_size: group.clamp(1, n.max(1)),
+                fault: (fault_rate > 0.0)
+                    .then(|| FaultSpec::with_rate(fault_rate, args.num("fault-seed", 1))),
+                ..Default::default()
+            };
+            let pools: Vec<DevicePool> = match args.get("speeds") {
+                Some(s) => vec![DevicePool::with_speeds(
+                    flow.model.clone(),
+                    &csv_list::<f64>(s, "speeds"),
+                )],
+                None => csv_list::<usize>(args.get("gpus").unwrap_or("1,2,4"), "gpus")
+                    .into_iter()
+                    .map(|k| DevicePool::uniform(flow.model.clone(), k.max(1)))
+                    .collect(),
+            };
+
+            let run = |pool: &DevicePool| {
+                if functional {
+                    let source = stimulus::source_for(&flow.design, &map, n, seed);
+                    flow.simulate_sharded(source.as_ref(), cycles, &cfg, pool)
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            exit(1)
+                        })
+                } else {
+                    rtlflow::model_shard_batch(
+                        &flow.program,
+                        &flow.cuda,
+                        map.len(),
+                        n,
+                        cycles,
+                        &cfg,
+                        pool,
+                    )
+                }
+            };
+            // Baselines: measured single device, and the analytic static
+            // multi-GPU model at each device count.
+            let t1 = run(&DevicePool::uniform(flow.model.clone(), 1)).makespan;
+            let pcfg = PipelineConfig {
+                group_size: cfg.group_size,
+                host: HostModel::xeon(),
+                ..Default::default()
+            };
+            let predict = |k: usize| {
+                pipeline::model_batch_multi_gpu(
+                    &flow.program,
+                    &flow.cuda,
+                    map.len(),
+                    n,
+                    cycles,
+                    &pcfg,
+                    &flow.model,
+                    k,
+                )
+                .makespan
+            };
+            let predicted_t1 = predict(1);
+
+            let mut sweeps = Vec::new();
+            for pool in &pools {
+                let r = run(pool);
+                let k = pool.len();
+                let speedup = t1 as f64 / r.makespan as f64;
+                let model_speedup = predicted_t1 as f64 / predict(k) as f64;
+                sweeps.push((k, r, speedup, model_speedup));
+            }
+
+            if args.has("json") {
+                let rows: Vec<Json> = sweeps
+                    .iter()
+                    .map(|(k, r, speedup, model_speedup)| {
+                        Json::obj()
+                            .field("gpus", *k)
+                            .field("speedup", *speedup)
+                            .field("model_speedup", *model_speedup)
+                            .field("efficiency", r.metrics.scaling_efficiency(t1))
+                            .field("metrics", r.metrics.to_json())
+                    })
+                    .collect();
+                let doc = Json::obj()
+                    .field("benchmark", args.get("benchmark").unwrap_or("riscv-mini"))
+                    .field("n", n)
+                    .field("cycles", cycles)
+                    .field("functional", functional)
+                    .field("fault_rate", fault_rate)
+                    .field("single_device_makespan_ns", t1)
+                    .field("sweeps", Json::Arr(rows));
+                println!("{doc}");
+            } else {
+                println!(
+                    "shard-sim: {} stimulus x {} cycles, group {}{}",
+                    n,
+                    cycles,
+                    cfg.group_size,
+                    if functional { "" } else { " (timing-only)" }
+                );
+                println!(
+                    "  {:>4}  {:>12}  {:>8}  {:>9}  {:>6}  {:>7}  {:>7}",
+                    "gpus", "makespan", "speedup", "predicted", "eff%", "steals", "faults"
+                );
+                for (k, r, speedup, model_speedup) in &sweeps {
+                    println!(
+                        "  {:>4}  {:>12}  {:>7.2}x  {:>8.2}x  {:>6.1}  {:>7}  {:>7}",
+                        k,
+                        fmt_duration(r.makespan),
+                        speedup,
+                        model_speedup,
+                        r.metrics.scaling_efficiency(t1) * 100.0,
+                        r.metrics.total_steals,
+                        r.metrics.faults_injected,
+                    );
+                }
+                for (k, r, _, _) in &sweeps {
+                    println!("\nper-device ({k} gpu{}):", if *k == 1 { "" } else { "s" });
+                    print!("{}", r.metrics.table());
+                }
+            }
+        }
         "serve-sim" => {
             use rtlflow::{ServeConfig, SimService, TraceConfig};
             use std::sync::Arc;
@@ -291,6 +473,10 @@ fn main() {
                 window: Duration::from_millis(args.num("window-ms", 5)),
                 queue_limit: args.num("queue-limit", 256),
                 workers: args.num("workers", 2),
+                devices: match args.get("devices") {
+                    Some(s) => csv_list::<f64>(s, "devices"),
+                    None => vec![1.0],
+                },
                 ..Default::default()
             };
             let trace_cfg = TraceConfig {
@@ -299,24 +485,32 @@ fn main() {
                 seed: args.num("seed", 7),
                 ..Default::default()
             };
-            println!(
-                "serve-sim: {} clients x {} jobs over {} design(s); \
-                 max batch {}, window {:?}, {} workers, queue limit {}",
-                trace_cfg.clients,
-                trace_cfg.jobs_per_client,
-                designs.len(),
-                serve_cfg.max_batch,
-                serve_cfg.window,
-                serve_cfg.workers,
-                serve_cfg.queue_limit
-            );
+            let json = args.has("json");
+            if !json {
+                println!(
+                    "serve-sim: {} clients x {} jobs over {} design(s); \
+                     max batch {}, window {:?}, {} workers, queue limit {}, {} device(s)",
+                    trace_cfg.clients,
+                    trace_cfg.jobs_per_client,
+                    designs.len(),
+                    serve_cfg.max_batch,
+                    serve_cfg.window,
+                    serve_cfg.workers,
+                    serve_cfg.queue_limit,
+                    serve_cfg.devices.len()
+                );
+            }
             let service = SimService::start(serve_cfg);
             let report = rtlflow::serve_replay(&service, &designs, &trace_cfg);
             let metrics = service.shutdown();
-            println!("\nclient-side trace report:");
-            print!("{}", report.table());
-            println!("\nservice metrics:");
-            print!("{}", metrics.table());
+            if json {
+                println!("{}", metrics.to_json());
+            } else {
+                println!("\nclient-side trace report:");
+                print!("{}", report.table());
+                println!("\nservice metrics:");
+                print!("{}", metrics.table());
+            }
         }
         _ => usage(),
     }

@@ -45,6 +45,10 @@ pub use serve::{
     replay as serve_replay, DeadlineClass, JobEvent, JobHandle, JobResult, JobSpec, Rejected,
     ServeConfig, ServeMetrics, SimService, TraceConfig, TraceReport,
 };
+pub use shard::{
+    model_shard_batch, shard_batch, shard_batch_jobs, DevicePool, DeviceReport, DeviceSpec,
+    FaultSpec, ShardConfig, ShardJobResult, ShardMetrics, ShardResult,
+};
 pub use stimulus::{PortMap, RandomSource, RiscvSource, SliceSource, StimulusSource};
 pub use transpile::{emit_cpp, emit_cuda, CodeMetrics, KernelProgram, Partition};
 
@@ -180,6 +184,36 @@ impl Flow {
             cycles,
             cfg,
             &self.model,
+        ))
+    }
+
+    /// Simulate a batch across a multi-device pool with elastic work
+    /// stealing. Digests are bit-identical to [`Flow::simulate`] for any
+    /// pool shape, speed mix, or injected fault schedule.
+    pub fn simulate_sharded(
+        &self,
+        source: &dyn StimulusSource,
+        cycles: u64,
+        cfg: &ShardConfig,
+        pool: &DevicePool,
+    ) -> Result<ShardResult, String> {
+        let map = self.port_map();
+        if source.num_ports() != map.len() {
+            return Err(format!(
+                "stimulus has {} lanes but design drives {} ports",
+                source.num_ports(),
+                map.len()
+            ));
+        }
+        Ok(shard_batch(
+            &self.design,
+            &self.program,
+            &self.cuda,
+            &map,
+            source,
+            cycles,
+            cfg,
+            pool,
         ))
     }
 

@@ -80,6 +80,21 @@ impl Default for GpuModel {
 }
 
 impl GpuModel {
+    /// Derive a heterogeneous-pool variant running at `speed` times this
+    /// model's throughput (clock and memory bandwidth scale together, the
+    /// way a binned/power-limited part of the same architecture behaves).
+    /// The per-kernel duration floor is device-side execution and scales
+    /// too; host-side launch overheads (stream/graph launches, events)
+    /// stay fixed.
+    pub fn scaled(&self, speed: f64) -> GpuModel {
+        assert!(speed > 0.0, "device speed factor must be positive");
+        let mut m = self.clone();
+        m.clock_ghz *= speed;
+        m.dram_gbps *= speed;
+        m.launch.min_kernel_ns = ((self.launch.min_kernel_ns as f64 / speed) as u64).max(1);
+        m
+    }
+
     /// Number of thread blocks a kernel over `n_threads` stimulus needs.
     pub fn blocks_for(&self, n_threads: usize) -> usize {
         n_threads.div_ceil(self.threads_per_block as usize).max(1)

@@ -376,7 +376,7 @@ mod tests {
             ]);
         }
         // MACs accumulate something non-zero.
-        assert_ne!(sim.peek(acc).to_u64(), 0);
+        assert_ne!(sim.peek(acc).unwrap().to_u64(), 0);
     }
 
     #[test]
@@ -402,12 +402,12 @@ mod tests {
                 (weight, BitVec::from_u64(0x0001_0001_0001_0001, 64)),
             ]);
         }
-        assert_ne!(sim.peek(acc).to_u64(), 0);
+        assert_ne!(sim.peek(acc).unwrap().to_u64(), 0);
         // Two clear cycles flush the PE accumulators.
         for _ in 0..2 {
             sim.step_cycle(&[(rst, b1(0)), (start, b1(0)), (clear, b1(1))]);
         }
-        assert_eq!(sim.peek(acc).to_u64(), 0);
+        assert_eq!(sim.peek(acc).unwrap().to_u64(), 0);
     }
 
     #[test]
@@ -442,7 +442,7 @@ mod tests {
                     (weight, BitVec::from_u64(0x0004_0004_0004_0004, 64)),
                 ]);
             }
-            sim.peek(acc).to_u64()
+            sim.peek(acc).unwrap().to_u64()
         };
         assert_ne!(run(0), run(4), "activation shift must affect outputs");
     }

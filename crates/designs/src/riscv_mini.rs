@@ -379,7 +379,7 @@ mod tests {
             (rst, BitVec::from_u64(0, 1)),
             (instr, one(rtype(0, 2, 1, 0, 3))),
         ]);
-        assert_eq!(sim.peek(result).to_u64(), 12);
+        assert_eq!(sim.peek(result).unwrap().to_u64(), 12);
     }
 
     #[test]
@@ -393,13 +393,13 @@ mod tests {
             (rst, BitVec::from_u64(1, 1)),
             (instr, BitVec::from_u64(0, 32)),
         ]);
-        assert_eq!(sim.peek(pc).to_u64(), 0);
+        assert_eq!(sim.peek(pc).unwrap().to_u64(), 0);
         for i in 1..=3u64 {
             sim.step_cycle(&[
                 (rst, BitVec::from_u64(0, 1)),
                 (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32)),
             ]);
-            assert_eq!(sim.peek(pc).to_u64(), 4 * i);
+            assert_eq!(sim.peek(pc).unwrap().to_u64(), 4 * i);
         }
     }
 
@@ -425,7 +425,7 @@ mod tests {
         // lw x3, 0(x2): opcode 0000011
         let lw = ((0u32 & 0xfff) << 20) | (2 << 15) | (0b010 << 12) | (3 << 7) | 0b0000011;
         sim.step_cycle(&[lo(0), (instr, one(lw as u64))]);
-        assert_eq!(sim.peek(dmem_out).to_u64(), 0xab);
+        assert_eq!(sim.peek(dmem_out).unwrap().to_u64(), 0xab);
     }
 
     #[test]
@@ -449,7 +449,7 @@ mod tests {
             | (0 << 7)
             | 0b1100011;
         sim.step_cycle(&[(rst, BitVec::from_u64(0, 1)), (instr, one(beq as u64))]);
-        assert_eq!(sim.peek(pc).to_u64(), 16);
+        assert_eq!(sim.peek(pc).unwrap().to_u64(), 16);
     }
 
     #[test]
@@ -471,6 +471,6 @@ mod tests {
             (rst, BitVec::from_u64(0, 1)),
             (instr, one(rtype(0, 0, 0, 0, 5))),
         ]);
-        assert_eq!(sim.peek(result).to_u64(), 0);
+        assert_eq!(sim.peek(result).unwrap().to_u64(), 0);
     }
 }

@@ -371,7 +371,7 @@ mod tests {
                 (instr, BitVec::from_u64(itype(1, 0, 0, 1), 32)),
             ]);
         }
-        assert_eq!(sim.peek(pc).to_u64(), 40);
+        assert_eq!(sim.peek(pc).unwrap().to_u64(), 40);
     }
 
     #[test]
@@ -390,7 +390,7 @@ mod tests {
         sim.step_cycle(&[(rst, z(0, 1)), (instr, z(itype(4, 1, 0, 1), 32))]);
         sim.step_cycle(&[(rst, z(0, 1)), (instr, z(0, 32))]);
         // The second addi's result is now sitting in the writeback register.
-        assert_eq!(sim.peek(wb).to_u64(), 7);
+        assert_eq!(sim.peek(wb).unwrap().to_u64(), 7);
     }
 
     #[test]
@@ -404,7 +404,7 @@ mod tests {
             (rst, BitVec::from_u64(1, 1)),
             (instr, BitVec::from_u64(0, 32)),
         ]);
-        let p0 = sim.peek(perf).to_u64();
+        let p0 = sim.peek(perf).unwrap().to_u64();
         sim.step_cycle(&[
             (rst, BitVec::from_u64(0, 1)),
             (instr, BitVec::from_u64(0, 32)),
@@ -413,6 +413,6 @@ mod tests {
             (rst, BitVec::from_u64(0, 1)),
             (instr, BitVec::from_u64(0, 32)),
         ]);
-        assert_ne!(sim.peek(perf).to_u64(), p0);
+        assert_ne!(sim.peek(perf).unwrap().to_u64(), p0);
     }
 }

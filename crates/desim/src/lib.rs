@@ -7,8 +7,10 @@
 //! that yields the utilization rates and timelines behind Figures 2, 15
 //! and 16.
 
+pub mod json;
 pub mod trace;
 
+pub use json::Json;
 pub use trace::{Interval, Trace};
 
 use std::cmp::Reverse;

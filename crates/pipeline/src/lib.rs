@@ -50,6 +50,19 @@ impl Default for HostModel {
     }
 }
 
+impl HostModel {
+    /// The paper's Machine 1 (80-thread Xeon Gold server) — the host a
+    /// multi-device pool hangs off, where `set_inputs` for several
+    /// devices must not contend down to a laptop-class core count.
+    pub fn xeon() -> HostModel {
+        HostModel {
+            threads: 80,
+            lane_ns: 250,
+            workers_per_group: 8,
+        }
+    }
+}
+
 /// Scheduling configuration for one batch run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {

@@ -1722,7 +1722,7 @@ mod tests {
         for v in [0u64, 0xff, 0b1010_0110, 0b1000_0000] {
             sim.step_cycle(&[(a, BitVec::from_u64(v, 8))]);
             assert_eq!(
-                sim.peek(ones).to_u64(),
+                sim.peek(ones).unwrap().to_u64(),
                 v.count_ones() as u64,
                 "a={v:#010b}"
             );
@@ -1783,7 +1783,7 @@ mod tests {
         let a = d.find_var("a").unwrap();
         let y = d.find_var("y").unwrap();
         sim.step_cycle(&[(a, BitVec::from_u64(10, 8))]);
-        assert_eq!(sim.peek(y).to_u64(), 13, "three +1 stages");
+        assert_eq!(sim.peek(y).unwrap().to_u64(), 13, "three +1 stages");
     }
 
     #[test]
@@ -1828,7 +1828,7 @@ mod tests {
             (0b0000, 7),
         ] {
             i.step_cycle(&[(req, BitVec::from_u64(input, 4))]);
-            assert_eq!(i.peek(grant).to_u64(), expect, "req={input:#06b}");
+            assert_eq!(i.peek(grant).unwrap().to_u64(), expect, "req={input:#06b}");
         }
     }
 
@@ -1911,7 +1911,7 @@ mod tests {
         let mut i = crate::Interp::new(&d).unwrap();
         let a = d.find_var("a").unwrap();
         i.step_cycle(&[(a, BitVec::from_u64(1, 1))]);
-        assert_eq!(i.peek(y).to_u64(), 1);
+        assert_eq!(i.peek(y).unwrap().to_u64(), 1);
     }
 
     #[test]
@@ -1927,7 +1927,7 @@ mod tests {
         let b = d.find_var("b").unwrap();
         let y = d.find_var("y").unwrap();
         i.step_cycle(&[(a, BitVec::from_u64(3, 4)), (b, BitVec::from_u64(0xf, 4))]);
-        assert_eq!(i.peek(y).to_u64(), ((0xf ^ 0x5) << 4) | 4);
+        assert_eq!(i.peek(y).unwrap().to_u64(), ((0xf ^ 0x5) << 4) | 4);
     }
 
     #[test]

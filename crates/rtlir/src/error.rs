@@ -16,6 +16,8 @@ pub enum Error {
     Elab(String),
     /// RTL graph construction error (combinational loop, undriven signal...).
     Graph(String),
+    /// Interpreter misuse (peek on a memory, out-of-range word index...).
+    Interp(String),
 }
 
 impl Error {
@@ -37,6 +39,9 @@ impl Error {
     pub(crate) fn graph(msg: impl Into<String>) -> Self {
         Error::Graph(msg.into())
     }
+    pub(crate) fn interp(msg: impl Into<String>) -> Self {
+        Error::Interp(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -46,6 +51,7 @@ impl fmt::Display for Error {
             Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             Error::Elab(msg) => write!(f, "elaboration error: {msg}"),
             Error::Graph(msg) => write!(f, "rtl graph error: {msg}"),
+            Error::Interp(msg) => write!(f, "interpreter error: {msg}"),
         }
     }
 }

@@ -87,19 +87,46 @@ impl<'a> Interp<'a> {
         self.cycle
     }
 
-    /// Read a scalar variable's current value.
-    pub fn peek(&self, var: VarId) -> &BitVec {
+    /// Read a scalar variable's current value. Errors when `var` names a
+    /// memory (use [`Interp::peek_mem`] for those).
+    pub fn peek(&self, var: VarId) -> crate::Result<&BitVec> {
         match &self.slots[var] {
-            Slot::Scalar(v) => v,
-            Slot::Memory(_) => panic!("peek on memory `{}`", self.design.vars[var].name),
+            Slot::Scalar(v) => Ok(v),
+            Slot::Memory(_) => Err(crate::Error::interp(format!(
+                "peek on memory `{}` (use peek_mem)",
+                self.design.vars[var].name
+            ))),
         }
     }
 
-    /// Read one memory word.
-    pub fn peek_mem(&self, var: VarId, idx: usize) -> &BitVec {
+    /// Read one memory word. Errors when `var` is a scalar or `idx` is
+    /// outside the memory's depth.
+    pub fn peek_mem(&self, var: VarId, idx: usize) -> crate::Result<&BitVec> {
         match &self.slots[var] {
-            Slot::Memory(words) => &words[idx],
-            Slot::Scalar(_) => panic!("peek_mem on scalar `{}`", self.design.vars[var].name),
+            Slot::Memory(words) => words.get(idx).ok_or_else(|| {
+                crate::Error::interp(format!(
+                    "peek_mem index {idx} outside `{}` of depth {}",
+                    self.design.vars[var].name,
+                    words.len()
+                ))
+            }),
+            Slot::Scalar(_) => Err(crate::Error::interp(format!(
+                "peek_mem on scalar `{}` (use peek)",
+                self.design.vars[var].name
+            ))),
+        }
+    }
+
+    /// Internal scalar read for variables the elaborator guarantees are
+    /// scalars (outputs, expression operands, comb targets). A failure
+    /// here is a broken internal invariant, not caller error.
+    fn scalar(&self, var: VarId) -> &BitVec {
+        match &self.slots[var] {
+            Slot::Scalar(v) => v,
+            Slot::Memory(_) => unreachable!(
+                "elaboration guarantees `{}` is scalar here",
+                self.design.vars[var].name
+            ),
         }
     }
 
@@ -147,7 +174,7 @@ impl<'a> Interp<'a> {
     pub fn output_digest(&self) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
         for &o in &self.design.outputs {
-            for &w in self.peek(o).words() {
+            for &w in self.scalar(o).words() {
                 h ^= w;
                 h = h.wrapping_mul(0x100000001b3);
             }
@@ -167,7 +194,7 @@ impl<'a> Interp<'a> {
                 match shape {
                     None => self.slots[*w] = Slot::Scalar(BitVec::zero(self.design.vars[*w].width)),
                     Some(slices) => {
-                        let mut v = self.peek(*w).clone();
+                        let mut v = self.scalar(*w).clone();
                         for &(lsb, width) in slices {
                             v = splice(&v, lsb, width, &BitVec::zero(width.max(1)));
                         }
@@ -219,12 +246,12 @@ impl<'a> Interp<'a> {
                 self.slots[*var] = Slot::Scalar(value.resize(w));
             }
             Target::Slice { var, lsb, width } => {
-                let old = self.peek(*var).clone();
+                let old = self.scalar(*var).clone();
                 self.slots[*var] = Slot::Scalar(splice(&old, *lsb, *width, &value));
             }
             Target::DynBit { var, idx } => {
                 let bit = self.eval(idx).to_u64();
-                let old = self.peek(*var).clone();
+                let old = self.scalar(*var).clone();
                 if bit < old.width() as u64 {
                     self.slots[*var] = Slot::Scalar(splice(&old, bit as u32, 1, &value));
                 }
@@ -281,7 +308,7 @@ impl<'a> Interp<'a> {
     pub fn eval(&self, e: &EExpr) -> BitVec {
         match e {
             EExpr::Const(v) => v.clone(),
-            EExpr::Var(v) => self.peek(*v).clone(),
+            EExpr::Var(v) => self.scalar(*v).clone(),
             EExpr::ReadMem { var, idx } => {
                 let i = self.eval(idx).to_u64() as usize;
                 match &self.slots[*var] {
@@ -392,7 +419,7 @@ pub fn capture_waveform(
         for &o in &design.outputs {
             wave.entry(design.vars[o].name.clone())
                 .or_default()
-                .push(interp.peek(o).clone());
+                .push(interp.peek(o)?.clone());
         }
     }
     Ok(wave)
@@ -420,11 +447,11 @@ mod tests {
         let rst = d.find_var("rst").unwrap();
         let q = d.find_var("q").unwrap();
         i.step_cycle(&[(rst, BitVec::from_u64(1, 1))]);
-        assert_eq!(i.peek(q).to_u64(), 0);
+        assert_eq!(i.peek(q).unwrap().to_u64(), 0);
         for _ in 0..5 {
             i.step_cycle(&[(rst, BitVec::from_u64(0, 1))]);
         }
-        assert_eq!(i.peek(q).to_u64(), 5);
+        assert_eq!(i.peek(q).unwrap().to_u64(), 5);
     }
 
     #[test]
@@ -445,7 +472,7 @@ mod tests {
         let mut i = Interp::new(&d).unwrap();
         i.step_cycle(&[(a, BitVec::from_u64(10, 8))]);
         // r = 11 after edge, y = 12 after post-edge settle.
-        assert_eq!(i.peek(y).to_u64(), 12);
+        assert_eq!(i.peek(y).unwrap().to_u64(), 12);
     }
 
     #[test]
@@ -469,8 +496,8 @@ mod tests {
         i.step_cycle(&[(set, BitVec::from_u64(1, 1))]);
         i.step_cycle(&[(set, BitVec::from_u64(0, 1))]);
         // True swap: non-blocking reads pre-edge values.
-        assert_eq!(i.peek(ya).to_u64(), 2);
-        assert_eq!(i.peek(yb).to_u64(), 1);
+        assert_eq!(i.peek(ya).unwrap().to_u64(), 2);
+        assert_eq!(i.peek(yb).unwrap().to_u64(), 1);
     }
 
     #[test]
@@ -495,7 +522,7 @@ mod tests {
             (din, BitVec::from_u64(0xab, 8)),
         ]);
         i.step_cycle(&[(we, BitVec::from_u64(0, 1)), (addr, BitVec::from_u64(3, 4))]);
-        assert_eq!(i.peek(dout).to_u64(), 0xab);
+        assert_eq!(i.peek(dout).unwrap().to_u64(), 0xab);
     }
 
     #[test]
@@ -523,9 +550,9 @@ mod tests {
         let y = d.find_var("y").unwrap();
         let mut i = Interp::new(&d).unwrap();
         i.step_cycle(&[(s, BitVec::from_u64(1, 1))]);
-        assert_eq!(i.peek(y).to_u64(), 9);
+        assert_eq!(i.peek(y).unwrap().to_u64(), 9);
         i.step_cycle(&[(s, BitVec::from_u64(0, 1))]);
-        assert_eq!(i.peek(y).to_u64(), 1);
+        assert_eq!(i.peek(y).unwrap().to_u64(), 1);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+use desim::Json;
+
 /// Snapshot of the service's behaviour since start.
 #[derive(Debug, Clone, Default)]
 pub struct ServeMetrics {
@@ -29,6 +31,14 @@ pub struct ServeMetrics {
     pub cache_misses: u64,
     /// EWMA of real service time per stimulus, feeding retry-after.
     pub ewma_service_per_job: Duration,
+    /// Dispatches routed through the multi-device sharded executor.
+    pub pool_dispatches: u64,
+    /// Work-steal operations across all pool dispatches.
+    pub pool_steals: u64,
+    /// Injected device faults across all pool dispatches.
+    pub pool_faults: u64,
+    /// Groups requeued onto surviving devices after faults.
+    pub pool_groups_requeued: u64,
 }
 
 impl ServeMetrics {
@@ -48,6 +58,13 @@ impl ServeMetrics {
     pub(crate) fn record_wait(&mut self, wait: Duration) {
         self.queue_wait_total += wait;
         self.queue_wait_max = self.queue_wait_max.max(wait);
+    }
+
+    pub(crate) fn record_pool(&mut self, pool: &shard::ShardMetrics) {
+        self.pool_dispatches += 1;
+        self.pool_steals += pool.total_steals;
+        self.pool_faults += pool.faults_injected;
+        self.pool_groups_requeued += pool.groups_requeued;
     }
 
     pub(crate) fn record_service_time(&mut self, per_job: Duration) {
@@ -138,6 +155,15 @@ impl ServeMetrics {
             "ewma service / job",
             format!("{:.2} ms", self.ewma_service_per_job.as_secs_f64() * 1e3),
         );
+        if self.pool_dispatches > 0 {
+            row("pool dispatches", self.pool_dispatches.to_string());
+            row("pool steals", self.pool_steals.to_string());
+            row("pool faults", self.pool_faults.to_string());
+            row(
+                "pool groups requeued",
+                self.pool_groups_requeued.to_string(),
+            );
+        }
         out.push_str("  batch-size histogram:\n");
         for (i, &count) in self.batch_size_buckets.iter().enumerate() {
             if count > 0 {
@@ -147,6 +173,47 @@ impl ServeMetrics {
             }
         }
         out
+    }
+
+    /// Machine-readable snapshot (`serve-sim --json`).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .batch_size_buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::obj()
+                    .field("min_stimulus", 1u64 << i)
+                    .field("count", c)
+            })
+            .collect();
+        Json::obj()
+            .field("jobs_accepted", self.jobs_accepted)
+            .field("jobs_rejected", self.jobs_rejected)
+            .field("jobs_completed", self.jobs_completed)
+            .field("jobs_failed", self.jobs_failed)
+            .field("dispatches", self.dispatches)
+            .field("stimulus_dispatched", self.stimulus_dispatched)
+            .field("mean_batch_stimulus", self.mean_batch_stimulus())
+            .field("coalescing_efficiency", self.coalescing_efficiency())
+            .field("cache_hits", self.cache_hits)
+            .field("cache_misses", self.cache_misses)
+            .field("cache_hit_rate", self.cache_hit_rate())
+            .field(
+                "mean_queue_wait_ms",
+                self.mean_queue_wait().as_secs_f64() * 1e3,
+            )
+            .field("max_queue_wait_ms", self.queue_wait_max.as_secs_f64() * 1e3)
+            .field(
+                "ewma_service_per_job_ms",
+                self.ewma_service_per_job.as_secs_f64() * 1e3,
+            )
+            .field("pool_dispatches", self.pool_dispatches)
+            .field("pool_steals", self.pool_steals)
+            .field("pool_faults", self.pool_faults)
+            .field("pool_groups_requeued", self.pool_groups_requeued)
+            .field("batch_size_histogram", Json::Arr(buckets))
     }
 }
 
@@ -200,5 +267,21 @@ mod tests {
         let t = m.table();
         assert!(t.contains("coalescing efficiency"));
         assert!(t.contains("program cache hit rate"));
+        assert!(
+            !t.contains("pool dispatches"),
+            "pool rows only appear once the pool was used"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_carries_pool_counters() {
+        let mut m = ServeMetrics::default();
+        m.record_dispatch(2, 24, false);
+        m.pool_dispatches = 1;
+        m.pool_steals = 3;
+        let j = m.to_json().to_string();
+        assert!(j.contains("\"pool_steals\":3"));
+        assert!(j.contains("\"dispatches\":1"));
+        assert!(j.contains("\"batch_size_histogram\":[{"));
     }
 }

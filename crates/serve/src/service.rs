@@ -10,8 +10,10 @@
 //!   sleeps until the next deadline or the next submit.
 //! * **Workers** pull coalesced batches from a shared channel, look up
 //!   (or build, once per design) the compiled engine in the warm cache,
-//!   run [`pipeline::simulate_batch_jobs`], and fan per-job slices of
-//!   the result back over each job's event channel.
+//!   run the launch — [`pipeline::simulate_batch_jobs`] on one device,
+//!   or [`shard::shard_batch_jobs`] across the configured device pool —
+//!   and fan per-job slices of the result back over each job's event
+//!   channel.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,8 +47,13 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Pipeline group size inside each launch (clamped to the batch).
     pub group_size: usize,
-    /// Virtual GPU the workers simulate against.
+    /// Virtual GPU the workers simulate against (the pool's base model).
     pub model: GpuModel,
+    /// Per-device speed factors of the device pool coalesced batches are
+    /// dispatched onto. `[1.0]` (the default) keeps the single-device
+    /// pipeline; more than one entry routes every launch through the
+    /// sharded multi-device executor.
+    pub devices: Vec<f64>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +65,7 @@ impl Default for ServeConfig {
             workers: 2,
             group_size: 1024,
             model: GpuModel::default(),
+            devices: vec![1.0],
         }
     }
 }
@@ -378,21 +386,58 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         .map(|s| Box::new(Arc::clone(s)) as Box<dyn StimulusSource>)
         .collect();
 
-    let pcfg = PipelineConfig {
-        group_size: cfg.group_size.clamp(1, total.max(1)),
-        ..Default::default()
-    };
+    let group_size = cfg.group_size.clamp(1, total.max(1));
     let t0 = Instant::now();
-    let result = pipeline::simulate_batch_jobs(
-        &engine.design,
-        &engine.program,
-        &engine.graph,
-        &engine.map,
-        stacked,
-        cycles,
-        &pcfg,
-        &cfg.model,
-    );
+    // Single device keeps the pipeline path; a multi-device config routes
+    // the whole coalesced batch through the sharded executor. Either way
+    // each job's digest slice is bit-identical to a standalone run.
+    let (digests, ranges, makespan, gpu_utilization, pool) = if cfg.devices.len() > 1 {
+        let pool = shard::DevicePool::with_speeds(cfg.model.clone(), &cfg.devices);
+        let scfg = shard::ShardConfig {
+            group_size,
+            ..Default::default()
+        };
+        let r = shard::shard_batch_jobs(
+            &engine.design,
+            &engine.program,
+            &engine.graph,
+            &engine.map,
+            stacked,
+            cycles,
+            &scfg,
+            &pool,
+        );
+        let util = r.result.metrics.mean_utilization();
+        (
+            r.result.digests,
+            r.ranges,
+            r.result.makespan,
+            util,
+            Some(r.result.metrics),
+        )
+    } else {
+        let pcfg = PipelineConfig {
+            group_size,
+            ..Default::default()
+        };
+        let r = pipeline::simulate_batch_jobs(
+            &engine.design,
+            &engine.program,
+            &engine.graph,
+            &engine.map,
+            stacked,
+            cycles,
+            &pcfg,
+            &cfg.model,
+        );
+        (
+            r.sim.digests,
+            r.ranges,
+            r.sim.makespan,
+            r.sim.gpu_utilization,
+            None,
+        )
+    };
     let elapsed = t0.elapsed();
 
     {
@@ -402,13 +447,16 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         for meta in &metas {
             m.record_wait(dispatched_at.duration_since(meta.accepted_at));
         }
+        if let Some(pool) = &pool {
+            m.record_pool(pool);
+        }
         m.jobs_completed += n_jobs as u64;
     }
     // Terminal state reached: hand the admission credits back.
     shared.queue.lock().expect("queue poisoned").release(n_jobs);
 
     for (j, meta) in metas.into_iter().enumerate() {
-        let range = result.ranges[j].clone();
+        let range = ranges[j].clone();
         let vcd = if meta.want_vcd {
             let src = &sources[j];
             let map = &engine.map;
@@ -423,9 +471,9 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         };
         let _ = meta.events.send(JobEvent::Completed(Box::new(JobResult {
             id: meta.id,
-            digests: result.sim.digests[range].to_vec(),
-            makespan: result.sim.makespan,
-            gpu_utilization: result.sim.gpu_utilization,
+            digests: digests[range].to_vec(),
+            makespan,
+            gpu_utilization,
             batch_stimulus: total,
             batch_jobs: n_jobs,
             queue_wait: dispatched_at.duration_since(meta.accepted_at),
@@ -529,6 +577,38 @@ mod tests {
         for h in handles {
             assert_eq!(h.wait().unwrap().digests.len(), 4);
         }
+    }
+
+    #[test]
+    fn pool_dispatch_is_bit_identical_to_single_device() {
+        let design = tiny_design();
+        let run = |devices: Vec<f64>| {
+            let service = SimService::start(ServeConfig {
+                window: Duration::from_millis(10),
+                workers: 1,
+                group_size: 4,
+                devices,
+                ..Default::default()
+            });
+            let h1 = service.submit(spec(&design, 8, 11, 30)).unwrap();
+            let h2 = service.submit(spec(&design, 16, 22, 30)).unwrap();
+            let digests = (h1.wait().unwrap().digests, h2.wait().unwrap().digests);
+            (digests, service.shutdown())
+        };
+        let (single, m1) = run(vec![1.0]);
+        let (pooled, m2) = run(vec![1.0, 0.5, 1.0]);
+        assert_eq!(
+            pooled, single,
+            "a heterogeneous pool must not change any job's digests"
+        );
+        assert_eq!(
+            m1.pool_dispatches, 0,
+            "one device stays on the pipeline path"
+        );
+        assert!(
+            m2.pool_dispatches >= 1,
+            "multi-device config must use the pool"
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Device-fault injection.
+//!
+//! A fault kills a whole device at the moment it picks up a group: the
+//! in-flight group is discarded (no partial results ever commit) and
+//! requeued onto the surviving devices together with the dead device's
+//! backlog. Faults are deterministic — either an explicit schedule or a
+//! seeded per-pickup hash — so any failing run replays exactly.
+
+use stimulus::coord_hash;
+
+/// When devices fail. Both mechanisms can be combined.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that a device dies at each group pickup, evaluated as
+    /// a deterministic hash of `(seed, device, pickup index)`.
+    pub rate: f64,
+    /// Seed for the rate hash.
+    pub seed: u64,
+    /// Explicit schedule: `(device, k)` kills `device` at its `k`-th
+    /// group pickup (0-based).
+    pub at: Vec<(usize, u64)>,
+}
+
+impl FaultSpec {
+    /// Rate-based failures with a seed.
+    pub fn with_rate(rate: f64, seed: u64) -> FaultSpec {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        FaultSpec {
+            rate,
+            seed,
+            at: Vec::new(),
+        }
+    }
+
+    /// Explicitly scheduled failures.
+    pub fn schedule(at: Vec<(usize, u64)>) -> FaultSpec {
+        FaultSpec {
+            rate: 0.0,
+            seed: 0,
+            at,
+        }
+    }
+
+    /// Does `device` fail at its `pickup`-th group pickup?
+    ///
+    /// The executor still refuses to kill the last surviving device —
+    /// that policy lives in the scheduler, not here.
+    pub fn triggers(&self, device: usize, pickup: u64) -> bool {
+        if self.at.iter().any(|&(d, k)| d == device && k == pickup) {
+            return true;
+        }
+        if self.rate > 0.0 {
+            let h = coord_hash(self.seed, device as u64, pickup, 0xfa17);
+            // Map the hash to [0, 1) and compare against the rate.
+            return (h >> 11) as f64 / ((1u64 << 53) as f64) < self.rate;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_triggers_exactly_once() {
+        let f = FaultSpec::schedule(vec![(1, 2)]);
+        assert!(!f.triggers(1, 0));
+        assert!(!f.triggers(1, 1));
+        assert!(f.triggers(1, 2));
+        assert!(!f.triggers(0, 2));
+    }
+
+    #[test]
+    fn rate_is_deterministic_and_roughly_calibrated() {
+        let f = FaultSpec::with_rate(0.25, 42);
+        let hits: usize = (0..4000).filter(|&p| f.triggers(0, p)).count();
+        assert_eq!(
+            hits,
+            (0..4000).filter(|&p| f.triggers(0, p)).count(),
+            "same spec must replay identically"
+        );
+        assert!(
+            (800..1200).contains(&hits),
+            "~25% of 4000 pickups should trigger, got {hits}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_triggers() {
+        let f = FaultSpec::default();
+        assert!((0..100).all(|p| !f.triggers(3, p)));
+    }
+}

@@ -1,0 +1,98 @@
+//! The device pool: a set of simulated GPUs sharing one host.
+//!
+//! Devices may be heterogeneous (a binned/power-limited part of the same
+//! architecture runs at a fraction of the base model's throughput); the
+//! pool derives each device's [`GpuModel`] from a shared base via
+//! [`GpuModel::scaled`]: throughput and the device-side kernel floor
+//! scale, host-side launch overheads stay fixed.
+
+use cudasim::GpuModel;
+
+/// One device of the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Throughput relative to the pool's base model (1.0 = identical).
+    pub speed: f64,
+}
+
+/// A pool of simulated GPUs hanging off one host.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    /// The base device model (speed factor 1.0).
+    pub base: GpuModel,
+    pub devices: Vec<DeviceSpec>,
+}
+
+impl DevicePool {
+    /// `count` identical devices of the base model.
+    pub fn uniform(base: GpuModel, count: usize) -> DevicePool {
+        assert!(count >= 1, "pool needs at least one device");
+        DevicePool {
+            base,
+            devices: vec![DeviceSpec { speed: 1.0 }; count],
+        }
+    }
+
+    /// One device per speed factor (each must be positive).
+    pub fn with_speeds(base: GpuModel, speeds: &[f64]) -> DevicePool {
+        assert!(!speeds.is_empty(), "pool needs at least one device");
+        DevicePool {
+            base,
+            devices: speeds
+                .iter()
+                .map(|&speed| {
+                    assert!(speed > 0.0, "device speed factor must be positive");
+                    DeviceSpec { speed }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` for a pool with no devices (never constructible via the
+    /// public constructors; kept for clippy's len-without-is-empty lint).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The concrete model device `d` runs at.
+    pub fn model_for(&self, d: usize) -> GpuModel {
+        self.base.scaled(self.devices[d].speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_pool_replicates_base() {
+        let pool = DevicePool::uniform(GpuModel::default(), 4);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.model_for(2), GpuModel::default());
+    }
+
+    #[test]
+    fn scaled_devices_slow_down_proportionally() {
+        let pool = DevicePool::with_speeds(GpuModel::default(), &[1.0, 0.5]);
+        let fast = pool.model_for(0);
+        let slow = pool.model_for(1);
+        assert_eq!(slow.clock_ghz, fast.clock_ghz * 0.5);
+        assert_eq!(slow.dram_gbps, fast.dram_gbps * 0.5);
+        // The kernel-duration floor is device-side and slows down too;
+        // host-side launch costs are speed-independent.
+        assert_eq!(slow.launch.min_kernel_ns, fast.launch.min_kernel_ns * 2);
+        assert_eq!(slow.launch.graph_launch_ns, fast.launch.graph_launch_ns);
+        assert_eq!(slow.launch.graph_node_ns, fast.launch.graph_node_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_is_rejected() {
+        DevicePool::with_speeds(GpuModel::default(), &[1.0, 0.0]);
+    }
+}

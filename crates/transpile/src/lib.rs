@@ -82,7 +82,7 @@ mod tests {
             prog.run_cycle_functional(&mut dev, &mut scratch, 0, n);
             assert_eq!(
                 prog.plan.peek(&dev, q, 0),
-                interp.peek(q).to_u64(),
+                interp.peek(q).unwrap().to_u64(),
                 "mismatch at cycle {c}"
             );
         }

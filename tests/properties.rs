@@ -143,7 +143,7 @@ fn transpiled_matches_interp_on_random_exprs() {
                 .run_cycle_functional(&mut dev, &mut scratch, 0, 1);
             assert_eq!(
                 flow.program.plan.peek(&dev, y, 0),
-                interp.peek(y).to_u64(),
+                interp.peek(y).unwrap().to_u64(),
                 "case {case} expr: {}",
                 expr.to_verilog()
             );
