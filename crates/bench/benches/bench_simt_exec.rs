@@ -1,37 +1,56 @@
 //! Functional SIMT executor throughput: simulated stimulus-cycles per
-//! second across batch sizes (the host-side cost of our "GPU").
+//! second across batch sizes (the host-side cost of our "GPU"), for each
+//! execution strategy — the scalar reference interpreter, the fused +
+//! vectorized + uniform-specialized executor, and block-parallel
+//! execution on the host thread pool.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use cudasim::Scratch;
-use rtlflow::{Benchmark, Flow, PortMap, RiscvSource};
+use cudasim::{ExecConfig, Scratch};
+use rtlflow::{Benchmark, Flow, PortMap};
 use stimulus::StimulusSource;
 
 fn bench_exec(c: &mut Criterion) {
-    let flow = Flow::from_benchmark(Benchmark::RiscvMini).unwrap();
-    let map = PortMap::from_design(&flow.design);
+    let designs = [
+        ("riscv_mini", Benchmark::RiscvMini),
+        ("spinal", Benchmark::Spinal),
+        ("nvdla_tiny", Benchmark::Nvdla(rtlflow::NvdlaScale::Tiny)),
+    ];
+    let strategies = [
+        ("scalar", ExecConfig::scalar()),
+        ("vectorized", ExecConfig::vectorized()),
+        ("parallel", ExecConfig::parallel(0)),
+    ];
 
     let mut g = c.benchmark_group("simt_exec");
     g.sample_size(10);
-    for &n in &[64usize, 1024] {
-        let src = RiscvSource::new(&map, n, 42);
-        let mut dev = flow.program.plan.alloc_device(n);
-        let mut scratch = Scratch::new();
-        let mut frame = vec![0u64; map.len()];
-        let mut cycle = 0u64;
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("riscv_mini/cycle/n{n}"), |bench| {
-            bench.iter(|| {
-                for s in 0..n {
-                    src.fill_frame(s, cycle, &mut frame);
-                    for (lane, port) in map.ports.iter().enumerate() {
-                        flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
-                    }
-                }
-                flow.program
-                    .run_cycle_functional(&mut dev, &mut scratch, 0, n);
-                cycle += 1;
-            })
-        });
+    for (dname, b) in designs {
+        let flow = Flow::from_benchmark(b).unwrap();
+        let map = PortMap::from_design(&flow.design);
+        for &n in &[64usize, 1024, 8192] {
+            let src = stimulus::source_for(&flow.design, &map, n, 42);
+            g.throughput(Throughput::Elements(n as u64));
+            for (sname, exec) in &strategies {
+                let mut dev = flow.program.plan.alloc_device(n);
+                let mut scratches: Vec<Scratch> = (0..exec.thread_count().max(1))
+                    .map(|_| Scratch::new())
+                    .collect();
+                let mut frame = vec![0u64; map.len()];
+                let mut cycle = 0u64;
+                g.bench_function(format!("{dname}/{sname}/cycle/n{n}"), |bench| {
+                    bench.iter(|| {
+                        for s in 0..n {
+                            src.fill_frame(s, cycle, &mut frame);
+                            for (lane, port) in map.ports.iter().enumerate() {
+                                flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
+                            }
+                        }
+                        flow.program
+                            .run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
+                        cycle += 1;
+                    })
+                });
+            }
+        }
     }
     g.finish();
 }

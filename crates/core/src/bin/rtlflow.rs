@@ -23,9 +23,13 @@ commands:
               Transpile RTL to CUDA (or Verilator-style C++) source.
   simulate    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
               [-c <cycles>] [--seed <u64>] [--group <size>] [--no-pipeline]
-              [--streams <k>] [--verify <count>]
+              [--streams <k>] [--verify <count>] [--exec scalar|vector|par[:N]]
               Batch-simulate on the virtual A6000, optionally checking
               digests against the golden interpreter.
+  bench-exec  [--fast] [--json] [-o <path>]
+              Measure functional-execution throughput (stimulus-cycles/s)
+              of the scalar, vectorized, and block-parallel executors
+              across the benchmark designs at batch sizes 64/1024/8192.
   shard-sim   [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
               [--gpus <k1,k2,..>] [--speeds <f1,f2,..>] [--group <size>]
               [--fault-rate <p>] [--fault-seed <u64>] [--functional]
@@ -235,6 +239,13 @@ fn main() {
                     },
                     None => rtlflow::ExecMode::Graph,
                 },
+                exec: match args.get("exec") {
+                    Some(s) => rtlflow::ExecConfig::parse(s).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2)
+                    }),
+                    None => rtlflow::ExecConfig::default(),
+                },
                 ..Default::default()
             };
             let t0 = std::time::Instant::now();
@@ -252,6 +263,19 @@ fn main() {
             println!("GPU utilization: {:.1}%", result.gpu_utilization * 100.0);
             let unique: std::collections::HashSet<_> = result.digests.iter().collect();
             println!("{} distinct output signatures", unique.len());
+            let st = &result.exec;
+            println!(
+                "fusion: {} ops -> {} fops ({} superops, {} consts folded, {} dead removed)",
+                st.fuse.ops_in,
+                st.fuse.ops_out,
+                st.fuse.superops,
+                st.fuse.consts_folded,
+                st.fuse.dead_removed
+            );
+            println!(
+                "uniform slots: {}/{}; scalar ops/cycle: {:.1}",
+                st.uniform_slots, st.total_slots, st.scalar_ops_per_cycle
+            );
             if let Some(v) = args.get("verify") {
                 let count: usize = v.parse().unwrap_or(4);
                 let checked = flow
@@ -261,6 +285,105 @@ fn main() {
                         exit(1)
                     });
                 println!("verified {checked} stimulus against the golden reference");
+            }
+        }
+        "bench-exec" => {
+            use desim::Json;
+            use rtlflow::ExecConfig;
+
+            let fast = args.has("fast");
+            let designs = ["riscv-mini", "spinal", "nvdla-tiny"];
+            let batches: [usize; 3] = [64, 1024, 8192];
+            let strategies: [(&str, ExecConfig); 3] = [
+                ("scalar", ExecConfig::scalar()),
+                ("vectorized", ExecConfig::vectorized()),
+                ("parallel", ExecConfig::parallel(0)),
+            ];
+
+            let mut design_rows: Vec<Json> = Vec::new();
+            let mut table = String::new();
+            for name in designs {
+                let flow = Flow::from_benchmark(benchmark_by_name(name)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(1)
+                });
+                let map = PortMap::from_design(&flow.design);
+                let mut batch_rows: Vec<Json> = Vec::new();
+                for &n in &batches {
+                    // Fewer cycles at the biggest batch and in --fast mode:
+                    // throughput is per stimulus-cycle, so the sample just
+                    // needs to be large enough to dominate timer noise.
+                    let cycles: u64 = match (fast, n >= 8192) {
+                        (true, true) => 8,
+                        (true, false) => 32,
+                        (false, true) => 64,
+                        (false, false) => 256,
+                    };
+                    let source = stimulus::source_for(&flow.design, &map, n, 7);
+                    let mut row = Json::obj().field("n", n).field("cycles", cycles);
+                    table.push_str(&format!("{name:>12}  n={n:<6} c={cycles:<4}"));
+                    for (label, exec) in &strategies {
+                        let mut dev = flow.program.plan.alloc_device(n);
+                        let mut scratches: Vec<cudasim::Scratch> = (0..exec.thread_count().max(1))
+                            .map(|_| cudasim::Scratch::new())
+                            .collect();
+                        let mut frame = vec![0u64; map.len()];
+                        // One untimed warm-up cycle: faults in the lazily
+                        // zero-mapped device pages and warms the caches,
+                        // then reset so every strategy measures the same
+                        // cycle range from the same state.
+                        flow.program
+                            .run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
+                        dev.var8.fill(0);
+                        dev.var16.fill(0);
+                        dev.var32.fill(0);
+                        dev.var64.fill(0);
+                        // Pokes are host set_inputs work — kept outside the
+                        // timed region so throughput isolates the executor.
+                        // Per-cycle durations are reduced with the median,
+                        // which shrugs off preemption spikes on shared CI
+                        // cores that would swamp a summed measurement.
+                        let mut per_cycle = Vec::with_capacity(cycles as usize);
+                        for c in 0..cycles {
+                            for s in 0..n {
+                                source.fill_frame(s, c, &mut frame);
+                                for (lane, port) in map.ports.iter().enumerate() {
+                                    flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
+                                }
+                            }
+                            let t0 = std::time::Instant::now();
+                            flow.program
+                                .run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
+                            per_cycle.push(t0.elapsed());
+                        }
+                        per_cycle.sort();
+                        let median = per_cycle[per_cycle.len() / 2];
+                        let tput = n as f64 / median.as_secs_f64().max(1e-9);
+                        row = row.field(label, tput);
+                        table.push_str(&format!("  {label} {tput:>12.0}/s"));
+                    }
+                    table.push('\n');
+                    batch_rows.push(row);
+                }
+                design_rows.push(
+                    Json::obj()
+                        .field("design", name)
+                        .field("batches", Json::Arr(batch_rows)),
+                );
+            }
+
+            if args.has("json") {
+                let doc = Json::obj()
+                    .field("fast", fast)
+                    .field("unit", "stimulus-cycles/sec")
+                    .field("designs", Json::Arr(design_rows));
+                write_out(&args, "BENCH_simt.json", &format!("{doc}\n"));
+            } else {
+                println!(
+                    "bench-exec (stimulus-cycles/sec{}):",
+                    if fast { ", fast mode" } else { "" }
+                );
+                print!("{table}");
             }
         }
         "coverage" => {

@@ -35,7 +35,10 @@
 //! ```
 
 pub use baselines::{CpuModel, EssentModel, EssentSim, VerilatorModel, VerilatorSim};
-pub use cudasim::{CudaGraph, ExecMode, GpuModel, LaunchCosts};
+pub use cudasim::{
+    CudaGraph, ExecConfig, ExecMode, ExecStats, ExecStrategy, FuseStats, GpuModel, LaunchCosts,
+    SlotUniform,
+};
 pub use designs::{Benchmark, NvdlaConfig, NvdlaScale};
 pub use desim::{fmt_duration, Time, Trace};
 pub use partition::{mcmc_partition, static_partition, McmcConfig, McmcResult};
@@ -122,7 +125,11 @@ impl Flow {
             PartitionStrategy::Mcmc(cfg) => mcmc_partition(&design, &graph, &model, cfg)?.partition,
         };
         let program = KernelProgram::build(&design, &graph, &partition)?;
-        let cuda = CudaGraph::instantiate(program.graph.clone(), &model)?;
+        let cuda = CudaGraph::instantiate_with(
+            program.graph.clone(),
+            &model,
+            Some(program.uniform.clone()),
+        )?;
         Ok(Flow {
             design,
             graph_info: graph,
@@ -150,7 +157,11 @@ impl Flow {
             }
         };
         self.program = KernelProgram::build(&self.design, &self.graph_info, &partition)?;
-        self.cuda = CudaGraph::instantiate(self.program.graph.clone(), &self.model)?;
+        self.cuda = CudaGraph::instantiate_with(
+            self.program.graph.clone(),
+            &self.model,
+            Some(self.program.uniform.clone()),
+        )?;
         self.partition = partition;
         Ok(())
     }

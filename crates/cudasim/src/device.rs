@@ -77,9 +77,28 @@ impl DeviceMemory {
         }
     }
 
+    /// Elements allocated in `bucket` (per stimulus).
+    #[inline(always)]
+    pub fn bucket_len(&self, bucket: Bucket) -> usize {
+        let total = match bucket {
+            Bucket::B8 => self.var8.len(),
+            Bucket::B16 => self.var16.len(),
+            Bucket::B32 => self.var32.len(),
+            Bucket::B64 => self.var64.len(),
+        };
+        total.checked_div(self.n).unwrap_or(0)
+    }
+
     /// Read a memory word `mem[idx]` for a variable based at `slot`.
     #[inline(always)]
     pub fn load_idx(&self, slot: Slot, tid: usize, idx: u64, depth: u32) -> u64 {
+        // An inconsistent memory plan would make an in-range `idx` read the
+        // *next* variable's slots; catch that in debug builds.
+        debug_assert!(
+            slot.offset as usize + depth as usize <= self.bucket_len(slot.bucket),
+            "memory at {slot:?} depth {depth} exceeds allocated extent {}",
+            self.bucket_len(slot.bucket)
+        );
         if idx >= depth as u64 {
             return 0;
         }
@@ -95,10 +114,18 @@ impl DeviceMemory {
 
 /// Reusable per-kernel register arena: register-major layout
 /// `regs[r * group + t]` so each op's thread loop is a contiguous sweep.
+///
+/// The vectorized executor additionally keeps a scalar shadow file
+/// (`sregs`/`is_scalar`): a register proven lane-invariant lives as one
+/// `u64` and is broadcast into `regs` only on demotion to per-lane use.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    regs: Vec<u64>,
-    group: usize,
+    pub(crate) regs: Vec<u64>,
+    pub(crate) group: usize,
+    pub(crate) sregs: Vec<u64>,
+    pub(crate) is_scalar: Vec<bool>,
+    /// Ops executed once as scalars instead of per lane (uniform wins).
+    pub scalar_ops: u64,
 }
 
 impl Scratch {
@@ -106,21 +133,25 @@ impl Scratch {
         Scratch::default()
     }
 
-    fn ensure(&mut self, num_regs: u16, group: usize) {
+    pub(crate) fn ensure(&mut self, num_regs: u16, group: usize) {
         let need = num_regs as usize * group;
         if self.regs.len() < need {
             self.regs.resize(need, 0);
+        }
+        if self.sregs.len() < num_regs as usize {
+            self.sregs.resize(num_regs as usize, 0);
+            self.is_scalar.resize(num_regs as usize, false);
         }
         self.group = group;
     }
 
     #[inline(always)]
-    fn reg(&self, r: u16) -> &[u64] {
+    pub(crate) fn reg(&self, r: u16) -> &[u64] {
         &self.regs[r as usize * self.group..r as usize * self.group + self.group]
     }
 
     #[inline(always)]
-    fn reg_mut(&mut self, r: u16) -> &mut [u64] {
+    pub(crate) fn reg_mut(&mut self, r: u16) -> &mut [u64] {
         &mut self.regs[r as usize * self.group..r as usize * self.group + self.group]
     }
 
@@ -553,6 +584,25 @@ mod tests {
         assert_eq!(apply_un(KUn::RedAnd, 0x7f, 8), 0);
         assert_eq!(apply_un(KUn::RedXor, 0b0111, 4), 1);
         assert_eq!(apply_un(KUn::Neg, 1, 4), 0xf);
+    }
+
+    #[test]
+    fn load_idx_within_extent_is_fine() {
+        let dev = DeviceMemory::new(2, 0, 0, 4, 0);
+        assert_eq!(dev.bucket_len(Bucket::B32), 4);
+        // offset 1, depth 3 -> touches offsets 1..4, exactly in extent.
+        assert_eq!(dev.load_idx(s(Bucket::B32, 1), 0, 2, 3), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds allocated extent")]
+    fn load_idx_past_extent_asserts() {
+        let dev = DeviceMemory::new(2, 0, 0, 4, 0);
+        // offset 2, depth 4 -> would silently read the next variable's
+        // slots at offsets 4..6; the debug assertion must catch it even
+        // when `idx` itself is in range.
+        dev.load_idx(s(Bucket::B32, 2), 0, 1, 4);
     }
 
     #[test]

@@ -1,0 +1,1195 @@
+//! Kernel-IR fusion and uniform-slot analysis.
+//!
+//! Runs once at graph instantiation (like CUDA Graph capture): each
+//! [`Kernel`] is lowered to a [`FusedKernel`] whose superops collapse the
+//! common chains the transpiler emits — load→binop→store, mux-of-two-loads,
+//! shift+and slice extraction — into a single memory sweep, after constant
+//! propagation and dead-code elimination. The fused program is cached on
+//! the graph so per-cycle execution pays none of this cost.
+//!
+//! [`SlotUniform`] is the companion static analysis: a greatest-fixpoint
+//! computation marking device slots whose value is provably identical
+//! across all N stimulus (clock, reset, design constants, un-poked
+//! nets). The executor computes ops over uniform values once as scalars
+//! and broadcasts only on demotion to per-thread storage.
+//!
+//! Soundness: a slot keeps its `uniform` flag only if *every* kernel
+//! write to it stores a statically-uniform value and indexed scatters
+//! into its range are themselves uniform (same word, same value, same
+//! predicate across lanes). Host pokes are modeled by the caller passing
+//! the poked slots as non-uniform roots. The conservative direction
+//! (flag cleared on actually-uniform data) only costs speed, never
+//! correctness, because device rows are always fully materialized.
+//!
+//! Contract: uniform specialization assumes every lane of a device
+//! allocation sees the same kernel sequence each cycle (consistent lane
+//! ranges). All in-repo callers comply; checkpoint restore from a
+//! snapshot of the same program preserves uniformity.
+
+use crate::device::mask;
+use crate::ir::{Bucket, KBin, KUn, Kernel, Op, Reg, Slot, TaskGraphIr};
+
+/// One fused SIMT instruction. Base ops mirror [`Op`]; superops carry the
+/// fused memory operand so the executor does one sweep instead of two or
+/// three. `swapped` means the fused memory/immediate operand sits in the
+/// *second* source position of the original binary op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOp {
+    /// `dst = value` (scalar — never materialized unless demoted).
+    Const { dst: Reg, value: u64 },
+    /// `dst = a`
+    Copy { dst: Reg, a: Reg },
+    /// `dst = bucket[slot]`; `uniform` = slot provably lane-invariant.
+    Load { dst: Reg, slot: Slot, uniform: bool },
+    /// `bucket[slot] = src & mask(width)`
+    Store { src: Reg, slot: Slot, width: u32 },
+    /// `bucket[slot] = value` (pre-masked at fuse time).
+    ConstStore { slot: Slot, value: u64 },
+    /// Gather; `uniform` = the whole `[offset, offset+depth)` range is
+    /// lane-invariant, so a scalar index yields a scalar result.
+    LoadIdx {
+        dst: Reg,
+        slot: Slot,
+        idx: Reg,
+        depth: u32,
+        uniform: bool,
+    },
+    /// Guarded scatter (per-lane predicate and index).
+    StoreIdxCond {
+        src: Reg,
+        slot: Slot,
+        idx: Reg,
+        depth: u32,
+        pred: Reg,
+        width: u32,
+    },
+    /// `dst = a (op) b`
+    Bin {
+        op: KBin,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        width: u32,
+    },
+    /// `dst = a (op) imm` (or `imm (op) a` when `swapped`).
+    BinImm {
+        op: KBin,
+        dst: Reg,
+        a: Reg,
+        imm: u64,
+        width: u32,
+        swapped: bool,
+    },
+    /// `dst = (op) a`
+    Un {
+        op: KUn,
+        dst: Reg,
+        a: Reg,
+        width: u32,
+    },
+    /// `dst = cond ? a : b`
+    Mux { dst: Reg, cond: Reg, a: Reg, b: Reg },
+    /// Superop: `dst = row (op) b` (row second when `swapped`).
+    LoadBin {
+        op: KBin,
+        dst: Reg,
+        slot: Slot,
+        b: Reg,
+        width: u32,
+        swapped: bool,
+        uniform: bool,
+    },
+    /// Superop: `dst = row (op) imm` (operand order per `swapped`).
+    LoadBinImm {
+        op: KBin,
+        dst: Reg,
+        slot: Slot,
+        imm: u64,
+        width: u32,
+        swapped: bool,
+        uniform: bool,
+    },
+    /// Superop: `bucket[slot] = (a (op) b)` — bin width <= store width.
+    BinStore {
+        op: KBin,
+        a: Reg,
+        b: Reg,
+        slot: Slot,
+        width: u32,
+    },
+    /// Superop: `bucket[slot] = (a (op) imm)`.
+    BinImmStore {
+        op: KBin,
+        a: Reg,
+        imm: u64,
+        slot: Slot,
+        width: u32,
+        swapped: bool,
+    },
+    /// Superop: `bucket[slot] = (op) a`.
+    UnStore {
+        op: KUn,
+        a: Reg,
+        slot: Slot,
+        width: u32,
+    },
+    /// Superop: `bucket[slot] = (cond ? a : b) & mask(width)`.
+    MuxStore {
+        cond: Reg,
+        a: Reg,
+        b: Reg,
+        slot: Slot,
+        width: u32,
+    },
+    /// Superop: `dst = cond ? row_a : row_b` — one sweep, two rows.
+    MuxLoads {
+        dst: Reg,
+        cond: Reg,
+        slot_a: Slot,
+        slot_b: Slot,
+        uniform_a: bool,
+        uniform_b: bool,
+    },
+    /// Superop: `dst = (a >> shift) & emask` (slice extraction;
+    /// `shift < width` of the original Shr is guaranteed at fuse time).
+    Extract {
+        dst: Reg,
+        a: Reg,
+        shift: u32,
+        emask: u64,
+    },
+}
+
+impl FOp {
+    /// Register written, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            FOp::Const { dst, .. }
+            | FOp::Copy { dst, .. }
+            | FOp::Load { dst, .. }
+            | FOp::LoadIdx { dst, .. }
+            | FOp::Bin { dst, .. }
+            | FOp::BinImm { dst, .. }
+            | FOp::Un { dst, .. }
+            | FOp::Mux { dst, .. }
+            | FOp::LoadBin { dst, .. }
+            | FOp::LoadBinImm { dst, .. }
+            | FOp::MuxLoads { dst, .. }
+            | FOp::Extract { dst, .. } => Some(dst),
+            FOp::Store { .. }
+            | FOp::ConstStore { .. }
+            | FOp::StoreIdxCond { .. }
+            | FOp::BinStore { .. }
+            | FOp::BinImmStore { .. }
+            | FOp::UnStore { .. }
+            | FOp::MuxStore { .. } => None,
+        }
+    }
+
+    /// Registers read.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match *self {
+            FOp::Const { .. }
+            | FOp::ConstStore { .. }
+            | FOp::Load { .. }
+            | FOp::LoadBinImm { .. } => {
+                vec![]
+            }
+            FOp::Copy { a, .. } | FOp::Un { a, .. } | FOp::UnStore { a, .. } => vec![a],
+            FOp::Store { src, .. } => vec![src],
+            FOp::LoadIdx { idx, .. } => vec![idx],
+            FOp::StoreIdxCond { src, idx, pred, .. } => vec![src, idx, pred],
+            FOp::Bin { a, b, .. } | FOp::BinStore { a, b, .. } => vec![a, b],
+            FOp::BinImm { a, .. } | FOp::BinImmStore { a, .. } | FOp::Extract { a, .. } => {
+                vec![a]
+            }
+            FOp::Mux { cond, a, b, .. } | FOp::MuxStore { cond, a, b, .. } => vec![cond, a, b],
+            FOp::LoadBin { b, .. } => vec![b],
+            FOp::MuxLoads { cond, .. } => vec![cond],
+        }
+    }
+
+    /// Does this op write device memory?
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self,
+            FOp::Store { .. }
+                | FOp::ConstStore { .. }
+                | FOp::StoreIdxCond { .. }
+                | FOp::BinStore { .. }
+                | FOp::BinImmStore { .. }
+                | FOp::UnStore { .. }
+                | FOp::MuxStore { .. }
+        )
+    }
+}
+
+/// Static fusion statistics, aggregated per kernel then per graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Ops in the source kernel IR.
+    pub ops_in: u64,
+    /// Ops in the fused program.
+    pub ops_out: u64,
+    /// Superops created by peephole fusion (each replaces >= 2 ops).
+    pub superops: u64,
+    /// Ops strength-reduced or removed by constant propagation.
+    pub consts_folded: u64,
+    /// Ops removed by dead-code elimination.
+    pub dead_removed: u64,
+}
+
+impl FuseStats {
+    pub fn accumulate(&mut self, other: &FuseStats) {
+        self.ops_in += other.ops_in;
+        self.ops_out += other.ops_out;
+        self.superops += other.superops;
+        self.consts_folded += other.consts_folded;
+        self.dead_removed += other.dead_removed;
+    }
+}
+
+/// A fused, cached kernel program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedKernel {
+    pub name: String,
+    pub fops: Vec<FOp>,
+    pub num_regs: u16,
+    pub stats: FuseStats,
+}
+
+/// Per-slot lane-invariance flags for the four width buckets.
+#[derive(Debug, Clone, Default)]
+pub struct SlotUniform {
+    flags: [Vec<bool>; 4],
+}
+
+fn bidx(b: Bucket) -> usize {
+    match b {
+        Bucket::B8 => 0,
+        Bucket::B16 => 1,
+        Bucket::B32 => 2,
+        Bucket::B64 => 3,
+    }
+}
+
+impl SlotUniform {
+    /// All slots non-uniform (the "analysis off" element).
+    pub fn none(lens: [u32; 4]) -> SlotUniform {
+        SlotUniform {
+            flags: [
+                vec![false; lens[0] as usize],
+                vec![false; lens[1] as usize],
+                vec![false; lens[2] as usize],
+                vec![false; lens[3] as usize],
+            ],
+        }
+    }
+
+    /// Is `slot` provably lane-invariant?
+    #[inline]
+    pub fn get(&self, slot: Slot) -> bool {
+        self.flags[bidx(slot.bucket)]
+            .get(slot.offset as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Is the whole `[offset, offset+depth)` range lane-invariant?
+    pub fn range(&self, slot: Slot, depth: u32) -> bool {
+        (0..depth.max(1)).all(|k| {
+            self.get(Slot {
+                bucket: slot.bucket,
+                offset: slot.offset + k,
+            })
+        })
+    }
+
+    fn clear(&mut self, slot: Slot) -> bool {
+        let f = &mut self.flags[bidx(slot.bucket)];
+        let i = slot.offset as usize;
+        if i < f.len() && f[i] {
+            f[i] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear_range(&mut self, slot: Slot, depth: u32) -> bool {
+        let mut changed = false;
+        for k in 0..depth.max(1) {
+            changed |= self.clear(Slot {
+                bucket: slot.bucket,
+                offset: slot.offset + k,
+            });
+        }
+        changed
+    }
+
+    /// Count of uniform slots (for stats).
+    pub fn uniform_count(&self) -> usize {
+        self.flags
+            .iter()
+            .map(|f| f.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Total slots tracked.
+    pub fn total_count(&self) -> usize {
+        self.flags.iter().map(|f| f.len()).sum()
+    }
+
+    /// Greatest-fixpoint uniformity analysis over all kernels of `ir`.
+    ///
+    /// `lens` are the per-bucket element counts of the memory plan;
+    /// `roots` are slots the host writes per-lane data into (design
+    /// inputs / pokes) — they seed the non-uniform set. Device memory
+    /// starts zeroed, so everything else starts uniform and is cleared
+    /// until no kernel can break the invariant.
+    pub fn analyze(ir: &TaskGraphIr, lens: [u32; 4], roots: &[Slot]) -> SlotUniform {
+        let mut u = SlotUniform {
+            flags: [
+                vec![true; lens[0] as usize],
+                vec![true; lens[1] as usize],
+                vec![true; lens[2] as usize],
+                vec![true; lens[3] as usize],
+            ],
+        };
+        for &r in roots {
+            u.clear(r);
+        }
+        loop {
+            let mut changed = false;
+            for k in &ir.kernels {
+                changed |= sweep_kernel(k, &mut u);
+            }
+            if !changed {
+                break;
+            }
+        }
+        u
+    }
+}
+
+/// One abstract-interpretation sweep of `kernel`: propagate register
+/// uniformity and clear any slot written with a non-uniform value.
+/// Returns whether any flag changed.
+fn sweep_kernel(kernel: &Kernel, u: &mut SlotUniform) -> bool {
+    let mut reg_u = vec![false; kernel.num_regs as usize];
+    let mut changed = false;
+    for op in &kernel.ops {
+        match *op {
+            Op::Const { dst, .. } => reg_u[dst as usize] = true,
+            Op::Load { dst, slot } => reg_u[dst as usize] = u.get(slot),
+            Op::LoadIdx {
+                dst,
+                slot,
+                idx,
+                depth,
+            } => {
+                reg_u[dst as usize] = reg_u[idx as usize] && u.range(slot, depth);
+            }
+            Op::Bin { dst, a, b, .. } => {
+                reg_u[dst as usize] = reg_u[a as usize] && reg_u[b as usize]
+            }
+            Op::Un { dst, a, .. } => reg_u[dst as usize] = reg_u[a as usize],
+            Op::Mux { dst, cond, a, b } => {
+                reg_u[dst as usize] = reg_u[cond as usize] && reg_u[a as usize] && reg_u[b as usize]
+            }
+            Op::Store { src, slot, .. } => {
+                if !reg_u[src as usize] {
+                    changed |= u.clear(slot);
+                }
+            }
+            Op::StoreIdxCond {
+                src,
+                slot,
+                idx,
+                depth,
+                pred,
+                ..
+            } => {
+                // Uniform pred+idx+src writes the same word with the same
+                // value on every lane (or none); anything else may leave
+                // lanes diverged anywhere in the range.
+                if !(reg_u[src as usize] && reg_u[idx as usize] && reg_u[pred as usize]) {
+                    changed |= u.clear_range(slot, depth);
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Fuse one kernel: constant propagation → peephole superop formation →
+/// dead-code elimination. `uniform` (when available) bakes per-load
+/// lane-invariance flags into the program.
+pub fn fuse_kernel(kernel: &Kernel, uniform: Option<&SlotUniform>) -> FusedKernel {
+    let mut stats = FuseStats {
+        ops_in: kernel.ops.len() as u64,
+        ..FuseStats::default()
+    };
+    let uget = |s: Slot| uniform.map(|u| u.get(s)).unwrap_or(false);
+    let urange = |s: Slot, d: u32| uniform.map(|u| u.range(s, d)).unwrap_or(false);
+
+    // Pass A: convert + constant propagation / strength reduction.
+    let mut consts: Vec<Option<u64>> = vec![None; kernel.num_regs as usize];
+    let mut fops: Vec<FOp> = Vec::with_capacity(kernel.ops.len());
+    for op in &kernel.ops {
+        let fop = match *op {
+            Op::Const { dst, value } => {
+                consts[dst as usize] = Some(value);
+                FOp::Const { dst, value }
+            }
+            Op::Load { dst, slot } => {
+                consts[dst as usize] = None;
+                FOp::Load {
+                    dst,
+                    slot,
+                    uniform: uget(slot),
+                }
+            }
+            Op::Store { src, slot, width } => {
+                if let Some(v) = consts[src as usize] {
+                    stats.consts_folded += 1;
+                    FOp::ConstStore {
+                        slot,
+                        value: v & mask(width),
+                    }
+                } else {
+                    FOp::Store { src, slot, width }
+                }
+            }
+            Op::LoadIdx {
+                dst,
+                slot,
+                idx,
+                depth,
+            } => {
+                consts[dst as usize] = None;
+                if let Some(i) = consts[idx as usize] {
+                    stats.consts_folded += 1;
+                    if i < depth as u64 {
+                        let s = Slot {
+                            bucket: slot.bucket,
+                            offset: slot.offset + i as u32,
+                        };
+                        FOp::Load {
+                            dst,
+                            slot: s,
+                            uniform: uget(s),
+                        }
+                    } else {
+                        consts[dst as usize] = Some(0);
+                        FOp::Const { dst, value: 0 }
+                    }
+                } else {
+                    FOp::LoadIdx {
+                        dst,
+                        slot,
+                        idx,
+                        depth,
+                        uniform: urange(slot, depth),
+                    }
+                }
+            }
+            Op::StoreIdxCond {
+                src,
+                slot,
+                idx,
+                depth,
+                pred,
+                width,
+            } => {
+                if consts[pred as usize] == Some(0) {
+                    stats.consts_folded += 1;
+                    continue;
+                }
+                match (consts[pred as usize], consts[idx as usize]) {
+                    (Some(_nz), Some(i)) => {
+                        stats.consts_folded += 1;
+                        if i < depth as u64 {
+                            let s = Slot {
+                                bucket: slot.bucket,
+                                offset: slot.offset + i as u32,
+                            };
+                            if let Some(v) = consts[src as usize] {
+                                FOp::ConstStore {
+                                    slot: s,
+                                    value: v & mask(width),
+                                }
+                            } else {
+                                FOp::Store {
+                                    src,
+                                    slot: s,
+                                    width,
+                                }
+                            }
+                        } else {
+                            continue;
+                        }
+                    }
+                    _ => FOp::StoreIdxCond {
+                        src,
+                        slot,
+                        idx,
+                        depth,
+                        pred,
+                        width,
+                    },
+                }
+            }
+            Op::Bin {
+                op,
+                dst,
+                a,
+                b,
+                width,
+            } => {
+                use crate::device::apply_bin;
+                let (ca, cb) = (consts[a as usize], consts[b as usize]);
+                consts[dst as usize] = None;
+                match (ca, cb) {
+                    (Some(va), Some(vb)) => {
+                        stats.consts_folded += 1;
+                        let v = apply_bin(op, va, vb, width);
+                        consts[dst as usize] = Some(v);
+                        FOp::Const { dst, value: v }
+                    }
+                    (Some(va), None) => {
+                        stats.consts_folded += 1;
+                        bin_imm_or_const(op, dst, b, va, width, true, &mut consts, &mut stats)
+                    }
+                    (None, Some(vb)) => {
+                        stats.consts_folded += 1;
+                        bin_imm_or_const(op, dst, a, vb, width, false, &mut consts, &mut stats)
+                    }
+                    (None, None) => FOp::Bin {
+                        op,
+                        dst,
+                        a,
+                        b,
+                        width,
+                    },
+                }
+            }
+            Op::Un { op, dst, a, width } => {
+                if let Some(va) = consts[a as usize] {
+                    stats.consts_folded += 1;
+                    let v = crate::device::apply_un(op, va, width);
+                    consts[dst as usize] = Some(v);
+                    FOp::Const { dst, value: v }
+                } else {
+                    consts[dst as usize] = None;
+                    FOp::Un { op, dst, a, width }
+                }
+            }
+            Op::Mux { dst, cond, a, b } => {
+                if let Some(c) = consts[cond as usize] {
+                    stats.consts_folded += 1;
+                    let src = if c != 0 { a } else { b };
+                    if let Some(v) = consts[src as usize] {
+                        consts[dst as usize] = Some(v);
+                        FOp::Const { dst, value: v }
+                    } else {
+                        consts[dst as usize] = None;
+                        FOp::Copy { dst, a: src }
+                    }
+                } else {
+                    consts[dst as usize] = None;
+                    FOp::Mux { dst, cond, a, b }
+                }
+            }
+        };
+        fops.push(fop);
+    }
+
+    // Pass B: DCE first so dead Consts (absorbed into immediates) don't
+    // break adjacency, then peephole superop formation, then a final DCE
+    // sweep for loads whose consumer was fused away. Registers are
+    // kernel-local, so nothing is live at the end of the kernel.
+    let fops = dce(fops, &mut stats);
+    let fops = peephole(fops, &mut stats);
+    let fops = dce(fops, &mut stats);
+
+    let mut num_regs = 0u16;
+    for f in &fops {
+        if let Some(d) = f.dst() {
+            num_regs = num_regs.max(d + 1);
+        }
+        for s in f.srcs() {
+            num_regs = num_regs.max(s + 1);
+        }
+    }
+    stats.ops_out = fops.len() as u64;
+    FusedKernel {
+        name: kernel.name.clone(),
+        fops,
+        num_regs,
+        stats,
+    }
+}
+
+/// Lower `reg (op) imm` (operand order per `swapped`: the immediate is
+/// the *first* operand when swapped). Folds shifts whose result no longer
+/// depends on the register.
+#[allow(clippy::too_many_arguments)]
+fn bin_imm_or_const(
+    op: KBin,
+    dst: Reg,
+    a: Reg,
+    imm: u64,
+    width: u32,
+    swapped: bool,
+    consts: &mut [Option<u64>],
+    stats: &mut FuseStats,
+) -> FOp {
+    // Shift amount >= width zeroes the result regardless of the value
+    // operand (Shl/Shr only; Sshr sign-fills, which depends on `a`).
+    if !swapped && matches!(op, KBin::Shl | KBin::Shr) && imm >= width as u64 {
+        stats.consts_folded += 1;
+        consts[dst as usize] = Some(0);
+        return FOp::Const { dst, value: 0 };
+    }
+    FOp::BinImm {
+        op,
+        dst,
+        a,
+        imm,
+        width,
+        swapped,
+    }
+}
+
+/// Is register `r` dead after position `pos` (exclusive)? Registers are
+/// kernel-local, so reaching the end of the kernel means dead; a redefine
+/// before any read also means dead.
+fn dead_after(fops: &[FOp], pos: usize, r: Reg) -> bool {
+    for f in &fops[pos + 1..] {
+        if f.srcs().contains(&r) {
+            return false;
+        }
+        if f.dst() == Some(r) {
+            return true;
+        }
+    }
+    true
+}
+
+fn peephole(fops: Vec<FOp>, stats: &mut FuseStats) -> Vec<FOp> {
+    let mut out: Vec<FOp> = Vec::with_capacity(fops.len());
+    let mut i = 0;
+    while i < fops.len() {
+        // Triple: Load a; Load b; Mux(cond, a, b) -> MuxLoads.
+        if i + 2 < fops.len() {
+            if let (
+                FOp::Load {
+                    dst: ra,
+                    slot: sa,
+                    uniform: ua,
+                },
+                FOp::Load {
+                    dst: rb,
+                    slot: sb,
+                    uniform: ub,
+                },
+                FOp::Mux { dst, cond, a, b },
+            ) = (fops[i], fops[i + 1], fops[i + 2])
+            {
+                if ra != rb
+                    && ((a == ra && b == rb) || (a == rb && b == ra))
+                    && cond != ra
+                    && cond != rb
+                    && dead_after(&fops, i + 2, ra)
+                    && dead_after(&fops, i + 2, rb)
+                {
+                    let (slot_a, slot_b, uniform_a, uniform_b) = if a == ra {
+                        (sa, sb, ua, ub)
+                    } else {
+                        (sb, sa, ub, ua)
+                    };
+                    out.push(FOp::MuxLoads {
+                        dst,
+                        cond,
+                        slot_a,
+                        slot_b,
+                        uniform_a,
+                        uniform_b,
+                    });
+                    stats.superops += 1;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        if i + 1 < fops.len() {
+            if let Some(fused) = fuse_pair(&fops, i, stats) {
+                out.push(fused);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(fops[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Try to fuse `fops[i]` with `fops[i+1]` into one superop.
+fn fuse_pair(fops: &[FOp], i: usize, stats: &mut FuseStats) -> Option<FOp> {
+    let fused = match (fops[i], fops[i + 1]) {
+        // Load; Bin -> LoadBin (row in either operand position).
+        (
+            FOp::Load {
+                dst: r,
+                slot,
+                uniform,
+            },
+            FOp::Bin {
+                op,
+                dst,
+                a,
+                b,
+                width,
+            },
+        ) if (a == r) != (b == r) && dead_after(fops, i + 1, r) => FOp::LoadBin {
+            op,
+            dst,
+            slot,
+            b: if a == r { b } else { a },
+            width,
+            swapped: b == r,
+            uniform,
+        },
+        // Load; BinImm -> LoadBinImm.
+        (
+            FOp::Load {
+                dst: r,
+                slot,
+                uniform,
+            },
+            FOp::BinImm {
+                op,
+                dst,
+                a,
+                imm,
+                width,
+                swapped,
+            },
+        ) if a == r && dead_after(fops, i + 1, r) => FOp::LoadBinImm {
+            op,
+            dst,
+            slot,
+            imm,
+            width,
+            swapped,
+            uniform,
+        },
+        // Bin; Store -> BinStore (bin's own mask must cover the store's).
+        (
+            FOp::Bin {
+                op,
+                dst,
+                a,
+                b,
+                width,
+            },
+            FOp::Store {
+                src,
+                slot,
+                width: sw,
+            },
+        ) if src == dst && width <= sw && dead_after(fops, i + 1, dst) => FOp::BinStore {
+            op,
+            a,
+            b,
+            slot,
+            width,
+        },
+        // BinImm; Store -> BinImmStore.
+        (
+            FOp::BinImm {
+                op,
+                dst,
+                a,
+                imm,
+                width,
+                swapped,
+            },
+            FOp::Store {
+                src,
+                slot,
+                width: sw,
+            },
+        ) if src == dst && width <= sw && dead_after(fops, i + 1, dst) => FOp::BinImmStore {
+            op,
+            a,
+            imm,
+            slot,
+            width,
+            swapped,
+        },
+        // Un; Store -> UnStore.
+        (
+            FOp::Un { op, dst, a, width },
+            FOp::Store {
+                src,
+                slot,
+                width: sw,
+            },
+        ) if src == dst && width <= sw && dead_after(fops, i + 1, dst) => {
+            FOp::UnStore { op, a, slot, width }
+        }
+        // Mux; Store -> MuxStore (store's mask is applied in the sweep).
+        (
+            FOp::Mux { dst, cond, a, b },
+            FOp::Store {
+                src,
+                slot,
+                width: sw,
+            },
+        ) if src == dst && dead_after(fops, i + 1, dst) => FOp::MuxStore {
+            cond,
+            a,
+            b,
+            slot,
+            width: sw,
+        },
+        // Shr-imm; And-imm -> Extract (slice read). Shift < width is
+        // guaranteed: larger shifts were folded to Const 0 in pass A.
+        (
+            FOp::BinImm {
+                op: KBin::Shr,
+                dst: r1,
+                a,
+                imm: shift,
+                width: _,
+                swapped: false,
+            },
+            FOp::BinImm {
+                op: KBin::And,
+                dst,
+                a: a2,
+                imm: emask,
+                width: _,
+                swapped: _,
+            },
+        ) if a2 == r1 && dead_after(fops, i + 1, r1) => FOp::Extract {
+            dst,
+            a,
+            shift: shift as u32,
+            emask,
+        },
+        _ => return None,
+    };
+    stats.superops += 1;
+    Some(fused)
+}
+
+fn dce(fops: Vec<FOp>, stats: &mut FuseStats) -> Vec<FOp> {
+    let max_reg = fops
+        .iter()
+        .flat_map(|f| f.dst().into_iter().chain(f.srcs()))
+        .max()
+        .map_or(0, |r| r as usize + 1);
+    let mut live = vec![false; max_reg];
+    let mut keep = vec![false; fops.len()];
+    for (i, f) in fops.iter().enumerate().rev() {
+        let needed = f.has_side_effect() || f.dst().is_none_or(|d| live[d as usize]);
+        if needed {
+            keep[i] = true;
+            if let Some(d) = f.dst() {
+                live[d as usize] = false;
+            }
+            for s in f.srcs() {
+                live[s as usize] = true;
+            }
+        } else {
+            stats.dead_removed += 1;
+        }
+    }
+    fops.into_iter()
+        .zip(keep)
+        .filter_map(|(f, k)| k.then_some(f))
+        .collect()
+}
+
+/// Fuse every kernel of a task graph.
+pub fn fuse_graph(ir: &TaskGraphIr, uniform: Option<&SlotUniform>) -> Vec<FusedKernel> {
+    ir.kernels.iter().map(|k| fuse_kernel(k, uniform)).collect()
+}
+
+/// Aggregate executor statistics for the metrics/trace path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    pub fuse: FuseStats,
+    /// Slots proven lane-invariant / total slots tracked.
+    pub uniform_slots: u64,
+    pub total_slots: u64,
+    /// Average ops per cycle computed once as scalars instead of per lane.
+    pub scalar_ops_per_cycle: f64,
+}
+
+impl ExecStats {
+    pub fn to_json(&self) -> desim::Json {
+        desim::Json::obj()
+            .field("ops_in", desim::Json::Int(self.fuse.ops_in as i128))
+            .field("ops_out", desim::Json::Int(self.fuse.ops_out as i128))
+            .field("superops", desim::Json::Int(self.fuse.superops as i128))
+            .field(
+                "consts_folded",
+                desim::Json::Int(self.fuse.consts_folded as i128),
+            )
+            .field(
+                "dead_removed",
+                desim::Json::Int(self.fuse.dead_removed as i128),
+            )
+            .field(
+                "uniform_slots",
+                desim::Json::Int(self.uniform_slots as i128),
+            )
+            .field("total_slots", desim::Json::Int(self.total_slots as i128))
+            .field(
+                "scalar_ops_per_cycle",
+                desim::Json::Num(self.scalar_ops_per_cycle),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Kernel;
+
+    fn s8(offset: u32) -> Slot {
+        Slot {
+            bucket: Bucket::B8,
+            offset,
+        }
+    }
+
+    #[test]
+    fn load_bin_store_chain_fuses() {
+        let k = Kernel::new(
+            "chain",
+            vec![
+                Op::Load {
+                    dst: 0,
+                    slot: s8(0),
+                },
+                Op::Load {
+                    dst: 1,
+                    slot: s8(1),
+                },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 8,
+                },
+                Op::Store {
+                    src: 2,
+                    slot: s8(2),
+                    width: 8,
+                },
+            ],
+        );
+        let f = fuse_kernel(&k, None);
+        // Load r0; LoadBin r2 = row1 + r0 (swapped); Store fuses into the
+        // LoadBin's consumer chain -> expect 2-3 ops, strictly fewer than 4.
+        assert!(f.fops.len() < 4, "{:?}", f.fops);
+        assert!(f.stats.superops >= 1);
+    }
+
+    #[test]
+    fn const_store_folds() {
+        let k = Kernel::new(
+            "c",
+            vec![
+                Op::Const {
+                    dst: 0,
+                    value: 0x1ff,
+                },
+                Op::Store {
+                    src: 0,
+                    slot: s8(0),
+                    width: 8,
+                },
+            ],
+        );
+        let f = fuse_kernel(&k, None);
+        assert_eq!(
+            f.fops,
+            vec![FOp::ConstStore {
+                slot: s8(0),
+                value: 0xff
+            }]
+        );
+        assert_eq!(f.stats.dead_removed, 1); // the Const became dead
+    }
+
+    #[test]
+    fn extract_pattern_fuses() {
+        // The Shr source is a *computed* register (not a fresh load, which
+        // would greedily become LoadBinImm instead).
+        let k = Kernel::new(
+            "x",
+            vec![
+                Op::Load {
+                    dst: 0,
+                    slot: s8(0),
+                },
+                Op::Load {
+                    dst: 1,
+                    slot: s8(1),
+                },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 8,
+                },
+                Op::Const { dst: 3, value: 3 },
+                Op::Bin {
+                    op: KBin::Shr,
+                    dst: 4,
+                    a: 2,
+                    b: 3,
+                    width: 8,
+                },
+                Op::Const { dst: 5, value: 0x7 },
+                Op::Bin {
+                    op: KBin::And,
+                    dst: 6,
+                    a: 4,
+                    b: 5,
+                    width: 8,
+                },
+                Op::Store {
+                    src: 6,
+                    slot: s8(2),
+                    width: 8,
+                },
+            ],
+        );
+        let f = fuse_kernel(&k, None);
+        assert!(
+            f.fops.iter().any(|f| matches!(
+                f,
+                FOp::Extract {
+                    shift: 3,
+                    emask: 7,
+                    ..
+                }
+            )),
+            "{:?}",
+            f.fops
+        );
+    }
+
+    #[test]
+    fn uniform_fixpoint_clears_written_from_inputs() {
+        // slot0 = input (root), slot1 = slot0 + 1, slot2 = const.
+        let k = Kernel::new(
+            "k",
+            vec![
+                Op::Load {
+                    dst: 0,
+                    slot: s8(0),
+                },
+                Op::Const { dst: 1, value: 1 },
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 8,
+                },
+                Op::Store {
+                    src: 2,
+                    slot: s8(1),
+                    width: 8,
+                },
+                Op::Store {
+                    src: 1,
+                    slot: s8(2),
+                    width: 8,
+                },
+            ],
+        );
+        let ir = TaskGraphIr {
+            kernels: vec![k],
+            deps: vec![vec![]],
+        };
+        let u = SlotUniform::analyze(&ir, [3, 0, 0, 0], &[s8(0)]);
+        assert!(!u.get(s8(0)), "input root must be non-uniform");
+        assert!(!u.get(s8(1)), "derived from input");
+        assert!(u.get(s8(2)), "constant-written slot stays uniform");
+        assert_eq!(u.uniform_count(), 1);
+        assert_eq!(u.total_count(), 3);
+    }
+
+    #[test]
+    fn uniform_transitive_chain_needs_fixpoint() {
+        // k0: slot1 = slot0 (input); k1: slot2 = slot1. One sweep clears
+        // slot1, the second must clear slot2.
+        let copy = |from: u32, to: u32, name: &str| {
+            Kernel::new(
+                name,
+                vec![
+                    Op::Load {
+                        dst: 0,
+                        slot: s8(from),
+                    },
+                    Op::Store {
+                        src: 0,
+                        slot: s8(to),
+                        width: 8,
+                    },
+                ],
+            )
+        };
+        // Order k1 before k0 so a single sweep is insufficient.
+        let ir = TaskGraphIr {
+            kernels: vec![copy(1, 2, "k1"), copy(0, 1, "k0")],
+            deps: vec![vec![], vec![]],
+        };
+        let u = SlotUniform::analyze(&ir, [3, 0, 0, 0], &[s8(0)]);
+        assert!(!u.get(s8(1)));
+        assert!(!u.get(s8(2)));
+    }
+
+    #[test]
+    fn dce_removes_unused_loads() {
+        let k = Kernel::new(
+            "dead",
+            vec![
+                Op::Load {
+                    dst: 0,
+                    slot: s8(0),
+                },
+                Op::Load {
+                    dst: 1,
+                    slot: s8(1),
+                },
+                Op::Store {
+                    src: 1,
+                    slot: s8(2),
+                    width: 8,
+                },
+            ],
+        );
+        let f = fuse_kernel(&k, None);
+        assert!(f.stats.dead_removed >= 1);
+        assert!(!f.fops.iter().any(|f| matches!(
+            f,
+            FOp::Load {
+                slot: Slot { offset: 0, .. },
+                ..
+            }
+        )));
+    }
+}

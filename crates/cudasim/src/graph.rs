@@ -15,6 +15,8 @@
 use desim::{Resource, Time, Trace};
 
 use crate::device::{execute_kernel, DeviceMemory, Scratch};
+use crate::exec::{execute_ordered, execute_ordered_parallel, ExecConfig, ExecStrategy};
+use crate::fuse::{fuse_graph, ExecStats, FuseStats, FusedKernel, SlotUniform};
 use crate::ir::TaskGraphIr;
 use crate::model::GpuModel;
 
@@ -38,23 +40,70 @@ pub struct CudaGraph {
     pub levels: Vec<u32>,
     /// One-time instantiation cost charged to the CPU.
     pub instantiate_ns: Time,
+    /// Fused programs, indexed like `ir.kernels` — built once here
+    /// (CUDA-Graph capture time), executed every cycle.
+    pub fused: Vec<FusedKernel>,
+    /// Uniform-slot analysis the fusion was specialized against.
+    pub uniform: Option<SlotUniform>,
 }
 
 impl CudaGraph {
-    /// Validate and instantiate a task graph.
+    /// Validate and instantiate a task graph (no uniform-slot analysis —
+    /// every load is treated as per-lane data).
     pub fn instantiate(ir: TaskGraphIr, model: &GpuModel) -> Result<CudaGraph, String> {
+        CudaGraph::instantiate_with(ir, model, None)
+    }
+
+    /// Validate and instantiate, specializing the fused programs against
+    /// a uniform-slot analysis (see [`SlotUniform::analyze`]).
+    pub fn instantiate_with(
+        ir: TaskGraphIr,
+        model: &GpuModel,
+        uniform: Option<SlotUniform>,
+    ) -> Result<CudaGraph, String> {
         let order = ir.topo_order()?;
         for k in &ir.kernels {
             k.validate()?;
         }
         let levels = ir.levels();
         let instantiate_ns = ir.kernels.len() as Time * model.launch.graph_instantiate_node_ns;
+        let fused = fuse_graph(&ir, uniform.as_ref());
         Ok(CudaGraph {
             ir,
             order,
             levels,
             instantiate_ns,
+            fused,
+            uniform,
         })
+    }
+
+    /// Re-instantiate the same task graph against another GPU model,
+    /// preserving the uniform-slot analysis (used when a shard migrates a
+    /// graph onto a different device).
+    pub fn reinstantiate(&self, model: &GpuModel) -> Result<CudaGraph, String> {
+        CudaGraph::instantiate_with(self.ir.clone(), model, self.uniform.clone())
+    }
+
+    /// Aggregate fusion + uniform statistics for the metrics path.
+    /// `scalar_ops_per_cycle` is a runtime quantity, filled by callers
+    /// that track executed cycles (e.g. [`GpuRuntime::exec_stats`]).
+    pub fn static_exec_stats(&self) -> ExecStats {
+        let mut fuse = FuseStats::default();
+        for fk in &self.fused {
+            fuse.accumulate(&fk.stats);
+        }
+        let (uniform_slots, total_slots) = self
+            .uniform
+            .as_ref()
+            .map(|u| (u.uniform_count() as u64, u.total_count() as u64))
+            .unwrap_or((0, 0));
+        ExecStats {
+            fuse,
+            uniform_slots,
+            total_slots,
+            scalar_ops_per_cycle: 0.0,
+        }
     }
 
     /// Number of kernels.
@@ -82,6 +131,14 @@ pub struct CycleTiming {
 pub struct GpuRuntime {
     pub model: GpuModel,
     sm: Resource,
+    /// Functional-execution strategy (scalar / vectorized / parallel).
+    pub exec: ExecConfig,
+    /// Per-worker scratch pool for block-parallel execution.
+    par_scratch: Vec<Scratch>,
+    /// Functional cycles executed (for per-cycle stats).
+    cycles: u64,
+    /// Ops computed once as scalars instead of per lane, summed.
+    scalar_ops: u64,
 }
 
 /// A micro-executor for stream-mode bookkeeping.
@@ -93,13 +150,36 @@ pub struct StreamExec {
 
 impl GpuRuntime {
     pub fn new(model: GpuModel) -> Self {
+        GpuRuntime::with_exec(model, ExecConfig::default())
+    }
+
+    /// Build a runtime with an explicit functional-execution strategy.
+    pub fn with_exec(model: GpuModel, exec: ExecConfig) -> Self {
         let sm = Resource::new("gpu", model.sms);
-        GpuRuntime { model, sm }
+        let par_scratch = (0..exec.thread_count()).map(|_| Scratch::new()).collect();
+        GpuRuntime {
+            model,
+            sm,
+            exec,
+            par_scratch,
+            cycles: 0,
+            scalar_ops: 0,
+        }
     }
 
     /// Reset the virtual GPU clock (e.g. between benchmark scenarios).
     pub fn reset(&mut self) {
         self.sm.reset();
+    }
+
+    /// Fusion/uniform stats plus the measured scalar-op rate of this
+    /// runtime's executed cycles.
+    pub fn exec_stats(&self, graph: &CudaGraph) -> ExecStats {
+        let mut st = graph.static_exec_stats();
+        if self.cycles > 0 {
+            st.scalar_ops_per_cycle = self.scalar_ops as f64 / self.cycles as f64;
+        }
+        st
     }
 
     /// Functionally execute + time one cycle of `graph` for stimulus
@@ -117,10 +197,35 @@ impl GpuRuntime {
         ready: Time,
         trace: Option<&mut Trace>,
     ) -> CycleTiming {
-        // Functional execution (identical for both modes), then timing.
-        for &k in &graph.order {
-            execute_kernel(&graph.ir.kernels[k], dev, scratch, tid0, group);
+        // Functional execution (identical for both modes and all
+        // strategies — bit-exactness is enforced by differential tests),
+        // then timing.
+        match self.exec.strategy {
+            ExecStrategy::Scalar => {
+                for &k in &graph.order {
+                    execute_kernel(&graph.ir.kernels[k], dev, scratch, tid0, group);
+                }
+            }
+            ExecStrategy::Vectorized => {
+                execute_ordered(&graph.fused, &graph.order, dev, scratch, tid0, group);
+                self.scalar_ops += std::mem::take(&mut scratch.scalar_ops);
+            }
+            ExecStrategy::BlockParallel { block, .. } => {
+                execute_ordered_parallel(
+                    &graph.fused,
+                    &graph.order,
+                    dev,
+                    &mut self.par_scratch,
+                    tid0,
+                    group,
+                    block,
+                );
+                for s in &mut self.par_scratch {
+                    self.scalar_ops += std::mem::take(&mut s.scalar_ops);
+                }
+            }
         }
+        self.cycles += 1;
         self.time_cycle(graph, mode, group, ready, trace)
     }
 

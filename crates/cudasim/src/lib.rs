@@ -21,11 +21,17 @@
 
 pub mod checkpoint;
 pub mod device;
+pub mod exec;
+pub mod fuse;
 pub mod graph;
 pub mod ir;
 pub mod model;
 
 pub use device::{execute_kernel, DeviceMemory, Scratch};
+pub use exec::{
+    execute_fused, execute_ordered, execute_ordered_parallel, ExecConfig, ExecStrategy,
+};
+pub use fuse::{fuse_graph, fuse_kernel, ExecStats, FOp, FuseStats, FusedKernel, SlotUniform};
 pub use graph::{CudaGraph, CycleTiming, ExecMode, GpuRuntime, StreamExec};
 pub use ir::{Bucket, KBin, KUn, Kernel, KernelStats, Op, Slot, TaskGraphIr};
 pub use model::{GpuModel, LaunchCosts};

@@ -18,7 +18,7 @@
 
 pub mod threaded;
 
-use cudasim::{CudaGraph, ExecMode, GpuModel, GpuRuntime, Scratch};
+use cudasim::{CudaGraph, ExecConfig, ExecMode, ExecStats, GpuModel, GpuRuntime, Scratch};
 use desim::{Resource, Time, Trace};
 use rtlir::Design;
 use stimulus::{PortMap, StackedSource, StimulusSource};
@@ -73,6 +73,10 @@ pub struct PipelineConfig {
     pub pipelined: bool,
     /// CUDA execution mode per group-cycle.
     pub mode: ExecMode,
+    /// Functional execution strategy (scalar reference, vectorized, or
+    /// block-parallel). Timing is unaffected; only host wall-clock and
+    /// bit-exact functional results flow from this.
+    pub exec: ExecConfig,
     pub host: HostModel,
 }
 
@@ -82,6 +86,7 @@ impl Default for PipelineConfig {
             group_size: 1024,
             pipelined: true,
             mode: ExecMode::Graph,
+            exec: ExecConfig::default(),
             host: HostModel::default(),
         }
     }
@@ -102,6 +107,8 @@ pub struct SimResult {
     pub set_inputs_busy: Time,
     /// Aggregate GPU busy time spent evaluating.
     pub evaluate_busy: Time,
+    /// Fusion / uniform-slot / scalar-op statistics for the run.
+    pub exec: ExecStats,
 }
 
 /// Run `cycles` of `source` through `program` under `cfg`, functionally
@@ -215,7 +222,7 @@ fn run_batch(
         .plan
         .alloc_device(if functional.is_some() { n } else { 1 });
     let mut scratch = Scratch::new();
-    let mut rt = GpuRuntime::new(model.clone());
+    let mut rt = GpuRuntime::with_exec(model.clone(), cfg.exec);
     let mut cpu = Resource::new("cpu", cfg.host.threads);
     let mut trace = Trace::new();
 
@@ -316,6 +323,7 @@ fn run_batch(
     let breakdown_cpu = trace.breakdown("cpu");
     let set_inputs_busy = breakdown_cpu.get("set_inputs").copied().unwrap_or(0);
     let evaluate_busy: Time = trace.breakdown("gpu").values().sum();
+    let exec = rt.exec_stats(graph);
     SimResult {
         makespan,
         trace,
@@ -323,6 +331,7 @@ fn run_batch(
         gpu_utilization,
         set_inputs_busy,
         evaluate_busy,
+        exec,
     }
 }
 
@@ -399,7 +408,8 @@ pub fn model_batch_multi_gpu(
 /// transpiler's default partition.
 pub fn prepare(design: &Design, model: &GpuModel) -> Result<(KernelProgram, CudaGraph), String> {
     let program = transpile::transpile(design)?;
-    let graph = CudaGraph::instantiate(program.graph.clone(), model)?;
+    let graph =
+        CudaGraph::instantiate_with(program.graph.clone(), model, Some(program.uniform.clone()))?;
     Ok((program, graph))
 }
 

@@ -1202,8 +1202,10 @@ impl<'a> Elaborator<'a> {
                         });
                     }
                     let body = self.lower_stmt(&arm.body, scope, blocking_expected)?;
+                    let cond =
+                        cond.ok_or_else(|| Error::elab("case arm with no labels".to_string()))?;
                     chain = vec![Stm::If {
-                        cond: cond.expect("case arm with no labels"),
+                        cond,
                         then_s: body,
                         else_s: chain,
                     }];

@@ -223,3 +223,54 @@ fn empty_source_is_ok_but_top_missing() {
     let e = elab_err("", "top");
     assert!(e.contains("not found"), "{e}");
 }
+
+// ------------------------------------------------------------ elaborator
+
+/// The grammar guarantees every case arm has at least one label, so an
+/// empty-label arm can only arrive via a programmatically built (or
+/// corrupted) AST — and must surface as a diagnostic, not a panic.
+#[test]
+fn case_arm_with_no_labels_is_an_error_not_a_panic() {
+    let src = "
+        module top(input [1:0] s, input a, output reg y);
+          always @(*) begin
+            case (s)
+              2'd0: y = a;
+              2'd1: y = ~a;
+              default: y = 1'b0;
+            endcase
+          end
+        endmodule";
+    let mut unit = parse(src).unwrap();
+    let mut stripped = false;
+    for m in &mut unit.modules {
+        for item in &mut m.items {
+            if let rtlir::ast::Item::Always { body, .. } = item {
+                strip_case_labels(body, &mut stripped);
+            }
+        }
+    }
+    assert!(stripped, "test fixture must contain a case arm");
+    let err = rtlir::elab::Elaborator::new(&unit)
+        .elaborate("top")
+        .expect_err("empty case-arm labels must not elaborate")
+        .to_string();
+    assert!(err.contains("case arm with no labels"), "{err}");
+}
+
+fn strip_case_labels(stmt: &mut rtlir::ast::Stmt, stripped: &mut bool) {
+    match stmt {
+        rtlir::ast::Stmt::Case { arms, .. } => {
+            for arm in arms {
+                arm.labels.clear();
+                *stripped = true;
+            }
+        }
+        rtlir::ast::Stmt::Block(stmts) => {
+            for s in stmts {
+                strip_case_labels(s, stripped);
+            }
+        }
+        _ => {}
+    }
+}

@@ -54,6 +54,9 @@ pub struct ServeConfig {
     /// pipeline; more than one entry routes every launch through the
     /// sharded multi-device executor.
     pub devices: Vec<f64>,
+    /// Functional execution strategy forwarded to the pipeline/shard
+    /// executors (scalar reference, vectorized, or block-parallel).
+    pub exec: cudasim::ExecConfig,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +69,7 @@ impl Default for ServeConfig {
             group_size: 1024,
             model: GpuModel::default(),
             devices: vec![1.0],
+            exec: cudasim::ExecConfig::default(),
         }
     }
 }
@@ -395,6 +399,7 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         let pool = shard::DevicePool::with_speeds(cfg.model.clone(), &cfg.devices);
         let scfg = shard::ShardConfig {
             group_size,
+            exec: cfg.exec,
             ..Default::default()
         };
         let r = shard::shard_batch_jobs(
@@ -418,6 +423,7 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
     } else {
         let pcfg = PipelineConfig {
             group_size,
+            exec: cfg.exec,
             ..Default::default()
         };
         let r = pipeline::simulate_batch_jobs(

@@ -27,7 +27,7 @@
 
 use std::collections::VecDeque;
 
-use cudasim::{CudaGraph, ExecMode, GpuRuntime, Scratch};
+use cudasim::{CudaGraph, ExecConfig, ExecMode, GpuRuntime, Scratch};
 use desim::{Resource, Time, Trace};
 use pipeline::HostModel;
 use rtlir::Design;
@@ -45,6 +45,9 @@ pub struct ShardConfig {
     pub group_size: usize,
     /// CUDA execution mode per group-cycle.
     pub mode: ExecMode,
+    /// Functional execution strategy per device (scalar reference,
+    /// vectorized, or block-parallel).
+    pub exec: ExecConfig,
     /// The shared host. Defaults to the paper's Machine 1 (80-thread
     /// Xeon): a multi-device pool needs server-class `set_inputs`
     /// parallelism or the host becomes the scaling ceiling.
@@ -58,6 +61,7 @@ impl Default for ShardConfig {
         ShardConfig {
             group_size: 1024,
             mode: ExecMode::Graph,
+            exec: ExecConfig::default(),
             host: HostModel::xeon(),
             fault: None,
         }
@@ -233,10 +237,11 @@ fn run_sharded(
     let mut devices: Vec<DeviceState> = (0..k)
         .map(|d| {
             let model = pool.model_for(d);
-            let dgraph = CudaGraph::instantiate(graph.ir.clone(), &model)
+            let dgraph = graph
+                .reinstantiate(&model)
                 .expect("pool re-instantiates an already-validated graph");
             DeviceState {
-                rt: GpuRuntime::new(model),
+                rt: GpuRuntime::with_exec(model, cfg.exec),
                 graph: dgraph,
                 cpu: Resource::new("cpu", threads_per_device),
                 cpu_trace: Trace::new(),

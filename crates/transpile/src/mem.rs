@@ -88,6 +88,19 @@ impl MemoryPlan {
         DeviceMemory::new(n, self.len8, self.len16, self.len32, self.len64)
     }
 
+    /// Per-bucket element counts, in `[B8, B16, B32, B64]` order (the
+    /// shape `cudasim::SlotUniform::analyze` expects).
+    pub fn lens(&self) -> [u32; 4] {
+        [self.len8, self.len16, self.len32, self.len64]
+    }
+
+    /// Slots the host pokes per-lane stimulus into — the non-uniform
+    /// roots of the uniform-slot analysis. Contract: host `poke`s must
+    /// target design inputs only (all in-repo stimulus drivers do).
+    pub fn input_slots(&self, design: &Design) -> Vec<Slot> {
+        design.inputs.iter().map(|&v| self.slots[v].slot).collect()
+    }
+
     /// Device bytes needed per stimulus.
     pub fn bytes_per_stimulus(&self) -> u64 {
         self.len8 as u64 + self.len16 as u64 * 2 + self.len32 as u64 * 4 + self.len64 as u64 * 8

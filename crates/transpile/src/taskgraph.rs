@@ -16,7 +16,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cudasim::{execute_kernel, DeviceMemory, Kernel, Scratch, TaskGraphIr};
+use cudasim::fuse::fuse_graph;
+use cudasim::{
+    execute_kernel, execute_ordered, execute_ordered_parallel, DeviceMemory, ExecConfig, ExecStats,
+    ExecStrategy, FuseStats, FusedKernel, Kernel, Scratch, SlotUniform, TaskGraphIr,
+};
 use rtlir::graph::NodeId;
 use rtlir::{Design, ProcessKind, RtlGraph};
 
@@ -54,6 +58,11 @@ pub struct KernelProgram {
     pub num_tasks: usize,
     /// Whether the design has sequential logic (ff/commit/pass-2 kernels).
     pub has_seq: bool,
+    /// Uniform-slot analysis: slots provably identical across all N
+    /// stimulus (design inputs are the non-uniform roots).
+    pub uniform: SlotUniform,
+    /// Fused per-kernel programs (built once here, cached for every cycle).
+    pub fused: Vec<FusedKernel>,
 }
 
 impl KernelProgram {
@@ -177,17 +186,36 @@ impl KernelProgram {
         for k in &graph_ir.kernels {
             k.validate()?;
         }
+        let uniform = SlotUniform::analyze(&graph_ir, plan.lens(), &plan.input_slots(design));
+        let fused = fuse_graph(&graph_ir, Some(&uniform));
         Ok(KernelProgram {
             plan,
             graph: graph_ir,
             order,
             num_tasks,
             has_seq,
+            uniform,
+            fused,
         })
     }
 
     /// Execute one full cycle functionally (inputs must already be poked).
+    ///
+    /// Runs the fused + vectorized + uniform-specialized executor — the
+    /// default hot path, bit-identical to [`KernelProgram::run_cycle_scalar`].
     pub fn run_cycle_functional(
+        &self,
+        dev: &mut DeviceMemory,
+        scratch: &mut Scratch,
+        tid0: usize,
+        group: usize,
+    ) {
+        execute_ordered(&self.fused, &self.order, dev, scratch, tid0, group);
+    }
+
+    /// Execute one cycle with the scalar reference interpreter (the
+    /// pre-fusion semantics the differential tests compare against).
+    pub fn run_cycle_scalar(
         &self,
         dev: &mut DeviceMemory,
         scratch: &mut Scratch,
@@ -196,6 +224,47 @@ impl KernelProgram {
     ) {
         for &k in &self.order {
             execute_kernel(&self.graph.kernels[k], dev, scratch, tid0, group);
+        }
+    }
+
+    /// Execute one cycle under an explicit strategy. `scratches` must hold
+    /// at least one element (one per worker for block-parallel execution).
+    pub fn run_cycle_exec(
+        &self,
+        dev: &mut DeviceMemory,
+        scratches: &mut [Scratch],
+        tid0: usize,
+        group: usize,
+        exec: &ExecConfig,
+    ) {
+        match exec.strategy {
+            ExecStrategy::Scalar => self.run_cycle_scalar(dev, &mut scratches[0], tid0, group),
+            ExecStrategy::Vectorized => {
+                self.run_cycle_functional(dev, &mut scratches[0], tid0, group)
+            }
+            ExecStrategy::BlockParallel { block, .. } => execute_ordered_parallel(
+                &self.fused,
+                &self.order,
+                dev,
+                scratches,
+                tid0,
+                group,
+                block,
+            ),
+        }
+    }
+
+    /// Static fusion + uniform statistics of the cached program.
+    pub fn exec_stats(&self) -> ExecStats {
+        let mut fuse = FuseStats::default();
+        for fk in &self.fused {
+            fuse.accumulate(&fk.stats);
+        }
+        ExecStats {
+            fuse,
+            uniform_slots: self.uniform.uniform_count() as u64,
+            total_slots: self.uniform.total_count() as u64,
+            scalar_ops_per_cycle: 0.0,
         }
     }
 

@@ -1,0 +1,360 @@
+//! Differential equivalence of the execution engines: the fused +
+//! vectorized executor and the block-parallel executor must be
+//! bit-identical to the scalar reference interpreter —
+//!
+//! * on randomly generated (but valid) kernel IR over randomly
+//!   initialized device memory, for every width bucket, including
+//!   out-of-range `LoadIdx` (reads as 0) and guarded `StoreIdxCond`,
+//!   for full, partial, and single-lane tid ranges, and
+//! * on the three benchmark designs over real stimulus.
+//!
+//! The uniform-slot analysis runs for real on every fuzzed graph; slots
+//! it proves lane-invariant are seeded with broadcast values (the
+//! contract the executor specializes against), everything else with
+//! per-lane random data.
+
+use cudasim::{
+    execute_kernel, execute_ordered, execute_ordered_parallel, fuse_graph, Bucket, DeviceMemory,
+    ExecConfig, KBin, KUn, Kernel, Op, Scratch, Slot, SlotUniform, TaskGraphIr,
+};
+use rtlflow::{Benchmark, Flow, NvdlaScale, PortMap};
+use stimulus::StimulusSource;
+
+/// Deterministic xorshift64* — no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Elements allocated per bucket in the fuzzed device.
+const LENS: [u32; 4] = [6, 6, 6, 6];
+
+const BUCKETS: [Bucket; 4] = [Bucket::B8, Bucket::B16, Bucket::B32, Bucket::B64];
+
+const BINS: [KBin; 20] = [
+    KBin::Add,
+    KBin::Sub,
+    KBin::Mul,
+    KBin::Div,
+    KBin::Rem,
+    KBin::And,
+    KBin::Or,
+    KBin::Xor,
+    KBin::Xnor,
+    KBin::Shl,
+    KBin::Shr,
+    KBin::Sshr,
+    KBin::Eq,
+    KBin::Ne,
+    KBin::Ltu,
+    KBin::Leu,
+    KBin::Gtu,
+    KBin::Geu,
+    KBin::LAnd,
+    KBin::LOr,
+];
+
+const UNS: [KUn; 6] = [
+    KUn::Not,
+    KUn::Neg,
+    KUn::LNot,
+    KUn::RedAnd,
+    KUn::RedOr,
+    KUn::RedXor,
+];
+
+fn rand_slot(rng: &mut Rng) -> Slot {
+    let bi = rng.below(4) as usize;
+    Slot {
+        bucket: BUCKETS[bi],
+        offset: rng.below(LENS[bi] as u64) as u32,
+    }
+}
+
+/// Base slot + depth for a memory op, staying inside the allocation
+/// (the `load_idx` extent assertion enforces this).
+fn rand_mem(rng: &mut Rng) -> (Slot, u32) {
+    let bi = rng.below(4) as usize;
+    let len = LENS[bi];
+    let offset = rng.below(len as u64 - 1) as u32;
+    let depth = 1 + rng.below((len - offset) as u64) as u32;
+    (
+        Slot {
+            bucket: BUCKETS[bi],
+            offset,
+        },
+        depth,
+    )
+}
+
+/// Generate a random kernel that upholds the write-before-read
+/// invariant `Kernel::validate` enforces.
+fn gen_kernel(rng: &mut Rng, name: &str) -> Kernel {
+    let mut ops = Vec::new();
+    let mut written: Vec<u16> = Vec::new();
+    let n_ops = 16 + rng.below(48) as usize;
+    for _ in 0..n_ops {
+        // A dst is a fresh register (capped) or an overwrite.
+        let dst = |rng: &mut Rng, written: &mut Vec<u16>| -> u16 {
+            if written.len() < 12 || rng.below(3) == 0 {
+                let r = written.len() as u16;
+                written.push(r);
+                r
+            } else {
+                written[rng.below(written.len() as u64) as usize]
+            }
+        };
+        let src =
+            |rng: &mut Rng, written: &[u16]| written[rng.below(written.len() as u64) as usize];
+        let width = |rng: &mut Rng| 1 + rng.below(64) as u32;
+
+        let choice = if written.len() < 2 {
+            rng.below(2)
+        } else {
+            rng.below(12)
+        };
+        let op = match choice {
+            0 => Op::Const {
+                dst: dst(rng, &mut written),
+                value: rng.next(),
+            },
+            1 => Op::Load {
+                dst: dst(rng, &mut written),
+                slot: rand_slot(rng),
+            },
+            2 | 3 => Op::Store {
+                src: src(rng, &written),
+                slot: rand_slot(rng),
+                width: width(rng),
+            },
+            // Sources are sampled BEFORE dst: dst may mint a fresh
+            // register, which must not be readable by the same op.
+            4 => {
+                let a = src(rng, &written);
+                Op::Un {
+                    op: UNS[rng.below(6) as usize],
+                    dst: dst(rng, &mut written),
+                    a,
+                    width: width(rng),
+                }
+            }
+            5 => {
+                let (cond, a, b) = (src(rng, &written), src(rng, &written), src(rng, &written));
+                Op::Mux {
+                    dst: dst(rng, &mut written),
+                    cond,
+                    a,
+                    b,
+                }
+            }
+            6 => {
+                let (slot, depth) = rand_mem(rng);
+                let idx = src(rng, &written);
+                Op::LoadIdx {
+                    dst: dst(rng, &mut written),
+                    slot,
+                    idx,
+                    depth,
+                }
+            }
+            7 => {
+                let (slot, depth) = rand_mem(rng);
+                Op::StoreIdxCond {
+                    src: src(rng, &written),
+                    slot,
+                    idx: src(rng, &written),
+                    depth,
+                    pred: src(rng, &written),
+                    width: width(rng),
+                }
+            }
+            _ => {
+                let (a, b) = (src(rng, &written), src(rng, &written));
+                Op::Bin {
+                    op: BINS[rng.below(20) as usize],
+                    dst: dst(rng, &mut written),
+                    a,
+                    b,
+                    width: width(rng),
+                }
+            }
+        };
+        ops.push(op);
+    }
+    Kernel::new(name, ops)
+}
+
+/// A chain-dependency task graph of `k` random kernels plus the real
+/// uniform-slot analysis over random non-uniform roots.
+fn gen_graph(rng: &mut Rng, k: usize) -> (TaskGraphIr, SlotUniform) {
+    let kernels: Vec<Kernel> = (0..k).map(|i| gen_kernel(rng, &format!("fz{i}"))).collect();
+    let deps = (0..k)
+        .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+        .collect();
+    let ir = TaskGraphIr { kernels, deps };
+    for kn in &ir.kernels {
+        kn.validate().expect("generated kernel must validate");
+    }
+    let mut roots = Vec::new();
+    for (bi, &b) in BUCKETS.iter().enumerate() {
+        for off in 0..LENS[bi] {
+            if rng.below(3) == 0 {
+                roots.push(Slot {
+                    bucket: b,
+                    offset: off,
+                });
+            }
+        }
+    }
+    let uniform = SlotUniform::analyze(&ir, LENS, &roots);
+    (ir, uniform)
+}
+
+/// Seed device memory honoring the uniform contract: slots the analysis
+/// proved lane-invariant get one broadcast value, all others get
+/// independent per-lane randoms.
+fn seed_device(rng: &mut Rng, uniform: &SlotUniform, n: usize) -> DeviceMemory {
+    let mut dev = DeviceMemory::new(n, LENS[0], LENS[1], LENS[2], LENS[3]);
+    for (bi, &b) in BUCKETS.iter().enumerate() {
+        for off in 0..LENS[bi] {
+            let slot = Slot {
+                bucket: b,
+                offset: off,
+            };
+            let broadcast = rng.next();
+            for tid in 0..n {
+                let v = if uniform.get(slot) {
+                    broadcast
+                } else {
+                    rng.next()
+                };
+                dev.store(slot, tid, v); // store truncates to the bucket type
+            }
+        }
+    }
+    dev
+}
+
+fn assert_devices_equal(a: &DeviceMemory, b: &DeviceMemory, what: &str, trial: u64) {
+    assert_eq!(a.var8, b.var8, "{what} diverged in var8 (trial {trial})");
+    assert_eq!(a.var16, b.var16, "{what} diverged in var16 (trial {trial})");
+    assert_eq!(a.var32, b.var32, "{what} diverged in var32 (trial {trial})");
+    assert_eq!(a.var64, b.var64, "{what} diverged in var64 (trial {trial})");
+}
+
+fn run_trial(trial: u64, n: usize, tid0: usize, group: usize) {
+    let mut rng = Rng::new(trial);
+    let k = 1 + rng.below(3) as usize;
+    let (ir, uniform) = gen_graph(&mut rng, k);
+    let order: Vec<usize> = (0..ir.kernels.len()).collect();
+    let fused = fuse_graph(&ir, Some(&uniform));
+    let seed_dev = seed_device(&mut rng, &uniform, n);
+
+    // Scalar reference.
+    let mut dev_s = seed_dev.clone();
+    let mut scratch = Scratch::new();
+    for &k in &order {
+        execute_kernel(&ir.kernels[k], &mut dev_s, &mut scratch, tid0, group);
+    }
+
+    // Fused + vectorized.
+    let mut dev_v = seed_dev.clone();
+    let mut scratch_v = Scratch::new();
+    execute_ordered(&fused, &order, &mut dev_v, &mut scratch_v, tid0, group);
+    assert_devices_equal(&dev_s, &dev_v, "vectorized", trial);
+
+    // Block-parallel with deliberately ragged blocks.
+    let mut dev_p = seed_dev.clone();
+    let mut scratches: Vec<Scratch> = (0..4).map(|_| Scratch::new()).collect();
+    let block = 1 + rng.below(7) as usize;
+    execute_ordered_parallel(
+        &fused,
+        &order,
+        &mut dev_p,
+        &mut scratches,
+        tid0,
+        group,
+        block,
+    );
+    assert_devices_equal(&dev_s, &dev_p, "block-parallel", trial);
+}
+
+#[test]
+fn fuzzed_kernels_full_range() {
+    for trial in 0..48 {
+        let n = [1usize, 2, 5, 33, 64][trial as usize % 5];
+        run_trial(trial, n, 0, n);
+    }
+}
+
+#[test]
+fn fuzzed_kernels_partial_and_single_lane_ranges() {
+    for trial in 100..130 {
+        run_trial(trial, 33, 1, 31);
+        run_trial(trial, 8, 7, 1);
+        run_trial(trial, 16, 0, 0);
+    }
+}
+
+/// The three benchmark designs, driven by their idiomatic stimulus: the
+/// vectorized and block-parallel paths must reproduce the scalar
+/// reference bit-for-bit (full device state compared every cycle).
+#[test]
+fn benchmark_designs_match_scalar_reference() {
+    for (b, n, cycles) in [
+        (Benchmark::RiscvMini, 24usize, 20u64),
+        (Benchmark::Spinal, 24, 20),
+        (Benchmark::Nvdla(NvdlaScale::Tiny), 16, 20),
+    ] {
+        let flow = Flow::from_benchmark(b).unwrap();
+        let map = PortMap::from_design(&flow.design);
+        let source = stimulus::source_for(&flow.design, &map, n, 0x5eed);
+        let mut frame = vec![0u64; map.len()];
+
+        let mut dev_s = flow.program.plan.alloc_device(n);
+        let mut dev_v = flow.program.plan.alloc_device(n);
+        let mut dev_p = flow.program.plan.alloc_device(n);
+        let mut scratch_s = vec![Scratch::new()];
+        let mut scratch_v = vec![Scratch::new()];
+        let par = ExecConfig::parallel(3);
+        let mut scratch_p: Vec<Scratch> = (0..3).map(|_| Scratch::new()).collect();
+
+        for c in 0..cycles {
+            for dev in [&mut dev_s, &mut dev_v, &mut dev_p] {
+                for s in 0..n {
+                    source.fill_frame(s, c, &mut frame);
+                    for (lane, port) in map.ports.iter().enumerate() {
+                        flow.program.plan.poke(dev, port.var, s, frame[lane]);
+                    }
+                }
+            }
+            flow.program
+                .run_cycle_exec(&mut dev_s, &mut scratch_s, 0, n, &ExecConfig::scalar());
+            flow.program.run_cycle_exec(
+                &mut dev_v,
+                &mut scratch_v,
+                0,
+                n,
+                &ExecConfig::vectorized(),
+            );
+            flow.program
+                .run_cycle_exec(&mut dev_p, &mut scratch_p, 0, n, &par);
+            assert_devices_equal(&dev_s, &dev_v, b.name(), c);
+            assert_devices_equal(&dev_s, &dev_p, b.name(), c);
+        }
+    }
+}
