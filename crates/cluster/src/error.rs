@@ -1,0 +1,56 @@
+//! Cluster-level error type: everything that can go wrong between
+//! "bind a controller" and "hand back bit-identical digests".
+
+use crate::wire::WireError;
+
+/// Why a cluster operation failed. Every variant carries enough context
+/// to act on (retry, re-register, add workers) without a stack trace.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket-level failure outside a frame exchange (bind, connect…).
+    Io(std::io::Error),
+    /// A frame could not be read, written, or decoded.
+    Wire(WireError),
+    /// The peer sent a well-formed frame that violates the protocol
+    /// state machine (e.g. a chunk for an unknown batch).
+    Protocol(String),
+    /// A batch needs workers but none are registered and alive (and no
+    /// replacement arrived within the rejoin grace period).
+    NoWorkers(String),
+    /// Elaboration or engine construction failed for a design.
+    Design(String),
+    /// A batch referenced a design key that was never registered.
+    UnknownDesign(u64),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o: {e}"),
+            ClusterError::Wire(e) => write!(f, "cluster wire: {e}"),
+            ClusterError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClusterError::NoWorkers(m) => write!(f, "no live workers: {m}"),
+            ClusterError::Design(m) => write!(f, "design error: {m}"),
+            ClusterError::UnknownDesign(k) => {
+                write!(
+                    f,
+                    "design {k:#018x} was never registered with the controller"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> ClusterError {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<WireError> for ClusterError {
+    fn from(e: WireError) -> ClusterError {
+        ClusterError::Wire(e)
+    }
+}

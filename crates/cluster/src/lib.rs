@@ -1,0 +1,46 @@
+//! `cluster` — fault-tolerant multi-node distributed simulation over TCP.
+//!
+//! The paper accelerates batch-stimulus RTL simulation on one GPU; this
+//! crate is the layer that takes the flow beyond one host (in the spirit
+//! of Parendi's thousand-way partitioning, see PAPERS.md): a
+//! **controller** cuts a coalesced batch into stimulus groups and
+//! schedules them over TCP onto registered **workers**, each of which
+//! runs the same warm per-design engine
+//! ([`rtlir::design_hash`]-keyed) through the existing
+//! `pipeline`/`cudasim` vectorized executor and streams result chunks
+//! back as groups complete.
+//!
+//! Everything is `std`-only — `std::net::TcpStream` and a hand-rolled
+//! length-prefixed binary wire protocol ([`wire`]) — so the workspace
+//! stays fully offline.
+//!
+//! # Fault tolerance
+//!
+//! The failure model mirrors `shard::fault`, one layer up:
+//!
+//! * group inputs are materialized controller-side as a pure function of
+//!   `(stimulus id, cycle)` and shipped with each dispatch, so re-running
+//!   a group anywhere is idempotent;
+//! * digests commit only when a result chunk arrives (first commit
+//!   wins), so partial work from a dying worker cannot leak;
+//! * a dead worker — detected by EOF, a wire error, or a heartbeat
+//!   timeout — has its in-flight group and backlog requeued round-robin
+//!   onto survivors, and workers reconnect with exponential backoff so a
+//!   batch stranded with zero workers can adopt a returning one.
+//!
+//! Results are therefore bit-identical regardless of worker count,
+//! capacities, or mid-run deaths — verified end to end by
+//! `tests/cluster_determinism.rs` against single-process
+//! `simulate_sharded`.
+
+pub mod controller;
+pub mod error;
+pub mod metrics;
+pub mod wire;
+pub mod worker;
+
+pub use controller::{ClusterConfig, ClusterJobResult, Controller};
+pub use error::ClusterError;
+pub use metrics::{ClusterMetrics, WorkerReport};
+pub use wire::{Frame, WireError, MAX_PAYLOAD, VERSION};
+pub use worker::{run_worker, spawn_worker, FaultMode, WorkerConfig, WorkerFault};

@@ -1,0 +1,206 @@
+//! Cluster-wide and per-worker accounting, accumulated across batches.
+
+use std::time::Duration;
+
+use desim::Json;
+
+/// What one worker connection did over the controller's lifetime.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Controller-assigned worker id.
+    pub worker: u32,
+    /// Advertised capacity weight from the worker's `Hello`.
+    pub capacity: u32,
+    /// `false` once the controller declared the worker dead.
+    pub alive: bool,
+    /// Groups committed by this worker (requeued pickups do not count).
+    pub groups: u64,
+    /// Result chunks streamed back.
+    pub chunks: u64,
+    /// Wall time this worker spent with a group in flight.
+    pub busy: Duration,
+    /// `busy` over the total time the controller spent running batches —
+    /// the per-worker utilization of the cluster.
+    pub utilization: f64,
+    /// Bytes sent to / received from this worker.
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+}
+
+/// Counters for the whole cluster since the controller was bound.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    pub workers: Vec<WorkerReport>,
+    /// Batches completed.
+    pub batches: u64,
+    /// Group dispatches sent to workers (re-dispatches after requeue
+    /// count again — this is the wire-level dispatch count).
+    pub dispatches: u64,
+    /// Result chunks received and committed.
+    pub chunks_committed: u64,
+    /// Groups put back onto survivors after a worker death.
+    pub requeues: u64,
+    /// Workers declared dead (heartbeat timeout, EOF, or wire error).
+    pub worker_deaths: u64,
+    /// Of those deaths, how many were detected as heartbeat timeouts
+    /// (the silent-failure path) rather than closed connections.
+    pub heartbeat_timeouts: u64,
+    /// Registrations accepted after at least one worker death — a
+    /// replacement or a returning worker rejoining the pool.
+    pub reconnects: u64,
+    /// Total registrations accepted.
+    pub registrations: u64,
+    /// Registrations refused (bad protocol version / malformed hello).
+    pub rejected_hellos: u64,
+    /// Wall time spent inside `run_batch` calls.
+    pub busy: Duration,
+}
+
+impl ClusterMetrics {
+    /// Mean utilization across workers that committed work.
+    pub fn mean_utilization(&self) -> f64 {
+        let active: Vec<&WorkerReport> = self.workers.iter().filter(|w| w.groups > 0).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().map(|w| w.utilization).sum::<f64>() / active.len() as f64
+    }
+
+    /// Render the per-worker table plus cluster totals (the
+    /// `cluster-sim` report).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:>4}  {:>4}  {:>6}  {:>7}  {:>7}  {:>9}  {:>6}  {:>9}  {:>9}\n",
+            "wkr", "cap", "alive", "groups", "chunks", "busy(ms)", "util%", "tx(B)", "rx(B)"
+        ));
+        for w in &self.workers {
+            out.push_str(&format!(
+                "  {:>4}  {:>4}  {:>6}  {:>7}  {:>7}  {:>9.2}  {:>6.1}  {:>9}  {:>9}\n",
+                w.worker,
+                w.capacity,
+                if w.alive { "yes" } else { "DEAD" },
+                w.groups,
+                w.chunks,
+                w.busy.as_secs_f64() * 1e3,
+                w.utilization * 100.0,
+                w.bytes_tx,
+                w.bytes_rx,
+            ));
+        }
+        out.push_str(&format!(
+            "  {} batches, {} dispatches, {} chunks committed\n",
+            self.batches, self.dispatches, self.chunks_committed
+        ));
+        out.push_str(&format!(
+            "  deaths {} (timeouts {})  requeued {}  reconnects {}  registrations {}\n",
+            self.worker_deaths,
+            self.heartbeat_timeouts,
+            self.requeues,
+            self.reconnects,
+            self.registrations,
+        ));
+        out
+    }
+
+    /// Machine-readable snapshot (`cluster-sim --json`), joining the
+    /// same `desim::Json` emission path as serve/shard metrics.
+    pub fn to_json(&self) -> Json {
+        let workers: Vec<Json> = self
+            .workers
+            .iter()
+            .map(|w| {
+                Json::obj()
+                    .field("worker", w.worker as u64)
+                    .field("capacity", w.capacity as u64)
+                    .field("alive", w.alive)
+                    .field("groups", w.groups)
+                    .field("chunks", w.chunks)
+                    .field("busy_ms", w.busy.as_secs_f64() * 1e3)
+                    .field("utilization", w.utilization)
+                    .field("bytes_tx", w.bytes_tx)
+                    .field("bytes_rx", w.bytes_rx)
+            })
+            .collect();
+        Json::obj()
+            .field("batches", self.batches)
+            .field("dispatches", self.dispatches)
+            .field("chunks_committed", self.chunks_committed)
+            .field("requeues", self.requeues)
+            .field("worker_deaths", self.worker_deaths)
+            .field("heartbeat_timeouts", self.heartbeat_timeouts)
+            .field("reconnects", self.reconnects)
+            .field("registrations", self.registrations)
+            .field("rejected_hellos", self.rejected_hellos)
+            .field("busy_ms", self.busy.as_secs_f64() * 1e3)
+            .field("mean_utilization", self.mean_utilization())
+            .field("workers", Json::Arr(workers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterMetrics {
+        ClusterMetrics {
+            workers: vec![
+                WorkerReport {
+                    worker: 1,
+                    capacity: 2,
+                    alive: true,
+                    groups: 6,
+                    chunks: 6,
+                    busy: Duration::from_millis(30),
+                    utilization: 0.6,
+                    bytes_tx: 1000,
+                    bytes_rx: 400,
+                },
+                WorkerReport {
+                    worker: 2,
+                    capacity: 1,
+                    alive: false,
+                    groups: 2,
+                    chunks: 2,
+                    busy: Duration::from_millis(10),
+                    utilization: 0.2,
+                    bytes_tx: 500,
+                    bytes_rx: 200,
+                },
+            ],
+            batches: 1,
+            dispatches: 9,
+            chunks_committed: 8,
+            requeues: 1,
+            worker_deaths: 1,
+            heartbeat_timeouts: 0,
+            reconnects: 0,
+            registrations: 2,
+            rejected_hellos: 0,
+            busy: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn mean_utilization_ignores_idle_workers() {
+        let mut m = sample();
+        assert!((m.mean_utilization() - 0.4).abs() < 1e-12);
+        m.workers[1].groups = 0;
+        assert!((m.mean_utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_flags_dead_workers() {
+        let t = sample().table();
+        assert!(t.contains("DEAD"));
+        assert!(t.contains("reconnects"));
+    }
+
+    #[test]
+    fn json_carries_counters_and_worker_array() {
+        let j = sample().to_json().to_string();
+        assert!(j.contains("\"requeues\":1"));
+        assert!(j.contains("\"worker_deaths\":1"));
+        assert!(j.contains("\"workers\":[{"));
+    }
+}

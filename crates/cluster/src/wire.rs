@@ -1,0 +1,629 @@
+//! The cluster wire protocol: length-prefixed, versioned binary frames.
+//!
+//! Every message on a controller↔worker connection is one frame:
+//!
+//! ```text
+//! magic "RFLC" | version u16 | kind u8 | payload_len u32 | payload bytes
+//! ```
+//!
+//! All integers are little-endian. Strings are `u32 length + UTF-8`;
+//! `u64` arrays are `u32 count + data`. Decoding is total: any truncated,
+//! corrupted, oversized, or unknown input yields a [`WireError`] — never
+//! a panic — because a malformed remote payload must not take down a
+//! worker or the controller. Payloads are capped at [`MAX_PAYLOAD`] so a
+//! corrupted length prefix cannot trigger a giant allocation.
+//!
+//! The protocol is deliberately value-oriented: stimulus travel as
+//! *materialized frame slices* (a pure function of `(stimulus, cycle)`
+//! evaluated controller-side), so a group re-dispatched after a worker
+//! death re-executes on bit-identical inputs no matter which survivor
+//! picks it up.
+
+use std::io::{Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"RFLC";
+/// Protocol version carried in every frame header and in [`Frame::Hello`].
+pub const VERSION: u16 = 1;
+/// Upper bound on a frame payload (256 MiB). A corrupted length prefix
+/// beyond this is rejected before any allocation happens.
+pub const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/stream error (includes read timeouts).
+    Io(std::io::Error),
+    /// The stream ended mid-frame.
+    Truncated { context: &'static str },
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Header version != [`VERSION`].
+    BadVersion(u16),
+    /// Unrecognized frame kind byte.
+    UnknownKind(u8),
+    /// Payload length prefix exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// Structurally invalid payload (bad UTF-8, inconsistent counts…).
+    Malformed(String),
+}
+
+impl WireError {
+    /// `true` when the error is a read timeout rather than a dead peer —
+    /// the controller's heartbeat detector treats the two differently
+    /// only in its report, both requeue the worker's groups.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Truncated { context } => write!(f, "truncated frame ({context})"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (this build speaks {VERSION})")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::TooLarge(n) => {
+                write!(f, "payload length {n} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Announces one coalesced batch to a worker before its groups arrive.
+/// Carries the full design source so a cold worker can build its engine;
+/// workers cache engines by `design_key`, so repeats are free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDescriptor {
+    /// Controller-unique batch id.
+    pub batch: u64,
+    /// Structural design fingerprint ([`rtlir::design_hash`]); the
+    /// worker's engine-cache key, cross-checked after elaboration.
+    pub design_key: u64,
+    /// Top module name.
+    pub top: String,
+    /// Verilog source of the DUT.
+    pub verilog: String,
+    /// Clock cycles every group of this batch runs.
+    pub cycles: u64,
+    /// Input lanes per stimulus frame.
+    pub lanes: u32,
+    /// Total stimulus across the whole batch (for reporting).
+    pub n: u64,
+}
+
+/// One schedulable unit of work: a contiguous stimulus group with its
+/// materialized input frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDispatch {
+    pub batch: u64,
+    /// Group index within the batch.
+    pub group: u32,
+    /// First *global* stimulus id of the group.
+    pub tid0: u64,
+    /// Stimulus in the group.
+    pub len: u32,
+    /// Stimulus-major frame data:
+    /// `frames[(s_local * cycles + c) * lanes + lane]`, length
+    /// `len * cycles * lanes`.
+    pub frames: Vec<u64>,
+}
+
+/// A completed group's digests, streamed back as the group finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultChunk {
+    pub batch: u64,
+    pub group: u32,
+    pub tid0: u64,
+    /// One output digest per stimulus of the group.
+    pub digests: Vec<u64>,
+}
+
+/// Every message of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → controller registration. `proto` must equal [`VERSION`];
+    /// `capacity` is the worker's advertised relative throughput weight.
+    Hello { proto: u16, capacity: u32 },
+    /// Controller → worker registration ack with the assigned id.
+    Welcome { worker_id: u32 },
+    /// Controller → worker: a new batch is about to dispatch groups.
+    BatchStart(BatchDescriptor),
+    /// Controller → worker: run one group.
+    RunGroup(GroupDispatch),
+    /// Worker → controller: one finished group's digests.
+    Chunk(ResultChunk),
+    /// Liveness probe (either direction).
+    Heartbeat { seq: u64 },
+    /// Liveness reply echoing the probe's sequence number.
+    HeartbeatAck { seq: u64 },
+    /// A contextful, non-fatal-to-the-peer failure report.
+    Error { context: String },
+    /// Orderly shutdown; the receiver stops without reconnecting.
+    Goodbye,
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_BATCH_START: u8 = 3;
+const KIND_RUN_GROUP: u8 = 4;
+const KIND_CHUNK: u8 = 5;
+const KIND_HEARTBEAT: u8 = 6;
+const KIND_HEARTBEAT_ACK: u8 = 7;
+const KIND_ERROR: u8 = 8;
+const KIND_GOODBYE: u8 = 9;
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::Welcome { .. } => KIND_WELCOME,
+            Frame::BatchStart(_) => KIND_BATCH_START,
+            Frame::RunGroup(_) => KIND_RUN_GROUP,
+            Frame::Chunk(_) => KIND_CHUNK,
+            Frame::Heartbeat { .. } => KIND_HEARTBEAT,
+            Frame::HeartbeatAck { .. } => KIND_HEARTBEAT_ACK,
+            Frame::Error { .. } => KIND_ERROR,
+            Frame::Goodbye => KIND_GOODBYE,
+        }
+    }
+
+    /// Encode into one self-contained frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Frame::Hello { proto, capacity } => {
+                put_u16(&mut payload, *proto);
+                put_u32(&mut payload, *capacity);
+            }
+            Frame::Welcome { worker_id } => put_u32(&mut payload, *worker_id),
+            Frame::BatchStart(b) => {
+                put_u64(&mut payload, b.batch);
+                put_u64(&mut payload, b.design_key);
+                put_str(&mut payload, &b.top);
+                put_str(&mut payload, &b.verilog);
+                put_u64(&mut payload, b.cycles);
+                put_u32(&mut payload, b.lanes);
+                put_u64(&mut payload, b.n);
+            }
+            Frame::RunGroup(g) => {
+                put_u64(&mut payload, g.batch);
+                put_u32(&mut payload, g.group);
+                put_u64(&mut payload, g.tid0);
+                put_u32(&mut payload, g.len);
+                put_u64s(&mut payload, &g.frames);
+            }
+            Frame::Chunk(c) => {
+                put_u64(&mut payload, c.batch);
+                put_u32(&mut payload, c.group);
+                put_u64(&mut payload, c.tid0);
+                put_u64s(&mut payload, &c.digests);
+            }
+            Frame::Heartbeat { seq } | Frame::HeartbeatAck { seq } => put_u64(&mut payload, *seq),
+            Frame::Error { context } => put_str(&mut payload, context),
+            Frame::Goodbye => {}
+        }
+        let mut out = Vec::with_capacity(11 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode one frame from the front of `data`; returns the frame and
+    /// the number of bytes consumed. Never panics on any input.
+    pub fn decode(data: &[u8]) -> Result<(Frame, usize), WireError> {
+        if data.len() < 11 {
+            return Err(WireError::Truncated { context: "header" });
+        }
+        if data[0..4] != MAGIC {
+            return Err(WireError::BadMagic([data[0], data[1], data[2], data[3]]));
+        }
+        let version = u16::from_le_bytes([data[4], data[5]]);
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = data[6];
+        let plen = u32::from_le_bytes([data[7], data[8], data[9], data[10]]);
+        if plen > MAX_PAYLOAD {
+            return Err(WireError::TooLarge(plen));
+        }
+        let plen = plen as usize;
+        if data.len() < 11 + plen {
+            return Err(WireError::Truncated { context: "payload" });
+        }
+        let frame = decode_payload(kind, &data[11..11 + plen])?;
+        Ok((frame, 11 + plen))
+    }
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let frame = match kind {
+        KIND_HELLO => Frame::Hello {
+            proto: c.u16()?,
+            capacity: c.u32()?,
+        },
+        KIND_WELCOME => Frame::Welcome {
+            worker_id: c.u32()?,
+        },
+        KIND_BATCH_START => Frame::BatchStart(BatchDescriptor {
+            batch: c.u64()?,
+            design_key: c.u64()?,
+            top: c.string()?,
+            verilog: c.string()?,
+            cycles: c.u64()?,
+            lanes: c.u32()?,
+            n: c.u64()?,
+        }),
+        KIND_RUN_GROUP => Frame::RunGroup(GroupDispatch {
+            batch: c.u64()?,
+            group: c.u32()?,
+            tid0: c.u64()?,
+            len: c.u32()?,
+            frames: c.u64s()?,
+        }),
+        KIND_CHUNK => Frame::Chunk(ResultChunk {
+            batch: c.u64()?,
+            group: c.u32()?,
+            tid0: c.u64()?,
+            digests: c.u64s()?,
+        }),
+        KIND_HEARTBEAT => Frame::Heartbeat { seq: c.u64()? },
+        KIND_HEARTBEAT_ACK => Frame::HeartbeatAck { seq: c.u64()? },
+        KIND_ERROR => Frame::Error {
+            context: c.string()?,
+        },
+        KIND_GOODBYE => Frame::Goodbye,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    if c.pos != payload.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing payload bytes",
+            payload.len() - c.pos
+        )));
+    }
+    Ok(frame)
+}
+
+/// Write one frame to a stream; returns the bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Read one frame from a stream; returns the frame and its wire size.
+/// An EOF before the first header byte is reported as `Truncated`, any
+/// later short read as the underlying i/o error.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    let mut header = [0u8; 11];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context: "header" }
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let plen = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    if plen > MAX_PAYLOAD {
+        return Err(WireError::TooLarge(plen));
+    }
+    let mut payload = vec![0u8; plen as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context: "payload" }
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let frame = decode_payload(header[6], &payload)?;
+    Ok((frame, 11 + plen as usize))
+}
+
+// --------------------------------------------------------------------------
+// Little-endian field encoding.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.data.len() - self.pos < n {
+            return Err(WireError::Truncated { context: "field" });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let count = self.u32()? as usize;
+        // A corrupted count must fail on the honest length check, not
+        // attempt a huge up-front allocation.
+        if self.data.len() - self.pos < count.saturating_mul(8) {
+            return Err(WireError::Truncated {
+                context: "u64 array",
+            });
+        }
+        (0..count).map(|_| self.u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stimulus::splitmix64;
+
+    /// Deterministic generator for the property tests.
+    struct Gen(u64);
+
+    impl Gen {
+        fn next(&mut self) -> u64 {
+            self.0 = splitmix64(self.0);
+            self.0
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+
+        fn string(&mut self, max: usize) -> String {
+            let len = self.below(max as u64) as usize;
+            (0..len)
+                .map(|_| char::from_u32(32 + (self.below(95)) as u32).unwrap())
+                .collect()
+        }
+
+        fn u64s(&mut self, max: usize) -> Vec<u64> {
+            let len = self.below(max as u64) as usize;
+            (0..len).map(|_| self.next()).collect()
+        }
+
+        fn frame(&mut self) -> Frame {
+            match self.below(9) {
+                0 => Frame::Hello {
+                    proto: self.next() as u16,
+                    capacity: self.next() as u32,
+                },
+                1 => Frame::Welcome {
+                    worker_id: self.next() as u32,
+                },
+                2 => Frame::BatchStart(BatchDescriptor {
+                    batch: self.next(),
+                    design_key: self.next(),
+                    top: self.string(16),
+                    verilog: self.string(200),
+                    cycles: self.next(),
+                    lanes: self.next() as u32,
+                    n: self.next(),
+                }),
+                3 => Frame::RunGroup(GroupDispatch {
+                    batch: self.next(),
+                    group: self.next() as u32,
+                    tid0: self.next(),
+                    len: self.next() as u32,
+                    frames: self.u64s(64),
+                }),
+                4 => Frame::Chunk(ResultChunk {
+                    batch: self.next(),
+                    group: self.next() as u32,
+                    tid0: self.next(),
+                    digests: self.u64s(64),
+                }),
+                5 => Frame::Heartbeat { seq: self.next() },
+                6 => Frame::HeartbeatAck { seq: self.next() },
+                7 => Frame::Error {
+                    context: self.string(80),
+                },
+                _ => Frame::Goodbye,
+            }
+        }
+    }
+
+    #[test]
+    fn random_frames_roundtrip() {
+        let mut g = Gen(0xc105_7e12);
+        for case in 0..500 {
+            let frame = g.frame();
+            let bytes = frame.encode();
+            let (back, used) = Frame::decode(&bytes)
+                .unwrap_or_else(|e| panic!("case {case}: decode failed: {e} for {frame:?}"));
+            assert_eq!(used, bytes.len(), "case {case}: whole frame consumed");
+            assert_eq!(back, frame, "case {case}: roundtrip must be exact");
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_concatenated() {
+        let mut g = Gen(7);
+        let frames: Vec<Frame> = (0..32).map(|_| g.frame()).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_frame(&mut bytes, f).unwrap();
+        }
+        let mut r = &bytes[..];
+        for f in &frames {
+            let (back, _) = read_frame(&mut r).unwrap();
+            assert_eq!(&back, f);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let mut g = Gen(0xdead);
+        for _ in 0..50 {
+            let frame = g.frame();
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                let r = Frame::decode(&bytes[..cut]);
+                assert!(
+                    r.is_err(),
+                    "decoding a {cut}-byte prefix of a {}-byte frame must error",
+                    bytes.len()
+                );
+                // And the streaming path likewise.
+                assert!(read_frame(&mut &bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        let mut g = Gen(0xbeef);
+        for _ in 0..40 {
+            let frame = g.frame();
+            let bytes = frame.encode();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x41;
+                // Any outcome but a panic is acceptable: corruption in a
+                // value field still decodes (to a different frame), while
+                // header/structure corruption must error.
+                let _ = Frame::decode(&bad);
+                let _ = read_frame(&mut &bad[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn header_corruptions_error_specifically() {
+        let bytes = Frame::Goodbye.encode();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bad_magic),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xff;
+        assert!(matches!(
+            Frame::decode(&bad_version),
+            Err(WireError::BadVersion(_))
+        ));
+
+        let mut bad_kind = bytes.clone();
+        bad_kind[6] = 0x7f;
+        assert!(matches!(
+            Frame::decode(&bad_kind),
+            Err(WireError::UnknownKind(0x7f))
+        ));
+
+        let mut huge_len = bytes;
+        huge_len[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&huge_len),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_array_count_is_rejected_without_allocation() {
+        let frame = Frame::Chunk(ResultChunk {
+            batch: 1,
+            group: 2,
+            tid0: 3,
+            digests: vec![4, 5, 6],
+        });
+        let mut bytes = frame.encode();
+        // The digest count lives right after batch(8)+group(4)+tid0(8).
+        let count_at = 11 + 8 + 4 + 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_malformed() {
+        let mut bytes = Frame::Heartbeat { seq: 9 }.encode();
+        // Grow the payload by one byte and fix up the length prefix.
+        bytes.push(0);
+        let plen = (bytes.len() - 11) as u32;
+        bytes[7..11].copy_from_slice(&plen.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,335 @@
+//! The cluster worker: connects to a controller, registers with its
+//! capacity, and executes dispatched groups through the same
+//! `pipeline`/`cudasim` functional executor the single-process flow uses.
+//!
+//! A worker is deliberately stateless across groups: every `RunGroup`
+//! carries its materialized input frames, so executing a group twice —
+//! or on a different worker after a requeue — produces bit-identical
+//! digests. The only warm state is the per-design engine cache
+//! ([`rtlir::design_hash`]-keyed), which survives reconnects.
+//!
+//! Failure behaviour is driven by [`WorkerFault`] for tests and the
+//! `cluster-sim` demo: `Disconnect` drops the socket mid-batch (the
+//! controller sees EOF), `Silent` stops responding without closing (the
+//! controller's heartbeat timeout has to notice). A consumed fault does
+//! not re-fire after the worker reconnects, so a faulted worker rejoins
+//! as a healthy one.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cudasim::{ExecConfig, Scratch};
+use rtlir::Design;
+use stimulus::PortMap;
+use transpile::KernelProgram;
+
+use crate::error::ClusterError;
+use crate::wire::{read_frame, write_frame, BatchDescriptor, Frame, ResultChunk, VERSION};
+
+/// How an injected fault manifests on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Close the connection abruptly: the controller reads EOF.
+    Disconnect,
+    /// Go quiet without closing: only the controller's heartbeat
+    /// timeout can detect this.
+    Silent,
+}
+
+/// Kill this worker at its `after_pickups`-th group pickup (0-based,
+/// mirroring `shard::FaultSpec` coordinates). Consumed once.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerFault {
+    pub after_pickups: u64,
+    pub mode: FaultMode,
+}
+
+/// Worker-side configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Advertised relative throughput weight; the controller sizes this
+    /// worker's initial queue share by it.
+    pub capacity: u32,
+    /// Functional execution strategy for group cycles.
+    pub exec: ExecConfig,
+    /// Optional injected fault.
+    pub fault: Option<WorkerFault>,
+    /// Reconnect after a connection loss (including an injected
+    /// `Disconnect`). `Goodbye` always ends the worker.
+    pub reconnect: bool,
+    /// First reconnect backoff; doubles per failed attempt.
+    pub backoff_start: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Connection attempts per (re)connect before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            capacity: 1,
+            exec: ExecConfig::default(),
+            fault: None,
+            reconnect: true,
+            backoff_start: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            max_attempts: 8,
+        }
+    }
+}
+
+/// A warm per-design engine: elaborated design + prepared kernel program.
+struct Engine {
+    design: Design,
+    program: KernelProgram,
+    map: PortMap,
+}
+
+/// What one batch needs at group-execution time.
+struct BatchInfo {
+    design_key: u64,
+    cycles: u64,
+    lanes: u32,
+}
+
+/// Spawn [`run_worker`] on its own thread (the in-process loopback shape
+/// used by `cluster-sim` and the tests).
+pub fn spawn_worker(addr: SocketAddr, cfg: WorkerConfig) -> JoinHandle<Result<(), ClusterError>> {
+    std::thread::spawn(move || run_worker(addr, cfg))
+}
+
+/// Run a worker until the controller says `Goodbye`, the connection is
+/// lost with reconnects disabled, or every reconnect attempt fails.
+pub fn run_worker(addr: SocketAddr, mut cfg: WorkerConfig) -> Result<(), ClusterError> {
+    // The engine cache outlives connections: a worker that drops and
+    // rejoins does not pay elaboration again.
+    let mut engines: HashMap<u64, Engine> = HashMap::new();
+    loop {
+        let stream = connect_with_backoff(addr, &cfg)?;
+        match serve_connection(stream, &mut cfg, &mut engines) {
+            ConnectionEnd::Goodbye => return Ok(()),
+            ConnectionEnd::Lost => {
+                if !cfg.reconnect {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Dial the controller with exponential backoff and register.
+fn connect_with_backoff(addr: SocketAddr, cfg: &WorkerConfig) -> Result<TcpStream, ClusterError> {
+    let mut delay = cfg.backoff_start;
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..cfg.max_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(cfg.backoff_max);
+        }
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                stream.set_nodelay(true).ok();
+                write_frame(
+                    &mut stream,
+                    &Frame::Hello {
+                        proto: VERSION,
+                        capacity: cfg.capacity.max(1),
+                    },
+                )?;
+                match read_frame(&mut stream)? {
+                    (Frame::Welcome { .. }, _) => return Ok(stream),
+                    (Frame::Error { context }, _) => {
+                        return Err(ClusterError::Protocol(format!(
+                            "controller refused registration: {context}"
+                        )))
+                    }
+                    (other, _) => {
+                        return Err(ClusterError::Protocol(format!(
+                            "expected Welcome, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ClusterError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "no connection attempts made")
+    })))
+}
+
+enum ConnectionEnd {
+    /// Orderly shutdown: never reconnect.
+    Goodbye,
+    /// EOF / wire error / injected fault: reconnect if configured.
+    Lost,
+}
+
+/// Serve one registered connection until it ends.
+fn serve_connection(
+    mut stream: TcpStream,
+    cfg: &mut WorkerConfig,
+    engines: &mut HashMap<u64, Engine>,
+) -> ConnectionEnd {
+    let mut batches: HashMap<u64, BatchInfo> = HashMap::new();
+    let mut pickups: u64 = 0;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok((f, _)) => f,
+            Err(_) => return ConnectionEnd::Lost,
+        };
+        match frame {
+            Frame::BatchStart(desc) => {
+                if let Err(context) = start_batch(&desc, engines, &mut batches) {
+                    // A design this worker cannot build is reported, not
+                    // fatal: the controller requeues onto other workers.
+                    let _ = write_frame(&mut stream, &Frame::Error { context });
+                }
+            }
+            Frame::RunGroup(g) => {
+                if let Some(fault) = cfg.fault {
+                    if pickups == fault.after_pickups {
+                        cfg.fault = None; // consumed: rejoin healthy
+                        match fault.mode {
+                            FaultMode::Disconnect => return ConnectionEnd::Lost,
+                            FaultMode::Silent => {
+                                // Stop responding but keep the socket
+                                // open; drain frames until the controller
+                                // gives up and closes it.
+                                while read_frame(&mut stream).is_ok() {}
+                                return ConnectionEnd::Lost;
+                            }
+                        }
+                    }
+                }
+                pickups += 1;
+                // Liveness marker before the compute burst.
+                if write_frame(&mut stream, &Frame::Heartbeat { seq: pickups }).is_err() {
+                    return ConnectionEnd::Lost;
+                }
+                let reply = match run_group(&g, &batches, engines, &cfg.exec) {
+                    Ok(chunk) => Frame::Chunk(chunk),
+                    Err(context) => Frame::Error { context },
+                };
+                if write_frame(&mut stream, &reply).is_err() {
+                    return ConnectionEnd::Lost;
+                }
+            }
+            Frame::Heartbeat { seq } => {
+                if write_frame(&mut stream, &Frame::HeartbeatAck { seq }).is_err() {
+                    return ConnectionEnd::Lost;
+                }
+            }
+            Frame::Goodbye => return ConnectionEnd::Goodbye,
+            // Acks and stray frames are harmless; a controller bug must
+            // not crash the worker.
+            Frame::HeartbeatAck { .. } | Frame::Error { .. } => {}
+            Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Chunk(_) => {}
+        }
+    }
+}
+
+/// Elaborate + prepare (or reuse) the engine for a batch descriptor.
+fn start_batch(
+    desc: &BatchDescriptor,
+    engines: &mut HashMap<u64, Engine>,
+    batches: &mut HashMap<u64, BatchInfo>,
+) -> Result<(), String> {
+    if let std::collections::hash_map::Entry::Vacant(slot) = engines.entry(desc.design_key) {
+        let design = rtlir::elaborate(&desc.verilog, &desc.top)
+            .map_err(|e| format!("batch {}: elaborate '{}': {e}", desc.batch, desc.top))?;
+        let key = rtlir::design_hash(&design);
+        if key != desc.design_key {
+            return Err(format!(
+                "batch {}: design hash mismatch (controller {:#018x}, worker {key:#018x})",
+                desc.batch, desc.design_key
+            ));
+        }
+        let model = cudasim::GpuModel::default();
+        let (program, _graph) = pipeline::prepare(&design, &model)
+            .map_err(|e| format!("batch {}: prepare: {e}", desc.batch))?;
+        let map = PortMap::from_design(&design);
+        slot.insert(Engine {
+            design,
+            program,
+            map,
+        });
+    }
+    let lanes = engines[&desc.design_key].map.len() as u32;
+    if desc.lanes != lanes {
+        return Err(format!(
+            "batch {}: controller says {} input lanes, design has {lanes}",
+            desc.batch, desc.lanes
+        ));
+    }
+    batches.insert(
+        desc.batch,
+        BatchInfo {
+            design_key: desc.design_key,
+            cycles: desc.cycles,
+            lanes,
+        },
+    );
+    Ok(())
+}
+
+/// Functionally execute one dispatched group and digest its outputs.
+/// Every failure path is a contextful `Err` — a malformed dispatch must
+/// never panic the worker.
+fn run_group(
+    g: &crate::wire::GroupDispatch,
+    batches: &HashMap<u64, BatchInfo>,
+    engines: &HashMap<u64, Engine>,
+    exec: &ExecConfig,
+) -> Result<ResultChunk, String> {
+    let info = batches
+        .get(&g.batch)
+        .ok_or_else(|| format!("group {} references unknown batch {}", g.group, g.batch))?;
+    let engine = engines
+        .get(&info.design_key)
+        .ok_or_else(|| format!("batch {} lost its engine", g.batch))?;
+    let len = g.len as usize;
+    let lanes = info.lanes as usize;
+    let expect = len
+        .checked_mul(info.cycles as usize)
+        .and_then(|x| x.checked_mul(lanes))
+        .ok_or_else(|| format!("group {}: frame count overflows", g.group))?;
+    if g.frames.len() != expect {
+        return Err(format!(
+            "group {}: {} frame words, expected {expect} ({len} stim × {} cycles × {lanes} lanes)",
+            g.group,
+            g.frames.len(),
+            info.cycles
+        ));
+    }
+    let mut dev = engine.program.plan.alloc_device(len);
+    let mut scratches: Vec<Scratch> = (0..exec.thread_count().max(1))
+        .map(|_| Scratch::new())
+        .collect();
+    for c in 0..info.cycles as usize {
+        for s in 0..len {
+            let base = (s * info.cycles as usize + c) * lanes;
+            for (lane, port) in engine.map.ports.iter().enumerate() {
+                engine
+                    .program
+                    .plan
+                    .poke(&mut dev, port.var, s, g.frames[base + lane]);
+            }
+        }
+        engine
+            .program
+            .run_cycle_exec(&mut dev, &mut scratches, 0, len, exec);
+    }
+    let digests = (0..len)
+        .map(|i| engine.program.plan.output_digest(&dev, &engine.design, i))
+        .collect();
+    Ok(ResultChunk {
+        batch: g.batch,
+        group: g.group,
+        tid0: g.tid0,
+        digests,
+    })
+}

@@ -13,7 +13,8 @@
 
 use std::process::exit;
 
-use rtlflow::{fmt_duration, Benchmark, Flow, NvdlaScale, PipelineConfig, PortMap};
+use rtlflow::cli::{benchmark_by_name, csv_list, Args};
+use rtlflow::{fmt_duration, Benchmark, Flow, PipelineConfig, PortMap};
 use transpile::ToggleCoverage;
 
 const USAGE: &str = "usage: rtlflow <command> [args]
@@ -41,6 +42,13 @@ commands:
               [--max-batch <n>] [--window-ms <ms>] [--workers <n>]
               [--queue-limit <n>] [--devices <f1,f2,..>] [--seed <u64>] [--json]
               Replay a multi-client trace through the coalescing service.
+  cluster-sim [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
+              [--workers <k>] [--capacities <c1,c2,..>] [--group <size>]
+              [--kill-worker <i>@<pickup>[:silent]] [--seed <u64>]
+              [--verify] [--json]
+              Run a batch on an in-process loopback TCP cluster of k
+              workers, optionally killing one mid-run and checking
+              digests bit-identical to the local sharded executor.
   coverage    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
               [-c <cycles>] [--seed <u64>]
               Toggle-coverage report over a random batch.
@@ -55,93 +63,6 @@ commands:
 fn usage() -> ! {
     eprint!("{USAGE}");
     exit(2)
-}
-
-/// Minimal argument cracker: positionals + `--flag [value]` pairs.
-struct Args {
-    positional: Vec<String>,
-    flags: Vec<(String, Option<String>)>,
-}
-
-impl Args {
-    fn parse(raw: &[String]) -> Args {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < raw.len() {
-            let a = &raw[i];
-            if let Some(name) = a
-                .strip_prefix("--")
-                .or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1))
-            {
-                let value = raw.get(i + 1).filter(|v| !v.starts_with('-')).cloned();
-                if value.is_some() {
-                    i += 1;
-                }
-                flags.push((name.to_string(), value));
-            } else {
-                positional.push(a.clone());
-            }
-            i += 1;
-        }
-        Args { positional, flags }
-    }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
-
-    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        match self.get(name) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("bad value for --{name}: `{v}`");
-                exit(2)
-            }),
-        }
-    }
-}
-
-/// Parse a comma-separated list flag value (`--gpus 1,2,4`).
-fn csv_list<T: std::str::FromStr>(s: &str, flag: &str) -> Vec<T> {
-    let list: Vec<T> = s
-        .split(',')
-        .map(str::trim)
-        .filter(|p| !p.is_empty())
-        .map(|p| {
-            p.parse().unwrap_or_else(|_| {
-                eprintln!("bad value in --{flag}: `{p}`");
-                exit(2)
-            })
-        })
-        .collect();
-    if list.is_empty() {
-        eprintln!("--{flag} needs at least one value");
-        exit(2)
-    }
-    list
-}
-
-fn benchmark_by_name(name: &str) -> Benchmark {
-    match name {
-        "riscv-mini" | "riscv_mini" => Benchmark::RiscvMini,
-        "spinal" | "Spinal" => Benchmark::Spinal,
-        "nvdla" | "NVDLA" => Benchmark::Nvdla(NvdlaScale::HwSmall),
-        "nvdla-small" => Benchmark::Nvdla(NvdlaScale::Small),
-        "nvdla-tiny" => Benchmark::Nvdla(NvdlaScale::Tiny),
-        other => {
-            eprintln!("unknown benchmark `{other}` (see `rtlflow benchmarks`)");
-            exit(2)
-        }
-    }
 }
 
 fn load_flow(args: &Args) -> Flow {
@@ -632,6 +553,163 @@ fn main() {
                 println!("\nclient-side trace report:");
                 print!("{}", report.table());
                 println!("\nservice metrics:");
+                print!("{}", metrics.table());
+            }
+        }
+        "cluster-sim" => {
+            use rtlflow::{
+                ClusterConfig, Controller, DevicePool, FaultMode, ShardConfig, WorkerConfig,
+                WorkerFault,
+            };
+            use std::time::Duration;
+
+            let bench = benchmark_by_name(args.get("benchmark").unwrap_or("riscv-mini"));
+            let n: usize = args.num("n", 4096);
+            let cycles: u64 = args.num("c", 64);
+            let seed: u64 = args.num("seed", 1);
+            let group: usize = args.num("group", 1024);
+            let capacities: Vec<u32> = match args.get("capacities") {
+                Some(s) => csv_list(s, "capacities"),
+                None => vec![1; args.num("workers", 4)],
+            };
+            if capacities.is_empty() || capacities.contains(&0) {
+                eprintln!("--capacities needs positive values");
+                exit(2);
+            }
+            // `--kill-worker i@k[:silent]`: worker i disconnects (or goes
+            // silent) at its k-th group pickup, then rejoins healthy.
+            let fault: Option<(usize, WorkerFault)> = args.get("kill-worker").map(|s| {
+                let parse = || -> Option<(usize, WorkerFault)> {
+                    let (spec, mode) = match s.strip_suffix(":silent") {
+                        Some(rest) => (rest, FaultMode::Silent),
+                        None => (s, FaultMode::Disconnect),
+                    };
+                    let (i, k) = spec.split_once('@')?;
+                    Some((
+                        i.parse().ok()?,
+                        WorkerFault {
+                            after_pickups: k.parse().ok()?,
+                            mode,
+                        },
+                    ))
+                };
+                parse().unwrap_or_else(|| {
+                    eprintln!("bad --kill-worker `{s}` (want <worker>@<pickup>[:silent])");
+                    exit(2)
+                })
+            });
+            if let Some((i, _)) = &fault {
+                if *i >= capacities.len() {
+                    eprintln!(
+                        "--kill-worker names worker {i} but only {} exist",
+                        capacities.len()
+                    );
+                    exit(2);
+                }
+            }
+
+            let flow = Flow::from_benchmark(bench).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            let controller = Controller::bind(
+                "127.0.0.1:0",
+                ClusterConfig {
+                    group_size: group.clamp(1, n.max(1)),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: bind controller: {e}");
+                exit(1)
+            });
+            let key = controller
+                .register_design(&bench.source(), bench.top())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: register design: {e}");
+                    exit(1)
+                });
+            let handles: Vec<_> = capacities
+                .iter()
+                .enumerate()
+                .map(|(i, &capacity)| {
+                    rtlflow::spawn_worker(
+                        controller.addr(),
+                        WorkerConfig {
+                            capacity,
+                            fault: fault.as_ref().filter(|(w, _)| *w == i).map(|&(_, f)| f),
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect();
+            controller
+                .wait_for_workers(capacities.len(), Duration::from_secs(10))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(1)
+                });
+
+            let map = PortMap::from_design(&flow.design);
+            let source = stimulus::source_for(&flow.design, &map, n, seed);
+            let t0 = std::time::Instant::now();
+            let digests = controller
+                .run_batch(key, source.as_ref(), cycles)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cluster batch: {e}");
+                    exit(1)
+                });
+            let elapsed = t0.elapsed();
+            controller.shutdown();
+            for h in handles {
+                let _ = h.join();
+            }
+
+            let verified = args.has("verify").then(|| {
+                let cfg = ShardConfig {
+                    group_size: group.clamp(1, n.max(1)),
+                    ..Default::default()
+                };
+                let local = flow
+                    .simulate_sharded(
+                        source.as_ref(),
+                        cycles,
+                        &cfg,
+                        &DevicePool::uniform(flow.model.clone(), 1),
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: local reference run: {e}");
+                        exit(1)
+                    });
+                if local.digests != digests {
+                    eprintln!("CLUSTER MISMATCH: digests diverge from the local sharded run");
+                    exit(1);
+                }
+            });
+
+            let metrics = controller.metrics();
+            if args.has("json") {
+                use desim::Json;
+                let doc = Json::obj()
+                    .field("benchmark", args.get("benchmark").unwrap_or("riscv-mini"))
+                    .field("n", n)
+                    .field("cycles", cycles)
+                    .field("workers", capacities.len())
+                    .field("host_seconds", elapsed.as_secs_f64())
+                    .field("verified", verified.is_some())
+                    .field("metrics", metrics.to_json());
+                println!("{doc}");
+            } else {
+                let unique: std::collections::HashSet<_> = digests.iter().collect();
+                println!(
+                    "cluster-sim: {n} stimulus x {cycles} cycles over {} loopback worker(s) \
+                     ({elapsed:?} host time)",
+                    capacities.len()
+                );
+                println!("{} distinct output signatures", unique.len());
+                if verified.is_some() {
+                    println!("verified: bit-identical to the local sharded executor");
+                }
                 print!("{}", metrics.table());
             }
         }

@@ -35,6 +35,10 @@
 //! ```
 
 pub use baselines::{CpuModel, EssentModel, EssentSim, VerilatorModel, VerilatorSim};
+pub use cluster::{
+    run_worker, spawn_worker, ClusterConfig, ClusterError, ClusterJobResult, ClusterMetrics,
+    Controller, FaultMode, WorkerConfig, WorkerFault, WorkerReport,
+};
 pub use cudasim::{
     CudaGraph, ExecConfig, ExecMode, ExecStats, ExecStrategy, FuseStats, GpuModel, LaunchCosts,
     SlotUniform,
@@ -45,8 +49,8 @@ pub use partition::{mcmc_partition, static_partition, McmcConfig, McmcResult};
 pub use pipeline::{simulate_batch, HostModel, PipelineConfig, SimResult};
 pub use rtlir::{BitVec, Design, Interp};
 pub use serve::{
-    replay as serve_replay, DeadlineClass, JobEvent, JobHandle, JobResult, JobSpec, Rejected,
-    ServeConfig, ServeMetrics, SimService, TraceConfig, TraceReport,
+    replay as serve_replay, ClusterBackend, DeadlineClass, JobEvent, JobHandle, JobResult, JobSpec,
+    Rejected, ServeConfig, ServeMetrics, SimService, SubmitError, TraceConfig, TraceReport,
 };
 pub use shard::{
     model_shard_batch, shard_batch, shard_batch_jobs, DevicePool, DeviceReport, DeviceSpec,
@@ -54,6 +58,8 @@ pub use shard::{
 };
 pub use stimulus::{PortMap, RandomSource, RiscvSource, SliceSource, StimulusSource};
 pub use transpile::{emit_cpp, emit_cuda, CodeMetrics, KernelProgram, Partition};
+
+pub mod cli;
 
 use rtlir::RtlGraph;
 

@@ -64,3 +64,19 @@ pub fn elaborate(src: &str, top: &str) -> Result<Design> {
     let unit = parse(src)?;
     elab::Elaborator::new(&unit).elaborate(top)
 }
+
+/// Stable structural fingerprint of a design — the warm-engine-cache key
+/// used by both `serve` and `cluster`. Two independently elaborated
+/// copies of the same RTL hash identically, so a cluster worker can
+/// cross-check a shipped design against the controller's key.
+pub fn design_hash(design: &Design) -> u64 {
+    // FNV-1a over the debug rendering: the Debug form covers every var,
+    // process and statement, so structural changes always change the key.
+    let repr = format!("{design:?}");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in repr.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -89,15 +89,9 @@ impl JobSpec {
 /// Stable structural fingerprint of a design — the warm-cache key. Two
 /// independently elaborated copies of the same RTL hash identically.
 pub fn design_hash(design: &Design) -> u64 {
-    // FNV-1a over the debug rendering: the Debug form covers every var,
-    // process and statement, so structural changes always change the key.
-    let repr = format!("{design:?}");
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in repr.as_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    // Shared with the cluster layer (workers cross-check shipped designs
+    // against this key), so the canonical implementation lives in rtlir.
+    rtlir::design_hash(design)
 }
 
 /// Batch-compatibility key: jobs coalesce iff these match.

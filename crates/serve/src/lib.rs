@@ -45,6 +45,6 @@ pub use job::{
     design_hash, CompatKey, DeadlineClass, JobEvent, JobHandle, JobId, JobResult, JobSpec,
 };
 pub use metrics::ServeMetrics;
-pub use queue::Rejected;
-pub use service::{ServeConfig, SimService};
+pub use queue::{Rejected, SubmitError};
+pub use service::{ClusterBackend, ServeConfig, SimService};
 pub use synthetic::{replay, TraceConfig, TraceReport};

@@ -39,6 +39,12 @@ pub struct ServeMetrics {
     pub pool_faults: u64,
     /// Groups requeued onto surviving devices after faults.
     pub pool_groups_requeued: u64,
+    /// Coalesced batches routed to remote cluster workers.
+    pub cluster_dispatches: u64,
+    /// Jobs served by those remote batches.
+    pub cluster_jobs: u64,
+    /// Remote attempts that failed and fell back to local execution.
+    pub cluster_fallbacks: u64,
 }
 
 impl ServeMetrics {
@@ -164,6 +170,11 @@ impl ServeMetrics {
                 self.pool_groups_requeued.to_string(),
             );
         }
+        if self.cluster_dispatches + self.cluster_fallbacks > 0 {
+            row("cluster dispatches", self.cluster_dispatches.to_string());
+            row("cluster jobs", self.cluster_jobs.to_string());
+            row("cluster fallbacks", self.cluster_fallbacks.to_string());
+        }
         out.push_str("  batch-size histogram:\n");
         for (i, &count) in self.batch_size_buckets.iter().enumerate() {
             if count > 0 {
@@ -213,6 +224,9 @@ impl ServeMetrics {
             .field("pool_steals", self.pool_steals)
             .field("pool_faults", self.pool_faults)
             .field("pool_groups_requeued", self.pool_groups_requeued)
+            .field("cluster_dispatches", self.cluster_dispatches)
+            .field("cluster_jobs", self.cluster_jobs)
+            .field("cluster_fallbacks", self.cluster_fallbacks)
             .field("batch_size_histogram", Json::Arr(buckets))
     }
 }

@@ -35,6 +35,30 @@ impl std::fmt::Display for Rejected {
     }
 }
 
+/// Why [`crate::SimService::submit`] refused a job. `Full` is transient
+/// backpressure (resubmit after `retry_after`); `Invalid` is permanent —
+/// the spec itself is malformed and retrying cannot help. Validation at
+/// the submit boundary is what keeps a bad payload from panicking a
+/// worker thread deep inside a coalesced launch.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Admission control is at the in-flight limit.
+    Full(Rejected),
+    /// The spec can never run (lane-count mismatch, zero cycles…).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(r) => write!(f, "{r}"),
+            SubmitError::Invalid(m) => write!(f, "invalid job spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Bounded FIFO of admitted jobs awaiting coalescing. `outstanding`
 /// counts every admitted-but-not-completed job (queued, windowed in the
 /// coalescer, or running); [`JobQueue::release`] returns credits when

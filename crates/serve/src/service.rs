@@ -31,7 +31,29 @@ use transpile::KernelProgram;
 use crate::coalesce::{Batch, Coalescer};
 use crate::job::{design_hash, CompatKey, Job, JobEvent, JobHandle, JobId, JobResult, JobSpec};
 use crate::metrics::ServeMetrics;
-use crate::queue::{JobQueue, Rejected};
+use crate::queue::{JobQueue, SubmitError};
+
+/// Remote overflow backend: a [`cluster::Controller`] plus the routing
+/// threshold. Batches of at least `min_stimulus` whose design was
+/// registered with the controller run on remote workers instead of the
+/// local device pool; smaller batches (and any batch the cluster cannot
+/// take) stay local, so the cluster is strictly additive capacity.
+#[derive(Clone)]
+pub struct ClusterBackend {
+    pub controller: Arc<cluster::Controller>,
+    /// Smallest coalesced batch (total stimulus) worth shipping over
+    /// the wire.
+    pub min_stimulus: usize,
+}
+
+impl std::fmt::Debug for ClusterBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBackend")
+            .field("controller", &self.controller.addr())
+            .field("min_stimulus", &self.min_stimulus)
+            .finish()
+    }
+}
 
 /// Service knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +79,10 @@ pub struct ServeConfig {
     /// Functional execution strategy forwarded to the pipeline/shard
     /// executors (scalar reference, vectorized, or block-parallel).
     pub exec: cudasim::ExecConfig,
+    /// Optional remote overflow backend: large coalesced batches of
+    /// cluster-registered designs route to remote workers once the
+    /// local pool would be the bottleneck.
+    pub cluster: Option<ClusterBackend>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +96,7 @@ impl Default for ServeConfig {
             model: GpuModel::default(),
             devices: vec![1.0],
             exec: cudasim::ExecConfig::default(),
+            cluster: None,
         }
     }
 }
@@ -189,11 +216,23 @@ impl SimService {
         &self.cfg
     }
 
-    /// Submit a job. Admission control applies immediately: when
-    /// in-flight work is at the limit the job is refused with a
-    /// [`Rejected`] carrying a retry-after estimated from the backlog
-    /// and the EWMA service time.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Rejected> {
+    /// Submit a job. The spec is validated first — a malformed payload
+    /// (wrong lane count, zero cycles) gets a permanent
+    /// [`SubmitError::Invalid`] instead of panicking a worker thread
+    /// mid-batch. Then admission control applies: at the in-flight limit
+    /// the job is refused with [`SubmitError::Full`] carrying a
+    /// retry-after estimated from the backlog and the EWMA service time.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let lanes = PortMap::from_design(&spec.design).len();
+        if spec.source.num_ports() != lanes {
+            return Err(SubmitError::Invalid(format!(
+                "stimulus source drives {} lanes but the design has {lanes} input ports",
+                spec.source.num_ports()
+            )));
+        }
+        if spec.cycles == 0 {
+            return Err(SubmitError::Invalid("cycle count must be >= 1".into()));
+        }
         let id = JobId::fresh();
         let (handle, events) = JobHandle::new(id);
         let key = CompatKey {
@@ -242,7 +281,7 @@ impl SimService {
                 // Dropping the job closes its event channel; the caller
                 // only ever sees the Rejected.
                 drop(job);
-                Err(rejected)
+                Err(SubmitError::Full(rejected))
             }
         }
     }
@@ -385,17 +424,55 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
     }
     // Each job's source keeps its own local indices inside the stack —
     // the bit-identical-to-standalone invariant lives here.
-    let stacked: Vec<Box<dyn StimulusSource>> = sources
+    let mut stacked: Vec<Box<dyn StimulusSource>> = sources
         .iter()
         .map(|s| Box::new(Arc::clone(s)) as Box<dyn StimulusSource>)
         .collect();
 
     let group_size = cfg.group_size.clamp(1, total.max(1));
     let t0 = Instant::now();
+
+    // Overflow routing: a big-enough batch of a cluster-registered
+    // design runs on remote workers. Any cluster failure (no live
+    // workers, wire error) falls back to the local executors below, so
+    // remote capacity can only add throughput, never lose a batch.
+    let mut remote: Option<(Vec<u64>, Vec<std::ops::Range<usize>>)> = None;
+    if let Some(cb) = &cfg.cluster {
+        if total >= cb.min_stimulus && cb.controller.has_design(batch.key.design) {
+            match cb.controller.run_jobs(batch.key.design, stacked, cycles) {
+                Ok(r) => {
+                    let mut m = shared.metrics.lock().expect("metrics poisoned");
+                    m.cluster_dispatches += 1;
+                    m.cluster_jobs += n_jobs as u64;
+                    remote = Some((r.digests, r.ranges));
+                }
+                Err(_) => {
+                    shared
+                        .metrics
+                        .lock()
+                        .expect("metrics poisoned")
+                        .cluster_fallbacks += 1;
+                }
+            }
+            // The sources are Arc-shared, so the local fallback (and the
+            // VCD path) can rebuild the stacked batch after the remote
+            // attempt consumed it.
+            stacked = sources
+                .iter()
+                .map(|s| Box::new(Arc::clone(s)) as Box<dyn StimulusSource>)
+                .collect();
+        }
+    }
+
     // Single device keeps the pipeline path; a multi-device config routes
     // the whole coalesced batch through the sharded executor. Either way
     // each job's digest slice is bit-identical to a standalone run.
-    let (digests, ranges, makespan, gpu_utilization, pool) = if cfg.devices.len() > 1 {
+    let (digests, ranges, makespan, gpu_utilization, pool) = if let Some((digests, ranges)) = remote
+    {
+        // Remote runs return functional digests only; the virtual timing
+        // model stays a local concern.
+        (digests, ranges, 0, 0.0, None)
+    } else if cfg.devices.len() > 1 {
         let pool = shard::DevicePool::with_speeds(cfg.model.clone(), &cfg.devices);
         let scfg = shard::ShardConfig {
             group_size,
@@ -615,6 +692,100 @@ mod tests {
             m2.pool_dispatches >= 1,
             "multi-device config must use the pool"
         );
+    }
+
+    #[test]
+    fn cluster_backend_routes_big_batches_and_keeps_digests() {
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc + a; end
+                 assign q = acc; endmodule";
+        let design = Arc::new(rtlir::elaborate(v, "top").unwrap());
+
+        // Local-only reference digests.
+        let run_local = || {
+            let service = SimService::start(ServeConfig {
+                window: Duration::from_millis(10),
+                workers: 1,
+                ..Default::default()
+            });
+            let h1 = service.submit(spec(&design, 8, 11, 30)).unwrap();
+            let h2 = service.submit(spec(&design, 16, 22, 30)).unwrap();
+            (h1.wait().unwrap().digests, h2.wait().unwrap().digests)
+        };
+        let local = run_local();
+
+        // Same jobs with a loopback cluster attached: the coalesced
+        // 24-stimulus batch clears min_stimulus and runs remotely.
+        let controller = Arc::new(
+            cluster::Controller::bind("127.0.0.1:0", cluster::ClusterConfig::default()).unwrap(),
+        );
+        controller.register_design(v, "top").unwrap();
+        let worker = cluster::spawn_worker(controller.addr(), cluster::WorkerConfig::default());
+        controller
+            .wait_for_workers(1, Duration::from_secs(5))
+            .unwrap();
+        let service = SimService::start(ServeConfig {
+            window: Duration::from_millis(10),
+            workers: 1,
+            cluster: Some(ClusterBackend {
+                controller: Arc::clone(&controller),
+                min_stimulus: 16,
+            }),
+            ..Default::default()
+        });
+        let h1 = service.submit(spec(&design, 8, 11, 30)).unwrap();
+        let h2 = service.submit(spec(&design, 16, 22, 30)).unwrap();
+        let remote = (h1.wait().unwrap().digests, h2.wait().unwrap().digests);
+        let m = service.shutdown();
+        controller.shutdown();
+        let _ = worker.join();
+
+        assert_eq!(remote, local, "remote execution must not change digests");
+        assert!(m.cluster_dispatches >= 1, "the batch must have gone remote");
+        assert_eq!(m.cluster_jobs, 2);
+        assert_eq!(m.cluster_fallbacks, 0);
+    }
+
+    #[test]
+    fn cluster_with_no_workers_falls_back_to_local() {
+        let design = tiny_design();
+        // A controller nobody ever connects to: run_jobs fails fast once
+        // the (shortened) rejoin grace expires, and the batch must land
+        // on the local pipeline anyway.
+        let controller = Arc::new(
+            cluster::Controller::bind(
+                "127.0.0.1:0",
+                cluster::ClusterConfig {
+                    rejoin_grace: Duration::from_millis(50),
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc + a; end
+                 assign q = acc; endmodule";
+        controller.register_design(v, "top").unwrap();
+        let service = SimService::start(ServeConfig {
+            window: Duration::from_millis(5),
+            workers: 1,
+            cluster: Some(ClusterBackend {
+                controller: Arc::clone(&controller),
+                min_stimulus: 1,
+            }),
+            ..Default::default()
+        });
+        let r = service.submit(spec(&design, 6, 3, 20)).unwrap().wait();
+        let m = service.shutdown();
+        controller.shutdown();
+        assert_eq!(r.unwrap().digests.len(), 6, "the job must still complete");
+        assert!(
+            m.cluster_fallbacks >= 1,
+            "a dead cluster must be counted as a fallback"
+        );
+        assert_eq!(m.jobs_failed, 0);
     }
 
     #[test]

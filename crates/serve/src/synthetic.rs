@@ -128,7 +128,7 @@ pub fn replay(service: &SimService, designs: &[Arc<Design>], cfg: &TraceConfig) 
             let maps = &maps;
             scope.spawn(move || {
                 let mut stream = splitmix64(cfg.seed ^ (client as u64).wrapping_mul(0x9e37_79b9));
-                for j in 0..cfg.jobs_per_client {
+                'jobs: for j in 0..cfg.jobs_per_client {
                     stream = splitmix64(stream);
                     let which = (pick(stream, 0, designs.len() as u64)) as usize;
                     let n =
@@ -152,11 +152,18 @@ pub fn replay(service: &SimService, designs: &[Arc<Design>], cfg: &TraceConfig) 
                         .with_class(class);
                         match service.submit(spec) {
                             Ok(h) => break h,
-                            Err(rejected) => {
+                            Err(crate::SubmitError::Full(rejected)) => {
                                 retries.fetch_add(1, Ordering::Relaxed);
                                 std::thread::sleep(
                                     rejected.retry_after.min(Duration::from_millis(50)),
                                 );
+                            }
+                            Err(crate::SubmitError::Invalid(_)) => {
+                                // A malformed spec never becomes valid:
+                                // count the job failed, don't spin.
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                submitted.fetch_add(1, Ordering::Relaxed);
+                                continue 'jobs;
                             }
                         }
                     };

@@ -86,7 +86,7 @@ impl BatchFile {
         let num_stimulus = r.u64_le()? as usize;
         let cycles = r.u64_le()?;
         let lanes = r.u32_le()? as usize;
-        if r.remaining() < lanes * 4 {
+        if lanes.checked_mul(4).is_none_or(|b| r.remaining() < b) {
             return Err("truncated widths".into());
         }
         let widths: Vec<u32> = (0..lanes).map(|_| r.u32_le()).collect::<Result<_, _>>()?;
@@ -94,11 +94,11 @@ impl BatchFile {
             .checked_mul(cycles as usize)
             .and_then(|x| x.checked_mul(lanes))
             .ok_or("frame count overflow")?;
-        if r.remaining() != expect * 8 {
+        let expect_bytes = expect.checked_mul(8).ok_or("frame byte count overflow")?;
+        if r.remaining() != expect_bytes {
             return Err(format!(
-                "frame payload size mismatch: {} != {}",
+                "frame payload size mismatch: {} != {expect_bytes}",
                 r.remaining(),
-                expect * 8
             ));
         }
         let frames: Vec<u64> = (0..expect).map(|_| r.u64_le()).collect::<Result<_, _>>()?;
@@ -159,9 +159,17 @@ pub struct FileSource {
 }
 
 impl FileSource {
-    pub fn new(batch: BatchFile) -> Self {
-        assert!(batch.cycles > 0 && !batch.widths.is_empty());
-        FileSource { batch }
+    /// Wrap a batch for replay. A batch with no cycles or no lanes can
+    /// never drive a design, so it is rejected here — at the load
+    /// boundary — instead of panicking later on the simulation hot path.
+    pub fn new(batch: BatchFile) -> Result<Self, String> {
+        if batch.cycles == 0 {
+            return Err("batch file records zero cycles; nothing to replay".into());
+        }
+        if batch.widths.is_empty() {
+            return Err("batch file has zero lanes; no ports to drive".into());
+        }
+        Ok(FileSource { batch })
     }
 }
 
@@ -226,7 +234,7 @@ mod tests {
         let d = Benchmark::RiscvMini.elaborate().unwrap();
         let m2 = PortMap::from_design(&d);
         let src = RandomSource::new(&m2, 4, 77);
-        let fs = FileSource::new(b);
+        let fs = FileSource::new(b).unwrap();
         let mut f1 = vec![0u64; m.len()];
         let mut f2 = vec![0u64; m.len()];
         for s in 0..4 {
@@ -241,12 +249,30 @@ mod tests {
     #[test]
     fn file_source_wraps_cycles() {
         let (m, b) = sample_batch();
-        let fs = FileSource::new(b);
+        let fs = FileSource::new(b).unwrap();
         let mut f1 = vec![0u64; m.len()];
         let mut f2 = vec![0u64; m.len()];
         fs.fill_frame(1, 3, &mut f1);
         fs.fill_frame(1, 3 + 16, &mut f2);
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn degenerate_batches_rejected_at_load_boundary() {
+        let zero_cycles = BatchFile {
+            num_stimulus: 0,
+            cycles: 0,
+            widths: vec![8],
+            frames: vec![],
+        };
+        assert!(FileSource::new(zero_cycles).is_err());
+        let zero_lanes = BatchFile {
+            num_stimulus: 2,
+            cycles: 4,
+            widths: vec![],
+            frames: vec![],
+        };
+        assert!(FileSource::new(zero_lanes).is_err());
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The cluster invariant, mirroring `tests/shard_determinism.rs` one
+//! layer up: for ANY worker count, capacity mix, or mid-run worker
+//! death, a batch run over loopback TCP returns digests bit-identical
+//! to the local sharded executor. Determinism holds because digests are
+//! a pure function of (stimulus, cycle): the controller materializes
+//! every group's frames once, and a requeued group re-executes the same
+//! frames on a survivor.
+
+use std::time::Duration;
+
+use rtlflow::{
+    spawn_worker, Benchmark, ClusterConfig, ClusterMetrics, Controller, DevicePool, FaultMode,
+    Flow, PortMap, ShardConfig, StimulusSource, WorkerConfig, WorkerFault,
+};
+
+/// Single-device sharded run: the local reference the cluster must match.
+fn sharded_digests(flow: &Flow, source: &dyn StimulusSource, cycles: u64) -> Vec<u64> {
+    let cfg = ShardConfig {
+        group_size: 8,
+        ..Default::default()
+    };
+    flow.simulate_sharded(
+        source,
+        cycles,
+        &cfg,
+        &DevicePool::uniform(flow.model.clone(), 1),
+    )
+    .expect("local sharded reference")
+    .digests
+}
+
+/// Run one batch on a loopback cluster of `workers` and return
+/// (digests, metrics). `fault` kills one worker at a pickup index.
+fn run_cluster(
+    bench: Benchmark,
+    source: &dyn StimulusSource,
+    cycles: u64,
+    workers: usize,
+    fault: Option<(usize, WorkerFault)>,
+    cfg: ClusterConfig,
+) -> (Vec<u64>, ClusterMetrics) {
+    let controller = Controller::bind("127.0.0.1:0", cfg).expect("bind loopback controller");
+    let key = controller
+        .register_design(&bench.source(), bench.top())
+        .expect("register benchmark design");
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            spawn_worker(
+                controller.addr(),
+                WorkerConfig {
+                    fault: fault.as_ref().filter(|(w, _)| *w == i).map(|&(_, f)| f),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    controller
+        .wait_for_workers(workers, Duration::from_secs(10))
+        .expect("all workers register");
+    let digests = controller
+        .run_batch(key, source, cycles)
+        .expect("cluster batch completes");
+    let metrics = controller.metrics();
+    controller.shutdown();
+    for h in handles {
+        let _ = h.join();
+    }
+    (digests, metrics)
+}
+
+#[test]
+fn loopback_matches_sharded_for_every_benchmark_and_worker_count() {
+    // (benchmark, n, cycles): sized so nvdla stays test-suite friendly.
+    let cases = [
+        (Benchmark::RiscvMini, 48usize, 24u64),
+        (Benchmark::Spinal, 40, 20),
+        (Benchmark::Nvdla(rtlflow::NvdlaScale::Tiny), 24, 12),
+    ];
+    for (bench, n, cycles) in cases {
+        let flow = Flow::from_benchmark(bench).unwrap();
+        let map = PortMap::from_design(&flow.design);
+        let source = stimulus::source_for(&flow.design, &map, n, 0xc1u64);
+        let golden = sharded_digests(&flow, source.as_ref(), cycles);
+
+        for workers in [1usize, 4] {
+            let cfg = ClusterConfig {
+                group_size: 8,
+                ..Default::default()
+            };
+            let (digests, m) = run_cluster(bench, source.as_ref(), cycles, workers, None, cfg);
+            assert_eq!(
+                digests, golden,
+                "{bench:?} with {workers} worker(s) diverged from the sharded reference"
+            );
+            assert_eq!(m.batches, 1);
+            assert_eq!(m.worker_deaths, 0);
+        }
+    }
+}
+
+#[test]
+fn worker_killed_mid_run_stays_bit_identical() {
+    let bench = Benchmark::RiscvMini;
+    let flow = Flow::from_benchmark(bench).unwrap();
+    let map = PortMap::from_design(&flow.design);
+    let source = stimulus::source_for(&flow.design, &map, 64, 0xdead);
+    let golden = sharded_digests(&flow, source.as_ref(), 20);
+
+    // Small groups guarantee several pickups per worker, so the kill at
+    // the victim's second pickup really lands mid-batch.
+    let cfg = ClusterConfig {
+        group_size: 4,
+        ..Default::default()
+    };
+    let fault = WorkerFault {
+        after_pickups: 1,
+        mode: FaultMode::Disconnect,
+    };
+    let (digests, m) = run_cluster(bench, source.as_ref(), 20, 4, Some((1, fault)), cfg);
+    assert_eq!(
+        digests, golden,
+        "digests changed under a mid-run worker death"
+    );
+    assert!(m.worker_deaths >= 1, "the injected kill must be observed");
+    assert!(
+        m.requeues >= 1,
+        "the dead worker's in-flight group must requeue onto a survivor"
+    );
+}
+
+#[test]
+fn silent_worker_is_detected_by_heartbeat_timeout() {
+    let bench = Benchmark::RiscvMini;
+    let flow = Flow::from_benchmark(bench).unwrap();
+    let map = PortMap::from_design(&flow.design);
+    let source = stimulus::source_for(&flow.design, &map, 48, 0x51e7);
+    let golden = sharded_digests(&flow, source.as_ref(), 16);
+
+    // A silent worker never closes its socket, so only the heartbeat
+    // deadline can unmask it; shrink the deadline to keep the test fast.
+    let cfg = ClusterConfig {
+        group_size: 4,
+        heartbeat_timeout: Duration::from_millis(250),
+        rejoin_grace: Duration::from_millis(500),
+    };
+    let fault = WorkerFault {
+        after_pickups: 1,
+        mode: FaultMode::Silent,
+    };
+    let (digests, m) = run_cluster(bench, source.as_ref(), 16, 3, Some((0, fault)), cfg);
+    assert_eq!(digests, golden, "digests changed under a silent worker");
+    assert!(
+        m.heartbeat_timeouts >= 1,
+        "a silent worker must be caught by the heartbeat deadline, \
+         not the EOF path (metrics: {m:?})"
+    );
+}
+
+#[test]
+fn sole_worker_death_is_rescued_by_its_own_reconnect() {
+    let bench = Benchmark::RiscvMini;
+    let flow = Flow::from_benchmark(bench).unwrap();
+    let map = PortMap::from_design(&flow.design);
+    let source = stimulus::source_for(&flow.design, &map, 32, 0x0e57);
+    let golden = sharded_digests(&flow, source.as_ref(), 16);
+
+    // One worker, killed mid-batch: no survivor exists, so the orphaned
+    // groups can only complete when the worker's reconnect loop rejoins
+    // and the monitor adopts it within the rejoin grace window.
+    let cfg = ClusterConfig {
+        group_size: 4,
+        rejoin_grace: Duration::from_secs(5),
+        ..Default::default()
+    };
+    let fault = WorkerFault {
+        after_pickups: 1,
+        mode: FaultMode::Disconnect,
+    };
+    let (digests, m) = run_cluster(bench, source.as_ref(), 16, 1, Some((0, fault)), cfg);
+    assert_eq!(
+        digests, golden,
+        "digests changed across a full-cluster outage"
+    );
+    assert!(m.worker_deaths >= 1);
+    assert!(
+        m.reconnects >= 1,
+        "the batch can only have finished via the reconnect path (metrics: {m:?})"
+    );
+}

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use rtlflow::{
     DeadlineClass, Flow, JobSpec, PipelineConfig, PortMap, RandomSource, ServeConfig, SimService,
+    SubmitError,
 };
 
 fn accumulator_flow() -> Flow {
@@ -122,7 +123,8 @@ fn over_limit_submits_reject_with_retry_after() {
     let h1 = service.submit(spec(1)).expect("first fits");
     let h2 = service.submit(spec(2)).expect("second fits");
     let rejected = match service.submit(spec(3)) {
-        Err(r) => r,
+        Err(SubmitError::Full(r)) => r,
+        Err(SubmitError::Invalid(m)) => panic!("a well-formed spec must not be invalid: {m}"),
         Ok(_) => panic!("third submit must be rejected at in-flight limit 2"),
     };
     assert_eq!(rejected.depth, 2);
