@@ -229,10 +229,12 @@ impl Controller {
     }
 
     /// Probe every idle worker; drops the ones that fail to ack.
-    /// Returns the number of live workers kept.
+    /// Returns the number of live workers registered afterwards.
     pub fn ping_all(&self) -> usize {
-        let mut reg = lock(&self.shared.registry);
-        let conns = std::mem::take(&mut *reg);
+        // Probe with the registry lock released: each dead worker costs
+        // a full heartbeat_timeout, and holding the lock that long would
+        // stall registrations (`handle_hello`) and batch starts.
+        let conns = std::mem::take(&mut *lock(&self.shared.registry));
         let mut kept = Vec::new();
         for mut w in conns {
             let ok = w
@@ -244,16 +246,20 @@ impl Controller {
                     read_frame(&mut w.stream),
                     Ok((Frame::HeartbeatAck { .. }, _))
                 );
-            let mut m = lock(&self.shared.metrics);
             if ok {
                 kept.push(w);
             } else {
+                let mut m = lock(&self.shared.metrics);
                 m.worker_deaths += 1;
                 m.worker(w.id, w.capacity).alive = false;
             }
         }
-        *reg = kept;
-        reg.len()
+        let mut reg = lock(&self.shared.registry);
+        reg.extend(kept);
+        let n = reg.len();
+        drop(reg);
+        self.shared.registry_cv.notify_all();
+        n
     }
 
     /// Run one batch of `cycles` over `source` on the cluster; returns
@@ -375,7 +381,30 @@ impl Controller {
         };
         drop(designs);
 
-        let group_size = self.shared.cfg.group_size.max(1).min(n.max(1));
+        // Split so every GroupDispatch fits the wire's payload cap:
+        // group frames cost `len * cycles * lanes * 8` bytes plus a few
+        // fixed fields, and a frame over MAX_PAYLOAD would be refused at
+        // encode time. Smaller groups never change the digests — each
+        // stimulus is independent — only the scheduling granularity.
+        const DISPATCH_FIXED_BYTES: u128 = 64;
+        let bytes_per_stim = (cycles as u128) * (lanes as u128) * 8;
+        let budget = u128::from(crate::wire::MAX_PAYLOAD) - DISPATCH_FIXED_BYTES;
+        if n > 0 && bytes_per_stim > budget {
+            return Err(ClusterError::Protocol(format!(
+                "one stimulus needs {bytes_per_stim} frame bytes ({cycles} cycles × {} lanes), \
+                 exceeding the {}-byte frame payload cap",
+                desc.lanes,
+                crate::wire::MAX_PAYLOAD
+            )));
+        }
+        let wire_cap = (budget / bytes_per_stim.max(1)).min(usize::MAX as u128) as usize;
+        let group_size = self
+            .shared
+            .cfg
+            .group_size
+            .max(1)
+            .min(n.max(1))
+            .min(wire_cap.max(1));
         let num_groups = n.div_ceil(group_size);
         let mut frame = vec![0u64; lanes];
         let mut groups = Vec::with_capacity(num_groups);
@@ -740,13 +769,22 @@ struct BatchState {
 /// Accept registrations until shutdown.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle_hello(stream, &shared);
+            }
+            Err(_) => {
+                // A persistent accept failure (fd exhaustion…) must
+                // neither busy-spin nor outlive shutdown.
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
-        handle_hello(stream, &shared);
     }
 }
 
@@ -867,6 +905,50 @@ mod tests {
             Err(ClusterError::UnknownDesign(42))
         ));
         ctl.shutdown();
+    }
+
+    #[test]
+    fn slow_group_outliving_heartbeat_timeout_is_not_declared_dead() {
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc + a; end
+                 assign q = acc; endmodule";
+        // One giant group and a heartbeat deadline far shorter than its
+        // compute: only the worker's compute-time heartbeat ticker keeps
+        // the controller from a false-positive death (which would
+        // requeue, time out again on every retry, and livelock).
+        let ctl = Controller::bind(
+            "127.0.0.1:0",
+            ClusterConfig {
+                group_size: 1 << 20,
+                heartbeat_timeout: Duration::from_millis(150),
+                rejoin_grace: Duration::from_millis(400),
+            },
+        )
+        .unwrap();
+        let key = ctl.register_design(v, "top").unwrap();
+        let worker = spawn_worker(
+            ctl.addr(),
+            WorkerConfig {
+                heartbeat_interval: Duration::from_millis(30),
+                ..WorkerConfig::default()
+            },
+        );
+        ctl.wait_for_workers(1, Duration::from_secs(5)).unwrap();
+
+        let design = rtlir::elaborate(v, "top").unwrap();
+        let map = stimulus::PortMap::from_design(&design);
+        let src = stimulus::RandomSource::new(&map, 1000, 3);
+        let digests = ctl.run_batch(key, &src, 500).unwrap();
+        assert_eq!(digests.len(), 1000);
+        let m = ctl.metrics();
+        assert_eq!(
+            m.worker_deaths, 0,
+            "a long compute must stay alive via heartbeats (metrics: {m:?})"
+        );
+        assert_eq!(m.heartbeat_timeouts, 0);
+        ctl.shutdown();
+        worker.join().unwrap().unwrap();
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub enum WireError {
     BadVersion(u16),
     /// Unrecognized frame kind byte.
     UnknownKind(u8),
-    /// Payload length prefix exceeds [`MAX_PAYLOAD`].
-    TooLarge(u32),
+    /// Payload length exceeds [`MAX_PAYLOAD`] (on decode: a corrupted
+    /// length prefix; on encode: a frame too big to represent on the
+    /// wire, caught before any peer can misparse it).
+    TooLarge(u64),
     /// Structurally invalid payload (bad UTF-8, inconsistent counts…).
     Malformed(String),
 }
@@ -185,8 +187,12 @@ impl Frame {
         }
     }
 
-    /// Encode into one self-contained frame (header + payload).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into one self-contained frame (header + payload). A frame
+    /// whose payload exceeds [`MAX_PAYLOAD`] is refused here: writing it
+    /// would either be rejected by every receiver (up to 4 GiB) or
+    /// silently truncate the `u32` length prefix and desync the stream
+    /// (beyond 4 GiB).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut payload = Vec::new();
         match self {
             Frame::Hello { proto, capacity } => {
@@ -220,13 +226,16 @@ impl Frame {
             Frame::Error { context } => put_str(&mut payload, context),
             Frame::Goodbye => {}
         }
+        if payload.len() as u64 > u64::from(MAX_PAYLOAD) {
+            return Err(WireError::TooLarge(payload.len() as u64));
+        }
         let mut out = Vec::with_capacity(11 + payload.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.push(self.kind());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&payload);
-        out
+        Ok(out)
     }
 
     /// Decode one frame from the front of `data`; returns the frame and
@@ -245,7 +254,7 @@ impl Frame {
         let kind = data[6];
         let plen = u32::from_le_bytes([data[7], data[8], data[9], data[10]]);
         if plen > MAX_PAYLOAD {
-            return Err(WireError::TooLarge(plen));
+            return Err(WireError::TooLarge(u64::from(plen)));
         }
         let plen = plen as usize;
         if data.len() < 11 + plen {
@@ -308,9 +317,11 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-/// Write one frame to a stream; returns the bytes written.
+/// Write one frame to a stream; returns the bytes written. A frame too
+/// large for the wire format is refused with [`WireError::TooLarge`]
+/// before any byte is written, so the stream never desyncs.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError> {
-    let bytes = frame.encode();
+    let bytes = frame.encode()?;
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(bytes.len())
@@ -339,7 +350,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     }
     let plen = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
     if plen > MAX_PAYLOAD {
-        return Err(WireError::TooLarge(plen));
+        return Err(WireError::TooLarge(u64::from(plen)));
     }
     let mut payload = vec![0u8; plen as usize];
     r.read_exact(&mut payload).map_err(|e| {
@@ -503,7 +514,7 @@ mod tests {
         let mut g = Gen(0xc105_7e12);
         for case in 0..500 {
             let frame = g.frame();
-            let bytes = frame.encode();
+            let bytes = frame.encode().unwrap();
             let (back, used) = Frame::decode(&bytes)
                 .unwrap_or_else(|e| panic!("case {case}: decode failed: {e} for {frame:?}"));
             assert_eq!(used, bytes.len(), "case {case}: whole frame consumed");
@@ -532,7 +543,7 @@ mod tests {
         let mut g = Gen(0xdead);
         for _ in 0..50 {
             let frame = g.frame();
-            let bytes = frame.encode();
+            let bytes = frame.encode().unwrap();
             for cut in 0..bytes.len() {
                 let r = Frame::decode(&bytes[..cut]);
                 assert!(
@@ -551,7 +562,7 @@ mod tests {
         let mut g = Gen(0xbeef);
         for _ in 0..40 {
             let frame = g.frame();
-            let bytes = frame.encode();
+            let bytes = frame.encode().unwrap();
             for i in 0..bytes.len() {
                 let mut bad = bytes.clone();
                 bad[i] ^= 0x41;
@@ -566,7 +577,7 @@ mod tests {
 
     #[test]
     fn header_corruptions_error_specifically() {
-        let bytes = Frame::Goodbye.encode();
+        let bytes = Frame::Goodbye.encode().unwrap();
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
         assert!(matches!(
@@ -597,6 +608,26 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_is_refused_at_encode_time() {
+        // One u64 past the cap: the sender must refuse, because every
+        // receiver would reject the frame as TooLarge anyway.
+        let frame = Frame::RunGroup(GroupDispatch {
+            batch: 1,
+            group: 0,
+            tid0: 0,
+            len: 1,
+            frames: vec![0u64; MAX_PAYLOAD as usize / 8],
+        });
+        assert!(matches!(frame.encode(), Err(WireError::TooLarge(_))));
+        let mut sink = Vec::new();
+        assert!(
+            matches!(write_frame(&mut sink, &frame), Err(WireError::TooLarge(_))),
+            "write_frame must refuse before touching the stream"
+        );
+        assert!(sink.is_empty(), "no bytes may reach the wire");
+    }
+
+    #[test]
     fn corrupted_array_count_is_rejected_without_allocation() {
         let frame = Frame::Chunk(ResultChunk {
             batch: 1,
@@ -604,7 +635,7 @@ mod tests {
             tid0: 3,
             digests: vec![4, 5, 6],
         });
-        let mut bytes = frame.encode();
+        let mut bytes = frame.encode().unwrap();
         // The digest count lives right after batch(8)+group(4)+tid0(8).
         let count_at = 11 + 8 + 4 + 8;
         bytes[count_at..count_at + 4].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
@@ -616,7 +647,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_in_payload_is_malformed() {
-        let mut bytes = Frame::Heartbeat { seq: 9 }.encode();
+        let mut bytes = Frame::Heartbeat { seq: 9 }.encode().unwrap();
         // Grow the payload by one byte and fix up the length prefix.
         bytes.push(0);
         let plen = (bytes.len() - 11) as u32;

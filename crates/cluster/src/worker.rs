@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -56,6 +57,11 @@ pub struct WorkerConfig {
     pub exec: ExecConfig,
     /// Optional injected fault.
     pub fault: Option<WorkerFault>,
+    /// How often to emit `Heartbeat` frames while a group computes.
+    /// Every frame the controller reads restarts its per-group read
+    /// deadline, so this must stay well under the controller's
+    /// `heartbeat_timeout` or long groups are falsely declared dead.
+    pub heartbeat_interval: Duration,
     /// Reconnect after a connection loss (including an injected
     /// `Disconnect`). `Goodbye` always ends the worker.
     pub reconnect: bool,
@@ -73,6 +79,7 @@ impl Default for WorkerConfig {
             capacity: 1,
             exec: ExecConfig::default(),
             fault: None,
+            heartbeat_interval: Duration::from_millis(100),
             reconnect: true,
             backoff_start: Duration::from_millis(10),
             backoff_max: Duration::from_millis(500),
@@ -210,7 +217,10 @@ fn serve_connection(
                 if write_frame(&mut stream, &Frame::Heartbeat { seq: pickups }).is_err() {
                     return ConnectionEnd::Lost;
                 }
-                let reply = match run_group(&g, &batches, engines, &cfg.exec) {
+                let result = run_with_heartbeats(&stream, cfg.heartbeat_interval, || {
+                    run_group(&g, &batches, engines, &cfg.exec)
+                });
+                let reply = match result {
                     Ok(chunk) => Frame::Chunk(chunk),
                     Err(context) => Frame::Error { context },
                 };
@@ -230,6 +240,54 @@ fn serve_connection(
             Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Chunk(_) => {}
         }
     }
+}
+
+/// Run `compute` while a ticker thread writes `Heartbeat` frames on a
+/// clone of `stream` every `interval`, so a group whose compute outlives
+/// the controller's `heartbeat_timeout` keeps extending its per-group
+/// read deadline instead of being falsely declared dead. The ticker is
+/// joined (via the scope) before this returns, so the caller's reply
+/// write can never interleave with a heartbeat frame.
+fn run_with_heartbeats<T>(
+    stream: &TcpStream,
+    interval: Duration,
+    compute: impl FnOnce() -> T,
+) -> T {
+    let done = AtomicBool::new(false);
+    // If the clone fails we just compute without heartbeats: short
+    // groups still finish inside the controller's deadline.
+    let ticker_stream = stream.try_clone();
+    std::thread::scope(|s| {
+        if let Ok(mut hs) = ticker_stream {
+            let done = &done;
+            s.spawn(move || {
+                let step = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+                let mut seq = 0u64;
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        // Short sleep steps keep the post-compute join
+                        // prompt without a condvar.
+                        if done.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    seq += 1;
+                    if write_frame(&mut hs, &Frame::Heartbeat { seq }).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        let result = compute();
+        done.store(true, Ordering::Release);
+        result
+    })
 }
 
 /// Elaborate + prepare (or reuse) the engine for a batch descriptor.

@@ -45,6 +45,9 @@ pub struct ServeMetrics {
     pub cluster_jobs: u64,
     /// Remote attempts that failed and fell back to local execution.
     pub cluster_fallbacks: u64,
+    /// Batches that skipped the cluster because another batch held it
+    /// (the dispatch gate lost its try-lock) and ran locally instead.
+    pub cluster_busy_skips: u64,
 }
 
 impl ServeMetrics {
@@ -170,10 +173,11 @@ impl ServeMetrics {
                 self.pool_groups_requeued.to_string(),
             );
         }
-        if self.cluster_dispatches + self.cluster_fallbacks > 0 {
+        if self.cluster_dispatches + self.cluster_fallbacks + self.cluster_busy_skips > 0 {
             row("cluster dispatches", self.cluster_dispatches.to_string());
             row("cluster jobs", self.cluster_jobs.to_string());
             row("cluster fallbacks", self.cluster_fallbacks.to_string());
+            row("cluster busy skips", self.cluster_busy_skips.to_string());
         }
         out.push_str("  batch-size histogram:\n");
         for (i, &count) in self.batch_size_buckets.iter().enumerate() {
@@ -227,6 +231,7 @@ impl ServeMetrics {
             .field("cluster_dispatches", self.cluster_dispatches)
             .field("cluster_jobs", self.cluster_jobs)
             .field("cluster_fallbacks", self.cluster_fallbacks)
+            .field("cluster_busy_skips", self.cluster_busy_skips)
             .field("batch_size_histogram", Json::Arr(buckets))
     }
 }

@@ -157,6 +157,11 @@ struct Shared {
     /// Signalled on submit and on shutdown; the scheduler waits on it.
     wake: Condvar,
     stop: AtomicBool,
+    /// Serializes cluster dispatch: `Controller::take_workers` hands
+    /// every idle worker to one batch, so a second concurrent batch
+    /// would only block for the full rejoin grace before falling back.
+    /// Losers of the try-lock skip straight to the local executors.
+    cluster_gate: Mutex<()>,
 }
 
 /// A live simulation service. Construct with [`SimService::start`],
@@ -176,6 +181,7 @@ impl SimService {
             metrics: Mutex::new(ServeMetrics::default()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
+            cluster_gate: Mutex::new(()),
         });
         let cache = Arc::new(EngineCache {
             entries: Mutex::new(HashMap::new()),
@@ -439,28 +445,44 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
     let mut remote: Option<(Vec<u64>, Vec<std::ops::Range<usize>>)> = None;
     if let Some(cb) = &cfg.cluster {
         if total >= cb.min_stimulus && cb.controller.has_design(batch.key.design) {
-            match cb.controller.run_jobs(batch.key.design, stacked, cycles) {
-                Ok(r) => {
-                    let mut m = shared.metrics.lock().expect("metrics poisoned");
-                    m.cluster_dispatches += 1;
-                    m.cluster_jobs += n_jobs as u64;
-                    remote = Some((r.digests, r.ranges));
+            // Only one batch may hold the cluster at a time; a busy
+            // cluster means local execution now beats queueing for the
+            // full rejoin grace behind the winner.
+            let gate = match shared.cluster_gate.try_lock() {
+                Ok(g) => Some(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            };
+            if let Some(_gate) = gate {
+                match cb.controller.run_jobs(batch.key.design, stacked, cycles) {
+                    Ok(r) => {
+                        let mut m = shared.metrics.lock().expect("metrics poisoned");
+                        m.cluster_dispatches += 1;
+                        m.cluster_jobs += n_jobs as u64;
+                        remote = Some((r.digests, r.ranges));
+                    }
+                    Err(_) => {
+                        shared
+                            .metrics
+                            .lock()
+                            .expect("metrics poisoned")
+                            .cluster_fallbacks += 1;
+                    }
                 }
-                Err(_) => {
-                    shared
-                        .metrics
-                        .lock()
-                        .expect("metrics poisoned")
-                        .cluster_fallbacks += 1;
-                }
+                // The sources are Arc-shared, so the local fallback (and
+                // the VCD path) can rebuild the stacked batch after the
+                // remote attempt consumed it.
+                stacked = sources
+                    .iter()
+                    .map(|s| Box::new(Arc::clone(s)) as Box<dyn StimulusSource>)
+                    .collect();
+            } else {
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .cluster_busy_skips += 1;
             }
-            // The sources are Arc-shared, so the local fallback (and the
-            // VCD path) can rebuild the stacked batch after the remote
-            // attempt consumed it.
-            stacked = sources
-                .iter()
-                .map(|s| Box::new(Arc::clone(s)) as Box<dyn StimulusSource>)
-                .collect();
         }
     }
 
