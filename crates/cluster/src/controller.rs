@@ -204,10 +204,11 @@ impl Controller {
         lock(&self.shared.registry).len()
     }
 
-    /// Register a design by source; returns its key
+    /// Register a design by source (Verilog subset or Yosys JSON netlist;
+    /// the frontend is auto-detected); returns its key
     /// ([`rtlir::design_hash`]), which batches reference.
     pub fn register_design(&self, verilog: &str, top: &str) -> Result<u64, ClusterError> {
-        let design = rtlir::elaborate(verilog, top)
+        let design = netlist::load_design(verilog, top)
             .map_err(|e| ClusterError::Design(format!("elaborate '{top}': {e}")))?;
         let key = rtlir::design_hash(&design);
         let lanes = stimulus::PortMap::from_design(&design).len() as u32;

@@ -297,7 +297,7 @@ fn start_batch(
     batches: &mut HashMap<u64, BatchInfo>,
 ) -> Result<(), String> {
     if let std::collections::hash_map::Entry::Vacant(slot) = engines.entry(desc.design_key) {
-        let design = rtlir::elaborate(&desc.verilog, &desc.top)
+        let design = netlist::load_design(&desc.verilog, &desc.top)
             .map_err(|e| format!("batch {}: elaborate '{}': {e}", desc.batch, desc.top))?;
         let key = rtlir::design_hash(&design);
         if key != desc.design_key {

@@ -42,6 +42,13 @@ commands:
               [--max-batch <n>] [--window-ms <ms>] [--workers <n>]
               [--queue-limit <n>] [--devices <f1,f2,..>] [--seed <u64>] [--json]
               Replay a multi-client trace through the coalescing service.
+  netlist-sim (<file.json> --top <module> | --fixture counter|picorv32)
+              [-n <stimulus>] [-c <cycles>] [--seed <u64>] [--rewrite on|off]
+              [--exec scalar|vector|par[:N]] [--verify <count>] [--json]
+              Import a Yosys JSON netlist, optionally run the pattern
+              rewriter, batch-simulate, and report import + rewrite stats
+              (digests verified against the interpreter on the un-rewritten
+              import).
   cluster-sim [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
               [--workers <k>] [--capacities <c1,c2,..>] [--group <size>]
               [--kill-worker <i>@<pickup>[:silent]] [--seed <u64>]
@@ -127,6 +134,7 @@ fn main() {
             println!("nvdla        deep-learning accelerator, hw_small scale (8x8x4 PEs)");
             println!("nvdla-small  4x4x2 PEs");
             println!("nvdla-tiny   2x2x1 PEs");
+            println!("picorv32     vendored Yosys-JSON netlist fixture (gate-level RV32I subset)");
         }
         "transpile" => {
             let flow = load_flow(&args);
@@ -213,7 +221,7 @@ fn main() {
             use rtlflow::ExecConfig;
 
             let fast = args.has("fast");
-            let designs = ["riscv-mini", "spinal", "nvdla-tiny"];
+            let designs = ["riscv-mini", "spinal", "nvdla-tiny", "picorv32"];
             let batches: [usize; 3] = [64, 1024, 8192];
             let strategies: [(&str, ExecConfig); 3] = [
                 ("scalar", ExecConfig::scalar()),
@@ -554,6 +562,184 @@ fn main() {
                 print!("{}", report.table());
                 println!("\nservice metrics:");
                 print!("{}", metrics.table());
+            }
+        }
+        "netlist-sim" => {
+            use desim::Json;
+
+            let (src, top): (String, String) = match args.get("fixture") {
+                Some("counter") => (netlist::COUNTER_JSON.to_string(), "counter".into()),
+                Some("picorv32") => (netlist::PICORV32_JSON.to_string(), "picorv32".into()),
+                Some(other) => {
+                    eprintln!("unknown fixture `{other}` (counter, picorv32)");
+                    exit(2)
+                }
+                None => {
+                    let Some(path) = args.positional.get(1) else {
+                        usage()
+                    };
+                    let Some(top) = args.get("top") else {
+                        eprintln!("--top <module> is required with a netlist file");
+                        exit(2)
+                    };
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        exit(1)
+                    });
+                    (text, top.to_string())
+                }
+            };
+            let (reference, import_stats) = netlist::import_str(&src, &top).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            let do_rewrite = match args.get("rewrite").unwrap_or("on") {
+                "on" => true,
+                "off" => false,
+                other => {
+                    eprintln!("bad value for --rewrite: `{other}` (on|off)");
+                    exit(2)
+                }
+            };
+            let mut design = reference.clone();
+            let rw = do_rewrite.then(|| netlist::rewrite(&mut design));
+
+            let flow = Flow::from_design(
+                design,
+                rtlflow::PartitionStrategy::PerLevel,
+                rtlflow::GpuModel::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            let n: usize = args.num("n", 1024);
+            let cycles: u64 = args.num("c", 1000);
+            let seed: u64 = args.num("seed", 1);
+            let map = PortMap::from_design(&flow.design);
+            let source = stimulus::source_for(&flow.design, &map, n, seed);
+            let cfg = PipelineConfig {
+                group_size: args.num("group", 1024.min(n)),
+                exec: match args.get("exec") {
+                    Some(s) => rtlflow::ExecConfig::parse(s).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2)
+                    }),
+                    None => rtlflow::ExecConfig::default(),
+                },
+                ..Default::default()
+            };
+            let t0 = std::time::Instant::now();
+            let result = flow
+                .simulate(source.as_ref(), cycles, &cfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(1)
+                });
+            let host = t0.elapsed();
+
+            // Verification runs the interpreter on the *un-rewritten*
+            // import, so it checks the importer, the rewriter, and the
+            // batch executor against each other in one pass.
+            let verified = args.get("verify").map(|v| {
+                let count: usize = v.parse().unwrap_or(4);
+                let vc = cycles.min(200);
+                let step = (n / count.max(1)).max(1);
+                let mut frame = vec![0u64; map.len()];
+                let mut compared = 0usize;
+                for stim in (0..n).step_by(step) {
+                    let mut interp = rtlflow::Interp::new(&reference).unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        exit(1)
+                    });
+                    for c in 0..vc {
+                        source.fill_frame(stim, c, &mut frame);
+                        interp.step_cycle(&map.to_pokes(&frame));
+                    }
+                    if cycles == vc && result.digests[stim] != interp.output_digest() {
+                        eprintln!(
+                            "GOLDEN MISMATCH: stimulus {stim} diverged from the \
+                             un-rewritten interpreter reference"
+                        );
+                        exit(1);
+                    }
+                    compared += 1;
+                }
+                compared
+            });
+
+            if args.has("json") {
+                let mut doc = Json::obj()
+                    .field("top", top.as_str())
+                    .field("n", n)
+                    .field("cycles", cycles)
+                    .field(
+                        "import",
+                        Json::obj()
+                            .field("cells", import_stats.cells)
+                            .field("nets", import_stats.nets)
+                            .field("vars", import_stats.vars)
+                            .field("processes", import_stats.processes),
+                    );
+                if let Some(rw) = &rw {
+                    doc = doc.field(
+                        "rewrite",
+                        Json::obj()
+                            .field("processes_in", rw.processes_in)
+                            .field("processes_out", rw.processes_out)
+                            .field("reduction_pct", rw.reduction_pct())
+                            .field("consts_folded", rw.consts_folded)
+                            .field("consts_propagated", rw.consts_propagated)
+                            .field("copies_propagated", rw.copies_propagated)
+                            .field("muxes_collapsed", rw.muxes_collapsed)
+                            .field("subexprs_shared", rw.subexprs_shared)
+                            .field("adders_widened", rw.adders_widened)
+                            .field("comparators_widened", rw.comparators_widened)
+                            .field("dead_removed", rw.dead_removed)
+                            .field("rounds", rw.rounds),
+                    );
+                }
+                let st = &result.exec;
+                doc = doc
+                    .field(
+                        "fusion",
+                        Json::obj()
+                            .field("ops_in", st.fuse.ops_in)
+                            .field("ops_out", st.fuse.ops_out)
+                            .field("superops", st.fuse.superops),
+                    )
+                    .field("makespan_ns", result.makespan)
+                    .field("gpu_utilization", result.gpu_utilization)
+                    .field("host_seconds", host.as_secs_f64());
+                if let Some(compared) = verified {
+                    doc = doc.field("verified", compared);
+                }
+                println!("{doc}");
+            } else {
+                println!(
+                    "imported {top}: {} cells, {} nets -> {} vars, {} processes",
+                    import_stats.cells,
+                    import_stats.nets,
+                    import_stats.vars,
+                    import_stats.processes
+                );
+                match &rw {
+                    Some(rw) => print!("{}", rw.table()),
+                    None => println!("rewrite: off"),
+                }
+                let st = &result.exec;
+                println!(
+                    "fusion: {} ops -> {} fops ({} superops)",
+                    st.fuse.ops_in, st.fuse.ops_out, st.fuse.superops
+                );
+                println!("simulated {n} stimulus x {cycles} cycles ({host:?} host time)");
+                println!("modeled A6000 wall time: {}", fmt_duration(result.makespan));
+                if let Some(compared) = verified {
+                    println!(
+                        "verified {compared} stimulus against the un-rewritten \
+                         interpreter reference"
+                    );
+                }
             }
         }
         "cluster-sim" => {

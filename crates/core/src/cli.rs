@@ -92,6 +92,7 @@ pub fn benchmark_by_name(name: &str) -> Benchmark {
         "nvdla" | "NVDLA" => Benchmark::Nvdla(NvdlaScale::HwSmall),
         "nvdla-small" => Benchmark::Nvdla(NvdlaScale::Small),
         "nvdla-tiny" => Benchmark::Nvdla(NvdlaScale::Tiny),
+        "picorv32" => Benchmark::Picorv32,
         other => {
             eprintln!("unknown benchmark `{other}` (see `rtlflow benchmarks`)");
             exit(2)
@@ -141,5 +142,6 @@ mod tests {
             benchmark_by_name("nvdla-tiny"),
             Benchmark::Nvdla(NvdlaScale::Tiny)
         ));
+        assert!(matches!(benchmark_by_name("picorv32"), Benchmark::Picorv32));
     }
 }

@@ -45,6 +45,7 @@ pub use cudasim::{
 };
 pub use designs::{Benchmark, NvdlaConfig, NvdlaScale};
 pub use desim::{fmt_duration, Time, Trace};
+pub use netlist::{load_design, ImportStats, NetlistError, RewriteStats};
 pub use partition::{mcmc_partition, static_partition, McmcConfig, McmcResult};
 pub use pipeline::{simulate_batch, HostModel, PipelineConfig, SimResult};
 pub use rtlir::{BitVec, Design, Interp};
@@ -108,6 +109,13 @@ impl Flow {
     /// the default (A6000) GPU model.
     pub fn from_verilog(src: &str, top: &str) -> Result<Flow, String> {
         let design = rtlir::elaborate(src, top).map_err(|e| e.to_string())?;
+        Flow::from_design(design, PartitionStrategy::PerLevel, GpuModel::default())
+    }
+
+    /// Build a flow from design source in either frontend format
+    /// (Verilog subset or Yosys JSON netlist, auto-detected).
+    pub fn from_source(src: &str, top: &str) -> Result<Flow, String> {
+        let design = netlist::load_design(src, top).map_err(|e| e.to_string())?;
         Flow::from_design(design, PartitionStrategy::PerLevel, GpuModel::default())
     }
 

@@ -1,0 +1,22 @@
+//! Regenerate the committed `picorv32.json` fixture.
+//!
+//! Usage: `cargo run -p netlist --bin gen_fixtures` (writes into the
+//! crate's `fixtures/` directory; pass a directory argument to write
+//! elsewhere). The reproducibility test in `tests/netlist_import.rs`
+//! asserts the committed file matches this generator byte-for-byte.
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("{}/fixtures", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{dir}/picorv32.json");
+    let json = netlist::gen::picorv32_json();
+    // Sanity-check before writing: the fixture must import and simulate.
+    let (design, stats) = netlist::import_str(&json, "picorv32").expect("fixture must import");
+    rtlir::RtlGraph::build(&design).expect("fixture must levelize");
+    std::fs::write(&path, &json).expect("write fixture");
+    println!(
+        "wrote {path}: {} cells -> {} vars, {} processes",
+        stats.cells, stats.vars, stats.processes
+    );
+}

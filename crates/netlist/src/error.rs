@@ -1,0 +1,105 @@
+//! Structured importer errors.
+//!
+//! The importer is fed files from outside the workspace (synthesis output,
+//! fixtures shipped over the cluster wire), so it must never panic: every
+//! malformed input maps to a [`NetlistError`] variant that names the
+//! offending construct.
+
+use std::fmt;
+
+/// Result alias used throughout the `netlist` crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+/// Why a Yosys JSON netlist could not be imported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// The text is not well-formed JSON. `offset` is a byte offset into
+    /// the input.
+    Json { offset: usize, msg: String },
+    /// Well-formed JSON that does not follow the Yosys netlist schema.
+    Schema { context: String, msg: String },
+    /// The requested top module is not present.
+    NoModule { top: String, available: Vec<String> },
+    /// A `$`-cell type the importer does not know.
+    UnknownCell { cell: String, ty: String },
+    /// A construct the importer knows about but cannot lower
+    /// (hierarchical cells, signed operands, derived clocks, ...).
+    Unsupported { cell: String, what: String },
+    /// A connection's bit count contradicts the cell's width parameters.
+    WidthMismatch {
+        cell: String,
+        port: String,
+        want: u32,
+        got: u32,
+    },
+    /// A net bit is read but nothing drives it.
+    DanglingNet { context: String, bit: u64 },
+    /// A net bit has two drivers.
+    MultiDriver {
+        bit: u64,
+        first: String,
+        second: String,
+    },
+}
+
+impl NetlistError {
+    pub fn json(offset: usize, msg: impl Into<String>) -> Self {
+        NetlistError::Json {
+            offset,
+            msg: msg.into(),
+        }
+    }
+    pub fn schema(context: impl Into<String>, msg: impl Into<String>) -> Self {
+        NetlistError::Schema {
+            context: context.into(),
+            msg: msg.into(),
+        }
+    }
+    pub fn unsupported(cell: impl Into<String>, what: impl Into<String>) -> Self {
+        NetlistError::Unsupported {
+            cell: cell.into(),
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Json { offset, msg } => {
+                write!(f, "json error at byte {offset}: {msg}")
+            }
+            NetlistError::Schema { context, msg } => {
+                write!(f, "netlist schema error in {context}: {msg}")
+            }
+            NetlistError::NoModule { top, available } => write!(
+                f,
+                "module `{top}` not found (available: {})",
+                available.join(", ")
+            ),
+            NetlistError::UnknownCell { cell, ty } => {
+                write!(f, "cell `{cell}`: unknown cell type `{ty}`")
+            }
+            NetlistError::Unsupported { cell, what } => {
+                write!(f, "cell `{cell}`: unsupported: {what}")
+            }
+            NetlistError::WidthMismatch {
+                cell,
+                port,
+                want,
+                got,
+            } => write!(
+                f,
+                "cell `{cell}` port {port}: width mismatch (expected {want} bits, got {got})"
+            ),
+            NetlistError::DanglingNet { context, bit } => {
+                write!(f, "{context}: net bit {bit} is read but has no driver")
+            }
+            NetlistError::MultiDriver { bit, first, second } => {
+                write!(f, "net bit {bit} driven by both `{first}` and `{second}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,468 @@
+//! In-tree generator for the vendored `picorv32.json` fixture.
+//!
+//! The build environment is fully offline (no yosys binary, no network),
+//! so the synthesized-netlist fixture is produced by this generator and
+//! committed; `tests/` assert the committed file matches the generator
+//! byte-for-byte, which is this repo's substitute for "re-run the yosys
+//! command". The emitted JSON is format-compatible with
+//! `yosys -p "read_verilog picorv32.v; synth; write_json"` output: the
+//! same `modules/ports/cells/netnames` schema, net-id bits, constant bit
+//! strings and `$`-cell library.
+//!
+//! The design itself is a single-cycle RV32I-subset core (`picorv32`
+//! interface style: `instr` input port, so the RISC-V stimulus source
+//! drives it with constrained instruction streams). Deliberately, the main
+//! ALU adder and the branch comparator are emitted *bit-blasted* — a
+//! 157-cell full-adder ripple chain and a 63-cell XNOR/AND tree — the way
+//! gate-level synthesis leaves them, so the rewrite passes have real work
+//! to do on a real-shaped design.
+
+use std::fmt::Write as _;
+
+/// One signal bit in the builder: a net id or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum B {
+    N(u64),
+    C0,
+    C1,
+}
+
+struct Cell {
+    name: String,
+    ty: String,
+    params: Vec<(String, String)>,
+    conns: Vec<(String, Vec<B>)>,
+}
+
+/// Tiny Yosys-JSON emitter.
+pub struct Builder {
+    top: String,
+    next_net: u64,
+    ports: Vec<(String, bool, Vec<B>)>,
+    cells: Vec<Cell>,
+    netnames: Vec<(String, Vec<B>)>,
+}
+
+impl Builder {
+    pub fn new(top: &str) -> Self {
+        Builder {
+            top: top.to_string(),
+            next_net: 2, // yosys net ids start at 2
+            ports: Vec::new(),
+            cells: Vec::new(),
+            netnames: Vec::new(),
+        }
+    }
+
+    fn nets(&mut self, w: usize) -> Vec<B> {
+        let start = self.next_net;
+        self.next_net += w as u64;
+        (start..start + w as u64).map(B::N).collect()
+    }
+
+    pub fn input(&mut self, name: &str, w: usize) -> Vec<B> {
+        let bits = self.nets(w);
+        self.ports.push((name.to_string(), false, bits.clone()));
+        bits
+    }
+
+    pub fn output(&mut self, name: &str, bits: &[B]) {
+        self.ports.push((name.to_string(), true, bits.to_vec()));
+    }
+
+    pub fn name_net(&mut self, name: &str, bits: &[B]) {
+        self.netnames.push((name.to_string(), bits.to_vec()));
+    }
+
+    fn cell(
+        &mut self,
+        ty: &str,
+        name: &str,
+        params: Vec<(&str, String)>,
+        conns: Vec<(&str, Vec<B>)>,
+    ) {
+        self.cells.push(Cell {
+            name: name.to_string(),
+            ty: ty.to_string(),
+            params: params
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            conns: conns.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Binary word cell; allocates and returns the Y nets.
+    pub fn bin(&mut self, ty: &str, name: &str, a: &[B], b: &[B], yw: usize) -> Vec<B> {
+        let y = self.nets(yw);
+        self.cell(
+            ty,
+            name,
+            vec![
+                ("A_SIGNED", "0".into()),
+                ("A_WIDTH", a.len().to_string()),
+                ("B_SIGNED", "0".into()),
+                ("B_WIDTH", b.len().to_string()),
+                ("Y_WIDTH", yw.to_string()),
+            ],
+            vec![("A", a.to_vec()), ("B", b.to_vec()), ("Y", y.clone())],
+        );
+        y
+    }
+
+    pub fn unary(&mut self, ty: &str, name: &str, a: &[B], yw: usize) -> Vec<B> {
+        let y = self.nets(yw);
+        self.cell(
+            ty,
+            name,
+            vec![
+                ("A_SIGNED", "0".into()),
+                ("A_WIDTH", a.len().to_string()),
+                ("Y_WIDTH", yw.to_string()),
+            ],
+            vec![("A", a.to_vec()), ("Y", y.clone())],
+        );
+        y
+    }
+
+    /// `$mux`: Y = S ? B : A.
+    pub fn mux(&mut self, name: &str, a: &[B], b: &[B], s: B, w: usize) -> Vec<B> {
+        let y = self.nets(w);
+        self.cell(
+            "$mux",
+            name,
+            vec![("WIDTH", w.to_string())],
+            vec![
+                ("A", a.to_vec()),
+                ("B", b.to_vec()),
+                ("S", vec![s]),
+                ("Y", y.clone()),
+            ],
+        );
+        y
+    }
+
+    pub fn dff(&mut self, name: &str, clk: B, d: &[B]) -> Vec<B> {
+        let q = self.nets(d.len());
+        self.cell(
+            "$dff",
+            name,
+            vec![("CLK_POLARITY", "1".into()), ("WIDTH", d.len().to_string())],
+            vec![("CLK", vec![clk]), ("D", d.to_vec()), ("Q", q.clone())],
+        );
+        q
+    }
+
+    pub fn dffe(&mut self, name: &str, clk: B, en: B, d: &[B]) -> Vec<B> {
+        let q = self.nets(d.len());
+        self.cell(
+            "$dffe",
+            name,
+            vec![
+                ("CLK_POLARITY", "1".into()),
+                ("EN_POLARITY", "1".into()),
+                ("WIDTH", d.len().to_string()),
+            ],
+            vec![
+                ("CLK", vec![clk]),
+                ("EN", vec![en]),
+                ("D", d.to_vec()),
+                ("Q", q.clone()),
+            ],
+        );
+        q
+    }
+
+    fn render_bits(out: &mut String, bits: &[B]) {
+        out.push('[');
+        for (i, b) in bits.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match b {
+                B::N(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                B::C0 => out.push_str("\"0\""),
+                B::C1 => out.push_str("\"1\""),
+            }
+        }
+        out.push(']');
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        let _ = writeln!(o, "{{");
+        let _ = writeln!(o, "  \"creator\": \"rtlflow gen_fixtures\",");
+        let _ = writeln!(o, "  \"modules\": {{");
+        let _ = writeln!(o, "    \"{}\": {{", self.top);
+        let _ = writeln!(o, "      \"attributes\": {{ \"top\": 1 }},");
+        // ports
+        let _ = writeln!(o, "      \"ports\": {{");
+        for (i, (name, output, bits)) in self.ports.iter().enumerate() {
+            let dir = if *output { "output" } else { "input" };
+            let _ = write!(
+                o,
+                "        \"{name}\": {{ \"direction\": \"{dir}\", \"bits\": "
+            );
+            Self::render_bits(&mut o, bits);
+            let comma = if i + 1 < self.ports.len() { "," } else { "" };
+            let _ = writeln!(o, " }}{comma}");
+        }
+        let _ = writeln!(o, "      }},");
+        // cells
+        let _ = writeln!(o, "      \"cells\": {{");
+        for (ci, c) in self.cells.iter().enumerate() {
+            let _ = writeln!(o, "        \"{}\": {{", c.name);
+            let _ = writeln!(o, "          \"hide_name\": 0,");
+            let _ = writeln!(o, "          \"type\": \"{}\",", c.ty);
+            let _ = write!(o, "          \"parameters\": {{ ");
+            for (i, (k, v)) in c.params.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(o, ", ");
+                }
+                let _ = write!(o, "\"{k}\": {v}");
+            }
+            let _ = writeln!(o, " }},");
+            let _ = write!(o, "          \"connections\": {{ ");
+            for (i, (k, v)) in c.conns.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(o, ", ");
+                }
+                let _ = write!(o, "\"{k}\": ");
+                Self::render_bits(&mut o, v);
+            }
+            let _ = writeln!(o, " }}");
+            let comma = if ci + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(o, "        }}{comma}");
+        }
+        let _ = writeln!(o, "      }},");
+        // netnames
+        let _ = writeln!(o, "      \"netnames\": {{");
+        for (i, (name, bits)) in self.netnames.iter().enumerate() {
+            let _ = write!(o, "        \"{name}\": {{ \"hide_name\": 0, \"bits\": ");
+            Self::render_bits(&mut o, bits);
+            let comma = if i + 1 < self.netnames.len() { "," } else { "" };
+            let _ = writeln!(o, " }}{comma}");
+        }
+        let _ = writeln!(o, "      }}");
+        let _ = writeln!(o, "    }}");
+        let _ = writeln!(o, "  }}");
+        let _ = writeln!(o, "}}");
+        o
+    }
+}
+
+fn const_bits(val: u64, w: usize) -> Vec<B> {
+    (0..w)
+        .map(|i| if (val >> i) & 1 != 0 { B::C1 } else { B::C0 })
+        .collect()
+}
+
+fn repl(b: B, n: usize) -> Vec<B> {
+    vec![b; n]
+}
+
+/// Generate the `picorv32.json` fixture text.
+pub fn picorv32_json() -> String {
+    let mut g = Builder::new("picorv32");
+    let clk = g.input("clk", 1)[0];
+    let rst = g.input("rst", 1)[0];
+    let instr = g.input("instr", 32);
+
+    // Decode fields are pure bit routing in a netlist.
+    let opcode = &instr[0..7];
+    let rd = &instr[7..12];
+    let f3 = &instr[12..15];
+    let rs1a = &instr[15..20];
+    let rs2a = &instr[20..25];
+    let f7b = instr[30];
+    let sign = instr[31];
+    let imm_i: Vec<B> = [&instr[20..32], &repl(sign, 20)[..]].concat();
+    let imm_b: Vec<B> = [
+        &[B::C0][..],
+        &instr[8..12],
+        &instr[25..31],
+        &[instr[7]][..],
+        &repl(sign, 20)[..],
+    ]
+    .concat();
+    let imm_u: Vec<B> = [&const_bits(0, 12)[..], &instr[12..32]].concat();
+
+    // Register file: 3 async read ports (rs1, rs2, x10 observation), one
+    // clocked write port.
+    let rf_data = g.nets(96);
+    let mut rd_addr: Vec<B> = rs1a.to_vec();
+    rd_addr.extend_from_slice(rs2a);
+    rd_addr.extend_from_slice(&const_bits(10, 5));
+    let rs1_raw = rf_data[0..32].to_vec();
+    let rs2_raw = rf_data[32..64].to_vec();
+    let a0 = rf_data[64..96].to_vec();
+
+    // x0 reads as zero.
+    let rs1z = g.bin("$eq", "dec_rs1_is0", rs1a, &const_bits(0, 5), 1)[0];
+    let rs2z = g.bin("$eq", "dec_rs2_is0", rs2a, &const_bits(0, 5), 1)[0];
+    let rs1 = g.mux("sel_rs1", &rs1_raw, &const_bits(0, 32), rs1z, 32);
+    let rs2 = g.mux("sel_rs2", &rs2_raw, &const_bits(0, 32), rs2z, 32);
+
+    // Opcode decode (one duplicated $eq on purpose: synthesis leaves such
+    // duplicates behind and CSE should share them).
+    let is_op_imm = g.bin("$eq", "dec_is_op_imm", opcode, &const_bits(0b0010011, 7), 1)[0];
+    let is_op_imm2 = g.bin(
+        "$eq",
+        "dec_is_op_imm_dup",
+        opcode,
+        &const_bits(0b0010011, 7),
+        1,
+    )[0];
+    let is_op = g.bin("$eq", "dec_is_op", opcode, &const_bits(0b0110011, 7), 1)[0];
+    let is_lui = g.bin("$eq", "dec_is_lui", opcode, &const_bits(0b0110111, 7), 1)[0];
+    let is_branch = g.bin("$eq", "dec_is_branch", opcode, &const_bits(0b1100011, 7), 1)[0];
+
+    let op2 = g.mux("sel_op2", &rs2, &imm_i, is_op_imm, 32);
+
+    // --- ALU adder, bit-blasted: full-adder ripple rs1 + op2.
+    // p/g per bit, then s_i = p_i ^ c_i, t_i = p_i & c_i, c_{i+1} = g_i | t_i.
+    let mut p = Vec::new();
+    let mut gg = Vec::new();
+    for i in 0..32 {
+        p.push(g.bin("$xor", &format!("fa_p_{i:02}"), &[rs1[i]], &[op2[i]], 1)[0]);
+        gg.push(g.bin("$and", &format!("fa_g_{i:02}"), &[rs1[i]], &[op2[i]], 1)[0]);
+    }
+    let mut sum = vec![p[0]];
+    let mut carry = gg[0];
+    for i in 1..32 {
+        sum.push(g.bin("$xor", &format!("fa_s_{i:02}"), &[p[i]], &[carry], 1)[0]);
+        if i < 31 {
+            let t = g.bin("$and", &format!("fa_t_{i:02}"), &[p[i]], &[carry], 1)[0];
+            carry = g.bin("$or", &format!("fa_c_{i:02}"), &[gg[i]], &[t], 1)[0];
+        }
+    }
+    g.name_net("alu_sum", &sum);
+
+    // Word-level ALU ops.
+    let diff = g.bin("$sub", "alu_sub", &rs1, &op2, 32);
+    let andv = g.bin("$and", "alu_and", &rs1, &op2, 32);
+    let orv = g.bin("$or", "alu_or", &rs1, &op2, 32);
+    let xorv = g.bin("$xor", "alu_xor", &rs1, &op2, 32);
+    let shamt = &op2[0..5];
+    let sllv = g.bin("$shl", "alu_sll", &rs1, shamt, 32);
+    let srlv = g.bin("$shr", "alu_srl", &rs1, shamt, 32);
+    let sltu = g.bin("$lt", "alu_sltu", &rs1, &op2, 1)[0];
+    let sltu32: Vec<B> = [&[sltu][..], &const_bits(0, 31)[..]].concat();
+
+    // funct3 select tree.
+    let sub_sel = g.bin("$and", "alu_sub_sel", &[f7b], &[is_op], 1)[0];
+    let addsub = g.mux("alu_addsub", &sum, &diff, sub_sel, 32);
+    let m_a = g.mux("alu_m_a", &addsub, &sllv, f3[0], 32);
+    // Both arms identical on purpose (mux-collapse fodder; SLT lowers to
+    // SLTU in this unsigned subset).
+    let m_b = g.mux("alu_m_b", &sltu32, &sltu32, f3[0], 32);
+    let m_c = g.mux("alu_m_c", &xorv, &srlv, f3[0], 32);
+    let m_d = g.mux("alu_m_d", &orv, &andv, f3[0], 32);
+    let m_ab = g.mux("alu_m_ab", &m_a, &m_b, f3[1], 32);
+    let m_cd = g.mux("alu_m_cd", &m_c, &m_d, f3[1], 32);
+    let alu = g.mux("alu_out_mux", &m_ab, &m_cd, f3[2], 32);
+    let wb = g.mux("wb_mux", &alu, &imm_u, is_lui, 32);
+
+    // --- Branch compare, bit-blasted: XNOR leaves + AND chain.
+    let mut xn = Vec::new();
+    for i in 0..32 {
+        xn.push(g.bin("$xnor", &format!("beq_xn_{i:02}"), &[rs1[i]], &[rs2[i]], 1)[0]);
+    }
+    let mut eq_acc = g.bin("$and", "beq_t_01", &[xn[0]], &[xn[1]], 1)[0];
+    for (i, &leaf) in xn.iter().enumerate().skip(2) {
+        eq_acc = g.bin("$and", &format!("beq_t_{i:02}"), &[eq_acc], &[leaf], 1)[0];
+    }
+    let br_cond = g.bin("$xor", "br_cond", &[eq_acc], &[f3[0]], 1)[0];
+    let taken = g.bin("$and", "br_taken", &[is_branch], &[br_cond], 1)[0];
+
+    // --- Program counter.
+    let pc_d = g.nets(32); // forward-declared dff input
+    let pc = g.dff("pc_reg", clk, &pc_d);
+    let btarget = g.bin("$add", "br_target", &pc, &imm_b, 32);
+    let pc4 = g.bin("$add", "pc_plus4", &pc, &const_bits(4, 32), 32);
+    let pc_sel = g.mux("pc_sel", &pc4, &btarget, taken, 32);
+    let pc_next = g.mux("pc_rst", &pc_sel, &const_bits(0, 32), rst, 32);
+    // Tie the forward-declared nets to the mux output by emitting the dff
+    // *after* we know its D: rebuild the connection in place.
+    for c in &mut g.cells {
+        if c.name == "pc_reg" {
+            for (port, bits) in &mut c.conns {
+                if port == "D" {
+                    *bits = pc_next.clone();
+                }
+            }
+        }
+    }
+    // The forward-declared pc_d nets are now unused; leave them unnamed.
+
+    // --- Register write-back.
+    let we_a = g.bin("$or", "we_or_imm_op", &[is_op_imm2], &[is_op], 1)[0];
+    let we_b = g.bin("$or", "we_or_lui", &[we_a], &[is_lui], 1)[0];
+    let rd_nz = g.bin("$ne", "dec_rd_nz", rd, &const_bits(0, 5), 1)[0];
+    let we_c = g.bin("$and", "we_and_rd", &[we_b], &[rd_nz], 1)[0];
+    let nrst = g.unary("$not", "rst_n", &[rst], 1)[0];
+    let we = g.bin("$and", "we_gate", &[we_c], &[nrst], 1)[0];
+
+    g.cell(
+        "$mem_v2",
+        "regfile",
+        vec![
+            ("MEMID", "\"\\\\regs\"".into()),
+            ("SIZE", "32".into()),
+            ("WIDTH", "32".into()),
+            ("ABITS", "5".into()),
+            ("OFFSET", "0".into()),
+            ("RD_PORTS", "3".into()),
+            ("WR_PORTS", "1".into()),
+            ("RD_CLK_ENABLE", "0".into()),
+            ("RD_CLK_POLARITY", "7".into()),
+            ("WR_CLK_ENABLE", "1".into()),
+            ("WR_CLK_POLARITY", "1".into()),
+        ],
+        vec![
+            ("RD_ADDR", rd_addr),
+            ("RD_DATA", rf_data.clone()),
+            ("RD_EN", vec![B::C1, B::C1, B::C1]),
+            ("RD_CLK", vec![B::C0, B::C0, B::C0]),
+            ("WR_ADDR", rd.to_vec()),
+            ("WR_DATA", wb.clone()),
+            ("WR_EN", repl(we, 32)),
+            ("WR_CLK", vec![clk]),
+        ],
+    );
+
+    // An observable side register ($dffe coverage).
+    let io_out = g.dffe("io_reg", clk, sub_sel, &xorv);
+
+    // Constant-propagation fodder: synthesis leftovers that AND with zero.
+    let dbg = g.bin("$and", "dbg_zero", &xorv, &const_bits(0, 32), 32);
+
+    g.name_net("pc", &pc);
+    g.name_net("rs1", &rs1);
+    g.name_net("rs2", &rs2);
+    g.name_net("wb_data", &wb);
+
+    g.output("pc_out", &pc);
+    g.output("result", &wb);
+    g.output("a0", &a0);
+    g.output("taken", &[taken]);
+    g.output("io_out", &io_out);
+    g.output("dbg", &dbg[0..8]);
+
+    g.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn generator_output_is_importable() {
+        let json = super::picorv32_json();
+        let (d, stats) = crate::import::import_str(&json, "picorv32").unwrap();
+        assert!(stats.cells > 250, "expected a bit-blasted core: {stats:?}");
+        assert_eq!(d.inputs.len(), 2); // rst, instr (clk is the clock)
+        assert_eq!(d.outputs.len(), 6);
+        rtlir::RtlGraph::build(&d).expect("graph builds");
+    }
+}

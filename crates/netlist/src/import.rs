@@ -1,0 +1,1056 @@
+//! Lower a validated Yosys netlist into a flat [`rtlir::Design`].
+//!
+//! The importer is a *second frontend*: instead of going through the
+//! Verilog parser/elaborator it constructs `Design` directly — one
+//! variable per cell output (named from `netnames` where possible), one
+//! process per cell — so every downstream layer (interp golden reference,
+//! `cudasim` fuse/exec, pipeline, shard, serve, cluster) works unchanged.
+//!
+//! Supported cell library: `$and/$or/$xor/$xnor/$not/$pos/$neg`,
+//! `$add/$sub/$mul/$div/$mod`, `$eq/$ne/$lt/$le/$gt/$ge`,
+//! `$shl/$sshl/$shr/$sshr`, `$mux/$pmux`, `$logic_and/$logic_or/$logic_not`,
+//! `$reduce_and/$reduce_or/$reduce_xor/$reduce_xnor/$reduce_bool`,
+//! `$dff/$dffe/$adff/$adffe/$sdff` and `$mem_v2`, plus multi-bit buses and
+//! constant bits in any connection.
+//!
+//! Semantics notes (two-state full-cycle simulation):
+//! * `x`/`z` constant bits lower to 0.
+//! * `$adff` async reset is honoured at the clock edge (a reset held
+//!   through an edge resets the register; glitch-asynchronous behaviour is
+//!   outside a full-cycle model).
+//! * All `$mem_v2` write ports lower into ONE sequential process (ascending
+//!   port priority, later ports win) — the interpreter commits whole-memory
+//!   pending writes per process, so separate processes would clobber.
+
+use std::collections::{HashMap, HashSet};
+
+use rtlir::ast::{BinOp, UnOp};
+use rtlir::elab::{process_rw, Design, EExpr, Process, Stm, Target, Var};
+use rtlir::{BitVec, ProcessKind};
+
+use crate::error::{NetlistError, Result};
+use crate::yosys::{Netlist, SigBit, YCell, YModule};
+
+/// What the importer did, for `netlist-sim --json` and logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Cells lowered (excluding `$scopeinfo`).
+    pub cells: usize,
+    /// Distinct driven net bits.
+    pub nets: usize,
+    /// Variables in the produced design.
+    pub vars: usize,
+    /// Processes in the produced design.
+    pub processes: usize,
+}
+
+/// Parse Yosys JSON text and import module `top`.
+pub fn import_str(src: &str, top: &str) -> Result<(Design, ImportStats)> {
+    let nl = crate::yosys::parse_netlist(src)?;
+    import(&nl, top)
+}
+
+/// Import module `top` from a parsed netlist.
+pub fn import(nl: &Netlist, top: &str) -> Result<(Design, ImportStats)> {
+    let m = nl
+        .modules
+        .iter()
+        .find(|m| m.name == top)
+        .ok_or_else(|| NetlistError::NoModule {
+            top: top.to_string(),
+            available: nl.modules.iter().map(|m| m.name.clone()).collect(),
+        })?;
+    Importer::new(m).run()
+}
+
+struct Importer<'a> {
+    m: &'a YModule,
+    vars: Vec<Var>,
+    processes: Vec<Process>,
+    /// Driven net bit -> (var, bit offset within var).
+    bitmap: HashMap<u64, (usize, u32)>,
+    /// Driven net bit -> driver name (for MultiDriver diagnostics).
+    driver: HashMap<u64, String>,
+    used_names: HashSet<String>,
+    /// Exact-bits netname lookup for human-readable variable names.
+    netname_of: HashMap<Vec<SigBit>, String>,
+    /// Cell name -> output var ids (Y/Q, or read-port data vars then the
+    /// memory var for `$mem_v2`).
+    cell_outs: HashMap<String, Vec<usize>>,
+    cells_lowered: usize,
+}
+
+impl<'a> Importer<'a> {
+    fn new(m: &'a YModule) -> Self {
+        let mut netname_of = HashMap::new();
+        for (name, bits) in &m.netnames {
+            netname_of
+                .entry(bits.clone())
+                .or_insert_with(|| clean_name(name));
+        }
+        Importer {
+            m,
+            vars: Vec::new(),
+            processes: Vec::new(),
+            bitmap: HashMap::new(),
+            driver: HashMap::new(),
+            used_names: HashSet::new(),
+            netname_of,
+            cell_outs: HashMap::new(),
+            cells_lowered: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<(Design, ImportStats)> {
+        // Reserve port names so internal nets never shadow them.
+        for p in &self.m.ports {
+            self.used_names.insert(p.name.clone());
+        }
+
+        self.input_vars()?;
+        self.cell_output_vars()?;
+        let clock = self.find_clock()?;
+        for ci in 0..self.m.cells.len() {
+            self.lower_cell(&self.m.cells[ci])?;
+        }
+        let outputs = self.output_collectors()?;
+
+        let inputs: Vec<usize> = self
+            .m
+            .ports
+            .iter()
+            .filter(|p| !p.output)
+            .map(|p| self.port_var(&p.name))
+            .filter(|v| Some(*v) != clock)
+            .collect();
+
+        let stats = ImportStats {
+            cells: self.cells_lowered,
+            nets: self.bitmap.len(),
+            vars: self.vars.len(),
+            processes: self.processes.len(),
+        };
+        let design = Design {
+            name: self.m.name.clone(),
+            vars: self.vars,
+            processes: self.processes,
+            inputs,
+            outputs,
+            clock,
+        };
+        Ok((design, stats))
+    }
+
+    fn port_var(&self, name: &str) -> usize {
+        // Input/output port vars carry exactly the port name (reserved
+        // before any internal var is created).
+        self.vars.iter().position(|v| v.name == name).unwrap_or(0)
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        let base = clean_name(base);
+        if self.used_names.insert(base.clone()) {
+            return base;
+        }
+        for k in 2.. {
+            let cand = format!("{base}#{k}");
+            if self.used_names.insert(cand.clone()) {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+
+    fn add_var(&mut self, name: String, width: u32, depth: u32) -> usize {
+        self.vars.push(Var {
+            name,
+            width,
+            depth,
+            is_state: false,
+            is_input: false,
+            is_output: false,
+        });
+        self.vars.len() - 1
+    }
+
+    fn define_bits(&mut self, bits: &[SigBit], var: usize, who: &str) -> Result<()> {
+        for (i, b) in bits.iter().enumerate() {
+            match b {
+                SigBit::Net(n) => {
+                    if let Some(prev) = self.driver.get(n) {
+                        return Err(NetlistError::MultiDriver {
+                            bit: *n,
+                            first: prev.clone(),
+                            second: who.to_string(),
+                        });
+                    }
+                    self.driver.insert(*n, who.to_string());
+                    self.bitmap.insert(*n, (var, i as u32));
+                }
+                SigBit::Const(_) => {
+                    return Err(NetlistError::schema(
+                        who,
+                        "output connection wired to a constant bit",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn input_vars(&mut self) -> Result<()> {
+        for pi in 0..self.m.ports.len() {
+            let p = &self.m.ports[pi];
+            if p.output {
+                continue;
+            }
+            let (name, bits) = (p.name.clone(), p.bits.clone());
+            let v = self.add_var(name.clone(), bits.len() as u32, 0);
+            self.vars[v].is_input = true;
+            self.define_bits(&bits, v, &format!("input port `{name}`"))?;
+        }
+        Ok(())
+    }
+
+    /// Declared output ports of a cell type (memories handled separately).
+    fn out_port(ty: &str) -> Option<&'static str> {
+        match ty {
+            "$not" | "$pos" | "$neg" | "$and" | "$or" | "$xor" | "$xnor" | "$add" | "$sub"
+            | "$mul" | "$div" | "$mod" | "$eq" | "$ne" | "$lt" | "$le" | "$gt" | "$ge" | "$shl"
+            | "$sshl" | "$shr" | "$sshr" | "$mux" | "$pmux" | "$logic_and" | "$logic_or"
+            | "$logic_not" | "$reduce_and" | "$reduce_or" | "$reduce_xor" | "$reduce_xnor"
+            | "$reduce_bool" => Some("Y"),
+            "$dff" | "$dffe" | "$adff" | "$adffe" | "$sdff" => Some("Q"),
+            _ => None,
+        }
+    }
+
+    fn cell_output_vars(&mut self) -> Result<()> {
+        for ci in 0..self.m.cells.len() {
+            let c = &self.m.cells[ci];
+            let (cname, cty) = (c.name.clone(), c.ty.clone());
+            if cty == "$scopeinfo" {
+                continue;
+            }
+            if cty == "$mem_v2" {
+                self.mem_vars(ci)?;
+                continue;
+            }
+            let Some(port) = Self::out_port(&cty) else {
+                return Err(if cty.starts_with('$') {
+                    NetlistError::UnknownCell {
+                        cell: cname,
+                        ty: cty,
+                    }
+                } else {
+                    NetlistError::unsupported(
+                        cname,
+                        format!("hierarchical cell `{cty}` (run yosys `flatten` first)"),
+                    )
+                });
+            };
+            let bits = self.m.cells[ci].conn_req(port)?.to_vec();
+            if bits.is_empty() {
+                return Err(NetlistError::schema(
+                    format!("cell `{cname}`"),
+                    format!("empty {port} connection"),
+                ));
+            }
+            let name = self
+                .netname_of
+                .get(&bits)
+                .cloned()
+                .unwrap_or_else(|| format!("{}.{}", clean_name(&cname), port.to_lowercase()));
+            let name = self.fresh_name(&name);
+            let v = self.add_var(name, bits.len() as u32, 0);
+            self.define_bits(&bits, v, &format!("cell `{cname}` port {port}"))?;
+            self.cell_outs.insert(cname, vec![v]);
+        }
+        Ok(())
+    }
+
+    fn mem_vars(&mut self, ci: usize) -> Result<()> {
+        let c = &self.m.cells[ci];
+        let cname = c.name.clone();
+        let width = c.param_u64("WIDTH", 0)? as u32;
+        let size = c.param_u64("SIZE", 0)? as u32;
+        let n_rd = c.param_u64("RD_PORTS", 0)? as usize;
+        if width == 0 || size == 0 {
+            return Err(NetlistError::schema(
+                format!("cell `{cname}`"),
+                "memory with zero WIDTH or SIZE",
+            ));
+        }
+        let rd_data = c.conn_req("RD_DATA")?.to_vec();
+        if rd_data.len() != n_rd * width as usize {
+            return Err(NetlistError::WidthMismatch {
+                cell: cname,
+                port: "RD_DATA".into(),
+                want: (n_rd * width as usize) as u32,
+                got: rd_data.len() as u32,
+            });
+        }
+        let memid = match c.param("MEMID") {
+            Some(crate::yosys::PValue::Str(s)) => clean_name(s),
+            _ => clean_name(&cname),
+        };
+        let mut outs = Vec::new();
+        for (i, chunk) in rd_data.chunks(width as usize).enumerate() {
+            let name = self
+                .netname_of
+                .get(chunk)
+                .cloned()
+                .unwrap_or_else(|| format!("{memid}.rd{i}"));
+            let name = self.fresh_name(&name);
+            let v = self.add_var(name, width, 0);
+            self.define_bits(chunk, v, &format!("cell `{cname}` port RD_DATA[{i}]"))?;
+            outs.push(v);
+        }
+        let mname = self.fresh_name(&memid);
+        let mv = self.add_var(mname, width, size);
+        self.vars[mv].is_state = true;
+        outs.push(mv);
+        self.cell_outs.insert(cname, outs);
+        Ok(())
+    }
+
+    /// All sequential cells must share one clock, and it must be a 1-bit
+    /// top-level input (the full-cycle engines toggle it implicitly).
+    fn find_clock(&self) -> Result<Option<usize>> {
+        let mut clk: Option<(u64, String)> = None;
+        let mut note = |bits: &[SigBit], cell: &str| -> Result<()> {
+            for b in bits {
+                match b {
+                    SigBit::Net(n) => match &clk {
+                        None => clk = Some((*n, cell.to_string())),
+                        Some((prev, _)) if prev == n => {}
+                        Some((_, first)) => {
+                            return Err(NetlistError::unsupported(
+                                cell,
+                                format!("second clock domain (first clock used by `{first}`)"),
+                            ))
+                        }
+                    },
+                    SigBit::Const(_) => {
+                        return Err(NetlistError::unsupported(cell, "constant clock"))
+                    }
+                }
+            }
+            Ok(())
+        };
+        for c in &self.m.cells {
+            match c.ty.as_str() {
+                "$dff" | "$dffe" | "$adff" | "$adffe" | "$sdff" => {
+                    if c.param_u64("CLK_POLARITY", 1)? != 1 {
+                        return Err(NetlistError::unsupported(&c.name, "negedge clock"));
+                    }
+                    note(c.conn_req("CLK")?, &c.name)?;
+                }
+                "$mem_v2" => {
+                    let n_rd = c.param_u64("RD_PORTS", 0)? as usize;
+                    let n_wr = c.param_u64("WR_PORTS", 0)? as usize;
+                    let rd_clk_en = port_mask(c, "RD_CLK_ENABLE", n_rd)?;
+                    if n_wr > 0 {
+                        let wr_clk_en = port_mask(c, "WR_CLK_ENABLE", n_wr)?;
+                        if !wr_clk_en.iter().all(|&b| b) {
+                            return Err(NetlistError::unsupported(
+                                &c.name,
+                                "asynchronous memory write port",
+                            ));
+                        }
+                        note(c.conn_req("WR_CLK")?, &c.name)?;
+                    }
+                    let rd_clk = c.conn("RD_CLK").unwrap_or(&[]);
+                    for (i, &en) in rd_clk_en.iter().enumerate() {
+                        if en {
+                            let bit = rd_clk.get(i).ok_or_else(|| {
+                                NetlistError::schema(
+                                    format!("cell `{}`", c.name),
+                                    "RD_CLK shorter than RD_PORTS",
+                                )
+                            })?;
+                            note(std::slice::from_ref(bit), &c.name)?;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some((bit, cell)) = clk else {
+            return Ok(None);
+        };
+        match self.bitmap.get(&bit) {
+            Some(&(v, 0)) if self.vars[v].is_input && self.vars[v].width == 1 => Ok(Some(v)),
+            _ => Err(NetlistError::unsupported(
+                cell,
+                "clock is not a 1-bit top-level input (derived clocks unsupported)",
+            )),
+        }
+    }
+
+    /// Build the expression for a signal (a list of bits): consecutive
+    /// bits of one variable become slices, constants become literals,
+    /// mixed runs concatenate (MSB-first, matching `EExpr::Concat`).
+    fn sig(&self, bits: &[SigBit], ctx: &str) -> Result<EExpr> {
+        enum Run {
+            Const(Vec<bool>),
+            Var { var: usize, lsb: u32, len: u32 },
+        }
+        let mut runs: Vec<Run> = Vec::new();
+        for b in bits {
+            match b {
+                SigBit::Const(c) => match runs.last_mut() {
+                    Some(Run::Const(v)) if v.len() < 64 => v.push(*c),
+                    _ => runs.push(Run::Const(vec![*c])),
+                },
+                SigBit::Net(n) => {
+                    let &(var, off) =
+                        self.bitmap
+                            .get(n)
+                            .ok_or_else(|| NetlistError::DanglingNet {
+                                context: ctx.to_string(),
+                                bit: *n,
+                            })?;
+                    match runs.last_mut() {
+                        Some(Run::Var { var: v, lsb, len }) if *v == var && *lsb + *len == off => {
+                            *len += 1
+                        }
+                        _ => runs.push(Run::Var {
+                            var,
+                            lsb: off,
+                            len: 1,
+                        }),
+                    }
+                }
+            }
+        }
+        let mut parts: Vec<EExpr> = runs
+            .into_iter()
+            .map(|r| match r {
+                Run::Const(bs) => {
+                    let mut v = 0u64;
+                    for (i, b) in bs.iter().enumerate() {
+                        v |= (*b as u64) << i;
+                    }
+                    EExpr::Const(BitVec::from_u64(v, bs.len() as u32))
+                }
+                Run::Var { var, lsb, len } => {
+                    if lsb == 0 && len == self.vars[var].width {
+                        EExpr::Var(var)
+                    } else {
+                        EExpr::Slice {
+                            arg: Box::new(EExpr::Var(var)),
+                            lsb,
+                            width: len,
+                        }
+                    }
+                }
+            })
+            .collect();
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            parts.reverse(); // Concat takes MSB first.
+            EExpr::Concat {
+                parts,
+                width: bits.len() as u32,
+            }
+        })
+    }
+
+    fn in_sig(&self, c: &YCell, port: &str) -> Result<(EExpr, u32)> {
+        let bits = c.conn_req(port)?;
+        if bits.is_empty() {
+            return Err(NetlistError::schema(
+                format!("cell `{}`", c.name),
+                format!("empty {port} connection"),
+            ));
+        }
+        let e = self.sig(bits, &format!("cell `{}` port {port}", c.name))?;
+        Ok((e, bits.len() as u32))
+    }
+
+    /// Check a connection length against a declared width parameter.
+    fn check_width(&self, c: &YCell, port: &str, param: &str) -> Result<()> {
+        let got = c.conn(port).map(|b| b.len() as u32).unwrap_or(0);
+        let want = c.param_u64(param, got as u64)? as u32;
+        if want != got {
+            return Err(NetlistError::WidthMismatch {
+                cell: c.name.clone(),
+                port: port.to_string(),
+                want,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    fn push_process(&mut self, kind: ProcessKind, name: String, body: Vec<Stm>) {
+        let (reads, writes) = process_rw(&body, kind);
+        if kind == ProcessKind::Seq {
+            for &w in &writes {
+                self.vars[w].is_state = true;
+            }
+        }
+        self.processes.push(Process {
+            kind,
+            name,
+            body,
+            reads,
+            writes,
+            line: 0,
+        });
+    }
+
+    fn lower_cell(&mut self, c: &YCell) -> Result<()> {
+        let ty = c.ty.as_str();
+        if ty == "$scopeinfo" {
+            return Ok(());
+        }
+        self.cells_lowered += 1;
+        if ty == "$mem_v2" {
+            return self.lower_mem(c);
+        }
+        let yv = self.cell_outs[&c.name][0];
+        let yw = self.vars[yv].width;
+        let unsigned_only = |c: &YCell| -> Result<()> {
+            if c.param_u64("A_SIGNED", 0)? != 0 || c.param_u64("B_SIGNED", 0)? != 0 {
+                return Err(NetlistError::unsupported(
+                    &c.name,
+                    "signed operands (resynthesize with unsigned compares)",
+                ));
+            }
+            Ok(())
+        };
+
+        let rhs: EExpr = match ty {
+            "$and" | "$or" | "$xor" | "$xnor" | "$add" | "$sub" | "$mul" | "$div" | "$mod" => {
+                unsigned_only(c)?;
+                self.check_width(c, "A", "A_WIDTH")?;
+                self.check_width(c, "B", "B_WIDTH")?;
+                self.check_width(c, "Y", "Y_WIDTH")?;
+                let op = match ty {
+                    "$and" => BinOp::And,
+                    "$or" => BinOp::Or,
+                    "$xor" => BinOp::Xor,
+                    "$xnor" => BinOp::Xnor,
+                    "$add" => BinOp::Add,
+                    "$sub" => BinOp::Sub,
+                    "$mul" => BinOp::Mul,
+                    "$div" => BinOp::Div,
+                    _ => BinOp::Mod,
+                };
+                let (a, aw) = self.in_sig(c, "A")?;
+                let (b, bw) = self.in_sig(c, "B")?;
+                EExpr::Binary {
+                    op,
+                    a: Box::new(rz(a, aw, yw)),
+                    b: Box::new(rz(b, bw, yw)),
+                    width: yw,
+                }
+            }
+            "$shl" | "$sshl" | "$shr" | "$sshr" => {
+                // $sshr/$sshl are the signed forms; Sshr implements the
+                // arithmetic shift, so only forbid signedness elsewhere.
+                if !ty.starts_with("$s") {
+                    unsigned_only(c)?;
+                }
+                self.check_width(c, "A", "A_WIDTH")?;
+                self.check_width(c, "B", "B_WIDTH")?;
+                self.check_width(c, "Y", "Y_WIDTH")?;
+                let op = match ty {
+                    "$shl" | "$sshl" => BinOp::Shl,
+                    "$shr" => BinOp::Shr,
+                    _ => BinOp::Sshr,
+                };
+                let (a, aw) = self.in_sig(c, "A")?;
+                let (b, _bw) = self.in_sig(c, "B")?;
+                EExpr::Binary {
+                    op,
+                    a: Box::new(rz(a, aw, yw)),
+                    b: Box::new(b),
+                    width: yw,
+                }
+            }
+            "$eq" | "$ne" | "$lt" | "$le" | "$gt" | "$ge" => {
+                unsigned_only(c)?;
+                self.check_width(c, "A", "A_WIDTH")?;
+                self.check_width(c, "B", "B_WIDTH")?;
+                let op = match ty {
+                    "$eq" => BinOp::Eq,
+                    "$ne" => BinOp::Ne,
+                    "$lt" => BinOp::Lt,
+                    "$le" => BinOp::Le,
+                    "$gt" => BinOp::Gt,
+                    _ => BinOp::Ge,
+                };
+                let (a, aw) = self.in_sig(c, "A")?;
+                let (b, bw) = self.in_sig(c, "B")?;
+                let w = aw.max(bw);
+                let cmp = EExpr::Binary {
+                    op,
+                    a: Box::new(rz(a, aw, w)),
+                    b: Box::new(rz(b, bw, w)),
+                    width: 1,
+                };
+                rz(cmp, 1, yw)
+            }
+            "$logic_and" | "$logic_or" => {
+                let op = if ty == "$logic_and" {
+                    BinOp::LAnd
+                } else {
+                    BinOp::LOr
+                };
+                let (a, _) = self.in_sig(c, "A")?;
+                let (b, _) = self.in_sig(c, "B")?;
+                rz(
+                    EExpr::Binary {
+                        op,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                        width: 1,
+                    },
+                    1,
+                    yw,
+                )
+            }
+            "$not" | "$neg" => {
+                let (a, aw) = self.in_sig(c, "A")?;
+                EExpr::Unary {
+                    op: if ty == "$not" { UnOp::Not } else { UnOp::Neg },
+                    arg: Box::new(rz(a, aw, yw)),
+                    width: yw,
+                }
+            }
+            "$pos" => {
+                let (a, aw) = self.in_sig(c, "A")?;
+                rz(a, aw, yw)
+            }
+            "$logic_not" | "$reduce_and" | "$reduce_or" | "$reduce_xor" | "$reduce_bool" => {
+                let op = match ty {
+                    "$logic_not" => UnOp::LNot,
+                    "$reduce_and" => UnOp::RedAnd,
+                    "$reduce_xor" => UnOp::RedXor,
+                    _ => UnOp::RedOr,
+                };
+                let (a, _) = self.in_sig(c, "A")?;
+                rz(
+                    EExpr::Unary {
+                        op,
+                        arg: Box::new(a),
+                        width: 1,
+                    },
+                    1,
+                    yw,
+                )
+            }
+            "$reduce_xnor" => {
+                let (a, _) = self.in_sig(c, "A")?;
+                let red = EExpr::Unary {
+                    op: UnOp::RedXor,
+                    arg: Box::new(a),
+                    width: 1,
+                };
+                rz(
+                    EExpr::Unary {
+                        op: UnOp::Not,
+                        arg: Box::new(red),
+                        width: 1,
+                    },
+                    1,
+                    yw,
+                )
+            }
+            "$mux" => {
+                let (s, sw) = self.in_sig(c, "S")?;
+                if sw != 1 {
+                    return Err(NetlistError::WidthMismatch {
+                        cell: c.name.clone(),
+                        port: "S".into(),
+                        want: 1,
+                        got: sw,
+                    });
+                }
+                let (a, aw) = self.in_sig(c, "A")?;
+                let (b, bw) = self.in_sig(c, "B")?;
+                for (port, w) in [("A", aw), ("B", bw)] {
+                    if w != yw {
+                        return Err(NetlistError::WidthMismatch {
+                            cell: c.name.clone(),
+                            port: port.into(),
+                            want: yw,
+                            got: w,
+                        });
+                    }
+                }
+                EExpr::Mux {
+                    cond: Box::new(s),
+                    t: Box::new(b),
+                    e: Box::new(a),
+                    width: yw,
+                }
+            }
+            "$pmux" => {
+                let (s_bits, a_bits, b_bits) =
+                    (c.conn_req("S")?, c.conn_req("A")?, c.conn_req("B")?);
+                let k = s_bits.len();
+                if a_bits.len() as u32 != yw || b_bits.len() != k * yw as usize {
+                    return Err(NetlistError::WidthMismatch {
+                        cell: c.name.clone(),
+                        port: "B".into(),
+                        want: (k as u32) * yw,
+                        got: b_bits.len() as u32,
+                    });
+                }
+                let ctx = format!("cell `{}`", c.name);
+                // Highest-index select wins (selects are one-hot in
+                // well-formed RTLIL, so priority is unobservable there).
+                let mut acc = self.sig(a_bits, &ctx)?;
+                let (s_bits, b_bits) = (s_bits.to_vec(), b_bits.to_vec());
+                for i in 0..k {
+                    let cond = self.sig(&s_bits[i..i + 1], &ctx)?;
+                    let t = self.sig(&b_bits[i * yw as usize..(i + 1) * yw as usize], &ctx)?;
+                    acc = EExpr::Mux {
+                        cond: Box::new(cond),
+                        t: Box::new(t),
+                        e: Box::new(acc),
+                        width: yw,
+                    };
+                }
+                acc
+            }
+            "$dff" | "$dffe" | "$adff" | "$adffe" | "$sdff" => {
+                return self.lower_dff(c, yv);
+            }
+            other => {
+                return Err(NetlistError::UnknownCell {
+                    cell: c.name.clone(),
+                    ty: other.to_string(),
+                })
+            }
+        };
+        let name = format!("{}:{}", clean_name(&c.name), &ty[1..]);
+        self.push_process(
+            ProcessKind::Comb,
+            name,
+            vec![Stm::Assign {
+                target: Target::Var(yv),
+                rhs,
+            }],
+        );
+        Ok(())
+    }
+
+    fn lower_dff(&mut self, c: &YCell, qv: usize) -> Result<()> {
+        let qw = self.vars[qv].width;
+        self.check_width(c, "Q", "WIDTH")?;
+        self.check_width(c, "D", "WIDTH")?;
+        let (d, dw) = self.in_sig(c, "D")?;
+        if dw != qw {
+            return Err(NetlistError::WidthMismatch {
+                cell: c.name.clone(),
+                port: "D".into(),
+                want: qw,
+                got: dw,
+            });
+        }
+        let assign_d = Stm::Assign {
+            target: Target::Var(qv),
+            rhs: d,
+        };
+
+        let polarity = |e: EExpr, pol: u64| -> EExpr {
+            if pol != 0 {
+                e
+            } else {
+                EExpr::Unary {
+                    op: UnOp::LNot,
+                    arg: Box::new(e),
+                    width: 1,
+                }
+            }
+        };
+        let enable = |me: &Self, c: &YCell| -> Result<EExpr> {
+            let (en, enw) = me.in_sig(c, "EN")?;
+            if enw != 1 {
+                return Err(NetlistError::WidthMismatch {
+                    cell: c.name.clone(),
+                    port: "EN".into(),
+                    want: 1,
+                    got: enw,
+                });
+            }
+            Ok(polarity(en, c.param_u64("EN_POLARITY", 1)?))
+        };
+        let reset = |me: &Self, c: &YCell, port: &str, prefix: &str| -> Result<(EExpr, Stm)> {
+            let (r, rw_) = me.in_sig(c, port)?;
+            if rw_ != 1 {
+                return Err(NetlistError::WidthMismatch {
+                    cell: c.name.clone(),
+                    port: port.into(),
+                    want: 1,
+                    got: rw_,
+                });
+            }
+            let cond = polarity(r, c.param_u64(&format!("{prefix}_POLARITY"), 1)?);
+            let value = param_bitvec(c, &format!("{prefix}_VALUE"), qw)?;
+            Ok((
+                cond,
+                Stm::Assign {
+                    target: Target::Var(qv),
+                    rhs: EExpr::Const(value),
+                },
+            ))
+        };
+
+        let body = match c.ty.as_str() {
+            "$dff" => vec![assign_d],
+            "$dffe" => vec![Stm::If {
+                cond: enable(self, c)?,
+                then_s: vec![assign_d],
+                else_s: vec![],
+            }],
+            "$adff" => {
+                let (cond, rst) = reset(self, c, "ARST", "ARST")?;
+                vec![Stm::If {
+                    cond,
+                    then_s: vec![rst],
+                    else_s: vec![assign_d],
+                }]
+            }
+            "$adffe" => {
+                let (cond, rst) = reset(self, c, "ARST", "ARST")?;
+                vec![Stm::If {
+                    cond,
+                    then_s: vec![rst],
+                    else_s: vec![Stm::If {
+                        cond: enable(self, c)?,
+                        then_s: vec![assign_d],
+                        else_s: vec![],
+                    }],
+                }]
+            }
+            _ => {
+                let (cond, rst) = reset(self, c, "SRST", "SRST")?;
+                vec![Stm::If {
+                    cond,
+                    then_s: vec![rst],
+                    else_s: vec![assign_d],
+                }]
+            }
+        };
+        let name = format!("{}:{}", clean_name(&c.name), &c.ty[1..]);
+        self.push_process(ProcessKind::Seq, name, body);
+        Ok(())
+    }
+
+    fn lower_mem(&mut self, c: &YCell) -> Result<()> {
+        let width = c.param_u64("WIDTH", 0)? as u32;
+        let abits = c.param_u64("ABITS", 0)? as u32;
+        let n_rd = c.param_u64("RD_PORTS", 0)? as usize;
+        let n_wr = c.param_u64("WR_PORTS", 0)? as usize;
+        if c.param_u64("OFFSET", 0)? != 0 {
+            return Err(NetlistError::unsupported(&c.name, "memory OFFSET != 0"));
+        }
+        let outs = self.cell_outs[&c.name].clone();
+        let mem = *outs.last().unwrap();
+        let rd_clk_en = port_mask(c, "RD_CLK_ENABLE", n_rd)?;
+
+        let rd_addr = c.conn_req("RD_ADDR")?.to_vec();
+        if rd_addr.len() != n_rd * abits as usize {
+            return Err(NetlistError::WidthMismatch {
+                cell: c.name.clone(),
+                port: "RD_ADDR".into(),
+                want: n_rd as u32 * abits,
+                got: rd_addr.len() as u32,
+            });
+        }
+        let rd_en = c.conn("RD_EN").unwrap_or(&[]).to_vec();
+        let cname = clean_name(&c.name);
+        for i in 0..n_rd {
+            let ctx = format!("cell `{}` port RD_ADDR[{i}]", c.name);
+            let addr = self.sig(&rd_addr[i * abits as usize..(i + 1) * abits as usize], &ctx)?;
+            let read = EExpr::ReadMem {
+                var: mem,
+                idx: Box::new(addr),
+            };
+            let assign = Stm::Assign {
+                target: Target::Var(outs[i]),
+                rhs: read,
+            };
+            let en_bit = rd_en.get(i).copied().unwrap_or(SigBit::Const(true));
+            if rd_clk_en[i] {
+                let body = match en_bit {
+                    SigBit::Const(true) => vec![assign],
+                    SigBit::Const(false) => vec![],
+                    SigBit::Net(_) => {
+                        let en = self.sig(
+                            std::slice::from_ref(&en_bit),
+                            &format!("cell `{}` port RD_EN[{i}]", c.name),
+                        )?;
+                        vec![Stm::If {
+                            cond: en,
+                            then_s: vec![assign],
+                            else_s: vec![],
+                        }]
+                    }
+                };
+                self.push_process(ProcessKind::Seq, format!("{cname}:rd{i}"), body);
+            } else {
+                if !matches!(en_bit, SigBit::Const(true)) {
+                    return Err(NetlistError::unsupported(
+                        &c.name,
+                        format!("async read port {i} with a non-constant enable"),
+                    ));
+                }
+                self.push_process(ProcessKind::Comb, format!("{cname}:rd{i}"), vec![assign]);
+            }
+        }
+
+        if n_wr == 0 {
+            return Ok(());
+        }
+        let wr_addr = c.conn_req("WR_ADDR")?.to_vec();
+        let wr_data = c.conn_req("WR_DATA")?.to_vec();
+        let wr_en = c.conn_req("WR_EN")?.to_vec();
+        for (port, conn, want) in [
+            ("WR_ADDR", &wr_addr, n_wr as u32 * abits),
+            ("WR_DATA", &wr_data, n_wr as u32 * width),
+            ("WR_EN", &wr_en, n_wr as u32 * width),
+        ] {
+            if conn.len() as u32 != want {
+                return Err(NetlistError::WidthMismatch {
+                    cell: c.name.clone(),
+                    port: port.into(),
+                    want,
+                    got: conn.len() as u32,
+                });
+            }
+        }
+        // ONE process for all write ports: the interpreter's pending
+        // commit replaces the whole memory per writing process, so
+        // separate processes would drop each other's writes. Ascending
+        // port order in one body gives later ports priority, matching
+        // RTLIL.
+        let mut body = Vec::new();
+        for j in 0..n_wr {
+            let en_bits = &wr_en[j * width as usize..(j + 1) * width as usize];
+            let first = en_bits[0];
+            if !en_bits.iter().all(|b| *b == first) {
+                return Err(NetlistError::unsupported(
+                    &c.name,
+                    format!("per-bit write enable on write port {j}"),
+                ));
+            }
+            if first == SigBit::Const(false) {
+                continue;
+            }
+            let ctx = format!("cell `{}` write port {j}", c.name);
+            let addr = self.sig(&wr_addr[j * abits as usize..(j + 1) * abits as usize], &ctx)?;
+            let data = self.sig(&wr_data[j * width as usize..(j + 1) * width as usize], &ctx)?;
+            let assign = Stm::Assign {
+                target: Target::Mem {
+                    var: mem,
+                    idx: addr,
+                },
+                rhs: data,
+            };
+            match first {
+                SigBit::Const(_) => body.push(assign),
+                SigBit::Net(_) => {
+                    let en = self.sig(std::slice::from_ref(&first), &ctx)?;
+                    body.push(Stm::If {
+                        cond: en,
+                        then_s: vec![assign],
+                        else_s: vec![],
+                    });
+                }
+            }
+        }
+        if !body.is_empty() {
+            self.push_process(ProcessKind::Seq, format!("{cname}:wr"), body);
+        }
+        Ok(())
+    }
+
+    fn output_collectors(&mut self) -> Result<Vec<usize>> {
+        let mut outputs = Vec::new();
+        for pi in 0..self.m.ports.len() {
+            let p = &self.m.ports[pi];
+            if !p.output {
+                continue;
+            }
+            let (pname, bits) = (p.name.clone(), p.bits.clone());
+            let rhs = self.sig(&bits, &format!("output port `{pname}`"))?;
+            let v = self.add_var(pname.clone(), bits.len() as u32, 0);
+            self.vars[v].is_output = true;
+            self.push_process(
+                ProcessKind::Comb,
+                format!("out:{pname}"),
+                vec![Stm::Assign {
+                    target: Target::Var(v),
+                    rhs,
+                }],
+            );
+            outputs.push(v);
+        }
+        Ok(outputs)
+    }
+}
+
+/// Resize `e` (width `from`) to `to` bits, as a no-op when equal.
+fn rz(e: EExpr, from: u32, to: u32) -> EExpr {
+    if from == to {
+        e
+    } else {
+        EExpr::Resize {
+            arg: Box::new(e),
+            width: to,
+        }
+    }
+}
+
+/// Strip the RTLIL `\` public-name prefix.
+fn clean_name(n: &str) -> String {
+    n.strip_prefix('\\').unwrap_or(n).to_string()
+}
+
+/// Per-port boolean parameter mask (e.g. `RD_CLK_ENABLE`): an integer or a
+/// bit string, one bit per port, MSB = highest port.
+fn port_mask(c: &YCell, name: &str, count: usize) -> Result<Vec<bool>> {
+    if count > 64 {
+        return Err(NetlistError::unsupported(
+            &c.name,
+            format!("more than 64 memory ports ({count})"),
+        ));
+    }
+    let v = c.param_u64(name, 0)?;
+    Ok((0..count).map(|i| (v >> i) & 1 != 0).collect())
+}
+
+/// A width-`w` constant parameter (integer or bit string).
+fn param_bitvec(c: &YCell, name: &str, w: u32) -> Result<BitVec> {
+    match c.param(name) {
+        None => Ok(BitVec::zero(w)),
+        Some(crate::yosys::PValue::Int(v)) => Ok(BitVec::from_u64(*v, w)),
+        Some(crate::yosys::PValue::Str(s)) => {
+            let mut words = vec![0u64; (w as usize).div_ceil(64)];
+            for (i, ch) in s.chars().rev().enumerate() {
+                let bit = match ch {
+                    '0' | 'x' | 'z' => false,
+                    '1' => true,
+                    _ => {
+                        return Err(NetlistError::schema(
+                            format!("cell `{}`", c.name),
+                            format!("parameter {name} has non-binary digit `{ch}`"),
+                        ))
+                    }
+                };
+                if bit && (i as u32) < w {
+                    words[i / 64] |= 1 << (i % 64);
+                }
+            }
+            Ok(BitVec::from_words(&words, w))
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! rtlflow-netlist: a Yosys-JSON synthesized-netlist frontend.
+//!
+//! Everything downstream of [`rtlir::Design`] — the interpreter, the SIMT
+//! batch executors, fusion, partitioning, sharding, the server and the
+//! cluster — is frontend-agnostic. This crate adds a second way in: instead
+//! of the Verilog subset parser, a design can arrive as the JSON netlist
+//! that `yosys -p "... ; write_json"` emits after synthesis. The flow is
+//!
+//! ```text
+//!   design.json ── json::parse ──► yosys::Netlist ── import ──► rtlir::Design
+//!                                                      │
+//!                                      rewrite::rewrite (optional) ──► same
+//!                                      Design, fewer processes
+//! ```
+//!
+//! * [`json`] — a hardened, zero-dependency JSON reader (byte-offset
+//!   errors, bounded nesting, order-preserving objects).
+//! * [`yosys`] — the typed netlist schema (ports/cells/netnames, net-id
+//!   bits, parameter decoding). Cells and netnames are sorted by name so
+//!   emission order never changes [`rtlir::design_hash`].
+//! * [`import`] — lowers the flattened gate/word-cell graph to `rtlir`
+//!   processes: one comb process per cell output, one seq process per
+//!   register, one merged write process per memory.
+//! * [`rewrite`] — a pattern-rewrite pass library that undoes the damage
+//!   bit-blasting does to a word-level simulator: constant folding and
+//!   propagation, mux collapse, CSE, and recognition of full-adder ripple
+//!   chains and XNOR/AND comparator trees into single wide ops. Reports
+//!   [`rewrite::RewriteStats`].
+//! * [`gen`] — the in-tree generator for the vendored `picorv32.json`
+//!   fixture (the build environment has no yosys binary; see
+//!   `fixtures/README.md`).
+//!
+//! [`load_design`] is the convenience entry point used by the CLI and the
+//! cluster: it sniffs JSON vs Verilog and returns a plain
+//! [`rtlir::Design`] either way.
+
+pub mod error;
+pub mod gen;
+pub mod import;
+pub mod json;
+pub mod rewrite;
+pub mod yosys;
+
+pub use error::{NetlistError, Result};
+pub use import::{import, import_str, ImportStats};
+pub use rewrite::{rewrite, RewriteStats};
+
+/// The handwritten golden fixture: an 8-bit wrapping counter whose
+/// increment is a half-adder ripple chain (see `fixtures/README.md`).
+pub const COUNTER_JSON: &str = include_str!("../fixtures/counter.json");
+
+/// The generated fixture: a bit-blasted single-cycle RV32I-subset core
+/// (`gen::picorv32_json()` output, committed for reproducibility).
+pub const PICORV32_JSON: &str = include_str!("../fixtures/picorv32.json");
+
+/// Load a design from source text that is either a Yosys JSON netlist or
+/// the Verilog subset, dispatching on the first non-whitespace byte (a
+/// JSON document starts with `{`; no Verilog module does).
+///
+/// `top` selects the module. Errors from the netlist path are carried as
+/// [`rtlir::Error::Elab`] so callers keep a single error type.
+pub fn load_design(source: &str, top: &str) -> rtlir::Result<rtlir::Design> {
+    if source.trim_start().starts_with('{') {
+        let (design, _) = import_str(source, top).map_err(|e| rtlir::Error::Elab(e.to_string()))?;
+        Ok(design)
+    } else {
+        rtlir::elaborate(source, top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_design_dispatches_on_leading_brace() {
+        let d = load_design(COUNTER_JSON, "counter").unwrap();
+        assert_eq!(d.name, "counter");
+        let v = load_design(
+            "module t(input clk, input a, output reg q);\nalways @(posedge clk) q <= a;\nendmodule\n",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(v.name, "t");
+    }
+
+    #[test]
+    fn load_design_wraps_netlist_errors() {
+        let e = load_design("{\"modules\": {}}", "nope").unwrap_err();
+        assert!(e.to_string().contains("nope"), "{e}");
+    }
+}

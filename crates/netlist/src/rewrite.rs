@@ -1,0 +1,1076 @@
+//! Pattern-rewrite passes over imported netlist designs.
+//!
+//! Synthesized netlists arrive as bit-blasted gate soup: a 32-bit adder is
+//! ~150 one-bit cells, a comparator is an XNOR tree, and every gate becomes
+//! one process (= one fuse candidate) downstream. These passes rebuild the
+//! word-level structure the elaborator frontend would have produced, so
+//! `cudasim::fuse` sees wide ops instead of gate chains:
+//!
+//! * constant folding + cross-process constant propagation,
+//! * constant/structural mux collapse,
+//! * fanout-aware common-subexpression sharing,
+//! * ripple-carry adder recognition (half- and full-adder chains → one
+//!   wide `+`),
+//! * XNOR-tree comparator recognition (→ one wide `==`),
+//! * dead-net elimination.
+//!
+//! Every pass is semantics-preserving on two-state values; the
+//! `netlist-sim --verify` path cross-checks rewritten designs against the
+//! unrewritten interpreter reference. Passes run to a bounded fixed point
+//! and report per-pass counts in [`RewriteStats`].
+
+use std::collections::{HashMap, HashSet};
+
+use rtlir::ast::{BinOp, UnOp};
+use rtlir::elab::{process_rw, Design, EExpr, Process, Stm, Target, Var};
+use rtlir::{opt, ProcessKind, VarId};
+
+/// Per-pass rewrite counters (reported alongside `FuseStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Processes before any pass ran.
+    pub processes_in: usize,
+    /// Processes after the final pass.
+    pub processes_out: usize,
+    /// Expression nodes replaced by constants (folding).
+    pub consts_folded: usize,
+    /// Cross-process constant substitutions.
+    pub consts_propagated: usize,
+    /// Alias definitions (`v := w`) substituted at their uses.
+    pub copies_propagated: usize,
+    /// Muxes removed (constant condition handled by folding; structural
+    /// `c ? x : x` and inverted-condition forms here).
+    pub muxes_collapsed: usize,
+    /// Duplicate computations rerouted to one producer (CSE).
+    pub subexprs_shared: usize,
+    /// Ripple-carry chains fused into wide adders.
+    pub adders_widened: usize,
+    /// XNOR trees fused into wide equality compares.
+    pub comparators_widened: usize,
+    /// Dead processes removed.
+    pub dead_removed: usize,
+    /// Fixed-point rounds executed.
+    pub rounds: usize,
+}
+
+impl RewriteStats {
+    /// Node-count reduction in percent (the acceptance metric).
+    pub fn reduction_pct(&self) -> f64 {
+        if self.processes_in == 0 {
+            return 0.0;
+        }
+        100.0 * (self.processes_in.saturating_sub(self.processes_out)) as f64
+            / self.processes_in as f64
+    }
+
+    /// Human-readable summary table.
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "rewrite: {} -> {} processes ({:.1}% reduction, {} rounds)\n",
+            self.processes_in,
+            self.processes_out,
+            self.reduction_pct(),
+            self.rounds
+        ));
+        for (label, n) in [
+            ("consts folded", self.consts_folded),
+            ("consts propagated", self.consts_propagated),
+            ("copies propagated", self.copies_propagated),
+            ("muxes collapsed", self.muxes_collapsed),
+            ("subexprs shared", self.subexprs_shared),
+            ("adders widened", self.adders_widened),
+            ("comparators widened", self.comparators_widened),
+            ("dead removed", self.dead_removed),
+        ] {
+            s.push_str(&format!("  {label:<22} {n}\n"));
+        }
+        s
+    }
+}
+
+const MAX_ROUNDS: usize = 8;
+
+/// Run all passes to a bounded fixed point.
+pub fn rewrite(design: &mut Design) -> RewriteStats {
+    let mut st = RewriteStats {
+        processes_in: design.processes.len(),
+        ..RewriteStats::default()
+    };
+    for round in 0..MAX_ROUNDS {
+        st.rounds = round + 1;
+        let mut changed = 0usize;
+        let folded = opt::fold_constants(design);
+        st.consts_folded += folded;
+        changed += folded;
+
+        let n = const_prop(design);
+        st.consts_propagated += n;
+        changed += n;
+
+        let n = copy_prop(design);
+        st.copies_propagated += n;
+        changed += n;
+
+        let n = mux_collapse(design);
+        st.muxes_collapsed += n;
+        changed += n;
+
+        let n = adder_recognition(design);
+        st.adders_widened += n;
+        changed += n;
+
+        let n = eq_recognition(design);
+        st.comparators_widened += n;
+        changed += n;
+
+        let n = cse(design);
+        st.subexprs_shared += n;
+        changed += n;
+
+        refresh_rw(design);
+        loop {
+            let removed = opt::eliminate_dead(design);
+            st.dead_removed += removed;
+            changed += removed;
+            if removed == 0 {
+                break;
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+    st.processes_out = design.processes.len();
+    st
+}
+
+/// Recompute every process's cached reads/writes after body edits.
+fn refresh_rw(design: &mut Design) {
+    for p in &mut design.processes {
+        let (reads, writes) = process_rw(&p.body, p.kind);
+        p.reads = reads;
+        p.writes = writes;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression walking helpers
+// ---------------------------------------------------------------------------
+
+fn walk_expr(e: &mut EExpr, f: &mut impl FnMut(&mut EExpr)) {
+    match e {
+        EExpr::Const(_) | EExpr::Var(_) => {}
+        EExpr::ReadMem { idx, .. } => walk_expr(idx, f),
+        EExpr::Unary { arg, .. } | EExpr::Slice { arg, .. } | EExpr::Resize { arg, .. } => {
+            walk_expr(arg, f)
+        }
+        EExpr::Binary { a, b, .. } => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        EExpr::Mux { cond, t, e, .. } => {
+            walk_expr(cond, f);
+            walk_expr(t, f);
+            walk_expr(e, f);
+        }
+        EExpr::Concat { parts, .. } => parts.iter_mut().for_each(|p| walk_expr(p, f)),
+        EExpr::IndexBit { arg, idx } => {
+            walk_expr(arg, f);
+            walk_expr(idx, f);
+        }
+    }
+    f(e);
+}
+
+fn walk_body(body: &mut [Stm], f: &mut impl FnMut(&mut EExpr)) {
+    for stm in body {
+        match stm {
+            Stm::Assign { target, rhs } => {
+                match target {
+                    Target::DynBit { idx, .. } => walk_expr(idx, f),
+                    Target::Mem { idx, .. } => walk_expr(idx, f),
+                    _ => {}
+                }
+                walk_expr(rhs, f);
+            }
+            Stm::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                walk_expr(cond, f);
+                walk_body(then_s, f);
+                walk_body(else_s, f);
+            }
+        }
+    }
+}
+
+/// Strip no-op resizes so structurally-equal expressions key identically.
+fn norm<'e>(design: &Design, e: &'e EExpr) -> &'e EExpr {
+    match e {
+        EExpr::Resize { arg, width } if design.expr_width(arg) == *width => norm(design, arg),
+        _ => e,
+    }
+}
+
+fn key(design: &Design, e: &EExpr) -> String {
+    format!("{:?}", norm(design, e))
+}
+
+/// Processes that are the sole (combinational, whole-var) writer of their
+/// target: `var -> process index`.
+fn single_defs(design: &Design) -> HashMap<VarId, usize> {
+    let mut writer_count: HashMap<VarId, usize> = HashMap::new();
+    for p in &design.processes {
+        for &w in &p.writes {
+            *writer_count.entry(w).or_insert(0) += 1;
+        }
+    }
+    let mut defs = HashMap::new();
+    for (i, p) in design.processes.iter().enumerate() {
+        if p.kind != ProcessKind::Comb {
+            continue;
+        }
+        if let [Stm::Assign {
+            target: Target::Var(v),
+            ..
+        }] = p.body.as_slice()
+        {
+            if writer_count.get(v) == Some(&1) {
+                defs.insert(*v, i);
+            }
+        }
+    }
+    defs
+}
+
+fn def_rhs(design: &Design, pi: usize) -> &EExpr {
+    match &design.processes[pi].body[0] {
+        Stm::Assign { rhs, .. } => rhs,
+        _ => unreachable!("single_defs only returns single-assign bodies"),
+    }
+}
+
+/// Substitute whole-variable reads according to `subst` in every process.
+fn substitute(design: &mut Design, subst: &HashMap<VarId, EExpr>, skip: &HashSet<usize>) -> usize {
+    let mut count = 0;
+    let mut processes = std::mem::take(&mut design.processes);
+    for (i, p) in processes.iter_mut().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        walk_body(&mut p.body, &mut |e| {
+            if let EExpr::Var(v) = e {
+                if let Some(rep) = subst.get(v) {
+                    *e = rep.clone();
+                    count += 1;
+                }
+            }
+        });
+        if count > 0 {
+            let (reads, writes) = process_rw(&p.body, p.kind);
+            p.reads = reads;
+            p.writes = writes;
+        }
+    }
+    design.processes = processes;
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
+
+/// Propagate single-def constants into their readers.
+fn const_prop(design: &mut Design) -> usize {
+    let defs = single_defs(design);
+    let mut subst: HashMap<VarId, EExpr> = HashMap::new();
+    let mut def_procs: HashSet<usize> = HashSet::new();
+    for (&v, &pi) in &defs {
+        if let EExpr::Const(c) = def_rhs(design, pi) {
+            subst.insert(v, EExpr::Const(c.clone()));
+            def_procs.insert(pi);
+        }
+    }
+    if subst.is_empty() {
+        return 0;
+    }
+    substitute(design, &subst, &def_procs)
+}
+
+/// Copy propagation: a single-def alias `v := w` (netname forwarding; also
+/// shows up mid-chain in bit-blasted netlists, e.g. `c1 = g0` at a ripple
+/// adder's first carry) is substituted at every use, so pattern
+/// recognition sees through it. Alias chains resolve transitively.
+fn copy_prop(design: &mut Design) -> usize {
+    let defs = single_defs(design);
+    let mut alias: HashMap<VarId, VarId> = HashMap::new();
+    let mut def_procs: HashSet<usize> = HashSet::new();
+    for (&v, &pi) in &defs {
+        if let EExpr::Var(w) = norm(design, def_rhs(design, pi)) {
+            let (vv, ww) = (&design.vars[v], &design.vars[*w]);
+            if *w != v && vv.width == ww.width && vv.depth == 0 && ww.depth == 0 {
+                alias.insert(v, *w);
+                def_procs.insert(pi);
+            }
+        }
+    }
+    if alias.is_empty() {
+        return 0;
+    }
+    let mut subst: HashMap<VarId, EExpr> = HashMap::new();
+    for &v in alias.keys() {
+        let mut cur = alias[&v];
+        let mut seen: HashSet<VarId> = HashSet::from([v]);
+        while let Some(&next) = alias.get(&cur) {
+            if !seen.insert(cur) {
+                break;
+            }
+            cur = next;
+        }
+        subst.insert(v, EExpr::Var(cur));
+    }
+    substitute(design, &subst, &def_procs)
+}
+
+/// Structural mux simplifications (constant conditions are handled by
+/// [`opt::fold_constants`]).
+fn mux_collapse(design: &mut Design) -> usize {
+    let mut count = 0;
+    let mut processes = std::mem::take(&mut design.processes);
+    let vars = std::mem::take(&mut design.vars);
+    let ewidth = |e: &EExpr| -> u32 {
+        match e {
+            EExpr::Var(v) => vars[*v].width,
+            EExpr::ReadMem { var, .. } => vars[*var].width,
+            other => other.width(),
+        }
+    };
+    for p in &mut processes {
+        walk_body(&mut p.body, &mut |e| {
+            let EExpr::Mux {
+                cond,
+                t,
+                e: el,
+                width,
+            } = e
+            else {
+                return;
+            };
+            // c ? x : x  ->  x
+            if format!("{t:?}") == format!("{el:?}") {
+                *e = (**t).clone();
+                count += 1;
+                return;
+            }
+            // (!c) ? a : b  ->  c ? b : a  (1-bit inversion only)
+            if let EExpr::Unary {
+                op: UnOp::LNot | UnOp::Not,
+                arg,
+                width: 1,
+            } = &**cond
+            {
+                if ewidth(arg) == 1 {
+                    let inner = (**arg).clone();
+                    let (nt, ne) = ((**el).clone(), (**t).clone());
+                    *e = EExpr::Mux {
+                        cond: Box::new(inner),
+                        t: Box::new(nt),
+                        e: Box::new(ne),
+                        width: *width,
+                    };
+                    count += 1;
+                    return;
+                }
+            }
+            // c ? 1 : 0  ->  c  (all 1-bit)
+            if *width == 1 && ewidth(cond) == 1 {
+                if let (EExpr::Const(tv), EExpr::Const(ev)) = (&**t, &**el) {
+                    if tv.any() && !ev.any() {
+                        *e = (**cond).clone();
+                        count += 1;
+                    }
+                }
+            }
+        });
+    }
+    design.processes = processes;
+    design.vars = vars;
+    if count > 0 {
+        refresh_rw(design);
+    }
+    count
+}
+
+/// Fanout-aware common-subexpression sharing: duplicate single-def
+/// computations are rerouted to one canonical producer; duplicates that
+/// drive output ports keep a cheap forwarding assign, the rest die in DCE.
+fn cse(design: &mut Design) -> usize {
+    let defs = single_defs(design);
+    // Group duplicates in process order for determinism.
+    let mut groups: HashMap<String, Vec<(VarId, usize)>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for (i, _) in design.processes.iter().enumerate() {
+        let Some((&v, _)) = defs.iter().find(|(_, &pi)| pi == i) else {
+            continue;
+        };
+        let rhs = def_rhs(design, i);
+        let rhs_n = norm(design, rhs);
+        if matches!(rhs_n, EExpr::Const(_) | EExpr::Var(_)) {
+            continue; // aliases are const-prop/DCE territory
+        }
+        let k = format!("{rhs_n:?}");
+        let entry = groups.entry(k.clone()).or_default();
+        if entry.is_empty() {
+            order.push(k);
+        }
+        entry.push((v, i));
+    }
+
+    let mut subst: HashMap<VarId, EExpr> = HashMap::new();
+    let mut skip: HashSet<usize> = HashSet::new();
+    let mut forwards: Vec<(usize, VarId, VarId)> = Vec::new();
+    for k in &order {
+        let group = &groups[k];
+        if group.len() < 2 {
+            continue;
+        }
+        let (canon, canon_pi) = group[0];
+        skip.insert(canon_pi);
+        for &(dup, dup_pi) in &group[1..] {
+            subst.insert(dup, EExpr::Var(canon));
+            skip.insert(dup_pi);
+            if design.vars[dup].is_output || design.outputs.contains(&dup) {
+                forwards.push((dup_pi, dup, canon));
+            }
+        }
+    }
+    if subst.is_empty() {
+        return 0;
+    }
+    let shared = subst.len();
+    substitute(design, &subst, &skip);
+    for (pi, dup, canon) in forwards {
+        design.processes[pi].body = vec![Stm::Assign {
+            target: Target::Var(dup),
+            rhs: EExpr::Var(canon),
+        }];
+        let (reads, writes) = process_rw(&design.processes[pi].body, ProcessKind::Comb);
+        design.processes[pi].reads = reads;
+        design.processes[pi].writes = writes;
+    }
+    shared
+}
+
+/// A single-def 1-bit binary gate.
+struct Gate {
+    op: BinOp,
+    a: EExpr,
+    b: EExpr,
+    ka: String,
+    kb: String,
+}
+
+fn gate_defs(design: &Design, defs: &HashMap<VarId, usize>) -> HashMap<VarId, Gate> {
+    let mut gates = HashMap::new();
+    for (&v, &pi) in defs {
+        if design.vars[v].width != 1 {
+            continue;
+        }
+        let rhs = norm(design, def_rhs(design, pi));
+        if let EExpr::Binary { op, a, b, width: 1 } = rhs {
+            let (a, b) = (norm(design, a).clone(), norm(design, b).clone());
+            let (ka, kb) = (key(design, &a), key(design, &b));
+            gates.insert(
+                v,
+                Gate {
+                    op: *op,
+                    a,
+                    b,
+                    ka,
+                    kb,
+                },
+            );
+        }
+    }
+    gates
+}
+
+fn pair_key(ka: &str, kb: &str) -> (String, String) {
+    if ka <= kb {
+        (ka.to_string(), kb.to_string())
+    } else {
+        (kb.to_string(), ka.to_string())
+    }
+}
+
+/// Recognize ripple-carry adder chains (full-adder and half-adder/increment
+/// forms) and fuse each into one wide `+`, rewriting the per-bit sum
+/// variables into slices of it. The orphaned carry gates die in DCE.
+fn adder_recognition(design: &mut Design) -> usize {
+    let defs = single_defs(design);
+    let gates = gate_defs(design, &defs);
+
+    // Indexes: gates by (unordered operand pair, op) and by operand key.
+    let mut by_pair: HashMap<((String, String), u8), Vec<VarId>> = HashMap::new();
+    let mut xor_by_operand: HashMap<String, Vec<VarId>> = HashMap::new();
+    // Deterministic order: visit gates by process order.
+    let mut gate_order: Vec<VarId> = gates.keys().copied().collect();
+    gate_order.sort_by_key(|v| defs[v]);
+    for &v in &gate_order {
+        let g = &gates[&v];
+        let tag = match g.op {
+            BinOp::Xor => 0u8,
+            BinOp::And => 1,
+            BinOp::Or => 2,
+            _ => continue,
+        };
+        by_pair
+            .entry((pair_key(&g.ka, &g.kb), tag))
+            .or_default()
+            .push(v);
+        if g.op == BinOp::Xor {
+            xor_by_operand.entry(g.ka.clone()).or_default().push(v);
+            xor_by_operand.entry(g.kb.clone()).or_default().push(v);
+        }
+    }
+    let find = |tag: u8, ka: &str, kb: &str| -> Option<VarId> {
+        by_pair
+            .get(&(pair_key(ka, kb), tag))
+            .and_then(|v| v.first().copied())
+    };
+    let vkey = |v: VarId| format!("{:?}", EExpr::Var(v));
+
+    let mut consumed: HashSet<VarId> = HashSet::new();
+    let mut rewrites: Vec<(Vec<VarId>, EExpr)> = Vec::new();
+
+    // --- Full-adder chains: p=x^y, g=x&y, s_i=p_i^c_i, t_i=p_i&c_i,
+    // c_{i+1}=g_i|t_i; sum bit 0 is p_0, carry-in is g_0.
+    for &p0 in &gate_order {
+        let g0 = {
+            let pg = &gates[&p0];
+            if pg.op != BinOp::Xor {
+                continue;
+            }
+            match find(1, &pg.ka, &pg.kb) {
+                Some(g) => g,
+                None => continue,
+            }
+        };
+        if consumed.contains(&p0) || consumed.contains(&g0) || p0 == g0 {
+            continue;
+        }
+        // A true bit-0 sum is not itself combined with a carry by another
+        // XOR stage (that shape means p0 is a propagate term mid-chain).
+        let is_mid = xor_by_operand
+            .get(&vkey(p0))
+            .map(|ss| {
+                ss.iter().any(|&s| {
+                    let sg = &gates[&s];
+                    let other = if sg.ka == vkey(p0) { &sg.kb } else { &sg.ka };
+                    gates.iter().any(|(&ov, og)| {
+                        vkey(ov) == *other && matches!(og.op, BinOp::And | BinOp::Or)
+                    })
+                })
+            })
+            .unwrap_or(false);
+        if is_mid {
+            continue;
+        }
+
+        let (mut xs, mut ys, mut sums) = (Vec::new(), Vec::new(), Vec::new());
+        {
+            let pg = &gates[&p0];
+            xs.push(pg.a.clone());
+            ys.push(pg.b.clone());
+        }
+        sums.push(p0);
+        let mut carry = g0;
+        loop {
+            // Find s = p ^ carry with p = x^y and g = x&y present.
+            let ck = vkey(carry);
+            let Some(cands) = xor_by_operand.get(&ck) else {
+                break;
+            };
+            let mut stage: Option<(VarId, VarId, Option<VarId>)> = None;
+            for &s in cands {
+                if consumed.contains(&s) || sums.contains(&s) {
+                    continue;
+                }
+                let sg = &gates[&s];
+                let pk = if sg.ka == ck { &sg.kb } else { &sg.ka };
+                let Some((&p, _)) = gates
+                    .iter()
+                    .find(|(&pv, pg)| vkey(pv) == *pk && pg.op == BinOp::Xor)
+                else {
+                    continue;
+                };
+                let pg = &gates[&p];
+                let Some(g) = find(1, &pg.ka, &pg.kb) else {
+                    continue;
+                };
+                if g == p {
+                    continue;
+                }
+                // Next carry: c' = g | (p & c), if present.
+                let next = find(1, &vkey(p), &ck).and_then(|t| find(2, &vkey(g), &vkey(t)));
+                stage = Some((s, p, next));
+                break;
+            }
+            let Some((s, p, next)) = stage else { break };
+            let pg = &gates[&p];
+            xs.push(pg.a.clone());
+            ys.push(pg.b.clone());
+            sums.push(s);
+            match next {
+                Some(c) if !sums.contains(&c) => carry = c,
+                _ => break,
+            }
+        }
+        if sums.len() >= 4 && sums.len() <= 64 {
+            let n = sums.len() as u32;
+            let wide = EExpr::Binary {
+                op: BinOp::Add,
+                a: Box::new(concat1(xs)),
+                b: Box::new(concat1(ys)),
+                width: n,
+            };
+            consumed.extend(sums.iter().copied());
+            rewrites.push((sums, wide));
+        }
+    }
+
+    // --- Half-adder (increment) chains: s_i = x_i ^ c_i, g_i = x_i & c_i,
+    // c_{i+1} = g_i; carry-in c_0 is an arbitrary 1-bit term.
+    // Stage candidates: (pair) -> (sum, carry-out).
+    struct HaStage {
+        s: VarId,
+        g: Option<VarId>,
+        a: EExpr,
+        b: EExpr,
+    }
+    let mut stages: Vec<HaStage> = Vec::new();
+    for &s in &gate_order {
+        let sg = &gates[&s];
+        if sg.op != BinOp::Xor || consumed.contains(&s) {
+            continue;
+        }
+        let g = find(1, &sg.ka, &sg.kb).filter(|&g| g != s && !consumed.contains(&g));
+        stages.push(HaStage {
+            s,
+            g,
+            a: sg.a.clone(),
+            b: sg.b.clone(),
+        });
+    }
+    // Link: stage u -> stage w when one of w's operands is u's carry-out.
+    let carry_of: HashMap<String, usize> = stages
+        .iter()
+        .enumerate()
+        .filter_map(|(i, st)| st.g.map(|g| (vkey(g), i)))
+        .collect();
+    let mut has_pred = vec![false; stages.len()];
+    for (i, st) in stages.iter().enumerate() {
+        for k in [format!("{:?}", st.a), format!("{:?}", st.b)] {
+            if let Some(&src) = carry_of.get(&k) {
+                if src != i {
+                    has_pred[i] = true;
+                }
+            }
+        }
+    }
+    for start in 0..stages.len() {
+        if has_pred[start] || consumed.contains(&stages[start].s) {
+            continue;
+        }
+        // Choose carry-in: prefer a constant operand; else operand b.
+        let (mut xs, mut sums) = (Vec::new(), Vec::new());
+        let st0 = &stages[start];
+        let (x0, c0) = if matches!(st0.a, EExpr::Const(_)) {
+            (st0.b.clone(), st0.a.clone())
+        } else {
+            (st0.a.clone(), st0.b.clone())
+        };
+        xs.push(x0);
+        sums.push(st0.s);
+        let mut cur = start;
+        while let Some(g) = stages[cur].g {
+            let gk = vkey(g);
+            // successor: stage whose one operand is Var(g)
+            let Some(next) = stages.iter().position(|st| {
+                !sums.contains(&st.s)
+                    && !consumed.contains(&st.s)
+                    && (format!("{:?}", st.a) == gk || format!("{:?}", st.b) == gk)
+            }) else {
+                break;
+            };
+            let stn = &stages[next];
+            let x = if format!("{:?}", stn.a) == gk {
+                stn.b.clone()
+            } else {
+                stn.a.clone()
+            };
+            xs.push(x);
+            sums.push(stn.s);
+            cur = next;
+        }
+        if sums.len() >= 4 && sums.len() <= 64 {
+            let n = sums.len() as u32;
+            let wide = EExpr::Binary {
+                op: BinOp::Add,
+                a: Box::new(concat1(xs)),
+                b: Box::new(EExpr::Resize {
+                    arg: Box::new(c0),
+                    width: n,
+                }),
+                width: n,
+            };
+            consumed.extend(sums.iter().copied());
+            rewrites.push((sums, wide));
+        }
+    }
+
+    apply_slice_rewrites(design, &defs, rewrites, "add")
+}
+
+/// 1-bit expressions -> Concat (LSB-first input, MSB-first storage).
+fn concat1(mut bits: Vec<EExpr>) -> EExpr {
+    let n = bits.len() as u32;
+    if n == 1 {
+        return bits.pop().unwrap();
+    }
+    bits.reverse();
+    EExpr::Concat {
+        parts: bits,
+        width: n,
+    }
+}
+
+/// Materialize each (sum bits, wide expr) rewrite: a fresh variable holds
+/// the wide value; each per-bit sum def becomes a slice of it.
+fn apply_slice_rewrites(
+    design: &mut Design,
+    defs: &HashMap<VarId, usize>,
+    rewrites: Vec<(Vec<VarId>, EExpr)>,
+    tag: &str,
+) -> usize {
+    let count = rewrites.len();
+    for (k, (sums, wide)) in rewrites.into_iter().enumerate() {
+        let n = sums.len() as u32;
+        let name = unique_name(design, &format!("rw.{tag}{k}"));
+        design.vars.push(Var {
+            name: name.clone(),
+            width: n,
+            depth: 0,
+            is_state: false,
+            is_input: false,
+            is_output: false,
+        });
+        let wv = design.vars.len() - 1;
+        let body = vec![Stm::Assign {
+            target: Target::Var(wv),
+            rhs: wide,
+        }];
+        let (reads, writes) = process_rw(&body, ProcessKind::Comb);
+        design.processes.push(Process {
+            kind: ProcessKind::Comb,
+            name,
+            body,
+            reads,
+            writes,
+            line: 0,
+        });
+        for (i, s) in sums.iter().enumerate() {
+            let pi = defs[s];
+            design.processes[pi].body = vec![Stm::Assign {
+                target: Target::Var(*s),
+                rhs: EExpr::Slice {
+                    arg: Box::new(EExpr::Var(wv)),
+                    lsb: i as u32,
+                    width: 1,
+                },
+            }];
+            let (reads, writes) = process_rw(&design.processes[pi].body, ProcessKind::Comb);
+            design.processes[pi].reads = reads;
+            design.processes[pi].writes = writes;
+        }
+    }
+    count
+}
+
+fn unique_name(design: &Design, base: &str) -> String {
+    if !design.vars.iter().any(|v| v.name == base) {
+        return base.to_string();
+    }
+    for k in 2.. {
+        let cand = format!("{base}#{k}");
+        if !design.vars.iter().any(|v| v.name == cand) {
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// Recognize AND trees over per-bit XNORs and fuse each into one wide `==`.
+fn eq_recognition(design: &mut Design) -> usize {
+    let defs = single_defs(design);
+    let gates = gate_defs(design, &defs);
+
+    // XNOR leaves: v = a ~^ b (or !(a ^ b)).
+    let mut leaves: HashMap<VarId, (EExpr, EExpr)> = HashMap::new();
+    for (&v, &pi) in &defs {
+        if design.vars[v].width != 1 {
+            continue;
+        }
+        match norm(design, def_rhs(design, pi)) {
+            EExpr::Binary {
+                op: BinOp::Xnor,
+                a,
+                b,
+                width: 1,
+            } => {
+                leaves.insert(v, ((**a).clone(), (**b).clone()));
+            }
+            EExpr::Unary {
+                op: UnOp::Not | UnOp::LNot,
+                arg,
+                width: 1,
+            } => {
+                if let EExpr::Binary {
+                    op: BinOp::Xor,
+                    a,
+                    b,
+                    width: 1,
+                } = norm(design, arg)
+                {
+                    leaves.insert(v, ((**a).clone(), (**b).clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // AND nodes over 1-bit vars.
+    let and_vars: HashSet<VarId> = gates
+        .iter()
+        .filter(|(_, g)| g.op == BinOp::And)
+        .map(|(&v, _)| v)
+        .collect();
+    // Roots: AND nodes not consumed by another AND node.
+    let mut non_root: HashSet<VarId> = HashSet::new();
+    for &v in &and_vars {
+        let g = &gates[&v];
+        for side in [&g.a, &g.b] {
+            if let EExpr::Var(o) = side {
+                if and_vars.contains(o) {
+                    non_root.insert(*o);
+                }
+            }
+        }
+    }
+    let mut roots: Vec<VarId> = and_vars.difference(&non_root).copied().collect();
+    roots.sort_by_key(|v| defs[v]);
+
+    let mut count = 0;
+    for root in roots {
+        // Expand the tree; all leaves must be XNOR pairs.
+        let mut stack = vec![root];
+        let mut pairs: Vec<(EExpr, EExpr)> = Vec::new();
+        let mut seen: HashSet<VarId> = HashSet::new();
+        let mut ok = true;
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                ok = false;
+                break;
+            }
+            let g = &gates[&v];
+            for side in [g.a.clone(), g.b.clone()] {
+                match side {
+                    EExpr::Var(o) if and_vars.contains(&o) => stack.push(o),
+                    EExpr::Var(o) if leaves.contains_key(&o) => {
+                        let (a, b) = leaves[&o].clone();
+                        pairs.push((a, b));
+                    }
+                    _ => {
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+        }
+        if !ok || pairs.len() < 4 || pairs.len() > 64 {
+            continue;
+        }
+        let (avec, bvec): (Vec<EExpr>, Vec<EExpr>) = pairs.into_iter().unzip();
+        let pi = defs[&root];
+        design.processes[pi].body = vec![Stm::Assign {
+            target: Target::Var(root),
+            rhs: EExpr::Binary {
+                op: BinOp::Eq,
+                a: Box::new(concat1(avec)),
+                b: Box::new(concat1(bvec)),
+                width: 1,
+            },
+        }];
+        let (reads, writes) = process_rw(&design.processes[pi].body, ProcessKind::Comb);
+        design.processes[pi].reads = reads;
+        design.processes[pi].writes = writes;
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::interp;
+    use rtlir::BitVec;
+
+    /// Equal outputs over random stimulus before/after rewrite.
+    fn check_equiv(src: &str) {
+        let d_ref = rtlir::elaborate(src, "top").unwrap();
+        let mut d_rw = rtlir::elaborate(src, "top").unwrap();
+        let st = rewrite(&mut d_rw);
+        assert!(st.processes_out <= st.processes_in);
+        let drive = |d: &Design| {
+            let ins: Vec<(VarId, u32)> = d.inputs.iter().map(|&v| (v, d.vars[v].width)).collect();
+            move |c: u64| {
+                ins.iter()
+                    .enumerate()
+                    .map(|(k, &(v, w))| {
+                        let h = (c + 1)
+                            .wrapping_mul(0x9e3779b97f4a7c15)
+                            .rotate_left(k as u32 * 7);
+                        (v, BitVec::from_u64(h, w))
+                    })
+                    .collect::<Vec<_>>()
+            }
+        };
+        let w1 = interp::run_cycles(&d_ref, 64, drive(&d_ref)).unwrap();
+        let w2 = interp::run_cycles(&d_rw, 64, drive(&d_rw)).unwrap();
+        assert_eq!(w1, w2, "rewrite changed behaviour");
+    }
+
+    #[test]
+    fn const_prop_and_dce() {
+        let src = "module top(input [7:0] a, output [7:0] y);
+            wire [7:0] k;
+            assign k = 8'd7;
+            assign y = a & k;
+          endmodule";
+        let mut d = rtlir::elaborate(src, "top").unwrap();
+        let st = rewrite(&mut d);
+        assert!(st.consts_propagated >= 1, "{st:?}");
+        assert!(st.dead_removed >= 1, "{st:?}");
+        check_equiv(src);
+    }
+
+    #[test]
+    fn mux_same_arms_collapses() {
+        let src = "module top(input s, input [3:0] a, output [3:0] y);
+            assign y = s ? a : a;
+          endmodule";
+        let mut d = rtlir::elaborate(src, "top").unwrap();
+        let st = rewrite(&mut d);
+        assert_eq!(st.muxes_collapsed, 1, "{st:?}");
+        check_equiv(src);
+    }
+
+    #[test]
+    fn cse_shares_duplicate_work() {
+        let src = "module top(input [7:0] a, input [7:0] b, output [7:0] y, output [7:0] z);
+            wire [7:0] p, q;
+            assign p = a * b;
+            assign q = a * b;
+            assign y = p + 8'd1;
+            assign z = q + 8'd2;
+          endmodule";
+        let mut d = rtlir::elaborate(src, "top").unwrap();
+        let st = rewrite(&mut d);
+        assert!(st.subexprs_shared >= 1, "{st:?}");
+        check_equiv(src);
+    }
+
+    /// Declare `n` individual 1-bit wires `prefix0..prefix{n-1}` (matching
+    /// the one-var-per-cell-output shape the importer produces).
+    fn wires(prefix: &str, n: usize) -> String {
+        let names: Vec<String> = (0..n).map(|i| format!("{prefix}{i}")).collect();
+        format!(" wire {};\n", names.join(", "))
+    }
+
+    fn concat_of(prefix: &str, n: usize) -> String {
+        let names: Vec<String> = (0..n).rev().map(|i| format!("{prefix}{i}")).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+
+    #[test]
+    fn ha_ripple_chain_becomes_wide_add() {
+        // 8-bit increment out of XOR/AND half adders, carry-in = cin.
+        let mut src = String::from("module top(input [7:0] x, input cin, output [7:0] s);\n");
+        src.push_str(&wires("s", 8));
+        src.push_str(&wires("c", 8));
+        src.push_str(" assign c0 = cin;\n assign s0 = x[0] ^ c0;\n assign c1 = x[0] & c0;\n");
+        for i in 1..8 {
+            src.push_str(&format!(" assign s{i} = x[{i}] ^ c{i};\n"));
+            if i < 7 {
+                src.push_str(&format!(" assign c{} = x[{i}] & c{i};\n", i + 1));
+            }
+        }
+        src.push_str(&format!(" assign s = {};\nendmodule\n", concat_of("s", 8)));
+        let mut d = rtlir::elaborate(&src, "top").unwrap();
+        let st = rewrite(&mut d);
+        assert!(st.adders_widened >= 1, "{st:?}");
+        assert!(st.dead_removed >= 5, "{st:?}");
+        check_equiv(&src);
+    }
+
+    #[test]
+    fn fa_ripple_chain_becomes_wide_add() {
+        // 8-bit full-adder ripple a+b (carry-in 0: s0=p0, c1=g0).
+        let mut src = String::from("module top(input [7:0] a, input [7:0] b, output [7:0] s);\n");
+        for pfx in ["p", "g", "s"] {
+            src.push_str(&wires(pfx, 8));
+        }
+        src.push_str(" wire c1,c2,c3,c4,c5,c6,c7;\n wire t1,t2,t3,t4,t5,t6,t7;\n");
+        for i in 0..8 {
+            src.push_str(&format!(" assign p{i} = a[{i}] ^ b[{i}];\n"));
+            src.push_str(&format!(" assign g{i} = a[{i}] & b[{i}];\n"));
+        }
+        src.push_str(" assign s0 = p0;\n assign c1 = g0;\n");
+        for i in 1..8 {
+            src.push_str(&format!(" assign s{i} = p{i} ^ c{i};\n"));
+            src.push_str(&format!(" assign t{i} = p{i} & c{i};\n"));
+            if i < 7 {
+                src.push_str(&format!(" assign c{} = g{i} | t{i};\n", i + 1));
+            }
+        }
+        src.push_str(&format!(" assign s = {};\nendmodule\n", concat_of("s", 8)));
+        let mut d = rtlir::elaborate(&src, "top").unwrap();
+        let st = rewrite(&mut d);
+        assert!(st.adders_widened >= 1, "{st:?}");
+        check_equiv(&src);
+    }
+
+    #[test]
+    fn xnor_tree_becomes_wide_eq() {
+        let mut src = String::from("module top(input [7:0] a, input [7:0] b, output eq);\n");
+        src.push_str(&wires("xn", 8));
+        src.push_str(&wires("t", 7));
+        for i in 0..8 {
+            src.push_str(&format!(" assign xn{i} = a[{i}] ~^ b[{i}];\n"));
+        }
+        src.push_str(" assign t0 = xn0 & xn1;\n");
+        for i in 1..7 {
+            src.push_str(&format!(" assign t{i} = t{} & xn{};\n", i - 1, i + 1));
+        }
+        src.push_str(" assign eq = t6;\nendmodule\n");
+        let mut d = rtlir::elaborate(&src, "top").unwrap();
+        let st = rewrite(&mut d);
+        assert!(st.comparators_widened >= 1, "{st:?}");
+        check_equiv(&src);
+    }
+}

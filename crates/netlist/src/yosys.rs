@@ -1,0 +1,349 @@
+//! Typed view of a Yosys JSON netlist.
+//!
+//! `yosys -o out.json` (the `write_json` backend) emits one object with a
+//! `modules` map; each module has `ports`, `cells` and `netnames`. A signal
+//! is a list of *bits*, each either an integer net id or a constant bit
+//! string (`"0"`, `"1"`, `"x"`, `"z"`). This module validates that shape
+//! into plain structs; semantic lowering happens in [`crate::import`].
+//!
+//! Determinism: cells and netnames are sorted by name here, so two JSON
+//! files that differ only in emission order produce identical imports (and
+//! identical [`rtlir::design_hash`] keys — the serve/cluster warm-cache
+//! contract).
+
+use crate::error::{NetlistError, Result};
+use crate::json::{self, JValue};
+
+/// One bit of a signal: a net id or a constant. Two-state semantics: `x`
+/// and `z` lower to constant 0, like the rest of the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SigBit {
+    Net(u64),
+    Const(bool),
+}
+
+/// A cell parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PValue {
+    Int(u64),
+    /// Bit-string (`"00101"`) or free-form string (`MEMID`).
+    Str(String),
+}
+
+impl PValue {
+    /// Numeric value: integers directly, binary bit strings decoded
+    /// (Yosys writes parameters wider than 32 bits as bit strings;
+    /// `x`/`z` digits read as 0).
+    pub fn to_u64(&self) -> Option<u64> {
+        match self {
+            PValue::Int(v) => Some(*v),
+            PValue::Str(s) => {
+                if s.is_empty() || s.len() > 64 {
+                    return None;
+                }
+                let mut v = 0u64;
+                for c in s.chars() {
+                    let bit = match c {
+                        '0' | 'x' | 'z' => 0,
+                        '1' => 1,
+                        _ => return None,
+                    };
+                    v = (v << 1) | bit;
+                }
+                Some(v)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct YPort {
+    pub name: String,
+    pub output: bool,
+    pub bits: Vec<SigBit>,
+}
+
+#[derive(Debug, Clone)]
+pub struct YCell {
+    pub name: String,
+    pub ty: String,
+    pub params: Vec<(String, PValue)>,
+    /// Port connections in document order.
+    pub conns: Vec<(String, Vec<SigBit>)>,
+}
+
+impl YCell {
+    pub fn param(&self, name: &str) -> Option<&PValue> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Numeric parameter with a default for absent keys; a present but
+    /// non-numeric value is a schema error.
+    pub fn param_u64(&self, name: &str, default: u64) -> Result<u64> {
+        match self.param(name) {
+            None => Ok(default),
+            Some(v) => v.to_u64().ok_or_else(|| {
+                NetlistError::schema(
+                    format!("cell `{}`", self.name),
+                    format!("parameter {name} is not numeric"),
+                )
+            }),
+        }
+    }
+
+    pub fn conn(&self, port: &str) -> Option<&[SigBit]> {
+        self.conns
+            .iter()
+            .find(|(k, _)| k == port)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Required connection.
+    pub fn conn_req(&self, port: &str) -> Result<&[SigBit]> {
+        self.conn(port).ok_or_else(|| {
+            NetlistError::schema(
+                format!("cell `{}`", self.name),
+                format!("missing connection {port}"),
+            )
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct YModule {
+    pub name: String,
+    /// Ports in document order (this fixes the stimulus lane order).
+    pub ports: Vec<YPort>,
+    /// Cells sorted by name.
+    pub cells: Vec<YCell>,
+    /// Net names sorted by name.
+    pub netnames: Vec<(String, Vec<SigBit>)>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub modules: Vec<YModule>,
+}
+
+/// Parse JSON text into a validated [`Netlist`].
+pub fn parse_netlist(src: &str) -> Result<Netlist> {
+    let doc = json::parse(src)?;
+    let modules_v = doc
+        .get("modules")
+        .ok_or_else(|| NetlistError::schema("document", "missing `modules` object"))?;
+    let modules_obj = modules_v
+        .as_obj()
+        .ok_or_else(|| NetlistError::schema("document", "`modules` is not an object"))?;
+    let mut modules = Vec::new();
+    for (mname, mv) in modules_obj {
+        modules.push(parse_module(mname, mv)?);
+    }
+    Ok(Netlist { modules })
+}
+
+fn parse_module(name: &str, v: &JValue) -> Result<YModule> {
+    let ctx = || format!("module `{name}`");
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| NetlistError::schema(ctx(), "module is not an object"))?;
+    let _ = obj;
+
+    let mut ports = Vec::new();
+    if let Some(pv) = v.get("ports") {
+        let pobj = pv
+            .as_obj()
+            .ok_or_else(|| NetlistError::schema(ctx(), "`ports` is not an object"))?;
+        for (pname, pval) in pobj {
+            let pctx = || format!("module `{name}` port `{pname}`");
+            let dir = pval
+                .get("direction")
+                .and_then(JValue::as_str)
+                .ok_or_else(|| NetlistError::schema(pctx(), "missing `direction`"))?;
+            let output = match dir {
+                "input" => false,
+                "output" => true,
+                "inout" => {
+                    return Err(NetlistError::unsupported(
+                        pctx(),
+                        "inout ports (two-state simulation has no tristates)",
+                    ))
+                }
+                other => {
+                    return Err(NetlistError::schema(
+                        pctx(),
+                        format!("bad direction `{other}`"),
+                    ))
+                }
+            };
+            let bits = parse_bits(pval.get("bits"), &pctx)?;
+            if bits.is_empty() {
+                return Err(NetlistError::schema(pctx(), "port has no bits"));
+            }
+            ports.push(YPort {
+                name: pname.clone(),
+                output,
+                bits,
+            });
+        }
+    }
+
+    let mut cells = Vec::new();
+    if let Some(cv) = v.get("cells") {
+        let cobj = cv
+            .as_obj()
+            .ok_or_else(|| NetlistError::schema(ctx(), "`cells` is not an object"))?;
+        for (cname, cval) in cobj {
+            cells.push(parse_cell(name, cname, cval)?);
+        }
+    }
+    cells.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut netnames: Vec<(String, Vec<SigBit>)> = Vec::new();
+    if let Some(nv) = v.get("netnames") {
+        let nobj = nv
+            .as_obj()
+            .ok_or_else(|| NetlistError::schema(ctx(), "`netnames` is not an object"))?;
+        for (nname, nval) in nobj {
+            let nctx = || format!("module `{name}` netname `{nname}`");
+            let bits = parse_bits(nval.get("bits"), &nctx)?;
+            netnames.push((nname.clone(), bits));
+        }
+    }
+    netnames.sort_by(|a, b| a.0.cmp(&b.0));
+
+    Ok(YModule {
+        name: name.to_string(),
+        ports,
+        cells,
+        netnames,
+    })
+}
+
+fn parse_cell(module: &str, name: &str, v: &JValue) -> Result<YCell> {
+    let ctx = || format!("module `{module}` cell `{name}`");
+    let ty = v
+        .get("type")
+        .and_then(JValue::as_str)
+        .ok_or_else(|| NetlistError::schema(ctx(), "missing `type`"))?
+        .to_string();
+
+    let mut params = Vec::new();
+    if let Some(pv) = v.get("parameters") {
+        let pobj = pv
+            .as_obj()
+            .ok_or_else(|| NetlistError::schema(ctx(), "`parameters` is not an object"))?;
+        for (k, val) in pobj {
+            let p = match val {
+                JValue::Int(i) if *i >= 0 => PValue::Int(*i as u64),
+                JValue::Int(i) => {
+                    // Yosys encodes small negative parameters as 32-bit
+                    // two's complement integers.
+                    PValue::Int(*i as i32 as u32 as u64)
+                }
+                JValue::Str(s) => PValue::Str(s.clone()),
+                _ => {
+                    return Err(NetlistError::schema(
+                        ctx(),
+                        format!("parameter {k} is neither integer nor string"),
+                    ))
+                }
+            };
+            params.push((k.clone(), p));
+        }
+    }
+
+    let mut conns = Vec::new();
+    if let Some(cv) = v.get("connections") {
+        let cobj = cv
+            .as_obj()
+            .ok_or_else(|| NetlistError::schema(ctx(), "`connections` is not an object"))?;
+        for (port, bits_v) in cobj {
+            let cctx = || format!("module `{module}` cell `{name}` port {port}");
+            conns.push((port.clone(), parse_bits(Some(bits_v), &cctx)?));
+        }
+    }
+
+    Ok(YCell {
+        name: name.to_string(),
+        ty,
+        params,
+        conns,
+    })
+}
+
+fn parse_bits(v: Option<&JValue>, ctx: &dyn Fn() -> String) -> Result<Vec<SigBit>> {
+    let arr = v
+        .and_then(JValue::as_arr)
+        .ok_or_else(|| NetlistError::schema(ctx(), "missing `bits` array"))?;
+    let mut bits = Vec::with_capacity(arr.len());
+    for b in arr {
+        bits.push(match b {
+            JValue::Int(i) if *i >= 2 => SigBit::Net(*i as u64),
+            JValue::Int(i) => {
+                return Err(NetlistError::schema(
+                    ctx(),
+                    format!("bad net id {i} (net ids start at 2)"),
+                ))
+            }
+            JValue::Str(s) => match s.as_str() {
+                "0" | "x" | "z" => SigBit::Const(false),
+                "1" => SigBit::Const(true),
+                other => {
+                    return Err(NetlistError::schema(
+                        ctx(),
+                        format!("bad constant bit `{other}`"),
+                    ))
+                }
+            },
+            _ => return Err(NetlistError::schema(ctx(), "bit is neither id nor string")),
+        });
+    }
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_sorts_cells() {
+        let nl = parse_netlist(
+            r#"{"modules": {"m": {
+                "ports": {"a": {"direction": "input", "bits": [2, "1", "x"]}},
+                "cells": {
+                  "zz": {"type": "$not", "connections": {"A": [2], "Y": [3]}},
+                  "aa": {"type": "$and", "parameters": {"Y_WIDTH": 1, "INIT": "0101"},
+                         "connections": {"A": [2], "B": [3], "Y": [4]}}
+                },
+                "netnames": {"y": {"bits": [4]}}
+            }}}"#,
+        )
+        .unwrap();
+        let m = &nl.modules[0];
+        assert_eq!(m.ports[0].bits[1], SigBit::Const(true));
+        assert_eq!(m.ports[0].bits[2], SigBit::Const(false));
+        assert_eq!(m.cells[0].name, "aa");
+        assert_eq!(m.cells[1].name, "zz");
+        assert_eq!(m.cells[0].param_u64("Y_WIDTH", 7).unwrap(), 1);
+        assert_eq!(m.cells[0].param("INIT").unwrap().to_u64(), Some(5));
+        assert_eq!(m.cells[0].param_u64("MISSING", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn inout_port_is_unsupported() {
+        let e = parse_netlist(
+            r#"{"modules": {"m": {"ports": {"p": {"direction": "inout", "bits": [2]}}}}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(e, NetlistError::Unsupported { .. }), "{e}");
+    }
+
+    #[test]
+    fn net_id_below_two_rejected() {
+        let e = parse_netlist(
+            r#"{"modules": {"m": {"ports": {"p": {"direction": "input", "bits": [1]}}}}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(e, NetlistError::Schema { .. }), "{e}");
+    }
+}

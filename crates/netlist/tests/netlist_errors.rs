@@ -1,0 +1,178 @@
+//! The importer must never panic on malformed input — every failure is a
+//! structured [`netlist::NetlistError`]. Targeted cases first, then a
+//! randomized corruption/truncation sweep over the real fixtures (same
+//! style as the cluster crate's wire-format tests).
+
+use netlist::{import_str, NetlistError, COUNTER_JSON, PICORV32_JSON};
+use stimulus::splitmix64;
+
+#[test]
+fn unknown_top_module_lists_available() {
+    let e = import_str(COUNTER_JSON, "nonexistent").unwrap_err();
+    match e {
+        NetlistError::NoModule { top, available } => {
+            assert_eq!(top, "nonexistent");
+            assert_eq!(available, vec!["counter".to_string()]);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn unknown_dollar_cell_is_reported() {
+    let e = import_str(
+        r#"{"modules": {"m": {
+            "ports": {"a": {"direction": "input", "bits": [2]},
+                      "y": {"direction": "output", "bits": [3]}},
+            "cells": {"weird": {"type": "$lut", "parameters": {},
+                                "connections": {"A": [2], "Y": [3]}}}
+        }}}"#,
+        "m",
+    )
+    .unwrap_err();
+    match e {
+        NetlistError::UnknownCell { cell, ty } => {
+            assert_eq!(cell, "weird");
+            assert_eq!(ty, "$lut");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn hierarchical_cell_is_unsupported() {
+    let e = import_str(
+        r#"{"modules": {"m": {
+            "ports": {"a": {"direction": "input", "bits": [2]},
+                      "y": {"direction": "output", "bits": [3]}},
+            "cells": {"sub": {"type": "child", "parameters": {},
+                              "connections": {"a": [2], "y": [3]}}}
+        }}}"#,
+        "m",
+    )
+    .unwrap_err();
+    match e {
+        NetlistError::Unsupported { what, .. } => {
+            assert!(
+                what.contains("flatten"),
+                "should point at yosys flatten: {what}"
+            )
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn width_mismatch_is_reported() {
+    let e = import_str(
+        r#"{"modules": {"m": {
+            "ports": {"a": {"direction": "input", "bits": [2, 3]},
+                      "y": {"direction": "output", "bits": [4]}},
+            "cells": {"g": {"type": "$and",
+                            "parameters": {"A_WIDTH": 8, "B_WIDTH": 2, "Y_WIDTH": 1},
+                            "connections": {"A": [2, 3], "B": [2, 3], "Y": [4]}}}
+        }}}"#,
+        "m",
+    )
+    .unwrap_err();
+    match e {
+        NetlistError::WidthMismatch {
+            port, want, got, ..
+        } => {
+            assert_eq!(port, "A");
+            assert_eq!((want, got), (8, 2));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn dangling_net_is_reported() {
+    // Net 9 is read by the cell but driven by nothing.
+    let e = import_str(
+        r#"{"modules": {"m": {
+            "ports": {"a": {"direction": "input", "bits": [2]},
+                      "y": {"direction": "output", "bits": [3]}},
+            "cells": {"g": {"type": "$not",
+                            "parameters": {"A_WIDTH": 1, "Y_WIDTH": 1},
+                            "connections": {"A": [9], "Y": [3]}}}
+        }}}"#,
+        "m",
+    )
+    .unwrap_err();
+    match e {
+        NetlistError::DanglingNet { bit, .. } => assert_eq!(bit, 9),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn multiple_drivers_are_reported() {
+    let e = import_str(
+        r#"{"modules": {"m": {
+            "ports": {"a": {"direction": "input", "bits": [2]},
+                      "y": {"direction": "output", "bits": [3]}},
+            "cells": {
+              "g1": {"type": "$not", "parameters": {"A_WIDTH": 1, "Y_WIDTH": 1},
+                     "connections": {"A": [2], "Y": [3]}},
+              "g2": {"type": "$not", "parameters": {"A_WIDTH": 1, "Y_WIDTH": 1},
+                     "connections": {"A": [2], "Y": [3]}}
+            }
+        }}}"#,
+        "m",
+    )
+    .unwrap_err();
+    match e {
+        NetlistError::MultiDriver { bit, .. } => assert_eq!(bit, 3),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+/// Every truncation of a fixture must produce `Err`, never a panic.
+#[test]
+fn truncation_never_panics() {
+    for fixture in [COUNTER_JSON, PICORV32_JSON] {
+        let step = (fixture.len() / 257).max(1);
+        for cut in (0..fixture.len()).step_by(step) {
+            if !fixture.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                import_str(&fixture[..cut], "x").is_err(),
+                "truncated netlist at {cut} should fail"
+            );
+        }
+    }
+}
+
+/// Random single/multi-byte corruptions: the importer returns a structured
+/// result (Ok for benign edits, Err otherwise) and never panics.
+#[test]
+fn random_corruption_never_panics() {
+    let mut seed = 0x6e65_746c_6973_7431u64;
+    for round in 0..400u64 {
+        let base: &str = if round % 2 == 0 {
+            COUNTER_JSON
+        } else {
+            PICORV32_JSON
+        };
+        let mut bytes = base.as_bytes().to_vec();
+        seed = splitmix64(seed ^ round);
+        let edits = 1 + (seed as usize % 8);
+        for k in 0..edits {
+            let h = splitmix64(seed ^ (k as u64) << 17);
+            let pos = (h as usize) % bytes.len();
+            match (h >> 32) % 4 {
+                0 => bytes[pos] = (h >> 40) as u8, // random byte
+                1 => bytes[pos] = b"{}[]\",:0123456789"[(h >> 40) as usize % 17], // structural
+                2 => {
+                    bytes.remove(pos); // deletion
+                }
+                _ => bytes.insert(pos, b"{}[]\" "[(h >> 40) as usize % 6]), // insertion
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = import_str(&text, "counter");
+        let _ = import_str(&text, "picorv32");
+    }
+}

@@ -1516,6 +1516,15 @@ pub fn ranges_overlap(a: (u32, u32), b: (u32, u32)) -> bool {
     a.0 < b.0.saturating_add(b.1) && b.0 < a.0.saturating_add(a.1)
 }
 
+/// Compute (reads-before-write, writes) for a process body.
+///
+/// Public entry point for frontends that construct [`Design`]s directly
+/// (e.g. the `netlist` importer) and for rewrite passes that edit process
+/// bodies and must refresh the cached `reads`/`writes` lists.
+pub fn process_rw(body: &[Stm], kind: ProcessKind) -> (Vec<VarId>, Vec<VarId>) {
+    analyze_rw(body, kind)
+}
+
 /// Compute (reads-before-write, writes) for a statement list.
 ///
 /// For sequential processes every read is external (non-blocking semantics
