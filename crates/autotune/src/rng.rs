@@ -1,0 +1,62 @@
+//! Deterministic xorshift64* generator (same construction as the MCMC
+//! partitioner's): the search only needs reproducible uniform draws, so
+//! an in-tree generator replaces the external `rand` dependency (the
+//! build must work offline).
+
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 scrambles the seed so nearby seeds diverge; the
+        // state must be nonzero for xorshift.
+        let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        SmallRng((x ^ (x >> 31)) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

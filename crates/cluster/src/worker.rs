@@ -55,6 +55,10 @@ pub struct WorkerConfig {
     pub capacity: u32,
     /// Functional execution strategy for group cycles.
     pub exec: ExecConfig,
+    /// Tuned-artifact cache policy, consulted when a batch's engine is
+    /// built. A tuned design runs with its tuned partition/fuse config —
+    /// and its tuned exec, unless `exec` was set to a non-default value.
+    pub tuned: autotune::TunePolicy,
     /// Optional injected fault.
     pub fault: Option<WorkerFault>,
     /// How often to emit `Heartbeat` frames while a group computes.
@@ -78,6 +82,7 @@ impl Default for WorkerConfig {
         WorkerConfig {
             capacity: 1,
             exec: ExecConfig::default(),
+            tuned: autotune::TunePolicy::default(),
             fault: None,
             heartbeat_interval: Duration::from_millis(100),
             reconnect: true,
@@ -93,6 +98,8 @@ struct Engine {
     design: Design,
     program: KernelProgram,
     map: PortMap,
+    /// The tuned artifact this engine was built with, if the cache hit.
+    tuned: Option<autotune::TunedArtifact>,
 }
 
 /// What one batch needs at group-execution time.
@@ -190,7 +197,7 @@ fn serve_connection(
         };
         match frame {
             Frame::BatchStart(desc) => {
-                if let Err(context) = start_batch(&desc, engines, &mut batches) {
+                if let Err(context) = start_batch(&desc, engines, &mut batches, &cfg.tuned) {
                     // A design this worker cannot build is reported, not
                     // fatal: the controller requeues onto other workers.
                     let _ = write_frame(&mut stream, &Frame::Error { context });
@@ -295,6 +302,7 @@ fn start_batch(
     desc: &BatchDescriptor,
     engines: &mut HashMap<u64, Engine>,
     batches: &mut HashMap<u64, BatchInfo>,
+    policy: &autotune::TunePolicy,
 ) -> Result<(), String> {
     if let std::collections::hash_map::Entry::Vacant(slot) = engines.entry(desc.design_key) {
         let design = netlist::load_design(&desc.verilog, &desc.top)
@@ -307,13 +315,16 @@ fn start_batch(
             ));
         }
         let model = cudasim::GpuModel::default();
-        let (program, _graph) = pipeline::prepare(&design, &model)
-            .map_err(|e| format!("batch {}: prepare: {e}", desc.batch))?;
+        // Engine-cache fill consults the tuned-artifact cache; a miss or
+        // a failing tuned build degrades to `pipeline::prepare` semantics.
+        let (built, tuned) = autotune::prepare_with_policy(&design, &model, policy);
+        let (program, _graph) = built.map_err(|e| format!("batch {}: prepare: {e}", desc.batch))?;
         let map = PortMap::from_design(&design);
         slot.insert(Engine {
             design,
             program,
             map,
+            tuned,
         });
     }
     let lanes = engines[&desc.design_key].map.len() as u32;
@@ -349,6 +360,9 @@ fn run_group(
     let engine = engines
         .get(&info.design_key)
         .ok_or_else(|| format!("batch {} lost its engine", g.batch))?;
+    // Tuned exec applies only when the configured exec is the default —
+    // an explicit strategy choice always wins over the cache.
+    let exec = &autotune::resolve_exec(*exec, engine.tuned.as_ref());
     let len = g.len as usize;
     let lanes = info.lanes as usize;
     let expect = len

@@ -14,7 +14,7 @@
 use std::process::exit;
 
 use rtlflow::cli::{benchmark_by_name, csv_list, Args};
-use rtlflow::{fmt_duration, Benchmark, Flow, PipelineConfig, PortMap};
+use rtlflow::{fmt_duration, Benchmark, Flow, KernelProgram, PipelineConfig, PortMap};
 use transpile::ToggleCoverage;
 
 const USAGE: &str = "usage: rtlflow <command> [args]
@@ -27,20 +27,29 @@ commands:
               [--streams <k>] [--verify <count>] [--exec scalar|vector|par[:N]]
               Batch-simulate on the virtual A6000, optionally checking
               digests against the golden interpreter.
-  bench-exec  [--fast] [--json] [-o <path>]
+  bench-exec  [--fast] [--json] [--tuned [<dir>|off]] [-o <path>]
               Measure functional-execution throughput (stimulus-cycles/s)
               of the scalar, vectorized, and block-parallel executors
               across the benchmark designs at batch sizes 64/1024/8192.
+              Designs with a cached tuned artifact get a `tuned` row.
+  autotune    [--benchmark <name> | --all | --fixture counter|picorv32]
+              [--budget <probes>] [--budget-ms <ms>] [--seed <u64>]
+              [--probe-n <stimulus>] [--probe-c <cycles>]
+              [--cache-dir <dir>] [--static-cost] [--json] [-o <path>]
+              Profile-guided search over exec strategy, lane chunk,
+              fuser thresholds, and partition shape; persists the winner
+              in the tuned-artifact cache keyed by design hash.
   shard-sim   [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
               [--gpus <k1,k2,..>] [--speeds <f1,f2,..>] [--group <size>]
               [--fault-rate <p>] [--fault-seed <u64>] [--functional]
-              [--seed <u64>] [--json]
+              [--seed <u64>] [--tuned [<dir>|off]] [--json]
               Sweep device counts (or one heterogeneous pool via --speeds),
               reporting measured vs analytically predicted speedup, steal
               counts, and per-device utilization.
   serve-sim   [--clients <n>] [--jobs <per-client>] [--designs <k>]
               [--max-batch <n>] [--window-ms <ms>] [--workers <n>]
-              [--queue-limit <n>] [--devices <f1,f2,..>] [--seed <u64>] [--json]
+              [--queue-limit <n>] [--devices <f1,f2,..>] [--seed <u64>]
+              [--tuned [<dir>|off]] [--json]
               Replay a multi-client trace through the coalescing service.
   netlist-sim (<file.json> --top <module> | --fixture counter|picorv32)
               [-n <stimulus>] [-c <cycles>] [--seed <u64>] [--rewrite on|off]
@@ -52,7 +61,7 @@ commands:
   cluster-sim [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
               [--workers <k>] [--capacities <c1,c2,..>] [--group <size>]
               [--kill-worker <i>@<pickup>[:silent]] [--seed <u64>]
-              [--verify] [--json]
+              [--tuned [<dir>|off]] [--verify] [--json]
               Run a batch on an in-process loopback TCP cluster of k
               workers, optionally killing one mid-run and checking
               digests bit-identical to the local sharded executor.
@@ -70,6 +79,17 @@ commands:
 fn usage() -> ! {
     eprint!("{USAGE}");
     exit(2)
+}
+
+/// `--tuned` flag → tuned-artifact cache policy. No flag (or a bare
+/// `--tuned`) consults the default cache dir, `--tuned off` disables the
+/// cache, `--tuned <dir>` points at an explicit one.
+fn tuned_policy(args: &Args) -> rtlflow::TunePolicy {
+    match args.get("tuned") {
+        Some("off") => rtlflow::TunePolicy::Off,
+        Some(dir) => rtlflow::TunePolicy::Dir(dir.into()),
+        None => rtlflow::TunePolicy::Auto,
+    }
 }
 
 fn load_flow(args: &Args) -> Flow {
@@ -221,6 +241,7 @@ fn main() {
             use rtlflow::ExecConfig;
 
             let fast = args.has("fast");
+            let policy = tuned_policy(&args);
             let designs = ["riscv-mini", "spinal", "nvdla-tiny", "picorv32"];
             let batches: [usize; 3] = [64, 1024, 8192];
             let strategies: [(&str, ExecConfig); 3] = [
@@ -237,6 +258,16 @@ fn main() {
                     exit(1)
                 });
                 let map = PortMap::from_design(&flow.design);
+                // Tuned config, if the cache has one for this design: the
+                // program is rebuilt with the tuned partition/fuse and
+                // measured with the tuned exec.
+                let tuned = policy
+                    .lookup(rtlir::design_hash(&flow.design))
+                    .and_then(|a| {
+                        autotune::prepare_tuned(&flow.design, &flow.model, &a)
+                            .ok()
+                            .map(|(program, _)| (a, program))
+                    });
                 let mut batch_rows: Vec<Json> = Vec::new();
                 for &n in &batches {
                     // Fewer cycles at the biggest batch and in --fast mode:
@@ -249,10 +280,13 @@ fn main() {
                         (false, false) => 256,
                     };
                     let source = stimulus::source_for(&flow.design, &map, n, 7);
-                    let mut row = Json::obj().field("n", n).field("cycles", cycles);
-                    table.push_str(&format!("{name:>12}  n={n:<6} c={cycles:<4}"));
-                    for (label, exec) in &strategies {
-                        let mut dev = flow.program.plan.alloc_device(n);
+                    // Pokes are host set_inputs work — kept outside the
+                    // timed region so throughput isolates the executor.
+                    // Per-cycle durations are reduced with the median,
+                    // which shrugs off preemption spikes on shared CI
+                    // cores that would swamp a summed measurement.
+                    let measure = |program: &KernelProgram, exec: &ExecConfig| -> f64 {
+                        let mut dev = program.plan.alloc_device(n);
                         let mut scratches: Vec<cudasim::Scratch> = (0..exec.thread_count().max(1))
                             .map(|_| cudasim::Scratch::new())
                             .collect();
@@ -261,44 +295,56 @@ fn main() {
                         // zero-mapped device pages and warms the caches,
                         // then reset so every strategy measures the same
                         // cycle range from the same state.
-                        flow.program
-                            .run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
+                        program.run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
                         dev.var8.fill(0);
                         dev.var16.fill(0);
                         dev.var32.fill(0);
                         dev.var64.fill(0);
-                        // Pokes are host set_inputs work — kept outside the
-                        // timed region so throughput isolates the executor.
-                        // Per-cycle durations are reduced with the median,
-                        // which shrugs off preemption spikes on shared CI
-                        // cores that would swamp a summed measurement.
                         let mut per_cycle = Vec::with_capacity(cycles as usize);
                         for c in 0..cycles {
                             for s in 0..n {
                                 source.fill_frame(s, c, &mut frame);
                                 for (lane, port) in map.ports.iter().enumerate() {
-                                    flow.program.plan.poke(&mut dev, port.var, s, frame[lane]);
+                                    program.plan.poke(&mut dev, port.var, s, frame[lane]);
                                 }
                             }
                             let t0 = std::time::Instant::now();
-                            flow.program
-                                .run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
+                            program.run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
                             per_cycle.push(t0.elapsed());
                         }
                         per_cycle.sort();
                         let median = per_cycle[per_cycle.len() / 2];
-                        let tput = n as f64 / median.as_secs_f64().max(1e-9);
+                        n as f64 / median.as_secs_f64().max(1e-9)
+                    };
+                    let mut row = Json::obj().field("n", n).field("cycles", cycles);
+                    table.push_str(&format!("{name:>12}  n={n:<6} c={cycles:<4}"));
+                    for (label, exec) in &strategies {
+                        let tput = measure(&flow.program, exec);
                         row = row.field(label, tput);
                         table.push_str(&format!("  {label} {tput:>12.0}/s"));
+                    }
+                    if let Some((a, program)) = &tuned {
+                        let tput = measure(program, &a.exec);
+                        row = row.field("tuned", tput);
+                        table.push_str(&format!("  tuned {tput:>12.0}/s"));
                     }
                     table.push('\n');
                     batch_rows.push(row);
                 }
-                design_rows.push(
-                    Json::obj()
-                        .field("design", name)
-                        .field("batches", Json::Arr(batch_rows)),
-                );
+                let mut drow = Json::obj().field("design", name);
+                if let Some((a, _)) = &tuned {
+                    drow = drow.field(
+                        "tuned_config",
+                        Json::obj()
+                            .field("exec", a.exec.spec())
+                            .field(
+                                "fuse",
+                                format!("{},{}", a.fuse.const_fold_min_ops, a.fuse.superop_min_ops),
+                            )
+                            .field("partition", a.partition.spec()),
+                    );
+                }
+                design_rows.push(drow.field("batches", Json::Arr(batch_rows)));
             }
 
             if args.has("json") {
@@ -313,6 +359,99 @@ fn main() {
                     if fast { ", fast mode" } else { "" }
                 );
                 print!("{table}");
+            }
+        }
+        "autotune" => {
+            use desim::Json;
+            use rtlflow::{tune, CostSource, TuneCache, TuneConfig};
+
+            let targets: Vec<(String, rtlir::Design)> = if let Some(f) = args.get("fixture") {
+                let (src, top) = match f {
+                    "counter" => (netlist::COUNTER_JSON, "counter"),
+                    "picorv32" => (netlist::PICORV32_JSON, "picorv32"),
+                    other => {
+                        eprintln!("unknown fixture `{other}` (counter, picorv32)");
+                        exit(2)
+                    }
+                };
+                let (design, _) = netlist::import_str(src, top).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(1)
+                });
+                vec![(format!("fixture-{top}"), design)]
+            } else {
+                let names: Vec<&str> = if args.has("all") {
+                    vec!["riscv-mini", "spinal", "nvdla-tiny", "picorv32"]
+                } else {
+                    vec![args.get("benchmark").unwrap_or("riscv-mini")]
+                };
+                names
+                    .into_iter()
+                    .map(|name| {
+                        let design = benchmark_by_name(name).elaborate().unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            exit(1)
+                        });
+                        (name.to_string(), design)
+                    })
+                    .collect()
+            };
+            let default_probe = rtlflow::ProbeSettings::default();
+            let cfg = TuneConfig {
+                seed: args.num("seed", 42),
+                max_probes: args.num("budget", 24),
+                budget_ms: args.num("budget-ms", 0),
+                cost: if args.has("static-cost") {
+                    CostSource::Static
+                } else {
+                    CostSource::Measured
+                },
+                probe: rtlflow::ProbeSettings {
+                    num_stimulus: args.num("probe-n", default_probe.num_stimulus),
+                    cycles: args.num("probe-c", default_probe.cycles),
+                    ..default_probe
+                },
+                ..Default::default()
+            };
+            let cache = match args.get("cache-dir") {
+                Some(d) => TuneCache::at(d),
+                None => TuneCache::open_default(),
+            };
+            let json = args.has("json");
+            let mut runs: Vec<Json> = Vec::new();
+            for (name, design) in &targets {
+                let report = tune(design, name, &cfg).unwrap_or_else(|e| {
+                    eprintln!("error: tuning {name}: {e}");
+                    exit(1)
+                });
+                let path = cache.store(&report.artifact).unwrap_or_else(|e| {
+                    eprintln!("error: cannot persist artifact: {e}");
+                    exit(1)
+                });
+                let a = &report.artifact;
+                if !json {
+                    println!(
+                        "{name}: {:.2}x over default after {} probes ({} ms)",
+                        a.speedup(),
+                        a.probes,
+                        report.elapsed_ms
+                    );
+                    println!(
+                        "  winner: exec={} fuse={},{} partition={}",
+                        a.exec.spec(),
+                        a.fuse.const_fold_min_ops,
+                        a.fuse.superop_min_ops,
+                        a.partition.spec()
+                    );
+                    println!("  cached: {}", path.display());
+                }
+                runs.push(report.to_json());
+            }
+            if json {
+                let doc = Json::obj()
+                    .field("cache_dir", cache.dir().display().to_string())
+                    .field("runs", Json::Arr(runs));
+                write_out(&args, "AUTOTUNE.json", &format!("{doc}\n"));
             }
         }
         "coverage" => {
@@ -383,6 +522,7 @@ fn main() {
                 group_size: group.clamp(1, n.max(1)),
                 fault: (fault_rate > 0.0)
                     .then(|| FaultSpec::with_rate(fault_rate, args.num("fault-seed", 1))),
+                tuned: tuned_policy(&args),
                 ..Default::default()
             };
             let pools: Vec<DevicePool> = match args.get("speeds") {
@@ -529,6 +669,7 @@ fn main() {
                     Some(s) => csv_list::<f64>(s, "devices"),
                     None => vec![1.0],
                 },
+                tuned: tuned_policy(&args),
                 ..Default::default()
             };
             let trace_cfg = TraceConfig {
@@ -824,6 +965,7 @@ fn main() {
                         WorkerConfig {
                             capacity,
                             fault: fault.as_ref().filter(|(w, _)| *w == i).map(|&(_, f)| f),
+                            tuned: tuned_policy(&args),
                             ..Default::default()
                         },
                     )

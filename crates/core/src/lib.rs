@@ -34,6 +34,10 @@
 //! assert_eq!(result.digests.len(), 256);
 //! ```
 
+pub use autotune::{
+    tune, CostSource, PartSpec, ProbeSettings, TuneCache, TuneConfig, TunePolicy, TuneReport,
+    TunedArtifact,
+};
 pub use baselines::{CpuModel, EssentModel, EssentSim, VerilatorModel, VerilatorSim};
 pub use cluster::{
     run_worker, spawn_worker, ClusterConfig, ClusterError, ClusterJobResult, ClusterMetrics,

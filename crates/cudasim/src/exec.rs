@@ -45,12 +45,16 @@ pub enum ExecStrategy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     pub strategy: ExecStrategy,
+    /// Lanes swept per chunk of [`execute_ordered`] (cache-residency
+    /// knob; see [`DEFAULT_LANE_CHUNK`]). `0` is treated as 1.
+    pub lane_chunk: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             strategy: ExecStrategy::Vectorized,
+            lane_chunk: DEFAULT_LANE_CHUNK,
         }
     }
 }
@@ -59,12 +63,14 @@ impl ExecConfig {
     pub const fn scalar() -> Self {
         ExecConfig {
             strategy: ExecStrategy::Scalar,
+            lane_chunk: DEFAULT_LANE_CHUNK,
         }
     }
 
     pub const fn vectorized() -> Self {
         ExecConfig {
             strategy: ExecStrategy::Vectorized,
+            lane_chunk: DEFAULT_LANE_CHUNK,
         }
     }
 
@@ -74,31 +80,91 @@ impl ExecConfig {
                 threads,
                 block: DEFAULT_BLOCK,
             },
+            lane_chunk: DEFAULT_LANE_CHUNK,
         }
     }
 
-    /// Parse a CLI spec: `scalar`, `vector`, `par`, or `par:<threads>`.
+    /// Same config with a different lane-chunk size.
+    pub const fn with_lane_chunk(mut self, lane_chunk: usize) -> Self {
+        self.lane_chunk = lane_chunk;
+        self
+    }
+
+    /// Same config with a different block-parallel block size (no-op for
+    /// the serial strategies).
+    pub const fn with_block(mut self, block: usize) -> Self {
+        if let ExecStrategy::BlockParallel { threads, .. } = self.strategy {
+            self.strategy = ExecStrategy::BlockParallel { threads, block };
+        }
+        self
+    }
+
+    /// Parse a CLI spec: `scalar`, `vector`, or `par[:threads[:block]]`,
+    /// each optionally suffixed with `@<lane_chunk>` (e.g. `vector@512`,
+    /// `par:4:2048@128`).
     pub fn parse(s: &str) -> Result<ExecConfig, String> {
-        match s {
-            "scalar" => Ok(ExecConfig::scalar()),
-            "vector" | "vectorized" => Ok(ExecConfig::vectorized()),
-            "par" | "parallel" => Ok(ExecConfig::parallel(0)),
+        let (base, chunk) = match s.split_once('@') {
+            Some((b, c)) => {
+                let chunk: usize = c
+                    .parse()
+                    .map_err(|_| format!("bad lane-chunk in exec spec `{s}`"))?;
+                (b, Some(chunk.max(1)))
+            }
+            None => (s, None),
+        };
+        let cfg = match base {
+            "scalar" => ExecConfig::scalar(),
+            "vector" | "vectorized" => ExecConfig::vectorized(),
+            "par" | "parallel" => ExecConfig::parallel(0),
             _ => {
-                if let Some(t) = s
+                if let Some(t) = base
                     .strip_prefix("par:")
-                    .or_else(|| s.strip_prefix("parallel:"))
+                    .or_else(|| base.strip_prefix("parallel:"))
                 {
-                    let threads: usize = t
-                        .parse()
-                        .map_err(|_| format!("bad thread count in exec spec `{s}`"))?;
-                    Ok(ExecConfig::parallel(threads))
+                    let (threads, block) = match t.split_once(':') {
+                        Some((n, b)) => (
+                            n.parse()
+                                .map_err(|_| format!("bad thread count in exec spec `{s}`"))?,
+                            b.parse()
+                                .map_err(|_| format!("bad block size in exec spec `{s}`"))?,
+                        ),
+                        None => (
+                            t.parse()
+                                .map_err(|_| format!("bad thread count in exec spec `{s}`"))?,
+                            DEFAULT_BLOCK,
+                        ),
+                    };
+                    ExecConfig::parallel(threads).with_block(block)
                 } else {
-                    Err(format!(
-                        "unknown exec strategy `{s}` (expected scalar|vector|par[:N])"
-                    ))
+                    return Err(format!(
+                        "unknown exec strategy `{s}` (expected scalar|vector|par[:N[:block]][@chunk])"
+                    ));
                 }
             }
+        };
+        Ok(match chunk {
+            Some(c) => cfg.with_lane_chunk(c),
+            None => cfg,
+        })
+    }
+
+    /// Canonical spec string that [`ExecConfig::parse`] round-trips.
+    pub fn spec(&self) -> String {
+        let mut s = match self.strategy {
+            ExecStrategy::Scalar => "scalar".to_string(),
+            ExecStrategy::Vectorized => "vector".to_string(),
+            ExecStrategy::BlockParallel { threads, block } => {
+                if block == DEFAULT_BLOCK {
+                    format!("par:{threads}")
+                } else {
+                    format!("par:{threads}:{block}")
+                }
+            }
+        };
+        if self.lane_chunk != DEFAULT_LANE_CHUNK {
+            s.push_str(&format!("@{}", self.lane_chunk));
         }
+        s
     }
 
     /// Worker-thread count this config wants (1 for serial strategies).
@@ -1063,16 +1129,18 @@ pub fn execute_ordered(
     scratch: &mut Scratch,
     tid0: usize,
     group: usize,
+    lane_chunk: usize,
 ) {
     // Lane-chunked: the whole kernel sequence runs chunk-by-chunk so the
     // scratch register rows (8 B/lane) and the touched device rows stay
     // cache-resident across every fop of the cycle, instead of each fop
     // streaming the full lane range through the cache. Lanes are
     // independent, so any chunk order is bit-identical.
+    let lane_chunk = lane_chunk.max(1);
     let end = tid0 + group;
     let mut t = tid0;
     while t < end {
-        let g = LANE_CHUNK.min(end - t);
+        let g = lane_chunk.min(end - t);
         for &k in order {
             execute_fused(&fused[k], dev, scratch, t, g);
         }
@@ -1080,11 +1148,13 @@ pub fn execute_ordered(
     }
 }
 
-/// Lanes swept per chunk of [`execute_ordered`]: 256 lanes keep a u64
-/// register row at 2 KB, so a kernel's whole register file sits in L1/L2
-/// while the chunk runs every fop of the cycle (measured fastest of
-/// 256/512/1024 on the riscv-mini 8192-lane benchmark).
-pub const LANE_CHUNK: usize = 256;
+/// Default lanes swept per chunk of [`execute_ordered`]: 256 lanes keep a
+/// u64 register row at 2 KB, so a kernel's whole register file sits in
+/// L1/L2 while the chunk runs every fop of the cycle (measured fastest of
+/// 256/512/1024 on the riscv-mini 8192-lane benchmark). The runtime value
+/// lives in [`ExecConfig::lane_chunk`] so the autotuner can search it
+/// per design/host.
+pub const DEFAULT_LANE_CHUNK: usize = 256;
 
 /// Raw device pointer that crosses the thread-pool boundary. Safe because
 /// every worker touches a disjoint lane sub-range of each bucket row
@@ -1105,12 +1175,21 @@ pub fn execute_ordered_parallel(
     tid0: usize,
     group: usize,
     block: usize,
+    lane_chunk: usize,
 ) {
     let block = block.max(1);
     let nblocks = group.div_ceil(block);
     let workers = scratches.len().min(nblocks).max(1);
     if workers <= 1 || group == 0 {
-        execute_ordered(fused, order, dev, &mut scratches[0], tid0, group);
+        execute_ordered(
+            fused,
+            order,
+            dev,
+            &mut scratches[0],
+            tid0,
+            group,
+            lane_chunk,
+        );
         return;
     }
     let next = AtomicUsize::new(0);
@@ -1129,7 +1208,7 @@ pub fn execute_ordered_parallel(
                 // SAFETY: blocks are disjoint lane intervals; every op
                 // accesses only its own lanes of each row.
                 let dev = unsafe { &mut *devp.0 };
-                execute_ordered(fused, order, dev, scratch, t0, g);
+                execute_ordered(fused, order, dev, scratch, t0, g, lane_chunk);
             });
         }
     });
@@ -1212,7 +1291,16 @@ mod tests {
         let mut d2 = seed_dev(n);
         execute_kernel(&k, &mut d1, &mut Scratch::new(), 0, n);
         let mut pool: Vec<Scratch> = (0..3).map(|_| Scratch::new()).collect();
-        execute_ordered_parallel(&[fk], &[0], &mut d2, &mut pool, 0, n, 64);
+        execute_ordered_parallel(
+            &[fk],
+            &[0],
+            &mut d2,
+            &mut pool,
+            0,
+            n,
+            64,
+            DEFAULT_LANE_CHUNK,
+        );
         assert_eq!(d1.var16, d2.var16);
     }
 
@@ -1231,5 +1319,26 @@ mod tests {
             }
         );
         assert!(ExecConfig::parse("wat").is_err());
+        assert!(ExecConfig::parse("vector@zero").is_err());
+    }
+
+    #[test]
+    fn exec_config_spec_round_trips() {
+        for spec in [
+            ExecConfig::scalar(),
+            ExecConfig::vectorized(),
+            ExecConfig::vectorized().with_lane_chunk(512),
+            ExecConfig::parallel(4),
+            ExecConfig::parallel(4).with_block(2048),
+            ExecConfig::parallel(0).with_block(4096).with_lane_chunk(64),
+        ] {
+            assert_eq!(ExecConfig::parse(&spec.spec()).unwrap(), spec);
+        }
+        assert_eq!(
+            ExecConfig::parse("par:4:2048@128").unwrap(),
+            ExecConfig::parallel(4)
+                .with_block(2048)
+                .with_lane_chunk(128)
+        );
     }
 }

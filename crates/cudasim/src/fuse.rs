@@ -209,6 +209,32 @@ impl FOp {
         }
     }
 
+    /// Mutable references to every register operand: the destination (if
+    /// any) and the sources, for in-place renumbering.
+    #[allow(clippy::type_complexity)]
+    fn regs_mut(&mut self) -> (Option<&mut Reg>, Vec<&mut Reg>) {
+        match self {
+            FOp::Const { dst, .. } | FOp::Load { dst, .. } | FOp::LoadBinImm { dst, .. } => {
+                (Some(dst), vec![])
+            }
+            FOp::Copy { dst, a } | FOp::Un { dst, a, .. } | FOp::BinImm { dst, a, .. } => {
+                (Some(dst), vec![a])
+            }
+            FOp::Extract { dst, a, .. } => (Some(dst), vec![a]),
+            FOp::LoadIdx { dst, idx, .. } => (Some(dst), vec![idx]),
+            FOp::Bin { dst, a, b, .. } => (Some(dst), vec![a, b]),
+            FOp::Mux { dst, cond, a, b } => (Some(dst), vec![cond, a, b]),
+            FOp::LoadBin { dst, b, .. } => (Some(dst), vec![b]),
+            FOp::MuxLoads { dst, cond, .. } => (Some(dst), vec![cond]),
+            FOp::Store { src, .. } => (None, vec![src]),
+            FOp::ConstStore { .. } => (None, vec![]),
+            FOp::StoreIdxCond { src, idx, pred, .. } => (None, vec![src, idx, pred]),
+            FOp::BinStore { a, b, .. } => (None, vec![a, b]),
+            FOp::BinImmStore { a, .. } | FOp::UnStore { a, .. } => (None, vec![a]),
+            FOp::MuxStore { cond, a, b, .. } => (None, vec![cond, a, b]),
+        }
+    }
+
     /// Does this op write device memory?
     pub fn has_side_effect(&self) -> bool {
         matches!(
@@ -237,6 +263,8 @@ pub struct FuseStats {
     pub consts_folded: u64,
     /// Ops removed by dead-code elimination.
     pub dead_removed: u64,
+    /// Loads replaced by the register that was just stored to the row.
+    pub stores_forwarded: u64,
 }
 
 impl FuseStats {
@@ -246,6 +274,7 @@ impl FuseStats {
         self.superops += other.superops;
         self.consts_folded += other.consts_folded;
         self.dead_removed += other.dead_removed;
+        self.stores_forwarded += other.stores_forwarded;
     }
 }
 
@@ -422,16 +451,45 @@ fn sweep_kernel(kernel: &Kernel, u: &mut SlotUniform) -> bool {
     changed
 }
 
+/// Tunable thresholds of the fuser. Both gates are *op-count floors*: an
+/// optimization pass runs only on kernels at least that large, so tiny
+/// kernels (where pass overhead can exceed the win) can be skipped. The
+/// defaults (0 = always run) reproduce the untuned fuser exactly; every
+/// setting is semantics-preserving, so fused programs stay bit-identical
+/// to the scalar reference regardless of thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FuseConfig {
+    /// Constant propagation / strength reduction runs only on kernels
+    /// with at least this many input ops.
+    pub const_fold_min_ops: usize,
+    /// Peephole superop formation runs only on kernels with at least
+    /// this many post-const-prop ops.
+    pub superop_min_ops: usize,
+}
+
 /// Fuse one kernel: constant propagation → peephole superop formation →
 /// dead-code elimination. `uniform` (when available) bakes per-load
 /// lane-invariance flags into the program.
 pub fn fuse_kernel(kernel: &Kernel, uniform: Option<&SlotUniform>) -> FusedKernel {
+    fuse_kernel_with(kernel, uniform, &FuseConfig::default())
+}
+
+/// [`fuse_kernel`] with explicit [`FuseConfig`] thresholds.
+pub fn fuse_kernel_with(
+    kernel: &Kernel,
+    uniform: Option<&SlotUniform>,
+    cfg: &FuseConfig,
+) -> FusedKernel {
     let mut stats = FuseStats {
         ops_in: kernel.ops.len() as u64,
         ..FuseStats::default()
     };
     let uget = |s: Slot| uniform.map(|u| u.get(s)).unwrap_or(false);
     let urange = |s: Slot, d: u32| uniform.map(|u| u.range(s, d)).unwrap_or(false);
+    // Constness roots at `Op::Const`; suppressing that single write keeps
+    // every fold path dormant, which is how the const-fold gate works
+    // without touching the conversion logic below.
+    let fold = kernel.ops.len() >= cfg.const_fold_min_ops;
 
     // Pass A: convert + constant propagation / strength reduction.
     let mut consts: Vec<Option<u64>> = vec![None; kernel.num_regs as usize];
@@ -439,7 +497,7 @@ pub fn fuse_kernel(kernel: &Kernel, uniform: Option<&SlotUniform>) -> FusedKerne
     for op in &kernel.ops {
         let fop = match *op {
             Op::Const { dst, value } => {
-                consts[dst as usize] = Some(value);
+                consts[dst as usize] = if fold { Some(value) } else { None };
                 FOp::Const { dst, value }
             }
             Op::Load { dst, slot } => {
@@ -605,23 +663,21 @@ pub fn fuse_kernel(kernel: &Kernel, uniform: Option<&SlotUniform>) -> FusedKerne
         fops.push(fop);
     }
 
-    // Pass B: DCE first so dead Consts (absorbed into immediates) don't
-    // break adjacency, then peephole superop formation, then a final DCE
-    // sweep for loads whose consumer was fused away. Registers are
-    // kernel-local, so nothing is live at the end of the kernel.
+    // Pass B: store→load forwarding first (it turns row round-trips into
+    // register ops), then DCE so dead Consts (absorbed into immediates)
+    // don't break adjacency, then peephole superop formation, then a
+    // final DCE sweep for loads whose consumer was fused away. Registers
+    // are kernel-local, so nothing is live at the end of the kernel.
+    let fops = forward_stores(fops, &mut stats);
     let fops = dce(fops, &mut stats);
-    let fops = peephole(fops, &mut stats);
+    let fops = if fops.len() >= cfg.superop_min_ops {
+        peephole(fops, &mut stats)
+    } else {
+        fops
+    };
     let fops = dce(fops, &mut stats);
 
-    let mut num_regs = 0u16;
-    for f in &fops {
-        if let Some(d) = f.dst() {
-            num_regs = num_regs.max(d + 1);
-        }
-        for s in f.srcs() {
-            num_regs = num_regs.max(s + 1);
-        }
-    }
+    let (fops, num_regs) = compact_regs(fops);
     stats.ops_out = fops.len() as u64;
     FusedKernel {
         name: kernel.name.clone(),
@@ -660,6 +716,166 @@ fn bin_imm_or_const(
         width,
         swapped,
     }
+}
+
+/// Store→load forwarding. A row read back after it was written inside
+/// the same kernel takes its value straight from the stored register
+/// (masked to what the row would have retained) — or the stored constant
+/// — instead of sweeping device memory again. The store itself stays:
+/// later kernels and the next cycle may read the row. Inter-level wires
+/// become exactly this pattern when the partitioner merges levels into
+/// one kernel, which is what makes coarse partitions profitable for the
+/// autotuner to discover.
+fn forward_stores(fops: Vec<FOp>, stats: &mut FuseStats) -> Vec<FOp> {
+    use std::collections::HashMap;
+
+    /// What the most recent write provably left in every lane of a row.
+    #[derive(Clone, Copy)]
+    enum Avail {
+        Reg { src: Reg, mask: u64 },
+        Const(u64),
+    }
+
+    let bucket_mask = |b: Bucket| mask(8 * b.bytes() as u32);
+    let mut avail: HashMap<(usize, u32), Avail> = HashMap::new();
+    let mut out = Vec::with_capacity(fops.len());
+    for f in fops {
+        let f = match f {
+            FOp::Load { dst, slot, .. } => match avail.get(&(bidx(slot.bucket), slot.offset)) {
+                Some(&Avail::Reg { src, mask: m }) => {
+                    stats.stores_forwarded += 1;
+                    FOp::BinImm {
+                        op: KBin::And,
+                        dst,
+                        a: src,
+                        imm: m,
+                        width: 64,
+                        swapped: false,
+                    }
+                }
+                Some(&Avail::Const(v)) => {
+                    stats.stores_forwarded += 1;
+                    FOp::Const { dst, value: v }
+                }
+                None => f,
+            },
+            other => other,
+        };
+        // A register redefinition kills every forward sourced from it.
+        if let Some(d) = f.dst() {
+            avail.retain(|_, a| !matches!(a, Avail::Reg { src, .. } if *src == d));
+        }
+        match f {
+            FOp::Store { src, slot, width } => {
+                avail.insert(
+                    (bidx(slot.bucket), slot.offset),
+                    Avail::Reg {
+                        src,
+                        mask: mask(width) & bucket_mask(slot.bucket),
+                    },
+                );
+            }
+            FOp::ConstStore { slot, value } => {
+                avail.insert(
+                    (bidx(slot.bucket), slot.offset),
+                    Avail::Const(value & bucket_mask(slot.bucket)),
+                );
+            }
+            // Superop stores leave a value we don't track; indexed
+            // scatters clobber an unknown word of their range.
+            FOp::BinStore { slot, .. }
+            | FOp::BinImmStore { slot, .. }
+            | FOp::UnStore { slot, .. }
+            | FOp::MuxStore { slot, .. } => {
+                avail.remove(&(bidx(slot.bucket), slot.offset));
+            }
+            FOp::StoreIdxCond { slot, depth, .. } => {
+                for d in 0..depth {
+                    avail.remove(&(bidx(slot.bucket), slot.offset + d));
+                }
+            }
+            _ => {}
+        }
+        out.push(f);
+    }
+    out
+}
+
+/// Linear-scan register compaction. The transpiler mints a fresh
+/// register per value, so a level-merged kernel's register file is the
+/// *sum* of its parts even though only one level's worth is live at any
+/// point. Scratch is `num_regs × lanes × 8 B` per chunk — exactly the
+/// working set the lane-chunked executor keeps cache-resident — so remap
+/// registers onto the smallest file that respects lifetimes. A freed
+/// physical register is never handed to the destination of the very op
+/// that last reads it, preserving the executor's dst/src aliasing
+/// behavior.
+fn compact_regs(mut fops: Vec<FOp>) -> (Vec<FOp>, u16) {
+    let mut max_reg = 0usize;
+    for f in &fops {
+        for s in f.srcs() {
+            max_reg = max_reg.max(s as usize);
+        }
+        if let Some(d) = f.dst() {
+            max_reg = max_reg.max(d as usize);
+        }
+    }
+    // Last occurrence (read or write) per original register: the point
+    // after which its physical register can be recycled.
+    let mut last = vec![usize::MAX; max_reg + 1];
+    for (i, f) in fops.iter().enumerate() {
+        for s in f.srcs() {
+            last[s as usize] = i;
+        }
+        if let Some(d) = f.dst() {
+            last[d as usize] = i;
+        }
+    }
+
+    let mut map: Vec<Option<Reg>> = vec![None; max_reg + 1];
+    let mut free: Vec<Reg> = Vec::new();
+    let mut next: Reg = 0;
+    let mut alloc = |map: &mut Vec<Option<Reg>>, free: &mut Vec<Reg>, r: usize| -> Reg {
+        match map[r] {
+            Some(p) => p,
+            None => {
+                let p = free.pop().unwrap_or_else(|| {
+                    let p = next;
+                    next += 1;
+                    p
+                });
+                map[r] = Some(p);
+                p
+            }
+        }
+    };
+    for (i, fop) in fops.iter_mut().enumerate() {
+        let orig = *fop;
+        let (dst, srcs) = fop.regs_mut();
+        // Sources first (write-before-read makes them already mapped;
+        // allocating defensively keeps malformed input merely slow).
+        for s in srcs {
+            *s = alloc(&mut map, &mut free, *s as usize);
+        }
+        // Then the destination, so it never lands on a source freed by
+        // this same op unless destination and source were already equal.
+        if let Some(d) = dst {
+            *d = alloc(&mut map, &mut free, *d as usize);
+        }
+        for r in orig
+            .srcs()
+            .into_iter()
+            .chain(orig.dst())
+            .map(|r| r as usize)
+        {
+            if last[r] == i {
+                if let Some(p) = map[r].take() {
+                    free.push(p);
+                }
+            }
+        }
+    }
+    (fops, next)
 }
 
 /// Is register `r` dead after position `pos` (exclusive)? Registers are
@@ -917,7 +1133,19 @@ fn dce(fops: Vec<FOp>, stats: &mut FuseStats) -> Vec<FOp> {
 
 /// Fuse every kernel of a task graph.
 pub fn fuse_graph(ir: &TaskGraphIr, uniform: Option<&SlotUniform>) -> Vec<FusedKernel> {
-    ir.kernels.iter().map(|k| fuse_kernel(k, uniform)).collect()
+    fuse_graph_with(ir, uniform, &FuseConfig::default())
+}
+
+/// [`fuse_graph`] with explicit [`FuseConfig`] thresholds.
+pub fn fuse_graph_with(
+    ir: &TaskGraphIr,
+    uniform: Option<&SlotUniform>,
+    cfg: &FuseConfig,
+) -> Vec<FusedKernel> {
+    ir.kernels
+        .iter()
+        .map(|k| fuse_kernel_with(k, uniform, cfg))
+        .collect()
 }
 
 /// Aggregate executor statistics for the metrics/trace path.
@@ -944,6 +1172,10 @@ impl ExecStats {
             .field(
                 "dead_removed",
                 desim::Json::Int(self.fuse.dead_removed as i128),
+            )
+            .field(
+                "stores_forwarded",
+                desim::Json::Int(self.fuse.stores_forwarded as i128),
             )
             .field(
                 "uniform_slots",

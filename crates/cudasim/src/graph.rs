@@ -207,7 +207,15 @@ impl GpuRuntime {
                 }
             }
             ExecStrategy::Vectorized => {
-                execute_ordered(&graph.fused, &graph.order, dev, scratch, tid0, group);
+                execute_ordered(
+                    &graph.fused,
+                    &graph.order,
+                    dev,
+                    scratch,
+                    tid0,
+                    group,
+                    self.exec.lane_chunk,
+                );
                 self.scalar_ops += std::mem::take(&mut scratch.scalar_ops);
             }
             ExecStrategy::BlockParallel { block, .. } => {
@@ -219,6 +227,7 @@ impl GpuRuntime {
                     tid0,
                     group,
                     block,
+                    self.exec.lane_chunk,
                 );
                 for s in &mut self.par_scratch {
                     self.scalar_ops += std::mem::take(&mut s.scalar_ops);

@@ -30,8 +30,12 @@ pub mod model;
 pub use device::{execute_kernel, DeviceMemory, Scratch};
 pub use exec::{
     execute_fused, execute_ordered, execute_ordered_parallel, ExecConfig, ExecStrategy,
+    DEFAULT_BLOCK, DEFAULT_LANE_CHUNK,
 };
-pub use fuse::{fuse_graph, fuse_kernel, ExecStats, FOp, FuseStats, FusedKernel, SlotUniform};
+pub use fuse::{
+    fuse_graph, fuse_graph_with, fuse_kernel, fuse_kernel_with, ExecStats, FOp, FuseConfig,
+    FuseStats, FusedKernel, SlotUniform,
+};
 pub use graph::{CudaGraph, CycleTiming, ExecMode, GpuRuntime, StreamExec};
 pub use ir::{Bucket, KBin, KUn, Kernel, KernelStats, Op, Slot, TaskGraphIr};
 pub use model::{GpuModel, LaunchCosts};

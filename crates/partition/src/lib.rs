@@ -86,6 +86,26 @@ pub fn static_partition(design: &Design, graph: &RtlGraph, alpha: usize) -> Part
     pack_by_weight(graph, |n| weighted(design, graph, n, &weights), threshold)
 }
 
+/// Materialize the partition induced by a feature-weight vector: node
+/// cost is `Σ wᵢ·featᵢ` and the pack threshold targets `target_tasks`
+/// tasks. This is the same packing rule the MCMC search uses internally,
+/// exposed so external searches (the autotuner) can re-derive a
+/// partition from a persisted weight vector.
+pub fn weighted_partition(
+    design: &Design,
+    graph: &RtlGraph,
+    weights: &[f64],
+    target_tasks: usize,
+) -> Partition {
+    let total: f64 = graph
+        .comb_order
+        .iter()
+        .map(|&n| weighted(design, graph, n, weights))
+        .sum();
+    let threshold = (total / target_tasks.max(1) as f64).max(1.0);
+    pack_by_weight(graph, |n| weighted(design, graph, n, weights), threshold)
+}
+
 fn weighted(design: &Design, graph: &RtlGraph, n: NodeId, weights: &[f64]) -> f64 {
     let f = node_features(design, graph.nodes[n].process);
     f.iter()

@@ -83,6 +83,11 @@ pub struct ServeConfig {
     /// cluster-registered designs route to remote workers once the
     /// local pool would be the bottleneck.
     pub cluster: Option<ClusterBackend>,
+    /// Tuned-artifact cache policy. Under the default (`Auto`) every
+    /// engine-cache fill consults the autotune cache, so a design tuned
+    /// with `rtlflow autotune` is served with its tuned partition/fuse
+    /// config — and its tuned exec, unless `exec` was set explicitly.
+    pub tuned: autotune::TunePolicy,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +102,7 @@ impl Default for ServeConfig {
             devices: vec![1.0],
             exec: cudasim::ExecConfig::default(),
             cluster: None,
+            tuned: autotune::TunePolicy::default(),
         }
     }
 }
@@ -107,6 +113,8 @@ struct Engine {
     program: KernelProgram,
     graph: CudaGraph,
     map: PortMap,
+    /// The tuned artifact this engine was built with, if the cache hit.
+    tuned: Option<autotune::TunedArtifact>,
 }
 
 /// Warm program cache keyed by design hash. Transpiling + graph
@@ -122,6 +130,7 @@ impl EngineCache {
         key: u64,
         design: &Arc<Design>,
         model: &GpuModel,
+        policy: &autotune::TunePolicy,
     ) -> (Result<Arc<Engine>, String>, bool) {
         if let Some(e) = self
             .entries
@@ -133,13 +142,19 @@ impl EngineCache {
         }
         // Build outside the lock; a racing duplicate build is wasted work
         // but harmless, and keeps slow transpiles from serializing hits.
-        match pipeline::prepare(design, model) {
+        // The tuned-artifact cache is consulted here, on the fill path: a
+        // hit builds with the tuned partition/fuse config, any miss (or a
+        // corrupt entry, or a failing tuned build) degrades to
+        // `pipeline::prepare` semantics.
+        let (built, tuned) = autotune::prepare_with_policy(design, model, policy);
+        match built {
             Ok((program, graph)) => {
                 let engine = Arc::new(Engine {
                     design: Arc::clone(design),
                     program,
                     graph,
                     map: PortMap::from_design(design),
+                    tuned,
                 });
                 let mut entries = self.entries.lock().expect("engine cache poisoned");
                 let e = entries.entry(key).or_insert_with(|| Arc::clone(&engine));
@@ -392,8 +407,12 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
     let total = batch.total_stimulus;
     let cycles = batch.key.cycles;
 
-    let (engine, cache_hit) =
-        cache.get_or_build(batch.key.design, &batch.jobs[0].design, &cfg.model);
+    let (engine, cache_hit) = cache.get_or_build(
+        batch.key.design,
+        &batch.jobs[0].design,
+        &cfg.model,
+        &cfg.tuned,
+    );
     let engine = match engine {
         Ok(e) => e,
         Err(error) => {
@@ -436,6 +455,9 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         .collect();
 
     let group_size = cfg.group_size.clamp(1, total.max(1));
+    // Tuned exec applies only when the operator left `exec` at its
+    // default — an explicit strategy choice always wins over the cache.
+    let exec = autotune::resolve_exec(cfg.exec, engine.tuned.as_ref());
     let t0 = Instant::now();
 
     // Overflow routing: a big-enough batch of a cluster-registered
@@ -498,7 +520,7 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         let pool = shard::DevicePool::with_speeds(cfg.model.clone(), &cfg.devices);
         let scfg = shard::ShardConfig {
             group_size,
-            exec: cfg.exec,
+            exec,
             ..Default::default()
         };
         let r = shard::shard_batch_jobs(
@@ -522,7 +544,7 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
     } else {
         let pcfg = PipelineConfig {
             group_size,
-            exec: cfg.exec,
+            exec,
             ..Default::default()
         };
         let r = pipeline::simulate_batch_jobs(

@@ -54,6 +54,10 @@ pub struct ShardConfig {
     pub host: HostModel,
     /// Optional device-fault injection.
     pub fault: Option<FaultSpec>,
+    /// Tuned-artifact cache policy: when `exec` is left at its default
+    /// and the run is functional, the pool's devices run with the tuned
+    /// exec config for the design (if one is cached).
+    pub tuned: autotune::TunePolicy,
 }
 
 impl Default for ShardConfig {
@@ -64,6 +68,7 @@ impl Default for ShardConfig {
             exec: ExecConfig::default(),
             host: HostModel::xeon(),
             fault: None,
+            tuned: autotune::TunePolicy::default(),
         }
     }
 }
@@ -230,6 +235,17 @@ fn run_sharded(
         })
         .collect();
 
+    // Tuned exec applies only when the configured exec is the default
+    // (an explicit strategy always wins) and the run is functional — a
+    // timing-only sweep has no design to key the cache with.
+    let exec = match functional {
+        Some((design, _)) if cfg.exec == ExecConfig::default() => autotune::resolve_exec(
+            cfg.exec,
+            cfg.tuned.lookup(rtlir::design_hash(design)).as_ref(),
+        ),
+        _ => cfg.exec,
+    };
+
     // Uniform contiguous initial split — device i gets groups
     // [i*per, (i+1)*per). Deliberately speed-blind; see module docs.
     let per = num_groups.div_ceil(k);
@@ -241,7 +257,7 @@ fn run_sharded(
                 .reinstantiate(&model)
                 .expect("pool re-instantiates an already-validated graph");
             DeviceState {
-                rt: GpuRuntime::with_exec(model, cfg.exec),
+                rt: GpuRuntime::with_exec(model, exec),
                 graph: dgraph,
                 cpu: Resource::new("cpu", threads_per_device),
                 cpu_trace: Trace::new(),

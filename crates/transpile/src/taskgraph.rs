@@ -16,10 +16,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cudasim::fuse::fuse_graph;
+use cudasim::fuse::fuse_graph_with;
 use cudasim::{
     execute_kernel, execute_ordered, execute_ordered_parallel, DeviceMemory, ExecConfig, ExecStats,
-    ExecStrategy, FuseStats, FusedKernel, Kernel, Scratch, SlotUniform, TaskGraphIr,
+    ExecStrategy, FuseConfig, FuseStats, FusedKernel, Kernel, Scratch, SlotUniform, TaskGraphIr,
+    DEFAULT_LANE_CHUNK,
 };
 use rtlir::graph::NodeId;
 use rtlir::{Design, ProcessKind, RtlGraph};
@@ -71,6 +72,17 @@ impl KernelProgram {
         design: &Design,
         graph: &RtlGraph,
         partition: &Partition,
+    ) -> Result<KernelProgram, String> {
+        KernelProgram::build_with(design, graph, partition, &FuseConfig::default())
+    }
+
+    /// [`KernelProgram::build`] with explicit fuser thresholds (the
+    /// autotuner's entry point; thresholds are semantics-preserving).
+    pub fn build_with(
+        design: &Design,
+        graph: &RtlGraph,
+        partition: &Partition,
+        fuse_cfg: &FuseConfig,
     ) -> Result<KernelProgram, String> {
         let plan = MemoryPlan::build(design)?;
         check_partition(graph, partition)?;
@@ -187,7 +199,7 @@ impl KernelProgram {
             k.validate()?;
         }
         let uniform = SlotUniform::analyze(&graph_ir, plan.lens(), &plan.input_slots(design));
-        let fused = fuse_graph(&graph_ir, Some(&uniform));
+        let fused = fuse_graph_with(&graph_ir, Some(&uniform), fuse_cfg);
         Ok(KernelProgram {
             plan,
             graph: graph_ir,
@@ -210,7 +222,15 @@ impl KernelProgram {
         tid0: usize,
         group: usize,
     ) {
-        execute_ordered(&self.fused, &self.order, dev, scratch, tid0, group);
+        execute_ordered(
+            &self.fused,
+            &self.order,
+            dev,
+            scratch,
+            tid0,
+            group,
+            DEFAULT_LANE_CHUNK,
+        );
     }
 
     /// Execute one cycle with the scalar reference interpreter (the
@@ -239,9 +259,15 @@ impl KernelProgram {
     ) {
         match exec.strategy {
             ExecStrategy::Scalar => self.run_cycle_scalar(dev, &mut scratches[0], tid0, group),
-            ExecStrategy::Vectorized => {
-                self.run_cycle_functional(dev, &mut scratches[0], tid0, group)
-            }
+            ExecStrategy::Vectorized => execute_ordered(
+                &self.fused,
+                &self.order,
+                dev,
+                &mut scratches[0],
+                tid0,
+                group,
+                exec.lane_chunk,
+            ),
             ExecStrategy::BlockParallel { block, .. } => execute_ordered_parallel(
                 &self.fused,
                 &self.order,
@@ -250,6 +276,7 @@ impl KernelProgram {
                 tid0,
                 group,
                 block,
+                exec.lane_chunk,
             ),
         }
     }

@@ -271,10 +271,20 @@ fn run_trial(trial: u64, n: usize, tid0: usize, group: usize) {
         execute_kernel(&ir.kernels[k], &mut dev_s, &mut scratch, tid0, group);
     }
 
-    // Fused + vectorized.
+    // Fused + vectorized, with a fuzzed lane-chunk size (including the
+    // degenerate chunk of 1 and chunks larger than the lane range).
+    let chunk = [1usize, 3, 17, 64, 256, 1000][rng.below(6) as usize];
     let mut dev_v = seed_dev.clone();
     let mut scratch_v = Scratch::new();
-    execute_ordered(&fused, &order, &mut dev_v, &mut scratch_v, tid0, group);
+    execute_ordered(
+        &fused,
+        &order,
+        &mut dev_v,
+        &mut scratch_v,
+        tid0,
+        group,
+        chunk,
+    );
     assert_devices_equal(&dev_s, &dev_v, "vectorized", trial);
 
     // Block-parallel with deliberately ragged blocks.
@@ -289,6 +299,7 @@ fn run_trial(trial: u64, n: usize, tid0: usize, group: usize) {
         tid0,
         group,
         block,
+        chunk,
     );
     assert_devices_equal(&dev_s, &dev_p, "block-parallel", trial);
 }
@@ -307,6 +318,59 @@ fn fuzzed_kernels_partial_and_single_lane_ranges() {
         run_trial(trial, 33, 1, 31);
         run_trial(trial, 8, 7, 1);
         run_trial(trial, 16, 0, 0);
+    }
+}
+
+/// The lane-chunk size is a pure scheduling knob: every chunk size —
+/// degenerate (1), sub-default (64), default (256), and a non-power-of-
+/// two larger than the batch (1000) — must leave the device state
+/// bit-identical to the scalar reference under both the vectorized and
+/// block-parallel strategies.
+#[test]
+fn lane_chunk_sizes_are_bit_identical() {
+    let flow = Flow::from_benchmark(Benchmark::Nvdla(NvdlaScale::Tiny)).unwrap();
+    let map = PortMap::from_design(&flow.design);
+    let n = 33usize; // deliberately not a multiple of any chunk size
+    let cycles = 12u64;
+    let source = stimulus::source_for(&flow.design, &map, n, 0xc44);
+    let mut frame = vec![0u64; map.len()];
+
+    let mut configs = vec![ExecConfig::scalar()];
+    for chunk in [1usize, 64, 256, 1000] {
+        configs.push(ExecConfig::vectorized().with_lane_chunk(chunk));
+        configs.push(ExecConfig::parallel(3).with_lane_chunk(chunk));
+    }
+
+    let mut devs: Vec<DeviceMemory> = configs
+        .iter()
+        .map(|_| flow.program.plan.alloc_device(n))
+        .collect();
+    let mut scratches: Vec<Vec<Scratch>> = configs
+        .iter()
+        .map(|c| {
+            (0..c.thread_count().max(1))
+                .map(|_| Scratch::new())
+                .collect()
+        })
+        .collect();
+
+    for c in 0..cycles {
+        for dev in devs.iter_mut() {
+            for s in 0..n {
+                source.fill_frame(s, c, &mut frame);
+                for (lane, port) in map.ports.iter().enumerate() {
+                    flow.program.plan.poke(dev, port.var, s, frame[lane]);
+                }
+            }
+        }
+        for (i, cfg) in configs.iter().enumerate() {
+            flow.program
+                .run_cycle_exec(&mut devs[i], &mut scratches[i], 0, n, cfg);
+        }
+        let (reference, rest) = devs.split_first().unwrap();
+        for (i, dev) in rest.iter().enumerate() {
+            assert_devices_equal(reference, dev, &format!("chunk cfg #{}", i + 1), c);
+        }
     }
 }
 
