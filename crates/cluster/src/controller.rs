@@ -111,6 +111,11 @@ struct MetricsAcc {
     reconnects: u64,
     registrations: u64,
     rejected_hellos: u64,
+    checkpoints_received: u64,
+    checkpoint_bytes: u64,
+    groups_resumed: u64,
+    resume_cycles_skipped: u64,
+    max_resume_cycle: u64,
     busy: Duration,
 }
 
@@ -331,6 +336,11 @@ impl Controller {
             reconnects: m.reconnects,
             registrations: m.registrations,
             rejected_hellos: m.rejected_hellos,
+            checkpoints_received: m.checkpoints_received,
+            checkpoint_bytes: m.checkpoint_bytes,
+            groups_resumed: m.groups_resumed,
+            resume_cycles_skipped: m.resume_cycles_skipped,
+            max_resume_cycle: m.max_resume_cycle,
             busy: m.busy,
         }
     }
@@ -425,6 +435,8 @@ impl Controller {
                 tid0: tid0 as u64,
                 len: len as u32,
                 frames,
+                resume_cycle: 0,
+                resume_image: Vec::new(),
             });
         }
         Ok((desc, groups))
@@ -461,6 +473,7 @@ impl Controller {
             orphans: Vec::new(),
             remaining: groups.len(),
             digests: vec![0u64; n],
+            checkpoints: vec![None; groups.len()],
         });
         let cv = Condvar::new();
 
@@ -601,8 +614,10 @@ impl Controller {
 
         loop {
             // Claim work: own queue first, then steal the back half of
-            // the largest live queue (shard's elastic policy).
-            let g = {
+            // the largest live queue (shard's elastic policy). The claim
+            // also carries the group's latest checkpoint, if a previous
+            // (now dead) worker shipped one.
+            let (g, resume) = {
                 let mut st = lock(state);
                 loop {
                     if st.remaining == 0 {
@@ -610,7 +625,8 @@ impl Controller {
                     }
                     if let Some(g) = st.queues[slot].pop_front() {
                         st.inflight[slot] = Some(g);
-                        break g;
+                        let resume = st.checkpoints[g].clone();
+                        break (g, resume);
                     }
                     let victim = (0..st.queues.len())
                         .filter(|&v| v != slot && st.alive[v] && !st.queues[v].is_empty())
@@ -629,7 +645,22 @@ impl Controller {
             };
 
             let started = Instant::now();
-            match write_frame(&mut conn.stream, &Frame::RunGroup(groups[g].clone())) {
+            let mut dispatch = groups[g].clone();
+            if let Some((cycle, image)) = resume {
+                // Attach the resume image only when the combined frame
+                // still fits the wire cap; otherwise fall back to a cold
+                // start (resume is an optimization, never required).
+                let budget = crate::wire::MAX_PAYLOAD as usize;
+                if dispatch.frames.len() * 8 + image.len() + 128 <= budget {
+                    dispatch.resume_cycle = cycle;
+                    dispatch.resume_image = image;
+                    let mut m = lock(&self.shared.metrics);
+                    m.groups_resumed += 1;
+                    m.resume_cycles_skipped += cycle;
+                    m.max_resume_cycle = m.max_resume_cycle.max(cycle);
+                }
+            }
+            match write_frame(&mut conn.stream, &Frame::RunGroup(dispatch)) {
                 Ok(bytes) => {
                     self.count_tx(&conn, bytes);
                     lock(&self.shared.metrics).dispatches += 1;
@@ -665,6 +696,9 @@ impl Controller {
                         if !st.committed[g] {
                             st.committed[g] = true;
                             st.remaining -= 1;
+                            // The group's checkpoint can never be needed
+                            // again: drop the image to bound memory.
+                            st.checkpoints[g] = None;
                             let at = item.tid0 as usize;
                             st.digests[at..at + c.digests.len()].copy_from_slice(&c.digests);
                             let mut m = lock(&self.shared.metrics);
@@ -677,6 +711,35 @@ impl Controller {
                         drop(st);
                         cv.notify_all();
                         break;
+                    }
+                    Ok((Frame::Checkpoint(u), bytes)) => {
+                        self.count_rx(&conn, bytes);
+                        // A mid-group snapshot from the worker. Validate
+                        // against the dispatched group before storing:
+                        // a confused or malicious worker must not plant
+                        // state under another group's identity.
+                        let gi = u.group as usize;
+                        if u.batch == desc.batch
+                            && gi < groups.len()
+                            && groups[gi].tid0 == u.tid0
+                            && u.cycle > 0
+                            && u.cycle < desc.cycles
+                            && !u.image.is_empty()
+                        {
+                            let image_len = u.image.len() as u64;
+                            let mut st = lock(state);
+                            let better = !st.committed[gi]
+                                && st.checkpoints[gi]
+                                    .as_ref()
+                                    .is_none_or(|(cy, _)| u.cycle > *cy);
+                            if better {
+                                st.checkpoints[gi] = Some((u.cycle, u.image));
+                            }
+                            drop(st);
+                            let mut m = lock(&self.shared.metrics);
+                            m.checkpoints_received += 1;
+                            m.checkpoint_bytes += image_len;
+                        }
                     }
                     Ok((Frame::Error { .. }, bytes)) => {
                         // The worker cannot run this batch (engine build
@@ -765,25 +828,37 @@ struct BatchState {
     orphans: Vec<usize>,
     remaining: usize,
     digests: Vec<u64>,
+    /// Latest mid-group checkpoint per group `(cycle, image)`; survives
+    /// the snapshotting worker's death so a requeued dispatch resumes
+    /// from it instead of cycle 0. Cleared on commit to bound memory.
+    checkpoints: Vec<Option<(u64, Vec<u8>)>>,
 }
 
 /// Accept registrations until shutdown.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let seed = listener
+        .local_addr()
+        .map(|a| u64::from(a.port()))
+        .unwrap_or(0);
+    let mut backoff =
+        desim::Backoff::new(Duration::from_millis(5), Duration::from_millis(200), seed);
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                backoff.reset();
                 handle_hello(stream, &shared);
             }
             Err(_) => {
                 // A persistent accept failure (fd exhaustion…) must
-                // neither busy-spin nor outlive shutdown.
+                // neither busy-spin nor outlive shutdown; the shared
+                // jittered schedule ramps the retry pace down.
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(backoff.next_delay());
             }
         }
     }

@@ -26,21 +26,30 @@
 //! * a dead worker — detected by EOF, a wire error, or a heartbeat
 //!   timeout — has its in-flight group and backlog requeued round-robin
 //!   onto survivors, and workers reconnect with exponential backoff so a
-//!   batch stranded with zero workers can adopt a returning one.
+//!   batch stranded with zero workers can adopt a returning one;
+//! * with a `checkpoint_interval` configured, workers ship mid-group
+//!   device snapshots (versioned, checksummed [`cudasim::Checkpoint`]
+//!   images over the v2 `Checkpoint` frame), and a requeued group
+//!   resumes on a survivor from its last checkpointed cycle instead of
+//!   cycle 0 — still bit-identical, because the per-cycle step is a pure
+//!   function of (device state, that cycle's inputs).
 //!
 //! Results are therefore bit-identical regardless of worker count,
-//! capacities, or mid-run deaths — verified end to end by
-//! `tests/cluster_determinism.rs` against single-process
-//! `simulate_sharded`.
+//! capacities, mid-run deaths, or checkpoint resumes — verified end to
+//! end by `tests/cluster_determinism.rs` against single-process
+//! `simulate_sharded`, and under scripted [`chaos::ChaosPlan`] fault
+//! campaigns.
 
+pub mod chaos;
 pub mod controller;
 pub mod error;
 pub mod metrics;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::ChaosPlan;
 pub use controller::{ClusterConfig, ClusterJobResult, Controller};
 pub use error::ClusterError;
 pub use metrics::{ClusterMetrics, WorkerReport};
-pub use wire::{Frame, WireError, MAX_PAYLOAD, VERSION};
+pub use wire::{CheckpointUpdate, Frame, WireError, MAX_PAYLOAD, VERSION};
 pub use worker::{run_worker, spawn_worker, FaultMode, WorkerConfig, WorkerFault};

@@ -52,6 +52,18 @@ pub struct ClusterMetrics {
     pub registrations: u64,
     /// Registrations refused (bad protocol version / malformed hello).
     pub rejected_hellos: u64,
+    /// Mid-group checkpoint frames accepted from workers.
+    pub checkpoints_received: u64,
+    /// Total bytes of accepted checkpoint images.
+    pub checkpoint_bytes: u64,
+    /// Re-dispatches that carried a checkpoint image — groups that
+    /// resumed from a checkpointed cycle instead of cycle 0.
+    pub groups_resumed: u64,
+    /// Total cycles those resumed dispatches did *not* have to recompute.
+    pub resume_cycles_skipped: u64,
+    /// The highest resumed-from cycle seen — > 0 proves mid-batch
+    /// resume actually happened.
+    pub max_resume_cycle: u64,
     /// Wall time spent inside `run_batch` calls.
     pub busy: Duration,
 }
@@ -100,6 +112,14 @@ impl ClusterMetrics {
             self.reconnects,
             self.registrations,
         ));
+        out.push_str(&format!(
+            "  checkpoints {} ({} B)  resumed {} (skipped {} cycles, deepest cycle {})\n",
+            self.checkpoints_received,
+            self.checkpoint_bytes,
+            self.groups_resumed,
+            self.resume_cycles_skipped,
+            self.max_resume_cycle,
+        ));
         out
     }
 
@@ -132,6 +152,11 @@ impl ClusterMetrics {
             .field("reconnects", self.reconnects)
             .field("registrations", self.registrations)
             .field("rejected_hellos", self.rejected_hellos)
+            .field("checkpoints_received", self.checkpoints_received)
+            .field("checkpoint_bytes", self.checkpoint_bytes)
+            .field("groups_resumed", self.groups_resumed)
+            .field("resume_cycles_skipped", self.resume_cycles_skipped)
+            .field("max_resume_cycle", self.max_resume_cycle)
             .field("busy_ms", self.busy.as_secs_f64() * 1e3)
             .field("mean_utilization", self.mean_utilization())
             .field("workers", Json::Arr(workers))
@@ -177,6 +202,11 @@ mod tests {
             reconnects: 0,
             registrations: 2,
             rejected_hellos: 0,
+            checkpoints_received: 3,
+            checkpoint_bytes: 4096,
+            groups_resumed: 1,
+            resume_cycles_skipped: 16,
+            max_resume_cycle: 16,
             busy: Duration::from_millis(50),
         }
     }
@@ -194,6 +224,7 @@ mod tests {
         let t = sample().table();
         assert!(t.contains("DEAD"));
         assert!(t.contains("reconnects"));
+        assert!(t.contains("resumed 1"));
     }
 
     #[test]
@@ -201,6 +232,9 @@ mod tests {
         let j = sample().to_json().to_string();
         assert!(j.contains("\"requeues\":1"));
         assert!(j.contains("\"worker_deaths\":1"));
+        assert!(j.contains("\"checkpoints_received\":3"));
+        assert!(j.contains("\"groups_resumed\":1"));
+        assert!(j.contains("\"max_resume_cycle\":16"));
         assert!(j.contains("\"workers\":[{"));
     }
 }

@@ -24,7 +24,9 @@ use std::io::{Read, Write};
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"RFLC";
 /// Protocol version carried in every frame header and in [`Frame::Hello`].
-pub const VERSION: u16 = 1;
+/// v2 added mid-batch checkpointing: the `Checkpoint` frame kind and the
+/// resume fields on [`GroupDispatch`].
+pub const VERSION: u16 = 2;
 /// Upper bound on a frame payload (256 MiB). A corrupted length prefix
 /// beyond this is rejected before any allocation happens.
 pub const MAX_PAYLOAD: u32 = 256 << 20;
@@ -126,6 +128,30 @@ pub struct GroupDispatch {
     /// `frames[(s_local * cycles + c) * lanes + lane]`, length
     /// `len * cycles * lanes`.
     pub frames: Vec<u64>,
+    /// Cycle to resume from: 0 for a cold start, otherwise the cycle
+    /// index the attached `resume_image` was captured at.
+    pub resume_cycle: u64,
+    /// Encoded [`cudasim::Checkpoint`] image to restore before running
+    /// (empty for a cold start). A worker that cannot validate the image
+    /// falls back to cycle 0 — resuming is an optimization, never a
+    /// correctness dependency.
+    pub resume_image: Vec<u8>,
+}
+
+/// Worker → controller: a mid-group device snapshot, shipped every
+/// `checkpoint_interval` cycles so the controller can re-dispatch a dead
+/// worker's group from its last checkpointed cycle instead of cycle 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointUpdate {
+    pub batch: u64,
+    /// Group index within the batch.
+    pub group: u32,
+    /// First *global* stimulus id of the group (cross-checked on receipt).
+    pub tid0: u64,
+    /// Cycles fully completed when the snapshot was taken.
+    pub cycle: u64,
+    /// Encoded [`cudasim::Checkpoint`] image.
+    pub image: Vec<u8>,
 }
 
 /// A completed group's digests, streamed back as the group finishes.
@@ -160,6 +186,8 @@ pub enum Frame {
     Error { context: String },
     /// Orderly shutdown; the receiver stops without reconnecting.
     Goodbye,
+    /// Worker → controller: mid-group device snapshot for crash resume.
+    Checkpoint(CheckpointUpdate),
 }
 
 const KIND_HELLO: u8 = 1;
@@ -171,6 +199,7 @@ const KIND_HEARTBEAT: u8 = 6;
 const KIND_HEARTBEAT_ACK: u8 = 7;
 const KIND_ERROR: u8 = 8;
 const KIND_GOODBYE: u8 = 9;
+const KIND_CHECKPOINT: u8 = 10;
 
 impl Frame {
     fn kind(&self) -> u8 {
@@ -184,6 +213,7 @@ impl Frame {
             Frame::HeartbeatAck { .. } => KIND_HEARTBEAT_ACK,
             Frame::Error { .. } => KIND_ERROR,
             Frame::Goodbye => KIND_GOODBYE,
+            Frame::Checkpoint(_) => KIND_CHECKPOINT,
         }
     }
 
@@ -215,6 +245,8 @@ impl Frame {
                 put_u64(&mut payload, g.tid0);
                 put_u32(&mut payload, g.len);
                 put_u64s(&mut payload, &g.frames);
+                put_u64(&mut payload, g.resume_cycle);
+                put_bytes(&mut payload, &g.resume_image);
             }
             Frame::Chunk(c) => {
                 put_u64(&mut payload, c.batch);
@@ -225,6 +257,13 @@ impl Frame {
             Frame::Heartbeat { seq } | Frame::HeartbeatAck { seq } => put_u64(&mut payload, *seq),
             Frame::Error { context } => put_str(&mut payload, context),
             Frame::Goodbye => {}
+            Frame::Checkpoint(u) => {
+                put_u64(&mut payload, u.batch);
+                put_u32(&mut payload, u.group);
+                put_u64(&mut payload, u.tid0);
+                put_u64(&mut payload, u.cycle);
+                put_bytes(&mut payload, &u.image);
+            }
         }
         if payload.len() as u64 > u64::from(MAX_PAYLOAD) {
             return Err(WireError::TooLarge(payload.len() as u64));
@@ -293,6 +332,8 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             tid0: c.u64()?,
             len: c.u32()?,
             frames: c.u64s()?,
+            resume_cycle: c.u64()?,
+            resume_image: c.bytes()?,
         }),
         KIND_CHUNK => Frame::Chunk(ResultChunk {
             batch: c.u64()?,
@@ -306,6 +347,13 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             context: c.string()?,
         },
         KIND_GOODBYE => Frame::Goodbye,
+        KIND_CHECKPOINT => Frame::Checkpoint(CheckpointUpdate {
+            batch: c.u64()?,
+            group: c.u32()?,
+            tid0: c.u64()?,
+            cycle: c.u64()?,
+            image: c.bytes()?,
+        }),
         other => return Err(WireError::UnknownKind(other)),
     };
     if c.pos != payload.len() {
@@ -391,6 +439,11 @@ fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
     }
 }
 
+fn put_bytes(out: &mut Vec<u8>, bs: &[u8]) {
+    put_u32(out, bs.len() as u32);
+    out.extend_from_slice(bs);
+}
+
 struct Cursor<'a> {
     data: &'a [u8],
     pos: usize,
@@ -436,6 +489,13 @@ impl<'a> Cursor<'a> {
         }
         (0..count).map(|_| self.u64()).collect()
     }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let count = self.u32()? as usize;
+        // Same discipline as `u64s`: the honest length check runs before
+        // any allocation sized from the (possibly corrupted) count.
+        Ok(self.take(count)?.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -468,8 +528,13 @@ mod tests {
             (0..len).map(|_| self.next()).collect()
         }
 
+        fn bytes(&mut self, max: usize) -> Vec<u8> {
+            let len = self.below(max as u64) as usize;
+            (0..len).map(|_| self.next() as u8).collect()
+        }
+
         fn frame(&mut self) -> Frame {
-            match self.below(9) {
+            match self.below(10) {
                 0 => Frame::Hello {
                     proto: self.next() as u16,
                     capacity: self.next() as u32,
@@ -492,6 +557,8 @@ mod tests {
                     tid0: self.next(),
                     len: self.next() as u32,
                     frames: self.u64s(64),
+                    resume_cycle: self.below(1000),
+                    resume_image: self.bytes(96),
                 }),
                 4 => Frame::Chunk(ResultChunk {
                     batch: self.next(),
@@ -504,6 +571,13 @@ mod tests {
                 7 => Frame::Error {
                     context: self.string(80),
                 },
+                8 => Frame::Checkpoint(CheckpointUpdate {
+                    batch: self.next(),
+                    group: self.next() as u32,
+                    tid0: self.next(),
+                    cycle: self.next(),
+                    image: self.bytes(128),
+                }),
                 _ => Frame::Goodbye,
             }
         }
@@ -617,6 +691,8 @@ mod tests {
             tid0: 0,
             len: 1,
             frames: vec![0u64; MAX_PAYLOAD as usize / 8],
+            resume_cycle: 0,
+            resume_image: Vec::new(),
         });
         assert!(matches!(frame.encode(), Err(WireError::TooLarge(_))));
         let mut sink = Vec::new();
@@ -638,6 +714,25 @@ mod tests {
         let mut bytes = frame.encode().unwrap();
         // The digest count lives right after batch(8)+group(4)+tid0(8).
         let count_at = 11 + 8 + 4 + 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_image_count_is_rejected_without_allocation() {
+        let frame = Frame::Checkpoint(CheckpointUpdate {
+            batch: 1,
+            group: 2,
+            tid0: 3,
+            cycle: 4,
+            image: vec![9, 9, 9],
+        });
+        let mut bytes = frame.encode().unwrap();
+        // The image byte count lives after batch(8)+group(4)+tid0(8)+cycle(8).
+        let count_at = 11 + 8 + 4 + 8 + 8;
         bytes[count_at..count_at + 4].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
         assert!(matches!(
             Frame::decode(&bytes),

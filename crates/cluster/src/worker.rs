@@ -18,16 +18,19 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cudasim::{ExecConfig, Scratch};
+use cudasim::{Checkpoint, ExecConfig, Scratch};
 use rtlir::Design;
 use stimulus::PortMap;
 use transpile::KernelProgram;
 
 use crate::error::ClusterError;
-use crate::wire::{read_frame, write_frame, BatchDescriptor, Frame, ResultChunk, VERSION};
+use crate::wire::{
+    read_frame, write_frame, BatchDescriptor, CheckpointUpdate, Frame, ResultChunk, VERSION,
+};
 
 /// How an injected fault manifests on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +48,31 @@ pub enum FaultMode {
 pub struct WorkerFault {
     pub after_pickups: u64,
     pub mode: FaultMode,
+    /// `None`: die at pickup, before any compute (the original
+    /// behaviour). `Some(k)`: pick the group up, compute `k` cycles —
+    /// emitting every due checkpoint along the way — and die mid-group,
+    /// which is what makes checkpoint resume observable.
+    pub mid_cycle: Option<u64>,
+}
+
+impl WorkerFault {
+    /// Die at the `after_pickups`-th pickup, before any compute.
+    pub fn at_pickup(after_pickups: u64, mode: FaultMode) -> Self {
+        WorkerFault {
+            after_pickups,
+            mode,
+            mid_cycle: None,
+        }
+    }
+
+    /// Die `cycle` cycles into the `after_pickups`-th picked-up group.
+    pub fn mid_group(after_pickups: u64, cycle: u64, mode: FaultMode) -> Self {
+        WorkerFault {
+            after_pickups,
+            mode,
+            mid_cycle: Some(cycle),
+        }
+    }
 }
 
 /// Worker-side configuration.
@@ -69,12 +97,18 @@ pub struct WorkerConfig {
     /// Reconnect after a connection loss (including an injected
     /// `Disconnect`). `Goodbye` always ends the worker.
     pub reconnect: bool,
-    /// First reconnect backoff; doubles per failed attempt.
+    /// First reconnect backoff; doubles per failed attempt (jittered,
+    /// via the shared [`desim::Backoff`] schedule).
     pub backoff_start: Duration,
     /// Backoff ceiling.
     pub backoff_max: Duration,
     /// Connection attempts per (re)connect before giving up.
     pub max_attempts: u32,
+    /// Ship a device snapshot to the controller every this many cycles
+    /// while a group computes, so a requeued group can resume from its
+    /// last checkpointed cycle instead of cycle 0. `0` disables
+    /// checkpointing.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for WorkerConfig {
@@ -89,6 +123,7 @@ impl Default for WorkerConfig {
             backoff_start: Duration::from_millis(10),
             backoff_max: Duration::from_millis(500),
             max_attempts: 8,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -134,14 +169,17 @@ pub fn run_worker(addr: SocketAddr, mut cfg: WorkerConfig) -> Result<(), Cluster
     }
 }
 
-/// Dial the controller with exponential backoff and register.
+/// Dial the controller with jittered exponential backoff and register.
 fn connect_with_backoff(addr: SocketAddr, cfg: &WorkerConfig) -> Result<TcpStream, ClusterError> {
-    let mut delay = cfg.backoff_start;
+    // Seeded per (port, capacity) so a fleet of identical workers
+    // restarting together fans out instead of re-dialing in lockstep,
+    // while each individual schedule stays deterministic.
+    let seed = u64::from(addr.port()) ^ (u64::from(cfg.capacity) << 16);
+    let mut backoff = desim::Backoff::new(cfg.backoff_start, cfg.backoff_max, seed);
     let mut last: Option<std::io::Error> = None;
     for attempt in 0..cfg.max_attempts.max(1) {
         if attempt > 0 {
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(cfg.backoff_max);
+            std::thread::sleep(backoff.next_delay());
         }
         match TcpStream::connect(addr) {
             Ok(mut stream) => {
@@ -204,18 +242,25 @@ fn serve_connection(
                 }
             }
             Frame::RunGroup(g) => {
+                let mut die_mid: Option<(u64, FaultMode)> = None;
                 if let Some(fault) = cfg.fault {
                     if pickups == fault.after_pickups {
                         cfg.fault = None; // consumed: rejoin healthy
-                        match fault.mode {
-                            FaultMode::Disconnect => return ConnectionEnd::Lost,
-                            FaultMode::Silent => {
-                                // Stop responding but keep the socket
-                                // open; drain frames until the controller
-                                // gives up and closes it.
-                                while read_frame(&mut stream).is_ok() {}
-                                return ConnectionEnd::Lost;
-                            }
+                        match fault.mid_cycle {
+                            None => match fault.mode {
+                                FaultMode::Disconnect => return ConnectionEnd::Lost,
+                                FaultMode::Silent => {
+                                    // Stop responding but keep the socket
+                                    // open; drain frames until the controller
+                                    // gives up and closes it.
+                                    while read_frame(&mut stream).is_ok() {}
+                                    return ConnectionEnd::Lost;
+                                }
+                            },
+                            // Die mid-group instead: run the group's
+                            // first cycles (emitting due checkpoints),
+                            // then crash without replying.
+                            Some(cycle) => die_mid = Some((cycle, fault.mode)),
                         }
                     }
                 }
@@ -224,12 +269,31 @@ fn serve_connection(
                 if write_frame(&mut stream, &Frame::Heartbeat { seq: pickups }).is_err() {
                     return ConnectionEnd::Lost;
                 }
-                let result = run_with_heartbeats(&stream, cfg.heartbeat_interval, || {
-                    run_group(&g, &batches, engines, &cfg.exec)
+                let result = run_with_heartbeats(&stream, cfg.heartbeat_interval, |sink| {
+                    run_group(
+                        &g,
+                        &batches,
+                        engines,
+                        &cfg.exec,
+                        cfg.checkpoint_interval,
+                        die_mid.map(|(c, _)| c),
+                        sink,
+                    )
                 });
                 let reply = match result {
                     Ok(chunk) => Frame::Chunk(chunk),
-                    Err(context) => Frame::Error { context },
+                    Err(GroupEnd::Failed(context)) => Frame::Error { context },
+                    Err(GroupEnd::Fault) => {
+                        // The injected mid-group crash: no reply, the
+                        // connection dies the way the fault mode says.
+                        match die_mid.map(|(_, m)| m).unwrap_or(FaultMode::Disconnect) {
+                            FaultMode::Disconnect => return ConnectionEnd::Lost,
+                            FaultMode::Silent => {
+                                while read_frame(&mut stream).is_ok() {}
+                                return ConnectionEnd::Lost;
+                            }
+                        }
+                    }
                 };
                 if write_frame(&mut stream, &reply).is_err() {
                     return ConnectionEnd::Lost;
@@ -245,6 +309,27 @@ fn serve_connection(
             // not crash the worker.
             Frame::HeartbeatAck { .. } | Frame::Error { .. } => {}
             Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Chunk(_) => {}
+            Frame::Checkpoint(_) => {}
+        }
+    }
+}
+
+/// A mutex-serialized side channel for frames written *while a group
+/// computes* — checkpoint snapshots from the compute thread and
+/// heartbeats from the ticker share one cloned stream, so their frame
+/// bytes can never interleave on the wire. Send failures are swallowed:
+/// a checkpoint is an optimization, and a dying connection surfaces at
+/// the reply write anyway.
+pub(crate) struct FrameSink<'a> {
+    stream: Option<&'a Mutex<TcpStream>>,
+}
+
+impl FrameSink<'_> {
+    fn send(&self, frame: &Frame) {
+        if let Some(m) = self.stream {
+            if let Ok(mut s) = m.lock() {
+                let _ = write_frame(&mut *s, frame);
+            }
         }
     }
 }
@@ -252,20 +337,23 @@ fn serve_connection(
 /// Run `compute` while a ticker thread writes `Heartbeat` frames on a
 /// clone of `stream` every `interval`, so a group whose compute outlives
 /// the controller's `heartbeat_timeout` keeps extending its per-group
-/// read deadline instead of being falsely declared dead. The ticker is
-/// joined (via the scope) before this returns, so the caller's reply
-/// write can never interleave with a heartbeat frame.
+/// read deadline instead of being falsely declared dead. `compute`
+/// receives a [`FrameSink`] sharing the ticker's stream (mutex-guarded)
+/// for mid-compute checkpoint frames. The ticker is joined (via the
+/// scope) before this returns, so the caller's reply write can never
+/// interleave with a heartbeat or checkpoint frame.
 fn run_with_heartbeats<T>(
     stream: &TcpStream,
     interval: Duration,
-    compute: impl FnOnce() -> T,
+    compute: impl FnOnce(&FrameSink<'_>) -> T,
 ) -> T {
     let done = AtomicBool::new(false);
-    // If the clone fails we just compute without heartbeats: short
-    // groups still finish inside the controller's deadline.
-    let ticker_stream = stream.try_clone();
+    // If the clone fails we just compute without heartbeats or
+    // checkpoints: short groups still finish inside the controller's
+    // deadline.
+    let shared = stream.try_clone().ok().map(Mutex::new);
     std::thread::scope(|s| {
-        if let Ok(mut hs) = ticker_stream {
+        if let Some(m) = shared.as_ref() {
             let done = &done;
             s.spawn(move || {
                 let step = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
@@ -285,13 +373,20 @@ fn run_with_heartbeats<T>(
                         return;
                     }
                     seq += 1;
-                    if write_frame(&mut hs, &Frame::Heartbeat { seq }).is_err() {
+                    let dead = match m.lock() {
+                        Ok(mut s) => write_frame(&mut *s, &Frame::Heartbeat { seq }).is_err(),
+                        Err(_) => true,
+                    };
+                    if dead {
                         return;
                     }
                 }
             });
         }
-        let result = compute();
+        let sink = FrameSink {
+            stream: shared.as_ref(),
+        };
+        let result = compute(&sink);
         done.store(true, Ordering::Release);
         result
     })
@@ -345,21 +440,44 @@ fn start_batch(
     Ok(())
 }
 
+/// Why a group run produced no chunk.
+enum GroupEnd {
+    /// Contextful execution failure, reported to the controller.
+    Failed(String),
+    /// An injected mid-group crash fired: die without replying.
+    Fault,
+}
+
 /// Functionally execute one dispatched group and digest its outputs.
 /// Every failure path is a contextful `Err` — a malformed dispatch must
 /// never panic the worker.
+///
+/// Cycle-resume discipline: a dispatch carrying a valid checkpoint image
+/// restores the device state and starts at `resume_cycle`; since the
+/// per-cycle step is a pure function of (device state, that cycle's
+/// input frames), the continuation is bit-identical to a cold run. An
+/// image that fails *any* validation (decode, design, range, shape)
+/// falls back to cycle 0 — resume is an optimization, never a
+/// correctness dependency.
 fn run_group(
     g: &crate::wire::GroupDispatch,
     batches: &HashMap<u64, BatchInfo>,
     engines: &HashMap<u64, Engine>,
     exec: &ExecConfig,
-) -> Result<ResultChunk, String> {
-    let info = batches
-        .get(&g.batch)
-        .ok_or_else(|| format!("group {} references unknown batch {}", g.group, g.batch))?;
+    checkpoint_interval: u64,
+    die_at_cycle: Option<u64>,
+    sink: &FrameSink<'_>,
+) -> Result<ResultChunk, GroupEnd> {
+    let fail = GroupEnd::Failed;
+    let info = batches.get(&g.batch).ok_or_else(|| {
+        fail(format!(
+            "group {} references unknown batch {}",
+            g.group, g.batch
+        ))
+    })?;
     let engine = engines
         .get(&info.design_key)
-        .ok_or_else(|| format!("batch {} lost its engine", g.batch))?;
+        .ok_or_else(|| fail(format!("batch {} lost its engine", g.batch)))?;
     // Tuned exec applies only when the configured exec is the default —
     // an explicit strategy choice always wins over the cache.
     let exec = &autotune::resolve_exec(*exec, engine.tuned.as_ref());
@@ -368,20 +486,34 @@ fn run_group(
     let expect = len
         .checked_mul(info.cycles as usize)
         .and_then(|x| x.checked_mul(lanes))
-        .ok_or_else(|| format!("group {}: frame count overflows", g.group))?;
+        .ok_or_else(|| fail(format!("group {}: frame count overflows", g.group)))?;
     if g.frames.len() != expect {
-        return Err(format!(
+        return Err(fail(format!(
             "group {}: {} frame words, expected {expect} ({len} stim × {} cycles × {lanes} lanes)",
             g.group,
             g.frames.len(),
             info.cycles
-        ));
+        )));
     }
     let mut dev = engine.program.plan.alloc_device(len);
+    let mut start_cycle = 0u64;
+    if g.resume_cycle > 0 && !g.resume_image.is_empty() {
+        if let Ok(ck) = Checkpoint::decode(&g.resume_image) {
+            if ck.design_hash == info.design_key
+                && ck.cycle == g.resume_cycle
+                && ck.cycle < info.cycles
+                && ck.tid0 == g.tid0
+                && ck.n() == len
+                && ck.restore_into(&mut dev).is_ok()
+            {
+                start_cycle = ck.cycle;
+            }
+        }
+    }
     let mut scratches: Vec<Scratch> = (0..exec.thread_count().max(1))
         .map(|_| Scratch::new())
         .collect();
-    for c in 0..info.cycles as usize {
+    for c in start_cycle as usize..info.cycles as usize {
         for s in 0..len {
             let base = (s * info.cycles as usize + c) * lanes;
             for (lane, port) in engine.map.ports.iter().enumerate() {
@@ -394,6 +526,23 @@ fn run_group(
         engine
             .program
             .run_cycle_exec(&mut dev, &mut scratches, 0, len, exec);
+        let completed = c as u64 + 1;
+        if checkpoint_interval > 0
+            && completed.is_multiple_of(checkpoint_interval)
+            && completed < info.cycles
+        {
+            let image = Checkpoint::capture(&dev, info.design_key, completed, g.tid0).encode();
+            sink.send(&Frame::Checkpoint(CheckpointUpdate {
+                batch: g.batch,
+                group: g.group,
+                tid0: g.tid0,
+                cycle: completed,
+                image,
+            }));
+        }
+        if die_at_cycle.is_some_and(|k| completed >= k) {
+            return Err(GroupEnd::Fault);
+        }
     }
     let digests = (0..len)
         .map(|i| engine.program.plan.output_digest(&dev, &engine.design, i))

@@ -49,8 +49,12 @@ commands:
   serve-sim   [--clients <n>] [--jobs <per-client>] [--designs <k>]
               [--max-batch <n>] [--window-ms <ms>] [--workers <n>]
               [--queue-limit <n>] [--devices <f1,f2,..>] [--seed <u64>]
+              [--journal <path>] [--crash-after <k>]
               [--tuned [<dir>|off]] [--json]
               Replay a multi-client trace through the coalescing service.
+              --journal write-ahead-logs every job; with --crash-after the
+              service is hard-crashed after k accepted jobs and recovery
+              from the journal is verified bit-identical to direct runs.
   netlist-sim (<file.json> --top <module> | --fixture counter|picorv32)
               [-n <stimulus>] [-c <cycles>] [--seed <u64>] [--rewrite on|off]
               [--exec scalar|vector|par[:N]] [--verify <count>] [--json]
@@ -60,11 +64,15 @@ commands:
               import).
   cluster-sim [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
               [--workers <k>] [--capacities <c1,c2,..>] [--group <size>]
-              [--kill-worker <i>@<pickup>[:silent]] [--seed <u64>]
-              [--tuned [<dir>|off]] [--verify] [--json]
+              [--kill-worker <i>@<pickup>[+<cycle>][:silent]]
+              [--checkpoint-interval <cycles>] [--chaos <seed>]
+              [--seed <u64>] [--tuned [<dir>|off]] [--verify] [--json]
               Run a batch on an in-process loopback TCP cluster of k
-              workers, optionally killing one mid-run and checking
-              digests bit-identical to the local sharded executor.
+              workers, optionally killing workers mid-run (one scripted
+              fault, or a deterministic --chaos campaign) and checking
+              digests bit-identical to the local sharded executor. With
+              --checkpoint-interval, killed groups resume on survivors
+              from their last mid-group checkpoint instead of cycle 0.
   coverage    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
               [-c <cycles>] [--seed <u64>]
               Toggle-coverage report over a random batch.
@@ -670,8 +678,150 @@ fn main() {
                     None => vec![1.0],
                 },
                 tuned: tuned_policy(&args),
+                journal: args.get("journal").map(std::path::PathBuf::from),
                 ..Default::default()
             };
+
+            // `--crash-after <k>`: crash-resilience demo instead of the
+            // trace replay. Accept k journaled jobs behind an effectively
+            // infinite window (so none can flush), hard-crash the
+            // service, then recover every job from the write-ahead
+            // journal on a fresh service and check each one's digests
+            // bit-identical to a direct local run. Exits nonzero on any
+            // lost job or digest mismatch.
+            if let Some(k) = args.get("crash-after") {
+                let k: usize = k.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --crash-after `{k}` (want a job count)");
+                    exit(2)
+                });
+                let Some(jpath) = serve_cfg.journal.clone() else {
+                    eprintln!("--crash-after requires --journal <path>");
+                    exit(2)
+                };
+                let _ = std::fs::remove_file(&jpath);
+                let seed: u64 = args.num("seed", 7);
+                let cycles: u64 = 40;
+                let maps: Vec<PortMap> = designs.iter().map(|d| PortMap::from_design(d)).collect();
+                let make_source = |which: usize, n: usize, jseed: u64| {
+                    Box::new(stimulus::RandomSource::new(&maps[which], n, jseed))
+                        as Box<dyn stimulus::StimulusSource>
+                };
+
+                let service = SimService::start(ServeConfig {
+                    window: Duration::from_secs(3600),
+                    ..serve_cfg.clone()
+                });
+                for i in 0..k {
+                    let which = i % designs.len();
+                    let n = 8 + i;
+                    let jseed = seed ^ ((i as u64) << 8);
+                    let spec = rtlflow::JobSpec::new(
+                        std::sync::Arc::clone(&designs[which]),
+                        make_source(which, n, jseed),
+                        cycles,
+                    )
+                    .with_descriptor(format!("rand:{which}:{n}:{jseed}:{cycles}"));
+                    service.submit(spec).unwrap_or_else(|e| {
+                        eprintln!("error: submit {i}: {e}");
+                        exit(1)
+                    });
+                }
+                let crashed = service.crash();
+                println!(
+                    "crashed with {} accepted jobs ({} journal records fsync'd)",
+                    crashed.jobs_accepted, crashed.journal_records
+                );
+
+                let pending = rtlflow::journal::pending(&jpath).unwrap_or_else(|e| {
+                    eprintln!("error: read journal: {e}");
+                    exit(1)
+                });
+                if pending.len() != k {
+                    eprintln!(
+                        "JOB LOSS: journal recovers {} of {k} accepted jobs",
+                        pending.len()
+                    );
+                    exit(1);
+                }
+                let service = SimService::start(serve_cfg);
+                let handles: Vec<(usize, usize, u64, rtlflow::JobHandle)> = pending
+                    .iter()
+                    .map(|p| {
+                        let fields: Vec<&str> = p.descriptor.split(':').collect();
+                        let parse = || -> Option<(usize, usize, u64, u64)> {
+                            if fields.len() != 5 || fields[0] != "rand" {
+                                return None;
+                            }
+                            Some((
+                                fields[1].parse().ok()?,
+                                fields[2].parse().ok()?,
+                                fields[3].parse().ok()?,
+                                fields[4].parse().ok()?,
+                            ))
+                        };
+                        let (which, n, jseed, jcycles) = parse().unwrap_or_else(|| {
+                            eprintln!("unrecognized journal descriptor `{}`", p.descriptor);
+                            exit(1)
+                        });
+                        let spec = rtlflow::JobSpec::new(
+                            std::sync::Arc::clone(&designs[which]),
+                            make_source(which, n, jseed),
+                            jcycles,
+                        )
+                        .with_descriptor(p.descriptor.clone())
+                        .recovered_from(p.id);
+                        let h = service.submit(spec).unwrap_or_else(|e| {
+                            eprintln!("error: recover job {}: {e}", p.id);
+                            exit(1)
+                        });
+                        (which, n, jseed, h)
+                    })
+                    .collect();
+                let mut mismatches = 0usize;
+                for (which, n, jseed, h) in handles {
+                    let result = h.wait().unwrap_or_else(|e| {
+                        eprintln!("error: recovered job failed: {e}");
+                        exit(1)
+                    });
+                    let flow = Flow::from_benchmark(pool[which]).unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        exit(1)
+                    });
+                    let golden = flow
+                        .simulate(
+                            &stimulus::RandomSource::new(&maps[which], n, jseed),
+                            cycles,
+                            &PipelineConfig::default(),
+                        )
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: reference run: {e}");
+                            exit(1)
+                        });
+                    if result.digests != golden.digests {
+                        mismatches += 1;
+                    }
+                }
+                let metrics = service.shutdown();
+                if mismatches > 0 {
+                    eprintln!(
+                        "RECOVERY MISMATCH: {mismatches} recovered job(s) diverge from \
+                         direct local runs"
+                    );
+                    exit(1);
+                }
+                println!(
+                    "recovered {} job(s) from {}; all digests bit-identical to direct runs",
+                    metrics.jobs_recovered,
+                    jpath.display()
+                );
+                if args.has("json") {
+                    println!("{}", metrics.to_json());
+                } else {
+                    print!("{}", metrics.table());
+                }
+                return;
+            }
+
             let trace_cfg = TraceConfig {
                 clients: args.num("clients", 8),
                 jobs_per_client: args.num("jobs", 6),
@@ -903,25 +1053,32 @@ fn main() {
                 eprintln!("--capacities needs positive values");
                 exit(2);
             }
-            // `--kill-worker i@k[:silent]`: worker i disconnects (or goes
-            // silent) at its k-th group pickup, then rejoins healthy.
+            // `--kill-worker i@k[+cycle][:silent]`: worker i disconnects
+            // (or goes silent) at its k-th group pickup — `+cycle` delays
+            // the death until that many cycles into the group, past any
+            // checkpoints due by then — then rejoins healthy.
             let fault: Option<(usize, WorkerFault)> = args.get("kill-worker").map(|s| {
                 let parse = || -> Option<(usize, WorkerFault)> {
                     let (spec, mode) = match s.strip_suffix(":silent") {
                         Some(rest) => (rest, FaultMode::Silent),
                         None => (s, FaultMode::Disconnect),
                     };
-                    let (i, k) = spec.split_once('@')?;
+                    let (i, rest) = spec.split_once('@')?;
+                    let (k, mid_cycle) = match rest.split_once('+') {
+                        Some((k, c)) => (k, Some(c.parse().ok()?)),
+                        None => (rest, None),
+                    };
                     Some((
                         i.parse().ok()?,
                         WorkerFault {
                             after_pickups: k.parse().ok()?,
                             mode,
+                            mid_cycle,
                         },
                     ))
                 };
                 parse().unwrap_or_else(|| {
-                    eprintln!("bad --kill-worker `{s}` (want <worker>@<pickup>[:silent])");
+                    eprintln!("bad --kill-worker `{s}` (want <worker>@<pickup>[+cycle][:silent])");
                     exit(2)
                 })
             });
@@ -933,6 +1090,23 @@ fn main() {
                     );
                     exit(2);
                 }
+            }
+            // Mid-group snapshot cadence (0 = off): workers ship a
+            // checkpoint every this-many cycles, and requeued groups
+            // resume from the last one instead of cycle 0.
+            let checkpoint_interval: u64 = args.num("checkpoint-interval", 0);
+            // `--chaos <seed>`: replace any single --kill-worker fault
+            // with a deterministic scripted campaign derived from the
+            // seed (reproduce CI failures from the seed alone).
+            let chaos: Option<rtlflow::ChaosPlan> = args.get("chaos").map(|s| {
+                let seed: u64 = s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --chaos `{s}` (want a u64 seed)");
+                    exit(2)
+                });
+                rtlflow::ChaosPlan::generate(seed, capacities.len(), cycles, checkpoint_interval)
+            });
+            if let Some(plan) = &chaos {
+                print!("{}", plan.describe());
             }
 
             let flow = Flow::from_benchmark(bench).unwrap_or_else(|e| {
@@ -964,7 +1138,11 @@ fn main() {
                         controller.addr(),
                         WorkerConfig {
                             capacity,
-                            fault: fault.as_ref().filter(|(w, _)| *w == i).map(|&(_, f)| f),
+                            fault: match &chaos {
+                                Some(plan) => plan.fault_for(i),
+                                None => fault.as_ref().filter(|(w, _)| *w == i).map(|&(_, f)| f),
+                            },
+                            checkpoint_interval,
                             tuned: tuned_policy(&args),
                             ..Default::default()
                         },

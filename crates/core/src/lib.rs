@@ -40,26 +40,27 @@ pub use autotune::{
 };
 pub use baselines::{CpuModel, EssentModel, EssentSim, VerilatorModel, VerilatorSim};
 pub use cluster::{
-    run_worker, spawn_worker, ClusterConfig, ClusterError, ClusterJobResult, ClusterMetrics,
-    Controller, FaultMode, WorkerConfig, WorkerFault, WorkerReport,
+    run_worker, spawn_worker, ChaosPlan, ClusterConfig, ClusterError, ClusterJobResult,
+    ClusterMetrics, Controller, FaultMode, WorkerConfig, WorkerFault, WorkerReport,
 };
 pub use cudasim::{
-    CudaGraph, ExecConfig, ExecMode, ExecStats, ExecStrategy, FuseStats, GpuModel, LaunchCosts,
-    SlotUniform,
+    Checkpoint, CheckpointError, CudaGraph, ExecConfig, ExecMode, ExecStats, ExecStrategy,
+    FuseStats, GpuModel, LaunchCosts, SlotUniform,
 };
 pub use designs::{Benchmark, NvdlaConfig, NvdlaScale};
-pub use desim::{fmt_duration, Time, Trace};
+pub use desim::{fmt_duration, Backoff, Time, Trace};
 pub use netlist::{load_design, ImportStats, NetlistError, RewriteStats};
 pub use partition::{mcmc_partition, static_partition, McmcConfig, McmcResult};
 pub use pipeline::{simulate_batch, HostModel, PipelineConfig, SimResult};
 pub use rtlir::{BitVec, Design, Interp};
 pub use serve::{
-    replay as serve_replay, ClusterBackend, DeadlineClass, JobEvent, JobHandle, JobResult, JobSpec,
-    Rejected, ServeConfig, ServeMetrics, SimService, SubmitError, TraceConfig, TraceReport,
+    journal, replay as serve_replay, ClusterBackend, DeadlineClass, JobEvent, JobHandle, JobResult,
+    JobSpec, Journal, JournalEvent, JournalRecord, PendingJob, Rejected, ServeConfig, ServeMetrics,
+    SimService, SubmitError, TraceConfig, TraceReport,
 };
 pub use shard::{
-    model_shard_batch, shard_batch, shard_batch_jobs, DevicePool, DeviceReport, DeviceSpec,
-    FaultSpec, ShardConfig, ShardJobResult, ShardMetrics, ShardResult,
+    model_shard_batch, resume_group_exec, shard_batch, shard_batch_jobs, DevicePool, DeviceReport,
+    DeviceSpec, FaultSpec, ShardConfig, ShardJobResult, ShardMetrics, ShardResult,
 };
 pub use stimulus::{PortMap, RandomSource, RiscvSource, SliceSource, StimulusSource};
 pub use transpile::{emit_cpp, emit_cuda, CodeMetrics, KernelProgram, Partition};

@@ -1,27 +1,162 @@
 //! Device-state checkpointing.
 //!
 //! Long regressions (500K cycles x 65536 stimulus in Table 2) want
-//! save/resume: a checkpoint captures the full device memory — i.e. every
-//! signal and memory word of every stimulus — in a compact binary image.
+//! save/resume: a checkpoint captures the full device memory — every
+//! signal and memory word of every stimulus — in a compact,
+//! self-describing binary image. Version 2 of the format adds the
+//! metadata a distributed resume needs (design hash, cycle index,
+//! stimulus-range origin) and an end-to-end FNV-1a checksum, and the
+//! decoder follows the RFLC wire discipline: structured errors, bounds
+//! checks before every read, never a panic on hostile bytes.
+//!
+//! Image layout (all little-endian):
+//!
+//! ```text
+//! off  len  field
+//!   0    4  magic          "RTLC" (0x52544c43)
+//!   4    4  version        2
+//!   8    8  design_hash    rtlir::design_hash of the design being run
+//!  16    8  cycle          cycles fully completed (resume starts here)
+//!  24    8  tid0           first global stimulus id of the range
+//!  32    8  n              stimulus count (DeviceMemory batch size)
+//!  40   32  l8/l16/l32/l64 bucket lengths (elements, u64 each)
+//!  72    –  payload        var8 raw, then var16/var32/var64 as LE words
+//! end-8  8  checksum       FNV-1a-64 over every preceding byte
+//! ```
+
+use std::error::Error;
+use std::fmt;
 
 use crate::device::DeviceMemory;
 
 const MAGIC: u32 = 0x52_54_4c_43; // "RTLC"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const HEADER: usize = 72;
 
-impl DeviceMemory {
-    /// Serialize the complete device state.
-    pub fn snapshot(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(48 + self.bytes());
-        let push32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
-        let push64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
-        push32(&mut out, MAGIC);
-        push32(&mut out, VERSION);
-        push64(&mut out, self.n() as u64);
-        push64(&mut out, self.var8.len() as u64);
-        push64(&mut out, self.var16.len() as u64);
-        push64(&mut out, self.var32.len() as u64);
-        push64(&mut out, self.var64.len() as u64);
+/// Why a checkpoint image was rejected. Mirrors `cluster::WireError`'s
+/// style: every arm carries enough context to log without re-decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The image ends before a field or the payload it promises.
+    Truncated { context: &'static str },
+    /// The first four bytes are not "RTLC".
+    BadMagic(u32),
+    /// A version this decoder does not speak (v1 images predate the
+    /// checksum and are deliberately not accepted).
+    BadVersion(u32),
+    /// The image's shape (n / bucket lengths) does not match the device
+    /// it is being restored into.
+    ShapeMismatch { image: [u64; 5], device: [u64; 5] },
+    /// Header and payload parsed but the trailing FNV-1a digest does not
+    /// match: a bit flipped somewhere in transit or at rest.
+    BadChecksum { expect: u64, got: u64 },
+    /// Bytes remain after the checksum — the image was concatenated or
+    /// padded with garbage.
+    TrailingGarbage { extra: usize },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated { context } => {
+                write!(f, "truncated checkpoint while reading {context}")
+            }
+            CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#010x}"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::ShapeMismatch { image, device } => write!(
+                f,
+                "checkpoint shape mismatch: image n/l8/l16/l32/l64 = {image:?}, device = {device:?}"
+            ),
+            CheckpointError::BadChecksum { expect, got } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: stored {expect:#018x}, computed {got:#018x}"
+                )
+            }
+            CheckpointError::TrailingGarbage { extra } => {
+                write!(f, "{extra} trailing bytes after checkpoint checksum")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// FNV-1a 64-bit over a byte slice — the same cheap, dependency-free
+/// digest the autotune artifact cache uses for at-rest integrity.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// A decoded (or captured) device-state image plus the metadata that
+/// makes it resumable: which design, how far it got, which stimulus
+/// range it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// `rtlir::design_hash` of the design the state belongs to.
+    pub design_hash: u64,
+    /// Cycles fully completed when the snapshot was taken; a resume
+    /// continues from exactly this cycle.
+    pub cycle: u64,
+    /// First global stimulus id of the captured range.
+    pub tid0: u64,
+    n: usize,
+    var8: Vec<u8>,
+    var16: Vec<u16>,
+    var32: Vec<u32>,
+    var64: Vec<u64>,
+}
+
+impl Checkpoint {
+    /// Capture the full state of `dev` together with resume metadata.
+    pub fn capture(dev: &DeviceMemory, design_hash: u64, cycle: u64, tid0: u64) -> Self {
+        Checkpoint {
+            design_hash,
+            cycle,
+            tid0,
+            n: dev.n(),
+            var8: dev.var8.clone(),
+            var16: dev.var16.clone(),
+            var32: dev.var32.clone(),
+            var64: dev.var64.clone(),
+        }
+    }
+
+    /// Stimulus count (batch size) of the captured state.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Serialized image size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER
+            + self.var8.len()
+            + self.var16.len() * 2
+            + self.var32.len() * 4
+            + self.var64.len() * 8
+            + 8
+    }
+
+    /// Serialize to the v2 image format (header, payload, checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.design_hash.to_le_bytes());
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        out.extend_from_slice(&self.tid0.to_le_bytes());
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.extend_from_slice(&(self.var8.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.var16.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.var32.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.var64.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.var8);
         for v in &self.var16 {
             out.extend_from_slice(&v.to_le_bytes());
@@ -32,71 +167,133 @@ impl DeviceMemory {
         for v in &self.var64 {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
+    }
+
+    /// Decode an image. Total over arbitrary input: every malformed,
+    /// truncated, or corrupted byte sequence returns an error; nothing
+    /// panics and nothing is allocated beyond what the (validated)
+    /// length fields account for in the input actually present.
+    pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let rd32 = |at: usize, context: &'static str| -> Result<u32, CheckpointError> {
+            data.get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .ok_or(CheckpointError::Truncated { context })
+        };
+        let rd64 = |at: usize, context: &'static str| -> Result<u64, CheckpointError> {
+            data.get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .ok_or(CheckpointError::Truncated { context })
+        };
+        let magic = rd32(0, "magic")?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = rd32(4, "version")?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let design_hash = rd64(8, "design hash")?;
+        let cycle = rd64(16, "cycle")?;
+        let tid0 = rd64(24, "tid0")?;
+        let n = rd64(32, "n")?;
+        let l8 = rd64(40, "l8")?;
+        let l16 = rd64(48, "l16")?;
+        let l32 = rd64(56, "l32")?;
+        let l64 = rd64(64, "l64")?;
+        // Compute the promised total with saturating arithmetic so a
+        // hostile length field cannot overflow into a small number.
+        let payload = (l8 as u128) + (l16 as u128) * 2 + (l32 as u128) * 4 + (l64 as u128) * 8;
+        let total = HEADER as u128 + payload + 8;
+        if (data.len() as u128) < total {
+            return Err(CheckpointError::Truncated { context: "payload" });
+        }
+        let total = total as usize;
+        if data.len() > total {
+            return Err(CheckpointError::TrailingGarbage {
+                extra: data.len() - total,
+            });
+        }
+        let stored = rd64(total - 8, "checksum")?;
+        let computed = fnv1a64(&data[..total - 8]);
+        if stored != computed {
+            return Err(CheckpointError::BadChecksum {
+                expect: stored,
+                got: computed,
+            });
+        }
+        let mut at = HEADER;
+        let var8 = data[at..at + l8 as usize].to_vec();
+        at += l8 as usize;
+        let mut var16 = Vec::with_capacity(l16 as usize);
+        for _ in 0..l16 {
+            var16.push(u16::from_le_bytes(data[at..at + 2].try_into().unwrap()));
+            at += 2;
+        }
+        let mut var32 = Vec::with_capacity(l32 as usize);
+        for _ in 0..l32 {
+            var32.push(u32::from_le_bytes(data[at..at + 4].try_into().unwrap()));
+            at += 4;
+        }
+        let mut var64 = Vec::with_capacity(l64 as usize);
+        for _ in 0..l64 {
+            var64.push(u64::from_le_bytes(data[at..at + 8].try_into().unwrap()));
+            at += 8;
+        }
+        Ok(Checkpoint {
+            design_hash,
+            cycle,
+            tid0,
+            n: n as usize,
+            var8,
+            var16,
+            var32,
+            var64,
+        })
+    }
+
+    /// Copy the captured state into `dev`. The device's shape (batch
+    /// size and bucket lengths, i.e. the memory plan) must match.
+    pub fn restore_into(&self, dev: &mut DeviceMemory) -> Result<(), CheckpointError> {
+        let image = [
+            self.n as u64,
+            self.var8.len() as u64,
+            self.var16.len() as u64,
+            self.var32.len() as u64,
+            self.var64.len() as u64,
+        ];
+        let device = [
+            dev.n() as u64,
+            dev.var8.len() as u64,
+            dev.var16.len() as u64,
+            dev.var32.len() as u64,
+            dev.var64.len() as u64,
+        ];
+        if image != device {
+            return Err(CheckpointError::ShapeMismatch { image, device });
+        }
+        dev.var8.copy_from_slice(&self.var8);
+        dev.var16.copy_from_slice(&self.var16);
+        dev.var32.copy_from_slice(&self.var32);
+        dev.var64.copy_from_slice(&self.var64);
+        Ok(())
+    }
+}
+
+impl DeviceMemory {
+    /// Serialize the complete device state as a metadata-free image
+    /// (design hash / cycle / tid0 all zero). Callers that resume across
+    /// machines should use [`Checkpoint::capture`] instead.
+    pub fn snapshot(&self) -> Vec<u8> {
+        Checkpoint::capture(self, 0, 0, 0).encode()
     }
 
     /// Restore a snapshot into this device. The shape (batch size and
     /// bucket lengths, i.e. the memory plan) must match.
-    pub fn restore(&mut self, data: &[u8]) -> Result<(), String> {
-        let rd32 = |data: &[u8], at: usize| -> Result<u32, String> {
-            data.get(at..at + 4)
-                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-                .ok_or_else(|| "truncated checkpoint".to_string())
-        };
-        let rd64 = |data: &[u8], at: usize| -> Result<u64, String> {
-            data.get(at..at + 8)
-                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-                .ok_or_else(|| "truncated checkpoint".to_string())
-        };
-        if rd32(data, 0)? != MAGIC {
-            return Err("bad checkpoint magic".into());
-        }
-        if rd32(data, 4)? != VERSION {
-            return Err("unsupported checkpoint version".into());
-        }
-        let n = rd64(data, 8)? as usize;
-        let l8 = rd64(data, 16)? as usize;
-        let l16 = rd64(data, 24)? as usize;
-        let l32 = rd64(data, 32)? as usize;
-        let l64 = rd64(data, 40)? as usize;
-        if n != self.n()
-            || l8 != self.var8.len()
-            || l16 != self.var16.len()
-            || l32 != self.var32.len()
-            || l64 != self.var64.len()
-        {
-            return Err(format!(
-                "checkpoint shape mismatch: snapshot n={n}/{l8}/{l16}/{l32}/{l64}, device n={}/{}/{}/{}/{}",
-                self.n(),
-                self.var8.len(),
-                self.var16.len(),
-                self.var32.len(),
-                self.var64.len()
-            ));
-        }
-        let expect = 48 + l8 + l16 * 2 + l32 * 4 + l64 * 8;
-        if data.len() != expect {
-            return Err(format!(
-                "checkpoint length {} != expected {expect}",
-                data.len()
-            ));
-        }
-        let mut at = 48;
-        self.var8.copy_from_slice(&data[at..at + l8]);
-        at += l8;
-        for v in self.var16.iter_mut() {
-            *v = u16::from_le_bytes(data[at..at + 2].try_into().unwrap());
-            at += 2;
-        }
-        for v in self.var32.iter_mut() {
-            *v = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
-            at += 4;
-        }
-        for v in self.var64.iter_mut() {
-            *v = u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
-            at += 8;
-        }
-        Ok(())
+    pub fn restore(&mut self, data: &[u8]) -> Result<(), CheckpointError> {
+        Checkpoint::decode(data)?.restore_into(self)
     }
 }
 
@@ -157,23 +354,87 @@ mod tests {
     }
 
     #[test]
+    fn metadata_roundtrip() {
+        let dev = scrambled();
+        let ck = Checkpoint::capture(&dev, 0xfeed_beef, 12_345, 512);
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.design_hash, 0xfeed_beef);
+        assert_eq!(back.cycle, 12_345);
+        assert_eq!(back.tid0, 512);
+        assert_eq!(back.n(), 3);
+    }
+
+    #[test]
     fn shape_mismatch_rejected() {
         let dev = scrambled();
         let snap = dev.snapshot();
         let mut other = DeviceMemory::new(4, 2, 2, 1, 1);
-        let err = other.restore(&snap).unwrap_err();
-        assert!(err.contains("shape mismatch"), "{err}");
+        match other.restore(&snap) {
+            Err(CheckpointError::ShapeMismatch { image, device }) => {
+                assert_eq!(image[0], 3);
+                assert_eq!(device[0], 4);
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
     }
 
     #[test]
-    fn corruption_rejected() {
+    fn bad_magic_and_version_rejected() {
         let dev = scrambled();
         let mut snap = dev.snapshot();
         snap[0] ^= 0xff;
+        assert!(matches!(
+            Checkpoint::decode(&snap),
+            Err(CheckpointError::BadMagic(_))
+        ));
+        let mut snap = dev.snapshot();
+        snap[4] = 1; // a v1 image: predates the checksum, refused.
+        assert!(matches!(
+            Checkpoint::decode(&snap),
+            Err(CheckpointError::BadVersion(1))
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_checksum() {
+        let dev = scrambled();
+        let mut snap = dev.snapshot();
+        let mid = HEADER + 3;
+        snap[mid] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::decode(&snap),
+            Err(CheckpointError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let dev = scrambled();
+        let snap = dev.snapshot();
         let mut fresh = DeviceMemory::new(3, 2, 2, 1, 1);
-        assert!(fresh.restore(&snap).is_err());
-        // Truncation.
-        let snap2 = dev.snapshot();
-        assert!(fresh.restore(&snap2[..snap2.len() - 1]).is_err());
+        assert!(matches!(
+            fresh.restore(&snap[..snap.len() - 1]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        let mut padded = snap.clone();
+        padded.push(0);
+        assert!(matches!(
+            Checkpoint::decode(&padded),
+            Err(CheckpointError::TrailingGarbage { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_overflow() {
+        let dev = scrambled();
+        let mut snap = dev.snapshot();
+        // Poke l64 (offset 64) to u64::MAX: the promised total must not
+        // wrap around into something small.
+        snap[64..72].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::decode(&snap),
+            Err(CheckpointError::Truncated { .. })
+        ));
     }
 }

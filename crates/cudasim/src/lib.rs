@@ -27,6 +27,7 @@ pub mod graph;
 pub mod ir;
 pub mod model;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use device::{execute_kernel, DeviceMemory, Scratch};
 pub use exec::{
     execute_fused, execute_ordered, execute_ordered_parallel, ExecConfig, ExecStrategy,

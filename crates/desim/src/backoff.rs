@@ -1,0 +1,155 @@
+//! Shared jittered exponential backoff.
+//!
+//! Three independent retry loops grew up in the stack — the cluster
+//! worker's reconnect loop, the controller's accept-loop error sleep, and
+//! serve's admission retry-after hint — each with its own ad-hoc delay
+//! arithmetic. This module is the one implementation they all share: a
+//! deterministic, seedable exponential schedule with bounded jitter, so
+//! synchronized clients fan out instead of stampeding in lockstep and
+//! tests stay reproducible.
+
+use std::time::Duration;
+
+/// SplitMix64 — the repo-wide deterministic mixer (same algorithm as
+/// `stimulus::splitmix64`; duplicated here because `desim` sits below
+/// `stimulus` in the crate graph and must stay dependency-free).
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Apply bounded deterministic jitter to a base delay: the result is
+/// uniformly spread over `[base, base + base/2]` as a pure function of
+/// `(base, seed)`. Zero stays zero.
+pub fn jitter(base: Duration, seed: u64) -> Duration {
+    let ns = base.as_nanos() as u64;
+    if ns == 0 {
+        return base;
+    }
+    let spread = ns / 2;
+    if spread == 0 {
+        return base;
+    }
+    let extra = mix64(seed ^ ns) % (spread + 1);
+    Duration::from_nanos(ns + extra)
+}
+
+/// Deterministic jittered exponential backoff.
+///
+/// Each call to [`Backoff::next_delay`] returns the current base delay
+/// with jitter applied, then doubles the base (clamped to `max`). The
+/// sequence is a pure function of `(start, max, seed)`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    start: Duration,
+    max: Duration,
+    current: Duration,
+    seed: u64,
+    attempt: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `start` and doubling up to `max`, with
+    /// jitter derived from `seed`.
+    pub fn new(start: Duration, max: Duration, seed: u64) -> Self {
+        Backoff {
+            start,
+            max,
+            current: start.min(max),
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// Number of delays handed out since construction or the last
+    /// [`Backoff::reset`].
+    pub fn attempts(&self) -> u64 {
+        self.attempt
+    }
+
+    /// The next delay to sleep: current base plus bounded jitter.
+    /// Advances the schedule (base doubles, clamped to `max`).
+    pub fn next_delay(&mut self) -> Duration {
+        let d = jitter(self.current, self.seed ^ self.attempt);
+        self.attempt += 1;
+        self.current = self
+            .current
+            .checked_mul(2)
+            .unwrap_or(self.max)
+            .min(self.max);
+        d
+    }
+
+    /// Rewind to the initial delay — call after a success so the next
+    /// failure starts the schedule from scratch.
+    pub fn reset(&mut self) {
+        self.current = self.start.min(self.max);
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_and_clamps() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(50), 0);
+        let bases: Vec<u64> = (0..5)
+            .map(|_| {
+                let d = b.next_delay();
+                d.as_millis() as u64
+            })
+            .collect();
+        // Each delay lies within [base, 1.5*base] for base = 10,20,40,50,50.
+        for (d, base) in bases.iter().zip([10u64, 20, 40, 50, 50]) {
+            assert!(
+                *d >= base && *d <= base + base / 2,
+                "delay {d}ms outside [{base}, {}]",
+                base + base / 2
+            );
+        }
+        assert_eq!(b.attempts(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mk = || Backoff::new(Duration::from_millis(3), Duration::from_millis(100), 42);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = Backoff::new(Duration::from_millis(100), Duration::from_secs(10), 1);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(10), 2);
+        let distinct = (0..8).filter(|_| a.next_delay() != b.next_delay()).count();
+        assert!(
+            distinct > 0,
+            "different seeds should produce different jitter"
+        );
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_secs(1), 7);
+        let first = b.next_delay();
+        b.next_delay();
+        b.next_delay();
+        b.reset();
+        assert_eq!(b.next_delay(), first, "post-reset schedule must replay");
+    }
+
+    #[test]
+    fn jitter_bounds_and_zero() {
+        assert_eq!(jitter(Duration::ZERO, 9), Duration::ZERO);
+        for seed in 0..64 {
+            let d = jitter(Duration::from_millis(10), seed);
+            assert!(d >= Duration::from_millis(10) && d <= Duration::from_millis(15));
+        }
+    }
+}

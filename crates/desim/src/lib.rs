@@ -7,9 +7,11 @@
 //! that yields the utilization rates and timelines behind Figures 2, 15
 //! and 16.
 
+pub mod backoff;
 pub mod json;
 pub mod trace;
 
+pub use backoff::Backoff;
 pub use json::Json;
 pub use trace::{Interval, Trace};
 

@@ -62,6 +62,15 @@ pub struct JobSpec {
     pub class: DeadlineClass,
     /// Also render a VCD waveform of the job's first stimulus.
     pub want_vcd: bool,
+    /// Opaque reconstruction hint persisted to the write-ahead journal
+    /// (when one is configured). The service never interprets it; after
+    /// a crash, [`crate::journal::pending`] hands it back so the caller
+    /// can rebuild the stimulus source it describes.
+    pub descriptor: Option<String>,
+    /// Set when this spec re-admits a job lost in a crash: the journal
+    /// id of the lost job. Journals a `resume` record retiring the old
+    /// id, and counts toward `jobs_recovered`.
+    pub recovered_from: Option<u64>,
 }
 
 impl JobSpec {
@@ -72,6 +81,8 @@ impl JobSpec {
             cycles,
             class: DeadlineClass::Batch,
             want_vcd: false,
+            descriptor: None,
+            recovered_from: None,
         }
     }
 
@@ -82,6 +93,19 @@ impl JobSpec {
 
     pub fn with_vcd(mut self) -> Self {
         self.want_vcd = true;
+        self
+    }
+
+    /// Attach a journal descriptor (see [`JobSpec::descriptor`]).
+    pub fn with_descriptor(mut self, descriptor: impl Into<String>) -> Self {
+        self.descriptor = Some(descriptor.into());
+        self
+    }
+
+    /// Mark this spec as the crash-recovery resubmission of journaled
+    /// job `old_id`.
+    pub fn recovered_from(mut self, old_id: u64) -> Self {
+        self.recovered_from = Some(old_id);
         self
     }
 }

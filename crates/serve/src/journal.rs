@@ -1,0 +1,570 @@
+//! Write-ahead job journal — crash resilience for the serve layer.
+//!
+//! Every lifecycle transition of an accepted job (submit, dispatch,
+//! terminal complete/fail, recovery resume) is appended to a plain-text
+//! journal *before* the in-memory state machine moves on, and each
+//! append is `fsync`'d. After a crash, [`pending`] replays the journal
+//! and returns every job that was accepted but never reached a terminal
+//! state — exactly the set a restarted service must re-admit.
+//!
+//! # Record format
+//!
+//! One record per line, space-separated, checksummed:
+//!
+//! ```text
+//! J1 <seq> <event> <id> <design> <cycles> <n> <class> <descriptor> <crc>
+//! ```
+//!
+//! * `J1` — format tag; unknown tags are skipped, so the format can
+//!   evolve without breaking old readers.
+//! * `seq` — monotonically increasing record number (decimal).
+//! * `event` — `submit` | `dispatch` | `complete` | `fail` | `resume`.
+//! * `id` — the job id (decimal). For `resume`, the *old* (lost) job id;
+//!   the descriptor field carries the replacement id.
+//! * `design` — the [`rtlir::design_hash`] of the DUT, 16 hex digits.
+//! * `cycles` / `n` — cycle horizon and stimulus count (decimal).
+//! * `class` — deadline class as a digit (0 interactive, 1 batch,
+//!   2 bulk).
+//! * `descriptor` — caller-supplied opaque reconstruction hint
+//!   (percent-escaped; `-` when absent). The journal cannot serialize a
+//!   `Box<dyn StimulusSource>`, so recovery rebuilds sources from this
+//!   descriptor — the caller owns its meaning.
+//! * `crc` — FNV-1a-64 of everything before it on the line, 16 hex
+//!   digits.
+//!
+//! # Durability discipline
+//!
+//! The parser is total: a torn final line (crash mid-write), a
+//! bit-flipped record, or arbitrary garbage is *skipped and counted*,
+//! never trusted and never a panic — mirroring the checkpoint decoder's
+//! wire discipline. [`Journal::compact`] rewrites the journal to just
+//! the still-pending jobs via a temp file + atomic rename, so a crash
+//! during compaction leaves either the old journal or the new one,
+//! never a half-written hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::job::DeadlineClass;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Percent-escape a descriptor so it survives as one whitespace-free
+/// field. Empty descriptors become `-`.
+fn escape(s: &str) -> String {
+    if s.is_empty() {
+        return "-".into();
+    }
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b' ' | b'%' | b'\n' | b'\r' | b'\t' => out.push_str(&format!("%{b:02x}")),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    if s == "-" {
+        return String::new();
+    }
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let Some(hex) = s.get(i + 1..i + 3) {
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v as char);
+                    i += 3;
+                    continue;
+                }
+            }
+            out.push('%');
+            i += 1;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A job lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// Job accepted past admission control.
+    Submit,
+    /// Job packed into a running batch.
+    Dispatch,
+    /// Job finished successfully (terminal).
+    Complete,
+    /// Job failed (terminal).
+    Fail,
+    /// Job re-admitted after a crash; supersedes the old id (terminal
+    /// for the old id — the replacement id carries the work forward).
+    Resume,
+}
+
+impl JournalEvent {
+    fn tag(self) -> &'static str {
+        match self {
+            JournalEvent::Submit => "submit",
+            JournalEvent::Dispatch => "dispatch",
+            JournalEvent::Complete => "complete",
+            JournalEvent::Fail => "fail",
+            JournalEvent::Resume => "resume",
+        }
+    }
+
+    fn parse(s: &str) -> Option<JournalEvent> {
+        Some(match s {
+            "submit" => JournalEvent::Submit,
+            "dispatch" => JournalEvent::Dispatch,
+            "complete" => JournalEvent::Complete,
+            "fail" => JournalEvent::Fail,
+            "resume" => JournalEvent::Resume,
+            _ => return None,
+        })
+    }
+}
+
+fn class_digit(class: DeadlineClass) -> u8 {
+    match class {
+        DeadlineClass::Interactive => 0,
+        DeadlineClass::Batch => 1,
+        DeadlineClass::Bulk => 2,
+    }
+}
+
+fn class_from_digit(d: u8) -> DeadlineClass {
+    match d {
+        0 => DeadlineClass::Interactive,
+        2 => DeadlineClass::Bulk,
+        _ => DeadlineClass::Batch,
+    }
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    pub seq: u64,
+    pub event: JournalEvent,
+    pub id: u64,
+    pub design: u64,
+    pub cycles: u64,
+    pub n: u64,
+    pub class: DeadlineClass,
+    pub descriptor: String,
+}
+
+impl JournalRecord {
+    fn encode(&self) -> String {
+        let body = format!(
+            "J1 {} {} {} {:016x} {} {} {} {}",
+            self.seq,
+            self.event.tag(),
+            self.id,
+            self.design,
+            self.cycles,
+            self.n,
+            class_digit(self.class),
+            escape(&self.descriptor),
+        );
+        let crc = fnv1a(body.as_bytes());
+        format!("{body} {crc:016x}\n")
+    }
+
+    /// Total, never-panic line decoder: any malformed, truncated, or
+    /// checksum-failing line yields `None`.
+    fn decode(line: &str) -> Option<JournalRecord> {
+        let line = line.trim_end_matches(['\n', '\r']);
+        let fields: Vec<&str> = line.split(' ').collect();
+        if fields.len() != 10 || fields[0] != "J1" {
+            return None;
+        }
+        let crc = u64::from_str_radix(fields[9], 16).ok()?;
+        let body_len = line.len() - fields[9].len() - 1;
+        if fnv1a(&line.as_bytes()[..body_len]) != crc {
+            return None;
+        }
+        Some(JournalRecord {
+            seq: fields[1].parse().ok()?,
+            event: JournalEvent::parse(fields[2])?,
+            id: fields[3].parse().ok()?,
+            design: u64::from_str_radix(fields[4], 16).ok()?,
+            cycles: fields[5].parse().ok()?,
+            n: fields[6].parse().ok()?,
+            class: class_from_digit(fields[7].parse().ok()?),
+            descriptor: unescape(fields[8]),
+        })
+    }
+}
+
+/// What a full journal scan saw.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Every valid record, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Lines skipped as torn, corrupt, or foreign.
+    pub corrupt_lines: usize,
+}
+
+/// Read and verify every record in the journal at `path`. A missing
+/// file is an empty journal, not an error.
+pub fn scan(path: &Path) -> std::io::Result<ScanResult> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ScanResult::default()),
+        Err(e) => return Err(e),
+    };
+    let mut out = ScanResult::default();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        match JournalRecord::decode(&line) {
+            Some(rec) => out.records.push(rec),
+            None => out.corrupt_lines += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// A job the journal says was accepted but never reached a terminal
+/// state — the unit of crash recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingJob {
+    pub id: u64,
+    pub design: u64,
+    pub cycles: u64,
+    pub n: u64,
+    pub class: DeadlineClass,
+    pub descriptor: String,
+    /// Whether the job had already been packed into a batch when the
+    /// crash hit (it may have partially run; re-running is safe because
+    /// simulation is deterministic and side-effect-free).
+    pub dispatched: bool,
+}
+
+/// Replay the journal's state machine and return every non-terminal
+/// job, in submit order. `complete`, `fail`, and `resume` (superseded)
+/// all retire a job.
+pub fn pending(path: &Path) -> std::io::Result<Vec<PendingJob>> {
+    let scanned = scan(path)?;
+    let mut live: Vec<PendingJob> = Vec::new();
+    for rec in scanned.records {
+        match rec.event {
+            JournalEvent::Submit => {
+                if !live.iter().any(|p| p.id == rec.id) {
+                    live.push(PendingJob {
+                        id: rec.id,
+                        design: rec.design,
+                        cycles: rec.cycles,
+                        n: rec.n,
+                        class: rec.class,
+                        descriptor: rec.descriptor,
+                        dispatched: false,
+                    });
+                }
+            }
+            JournalEvent::Dispatch => {
+                if let Some(p) = live.iter_mut().find(|p| p.id == rec.id) {
+                    p.dispatched = true;
+                }
+            }
+            JournalEvent::Complete | JournalEvent::Fail | JournalEvent::Resume => {
+                live.retain(|p| p.id != rec.id);
+            }
+        }
+    }
+    Ok(live)
+}
+
+/// An open, append-only journal handle.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    next_seq: u64,
+    appended: u64,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path` for appending. Existing
+    /// records are scanned once to continue the sequence numbering.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let next_seq = scan(path)?.records.last().map(|r| r.seq + 1).unwrap_or(1);
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+            next_seq,
+            appended: 0,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Append one record and `fsync` it. The write-ahead contract lives
+    /// here: callers append *before* acting on the transition, so a
+    /// crash at any instant leaves the journal at least as informed as
+    /// the in-memory state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn append(
+        &mut self,
+        event: JournalEvent,
+        id: u64,
+        design: u64,
+        cycles: u64,
+        n: u64,
+        class: DeadlineClass,
+        descriptor: &str,
+    ) -> std::io::Result<()> {
+        let rec = JournalRecord {
+            seq: self.next_seq,
+            event,
+            id,
+            design,
+            cycles,
+            n,
+            class,
+            descriptor: descriptor.to_string(),
+        };
+        self.file.write_all(rec.encode().as_bytes())?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Rewrite the journal to hold only the still-pending jobs (their
+    /// `submit` records, plus a `dispatch` marker where one applied),
+    /// dropping all retired history. Crash-safe: the replacement is
+    /// written to a temp file, fsync'd, then atomically renamed over
+    /// the live journal. Returns `(kept, dropped)` record counts.
+    pub fn compact(&mut self) -> std::io::Result<(usize, usize)> {
+        let before = scan(&self.path)?.records.len();
+        let live = pending(&self.path)?;
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            let mut seq = 1u64;
+            for p in &live {
+                let mut write = |event| -> std::io::Result<()> {
+                    let rec = JournalRecord {
+                        seq,
+                        event,
+                        id: p.id,
+                        design: p.design,
+                        cycles: p.cycles,
+                        n: p.n,
+                        class: p.class,
+                        descriptor: p.descriptor.clone(),
+                    };
+                    out.write_all(rec.encode().as_bytes())?;
+                    seq += 1;
+                    Ok(())
+                };
+                write(JournalEvent::Submit)?;
+                if p.dispatched {
+                    write(JournalEvent::Dispatch)?;
+                }
+            }
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let kept = scan(&self.path)?.records.len();
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.next_seq = kept as u64 + 1;
+        Ok((kept, before.saturating_sub(kept)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        let unique = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        p.push(format!(
+            "rtlflow-journal-{tag}-{}-{unique}.journal",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn append_all(j: &mut Journal, evs: &[(JournalEvent, u64)]) {
+        for &(ev, id) in evs {
+            j.append(ev, id, 0xabcd, 40, 8, DeadlineClass::Batch, "src:1")
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_sequencing_across_reopen() {
+        let path = tmp_path("roundtrip");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            append_all(
+                &mut j,
+                &[(JournalEvent::Submit, 1), (JournalEvent::Dispatch, 1)],
+            );
+            assert_eq!(j.appended(), 2);
+        }
+        {
+            let mut j = Journal::open(&path).unwrap();
+            append_all(&mut j, &[(JournalEvent::Complete, 1)]);
+        }
+        let s = scan(&path).unwrap();
+        assert_eq!(s.corrupt_lines, 0);
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(
+            s.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "sequence numbers must continue across reopen"
+        );
+        assert_eq!(s.records[0].design, 0xabcd);
+        assert_eq!(s.records[0].descriptor, "src:1");
+        assert!(pending(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pending_reflects_the_state_machine() {
+        let path = tmp_path("pending");
+        let mut j = Journal::open(&path).unwrap();
+        append_all(
+            &mut j,
+            &[
+                (JournalEvent::Submit, 1),
+                (JournalEvent::Submit, 2),
+                (JournalEvent::Submit, 3),
+                (JournalEvent::Dispatch, 2),
+                (JournalEvent::Complete, 1),
+                (JournalEvent::Fail, 3),
+            ],
+        );
+        let live = pending(&path).unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id, 2);
+        assert!(live[0].dispatched);
+        // A resume retires the lost job.
+        append_all(&mut j, &[(JournalEvent::Resume, 2)]);
+        assert!(pending(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_and_corrupt_lines_are_skipped_not_fatal() {
+        let path = tmp_path("corrupt");
+        let mut j = Journal::open(&path).unwrap();
+        append_all(
+            &mut j,
+            &[(JournalEvent::Submit, 1), (JournalEvent::Submit, 2)],
+        );
+        drop(j);
+        // Simulate a crash mid-append (torn line, no checksum) plus
+        // outright garbage, then a bit-flip in a previously-good record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("J1 3 submit 9 00000000000000ff 10 4 1 x:");
+        std::fs::write(&path, &text).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.corrupt_lines, 1, "the torn tail must be skipped");
+
+        let flipped = text.replacen("submit 1", "submit 7", 1);
+        std::fs::write(&path, format!("{flipped}\nnot a journal line\n")).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(
+            s.records.len(),
+            1,
+            "the bit-flipped record must fail its crc"
+        );
+        assert_eq!(s.corrupt_lines, 3);
+        // And the journal stays appendable after damage.
+        let mut j = Journal::open(&path).unwrap();
+        append_all(&mut j, &[(JournalEvent::Submit, 4)]);
+        assert_eq!(pending(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn descriptors_with_spaces_survive() {
+        let path = tmp_path("escape");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(
+            JournalEvent::Submit,
+            5,
+            1,
+            10,
+            2,
+            DeadlineClass::Bulk,
+            "random src % 100\tseed=3",
+        )
+        .unwrap();
+        let live = pending(&path).unwrap();
+        assert_eq!(live[0].descriptor, "random src % 100\tseed=3");
+        assert_eq!(live[0].class, DeadlineClass::Bulk);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_retired_history_atomically() {
+        let path = tmp_path("compact");
+        let mut j = Journal::open(&path).unwrap();
+        append_all(
+            &mut j,
+            &[
+                (JournalEvent::Submit, 1),
+                (JournalEvent::Dispatch, 1),
+                (JournalEvent::Complete, 1),
+                (JournalEvent::Submit, 2),
+                (JournalEvent::Dispatch, 2),
+                (JournalEvent::Submit, 3),
+            ],
+        );
+        let (kept, dropped) = j.compact().unwrap();
+        assert_eq!(kept, 3, "submit+dispatch for 2, submit for 3");
+        assert_eq!(dropped, 3);
+        let live = pending(&path).unwrap();
+        assert_eq!(live.iter().map(|p| p.id).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(live[0].dispatched && !live[1].dispatched);
+        // The handle keeps working after the rename swap.
+        append_all(&mut j, &[(JournalEvent::Complete, 2)]);
+        assert_eq!(pending(&path).unwrap().len(), 1);
+        assert!(!path.with_extension("journal.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty_not_an_error() {
+        let path = tmp_path("missing");
+        assert!(scan(&path).unwrap().records.is_empty());
+        assert!(pending(&path).unwrap().is_empty());
+    }
+}

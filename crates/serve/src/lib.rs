@@ -20,6 +20,18 @@
 //! bit-identical to running the same spec alone — the integration test
 //! `serve_coalescing.rs` proves this against `Flow::simulate`.
 //!
+//! # Crash resilience
+//!
+//! With [`ServeConfig::journal`] set, every accepted job is fsync'd to
+//! a write-ahead [`journal`] before `submit` returns, and every
+//! dispatch/terminal transition follows it. After a crash (simulated by
+//! [`SimService::crash`]), [`journal::pending`] replays the journal and
+//! names exactly the accepted-but-unfinished jobs; re-admitting them
+//! via [`JobSpec::recovered_from`] journals the supersession link and
+//! — because every stimulus source is a pure function of
+//! `(stimulus, cycle)` — reproduces bit-identical digests. Proven end
+//! to end by `tests/serve_journal_recovery.rs`.
+//!
 //! # Flow of a job
 //!
 //! ```text
@@ -36,6 +48,7 @@
 
 mod coalesce;
 mod job;
+pub mod journal;
 mod metrics;
 mod queue;
 mod service;
@@ -44,6 +57,7 @@ mod synthetic;
 pub use job::{
     design_hash, CompatKey, DeadlineClass, JobEvent, JobHandle, JobId, JobResult, JobSpec,
 };
+pub use journal::{Journal, JournalEvent, JournalRecord, PendingJob};
 pub use metrics::ServeMetrics;
 pub use queue::{Rejected, SubmitError};
 pub use service::{ClusterBackend, ServeConfig, SimService};

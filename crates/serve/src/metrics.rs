@@ -48,6 +48,11 @@ pub struct ServeMetrics {
     /// Batches that skipped the cluster because another batch held it
     /// (the dispatch gate lost its try-lock) and ran locally instead.
     pub cluster_busy_skips: u64,
+    /// Records fsync'd to the write-ahead job journal (0 without one).
+    pub journal_records: u64,
+    /// Jobs re-admitted from the journal after a crash (submits that
+    /// carried a `recovered_from` link).
+    pub jobs_recovered: u64,
 }
 
 impl ServeMetrics {
@@ -173,6 +178,10 @@ impl ServeMetrics {
                 self.pool_groups_requeued.to_string(),
             );
         }
+        if self.journal_records + self.jobs_recovered > 0 {
+            row("journal records", self.journal_records.to_string());
+            row("jobs recovered", self.jobs_recovered.to_string());
+        }
         if self.cluster_dispatches + self.cluster_fallbacks + self.cluster_busy_skips > 0 {
             row("cluster dispatches", self.cluster_dispatches.to_string());
             row("cluster jobs", self.cluster_jobs.to_string());
@@ -232,6 +241,8 @@ impl ServeMetrics {
             .field("cluster_jobs", self.cluster_jobs)
             .field("cluster_fallbacks", self.cluster_fallbacks)
             .field("cluster_busy_skips", self.cluster_busy_skips)
+            .field("journal_records", self.journal_records)
+            .field("jobs_recovered", self.jobs_recovered)
             .field("batch_size_histogram", Json::Arr(buckets))
     }
 }

@@ -67,6 +67,9 @@ pub(crate) struct JobQueue {
     items: VecDeque<Job>,
     outstanding: usize,
     limit: usize,
+    /// Rejections issued so far — the jitter stream for retry-after, so
+    /// simultaneously-refused clients don't resubmit in lockstep.
+    rejections: u64,
 }
 
 impl JobQueue {
@@ -75,6 +78,7 @@ impl JobQueue {
             items: VecDeque::new(),
             outstanding: 0,
             limit: limit.max(1),
+            rejections: 0,
         }
     }
 
@@ -93,10 +97,15 @@ impl JobQueue {
     /// used to compute the advisory retry-after.
     pub fn push(&mut self, job: Job, per_job_estimate: Duration) -> Result<usize, (Job, Rejected)> {
         if self.outstanding >= self.limit {
-            let retry_after = per_job_estimate
+            let base = per_job_estimate
                 .checked_mul(self.outstanding as u32)
                 .unwrap_or(Duration::from_secs(1))
                 .max(Duration::from_millis(1));
+            // Jittered into [base, 1.5*base) — same decorrelation
+            // discipline as the cluster's reconnect backoff, so a
+            // thundering herd of refused clients spreads out.
+            self.rejections += 1;
+            let retry_after = desim::backoff::jitter(base, self.rejections);
             return Err((
                 job,
                 Rejected {
@@ -165,8 +174,10 @@ mod tests {
             panic!("third push must be rejected at limit 2")
         };
         assert_eq!(rej.depth, 2);
-        // retry-after scales with in-flight work: 2 jobs x 5ms.
-        assert_eq!(rej.retry_after, Duration::from_millis(10));
+        // retry-after scales with in-flight work (2 jobs x 5ms) plus
+        // up to 50% decorrelation jitter.
+        assert!(rej.retry_after >= Duration::from_millis(10));
+        assert!(rej.retry_after < Duration::from_millis(15));
         // Popping moves a job toward dispatch but does NOT free a credit:
         // it is still in flight.
         assert!(q.pop().is_some());

@@ -16,6 +16,7 @@
 //!   channel.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,7 +30,10 @@ use stimulus::{PortMap, StimulusSource};
 use transpile::KernelProgram;
 
 use crate::coalesce::{Batch, Coalescer};
-use crate::job::{design_hash, CompatKey, Job, JobEvent, JobHandle, JobId, JobResult, JobSpec};
+use crate::job::{
+    design_hash, CompatKey, DeadlineClass, Job, JobEvent, JobHandle, JobId, JobResult, JobSpec,
+};
+use crate::journal::{Journal, JournalEvent};
 use crate::metrics::ServeMetrics;
 use crate::queue::{JobQueue, SubmitError};
 
@@ -88,6 +92,12 @@ pub struct ServeConfig {
     /// with `rtlflow autotune` is served with its tuned partition/fuse
     /// config — and its tuned exec, unless `exec` was set explicitly.
     pub tuned: autotune::TunePolicy,
+    /// Write-ahead job journal path. When set, every accepted job is
+    /// fsync'd to this journal before `submit` returns, and every
+    /// dispatch/terminal transition is appended as it happens — so
+    /// after a crash, [`crate::journal::pending`] names exactly the
+    /// jobs that must be re-admitted.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +113,7 @@ impl Default for ServeConfig {
             exec: cudasim::ExecConfig::default(),
             cluster: None,
             tuned: autotune::TunePolicy::default(),
+            journal: None,
         }
     }
 }
@@ -172,11 +183,44 @@ struct Shared {
     /// Signalled on submit and on shutdown; the scheduler waits on it.
     wake: Condvar,
     stop: AtomicBool,
+    /// Set by [`SimService::crash`]: threads abandon queued and
+    /// in-flight work instead of draining it, simulating a hard stop.
+    crashed: AtomicBool,
+    /// Write-ahead job journal (when configured).
+    journal: Mutex<Option<Journal>>,
     /// Serializes cluster dispatch: `Controller::take_workers` hands
     /// every idle worker to one batch, so a second concurrent batch
     /// would only block for the full rejoin grace before falling back.
     /// Losers of the try-lock skip straight to the local executors.
     cluster_gate: Mutex<()>,
+}
+
+/// Append one record to the configured journal (no-op without one) and
+/// count it. Append failures are swallowed: the journal is a recovery
+/// aid, never a reason to fail live traffic.
+#[allow(clippy::too_many_arguments)]
+fn journal_event(
+    shared: &Shared,
+    event: JournalEvent,
+    id: u64,
+    design: u64,
+    cycles: u64,
+    n: u64,
+    class: DeadlineClass,
+    descriptor: &str,
+) {
+    let mut guard = shared.journal.lock().expect("journal poisoned");
+    let Some(j) = guard.as_mut() else { return };
+    if j.append(event, id, design, cycles, n, class, descriptor)
+        .is_ok()
+    {
+        drop(guard);
+        shared
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .journal_records += 1;
+    }
 }
 
 /// A live simulation service. Construct with [`SimService::start`],
@@ -191,11 +235,22 @@ pub struct SimService {
 
 impl SimService {
     pub fn start(cfg: ServeConfig) -> SimService {
+        // An unopenable journal degrades to journal-less operation with
+        // a warning rather than refusing to serve: availability first.
+        let journal = cfg.journal.as_ref().and_then(|p| match Journal::open(p) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("serve: cannot open journal {}: {e}", p.display());
+                None
+            }
+        });
         let shared = Arc::new(Shared {
             queue: Mutex::new(JobQueue::new(cfg.queue_limit)),
             metrics: Mutex::new(ServeMetrics::default()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            journal: Mutex::new(journal),
             cluster_gate: Mutex::new(()),
         });
         let cache = Arc::new(EngineCache {
@@ -243,7 +298,7 @@ impl SimService {
     /// mid-batch. Then admission control applies: at the in-flight limit
     /// the job is refused with [`SubmitError::Full`] carrying a
     /// retry-after estimated from the backlog and the EWMA service time.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+    pub fn submit(&self, mut spec: JobSpec) -> Result<JobHandle, SubmitError> {
         let lanes = PortMap::from_design(&spec.design).len();
         if spec.source.num_ports() != lanes {
             return Err(SubmitError::Invalid(format!(
@@ -260,6 +315,10 @@ impl SimService {
             design: design_hash(&spec.design),
             cycles: spec.cycles,
         };
+        let n = spec.source.num_stimulus() as u64;
+        let class = spec.class;
+        let descriptor = spec.descriptor.take().unwrap_or_default();
+        let recovered_from = spec.recovered_from.take();
         let job = Job {
             id,
             design: spec.design,
@@ -283,6 +342,36 @@ impl SimService {
                 // In-flight jobs ahead of this one at admission time.
                 let depth = queue.depth().saturating_sub(1);
                 drop(queue);
+                // Write-ahead point: the job is durable before the
+                // caller learns it was accepted. A crash from here on
+                // leaves it recoverable from the journal.
+                if let Some(old_id) = recovered_from {
+                    journal_event(
+                        &self.shared,
+                        JournalEvent::Resume,
+                        old_id,
+                        key.design,
+                        spec.cycles,
+                        n,
+                        class,
+                        &id.0.to_string(),
+                    );
+                    self.shared
+                        .metrics
+                        .lock()
+                        .expect("metrics poisoned")
+                        .jobs_recovered += 1;
+                }
+                journal_event(
+                    &self.shared,
+                    JournalEvent::Submit,
+                    id.0,
+                    key.design,
+                    spec.cycles,
+                    n,
+                    class,
+                    &descriptor,
+                );
                 self.shared
                     .metrics
                     .lock()
@@ -323,6 +412,33 @@ impl SimService {
         self.metrics()
     }
 
+    /// Simulate a hard crash: stop every thread *without* draining
+    /// queued, windowed, or undispatched work. Accepted-but-unfinished
+    /// jobs are lost in memory — their event channels close, handles
+    /// see an error — but each one is already fsync'd in the journal,
+    /// so [`crate::journal::pending`] names them for re-admission. This
+    /// is the failure the chaos tests and `--crash-after` inject.
+    pub fn crash(mut self) -> ServeMetrics {
+        self.shared.crashed.store(true, Ordering::SeqCst);
+        self.stop_and_join();
+        self.metrics()
+    }
+
+    /// Compact the configured journal (drop retired history), returning
+    /// `(kept, dropped)` record counts. No-op `(0, 0)` without a journal.
+    pub fn compact_journal(&self) -> std::io::Result<(usize, usize)> {
+        match self
+            .shared
+            .journal
+            .lock()
+            .expect("journal poisoned")
+            .as_mut()
+        {
+            Some(j) => j.compact(),
+            None => Ok((0, 0)),
+        }
+    }
+
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.wake.notify_all();
@@ -345,6 +461,10 @@ fn scheduler_loop(shared: &Shared, cfg: &ServeConfig, batch_tx: Sender<Batch>) {
     let mut coalescer = Coalescer::new(cfg.max_batch, cfg.window);
     let mut queue = shared.queue.lock().expect("queue poisoned");
     loop {
+        if shared.crashed.load(Ordering::SeqCst) {
+            // Hard crash: abandon the FIFO and every windowed bin.
+            break;
+        }
         while let Some(job) = queue.pop() {
             if let Some(batch) = coalescer.add(job, Instant::now()) {
                 let _ = batch_tx.send(batch);
@@ -379,6 +499,7 @@ fn scheduler_loop(shared: &Shared, cfg: &ServeConfig, batch_tx: Sender<Batch>) {
 struct JobMeta {
     id: JobId,
     want_vcd: bool,
+    class: DeadlineClass,
     accepted_at: Instant,
     events: Sender<JobEvent>,
 }
@@ -395,6 +516,10 @@ fn worker_loop(
             guard.recv()
         };
         match batch {
+            // A crash drops already-channelled batches on the floor too:
+            // their jobs' event channels close unresolved, exactly like
+            // a process that died between dispatch and completion.
+            Ok(_) if shared.crashed.load(Ordering::SeqCst) => continue,
             Ok(batch) => run_coalesced(shared, cache, cfg, batch),
             Err(_) => break, // scheduler gone and channel drained
         }
@@ -421,6 +546,16 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
             m.jobs_failed += n_jobs as u64;
             drop(m);
             for job in batch.jobs {
+                journal_event(
+                    shared,
+                    JournalEvent::Fail,
+                    job.id.0,
+                    batch.key.design,
+                    cycles,
+                    job.num_stimulus() as u64,
+                    job.class,
+                    "",
+                );
                 let _ = job.events.send(JobEvent::Failed {
                     id: job.id,
                     error: error.clone(),
@@ -434,6 +569,16 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
     let mut metas = Vec::with_capacity(n_jobs);
     let mut sources: Vec<Arc<dyn StimulusSource>> = Vec::with_capacity(n_jobs);
     for job in batch.jobs {
+        journal_event(
+            shared,
+            JournalEvent::Dispatch,
+            job.id.0,
+            batch.key.design,
+            cycles,
+            job.num_stimulus() as u64,
+            job.class,
+            "",
+        );
         let _ = job.events.send(JobEvent::Dispatched {
             id: job.id,
             batch_stimulus: total,
@@ -442,6 +587,7 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
         metas.push(JobMeta {
             id: job.id,
             want_vcd: job.want_vcd,
+            class: job.class,
             accepted_at: job.accepted_at,
             events: job.events,
         });
@@ -584,6 +730,16 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
 
     for (j, meta) in metas.into_iter().enumerate() {
         let range = ranges[j].clone();
+        journal_event(
+            shared,
+            JournalEvent::Complete,
+            meta.id.0,
+            batch.key.design,
+            cycles,
+            range.len() as u64,
+            meta.class,
+            "",
+        );
         let vcd = if meta.want_vcd {
             let src = &sources[j];
             let map = &engine.map;

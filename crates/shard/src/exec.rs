@@ -485,6 +485,49 @@ fn run_group(
     gpu_done
 }
 
+/// Functionally execute cycles `[start_cycle, cycles)` of the global
+/// stimulus range `[tid0, tid0 + len)` over an *existing* group-local
+/// device image, and return the range's output digests.
+///
+/// This is the resume half of the checkpoint/resume contract: restore a
+/// [`cudasim::Checkpoint`] into a fresh `plan.alloc_device(len)` image,
+/// then call this with the checkpoint's cycle. Because each cycle is a
+/// pure function of (device state, that cycle's input frames) and the
+/// source is a pure function of `(stimulus id, cycle)`, the digests are
+/// bit-identical to an uninterrupted run from cycle 0 — the property
+/// `snapshot_resume_matches_uninterrupted_run` pins down and the
+/// cluster's mid-batch recovery relies on.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_group_exec(
+    design: &Design,
+    program: &KernelProgram,
+    map: &PortMap,
+    source: &dyn StimulusSource,
+    dev: &mut cudasim::DeviceMemory,
+    tid0: usize,
+    len: usize,
+    start_cycle: u64,
+    cycles: u64,
+    exec: &ExecConfig,
+) -> Vec<u64> {
+    let mut scratches: Vec<Scratch> = (0..exec.thread_count().max(1))
+        .map(|_| Scratch::new())
+        .collect();
+    let mut frame = vec![0u64; map.len()];
+    for c in start_cycle..cycles {
+        for i in 0..len {
+            source.fill_frame(tid0 + i, c, &mut frame);
+            for (lane, port) in map.ports.iter().enumerate() {
+                program.plan.poke(dev, port.var, i, frame[lane]);
+            }
+        }
+        program.run_cycle_exec(dev, &mut scratches, 0, len, exec);
+    }
+    (0..len)
+        .map(|i| program.plan.output_digest(dev, design, i))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,6 +736,51 @@ mod tests {
         );
         assert!(r.digests.is_empty());
         assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let (design, program, _, map, src) = setup(13);
+        let exec = ExecConfig::default();
+        let hash = rtlir::design_hash(&design);
+        let (tid0, len, cycles, k) = (4usize, 9usize, 20u64, 7u64);
+
+        // Uninterrupted run of the range.
+        let mut dev = program.plan.alloc_device(len);
+        let golden = resume_group_exec(
+            &design, &program, &map, &src, &mut dev, tid0, len, 0, cycles, &exec,
+        );
+
+        // Run to cycle k, checkpoint through the full encode/decode wire
+        // path, restore into a brand-new device image, resume to the end.
+        let mut first = program.plan.alloc_device(len);
+        resume_group_exec(
+            &design, &program, &map, &src, &mut first, tid0, len, 0, k, &exec,
+        );
+        let image = cudasim::Checkpoint::capture(&first, hash, k, tid0 as u64).encode();
+        drop(first);
+
+        let ck = cudasim::Checkpoint::decode(&image).expect("image round-trips");
+        assert_eq!(ck.cycle, k);
+        assert_eq!(ck.design_hash, hash);
+        let mut resumed_dev = program.plan.alloc_device(len);
+        ck.restore_into(&mut resumed_dev).expect("shape matches");
+        let resumed = resume_group_exec(
+            &design,
+            &program,
+            &map,
+            &src,
+            &mut resumed_dev,
+            tid0,
+            len,
+            ck.cycle,
+            cycles,
+            &exec,
+        );
+        assert_eq!(
+            resumed, golden,
+            "resume from a checkpoint must be bit-identical to the uninterrupted run"
+        );
     }
 
     #[test]

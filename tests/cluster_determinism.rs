@@ -9,8 +9,8 @@
 use std::time::Duration;
 
 use rtlflow::{
-    spawn_worker, Benchmark, ClusterConfig, ClusterMetrics, Controller, DevicePool, FaultMode,
-    Flow, PortMap, ShardConfig, StimulusSource, WorkerConfig, WorkerFault,
+    spawn_worker, Benchmark, ChaosPlan, ClusterConfig, ClusterMetrics, Controller, DevicePool,
+    FaultMode, Flow, PortMap, ShardConfig, StimulusSource, WorkerConfig, WorkerFault,
 };
 
 /// Single-device sharded run: the local reference the cluster must match.
@@ -30,13 +30,16 @@ fn sharded_digests(flow: &Flow, source: &dyn StimulusSource, cycles: u64) -> Vec
 }
 
 /// Run one batch on a loopback cluster of `workers` and return
-/// (digests, metrics). `fault` kills one worker at a pickup index.
+/// (digests, metrics). `faults[i]` kills worker i at a pickup (and
+/// optionally a cycle) coordinate; `checkpoint_interval > 0` turns on
+/// mid-group snapshots and checkpoint resume.
 fn run_cluster(
     bench: Benchmark,
     source: &dyn StimulusSource,
     cycles: u64,
     workers: usize,
-    fault: Option<(usize, WorkerFault)>,
+    faults: &[(usize, WorkerFault)],
+    checkpoint_interval: u64,
     cfg: ClusterConfig,
 ) -> (Vec<u64>, ClusterMetrics) {
     let controller = Controller::bind("127.0.0.1:0", cfg).expect("bind loopback controller");
@@ -48,7 +51,8 @@ fn run_cluster(
             spawn_worker(
                 controller.addr(),
                 WorkerConfig {
-                    fault: fault.as_ref().filter(|(w, _)| *w == i).map(|&(_, f)| f),
+                    fault: faults.iter().find(|(w, _)| *w == i).map(|&(_, f)| f),
+                    checkpoint_interval,
                     ..Default::default()
                 },
             )
@@ -87,7 +91,7 @@ fn loopback_matches_sharded_for_every_benchmark_and_worker_count() {
                 group_size: 8,
                 ..Default::default()
             };
-            let (digests, m) = run_cluster(bench, source.as_ref(), cycles, workers, None, cfg);
+            let (digests, m) = run_cluster(bench, source.as_ref(), cycles, workers, &[], 0, cfg);
             assert_eq!(
                 digests, golden,
                 "{bench:?} with {workers} worker(s) diverged from the sharded reference"
@@ -112,11 +116,8 @@ fn worker_killed_mid_run_stays_bit_identical() {
         group_size: 4,
         ..Default::default()
     };
-    let fault = WorkerFault {
-        after_pickups: 1,
-        mode: FaultMode::Disconnect,
-    };
-    let (digests, m) = run_cluster(bench, source.as_ref(), 20, 4, Some((1, fault)), cfg);
+    let fault = WorkerFault::at_pickup(1, FaultMode::Disconnect);
+    let (digests, m) = run_cluster(bench, source.as_ref(), 20, 4, &[(1, fault)], 0, cfg);
     assert_eq!(
         digests, golden,
         "digests changed under a mid-run worker death"
@@ -143,11 +144,8 @@ fn silent_worker_is_detected_by_heartbeat_timeout() {
         heartbeat_timeout: Duration::from_millis(250),
         rejoin_grace: Duration::from_millis(500),
     };
-    let fault = WorkerFault {
-        after_pickups: 1,
-        mode: FaultMode::Silent,
-    };
-    let (digests, m) = run_cluster(bench, source.as_ref(), 16, 3, Some((0, fault)), cfg);
+    let fault = WorkerFault::at_pickup(1, FaultMode::Silent);
+    let (digests, m) = run_cluster(bench, source.as_ref(), 16, 3, &[(0, fault)], 0, cfg);
     assert_eq!(digests, golden, "digests changed under a silent worker");
     assert!(
         m.heartbeat_timeouts >= 1,
@@ -172,11 +170,8 @@ fn sole_worker_death_is_rescued_by_its_own_reconnect() {
         rejoin_grace: Duration::from_secs(5),
         ..Default::default()
     };
-    let fault = WorkerFault {
-        after_pickups: 1,
-        mode: FaultMode::Disconnect,
-    };
-    let (digests, m) = run_cluster(bench, source.as_ref(), 16, 1, Some((0, fault)), cfg);
+    let fault = WorkerFault::at_pickup(1, FaultMode::Disconnect);
+    let (digests, m) = run_cluster(bench, source.as_ref(), 16, 1, &[(0, fault)], 0, cfg);
     assert_eq!(
         digests, golden,
         "digests changed across a full-cluster outage"
@@ -185,5 +180,78 @@ fn sole_worker_death_is_rescued_by_its_own_reconnect() {
     assert!(
         m.reconnects >= 1,
         "the batch can only have finished via the reconnect path (metrics: {m:?})"
+    );
+}
+
+#[test]
+fn worker_killed_mid_group_resumes_from_checkpoint() {
+    let bench = Benchmark::RiscvMini;
+    let flow = Flow::from_benchmark(bench).unwrap();
+    let map = PortMap::from_design(&flow.design);
+    let source = stimulus::source_for(&flow.design, &map, 32, 0xc4e);
+    let golden = sharded_digests(&flow, source.as_ref(), 48);
+
+    // The victim dies 20 cycles into its first group — past two
+    // checkpoint boundaries (interval 8) — so the requeued group must
+    // resume from cycle 16 on the survivor, not restart from zero.
+    let cfg = ClusterConfig {
+        group_size: 16,
+        ..Default::default()
+    };
+    let fault = WorkerFault::mid_group(0, 20, FaultMode::Disconnect);
+    let (digests, m) = run_cluster(bench, source.as_ref(), 48, 2, &[(0, fault)], 8, cfg);
+    assert_eq!(
+        digests, golden,
+        "digests changed across a checkpointed mid-group resume"
+    );
+    assert!(m.worker_deaths >= 1, "the injected kill must be observed");
+    assert!(
+        m.checkpoints_received >= 1,
+        "the victim must have shipped at least one checkpoint before dying \
+         (metrics: {m:?})"
+    );
+    assert!(
+        m.groups_resumed >= 1,
+        "the requeued group must resume from a checkpoint image, not cold-start \
+         (metrics: {m:?})"
+    );
+    assert!(
+        m.max_resume_cycle > 0,
+        "a resume must restart mid-run, at a cycle past zero (metrics: {m:?})"
+    );
+}
+
+#[test]
+fn chaos_campaign_is_bit_identical_after_recovery() {
+    let bench = Benchmark::RiscvMini;
+    let flow = Flow::from_benchmark(bench).unwrap();
+    let map = PortMap::from_design(&flow.design);
+    let source = stimulus::source_for(&flow.design, &map, 48, 0xca05);
+    let golden = sharded_digests(&flow, source.as_ref(), 48);
+
+    // A scripted chaos campaign: the plan is a pure function of the
+    // seed, so a failure here reproduces exactly from this test alone.
+    // Every scripted death lands at or past the checkpoint boundary by
+    // construction, and the plan may include Silent faults, so the
+    // heartbeat deadline is shortened to keep detection fast.
+    let plan = ChaosPlan::generate(7, 3, 48, 8);
+    assert!(!plan.faults.is_empty(), "the campaign must script a fault");
+    let cfg = ClusterConfig {
+        group_size: 16,
+        heartbeat_timeout: Duration::from_millis(300),
+        rejoin_grace: Duration::from_secs(5),
+    };
+    let (digests, m) = run_cluster(bench, source.as_ref(), 48, 3, &plan.faults, 8, cfg);
+    assert_eq!(
+        digests,
+        golden,
+        "digests changed under the chaos campaign (plan:\n{})",
+        plan.describe()
+    );
+    assert!(m.worker_deaths >= 1, "scripted faults must be observed");
+    assert!(
+        m.groups_resumed >= 1,
+        "chaos deaths land past the checkpoint boundary, so recovery must \
+         resume from a checkpoint (metrics: {m:?})"
     );
 }
