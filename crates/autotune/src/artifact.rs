@@ -202,7 +202,7 @@ impl TunedArtifact {
         let design_hash = u64::from_str_radix(&get("design_hash")?, 16)
             .map_err(|_| "bad design_hash".to_string())?;
         let design_name = get("design_name")?;
-        let exec = ExecConfig::parse(&get("exec")?)?;
+        let exec = ExecConfig::parse(&get("exec")?).map_err(|e| e.to_string())?;
         let fuse_raw = get("fuse")?;
         let (cf, so) = fuse_raw
             .split_once(',')

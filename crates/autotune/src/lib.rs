@@ -46,8 +46,12 @@ pub fn prepare_tuned(
     let graph = RtlGraph::build(design).map_err(|e| format!("{e}"))?;
     let part = artifact.partition.materialize(design, &graph);
     let program = KernelProgram::build_with(design, &graph, &part, &artifact.fuse)?;
-    let cuda =
-        CudaGraph::instantiate_with(program.graph.clone(), model, Some(program.uniform.clone()))?;
+    let cuda = CudaGraph::instantiate_full(
+        program.graph.clone(),
+        model,
+        Some(program.uniform.clone()),
+        Some(program.bit.clone()),
+    )?;
     Ok((program, cuda))
 }
 
@@ -57,8 +61,12 @@ fn prepare_default(
     model: &GpuModel,
 ) -> Result<(KernelProgram, CudaGraph), String> {
     let program = transpile::transpile(design)?;
-    let cuda =
-        CudaGraph::instantiate_with(program.graph.clone(), model, Some(program.uniform.clone()))?;
+    let cuda = CudaGraph::instantiate_full(
+        program.graph.clone(),
+        model,
+        Some(program.uniform.clone()),
+        Some(program.bit.clone()),
+    )?;
     Ok((program, cuda))
 }
 

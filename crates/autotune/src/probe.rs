@@ -144,10 +144,7 @@ impl<'a> ProbeHarness<'a> {
         // Untimed warm-up cycle faults in the lazily-mapped device pages,
         // then reset so every candidate measures from the same state.
         program.run_cycle_exec(&mut dev, &mut scratches, 0, n, &cand.exec);
-        dev.var8.fill(0);
-        dev.var16.fill(0);
-        dev.var32.fill(0);
-        dev.var64.fill(0);
+        dev.reset();
         let mut per_cycle = Vec::with_capacity(cycles as usize);
         for c in 0..cycles {
             for s in 0..n {
@@ -213,6 +210,26 @@ impl<'a> ProbeHarness<'a> {
                     + hoisted * chunks;
                 // Fork/join sync per kernel wave, plus imperfect scaling.
                 vec_cost / workers + program.order.len() as f64 * blocks * workers * 48.0
+            }
+            ExecStrategy::BitPlane { threads, block } => {
+                // Word-domain remainder costs like the vector engine; bit
+                // ops process 64 lanes per word; escapes pay a per-lane
+                // scatter each cycle.
+                let word_ops = program.bit.word_fop_count() as f64;
+                let bit_ops = program.bit.bit_op_count() as f64;
+                let escapes = program.bit.escape_count() as f64;
+                let serial = program.order.len() as f64 * chunks * DISPATCH
+                    + word_ops * n
+                    + bit_ops * (n / 64.0).ceil()
+                    + escapes * n;
+                // As above, `0` scores as a fixed 4-way machine.
+                let workers = if threads == 0 { 4.0 } else { threads as f64 };
+                if workers <= 1.0 {
+                    serial
+                } else {
+                    let blocks = (n / (block.max(1) as f64)).ceil().max(1.0);
+                    serial / workers + program.order.len() as f64 * blocks * workers * 48.0
+                }
             }
         };
         Ok(1e9 * n / cost.max(1.0))

@@ -24,14 +24,19 @@ commands:
               Transpile RTL to CUDA (or Verilator-style C++) source.
   simulate    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
               [-c <cycles>] [--seed <u64>] [--group <size>] [--no-pipeline]
-              [--streams <k>] [--verify <count>] [--exec scalar|vector|par[:N]]
+              [--streams <k>] [--verify <count>]
+              [--exec scalar|vector|par[:N]|bitpar[:N[:B]]]
               Batch-simulate on the virtual A6000, optionally checking
               digests against the golden interpreter.
-  bench-exec  [--fast] [--json] [--tuned [<dir>|off]] [-o <path>]
+  bench-exec  [--fast] [--json] [--benchmark <name>] [--tuned [<dir>|off]]
+              [-o <path>]
               Measure functional-execution throughput (stimulus-cycles/s)
-              of the scalar, vectorized, and block-parallel executors
-              across the benchmark designs at batch sizes 64/1024/8192.
-              Designs with a cached tuned artifact get a `tuned` row.
+              of the scalar, vectorized, block-parallel, and bit-transposed
+              executors across the benchmark designs at batch sizes
+              64/1024/8192. Designs with a cached tuned artifact get a
+              `tuned` row. With --json the output file is merged per
+              design: rows for designs not measured in this run are
+              preserved from the existing file.
   autotune    [--benchmark <name> | --all | --fixture counter|picorv32]
               [--budget <probes>] [--budget-ms <ms>] [--seed <u64>]
               [--probe-n <stimulus>] [--probe-c <cycles>]
@@ -57,7 +62,8 @@ commands:
               from the journal is verified bit-identical to direct runs.
   netlist-sim (<file.json> --top <module> | --fixture counter|picorv32)
               [-n <stimulus>] [-c <cycles>] [--seed <u64>] [--rewrite on|off]
-              [--exec scalar|vector|par[:N]] [--verify <count>] [--json]
+              [--exec scalar|vector|par[:N]|bitpar[:N[:B]]] [--verify <count>]
+              [--json]
               Import a Yosys JSON netlist, optionally run the pattern
               rewriter, batch-simulate, and report import + rewrite stats
               (digests verified against the interpreter on the un-rewritten
@@ -146,6 +152,27 @@ fn write_out(args: &Args, default_name: &str, content: &str) {
     }
 }
 
+/// Convert a parsed JSON value (the netlist frontend's reader) into the
+/// emitter's tree, preserving member order. `bench-exec --json` uses this
+/// to carry previously-measured design rows into the merged output file.
+fn jvalue_to_json(v: &netlist::json::JValue) -> desim::Json {
+    use desim::Json;
+    use netlist::json::JValue;
+    match v {
+        JValue::Null => Json::Null,
+        JValue::Bool(b) => Json::Bool(*b),
+        JValue::Int(i) => Json::Int(*i as i128),
+        JValue::Num(n) => Json::Num(*n),
+        JValue::Str(s) => Json::Str(s.clone()),
+        JValue::Arr(a) => Json::Arr(a.iter().map(jvalue_to_json).collect()),
+        JValue::Obj(m) => Json::Obj(
+            m.iter()
+                .map(|(k, v)| (k.clone(), jvalue_to_json(v)))
+                .collect(),
+        ),
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -163,6 +190,7 @@ fn main() {
             println!("nvdla-small  4x4x2 PEs");
             println!("nvdla-tiny   2x2x1 PEs");
             println!("picorv32     vendored Yosys-JSON netlist fixture (gate-level RV32I subset)");
+            println!("handshake    control-heavy valid/ready ring, almost all 1-bit signals");
         }
         "transpile" => {
             let flow = load_flow(&args);
@@ -250,12 +278,28 @@ fn main() {
 
             let fast = args.has("fast");
             let policy = tuned_policy(&args);
-            let designs = ["riscv-mini", "spinal", "nvdla-tiny", "picorv32"];
+            let all_designs = [
+                "riscv-mini",
+                "spinal",
+                "nvdla-tiny",
+                "picorv32",
+                "handshake",
+            ];
+            // `--benchmark <name>` restricts the run to one design; with
+            // --json the other designs' rows survive via the merge below.
+            let designs: Vec<&str> = match args.get("benchmark") {
+                Some(name) => {
+                    benchmark_by_name(name); // validates the name (exits on junk)
+                    vec![name]
+                }
+                None => all_designs.to_vec(),
+            };
             let batches: [usize; 3] = [64, 1024, 8192];
-            let strategies: [(&str, ExecConfig); 3] = [
+            let strategies: [(&str, ExecConfig); 4] = [
                 ("scalar", ExecConfig::scalar()),
                 ("vectorized", ExecConfig::vectorized()),
                 ("parallel", ExecConfig::parallel(0)),
+                ("bitpar", ExecConfig::bitplane(1)),
             ];
 
             let mut design_rows: Vec<Json> = Vec::new();
@@ -304,10 +348,7 @@ fn main() {
                         // then reset so every strategy measures the same
                         // cycle range from the same state.
                         program.run_cycle_exec(&mut dev, &mut scratches, 0, n, exec);
-                        dev.var8.fill(0);
-                        dev.var16.fill(0);
-                        dev.var32.fill(0);
-                        dev.var64.fill(0);
+                        dev.reset();
                         let mut per_cycle = Vec::with_capacity(cycles as usize);
                         for c in 0..cycles {
                             for s in 0..n {
@@ -356,10 +397,47 @@ fn main() {
             }
 
             if args.has("json") {
+                // Merge per design instead of wholesale rewrite: rows for
+                // designs not measured in this run are carried over from
+                // the existing file in their original positions, and a
+                // re-measured design replaces its old row in place. A
+                // `--benchmark handshake` run therefore updates one row of
+                // BENCH_simt.json and leaves the other four untouched.
+                let path = args.get("o").unwrap_or("BENCH_simt.json");
+                let mut fresh: Vec<Option<Json>> = design_rows.into_iter().map(Some).collect();
+                let take = |fresh: &mut Vec<Option<Json>>, name: &str| -> Option<Json> {
+                    fresh.iter_mut().find_map(|slot| {
+                        match slot {
+                            Some(Json::Obj(m)) => m
+                                .iter()
+                                .any(|(k, v)| k == "design" && *v == Json::Str(name.into())),
+                            _ => false,
+                        }
+                        .then(|| slot.take())
+                        .flatten()
+                    })
+                };
+                let mut merged: Vec<Json> = Vec::new();
+                if let Ok(prev) = std::fs::read_to_string(path) {
+                    if let Ok(doc) = netlist::json::parse(&prev) {
+                        for row in doc
+                            .get("designs")
+                            .and_then(|d| d.as_arr())
+                            .unwrap_or_default()
+                        {
+                            let name = row.get("design").and_then(|d| d.as_str());
+                            match name.and_then(|n| take(&mut fresh, n)) {
+                                Some(new_row) => merged.push(new_row),
+                                None => merged.push(jvalue_to_json(row)),
+                            }
+                        }
+                    }
+                }
+                merged.extend(fresh.into_iter().flatten());
                 let doc = Json::obj()
                     .field("fast", fast)
                     .field("unit", "stimulus-cycles/sec")
-                    .field("designs", Json::Arr(design_rows));
+                    .field("designs", Json::Arr(merged));
                 write_out(&args, "BENCH_simt.json", &format!("{doc}\n"));
             } else {
                 println!(
@@ -389,7 +467,13 @@ fn main() {
                 vec![(format!("fixture-{top}"), design)]
             } else {
                 let names: Vec<&str> = if args.has("all") {
-                    vec!["riscv-mini", "spinal", "nvdla-tiny", "picorv32"]
+                    vec![
+                        "riscv-mini",
+                        "spinal",
+                        "nvdla-tiny",
+                        "picorv32",
+                        "handshake",
+                    ]
                 } else {
                     vec![args.get("benchmark").unwrap_or("riscv-mini")]
                 };

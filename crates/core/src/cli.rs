@@ -93,6 +93,7 @@ pub fn benchmark_by_name(name: &str) -> Benchmark {
         "nvdla-small" => Benchmark::Nvdla(NvdlaScale::Small),
         "nvdla-tiny" => Benchmark::Nvdla(NvdlaScale::Tiny),
         "picorv32" => Benchmark::Picorv32,
+        "handshake" => Benchmark::Handshake,
         other => {
             eprintln!("unknown benchmark `{other}` (see `rtlflow benchmarks`)");
             exit(2)
@@ -143,5 +144,9 @@ mod tests {
             Benchmark::Nvdla(NvdlaScale::Tiny)
         ));
         assert!(matches!(benchmark_by_name("picorv32"), Benchmark::Picorv32));
+        assert!(matches!(
+            benchmark_by_name("handshake"),
+            Benchmark::Handshake
+        ));
     }
 }

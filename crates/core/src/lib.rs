@@ -144,10 +144,11 @@ impl Flow {
             PartitionStrategy::Mcmc(cfg) => mcmc_partition(&design, &graph, &model, cfg)?.partition,
         };
         let program = KernelProgram::build(&design, &graph, &partition)?;
-        let cuda = CudaGraph::instantiate_with(
+        let cuda = CudaGraph::instantiate_full(
             program.graph.clone(),
             &model,
             Some(program.uniform.clone()),
+            Some(program.bit.clone()),
         )?;
         Ok(Flow {
             design,
@@ -176,10 +177,11 @@ impl Flow {
             }
         };
         self.program = KernelProgram::build(&self.design, &self.graph_info, &partition)?;
-        self.cuda = CudaGraph::instantiate_with(
+        self.cuda = CudaGraph::instantiate_full(
             self.program.graph.clone(),
             &self.model,
             Some(self.program.uniform.clone()),
+            Some(self.program.bit.clone()),
         )?;
         self.partition = partition;
         Ok(())

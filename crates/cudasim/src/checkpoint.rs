@@ -116,13 +116,16 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Capture the full state of `dev` together with resume metadata.
+    /// The `var8` bucket is captured in canonical form (any attached
+    /// bit-transposed planes folded back into their rows), so images are
+    /// independent of the execution layout that produced them.
     pub fn capture(dev: &DeviceMemory, design_hash: u64, cycle: u64, tid0: u64) -> Self {
         Checkpoint {
             design_hash,
             cycle,
             tid0,
             n: dev.n(),
-            var8: dev.var8.clone(),
+            var8: dev.var8_canonical(),
             var16: dev.var16.clone(),
             var32: dev.var32.clone(),
             var64: dev.var64.clone(),
@@ -278,6 +281,9 @@ impl Checkpoint {
         dev.var16.copy_from_slice(&self.var16);
         dev.var32.copy_from_slice(&self.var32);
         dev.var64.copy_from_slice(&self.var64);
+        // Images are canonical: if the device has a bit-transposed region
+        // attached, re-pack its planes from the rows just written.
+        dev.resync_bitplane();
         Ok(())
     }
 }
@@ -351,6 +357,100 @@ mod tests {
         assert_eq!(fresh.var16, dev.var16);
         assert_eq!(fresh.var32, dev.var32);
         assert_eq!(fresh.var64, dev.var64);
+    }
+
+    #[test]
+    fn capture_is_canonical_with_bitplane_attached() {
+        use crate::bitplane::BitLayout;
+        use crate::fuse::FuseConfig;
+        use crate::ir::{Kernel, Op, TaskGraphIr};
+
+        // A 1-bit cone over var8 slot 0 makes it transposable.
+        let k = Kernel::new(
+            "k",
+            vec![
+                Op::Load {
+                    dst: 0,
+                    slot: Slot {
+                        bucket: Bucket::B8,
+                        offset: 0,
+                    },
+                },
+                Op::Un {
+                    op: crate::ir::KUn::Not,
+                    dst: 1,
+                    a: 0,
+                    width: 1,
+                },
+                Op::Store {
+                    src: 1,
+                    slot: Slot {
+                        bucket: Bucket::B8,
+                        offset: 0,
+                    },
+                    width: 1,
+                },
+            ],
+        );
+        let ir = TaskGraphIr {
+            kernels: vec![k],
+            deps: vec![vec![]],
+        };
+        let roots = [(
+            Slot {
+                bucket: Bucket::B8,
+                offset: 0,
+            },
+            1u32,
+        )];
+        let layout = BitLayout::compile(&ir, 2, &roots, None, &FuseConfig::default());
+        assert_eq!(layout.num_planes(), 1);
+
+        let mut raw = scrambled();
+        for t in 0..3 {
+            raw.store(
+                Slot {
+                    bucket: Bucket::B8,
+                    offset: 0,
+                },
+                t,
+                (t as u64) & 1,
+            );
+        }
+        let mut attached = raw.clone();
+        attached.attach_bitplane(&layout);
+
+        // Same canonical image from either layout.
+        let ck_raw = Checkpoint::capture(&raw, 1, 2, 0);
+        let ck_att = Checkpoint::capture(&attached, 1, 2, 0);
+        assert_eq!(ck_raw, ck_att);
+
+        // Restoring into an attached device re-syncs the planes.
+        let mut target = raw.clone();
+        target.attach_bitplane(&layout);
+        target.store(
+            Slot {
+                bucket: Bucket::B8,
+                offset: 0,
+            },
+            0,
+            1,
+        );
+        ck_raw.restore_into(&mut target).unwrap();
+        for t in 0..3 {
+            assert_eq!(
+                target.load(
+                    Slot {
+                        bucket: Bucket::B8,
+                        offset: 0
+                    },
+                    t
+                ),
+                (t as u64) & 1
+            );
+        }
+        target.detach_bitplane();
+        assert_eq!(target.var8, raw.var8);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct DeviceMemory {
     pub var16: Vec<u16>,
     pub var32: Vec<u32>,
     pub var64: Vec<u64>,
+    /// Optional bit-transposed region for 1-bit slots. While attached, the
+    /// planes are authoritative for their slots and the matching `var8`
+    /// rows are zero (see [`crate::bitplane`]); the single-element
+    /// `load`/`store` shims below route through it transparently.
+    pub(crate) bitplane: Option<Box<crate::bitplane::BitplaneMemory>>,
 }
 
 impl DeviceMemory {
@@ -40,6 +45,7 @@ impl DeviceMemory {
             var16: vec![0; len16 as usize * n],
             var32: vec![0; len32 as usize * n],
             var64: vec![0; len64 as usize * n],
+            bitplane: None,
         }
     }
 
@@ -58,7 +64,14 @@ impl DeviceMemory {
     pub fn load(&self, slot: Slot, tid: usize) -> u64 {
         let i = slot.offset as usize * self.n + tid;
         match slot.bucket {
-            Bucket::B8 => self.var8[i] as u64,
+            Bucket::B8 => {
+                if let Some(bp) = &self.bitplane {
+                    if let Some(p) = bp.plane_for(slot.offset) {
+                        return bp.get(p, tid);
+                    }
+                }
+                self.var8[i] as u64
+            }
             Bucket::B16 => self.var16[i] as u64,
             Bucket::B32 => self.var32[i] as u64,
             Bucket::B64 => self.var64[i],
@@ -70,7 +83,15 @@ impl DeviceMemory {
     pub fn store(&mut self, slot: Slot, tid: usize, value: u64) {
         let i = slot.offset as usize * self.n + tid;
         match slot.bucket {
-            Bucket::B8 => self.var8[i] = value as u8,
+            Bucket::B8 => {
+                if let Some(bp) = &mut self.bitplane {
+                    if let Some(p) = bp.plane_for(slot.offset) {
+                        bp.set(p, tid, value);
+                        return;
+                    }
+                }
+                self.var8[i] = value as u8;
+            }
             Bucket::B16 => self.var16[i] = value as u16,
             Bucket::B32 => self.var32[i] = value as u32,
             Bucket::B64 => self.var64[i] = value,
@@ -628,5 +649,112 @@ mod tests {
         );
         execute_kernel(&k, &mut dev, &mut Scratch::new(), 0, 2);
         assert_eq!(dev.load(s(Bucket::B8, 0), 0), 6);
+    }
+
+    // -----------------------------------------------------------------
+    // Bucket-boundary behavior: width-64 masks, load_idx extents, and
+    // peek/poke truncation at each bucket's element type.
+
+    #[test]
+    fn mask_covers_full_width_range() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(63), (1u64 << 63) - 1);
+        // Width 64 must not overflow the shift: full mask.
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn width64_ops_do_not_truncate() {
+        let mut dev = DeviceMemory::new(2, 0, 0, 0, 2);
+        let k = Kernel::new(
+            "w64",
+            vec![
+                Op::Const {
+                    dst: 0,
+                    value: u64::MAX,
+                },
+                Op::Const { dst: 1, value: 1 },
+                // MAX + 1 wraps to 0 at width 64; MAX - 1 keeps bit 63.
+                Op::Bin {
+                    op: KBin::Add,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                    width: 64,
+                },
+                Op::Bin {
+                    op: KBin::Sub,
+                    dst: 3,
+                    a: 0,
+                    b: 1,
+                    width: 64,
+                },
+                Op::Store {
+                    src: 2,
+                    slot: s(Bucket::B64, 0),
+                    width: 64,
+                },
+                Op::Store {
+                    src: 3,
+                    slot: s(Bucket::B64, 1),
+                    width: 64,
+                },
+            ],
+        );
+        execute_kernel(&k, &mut dev, &mut Scratch::new(), 0, 2);
+        assert_eq!(dev.load(s(Bucket::B64, 0), 0), 0);
+        assert_eq!(dev.load(s(Bucket::B64, 1), 0), u64::MAX - 1);
+    }
+
+    #[test]
+    fn store_truncates_to_bucket_element() {
+        let mut dev = DeviceMemory::new(1, 1, 1, 1, 1);
+        // Host pokes truncate to the bucket element type, independent of
+        // any op width: B8 keeps the low 8 bits, B16 the low 16, etc.
+        dev.store(s(Bucket::B8, 0), 0, 0x1ff);
+        assert_eq!(dev.load(s(Bucket::B8, 0), 0), 0xff);
+        dev.store(s(Bucket::B16, 0), 0, 0xab_cdef);
+        assert_eq!(dev.load(s(Bucket::B16, 0), 0), 0xcdef);
+        dev.store(s(Bucket::B32, 0), 0, 0xdead_beef_0bad_f00d);
+        assert_eq!(dev.load(s(Bucket::B32, 0), 0), 0x0bad_f00d);
+        dev.store(s(Bucket::B64, 0), 0, u64::MAX);
+        assert_eq!(dev.load(s(Bucket::B64, 0), 0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_len_reports_per_stimulus_extents() {
+        let dev = DeviceMemory::new(4, 3, 2, 1, 0);
+        assert_eq!(dev.bucket_len(Bucket::B8), 3);
+        assert_eq!(dev.bucket_len(Bucket::B16), 2);
+        assert_eq!(dev.bucket_len(Bucket::B32), 1);
+        assert_eq!(dev.bucket_len(Bucket::B64), 0);
+    }
+
+    #[test]
+    fn load_idx_bounds_and_extent() {
+        let mut dev = DeviceMemory::new(2, 4, 0, 0, 0);
+        for i in 0..4 {
+            dev.store(s(Bucket::B8, i), 1, 10 + i as u64);
+        }
+        // In-range reads index consecutive slots of the same lane.
+        assert_eq!(dev.load_idx(s(Bucket::B8, 0), 1, 0, 4), 10);
+        assert_eq!(dev.load_idx(s(Bucket::B8, 1), 1, 2, 3), 13);
+        // Out-of-range indices read as zero (two-state X semantics),
+        // including indices far beyond the array.
+        assert_eq!(dev.load_idx(s(Bucket::B8, 0), 1, 4, 4), 0);
+        assert_eq!(dev.load_idx(s(Bucket::B8, 0), 1, u64::MAX, 4), 0);
+        // The final element of the declared extent is reachable.
+        assert_eq!(dev.load_idx(s(Bucket::B8, 0), 1, 3, 4), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds allocated extent")]
+    #[cfg(debug_assertions)]
+    fn load_idx_rejects_overdeclared_depth() {
+        let dev = DeviceMemory::new(2, 4, 0, 0, 0);
+        // Depth 5 from offset 0 overruns the 4-element B8 extent: an
+        // inconsistent memory plan must be caught, not read neighbors.
+        dev.load_idx(s(Bucket::B8, 0), 0, 1, 5);
     }
 }

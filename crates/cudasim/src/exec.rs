@@ -39,7 +39,45 @@ pub enum ExecStrategy {
     /// Vectorized execution over disjoint lane blocks on a host pool.
     /// `threads == 0` means "use available host parallelism".
     BlockParallel { threads: usize, block: usize },
+    /// Bit-transposed execution ([`crate::bitplane`]): 1-bit slots live as
+    /// planes of 64 lanes per word, the word remainder runs vectorized.
+    /// `threads == 1` is serial; `0` means "use available parallelism";
+    /// `block` is the parallel lane-block size (rounded to 64 lanes).
+    BitPlane { threads: usize, block: usize },
 }
+
+/// Structured parse error for [`ExecConfig::parse`] specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecSpecError {
+    /// The strategy head is not one of the known names.
+    UnknownStrategy { token: String },
+    /// A numeric field is empty, non-digit, or out of range.
+    BadNumber { what: &'static str, token: String },
+    /// Extra input after a complete, valid spec.
+    TrailingInput { rest: String },
+}
+
+impl std::fmt::Display for ExecSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const GRAMMAR: &str = "scalar|vector|par[:N[:block]]|bitpar[:N[:block]][@chunk]";
+        match self {
+            ExecSpecError::UnknownStrategy { token } => {
+                write!(f, "unknown exec strategy `{token}` (expected {GRAMMAR})")
+            }
+            ExecSpecError::BadNumber { what, token } => {
+                write!(f, "bad {what} `{token}` in exec spec (expected {GRAMMAR})")
+            }
+            ExecSpecError::TrailingInput { rest } => {
+                write!(
+                    f,
+                    "trailing input `{rest}` after exec spec (expected {GRAMMAR})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecSpecError {}
 
 /// Functional-execution configuration threaded through pipeline/shard/serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,63 +122,99 @@ impl ExecConfig {
         }
     }
 
+    /// Bit-transposed execution ([`crate::bitplane`]). `threads == 1` is
+    /// the serial engine; `0` means "use available parallelism".
+    pub const fn bitplane(threads: usize) -> Self {
+        ExecConfig {
+            strategy: ExecStrategy::BitPlane {
+                threads,
+                block: DEFAULT_BLOCK,
+            },
+            lane_chunk: DEFAULT_LANE_CHUNK,
+        }
+    }
+
     /// Same config with a different lane-chunk size.
     pub const fn with_lane_chunk(mut self, lane_chunk: usize) -> Self {
         self.lane_chunk = lane_chunk;
         self
     }
 
-    /// Same config with a different block-parallel block size (no-op for
-    /// the serial strategies).
+    /// Same config with a different parallel block size (no-op for the
+    /// serial strategies).
     pub const fn with_block(mut self, block: usize) -> Self {
-        if let ExecStrategy::BlockParallel { threads, .. } = self.strategy {
-            self.strategy = ExecStrategy::BlockParallel { threads, block };
+        match self.strategy {
+            ExecStrategy::BlockParallel { threads, .. } => {
+                self.strategy = ExecStrategy::BlockParallel { threads, block };
+            }
+            ExecStrategy::BitPlane { threads, .. } => {
+                self.strategy = ExecStrategy::BitPlane { threads, block };
+            }
+            ExecStrategy::Scalar | ExecStrategy::Vectorized => {}
         }
         self
     }
 
-    /// Parse a CLI spec: `scalar`, `vector`, or `par[:threads[:block]]`,
-    /// each optionally suffixed with `@<lane_chunk>` (e.g. `vector@512`,
-    /// `par:4:2048@128`).
-    pub fn parse(s: &str) -> Result<ExecConfig, String> {
-        let (base, chunk) = match s.split_once('@') {
-            Some((b, c)) => {
-                let chunk: usize = c
-                    .parse()
-                    .map_err(|_| format!("bad lane-chunk in exec spec `{s}`"))?;
-                (b, Some(chunk.max(1)))
+    /// Parse a CLI spec: `scalar`, `vector`, `par[:threads[:block]]`, or
+    /// `bitpar[:threads[:block]]`, each optionally suffixed with
+    /// `@<lane_chunk>` (e.g. `vector@512`, `par:4:2048@128`, `bitpar:0`).
+    /// The whole input must be consumed: trailing characters after a valid
+    /// spec are a [`ExecSpecError::TrailingInput`]/[`ExecSpecError::BadNumber`].
+    pub fn parse(s: &str) -> Result<ExecConfig, ExecSpecError> {
+        // Digits only: `usize::from_str` also accepts a leading `+`,
+        // which `spec()` never emits and the grammar does not allow.
+        fn int(what: &'static str, tok: &str) -> Result<usize, ExecSpecError> {
+            let bad = || ExecSpecError::BadNumber {
+                what,
+                token: tok.to_string(),
+            };
+            if tok.is_empty() || !tok.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
             }
+            tok.parse().map_err(|_| bad())
+        }
+
+        let (base, chunk) = match s.split_once('@') {
+            Some((b, c)) => (b, Some(int("lane-chunk", c)?.max(1))),
             None => (s, None),
         };
-        let cfg = match base {
+        let mut toks = base.split(':');
+        let head = toks.next().unwrap_or("");
+        let rest: Vec<&str> = toks.collect();
+        let arity = match head {
+            "scalar" | "vector" | "vectorized" => 0,
+            "par" | "parallel" | "bitpar" => 2,
+            _ => {
+                return Err(ExecSpecError::UnknownStrategy {
+                    token: head.to_string(),
+                })
+            }
+        };
+        if rest.len() > arity {
+            return Err(ExecSpecError::TrailingInput {
+                rest: rest[arity..].join(":"),
+            });
+        }
+        let cfg = match head {
             "scalar" => ExecConfig::scalar(),
             "vector" | "vectorized" => ExecConfig::vectorized(),
-            "par" | "parallel" => ExecConfig::parallel(0),
-            _ => {
-                if let Some(t) = base
-                    .strip_prefix("par:")
-                    .or_else(|| base.strip_prefix("parallel:"))
-                {
-                    let (threads, block) = match t.split_once(':') {
-                        Some((n, b)) => (
-                            n.parse()
-                                .map_err(|_| format!("bad thread count in exec spec `{s}`"))?,
-                            b.parse()
-                                .map_err(|_| format!("bad block size in exec spec `{s}`"))?,
-                        ),
-                        None => (
-                            t.parse()
-                                .map_err(|_| format!("bad thread count in exec spec `{s}`"))?,
-                            DEFAULT_BLOCK,
-                        ),
-                    };
-                    ExecConfig::parallel(threads).with_block(block)
+            "par" | "parallel" | "bitpar" => {
+                let default_threads = if head == "bitpar" { 1 } else { 0 };
+                let threads = match rest.first() {
+                    Some(t) => int("thread count", t)?,
+                    None => default_threads,
+                };
+                let block = match rest.get(1) {
+                    Some(b) => int("block size", b)?,
+                    None => DEFAULT_BLOCK,
+                };
+                if head == "bitpar" {
+                    ExecConfig::bitplane(threads).with_block(block)
                 } else {
-                    return Err(format!(
-                        "unknown exec strategy `{s}` (expected scalar|vector|par[:N[:block]][@chunk])"
-                    ));
+                    ExecConfig::parallel(threads).with_block(block)
                 }
             }
+            _ => unreachable!(),
         };
         Ok(match chunk {
             Some(c) => cfg.with_lane_chunk(c),
@@ -160,6 +234,15 @@ impl ExecConfig {
                     format!("par:{threads}:{block}")
                 }
             }
+            ExecStrategy::BitPlane { threads, block } => {
+                if threads == 1 && block == DEFAULT_BLOCK {
+                    "bitpar".to_string()
+                } else if block == DEFAULT_BLOCK {
+                    format!("bitpar:{threads}")
+                } else {
+                    format!("bitpar:{threads}:{block}")
+                }
+            }
         };
         if self.lane_chunk != DEFAULT_LANE_CHUNK {
             s.push_str(&format!("@{}", self.lane_chunk));
@@ -171,7 +254,8 @@ impl ExecConfig {
     pub fn thread_count(&self) -> usize {
         match self.strategy {
             ExecStrategy::Scalar | ExecStrategy::Vectorized => 1,
-            ExecStrategy::BlockParallel { threads, .. } => {
+            ExecStrategy::BlockParallel { threads, .. }
+            | ExecStrategy::BitPlane { threads, .. } => {
                 if threads == 0 {
                     std::thread::available_parallelism().map_or(4, |n| n.get())
                 } else {
@@ -1318,8 +1402,70 @@ mod tests {
                 block: DEFAULT_BLOCK
             }
         );
+        assert_eq!(
+            ExecConfig::parse("bitpar").unwrap().strategy,
+            ExecStrategy::BitPlane {
+                threads: 1,
+                block: DEFAULT_BLOCK
+            }
+        );
+        assert_eq!(
+            ExecConfig::parse("bitpar:0:2048").unwrap().strategy,
+            ExecStrategy::BitPlane {
+                threads: 0,
+                block: 2048
+            }
+        );
         assert!(ExecConfig::parse("wat").is_err());
         assert!(ExecConfig::parse("vector@zero").is_err());
+    }
+
+    #[test]
+    fn exec_config_parse_rejects_trailing_garbage() {
+        assert_eq!(
+            ExecConfig::parse("vector@1024junk"),
+            Err(ExecSpecError::BadNumber {
+                what: "lane-chunk",
+                token: "1024junk".to_string()
+            })
+        );
+        assert_eq!(
+            ExecConfig::parse("scalar:3"),
+            Err(ExecSpecError::TrailingInput {
+                rest: "3".to_string()
+            })
+        );
+        assert_eq!(
+            ExecConfig::parse("par:4:1024:9"),
+            Err(ExecSpecError::TrailingInput {
+                rest: "9".to_string()
+            })
+        );
+        assert_eq!(
+            ExecConfig::parse("par:+4"),
+            Err(ExecSpecError::BadNumber {
+                what: "thread count",
+                token: "+4".to_string()
+            })
+        );
+        assert_eq!(
+            ExecConfig::parse("bitpar:"),
+            Err(ExecSpecError::BadNumber {
+                what: "thread count",
+                token: String::new()
+            })
+        );
+        assert_eq!(
+            ExecConfig::parse("warp"),
+            Err(ExecSpecError::UnknownStrategy {
+                token: "warp".to_string()
+            })
+        );
+        // Errors render with the grammar hint for the CLI.
+        let msg = ExecConfig::parse("vector@1024junk")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("lane-chunk") && msg.contains("bitpar"));
     }
 
     #[test]
@@ -1331,6 +1477,10 @@ mod tests {
             ExecConfig::parallel(4),
             ExecConfig::parallel(4).with_block(2048),
             ExecConfig::parallel(0).with_block(4096).with_lane_chunk(64),
+            ExecConfig::bitplane(1),
+            ExecConfig::bitplane(0),
+            ExecConfig::bitplane(8).with_block(128),
+            ExecConfig::bitplane(2).with_lane_chunk(64),
         ] {
             assert_eq!(ExecConfig::parse(&spec.spec()).unwrap(), spec);
         }
@@ -1340,5 +1490,6 @@ mod tests {
                 .with_block(2048)
                 .with_lane_chunk(128)
         );
+        assert_eq!(ExecConfig::bitplane(1).spec(), "bitpar");
     }
 }

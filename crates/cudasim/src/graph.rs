@@ -14,6 +14,7 @@
 
 use desim::{Resource, Time, Trace};
 
+use crate::bitplane::{run_bitplane_cycle, BitLayout};
 use crate::device::{execute_kernel, DeviceMemory, Scratch};
 use crate::exec::{execute_ordered, execute_ordered_parallel, ExecConfig, ExecStrategy};
 use crate::fuse::{fuse_graph, ExecStats, FuseStats, FusedKernel, SlotUniform};
@@ -45,6 +46,9 @@ pub struct CudaGraph {
     pub fused: Vec<FusedKernel>,
     /// Uniform-slot analysis the fusion was specialized against.
     pub uniform: Option<SlotUniform>,
+    /// Bit-transposed layout for the [`ExecStrategy::BitPlane`] strategy
+    /// (`None` falls back to vectorized execution under that strategy).
+    pub bit: Option<BitLayout>,
 }
 
 impl CudaGraph {
@@ -61,6 +65,18 @@ impl CudaGraph {
         model: &GpuModel,
         uniform: Option<SlotUniform>,
     ) -> Result<CudaGraph, String> {
+        CudaGraph::instantiate_full(ir, model, uniform, None)
+    }
+
+    /// Validate and instantiate with both analyses: the uniform-slot
+    /// specialization and (optionally) a precompiled bit-transposed
+    /// layout for [`ExecStrategy::BitPlane`].
+    pub fn instantiate_full(
+        ir: TaskGraphIr,
+        model: &GpuModel,
+        uniform: Option<SlotUniform>,
+        bit: Option<BitLayout>,
+    ) -> Result<CudaGraph, String> {
         let order = ir.topo_order()?;
         for k in &ir.kernels {
             k.validate()?;
@@ -75,14 +91,20 @@ impl CudaGraph {
             instantiate_ns,
             fused,
             uniform,
+            bit,
         })
     }
 
     /// Re-instantiate the same task graph against another GPU model,
-    /// preserving the uniform-slot analysis (used when a shard migrates a
-    /// graph onto a different device).
+    /// preserving the uniform-slot analysis and bit layout (used when a
+    /// shard migrates a graph onto a different device).
     pub fn reinstantiate(&self, model: &GpuModel) -> Result<CudaGraph, String> {
-        CudaGraph::instantiate_with(self.ir.clone(), model, self.uniform.clone())
+        CudaGraph::instantiate_full(
+            self.ir.clone(),
+            model,
+            self.uniform.clone(),
+            self.bit.clone(),
+        )
     }
 
     /// Aggregate fusion + uniform statistics for the metrics path.
@@ -233,6 +255,37 @@ impl GpuRuntime {
                     self.scalar_ops += std::mem::take(&mut s.scalar_ops);
                 }
             }
+            ExecStrategy::BitPlane { block, .. } => match &graph.bit {
+                Some(bit) => {
+                    run_bitplane_cycle(
+                        bit,
+                        &graph.order,
+                        dev,
+                        &mut self.par_scratch,
+                        tid0,
+                        group,
+                        block,
+                        self.exec.lane_chunk,
+                    );
+                    for s in &mut self.par_scratch {
+                        self.scalar_ops += std::mem::take(&mut s.scalar_ops);
+                    }
+                }
+                None => {
+                    // No layout was compiled for this graph: run the
+                    // vectorized engine, which is bit-identical.
+                    execute_ordered(
+                        &graph.fused,
+                        &graph.order,
+                        dev,
+                        scratch,
+                        tid0,
+                        group,
+                        self.exec.lane_chunk,
+                    );
+                    self.scalar_ops += std::mem::take(&mut scratch.scalar_ops);
+                }
+            },
         }
         self.cycles += 1;
         self.time_cycle(graph, mode, group, ready, trace)

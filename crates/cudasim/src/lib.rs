@@ -19,6 +19,7 @@
 //! implementing the capture algorithm of [23, 24] (level-ordered,
 //! round-robin over a fixed number of streams).
 
+pub mod bitplane;
 pub mod checkpoint;
 pub mod device;
 pub mod exec;
@@ -27,11 +28,12 @@ pub mod graph;
 pub mod ir;
 pub mod model;
 
+pub use bitplane::{run_bitplane_cycle, BOp, BitLayout, BitProgram, BitplaneMemory, EscapeRead};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use device::{execute_kernel, DeviceMemory, Scratch};
 pub use exec::{
-    execute_fused, execute_ordered, execute_ordered_parallel, ExecConfig, ExecStrategy,
-    DEFAULT_BLOCK, DEFAULT_LANE_CHUNK,
+    execute_fused, execute_ordered, execute_ordered_parallel, ExecConfig, ExecSpecError,
+    ExecStrategy, DEFAULT_BLOCK, DEFAULT_LANE_CHUNK,
 };
 pub use fuse::{
     fuse_graph, fuse_graph_with, fuse_kernel, fuse_kernel_with, ExecStats, FOp, FuseConfig,

@@ -1,0 +1,205 @@
+//! Control-heavy handshake-ring benchmark: a ring of valid/ready
+//! handshake cells whose state is almost entirely 1-bit signals.
+//!
+//! Each cell is a 3-state one-hot FSM (idle → busy → done) holding one
+//! data bit and a running parity; cells are chained into a ring with a
+//! stimulus-driven injector at the head and a stall/drain throttle at
+//! the tail. Every control and data signal in the ring is exactly one
+//! bit wide and the next-state logic is pure gates and muxes, so the
+//! whole ring lands in the bit-transposed execution domain where one
+//! machine word carries 64 stimuli. The single deliberate exception is
+//! an 8-bit beat counter observing the head handshake: it stays in the
+//! width-bucketed word domain and reads a transposed 1-bit signal,
+//! exercising the escape-read shim every cycle.
+//!
+//! Because the subset has no `generate` blocks, the generator unrolls
+//! the ring into flat Verilog text, like the NVDLA generator.
+
+use std::fmt::Write as _;
+
+/// Shape of a generated handshake ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandshakeConfig {
+    /// Number of handshake cells in the ring.
+    pub cells: usize,
+}
+
+impl Default for HandshakeConfig {
+    /// The benchmark scale: 16 cells (~80 one-bit registers).
+    fn default() -> Self {
+        HandshakeConfig { cells: 16 }
+    }
+}
+
+/// Verilog source of the handshake-ring benchmark at its default scale.
+pub fn handshake_source() -> String {
+    handshake_source_with(&HandshakeConfig::default())
+}
+
+/// Verilog source for an arbitrary ring size (min 2 cells).
+pub fn handshake_source_with(cfg: &HandshakeConfig) -> String {
+    let n = cfg.cells.max(2);
+    let mut v = String::new();
+
+    // ------------------------------------------------------------ cell
+    // One-hot FSM per cell: each state is its own 1-bit register, so
+    // every store in the cell is width 1 and the next-state logic is
+    // and/or/not/xor — the transposable cone the bitplane layout wants.
+    v.push_str(
+        r#"
+// ------------------------------------------------------------- hs_cell
+module hs_cell(
+  input clk,
+  input rst,
+  input in_valid,
+  input din,
+  input cfg,
+  input out_ready,
+  output in_ready,
+  output out_valid,
+  output dout
+);
+  reg s_idle, s_busy, s_done;
+  reg data, parity;
+  wire take = in_valid & s_idle;
+  wire emit = s_done & out_ready;
+  always @(posedge clk) begin
+    if (rst) begin
+      s_idle <= 1'b1;
+      s_busy <= 1'b0;
+      s_done <= 1'b0;
+      data <= 1'b0;
+      parity <= 1'b0;
+    end else begin
+      s_idle <= (s_idle & ~in_valid) | emit;
+      s_busy <= take;
+      s_done <= s_busy | (s_done & ~out_ready);
+      if (take) data <= din ^ cfg;
+      if (s_busy) parity <= parity ^ data;
+    end
+  end
+  assign in_ready = s_idle;
+  assign out_valid = s_done;
+  assign dout = data ^ (cfg & parity);
+endmodule
+"#,
+    );
+
+    // ------------------------------------------------------------- top
+    let _ = write!(
+        v,
+        r#"
+// ------------------------------------------------------ handshake_ring
+module handshake_ring(
+  input clk,
+  input rst,
+  input inj_valid,
+  input inj_bit,
+  input stall,
+  input drain,
+  input cfg0,
+  input cfg1,
+  input cfg2,
+  output ring_valid,
+  output ring_bit,
+  output head_ready,
+  output activity,
+  output tap,
+  output [7:0] beats
+);
+"#
+    );
+    for i in 0..n {
+        let _ = writeln!(v, "  wire v{i}, r{i}, d{i};");
+    }
+    v.push_str(
+        r#"
+  // Ring closure: the injector merges fresh stimulus beats with the
+  // recirculating tail beat; a stalled tail neither emits nor blocks
+  // injection.
+"#,
+    );
+    let tail = n - 1;
+    let _ = writeln!(v, "  wire head_valid = inj_valid | (v{tail} & ~stall);");
+    let _ = writeln!(v, "  wire head_bit = inj_valid ? inj_bit : d{tail};");
+    let _ = writeln!(v, "  wire tail_ready = (r0 & ~stall) | drain;");
+    v.push('\n');
+    for i in 0..n {
+        let cfg_pin = format!("cfg{}", i % 3);
+        let (iv, ib) = if i == 0 {
+            ("head_valid".to_string(), "head_bit".to_string())
+        } else {
+            (format!("v{}", i - 1), format!("d{}", i - 1))
+        };
+        let ordy = if i == tail {
+            "tail_ready".to_string()
+        } else {
+            format!("r{}", i + 1)
+        };
+        let _ = writeln!(
+            v,
+            "  hs_cell cell{i} (.clk(clk), .rst(rst), .in_valid({iv}), .din({ib}), \
+             .cfg({cfg_pin}), .out_ready({ordy}), .in_ready(r{i}), .out_valid(v{i}), \
+             .dout(d{i}));"
+        );
+    }
+
+    // Activity tree: xor of every cell's valid, built as a linear chain
+    // of 1-bit wires (still pure bit-domain logic).
+    v.push('\n');
+    let _ = writeln!(v, "  wire act0 = v0;");
+    for i in 1..n {
+        let _ = writeln!(v, "  wire act{i} = act{} ^ v{i};", i - 1);
+    }
+
+    // The one word-domain island: an 8-bit beat counter driven by the
+    // 1-bit head handshake. Its adder is not bit-transposable, so the
+    // counter stays bucketed and reads `head_take` through the
+    // escape-read shim.
+    let _ = write!(
+        v,
+        r#"
+  wire head_take = head_valid & r0;
+  reg [7:0] beat_q;
+  always @(posedge clk) begin
+    if (rst) beat_q <= 8'd0;
+    else if (head_take) beat_q <= beat_q + 8'd1;
+  end
+
+  assign ring_valid = v{tail};
+  assign ring_bit = d{tail};
+  assign head_ready = r0;
+  assign activity = act{tail};
+  assign tap = d{mid};
+  assign beats = beat_q;
+endmodule
+"#,
+        mid = n / 2
+    );
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_ring_size() {
+        let src = handshake_source_with(&HandshakeConfig { cells: 5 });
+        for i in 0..5 {
+            assert!(src.contains(&format!("hs_cell cell{i} ")));
+        }
+        assert!(!src.contains("hs_cell cell5 "));
+    }
+
+    #[test]
+    fn ring_is_mostly_one_bit_state() {
+        let d = crate::Benchmark::Handshake.elaborate().unwrap();
+        let one_bit = d.vars.iter().filter(|v| v.width == 1).count();
+        assert!(
+            one_bit * 10 >= d.vars.len() * 8,
+            "expected >=80% 1-bit vars, got {one_bit}/{}",
+            d.vars.len()
+        );
+    }
+}

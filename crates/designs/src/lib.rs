@@ -16,10 +16,12 @@
 //!   [`NvdlaConfig`] so partitioning experiments have real structure to
 //!   chew on.
 
+mod handshake;
 mod nvdla;
 mod riscv_mini;
 mod spinal;
 
+pub use handshake::{handshake_source, handshake_source_with, HandshakeConfig};
 pub use nvdla::{nvdla_source, NvdlaConfig};
 pub use riscv_mini::riscv_mini_source;
 pub use spinal::spinal_source;
@@ -36,6 +38,9 @@ pub enum Benchmark {
     /// The vendored picorv32 Yosys-JSON netlist fixture (gate-level; enters
     /// through the `netlist` frontend rather than the Verilog parser).
     Picorv32,
+    /// Control-heavy handshake ring: almost all 1-bit signals, dense
+    /// FSM/handshake logic (the bit-transposed executor's best case).
+    Handshake,
 }
 
 /// Size presets for the NVDLA generator.
@@ -58,6 +63,7 @@ impl Benchmark {
             Benchmark::Spinal => "Spinal",
             Benchmark::Nvdla(_) => "NVDLA",
             Benchmark::Picorv32 => "picorv32",
+            Benchmark::Handshake => "handshake",
         }
     }
 
@@ -68,6 +74,7 @@ impl Benchmark {
             Benchmark::Spinal => "spinal_cpu",
             Benchmark::Nvdla(_) => "nvdla_top",
             Benchmark::Picorv32 => "picorv32",
+            Benchmark::Handshake => "handshake_ring",
         }
     }
 
@@ -80,6 +87,7 @@ impl Benchmark {
             Benchmark::Spinal => spinal_source(),
             Benchmark::Nvdla(scale) => nvdla_source(&NvdlaConfig::preset(*scale)),
             Benchmark::Picorv32 => netlist::PICORV32_JSON.to_string(),
+            Benchmark::Handshake => handshake_source(),
         }
     }
 
@@ -108,6 +116,7 @@ mod tests {
             Benchmark::RiscvMini,
             Benchmark::Spinal,
             Benchmark::Nvdla(NvdlaScale::Tiny),
+            Benchmark::Handshake,
         ] {
             let d = b
                 .elaborate()
@@ -133,6 +142,7 @@ mod tests {
             Benchmark::RiscvMini,
             Benchmark::Spinal,
             Benchmark::Nvdla(NvdlaScale::Tiny),
+            Benchmark::Handshake,
         ] {
             let d = b.elaborate().unwrap();
             let g = rtlir::RtlGraph::build(&d).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
@@ -148,6 +158,7 @@ mod tests {
             Benchmark::RiscvMini,
             Benchmark::Spinal,
             Benchmark::Nvdla(NvdlaScale::Tiny),
+            Benchmark::Handshake,
         ] {
             let src = b.source();
             let unit = rtlir::parse(&src).unwrap();

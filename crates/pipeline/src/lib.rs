@@ -408,8 +408,12 @@ pub fn model_batch_multi_gpu(
 /// transpiler's default partition.
 pub fn prepare(design: &Design, model: &GpuModel) -> Result<(KernelProgram, CudaGraph), String> {
     let program = transpile::transpile(design)?;
-    let graph =
-        CudaGraph::instantiate_with(program.graph.clone(), model, Some(program.uniform.clone()))?;
+    let graph = CudaGraph::instantiate_full(
+        program.graph.clone(),
+        model,
+        Some(program.uniform.clone()),
+        Some(program.bit.clone()),
+    )?;
     Ok((program, graph))
 }
 

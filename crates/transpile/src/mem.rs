@@ -101,6 +101,17 @@ impl MemoryPlan {
         design.inputs.iter().map(|&v| self.slots[v].slot).collect()
     }
 
+    /// Input slots with their variable widths — the roots of the
+    /// bit-transposed layout analysis (a multi-bit input pins its slot to
+    /// the bucketed layout even if no kernel stores it).
+    pub fn input_roots(&self, design: &Design) -> Vec<(Slot, u32)> {
+        design
+            .inputs
+            .iter()
+            .map(|&v| (self.slots[v].slot, self.slots[v].width))
+            .collect()
+    }
+
     /// Device bytes needed per stimulus.
     pub fn bytes_per_stimulus(&self) -> u64 {
         self.len8 as u64 + self.len16 as u64 * 2 + self.len32 as u64 * 4 + self.len64 as u64 * 8

@@ -18,9 +18,9 @@ use std::collections::{HashMap, HashSet};
 
 use cudasim::fuse::fuse_graph_with;
 use cudasim::{
-    execute_kernel, execute_ordered, execute_ordered_parallel, DeviceMemory, ExecConfig, ExecStats,
-    ExecStrategy, FuseConfig, FuseStats, FusedKernel, Kernel, Scratch, SlotUniform, TaskGraphIr,
-    DEFAULT_LANE_CHUNK,
+    execute_kernel, execute_ordered, execute_ordered_parallel, run_bitplane_cycle, BitLayout,
+    DeviceMemory, ExecConfig, ExecStats, ExecStrategy, FuseConfig, FuseStats, FusedKernel, Kernel,
+    Scratch, SlotUniform, TaskGraphIr, DEFAULT_LANE_CHUNK,
 };
 use rtlir::graph::NodeId;
 use rtlir::{Design, ProcessKind, RtlGraph};
@@ -64,6 +64,9 @@ pub struct KernelProgram {
     pub uniform: SlotUniform,
     /// Fused per-kernel programs (built once here, cached for every cycle).
     pub fused: Vec<FusedKernel>,
+    /// Bit-transposed layout for [`ExecStrategy::BitPlane`] execution
+    /// (1-bit control signals packed 64 stimuli per word).
+    pub bit: BitLayout,
 }
 
 impl KernelProgram {
@@ -200,6 +203,16 @@ impl KernelProgram {
         }
         let uniform = SlotUniform::analyze(&graph_ir, plan.lens(), &plan.input_slots(design));
         let fused = fuse_graph_with(&graph_ir, Some(&uniform), fuse_cfg);
+        // The word remainder inside the layout must be fused against the
+        // *full-graph* uniform analysis (re-analyzing the filtered word
+        // kernels would wrongly mark bit-stored slots uniform).
+        let bit = BitLayout::compile(
+            &graph_ir,
+            plan.len8,
+            &plan.input_roots(design),
+            Some(&uniform),
+            fuse_cfg,
+        );
         Ok(KernelProgram {
             plan,
             graph: graph_ir,
@@ -208,6 +221,7 @@ impl KernelProgram {
             has_seq,
             uniform,
             fused,
+            bit,
         })
     }
 
@@ -270,6 +284,16 @@ impl KernelProgram {
             ),
             ExecStrategy::BlockParallel { block, .. } => execute_ordered_parallel(
                 &self.fused,
+                &self.order,
+                dev,
+                scratches,
+                tid0,
+                group,
+                block,
+                exec.lane_chunk,
+            ),
+            ExecStrategy::BitPlane { block, .. } => run_bitplane_cycle(
+                &self.bit,
                 &self.order,
                 dev,
                 scratches,

@@ -14,8 +14,9 @@
 //! per-lane random data.
 
 use cudasim::{
-    execute_kernel, execute_ordered, execute_ordered_parallel, fuse_graph, Bucket, DeviceMemory,
-    ExecConfig, KBin, KUn, Kernel, Op, Scratch, Slot, SlotUniform, TaskGraphIr,
+    execute_kernel, execute_ordered, execute_ordered_parallel, fuse_graph, run_bitplane_cycle,
+    BitLayout, Bucket, Checkpoint, DeviceMemory, ExecConfig, FuseConfig, KBin, KUn, Kernel, Op,
+    Scratch, Slot, SlotUniform, TaskGraphIr,
 };
 use rtlflow::{Benchmark, Flow, NvdlaScale, PortMap};
 use stimulus::StimulusSource;
@@ -304,6 +305,113 @@ fn run_trial(trial: u64, n: usize, tid0: usize, group: usize) {
     assert_devices_equal(&dev_s, &dev_p, "block-parallel", trial);
 }
 
+/// Like [`assert_devices_equal`] but `b` may have a bit-transposed
+/// region attached: its `var8` is compared in canonical form.
+fn assert_matches_reference(a: &DeviceMemory, b: &DeviceMemory, what: &str, trial: u64) {
+    assert_eq!(
+        a.var8,
+        b.var8_canonical(),
+        "{what} diverged in var8 (trial {trial})"
+    );
+    assert_eq!(a.var16, b.var16, "{what} diverged in var16 (trial {trial})");
+    assert_eq!(a.var32, b.var32, "{what} diverged in var32 (trial {trial})");
+    assert_eq!(a.var64, b.var64, "{what} diverged in var64 (trial {trial})");
+}
+
+/// Bit-transposed differential trial. Every B8 slot is probabilistically
+/// declared a width-1 input root (the rest stay width-8), the layout is
+/// compiled over the same fuzzed graph and uniform analysis, and the
+/// seeds of every slot the layout actually transposed are masked to 0/1
+/// — the contract a width-1 root makes. Serial and parallel bitpar runs,
+/// plus a checkpoint round-trip through the transposed region, must all
+/// stay bit-identical to the scalar reference across multiple cycles.
+fn run_bit_trial(trial: u64, n: usize, tid0: usize, group: usize) {
+    let mut rng = Rng::new(trial ^ 0xb17b17);
+    let k = 1 + rng.below(3) as usize;
+    let (ir, uniform) = gen_graph(&mut rng, k);
+    let order: Vec<usize> = (0..ir.kernels.len()).collect();
+    let bit_roots: Vec<(Slot, u32)> = (0..LENS[0])
+        .map(|off| {
+            let width = if rng.below(3) > 0 { 1 } else { 8 };
+            (
+                Slot {
+                    bucket: Bucket::B8,
+                    offset: off,
+                },
+                width,
+            )
+        })
+        .collect();
+    let layout = BitLayout::compile(
+        &ir,
+        LENS[0],
+        &bit_roots,
+        Some(&uniform),
+        &FuseConfig::default(),
+    );
+    let mut seed_dev = seed_device(&mut rng, &uniform, n);
+    for off in 0..LENS[0] {
+        if layout.plane_of(off).is_none() {
+            continue;
+        }
+        let slot = Slot {
+            bucket: Bucket::B8,
+            offset: off,
+        };
+        for tid in 0..n {
+            let v = seed_dev.load(slot, tid) & 1;
+            seed_dev.store(slot, tid, v);
+        }
+    }
+
+    let mut dev_s = seed_dev.clone();
+    let mut dev_b = seed_dev.clone();
+    let mut dev_p = seed_dev;
+    let mut scratch = Scratch::new();
+    let mut s1 = vec![Scratch::new()];
+    let mut s4: Vec<Scratch> = (0..4).map(|_| Scratch::new()).collect();
+    let chunk = [1usize, 17, 256][rng.below(3) as usize];
+    for cycle in 0..3u64 {
+        for &k in &order {
+            execute_kernel(&ir.kernels[k], &mut dev_s, &mut scratch, tid0, group);
+        }
+        run_bitplane_cycle(
+            &layout, &order, &mut dev_b, &mut s1, tid0, group, 1024, chunk,
+        );
+        run_bitplane_cycle(&layout, &order, &mut dev_p, &mut s4, tid0, group, 64, chunk);
+        assert_matches_reference(&dev_s, &dev_b, "bitpar-serial", trial);
+        assert_matches_reference(&dev_s, &dev_p, "bitpar-parallel", trial);
+
+        // Checkpoint images are canonical: capturing from the attached
+        // device must equal capturing from the scalar reference, and a
+        // restore into the attached device must leave the next cycle
+        // bit-identical.
+        let ck_s = Checkpoint::capture(&dev_s, 1, cycle, tid0 as u64);
+        let ck_b = Checkpoint::capture(&dev_b, 1, cycle, tid0 as u64);
+        assert_eq!(ck_s, ck_b, "checkpoint diverged (trial {trial})");
+        ck_s.restore_into(&mut dev_p).unwrap();
+    }
+}
+
+#[test]
+fn fuzzed_bitplane_full_range() {
+    for trial in 200..236 {
+        let n = [1usize, 2, 5, 33, 64, 200][trial as usize % 6];
+        run_bit_trial(trial, n, 0, n);
+    }
+}
+
+#[test]
+fn fuzzed_bitplane_partial_and_misaligned_ranges() {
+    for trial in 300..324 {
+        // Sub-word, word-straddling, and single-lane windows.
+        run_bit_trial(trial, 33, 1, 31);
+        run_bit_trial(trial, 200, 37, 97);
+        run_bit_trial(trial, 8, 7, 1);
+        run_bit_trial(trial, 16, 0, 0);
+    }
+}
+
 #[test]
 fn fuzzed_kernels_full_range() {
     for trial in 0..48 {
@@ -383,6 +491,7 @@ fn benchmark_designs_match_scalar_reference() {
         (Benchmark::RiscvMini, 24usize, 20u64),
         (Benchmark::Spinal, 24, 20),
         (Benchmark::Nvdla(NvdlaScale::Tiny), 16, 20),
+        (Benchmark::Handshake, 70, 20),
     ] {
         let flow = Flow::from_benchmark(b).unwrap();
         let map = PortMap::from_design(&flow.design);
@@ -392,13 +501,19 @@ fn benchmark_designs_match_scalar_reference() {
         let mut dev_s = flow.program.plan.alloc_device(n);
         let mut dev_v = flow.program.plan.alloc_device(n);
         let mut dev_p = flow.program.plan.alloc_device(n);
+        let mut dev_b = flow.program.plan.alloc_device(n);
+        let mut dev_bp = flow.program.plan.alloc_device(n);
         let mut scratch_s = vec![Scratch::new()];
         let mut scratch_v = vec![Scratch::new()];
         let par = ExecConfig::parallel(3);
         let mut scratch_p: Vec<Scratch> = (0..3).map(|_| Scratch::new()).collect();
+        let bit = ExecConfig::bitplane(1);
+        let mut scratch_b = vec![Scratch::new()];
+        let bit_par = ExecConfig::bitplane(2).with_block(64);
+        let mut scratch_bp: Vec<Scratch> = (0..2).map(|_| Scratch::new()).collect();
 
         for c in 0..cycles {
-            for dev in [&mut dev_s, &mut dev_v, &mut dev_p] {
+            for dev in [&mut dev_s, &mut dev_v, &mut dev_p, &mut dev_b, &mut dev_bp] {
                 for s in 0..n {
                     source.fill_frame(s, c, &mut frame);
                     for (lane, port) in map.ports.iter().enumerate() {
@@ -417,8 +532,14 @@ fn benchmark_designs_match_scalar_reference() {
             );
             flow.program
                 .run_cycle_exec(&mut dev_p, &mut scratch_p, 0, n, &par);
+            flow.program
+                .run_cycle_exec(&mut dev_b, &mut scratch_b, 0, n, &bit);
+            flow.program
+                .run_cycle_exec(&mut dev_bp, &mut scratch_bp, 0, n, &bit_par);
             assert_devices_equal(&dev_s, &dev_v, b.name(), c);
             assert_devices_equal(&dev_s, &dev_p, b.name(), c);
+            assert_matches_reference(&dev_s, &dev_b, b.name(), c);
+            assert_matches_reference(&dev_s, &dev_bp, b.name(), c);
         }
     }
 }
