@@ -25,6 +25,8 @@
 //! worker count, capacities, or mid-run deaths — the cluster analogue of
 //! `tests/shard_determinism.rs`.
 
+mod modelpar;
+
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -116,6 +118,12 @@ struct MetricsAcc {
     groups_resumed: u64,
     resume_cycles_skipped: u64,
     max_resume_cycle: u64,
+    modelpar_groups: u64,
+    modelpar_rollbacks: u64,
+    boundary_bytes: u64,
+    boundary_frames: u64,
+    overlap_hidden_ns: u64,
+    exchange_stall_ns: u64,
     busy: Duration,
 }
 
@@ -341,6 +349,12 @@ impl Controller {
             groups_resumed: m.groups_resumed,
             resume_cycles_skipped: m.resume_cycles_skipped,
             max_resume_cycle: m.max_resume_cycle,
+            modelpar_groups: m.modelpar_groups,
+            modelpar_rollbacks: m.modelpar_rollbacks,
+            boundary_bytes: m.boundary_bytes,
+            boundary_frames: m.boundary_frames,
+            overlap_hidden_ns: m.overlap_hidden_ns,
+            exchange_stall_ns: m.exchange_stall_ns,
             busy: m.busy,
         }
     }
@@ -1025,6 +1039,49 @@ mod tests {
         assert_eq!(m.heartbeat_timeouts, 0);
         ctl.shutdown();
         worker.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn loopback_model_parallel_matches_data_parallel() {
+        let b = designs::Benchmark::Handshake;
+        let ctl = Controller::bind(
+            "127.0.0.1:0",
+            ClusterConfig {
+                group_size: 16,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let key = ctl.register_design(&b.source(), b.top()).unwrap();
+        let workers: Vec<_> = (0..2)
+            .map(|_| spawn_worker(ctl.addr(), WorkerConfig::default()))
+            .collect();
+        ctl.wait_for_workers(2, Duration::from_secs(5)).unwrap();
+
+        let design = b.elaborate().unwrap();
+        let map = stimulus::PortMap::from_design(&design);
+        let src = stimulus::RandomSource::new(&map, 24, 0xfeed);
+        let dp = ctl.run_batch(key, &src, 12).unwrap();
+        let mp = ctl.run_batch_modelpar(key, &src, 12, 2).unwrap();
+        assert_eq!(
+            dp, mp,
+            "model-parallel must match the data-parallel digests"
+        );
+
+        let m = ctl.metrics();
+        assert!(m.modelpar_groups >= 1, "metrics: {m:?}");
+        assert!(
+            m.boundary_frames > 0,
+            "parts must have exchanged boundaries"
+        );
+        assert!(m.boundary_bytes > 0);
+        assert_eq!(m.modelpar_rollbacks, 0);
+        // Both workers go back to the registry after the group.
+        assert_eq!(ctl.ping_all(), 2);
+        ctl.shutdown();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
     }
 
     #[test]

@@ -39,6 +39,19 @@
 //! end by `tests/cluster_determinism.rs` against single-process
 //! `simulate_sharded`, and under scripted [`chaos::ChaosPlan`] fault
 //! campaigns.
+//!
+//! # Model parallelism (wire v3)
+//!
+//! Besides the batch axis, the controller can cut the *design* into K
+//! parts ([`partition::PartitionSpec`]) and co-simulate one group across
+//! K workers ([`Controller::run_batch_modelpar`]): each worker compiles
+//! its part's sub-design ([`modelpar::PartEngine`]) and exchanges packed
+//! boundary-signal frames ([`wire::BoundaryFrame`], width-bucketed with
+//! bit-transposed 1-bit nets) once per cycle, relayed by the controller.
+//! Exchange latency overlaps with the part levels that don't depend on
+//! remote inputs; a partition-replica death rolls every part back to the
+//! deepest common checkpoint cycle and re-dispatches under a bumped
+//! epoch, preserving bit-identical digests.
 
 pub mod chaos;
 pub mod controller;
@@ -51,5 +64,8 @@ pub use chaos::ChaosPlan;
 pub use controller::{ClusterConfig, ClusterJobResult, Controller};
 pub use error::ClusterError;
 pub use metrics::{ClusterMetrics, WorkerReport};
-pub use wire::{CheckpointUpdate, Frame, WireError, MAX_PAYLOAD, VERSION};
+pub use wire::{
+    BoundaryFrame, CheckpointUpdate, Frame, PartCheckpointUpdate, PartDispatch, PartResult,
+    WireError, MAX_PAYLOAD, VERSION,
+};
 pub use worker::{run_worker, spawn_worker, FaultMode, WorkerConfig, WorkerFault};

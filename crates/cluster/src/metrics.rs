@@ -64,6 +64,20 @@ pub struct ClusterMetrics {
     /// The highest resumed-from cycle seen — > 0 proves mid-batch
     /// resume actually happened.
     pub max_resume_cycle: u64,
+    /// Model-parallel groups completed (each spans K workers).
+    pub modelpar_groups: u64,
+    /// All-K rollbacks after a partition-replica death mid-group.
+    pub modelpar_rollbacks: u64,
+    /// Boundary-exchange payload bytes received from parts.
+    pub boundary_bytes: u64,
+    /// Boundary frames received from parts (one per exporting part per
+    /// cycle, so `boundary_bytes / boundary_frames` is the per-cycle
+    /// per-part exchange size).
+    pub boundary_frames: u64,
+    /// Exchange latency parts hid behind compute (summed ns).
+    pub overlap_hidden_ns: u64,
+    /// Time parts spent stalled waiting for boundary frames (summed ns).
+    pub exchange_stall_ns: u64,
     /// Wall time spent inside `run_batch` calls.
     pub busy: Duration,
 }
@@ -120,6 +134,31 @@ impl ClusterMetrics {
             self.resume_cycles_skipped,
             self.max_resume_cycle,
         ));
+        if self.modelpar_groups > 0 || self.modelpar_rollbacks > 0 || self.boundary_frames > 0 {
+            let per_frame = self
+                .boundary_bytes
+                .checked_div(self.boundary_frames)
+                .unwrap_or(0);
+            let exchange = self.overlap_hidden_ns + self.exchange_stall_ns;
+            let hidden_pct = if exchange > 0 {
+                self.overlap_hidden_ns as f64 * 100.0 / exchange as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  model-parallel: {} groups, {} rollbacks  boundary {} B in {} frames \
+                 ({per_frame} B/cycle/part)\n",
+                self.modelpar_groups,
+                self.modelpar_rollbacks,
+                self.boundary_bytes,
+                self.boundary_frames,
+            ));
+            out.push_str(&format!(
+                "  exchange overlap: {:.2} ms hidden, {:.2} ms stalled ({hidden_pct:.1}% hidden)\n",
+                self.overlap_hidden_ns as f64 / 1e6,
+                self.exchange_stall_ns as f64 / 1e6,
+            ));
+        }
         out
     }
 
@@ -157,6 +196,12 @@ impl ClusterMetrics {
             .field("groups_resumed", self.groups_resumed)
             .field("resume_cycles_skipped", self.resume_cycles_skipped)
             .field("max_resume_cycle", self.max_resume_cycle)
+            .field("modelpar_groups", self.modelpar_groups)
+            .field("modelpar_rollbacks", self.modelpar_rollbacks)
+            .field("boundary_bytes", self.boundary_bytes)
+            .field("boundary_frames", self.boundary_frames)
+            .field("overlap_hidden_ns", self.overlap_hidden_ns)
+            .field("exchange_stall_ns", self.exchange_stall_ns)
             .field("busy_ms", self.busy.as_secs_f64() * 1e3)
             .field("mean_utilization", self.mean_utilization())
             .field("workers", Json::Arr(workers))
@@ -207,6 +252,12 @@ mod tests {
             groups_resumed: 1,
             resume_cycles_skipped: 16,
             max_resume_cycle: 16,
+            modelpar_groups: 2,
+            modelpar_rollbacks: 1,
+            boundary_bytes: 2048,
+            boundary_frames: 32,
+            overlap_hidden_ns: 3_000_000,
+            exchange_stall_ns: 1_000_000,
             busy: Duration::from_millis(50),
         }
     }
@@ -225,6 +276,10 @@ mod tests {
         assert!(t.contains("DEAD"));
         assert!(t.contains("reconnects"));
         assert!(t.contains("resumed 1"));
+        // The model-parallel row reports boundary traffic and overlap.
+        assert!(t.contains("2 groups, 1 rollbacks"));
+        assert!(t.contains("boundary 2048 B in 32 frames (64 B/cycle/part)"));
+        assert!(t.contains("75.0% hidden"));
     }
 
     #[test]
@@ -235,6 +290,10 @@ mod tests {
         assert!(j.contains("\"checkpoints_received\":3"));
         assert!(j.contains("\"groups_resumed\":1"));
         assert!(j.contains("\"max_resume_cycle\":16"));
+        assert!(j.contains("\"modelpar_rollbacks\":1"));
+        assert!(j.contains("\"boundary_bytes\":2048"));
+        assert!(j.contains("\"overlap_hidden_ns\":3000000"));
+        assert!(j.contains("\"exchange_stall_ns\":1000000"));
         assert!(j.contains("\"workers\":[{"));
     }
 }

@@ -20,16 +20,18 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cudasim::{Checkpoint, ExecConfig, Scratch};
+use cudasim::{Checkpoint, DeviceMemory, ExecConfig, Scratch};
+use modelpar::PartEngine;
 use rtlir::Design;
 use stimulus::PortMap;
 use transpile::KernelProgram;
 
 use crate::error::ClusterError;
 use crate::wire::{
-    read_frame, write_frame, BatchDescriptor, CheckpointUpdate, Frame, ResultChunk, VERSION,
+    read_frame, write_frame, BatchDescriptor, BoundaryFrame, CheckpointUpdate, Frame,
+    PartCheckpointUpdate, PartDispatch, PartResult, ResultChunk, VERSION,
 };
 
 /// How an injected fault manifests on the wire.
@@ -154,11 +156,13 @@ pub fn spawn_worker(addr: SocketAddr, cfg: WorkerConfig) -> JoinHandle<Result<()
 /// lost with reconnects disabled, or every reconnect attempt fails.
 pub fn run_worker(addr: SocketAddr, mut cfg: WorkerConfig) -> Result<(), ClusterError> {
     // The engine cache outlives connections: a worker that drops and
-    // rejoins does not pay elaboration again.
+    // rejoins does not pay elaboration again. Part engines (model-parallel
+    // sub-design programs) are cached separately, keyed by the cut too.
     let mut engines: HashMap<u64, Engine> = HashMap::new();
+    let mut part_engines: HashMap<(u64, u32, u32), PartEngine> = HashMap::new();
     loop {
         let stream = connect_with_backoff(addr, &cfg)?;
-        match serve_connection(stream, &mut cfg, &mut engines) {
+        match serve_connection(stream, &mut cfg, &mut engines, &mut part_engines) {
             ConnectionEnd::Goodbye => return Ok(()),
             ConnectionEnd::Lost => {
                 if !cfg.reconnect {
@@ -225,6 +229,7 @@ fn serve_connection(
     mut stream: TcpStream,
     cfg: &mut WorkerConfig,
     engines: &mut HashMap<u64, Engine>,
+    part_engines: &mut HashMap<(u64, u32, u32), PartEngine>,
 ) -> ConnectionEnd {
     let mut batches: HashMap<u64, BatchInfo> = HashMap::new();
     let mut pickups: u64 = 0;
@@ -299,6 +304,96 @@ fn serve_connection(
                     return ConnectionEnd::Lost;
                 }
             }
+            Frame::RunPart(p) => {
+                let mut dispatch = p;
+                loop {
+                    let mut die_mid: Option<u64> = None;
+                    let mut die_mode = FaultMode::Disconnect;
+                    if let Some(fault) = cfg.fault {
+                        if pickups == fault.after_pickups {
+                            cfg.fault = None; // consumed: rejoin healthy
+                            match fault.mid_cycle {
+                                None => match fault.mode {
+                                    FaultMode::Disconnect => return ConnectionEnd::Lost,
+                                    FaultMode::Silent => {
+                                        while read_frame(&mut stream).is_ok() {}
+                                        return ConnectionEnd::Lost;
+                                    }
+                                },
+                                Some(cycle) => {
+                                    die_mid = Some(cycle);
+                                    die_mode = fault.mode;
+                                }
+                            }
+                        }
+                    }
+                    pickups += 1;
+                    if write_frame(&mut stream, &Frame::Heartbeat { seq: pickups }).is_err() {
+                        return ConnectionEnd::Lost;
+                    }
+                    let end = match ensure_part_engine(&dispatch, &batches, engines, part_engines) {
+                        Err(context) => PartEnd::Failed(context),
+                        Ok(key) => {
+                            let pe = &part_engines[&key];
+                            let info = &batches[&dispatch.batch];
+                            run_with_heartbeats(&stream, cfg.heartbeat_interval, |sink| {
+                                run_part(&stream, sink, &dispatch, info, pe, cfg, die_mid)
+                            })
+                        }
+                    };
+                    match end {
+                        PartEnd::Done(r) => {
+                            if write_frame(&mut stream, &Frame::PartDone(*r)).is_err() {
+                                return ConnectionEnd::Lost;
+                            }
+                            break;
+                        }
+                        PartEnd::Failed(context) => {
+                            if write_frame(&mut stream, &Frame::Error { context }).is_err() {
+                                return ConnectionEnd::Lost;
+                            }
+                            break;
+                        }
+                        // The abort ack was already echoed from inside the
+                        // boundary wait; just drop the doomed epoch.
+                        PartEnd::Aborted => break,
+                        PartEnd::Preempted(next) => {
+                            dispatch = *next;
+                            continue;
+                        }
+                        PartEnd::Lost => return ConnectionEnd::Lost,
+                        PartEnd::Goodbye => return ConnectionEnd::Goodbye,
+                        PartEnd::Fault => match die_mode {
+                            FaultMode::Disconnect => return ConnectionEnd::Lost,
+                            FaultMode::Silent => {
+                                while read_frame(&mut stream).is_ok() {}
+                                return ConnectionEnd::Lost;
+                            }
+                        },
+                    }
+                }
+            }
+            // A rollback barrier arriving while no part is running (this
+            // part already finished its epoch): ack it so the controller's
+            // drain completes, then wait for the re-dispatch.
+            Frame::PartAbort {
+                batch,
+                group,
+                epoch,
+            } => {
+                if write_frame(
+                    &mut stream,
+                    &Frame::PartAbort {
+                        batch,
+                        group,
+                        epoch,
+                    },
+                )
+                .is_err()
+                {
+                    return ConnectionEnd::Lost;
+                }
+            }
             Frame::Heartbeat { seq } => {
                 if write_frame(&mut stream, &Frame::HeartbeatAck { seq }).is_err() {
                     return ConnectionEnd::Lost;
@@ -310,6 +405,9 @@ fn serve_connection(
             Frame::HeartbeatAck { .. } | Frame::Error { .. } => {}
             Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Chunk(_) => {}
             Frame::Checkpoint(_) => {}
+            // Stale boundary traffic between parts is discarded, same as
+            // inside the wait loop (rollback makes it harmless).
+            Frame::Boundary(_) | Frame::PartDone(_) | Frame::PartCheckpoint(_) => {}
         }
     }
 }
@@ -553,4 +651,296 @@ fn run_group(
         tid0: g.tid0,
         digests,
     })
+}
+
+/// How a model-parallel part run ended.
+enum PartEnd {
+    /// Finished: final outputs and overlap timings, ready to reply.
+    Done(Box<PartResult>),
+    /// Contextful failure, reported to the controller.
+    Failed(String),
+    /// The controller aborted this epoch; the ack was already echoed.
+    Aborted,
+    /// A fresh dispatch arrived mid-part (defensive; the controller
+    /// normally aborts first). The caller restarts with it.
+    Preempted(Box<PartDispatch>),
+    /// The connection died.
+    Lost,
+    /// Orderly shutdown arrived mid-wait.
+    Goodbye,
+    /// An injected mid-part crash fired: die without replying.
+    Fault,
+}
+
+/// Build (or reuse) the compiled engine for one part of a K-way cut.
+/// The cut is a pure function of `(design, k)`, so the worker re-derives
+/// exactly the partition the controller planned with.
+fn ensure_part_engine(
+    p: &PartDispatch,
+    batches: &HashMap<u64, BatchInfo>,
+    engines: &HashMap<u64, Engine>,
+    part_engines: &mut HashMap<(u64, u32, u32), PartEngine>,
+) -> Result<(u64, u32, u32), String> {
+    let info = batches.get(&p.batch).ok_or_else(|| {
+        format!(
+            "part {} of group {} references unknown batch {}",
+            p.part, p.group, p.batch
+        )
+    })?;
+    let key = (info.design_key, p.k, p.part);
+    if let std::collections::hash_map::Entry::Vacant(e) = part_engines.entry(key) {
+        let engine = engines
+            .get(&info.design_key)
+            .ok_or_else(|| format!("batch {} lost its engine", p.batch))?;
+        let graph = rtlir::RtlGraph::build(&engine.design)
+            .map_err(|e| format!("part {}: graph: {e}", p.part))?;
+        let spec = partition::PartitionSpec::compute(&engine.design, &graph, p.k as usize)
+            .map_err(|e| format!("k={}: {e}", p.k))?;
+        let pe = PartEngine::build(&engine.design, &spec, p.part as usize)
+            .map_err(|e| format!("part {}: {e}", p.part))?;
+        e.insert(pe);
+    }
+    Ok(key)
+}
+
+/// Everything a boundary wait needs about the running part.
+struct PartCtx<'a> {
+    stream: &'a TcpStream,
+    sink: &'a FrameSink<'a>,
+    p: &'a PartDispatch,
+    pe: &'a PartEngine,
+    len: usize,
+}
+
+/// Boundary-exchange bookkeeping across the cycle loop.
+struct ExchangeState {
+    /// Out-of-order frames keyed `(exporter part, cycle)`. Peers with no
+    /// imports of their own can run ahead; their frames buffer here.
+    buffered: HashMap<(u32, u64), Vec<u8>>,
+    /// Exchange latency hidden behind compute (ns).
+    hidden_ns: u64,
+    /// Time spent blocked waiting for boundary frames (ns).
+    stall_ns: u64,
+    /// When this part's own export for the previous cycle went out —
+    /// the start of the window in which the exchange is in flight.
+    exchange_start: Option<Instant>,
+}
+
+/// Execute one dispatched part of a model-parallel group: the same
+/// poke / `pre` / apply-imports / `mid` / export / `post` cycle protocol
+/// as `modelpar::simulate_modelpar`, with the boundary payloads crossing
+/// the controller instead of a function call. `pre` runs while the
+/// previous cycle's exchange is still in flight — that window is the
+/// communication/compute overlap reported as `hidden_ns`.
+fn run_part(
+    stream: &TcpStream,
+    sink: &FrameSink<'_>,
+    p: &PartDispatch,
+    info: &BatchInfo,
+    pe: &PartEngine,
+    cfg: &WorkerConfig,
+    die_at_cycle: Option<u64>,
+) -> PartEnd {
+    let exec = &cfg.exec;
+    let len = p.len as usize;
+    let lanes = info.lanes as usize;
+    let cycles = info.cycles;
+    let expect = len
+        .checked_mul(cycles as usize)
+        .and_then(|x| x.checked_mul(lanes));
+    if expect != Some(p.frames.len()) {
+        return PartEnd::Failed(format!(
+            "part {}: {} frame words, expected {expect:?}",
+            p.part,
+            p.frames.len()
+        ));
+    }
+    let mut dev = pe.program.plan.alloc_device(len);
+    let mut start_cycle = 0u64;
+    if p.start_cycle > 0 {
+        // Unlike data-parallel resume, a part may NOT silently fall back
+        // to cycle 0: all K parts must restart from the same cycle or
+        // determinism breaks. A bad image is an error the controller
+        // turns into another rollback.
+        let ok = Checkpoint::decode(&p.resume_image).is_ok_and(|ck| {
+            ck.design_hash == pe.design_hash
+                && ck.cycle == p.start_cycle
+                && ck.cycle < cycles
+                && ck.tid0 == p.tid0
+                && ck.n() == len
+                && ck.restore_into(&mut dev).is_ok()
+        });
+        if !ok {
+            return PartEnd::Failed(format!(
+                "part {}: resume image for cycle {} failed validation",
+                p.part, p.start_cycle
+            ));
+        }
+        start_cycle = p.start_cycle;
+    }
+    let mut scratches: Vec<Scratch> = (0..exec.thread_count().max(1))
+        .map(|_| Scratch::new())
+        .collect();
+    let mut xs = ExchangeState {
+        buffered: HashMap::new(),
+        hidden_ns: 0,
+        stall_ns: 0,
+        exchange_start: None,
+    };
+    let ctx = PartCtx {
+        stream,
+        sink,
+        p,
+        pe,
+        len,
+    };
+    let has_exports = pe.export_codec.num_vars() > 0;
+    let boundary = |cycle: u64, payload: Vec<u8>| {
+        Frame::Boundary(BoundaryFrame {
+            batch: p.batch,
+            group: p.group,
+            part: p.part,
+            epoch: p.epoch,
+            cycle,
+            payload,
+        })
+    };
+    // A resumed part re-announces its boundary state for the cycle just
+    // before the restart point: the restored device holds exactly the
+    // post-commit state of `start_cycle - 1`, which is what peers need to
+    // apply at `start_cycle`.
+    if start_cycle > 0 && has_exports {
+        sink.send(&boundary(start_cycle - 1, pe.extract_exports(&dev, len)));
+        xs.exchange_start = Some(Instant::now());
+    }
+    for c in start_cycle..cycles {
+        for s in 0..len {
+            let base = (s * cycles as usize + c as usize) * lanes;
+            for (lane, &lv) in pe.sub.parent_inputs.iter().enumerate() {
+                pe.program.plan.poke(&mut dev, lv, s, p.frames[base + lane]);
+            }
+        }
+        pe.run_phase(&pe.pre, &mut dev, &mut scratches, 0, len, exec);
+        if c > 0 && !pe.imports.is_empty() {
+            if let Err(end) = wait_and_apply(&ctx, &mut dev, c - 1, &mut xs) {
+                return end;
+            }
+        }
+        pe.run_phase(&pe.mid, &mut dev, &mut scratches, 0, len, exec);
+        if has_exports {
+            sink.send(&boundary(c, pe.extract_exports(&dev, len)));
+            xs.exchange_start = Some(Instant::now());
+        }
+        pe.run_phase(&pe.post, &mut dev, &mut scratches, 0, len, exec);
+        let completed = c + 1;
+        if cfg.checkpoint_interval > 0
+            && completed.is_multiple_of(cfg.checkpoint_interval)
+            && completed < cycles
+        {
+            let image = Checkpoint::capture(&dev, pe.design_hash, completed, p.tid0).encode();
+            sink.send(&Frame::PartCheckpoint(PartCheckpointUpdate {
+                batch: p.batch,
+                group: p.group,
+                part: p.part,
+                epoch: p.epoch,
+                tid0: p.tid0,
+                cycle: completed,
+                image,
+            }));
+        }
+        if die_at_cycle.is_some_and(|k| completed >= k) {
+            return PartEnd::Fault;
+        }
+    }
+    // Final settle: apply the peers' last exports and re-run pass 1 so
+    // comb-driven outputs reflect final remote state (mid-run, pass-2's
+    // one-cycle-stale view self-corrects; at the end nothing would).
+    if cycles > 0 && !pe.imports.is_empty() {
+        if let Err(end) = wait_and_apply(&ctx, &mut dev, cycles - 1, &mut xs) {
+            return end;
+        }
+        pe.run_phase(&pe.refresh, &mut dev, &mut scratches, 0, len, exec);
+    }
+    let mut outputs = vec![0u64; pe.sub.outputs.len() * len];
+    for (o, &lv) in pe.sub.outputs.iter().enumerate() {
+        for s in 0..len {
+            outputs[o * len + s] = pe.program.plan.peek(&dev, lv, s);
+        }
+    }
+    PartEnd::Done(Box::new(PartResult {
+        batch: p.batch,
+        group: p.group,
+        part: p.part,
+        epoch: p.epoch,
+        tid0: p.tid0,
+        outputs,
+        hidden_ns: xs.hidden_ns,
+        stall_ns: xs.stall_ns,
+    }))
+}
+
+/// Block until every import peer's boundary frame for `cycle` is here,
+/// then apply them all. Frames for other cycles buffer; control frames
+/// (abort, re-dispatch, shutdown) end the part via `Err`.
+fn wait_and_apply(
+    ctx: &PartCtx<'_>,
+    dev: &mut DeviceMemory,
+    cycle: u64,
+    xs: &mut ExchangeState,
+) -> Result<(), PartEnd> {
+    let p = ctx.p;
+    let wait_start = Instant::now();
+    if let Some(t0) = xs.exchange_start.take() {
+        // Time between sending our own export and needing the peers' —
+        // exchange latency hidden behind post/poke/pre compute.
+        xs.hidden_ns += wait_start.duration_since(t0).as_nanos() as u64;
+    }
+    for link in &ctx.pe.imports {
+        let key = (link.from as u32, cycle);
+        while !xs.buffered.contains_key(&key) {
+            match read_frame(&mut &*ctx.stream) {
+                Ok((Frame::Boundary(b), _)) => {
+                    if b.batch == p.batch && b.group == p.group && b.epoch == p.epoch {
+                        xs.buffered.insert((b.part, b.cycle), b.payload);
+                    }
+                }
+                Ok((
+                    Frame::PartAbort {
+                        batch,
+                        group,
+                        epoch,
+                    },
+                    _,
+                )) => {
+                    // Always echo the ack; only abort when it names an
+                    // epoch at least as new as the one running.
+                    ctx.sink.send(&Frame::PartAbort {
+                        batch,
+                        group,
+                        epoch,
+                    });
+                    if batch == p.batch && group == p.group && epoch >= p.epoch {
+                        return Err(PartEnd::Aborted);
+                    }
+                }
+                Ok((Frame::RunPart(next), _)) => return Err(PartEnd::Preempted(Box::new(next))),
+                Ok((Frame::Heartbeat { seq }, _)) => ctx.sink.send(&Frame::HeartbeatAck { seq }),
+                Ok((Frame::Goodbye, _)) => return Err(PartEnd::Goodbye),
+                Ok(_) => {}
+                Err(_) => return Err(PartEnd::Lost),
+            }
+        }
+        let payload = &xs.buffered[&key];
+        if let Err(e) = ctx.pe.apply_import(link, payload, dev, ctx.len) {
+            return Err(PartEnd::Failed(format!(
+                "part {}: boundary from part {}: {e}",
+                p.part, link.from
+            )));
+        }
+    }
+    // Applied frames can never be needed again; drop them (and anything
+    // older) to bound memory when peers run ahead.
+    xs.buffered.retain(|&(_, cyc), _| cyc > cycle);
+    xs.stall_ns += wait_start.elapsed().as_nanos() as u64;
+    Ok(())
 }

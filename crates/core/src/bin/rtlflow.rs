@@ -70,6 +70,7 @@ commands:
               import).
   cluster-sim [--benchmark <name>] [-n <stimulus>] [-c <cycles>]
               [--workers <k>] [--capacities <c1,c2,..>] [--group <size>]
+              [--model-parallel <k>]
               [--kill-worker <i>@<pickup>[+<cycle>][:silent]]
               [--checkpoint-interval <cycles>] [--chaos <seed>]
               [--seed <u64>] [--tuned [<dir>|off]] [--verify] [--json]
@@ -79,6 +80,10 @@ commands:
               digests bit-identical to the local sharded executor. With
               --checkpoint-interval, killed groups resume on survivors
               from their last mid-group checkpoint instead of cycle 0.
+              --model-parallel <k> cuts the *design* into k parts
+              co-simulated across k workers with per-cycle boundary
+              exchange (a killed part rolls every part back to the
+              deepest common checkpoint); digests stay bit-identical.
   coverage    (<file.v> --top <module> | --benchmark <name>) [-n <stimulus>]
               [-c <cycles>] [--seed <u64>]
               Toggle-coverage report over a random batch.
@@ -1179,6 +1184,16 @@ fn main() {
             // checkpoint every this-many cycles, and requeued groups
             // resume from the last one instead of cycle 0.
             let checkpoint_interval: u64 = args.num("checkpoint-interval", 0);
+            // `--model-parallel k` (0 = off): cut the design into k parts
+            // co-simulated across k workers instead of replicating it.
+            let model_parallel: usize = args.num("model-parallel", 0);
+            if model_parallel > capacities.len() {
+                eprintln!(
+                    "--model-parallel {model_parallel} needs that many workers, only {} spawn",
+                    capacities.len()
+                );
+                exit(2);
+            }
             // `--chaos <seed>`: replace any single --kill-worker fault
             // with a deterministic scripted campaign derived from the
             // seed (reproduce CI failures from the seed alone).
@@ -1243,12 +1258,15 @@ fn main() {
             let map = PortMap::from_design(&flow.design);
             let source = stimulus::source_for(&flow.design, &map, n, seed);
             let t0 = std::time::Instant::now();
-            let digests = controller
-                .run_batch(key, source.as_ref(), cycles)
-                .unwrap_or_else(|e| {
-                    eprintln!("error: cluster batch: {e}");
-                    exit(1)
-                });
+            let digests = if model_parallel > 0 {
+                controller.run_batch_modelpar(key, source.as_ref(), cycles, model_parallel)
+            } else {
+                controller.run_batch(key, source.as_ref(), cycles)
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("error: cluster batch: {e}");
+                exit(1)
+            });
             let elapsed = t0.elapsed();
             controller.shutdown();
             for h in handles {
@@ -1277,17 +1295,56 @@ fn main() {
                 }
             });
 
+            // The cut the controller and workers both re-derive, reported
+            // for inspection (`--json` gets the full per-part table).
+            let cut = (model_parallel > 0)
+                .then(|| {
+                    rtlflow::PartitionSpec::compute(&flow.design, &flow.graph_info, model_parallel)
+                        .map(|spec| spec.cut_report(&flow.design))
+                })
+                .transpose()
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cut report: {e}");
+                    exit(1)
+                });
+
             let metrics = controller.metrics();
             if args.has("json") {
                 use desim::Json;
-                let doc = Json::obj()
+                let mut doc = Json::obj()
                     .field("benchmark", args.get("benchmark").unwrap_or("riscv-mini"))
                     .field("n", n)
                     .field("cycles", cycles)
                     .field("workers", capacities.len())
+                    .field("model_parallel", model_parallel)
                     .field("host_seconds", elapsed.as_secs_f64())
                     .field("verified", verified.is_some())
                     .field("metrics", metrics.to_json());
+                if let Some(report) = &cut {
+                    let parts: Vec<Json> = report
+                        .parts
+                        .iter()
+                        .map(|p| {
+                            Json::obj()
+                                .field("part", p.part)
+                                .field("seq_processes", p.seq_processes)
+                                .field("replica_processes", p.replica_processes)
+                                .field("comb_processes", p.comb_processes)
+                                .field("cost", p.cost)
+                                .field("boundary_in_vars", p.boundary_in_vars)
+                                .field("boundary_in_bits", p.boundary_in_bits)
+                                .field("boundary_out_vars", p.boundary_out_vars)
+                                .field("boundary_out_bits", p.boundary_out_bits)
+                                .field("outputs", p.outputs)
+                        })
+                        .collect();
+                    doc = doc.field(
+                        "cut",
+                        Json::obj()
+                            .field("total_boundary_bits", report.total_boundary_bits)
+                            .field("parts", Json::Arr(parts)),
+                    );
+                }
                 println!("{doc}");
             } else {
                 let unique: std::collections::HashSet<_> = digests.iter().collect();
@@ -1296,6 +1353,27 @@ fn main() {
                      ({elapsed:?} host time)",
                     capacities.len()
                 );
+                if let Some(report) = &cut {
+                    println!(
+                        "model-parallel cut: {} parts, {} boundary bits/cycle",
+                        report.parts.len(),
+                        report.total_boundary_bits
+                    );
+                    for p in &report.parts {
+                        println!(
+                            "  part {}: {} seq + {} replica + {} comb processes, cost {}, \
+                             in {} bits / out {} bits, {} outputs",
+                            p.part,
+                            p.seq_processes,
+                            p.replica_processes,
+                            p.comb_processes,
+                            p.cost,
+                            p.boundary_in_bits,
+                            p.boundary_out_bits,
+                            p.outputs
+                        );
+                    }
+                }
                 println!("{} distinct output signatures", unique.len());
                 if verified.is_some() {
                     println!("verified: bit-identical to the local sharded executor");

@@ -49,8 +49,12 @@ pub use cudasim::{
 };
 pub use designs::{Benchmark, NvdlaConfig, NvdlaScale};
 pub use desim::{fmt_duration, Backoff, Time, Trace};
+pub use modelpar::{fold_digest, simulate_modelpar, BoundaryCodec, PartEngine};
 pub use netlist::{load_design, ImportStats, NetlistError, RewriteStats};
-pub use partition::{mcmc_partition, static_partition, McmcConfig, McmcResult};
+pub use partition::{
+    mcmc_partition, static_partition, CutReport, McmcConfig, McmcResult, ModelPart, PartCutRow,
+    PartitionSpec,
+};
 pub use pipeline::{simulate_batch, HostModel, PipelineConfig, SimResult};
 pub use rtlir::{BitVec, Design, Interp};
 pub use serve::{

@@ -1011,6 +1011,33 @@ pub fn run_bitplane_cycle(
     });
 }
 
+/// Bit-transpose `n` 1-bit lane values into `ceil(n / 64)` words: lane
+/// `i`'s low bit lands in bit `i % 64` of word `i / 64`. This is the
+/// same lane-major word layout [`BitplaneMemory`] packs planes in, split
+/// out so boundary-exchange frames (modelpar) can ship 1-bit nets at 64
+/// stimuli per machine word.
+pub fn pack_bit_lanes(values: impl ExactSizeIterator<Item = u64>) -> Vec<u64> {
+    let n = values.len();
+    let mut words = vec![0u64; n.div_ceil(64)];
+    for (i, v) in values.enumerate() {
+        words[i / 64] |= (v & 1) << (i % 64);
+    }
+    words
+}
+
+/// Inverse of [`pack_bit_lanes`]: call `put(lane, bit)` for each of the
+/// `n` lanes. Returns `false` (without calling `put`) when `words` is
+/// too short for `n` lanes — the caller treats that as a malformed frame.
+pub fn unpack_bit_lanes(words: &[u64], n: usize, mut put: impl FnMut(usize, u64)) -> bool {
+    if words.len() < n.div_ceil(64) {
+        return false;
+    }
+    for i in 0..n {
+        put(i, (words[i / 64] >> (i % 64)) & 1);
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1351,5 +1378,34 @@ mod tests {
         assert_eq!(dev.load(s8(0), 5), 0);
         dev.detach_bitplane();
         assert!(dev.var8.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn bit_lane_pack_roundtrip() {
+        for n in [0usize, 1, 63, 64, 65, 200] {
+            let vals: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37) >> 3).collect();
+            let words = pack_bit_lanes(vals.iter().copied());
+            assert_eq!(words.len(), n.div_ceil(64));
+            let mut back = vec![u64::MAX; n];
+            assert!(unpack_bit_lanes(&words, n, |i, b| back[i] = b));
+            for (i, (&v, &b)) in vals.iter().zip(&back).enumerate() {
+                assert_eq!(v & 1, b, "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_lane_unpack_rejects_short_input() {
+        let words = pack_bit_lanes((0..64usize).map(|_| 1u64));
+        let mut calls = 0;
+        assert!(!unpack_bit_lanes(&words, 65, |_, _| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn bit_lane_pack_only_low_bit_matters() {
+        let a = pack_bit_lanes([0u64, 1, 2, 3, 0xffff_fffe, 0xffff_ffff].into_iter());
+        let b = pack_bit_lanes([0u64, 1, 0, 1, 0, 1].into_iter());
+        assert_eq!(a, b);
     }
 }

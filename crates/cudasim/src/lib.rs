@@ -28,7 +28,10 @@ pub mod graph;
 pub mod ir;
 pub mod model;
 
-pub use bitplane::{run_bitplane_cycle, BOp, BitLayout, BitProgram, BitplaneMemory, EscapeRead};
+pub use bitplane::{
+    pack_bit_lanes, run_bitplane_cycle, unpack_bit_lanes, BOp, BitLayout, BitProgram,
+    BitplaneMemory, EscapeRead,
+};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use device::{execute_kernel, DeviceMemory, Scratch};
 pub use exec::{

@@ -1,0 +1,314 @@
+//! Extract a standalone [`Design`] for one [`ModelPart`].
+//!
+//! The sub-design keeps only the variables the part's processes touch
+//! (plus every parent input, the clock, and the part's owned outputs),
+//! remapped to a dense id space — per-part device memory is sized by the
+//! surviving variables, which is what lets a design that exceeds one
+//! worker's footprint budget run across several.
+//!
+//! Flag rules that carry the determinism contract:
+//!
+//! * `is_state` survives only on variables a *local* sequential process
+//!   (owned or replicated) writes. Remote state arriving through the
+//!   boundary must not be state here: state slots get a shadow and are
+//!   overwritten by the commit kernel, which would clobber the applied
+//!   boundary value with a never-written shadow zero.
+//! * Boundary imports gain `is_input`, so the uniform-slot and bitplane
+//!   analyses treat them as non-uniform roots exactly like stimulus.
+//! * `is_output` survives only on outputs this part owns; only the owner
+//!   reports a variable's value to the digest fold.
+
+use partition::ModelPart;
+use rtlir::elab::{EExpr, Process, Stm, Target};
+use rtlir::{Design, VarId};
+
+/// A part's design plus the parent-to-local variable maps the runtime
+/// needs to poke stimulus and boundary values.
+#[derive(Debug, Clone)]
+pub struct SubDesign {
+    pub design: Design,
+    /// Parent [`VarId`] → local id, `None` when pruned.
+    pub map: Vec<Option<VarId>>,
+    /// Local ids of the parent's inputs, in parent declaration order
+    /// (the stimulus frame layout is the parent's).
+    pub parent_inputs: Vec<VarId>,
+    /// Local ids of `part.boundary_in`, same (sorted-parent) order.
+    pub boundary_in: Vec<VarId>,
+    /// Local ids of `part.boundary_out`, same order.
+    pub boundary_out: Vec<VarId>,
+    /// Local ids of the owned outputs, in parent output order.
+    pub outputs: Vec<VarId>,
+}
+
+fn remap_expr(e: &EExpr, m: &[Option<VarId>]) -> EExpr {
+    let v = |id: VarId| m[id].expect("sub-design references pruned var");
+    match e {
+        EExpr::Const(c) => EExpr::Const(c.clone()),
+        EExpr::Var(id) => EExpr::Var(v(*id)),
+        EExpr::ReadMem { var, idx } => EExpr::ReadMem {
+            var: v(*var),
+            idx: Box::new(remap_expr(idx, m)),
+        },
+        EExpr::Unary { op, arg, width } => EExpr::Unary {
+            op: *op,
+            arg: Box::new(remap_expr(arg, m)),
+            width: *width,
+        },
+        EExpr::Binary { op, a, b, width } => EExpr::Binary {
+            op: *op,
+            a: Box::new(remap_expr(a, m)),
+            b: Box::new(remap_expr(b, m)),
+            width: *width,
+        },
+        EExpr::Mux { cond, t, e, width } => EExpr::Mux {
+            cond: Box::new(remap_expr(cond, m)),
+            t: Box::new(remap_expr(t, m)),
+            e: Box::new(remap_expr(e, m)),
+            width: *width,
+        },
+        EExpr::Concat { parts, width } => EExpr::Concat {
+            parts: parts.iter().map(|p| remap_expr(p, m)).collect(),
+            width: *width,
+        },
+        EExpr::Slice { arg, lsb, width } => EExpr::Slice {
+            arg: Box::new(remap_expr(arg, m)),
+            lsb: *lsb,
+            width: *width,
+        },
+        EExpr::IndexBit { arg, idx } => EExpr::IndexBit {
+            arg: Box::new(remap_expr(arg, m)),
+            idx: Box::new(remap_expr(idx, m)),
+        },
+        EExpr::Resize { arg, width } => EExpr::Resize {
+            arg: Box::new(remap_expr(arg, m)),
+            width: *width,
+        },
+    }
+}
+
+fn remap_target(t: &Target, m: &[Option<VarId>]) -> Target {
+    let v = |id: VarId| m[id].expect("sub-design writes pruned var");
+    match t {
+        Target::Var(id) => Target::Var(v(*id)),
+        Target::Slice { var, lsb, width } => Target::Slice {
+            var: v(*var),
+            lsb: *lsb,
+            width: *width,
+        },
+        Target::DynBit { var, idx } => Target::DynBit {
+            var: v(*var),
+            idx: remap_expr(idx, m),
+        },
+        Target::Mem { var, idx } => Target::Mem {
+            var: v(*var),
+            idx: remap_expr(idx, m),
+        },
+    }
+}
+
+fn remap_stms(stms: &[Stm], m: &[Option<VarId>]) -> Vec<Stm> {
+    stms.iter()
+        .map(|s| match s {
+            Stm::Assign { target, rhs } => Stm::Assign {
+                target: remap_target(target, m),
+                rhs: remap_expr(rhs, m),
+            },
+            Stm::If {
+                cond,
+                then_s,
+                else_s,
+            } => Stm::If {
+                cond: remap_expr(cond, m),
+                then_s: remap_stms(then_s, m),
+                else_s: remap_stms(else_s, m),
+            },
+        })
+        .collect()
+}
+
+fn collect_stm_vars(stms: &[Stm], used: &mut std::collections::BTreeSet<VarId>) {
+    for s in stms {
+        match s {
+            Stm::Assign { target, rhs } => {
+                used.insert(target.var());
+                match target {
+                    Target::DynBit { idx, .. } | Target::Mem { idx, .. } => {
+                        idx.visit_reads(&mut |v| {
+                            used.insert(v);
+                        })
+                    }
+                    _ => {}
+                }
+                rhs.visit_reads(&mut |v| {
+                    used.insert(v);
+                });
+            }
+            Stm::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                cond.visit_reads(&mut |v| {
+                    used.insert(v);
+                });
+                collect_stm_vars(then_s, used);
+                collect_stm_vars(else_s, used);
+            }
+        }
+    }
+}
+
+/// Build the standalone design for part `index` of a cut.
+pub fn build_subdesign(design: &Design, part: &ModelPart, index: usize) -> SubDesign {
+    use std::collections::BTreeSet;
+
+    let included: Vec<usize> = {
+        let mut p: Vec<usize> = part
+            .seq
+            .iter()
+            .chain(&part.replicas)
+            .chain(&part.comb)
+            .copied()
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
+
+    // Variables that survive: everything the processes touch, plus all
+    // parent inputs (frame layout), the clock, and the owned outputs.
+    let mut used: BTreeSet<VarId> = BTreeSet::new();
+    for &p in &included {
+        collect_stm_vars(&design.processes[p].body, &mut used);
+    }
+    used.extend(design.inputs.iter().copied());
+    used.extend(part.outputs.iter().copied());
+    if let Some(clk) = design.clock {
+        used.insert(clk);
+    }
+
+    // State survives only where a local seq process writes it.
+    let local_seq_writes: BTreeSet<VarId> = part
+        .seq
+        .iter()
+        .chain(&part.replicas)
+        .flat_map(|&p| design.processes[p].writes.iter().copied())
+        .collect();
+    let boundary_in: BTreeSet<VarId> = part.boundary_in.iter().copied().collect();
+    let owned_out: BTreeSet<VarId> = part.outputs.iter().copied().collect();
+
+    let mut map: Vec<Option<VarId>> = vec![None; design.vars.len()];
+    let mut vars = Vec::with_capacity(used.len());
+    for &v in &used {
+        let parent = &design.vars[v];
+        map[v] = Some(vars.len());
+        vars.push(rtlir::elab::Var {
+            name: parent.name.clone(),
+            width: parent.width,
+            depth: parent.depth,
+            is_state: parent.is_state && local_seq_writes.contains(&v),
+            is_input: parent.is_input || boundary_in.contains(&v),
+            is_output: parent.is_output && owned_out.contains(&v),
+        });
+    }
+
+    let processes: Vec<Process> = included
+        .iter()
+        .map(|&p| {
+            let src = &design.processes[p];
+            Process {
+                kind: src.kind,
+                name: src.name.clone(),
+                body: remap_stms(&src.body, &map),
+                reads: src.reads.iter().map(|&v| map[v].unwrap()).collect(),
+                writes: src.writes.iter().map(|&v| map[v].unwrap()).collect(),
+                line: src.line,
+            }
+        })
+        .collect();
+
+    let parent_inputs: Vec<VarId> = design.inputs.iter().map(|&v| map[v].unwrap()).collect();
+    let boundary_in_local: Vec<VarId> = part.boundary_in.iter().map(|&v| map[v].unwrap()).collect();
+    let boundary_out_local: Vec<VarId> =
+        part.boundary_out.iter().map(|&v| map[v].unwrap()).collect();
+    let outputs_local: Vec<VarId> = part.outputs.iter().map(|&v| map[v].unwrap()).collect();
+
+    // Boundary imports are poked like stimulus; appending them after the
+    // parent inputs makes every analysis treat them as non-uniform roots.
+    let inputs: Vec<VarId> = parent_inputs
+        .iter()
+        .chain(&boundary_in_local)
+        .copied()
+        .collect();
+
+    let sub = Design {
+        name: format!("{}__p{index}", design.name),
+        vars,
+        processes,
+        inputs,
+        outputs: outputs_local.clone(),
+        clock: design.clock.map(|c| map[c].unwrap()),
+    };
+    SubDesign {
+        design: sub,
+        map,
+        parent_inputs,
+        boundary_in: boundary_in_local,
+        boundary_out: boundary_out_local,
+        outputs: outputs_local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use designs::Benchmark;
+    use partition::PartitionSpec;
+    use rtlir::RtlGraph;
+
+    #[test]
+    fn subdesigns_shrink_and_stay_buildable() {
+        let d = Benchmark::RiscvMini.elaborate().unwrap();
+        let g = RtlGraph::build(&d).unwrap();
+        let spec = PartitionSpec::compute(&d, &g, 3).unwrap();
+        let mut total_vars = 0usize;
+        for (i, part) in spec.parts.iter().enumerate() {
+            let sub = build_subdesign(&d, part, i);
+            total_vars += sub.design.vars.len();
+            assert!(sub.design.vars.len() <= d.vars.len());
+            // The sub-design must elaborate into a valid RTL graph.
+            let sg = RtlGraph::build(&sub.design).unwrap();
+            assert_eq!(
+                sg.seq_nodes.len(),
+                part.seq.len() + part.replicas.len(),
+                "part {i} seq count"
+            );
+            // Boundary imports are input ports of the sub-design.
+            for &b in &sub.boundary_in {
+                assert!(sub.design.vars[b].is_input);
+                assert!(!sub.design.vars[b].is_state);
+            }
+            // Exports stay state (the local ff writes them).
+            for &b in &sub.boundary_out {
+                assert!(sub.design.vars[b].is_state);
+            }
+        }
+        // Pruning must bite: parts together may replicate some logic,
+        // but each part alone is a strict subset of the parent.
+        assert!(total_vars > 0);
+    }
+
+    #[test]
+    fn part_names_are_distinct() {
+        let d = Benchmark::Handshake.elaborate().unwrap();
+        let g = RtlGraph::build(&d).unwrap();
+        let spec = PartitionSpec::compute(&d, &g, 2).unwrap();
+        let s0 = build_subdesign(&d, &spec.parts[0], 0);
+        let s1 = build_subdesign(&d, &spec.parts[1], 1);
+        assert_ne!(s0.design.name, s1.design.name);
+        assert_ne!(
+            rtlir::design_hash(&s0.design),
+            rtlir::design_hash(&s1.design)
+        );
+    }
+}

@@ -17,8 +17,10 @@
 //! which keeps the induced kernel task graph acyclic by construction.
 
 pub mod features;
+pub mod modelcut;
 
 pub use features::{node_features, FeatureKind, NUM_FEATURES};
+pub use modelcut::{CutReport, ModelPart, PartCutRow, PartitionSpec, DEFAULT_CUT_LAMBDA};
 
 use cudasim::{CudaGraph, ExecMode, GpuModel, GpuRuntime};
 use rtlir::graph::NodeId;

@@ -1,0 +1,635 @@
+//! Model-parallel design cutting: split one design's process graph into
+//! K *parts* that co-simulate on separate cluster workers, exchanging
+//! only sequential (state) signals once per cycle.
+//!
+//! The cut follows the Parendi/CCSS observation that a clocked design
+//! synchronizes naturally at the edge: combinational logic is free to be
+//! *recomputed* by every part that needs it (compute is cheap on a GPU;
+//! communication is not), so only flip-flop outputs ever cross the wire.
+//! Concretely:
+//!
+//! * Sequential processes writing (slices of) the same variable form a
+//!   **cluster** — they commit together and are never split.
+//! * An **atom** is one cluster together with its transitive
+//!   combinational fan-in cone, or — for outputs no sequential process
+//!   drives — one output variable with the cone that computes it. Cones
+//!   may overlap between atoms; each part evaluates its own copy.
+//! * State **memories** are too wide to ship per cycle, so a part that
+//!   reads one *replicates* the memory's writer cluster (and its cone,
+//!   transitively) instead of importing the contents: the replica
+//!   re-executes the identical writes from identical inputs, keeping
+//!   its local copy bit-exact. Replicated writes never cross the wire;
+//!   only the placement that *owns* a cluster exports its signals.
+//! * Atoms are placed greedily (largest first) onto the part minimizing
+//!   `load + λ · marginal_boundary_bits` — the λ term is what makes the
+//!   cost model bit-width-aware rather than node-count-aware: importing
+//!   a 64-bit bus costs 64× a valid bit.
+//!
+//! The result is a pure function of `(design, k, λ)`, so a worker given
+//! only the design source and its part index derives the identical cut
+//! the controller planned with.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rtlir::graph::{process_cost, NodeId, RtlGraph};
+use rtlir::{Design, ProcessKind, VarId};
+
+/// Default weight of one boundary bit relative to one op of compute when
+/// placing groups. Chosen so a 32-bit import outweighs a small duplicate
+/// cone but never dominates genuine load imbalance.
+pub const DEFAULT_CUT_LAMBDA: f64 = 4.0;
+
+/// One part of a model-parallel cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelPart {
+    /// Sequential processes owned by this part (disjoint across parts).
+    pub seq: Vec<usize>,
+    /// Sequential processes replicated into this part because it reads a
+    /// memory they write; may appear in several parts, never exported.
+    pub replicas: Vec<usize>,
+    /// Combinational processes this part evaluates (cones; may overlap
+    /// with other parts' `comb` sets).
+    pub comb: Vec<usize>,
+    /// Design outputs this part owns, in `design.outputs` order.
+    pub outputs: Vec<VarId>,
+    /// State variables this part reads but another part owns (sorted).
+    pub boundary_in: Vec<VarId>,
+    /// State variables this part owns that some other part reads (sorted).
+    pub boundary_out: Vec<VarId>,
+    /// Static op cost of everything the part evaluates (the load the
+    /// placer balanced), replicas included.
+    pub cost: usize,
+}
+
+/// A K-way model-parallel cut of one design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    pub k: usize,
+    pub parts: Vec<ModelPart>,
+}
+
+/// Per-part row of [`PartitionSpec::cut_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartCutRow {
+    pub part: usize,
+    pub seq_processes: usize,
+    pub replica_processes: usize,
+    pub comb_processes: usize,
+    pub cost: usize,
+    pub boundary_in_vars: usize,
+    pub boundary_in_bits: u64,
+    pub boundary_out_vars: usize,
+    pub boundary_out_bits: u64,
+    pub outputs: usize,
+}
+
+/// Cut-size summary for `--json` emitters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutReport {
+    pub parts: Vec<PartCutRow>,
+    /// Total bits imported per cycle across all parts (each import
+    /// counted once per reading part, matching bytes on the wire).
+    pub total_boundary_bits: u64,
+}
+
+/// Union-find with path halving; roots stay the smallest member.
+struct Uf(Vec<usize>);
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf((0..n).collect())
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.0[hi] = lo;
+        }
+    }
+}
+
+/// Everything one atom evaluates: its own nodes, the combinational
+/// fan-in, and (transitively) replicated writer clusters of every memory
+/// the set reads.
+#[derive(Default)]
+struct NodeClosure {
+    comb: BTreeSet<NodeId>,
+    seq: BTreeSet<NodeId>,
+}
+
+fn close_over(
+    design: &Design,
+    graph: &RtlGraph,
+    seeds: &[NodeId],
+    mem_writer_cluster: &BTreeMap<VarId, usize>,
+    cluster_nodes: &[Vec<NodeId>],
+) -> NodeClosure {
+    let mut cl = NodeClosure::default();
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if seen.insert(s) {
+            stack.push(s);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        match graph.nodes[n].kind {
+            ProcessKind::Comb => {
+                cl.comb.insert(n);
+            }
+            ProcessKind::Seq => {
+                cl.seq.insert(n);
+            }
+        }
+        for &p in &graph.preds[n] {
+            if graph.nodes[p].kind == ProcessKind::Comb && seen.insert(p) {
+                stack.push(p);
+            }
+        }
+        // Reading a memory pulls in its writer cluster as a replica.
+        for &v in &design.processes[graph.nodes[n].process].reads {
+            if design.vars[v].depth > 0 {
+                if let Some(&c) = mem_writer_cluster.get(&v) {
+                    for &sn in &cluster_nodes[c] {
+                        if seen.insert(sn) {
+                            stack.push(sn);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cl
+}
+
+/// One unsplittable unit of placement.
+struct Atom {
+    /// Owning cluster's seq processes (empty for output atoms).
+    owned_seq: Vec<usize>,
+    /// Full evaluation set.
+    closure: NodeClosure,
+    /// Design outputs this atom owns.
+    outs: Vec<VarId>,
+    /// State variables the closure reads but does not itself write —
+    /// these become boundary imports unless the writer lands co-located.
+    imports: BTreeSet<VarId>,
+    /// State variables the owning cluster writes (exportable).
+    owned_writes: BTreeSet<VarId>,
+    cost: usize,
+}
+
+impl PartitionSpec {
+    /// Cut `design` into `k` parts with the default boundary-bit weight.
+    pub fn compute(design: &Design, graph: &RtlGraph, k: usize) -> Result<PartitionSpec, String> {
+        Self::compute_with(design, graph, k, DEFAULT_CUT_LAMBDA)
+    }
+
+    /// Cut `design` into `k` parts; `lambda` weighs one boundary bit
+    /// against one op of duplicated/owned compute during placement.
+    pub fn compute_with(
+        design: &Design,
+        graph: &RtlGraph,
+        k: usize,
+        lambda: f64,
+    ) -> Result<PartitionSpec, String> {
+        if k == 0 {
+            return Err("model-parallel cut requires k >= 1".into());
+        }
+
+        // Cluster seq nodes that write (slices of) the same variable.
+        let mut uf = Uf::new(graph.seq_nodes.len());
+        let mut writers_of: BTreeMap<VarId, Vec<usize>> = BTreeMap::new();
+        for (i, &n) in graph.seq_nodes.iter().enumerate() {
+            for &v in &design.processes[graph.nodes[n].process].writes {
+                writers_of.entry(v).or_default().push(i);
+            }
+        }
+        for ws in writers_of.values() {
+            for &w in &ws[1..] {
+                uf.union(ws[0], w);
+            }
+        }
+        let mut cluster_ix: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut cluster_nodes: Vec<Vec<NodeId>> = Vec::new();
+        for (i, &n) in graph.seq_nodes.iter().enumerate() {
+            let root = uf.find(i);
+            let c = *cluster_ix.entry(root).or_insert_with(|| {
+                cluster_nodes.push(Vec::new());
+                cluster_nodes.len() - 1
+            });
+            cluster_nodes[c].push(n);
+        }
+        // Cluster of each seq-written var (for ownership and replicas).
+        let mut writer_cluster: BTreeMap<VarId, usize> = BTreeMap::new();
+        for (v, ws) in &writers_of {
+            writer_cluster.insert(*v, cluster_ix[&uf.find(ws[0])]);
+        }
+        let mem_writer_cluster: BTreeMap<VarId, usize> = writer_cluster
+            .iter()
+            .filter(|(&v, _)| design.vars[v].depth > 0)
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        let state_vars: BTreeSet<VarId> = writer_cluster.keys().copied().collect();
+
+        // Atoms: one per cluster plus one per output no seq drives.
+        let mut comb_writers: BTreeMap<VarId, Vec<NodeId>> = BTreeMap::new();
+        for &n in &graph.comb_order {
+            for &v in &design.processes[graph.nodes[n].process].writes {
+                comb_writers.entry(v).or_default().push(n);
+            }
+        }
+        let mut atoms: Vec<Atom> = Vec::new();
+        for nodes in &cluster_nodes {
+            let closure = close_over(design, graph, nodes, &mem_writer_cluster, &cluster_nodes);
+            let owned_seq: Vec<usize> = nodes.iter().map(|&n| graph.nodes[n].process).collect();
+            let owned_writes: BTreeSet<VarId> = owned_seq
+                .iter()
+                .flat_map(|&p| design.processes[p].writes.iter().copied())
+                .collect();
+            atoms.push(Atom {
+                owned_seq,
+                closure,
+                outs: Vec::new(),
+                imports: BTreeSet::new(),
+                owned_writes,
+                cost: 0,
+            });
+        }
+        for &o in &design.outputs {
+            if let Some(&c) = writer_cluster.get(&o) {
+                atoms[c].outs.push(o);
+            } else {
+                let seeds = comb_writers.get(&o).cloned().unwrap_or_default();
+                let closure =
+                    close_over(design, graph, &seeds, &mem_writer_cluster, &cluster_nodes);
+                atoms.push(Atom {
+                    owned_seq: Vec::new(),
+                    closure,
+                    outs: vec![o],
+                    imports: BTreeSet::new(),
+                    owned_writes: BTreeSet::new(),
+                    cost: 0,
+                });
+            }
+        }
+        if atoms.is_empty() {
+            return Err("design has no sequential processes or outputs to cut".into());
+        }
+
+        for a in atoms.iter_mut() {
+            let procs: BTreeSet<usize> = a
+                .closure
+                .comb
+                .iter()
+                .chain(a.closure.seq.iter())
+                .map(|&n| graph.nodes[n].process)
+                .collect();
+            let written: BTreeSet<VarId> = procs
+                .iter()
+                .flat_map(|&p| design.processes[p].writes.iter().copied())
+                .collect();
+            for &p in &procs {
+                for &v in &design.processes[p].reads {
+                    if state_vars.contains(&v) && !written.contains(&v) {
+                        a.imports.insert(v);
+                    }
+                }
+            }
+            a.cost = procs.iter().map(|&p| process_cost(design, p)).sum();
+        }
+        if k > atoms.len() {
+            return Err(format!(
+                "design splits into at most {} parts ({} requested); \
+                 shared state pins processes together",
+                atoms.len(),
+                k
+            ));
+        }
+
+        // Greedy LPT placement with the boundary-bit-aware tie term.
+        // Stable ordering: cost descending, then smallest member id.
+        let atom_key = |a: &Atom| {
+            a.owned_seq
+                .first()
+                .copied()
+                .unwrap_or_else(|| a.outs.first().map(|&o| usize::MAX / 2 + o).unwrap_or(0))
+        };
+        let mut order: Vec<usize> = (0..atoms.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(atoms[i].cost), atom_key(&atoms[i])));
+
+        let mut load = vec![0f64; k];
+        let mut part_of_atom: Vec<usize> = vec![0; atoms.len()];
+        let mut placed_writer: BTreeMap<VarId, usize> = BTreeMap::new();
+        let mut part_imports: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); k];
+        let mut placed_count = vec![0usize; k];
+
+        for &ai in &order {
+            let a = &atoms[ai];
+            let mut best = (f64::INFINITY, 0usize);
+            for p in 0..k {
+                let mut bits = 0u64;
+                for &v in &a.imports {
+                    if let Some(&wp) = placed_writer.get(&v) {
+                        if wp != p && !part_imports[p].contains(&v) {
+                            bits += u64::from(design.vars[v].width);
+                        }
+                    }
+                }
+                for &v in &a.owned_writes {
+                    for (q, imp) in part_imports.iter().enumerate() {
+                        if q != p && imp.contains(&v) {
+                            bits += u64::from(design.vars[v].width);
+                        }
+                    }
+                }
+                let score = load[p] + lambda * bits as f64;
+                if score < best.0 {
+                    best = (score, p);
+                }
+            }
+            let p = best.1;
+            part_of_atom[ai] = p;
+            load[p] += a.cost as f64;
+            placed_count[p] += 1;
+            for &v in &a.owned_writes {
+                placed_writer.insert(v, p);
+            }
+            part_imports[p].extend(a.imports.iter().copied());
+        }
+        // Keep the k contract if the λ·bits term pulled everything onto
+        // few parts: move the cheapest atoms out of the fullest parts.
+        for p in 0..k {
+            while placed_count[p] == 0 {
+                let donor = (0..k)
+                    .filter(|&q| placed_count[q] > 1)
+                    .max_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+                    .ok_or_else(|| format!("cannot fill {k} parts from {} atoms", atoms.len()))?;
+                let ai = (0..atoms.len())
+                    .filter(|&ai| part_of_atom[ai] == donor)
+                    .min_by_key(|&ai| (atoms[ai].cost, atom_key(&atoms[ai])))
+                    .unwrap();
+                part_of_atom[ai] = p;
+                load[donor] -= atoms[ai].cost as f64;
+                load[p] += atoms[ai].cost as f64;
+                placed_count[donor] -= 1;
+                placed_count[p] += 1;
+            }
+        }
+
+        // Materialize parts.
+        let mut owner_of_state: BTreeMap<VarId, usize> = BTreeMap::new();
+        for (ai, a) in atoms.iter().enumerate() {
+            for &v in &a.owned_writes {
+                owner_of_state.insert(v, part_of_atom[ai]);
+            }
+        }
+        let mut parts: Vec<ModelPart> = Vec::with_capacity(k);
+        let mut boundary_in: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); k];
+        let mut part_sets: Vec<(BTreeSet<usize>, BTreeSet<usize>, Vec<VarId>)> = Vec::new();
+        for (p, part_boundary_in) in boundary_in.iter_mut().enumerate() {
+            let mut seq_owned: BTreeSet<usize> = BTreeSet::new();
+            let mut seq_all: BTreeSet<usize> = BTreeSet::new();
+            let mut comb: BTreeSet<usize> = BTreeSet::new();
+            let mut outs: BTreeSet<VarId> = BTreeSet::new();
+            for (ai, a) in atoms.iter().enumerate() {
+                if part_of_atom[ai] != p {
+                    continue;
+                }
+                seq_owned.extend(a.owned_seq.iter().copied());
+                seq_all.extend(a.closure.seq.iter().map(|&n| graph.nodes[n].process));
+                comb.extend(a.closure.comb.iter().map(|&n| graph.nodes[n].process));
+                outs.extend(a.outs.iter().copied());
+            }
+            // Imports: state read anywhere in the part, written nowhere
+            // in it (replicated writers keep their memories local).
+            let procs: BTreeSet<usize> = seq_all.iter().chain(comb.iter()).copied().collect();
+            let written: BTreeSet<VarId> = procs
+                .iter()
+                .flat_map(|&pr| design.processes[pr].writes.iter().copied())
+                .collect();
+            for &pr in &procs {
+                for &v in &design.processes[pr].reads {
+                    if state_vars.contains(&v) && !written.contains(&v) {
+                        part_boundary_in.insert(v);
+                    }
+                }
+            }
+            let outputs = design
+                .outputs
+                .iter()
+                .copied()
+                .filter(|o| outs.contains(o))
+                .collect();
+            let replicas: Vec<usize> = seq_all.difference(&seq_owned).copied().collect();
+            part_sets.push((seq_owned, comb, outputs));
+            parts.push(ModelPart {
+                seq: Vec::new(),
+                replicas,
+                comb: Vec::new(),
+                outputs: Vec::new(),
+                boundary_in: Vec::new(),
+                boundary_out: Vec::new(),
+                cost: procs.iter().map(|&pr| process_cost(design, pr)).sum(),
+            });
+        }
+        let mut boundary_out: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); k];
+        for part_boundary_in in &boundary_in {
+            for &v in part_boundary_in {
+                boundary_out[owner_of_state[&v]].insert(v);
+            }
+        }
+        for (p, (seq_owned, comb, outputs)) in part_sets.into_iter().enumerate() {
+            parts[p].seq = seq_owned.into_iter().collect();
+            parts[p].comb = comb.into_iter().collect();
+            parts[p].outputs = outputs;
+            parts[p].boundary_in = boundary_in[p].iter().copied().collect();
+            parts[p].boundary_out = boundary_out[p].iter().copied().collect();
+        }
+        Ok(PartitionSpec { k, parts })
+    }
+
+    /// Per-part cut sizes for `--json` emitters and the CLI table.
+    pub fn cut_report(&self, design: &Design) -> CutReport {
+        let bits = |vars: &[VarId]| {
+            vars.iter()
+                .map(|&v| u64::from(design.vars[v].width))
+                .sum::<u64>()
+        };
+        let parts: Vec<PartCutRow> = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartCutRow {
+                part: i,
+                seq_processes: p.seq.len(),
+                replica_processes: p.replicas.len(),
+                comb_processes: p.comb.len(),
+                cost: p.cost,
+                boundary_in_vars: p.boundary_in.len(),
+                boundary_in_bits: bits(&p.boundary_in),
+                boundary_out_vars: p.boundary_out.len(),
+                boundary_out_bits: bits(&p.boundary_out),
+                outputs: p.outputs.len(),
+            })
+            .collect();
+        let total = parts.iter().map(|r| r.boundary_in_bits).sum();
+        CutReport {
+            parts,
+            total_boundary_bits: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use designs::Benchmark;
+
+    fn setup(b: Benchmark) -> (Design, RtlGraph) {
+        let d = b.elaborate().unwrap();
+        let g = RtlGraph::build(&d).unwrap();
+        (d, g)
+    }
+
+    fn check_invariants(design: &Design, graph: &RtlGraph, spec: &PartitionSpec) {
+        // Owned seq processes partition exactly (disjoint, complete).
+        let mut seen = BTreeSet::new();
+        for p in &spec.parts {
+            for &s in &p.seq {
+                assert!(seen.insert(s), "seq process {s} owned twice");
+            }
+        }
+        assert_eq!(seen.len(), graph.seq_nodes.len());
+        // Outputs partition exactly.
+        let mut outs = BTreeSet::new();
+        for p in &spec.parts {
+            for &o in &p.outputs {
+                assert!(outs.insert(o), "output {o} owned twice");
+            }
+        }
+        assert_eq!(outs.len(), design.outputs.len());
+        for p in &spec.parts {
+            // Boundary vars are plain state signals, never memories.
+            for &v in p.boundary_in.iter().chain(&p.boundary_out) {
+                assert!(design.vars[v].is_state, "boundary var {v} is not state");
+                assert_eq!(design.vars[v].depth, 0, "memory {v} crossed the cut");
+            }
+            // Every memory any part process reads is written locally.
+            let procs: BTreeSet<usize> = p
+                .seq
+                .iter()
+                .chain(&p.replicas)
+                .chain(&p.comb)
+                .copied()
+                .collect();
+            let written: BTreeSet<usize> = procs
+                .iter()
+                .flat_map(|&pr| design.processes[pr].writes.iter().copied())
+                .collect();
+            for &pr in &procs {
+                for &v in &design.processes[pr].reads {
+                    if design.vars[v].depth > 0 && design.vars[v].is_state {
+                        assert!(written.contains(&v), "memory {v} read but not replicated");
+                    }
+                }
+            }
+            // Comb set is closed under combinational preds.
+            let comb: BTreeSet<usize> = p.comb.iter().copied().collect();
+            for &pr in procs.iter() {
+                let node = graph.nodes.iter().position(|n| n.process == pr).unwrap();
+                for &pred in &graph.preds[node] {
+                    if graph.nodes[pred].kind == ProcessKind::Comb {
+                        assert!(
+                            comb.contains(&graph.nodes[pred].process),
+                            "part misses comb pred of process {pr}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn riscv_mini_cuts_cleanly() {
+        let (d, g) = setup(Benchmark::RiscvMini);
+        for k in [1, 2, 3, 4] {
+            let spec = PartitionSpec::compute(&d, &g, k).unwrap();
+            assert_eq!(spec.parts.len(), k);
+            check_invariants(&d, &g, &spec);
+            assert!(spec
+                .parts
+                .iter()
+                .all(|p| !p.seq.is_empty() || !p.outputs.is_empty()));
+        }
+    }
+
+    #[test]
+    fn single_part_has_no_boundary() {
+        let (d, g) = setup(Benchmark::Handshake);
+        let spec = PartitionSpec::compute(&d, &g, 1).unwrap();
+        assert!(spec.parts[0].boundary_in.is_empty());
+        assert!(spec.parts[0].boundary_out.is_empty());
+        assert!(spec.parts[0].replicas.is_empty());
+        check_invariants(&d, &g, &spec);
+    }
+
+    #[test]
+    fn handshake_k4_valid() {
+        let (d, g) = setup(Benchmark::Handshake);
+        let spec = PartitionSpec::compute(&d, &g, 4).unwrap();
+        check_invariants(&d, &g, &spec);
+    }
+
+    #[test]
+    fn cut_is_deterministic() {
+        let (d, g) = setup(Benchmark::RiscvMini);
+        let a = PartitionSpec::compute(&d, &g, 3).unwrap();
+        let b = PartitionSpec::compute(&d, &g, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let (d, g) = setup(Benchmark::RiscvMini);
+        let spec = PartitionSpec::compute(&d, &g, 3).unwrap();
+        let rep = spec.cut_report(&d);
+        assert_eq!(rep.parts.len(), 3);
+        let sum: u64 = rep.parts.iter().map(|r| r.boundary_in_bits).sum();
+        assert_eq!(rep.total_boundary_bits, sum);
+        for (row, part) in rep.parts.iter().zip(&spec.parts) {
+            assert_eq!(row.seq_processes, part.seq.len());
+            assert_eq!(row.replica_processes, part.replicas.len());
+            assert_eq!(row.cost, part.cost);
+        }
+    }
+
+    #[test]
+    fn higher_lambda_never_widens_the_cut_vs_zero() {
+        let (d, g) = setup(Benchmark::RiscvMini);
+        let free = PartitionSpec::compute_with(&d, &g, 3, 0.0).unwrap();
+        let tight = PartitionSpec::compute_with(&d, &g, 3, 64.0).unwrap();
+        let bits = |s: &PartitionSpec| s.cut_report(&d).total_boundary_bits;
+        assert!(
+            bits(&tight) <= bits(&free),
+            "λ=64 cut {} bits vs λ=0 {} bits",
+            bits(&tight),
+            bits(&free)
+        );
+    }
+
+    #[test]
+    fn absurd_k_is_rejected() {
+        let (d, g) = setup(Benchmark::Handshake);
+        let err = PartitionSpec::compute(&d, &g, 10_000).unwrap_err();
+        assert!(err.contains("at most"), "{err}");
+    }
+}

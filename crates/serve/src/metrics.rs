@@ -43,6 +43,10 @@ pub struct ServeMetrics {
     pub cluster_dispatches: u64,
     /// Jobs served by those remote batches.
     pub cluster_jobs: u64,
+    /// Of those remote batches, the ones that exceeded the per-worker
+    /// footprint budget and ran model-parallel (design cut across
+    /// workers) instead of data-parallel.
+    pub cluster_modelpar_dispatches: u64,
     /// Remote attempts that failed and fell back to local execution.
     pub cluster_fallbacks: u64,
     /// Batches that skipped the cluster because another batch held it
@@ -185,6 +189,10 @@ impl ServeMetrics {
         if self.cluster_dispatches + self.cluster_fallbacks + self.cluster_busy_skips > 0 {
             row("cluster dispatches", self.cluster_dispatches.to_string());
             row("cluster jobs", self.cluster_jobs.to_string());
+            row(
+                "cluster model-parallel",
+                self.cluster_modelpar_dispatches.to_string(),
+            );
             row("cluster fallbacks", self.cluster_fallbacks.to_string());
             row("cluster busy skips", self.cluster_busy_skips.to_string());
         }
@@ -239,6 +247,10 @@ impl ServeMetrics {
             .field("pool_groups_requeued", self.pool_groups_requeued)
             .field("cluster_dispatches", self.cluster_dispatches)
             .field("cluster_jobs", self.cluster_jobs)
+            .field(
+                "cluster_modelpar_dispatches",
+                self.cluster_modelpar_dispatches,
+            )
             .field("cluster_fallbacks", self.cluster_fallbacks)
             .field("cluster_busy_skips", self.cluster_busy_skips)
             .field("journal_records", self.journal_records)

@@ -48,6 +48,14 @@ pub struct ClusterBackend {
     /// Smallest coalesced batch (total stimulus) worth shipping over
     /// the wire.
     pub min_stimulus: usize,
+    /// Per-worker device-footprint budget in bytes. A remote-bound batch
+    /// whose estimated footprint (per-stimulus device bytes × total
+    /// stimulus) exceeds this is cut into `K = ceil(footprint / budget)`
+    /// model-parallel parts (clamped to the idle worker count) and
+    /// co-simulated via [`cluster::Controller::run_jobs_modelpar`]
+    /// instead of replicating the whole design on every worker. `None`
+    /// keeps every remote batch data-parallel.
+    pub footprint_budget: Option<u64>,
 }
 
 impl std::fmt::Debug for ClusterBackend {
@@ -55,6 +63,7 @@ impl std::fmt::Debug for ClusterBackend {
         f.debug_struct("ClusterBackend")
             .field("controller", &self.controller.addr())
             .field("min_stimulus", &self.min_stimulus)
+            .field("footprint_budget", &self.footprint_budget)
             .finish()
     }
 }
@@ -622,11 +631,34 @@ fn run_coalesced(shared: &Shared, cache: &EngineCache, cfg: &ServeConfig, batch:
                 Err(std::sync::TryLockError::WouldBlock) => None,
             };
             if let Some(_gate) = gate {
-                match cb.controller.run_jobs(batch.key.design, stacked, cycles) {
+                // Footprint routing: when the batch's estimated device
+                // footprint exceeds the per-worker budget, cut the design
+                // into K model-parallel parts so each worker holds only
+                // its share; otherwise replicate it data-parallel.
+                let parts = cb.footprint_budget.map_or(0, |budget| {
+                    let per_stim = engine.program.plan.alloc_device(1).bytes() as u64;
+                    let footprint = per_stim.saturating_mul(total as u64);
+                    if footprint > budget.max(1) {
+                        (footprint.div_ceil(budget.max(1)) as usize)
+                            .clamp(2, cb.controller.num_workers().max(1))
+                    } else {
+                        0
+                    }
+                });
+                let outcome = if parts >= 2 {
+                    cb.controller
+                        .run_jobs_modelpar(batch.key.design, stacked, cycles, parts)
+                } else {
+                    cb.controller.run_jobs(batch.key.design, stacked, cycles)
+                };
+                match outcome {
                     Ok(r) => {
                         let mut m = shared.metrics.lock().expect("metrics poisoned");
                         m.cluster_dispatches += 1;
                         m.cluster_jobs += n_jobs as u64;
+                        if parts >= 2 {
+                            m.cluster_modelpar_dispatches += 1;
+                        }
                         remote = Some((r.digests, r.ranges));
                     }
                     Err(_) => {
@@ -931,6 +963,7 @@ mod tests {
             cluster: Some(ClusterBackend {
                 controller: Arc::clone(&controller),
                 min_stimulus: 16,
+                footprint_budget: None,
             }),
             ..Default::default()
         });
@@ -944,6 +977,66 @@ mod tests {
         assert_eq!(remote, local, "remote execution must not change digests");
         assert!(m.cluster_dispatches >= 1, "the batch must have gone remote");
         assert_eq!(m.cluster_jobs, 2);
+        assert_eq!(m.cluster_fallbacks, 0);
+    }
+
+    #[test]
+    fn footprint_budget_routes_big_designs_model_parallel() {
+        let v = "module top(input clk, input rst, input [7:0] a, output [7:0] q);
+                 reg [7:0] acc;
+                 always @(posedge clk) begin if (rst) acc <= 8'd0; else acc <= acc + a; end
+                 assign q = acc; endmodule";
+        let design = Arc::new(rtlir::elaborate(v, "top").unwrap());
+
+        let run_local = || {
+            let service = SimService::start(ServeConfig {
+                window: Duration::from_millis(10),
+                workers: 1,
+                ..Default::default()
+            });
+            let h = service.submit(spec(&design, 24, 11, 30)).unwrap();
+            h.wait().unwrap().digests
+        };
+        let local = run_local();
+
+        // A one-byte budget: any batch overflows it, so the remote path
+        // must cut the design across the two workers.
+        let controller = Arc::new(
+            cluster::Controller::bind("127.0.0.1:0", cluster::ClusterConfig::default()).unwrap(),
+        );
+        controller.register_design(v, "top").unwrap();
+        let workers: Vec<_> = (0..2)
+            .map(|_| cluster::spawn_worker(controller.addr(), cluster::WorkerConfig::default()))
+            .collect();
+        controller
+            .wait_for_workers(2, Duration::from_secs(5))
+            .unwrap();
+        let service = SimService::start(ServeConfig {
+            window: Duration::from_millis(10),
+            workers: 1,
+            cluster: Some(ClusterBackend {
+                controller: Arc::clone(&controller),
+                min_stimulus: 16,
+                footprint_budget: Some(1),
+            }),
+            ..Default::default()
+        });
+        let h = service.submit(spec(&design, 24, 11, 30)).unwrap();
+        let remote = h.wait().unwrap().digests;
+        let m = service.shutdown();
+        controller.shutdown();
+        for w in workers {
+            let _ = w.join();
+        }
+
+        assert_eq!(
+            remote, local,
+            "model-parallel overflow must not change digests"
+        );
+        assert!(
+            m.cluster_modelpar_dispatches >= 1,
+            "the batch must have been cut model-parallel (metrics: {m:?})"
+        );
         assert_eq!(m.cluster_fallbacks, 0);
     }
 
@@ -974,6 +1067,7 @@ mod tests {
             cluster: Some(ClusterBackend {
                 controller: Arc::clone(&controller),
                 min_stimulus: 1,
+                footprint_budget: None,
             }),
             ..Default::default()
         });
